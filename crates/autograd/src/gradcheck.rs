@@ -1,0 +1,180 @@
+//! Numerical gradient checking utilities.
+//!
+//! Every op's analytic vector-Jacobian product is validated against central finite
+//! differences. The helpers here are also exported so downstream crates (`crowd-nn`,
+//! `crowd-rl-core`) can gradient-check full layers and the Q-network in their own tests.
+
+use crate::graph::{Graph, VarId};
+use crowd_tensor::Matrix;
+
+/// Builds a scalar-valued computation from a set of leaf values.
+///
+/// The closure receives the graph plus the ids of the leaves (inserted in the order of
+/// `inputs`) and must return the id of a `1 x 1` output node.
+pub type ScalarFn = dyn Fn(&mut Graph, &[VarId]) -> VarId;
+
+/// Result of a single gradient comparison.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Maximum absolute difference between analytic and numerical gradient entries.
+    pub max_abs_diff: f32,
+    /// Maximum relative difference (normalised by the larger magnitude, floored at 1e-3).
+    pub max_rel_diff: f32,
+}
+
+impl GradCheckReport {
+    /// True when both the absolute and relative differences fall under `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_abs_diff < tol || self.max_rel_diff < tol
+    }
+}
+
+/// Evaluates the scalar function at the given leaf values.
+fn eval(f: &ScalarFn, inputs: &[Matrix]) -> f32 {
+    let mut graph = Graph::new();
+    let ids: Vec<VarId> = inputs.iter().map(|m| graph.leaf(m.clone())).collect();
+    let out = f(&mut graph, &ids);
+    graph.value(out).get(0, 0)
+}
+
+/// Compares the analytic gradient of `f` with central finite differences for the leaf at
+/// `check_index`, perturbing each element by `epsilon`.
+pub fn check_gradient(
+    f: &ScalarFn,
+    inputs: &[Matrix],
+    check_index: usize,
+    epsilon: f32,
+) -> GradCheckReport {
+    // Analytic gradient.
+    let mut graph = Graph::new();
+    let ids: Vec<VarId> = inputs.iter().map(|m| graph.leaf(m.clone())).collect();
+    let out = f(&mut graph, &ids);
+    graph.backward(out).expect("backward failed in gradcheck");
+    let analytic = graph
+        .grad(ids[check_index])
+        .cloned()
+        .unwrap_or_else(|| Matrix::zeros(inputs[check_index].rows(), inputs[check_index].cols()));
+
+    // Numerical gradient via central differences.
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    let base = inputs[check_index].clone();
+    for i in 0..base.len() {
+        let mut plus = inputs.to_vec();
+        let mut minus = inputs.to_vec();
+        plus[check_index].as_mut_slice()[i] += epsilon;
+        minus[check_index].as_mut_slice()[i] -= epsilon;
+        let numerical = (eval(f, &plus) - eval(f, &minus)) / (2.0 * epsilon);
+        let a = analytic.as_slice()[i];
+        let abs = (a - numerical).abs();
+        let denom = a.abs().max(numerical.abs()).max(1e-3);
+        max_abs = max_abs.max(abs);
+        max_rel = max_rel.max(abs / denom);
+    }
+    GradCheckReport {
+        max_abs_diff: max_abs,
+        max_rel_diff: max_rel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_tensor::Rng;
+
+    fn rand_mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::seed_from(seed);
+        Matrix::randn(rows, cols, &mut rng)
+    }
+
+    #[test]
+    fn gradcheck_matmul_chain() {
+        let f: Box<ScalarFn> = Box::new(|g, ids| {
+            let prod = g.matmul(ids[0], ids[1]).unwrap();
+            let act = g.relu(prod);
+            g.squared_sum(act)
+        });
+        let inputs = vec![rand_mat(3, 4, 1), rand_mat(4, 2, 2)];
+        for idx in 0..2 {
+            let report = check_gradient(&f, &inputs, idx, 1e-2);
+            assert!(
+                report.passes(2e-2),
+                "matmul chain input {idx}: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradcheck_softmax_attention_like_block() {
+        // scores = softmax(X X^T); out = scores @ X; loss = sum(out^2).
+        let f: Box<ScalarFn> = Box::new(|g, ids| {
+            let x = ids[0];
+            let xt = g.transpose(x);
+            let scores = g.matmul(x, xt).unwrap();
+            let scaled = g.scale(scores, 0.5);
+            let attn = g.softmax_rows(scaled);
+            let out = g.matmul(attn, x).unwrap();
+            g.squared_sum(out)
+        });
+        let inputs = vec![rand_mat(4, 3, 7)];
+        let report = check_gradient(&f, &inputs, 0, 1e-2);
+        assert!(report.passes(5e-2), "attention block: {report:?}");
+    }
+
+    #[test]
+    fn gradcheck_bias_and_mean() {
+        let f: Box<ScalarFn> = Box::new(|g, ids| {
+            let y = g.add_row_broadcast(ids[0], ids[1]).unwrap();
+            let r = g.relu(y);
+            g.mean(r)
+        });
+        let inputs = vec![rand_mat(5, 3, 11), rand_mat(1, 3, 12)];
+        for idx in 0..2 {
+            let report = check_gradient(&f, &inputs, idx, 1e-2);
+            assert!(report.passes(2e-2), "bias/mean input {idx}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn gradcheck_concat_slice_hadamard() {
+        let f: Box<ScalarFn> = Box::new(|g, ids| {
+            let cat = g.concat_cols(ids[0], ids[1]).unwrap();
+            let left = g.slice_cols(cat, 0, 2).unwrap();
+            let right = g.slice_cols(cat, 2, 4).unwrap();
+            let prod = g.hadamard(left, right).unwrap();
+            g.sum(prod)
+        });
+        let inputs = vec![rand_mat(3, 2, 21), rand_mat(3, 2, 22)];
+        for idx in 0..2 {
+            let report = check_gradient(&f, &inputs, idx, 1e-2);
+            assert!(report.passes(2e-2), "concat/slice input {idx}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn gradcheck_masked_mse() {
+        let target = rand_mat(2, 3, 31);
+        let mask = Matrix::from_vec(2, 3, vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0]).unwrap();
+        let f: Box<ScalarFn> = Box::new(move |g, ids| {
+            g.masked_mse(ids[0], &target, &mask).unwrap()
+        });
+        let inputs = vec![rand_mat(2, 3, 32)];
+        let report = check_gradient(&f, &inputs, 0, 1e-2);
+        assert!(report.passes(2e-2), "masked mse: {report:?}");
+    }
+
+    #[test]
+    fn gradcheck_sub_scale_shift() {
+        let f: Box<ScalarFn> = Box::new(|g, ids| {
+            let d = g.sub(ids[0], ids[1]).unwrap();
+            let s = g.scale(d, -1.7);
+            let sh = g.shift(s, 0.3);
+            g.squared_sum(sh)
+        });
+        let inputs = vec![rand_mat(2, 2, 41), rand_mat(2, 2, 42)];
+        for idx in 0..2 {
+            let report = check_gradient(&f, &inputs, idx, 1e-2);
+            assert!(report.passes(2e-2), "sub/scale/shift input {idx}: {report:?}");
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! The tape ([`Graph`]) and its forward (eager) op-insertion API.
+
+use crate::op::Op;
+use crate::Result;
+use crowd_tensor::{Matrix, TensorError};
+
+/// Handle to a node on a [`Graph`] tape.
+///
+/// `VarId`s are only meaningful for the graph that produced them; using one with a different
+/// graph is a logic error (caught by debug assertions on index bounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Raw index on the tape; exposed for debugging / diagnostics only.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub(crate) op: Op,
+    pub(crate) inputs: Vec<VarId>,
+    pub(crate) value: Matrix,
+    pub(crate) requires_grad: bool,
+}
+
+/// A define-by-run tape: ops are evaluated eagerly on insertion, and
+/// [`backward`](Graph::backward) replays the tape in reverse to accumulate gradients.
+///
+/// Graphs are cheap to create and are intended to be rebuilt per forward pass; trainable
+/// parameters live outside the graph (see `crowd-nn::ParamStore`) and are injected as
+/// gradient-tracking leaves each time.
+#[derive(Debug, Default)]
+pub struct Graph {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) grads: Vec<Option<Matrix>>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of nodes currently on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no node has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, op: Op, inputs: Vec<VarId>, value: Matrix, requires_grad: bool) -> VarId {
+        debug_assert_eq!(op.arity(), inputs.len(), "op arity mismatch for {}", op.name());
+        let id = VarId(self.nodes.len());
+        self.nodes.push(Node {
+            op,
+            inputs,
+            value,
+            requires_grad,
+        });
+        self.grads.push(None);
+        id
+    }
+
+    fn value_of(&self, id: VarId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    fn needs_grad(&self, ids: &[VarId]) -> bool {
+        ids.iter().any(|id| self.nodes[id.0].requires_grad)
+    }
+
+    /// Inserts a differentiable leaf (an input with respect to which gradients will be
+    /// computed — typically a trainable parameter).
+    pub fn leaf(&mut self, value: Matrix) -> VarId {
+        self.push(Op::Leaf, vec![], value, true)
+    }
+
+    /// Inserts a constant leaf (no gradient will be accumulated for it — network inputs,
+    /// masks, targets).
+    pub fn constant(&mut self, value: Matrix) -> VarId {
+        self.push(Op::Leaf, vec![], value, false)
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: VarId, b: VarId) -> Result<VarId> {
+        let value = self.value_of(a).matmul(self.value_of(b))?;
+        let rg = self.needs_grad(&[a, b]);
+        Ok(self.push(Op::MatMul, vec![a, b], value, rg))
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, a: VarId, b: VarId) -> Result<VarId> {
+        let value = self.value_of(a).add(self.value_of(b))?;
+        let rg = self.needs_grad(&[a, b]);
+        Ok(self.push(Op::Add, vec![a, b], value, rg))
+    }
+
+    /// Broadcast-adds a `1 x d` bias row to every row of `a`.
+    pub fn add_row_broadcast(&mut self, a: VarId, bias: VarId) -> Result<VarId> {
+        let value = self.value_of(a).add_row_broadcast(self.value_of(bias))?;
+        let rg = self.needs_grad(&[a, bias]);
+        Ok(self.push(Op::AddRowBroadcast, vec![a, bias], value, rg))
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: VarId, b: VarId) -> Result<VarId> {
+        let value = self.value_of(a).sub(self.value_of(b))?;
+        let rg = self.needs_grad(&[a, b]);
+        Ok(self.push(Op::Sub, vec![a, b], value, rg))
+    }
+
+    /// Element-wise product.
+    pub fn hadamard(&mut self, a: VarId, b: VarId) -> Result<VarId> {
+        let value = self.value_of(a).hadamard(self.value_of(b))?;
+        let rg = self.needs_grad(&[a, b]);
+        Ok(self.push(Op::Hadamard, vec![a, b], value, rg))
+    }
+
+    /// Multiplies every element by `alpha`.
+    pub fn scale(&mut self, a: VarId, alpha: f32) -> VarId {
+        let value = self.value_of(a).scale(alpha);
+        let rg = self.needs_grad(&[a]);
+        self.push(Op::Scale(alpha), vec![a], value, rg)
+    }
+
+    /// Adds `delta` to every element.
+    pub fn shift(&mut self, a: VarId, delta: f32) -> VarId {
+        let value = self.value_of(a).shift(delta);
+        let rg = self.needs_grad(&[a]);
+        self.push(Op::Shift(delta), vec![a], value, rg)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: VarId) -> VarId {
+        let value = self.value_of(a).relu();
+        let rg = self.needs_grad(&[a]);
+        self.push(Op::Relu, vec![a], value, rg)
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: VarId) -> VarId {
+        let value = self.value_of(a).softmax_rows();
+        let rg = self.needs_grad(&[a]);
+        self.push(Op::SoftmaxRows, vec![a], value, rg)
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: VarId) -> VarId {
+        let value = self.value_of(a).transpose();
+        let rg = self.needs_grad(&[a]);
+        self.push(Op::Transpose, vec![a], value, rg)
+    }
+
+    /// Horizontal concatenation `[a | b]`.
+    pub fn concat_cols(&mut self, a: VarId, b: VarId) -> Result<VarId> {
+        let value = self.value_of(a).concat_cols(self.value_of(b))?;
+        let rg = self.needs_grad(&[a, b]);
+        Ok(self.push(Op::ConcatCols, vec![a, b], value, rg))
+    }
+
+    /// Column slice `a[:, start..end]`.
+    pub fn slice_cols(&mut self, a: VarId, start: usize, end: usize) -> Result<VarId> {
+        let value = self.value_of(a).slice_cols(start, end)?;
+        let rg = self.needs_grad(&[a]);
+        Ok(self.push(Op::SliceCols { start, end }, vec![a], value, rg))
+    }
+
+    /// Sum of all elements (`1 x 1` result).
+    pub fn sum(&mut self, a: VarId) -> VarId {
+        let value = Matrix::filled(1, 1, self.value_of(a).sum());
+        let rg = self.needs_grad(&[a]);
+        self.push(Op::Sum, vec![a], value, rg)
+    }
+
+    /// Mean of all elements (`1 x 1` result).
+    pub fn mean(&mut self, a: VarId) -> VarId {
+        let value = Matrix::filled(1, 1, self.value_of(a).mean());
+        let rg = self.needs_grad(&[a]);
+        self.push(Op::Mean, vec![a], value, rg)
+    }
+
+    /// Sum of squared elements (`1 x 1` result).
+    pub fn squared_sum(&mut self, a: VarId) -> VarId {
+        let value = Matrix::filled(1, 1, self.value_of(a).squared_norm());
+        let rg = self.needs_grad(&[a]);
+        self.push(Op::SquaredSum, vec![a], value, rg)
+    }
+
+    /// Convenience: masked mean-squared error `sum(((pred - target) ∘ mask)^2) / max(1, Σ mask)`.
+    ///
+    /// `target` and `mask` are inserted as constants, so gradients flow only into `pred`.
+    /// This is exactly the per-batch DQN loss of Eq. 1/3/6 where `mask` selects the entries
+    /// corresponding to the taken actions.
+    pub fn masked_mse(&mut self, pred: VarId, target: &Matrix, mask: &Matrix) -> Result<VarId> {
+        let denom = mask.sum().max(1.0);
+        let t = self.constant(target.clone());
+        let m = self.constant(mask.clone());
+        let diff = self.sub(pred, t)?;
+        let masked = self.hadamard(diff, m)?;
+        let sq = self.squared_sum(masked);
+        Ok(self.scale(sq, 1.0 / denom))
+    }
+
+    /// Value of a node.
+    pub fn value(&self, id: VarId) -> &Matrix {
+        self.value_of(id)
+    }
+
+    /// Gradient accumulated for a node by the last [`backward`](Graph::backward) call, if any.
+    pub fn grad(&self, id: VarId) -> Option<&Matrix> {
+        self.grads[id.0].as_ref()
+    }
+
+    /// Whether a node participates in gradient computation.
+    pub fn requires_grad(&self, id: VarId) -> bool {
+        self.nodes[id.0].requires_grad
+    }
+
+    /// Clears all accumulated gradients (the tape itself is retained).
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            *g = None;
+        }
+    }
+
+    /// Runs the backward pass from `output`, which must be a `1 x 1` scalar node, seeding its
+    /// gradient with 1.0 and accumulating gradients for every differentiable ancestor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `output` is not scalar.
+    pub fn backward(&mut self, output: VarId) -> Result<()> {
+        let shape = self.value_of(output).shape();
+        if shape != (1, 1) {
+            return Err(TensorError::ShapeMismatch {
+                op: "backward (output must be 1x1 scalar)",
+                lhs: shape,
+                rhs: (1, 1),
+            });
+        }
+        self.zero_grads();
+        self.grads[output.0] = Some(Matrix::ones(1, 1));
+        crate::backward::run(self, output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, data: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn eager_forward_values() {
+        let mut g = Graph::new();
+        let a = g.constant(mat(1, 2, &[1.0, 2.0]));
+        let b = g.constant(mat(2, 1, &[3.0, 4.0]));
+        let c = g.matmul(a, b).unwrap();
+        assert_eq!(g.value(c).get(0, 0), 11.0);
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn requires_grad_propagates() {
+        let mut g = Graph::new();
+        let c = g.constant(Matrix::ones(2, 2));
+        let p = g.leaf(Matrix::ones(2, 2));
+        let s1 = g.add(c, c).unwrap();
+        let s2 = g.add(c, p).unwrap();
+        assert!(!g.requires_grad(s1));
+        assert!(g.requires_grad(s2));
+    }
+
+    #[test]
+    fn backward_requires_scalar_output() {
+        let mut g = Graph::new();
+        let p = g.leaf(Matrix::ones(2, 2));
+        let r = g.relu(p);
+        assert!(g.backward(r).is_err());
+        let s = g.sum(r);
+        assert!(g.backward(s).is_ok());
+    }
+
+    #[test]
+    fn constants_get_no_gradient() {
+        let mut g = Graph::new();
+        let c = g.constant(Matrix::ones(1, 2));
+        let p = g.leaf(Matrix::ones(2, 1));
+        let y = g.matmul(c, p).unwrap();
+        let loss = g.squared_sum(y);
+        g.backward(loss).unwrap();
+        assert!(g.grad(c).is_none());
+        assert!(g.grad(p).is_some());
+    }
+
+    #[test]
+    fn masked_mse_matches_manual_computation() {
+        let mut g = Graph::new();
+        let pred = g.leaf(mat(1, 3, &[1.0, 2.0, 3.0]));
+        let target = mat(1, 3, &[0.0, 5.0, 0.0]);
+        let mask = mat(1, 3, &[0.0, 1.0, 0.0]);
+        let loss = g.masked_mse(pred, &target, &mask).unwrap();
+        // Only the middle entry counts: (2 - 5)^2 / 1 = 9.
+        assert!((g.value(loss).get(0, 0) - 9.0).abs() < 1e-5);
+        g.backward(loss).unwrap();
+        let gp = g.grad(pred).unwrap();
+        // d/dpred_1 = 2 * (2 - 5) = -6; masked-out entries get zero gradient.
+        assert!((gp.get(0, 1) + 6.0).abs() < 1e-4);
+        assert_eq!(gp.get(0, 0), 0.0);
+        assert_eq!(gp.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn zero_grads_resets() {
+        let mut g = Graph::new();
+        let p = g.leaf(Matrix::ones(1, 1));
+        let loss = g.squared_sum(p);
+        g.backward(loss).unwrap();
+        assert!(g.grad(p).is_some());
+        g.zero_grads();
+        assert!(g.grad(p).is_none());
+    }
+}

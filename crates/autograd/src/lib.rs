@@ -1,0 +1,42 @@
+//! Tape-based reverse-mode automatic differentiation over [`crowd_tensor::Matrix`].
+//!
+//! The paper's Q-network (Fig. 3/4) is a stack of row-wise feed-forward layers and multi-head
+//! self-attention layers followed by a masked squared-error loss (Eq. 1/3/6). This crate
+//! provides exactly the operation set needed to express that network and differentiate it:
+//! matrix multiplication, transposition, broadcast bias addition, element-wise arithmetic,
+//! ReLU, row-wise softmax, column concatenation/slicing, reductions, and a masked
+//! sum-of-squared-errors loss.
+//!
+//! # Model
+//!
+//! A [`Graph`] is a flat tape of nodes. Values are computed eagerly as ops are inserted
+//! (define-by-run), so the forward pass is just "build the graph". Calling
+//! [`Graph::backward`] on a scalar node walks the tape in reverse and accumulates gradients
+//! for every node that (transitively) depends on a differentiable leaf.
+//!
+//! ```
+//! use crowd_autograd::Graph;
+//! use crowd_tensor::Matrix;
+//!
+//! let mut g = Graph::new();
+//! let x = g.leaf(Matrix::from_vec(1, 2, vec![3.0, -1.0]).unwrap());
+//! let w = g.leaf(Matrix::from_vec(2, 1, vec![2.0, 0.5]).unwrap());
+//! let y = g.matmul(x, w).unwrap();      // y = x @ w = 5.5
+//! let loss = g.squared_sum(y);          // loss = y^2
+//! g.backward(loss).unwrap();
+//! // d loss / d w = 2 * y * x
+//! let gw = g.grad(w).unwrap();
+//! assert!((gw.get(0, 0) - 2.0 * 5.5 * 3.0).abs() < 1e-3);
+//! ```
+
+pub mod backward;
+pub mod gradcheck;
+pub mod graph;
+pub mod op;
+
+pub use graph::{Graph, VarId};
+pub use op::Op;
+
+/// Result alias re-exported from the tensor crate: autograd errors are all shape errors
+/// surfaced by the underlying matrix operations.
+pub type Result<T> = crowd_tensor::Result<T>;

@@ -1,0 +1,107 @@
+//! The operation set recorded on the tape.
+
+/// Identifier of every differentiable operation the graph supports.
+///
+/// Each variant stores only the static parameters of the op (e.g. the scale factor); operand
+/// node ids are stored on the tape node itself so the backward pass can look up operand
+/// values when computing vector-Jacobian products.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// A leaf node holding an externally supplied value (network input, constant mask, or a
+    /// trainable parameter injected by the layer code). Leaves have no inputs.
+    Leaf,
+    /// Matrix product `A @ B`.
+    MatMul,
+    /// Element-wise sum `A + B` (same shapes).
+    Add,
+    /// Adds a `1 x d` row vector to every row of an `n x d` matrix (bias broadcast).
+    AddRowBroadcast,
+    /// Element-wise difference `A - B`.
+    Sub,
+    /// Element-wise (Hadamard) product `A ∘ B`.
+    Hadamard,
+    /// Multiplication by a compile-time scalar.
+    Scale(f32),
+    /// Addition of a compile-time scalar to every element.
+    Shift(f32),
+    /// Rectified linear unit.
+    Relu,
+    /// Row-wise softmax (numerically stabilised).
+    SoftmaxRows,
+    /// Matrix transpose.
+    Transpose,
+    /// Horizontal concatenation `[A | B]`.
+    ConcatCols,
+    /// Column slice `A[:, start..end]`.
+    SliceCols {
+        /// First column (inclusive).
+        start: usize,
+        /// Last column (exclusive).
+        end: usize,
+    },
+    /// Sum of all elements, producing a `1 x 1` matrix.
+    Sum,
+    /// Mean of all elements, producing a `1 x 1` matrix.
+    Mean,
+    /// Sum of squared elements, producing a `1 x 1` matrix. `squared_sum(x) = Σ x²`.
+    SquaredSum,
+}
+
+impl Op {
+    /// Human-readable name, used in error messages and debugging dumps.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Leaf => "leaf",
+            Op::MatMul => "matmul",
+            Op::Add => "add",
+            Op::AddRowBroadcast => "add_row_broadcast",
+            Op::Sub => "sub",
+            Op::Hadamard => "hadamard",
+            Op::Scale(_) => "scale",
+            Op::Shift(_) => "shift",
+            Op::Relu => "relu",
+            Op::SoftmaxRows => "softmax_rows",
+            Op::Transpose => "transpose",
+            Op::ConcatCols => "concat_cols",
+            Op::SliceCols { .. } => "slice_cols",
+            Op::Sum => "sum",
+            Op::Mean => "mean",
+            Op::SquaredSum => "squared_sum",
+        }
+    }
+
+    /// Number of operand nodes this op expects.
+    pub fn arity(&self) -> usize {
+        match self {
+            Op::Leaf => 0,
+            Op::MatMul
+            | Op::Add
+            | Op::AddRowBroadcast
+            | Op::Sub
+            | Op::Hadamard
+            | Op::ConcatCols => 2,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinctive() {
+        assert_eq!(Op::MatMul.name(), "matmul");
+        assert_eq!(Op::SliceCols { start: 0, end: 1 }.name(), "slice_cols");
+        assert_eq!(Op::Scale(2.0).name(), "scale");
+    }
+
+    #[test]
+    fn arity_matches_semantics() {
+        assert_eq!(Op::Leaf.arity(), 0);
+        assert_eq!(Op::MatMul.arity(), 2);
+        assert_eq!(Op::Relu.arity(), 1);
+        assert_eq!(Op::ConcatCols.arity(), 2);
+        assert_eq!(Op::SquaredSum.arity(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Shared plumbing for the baseline policies: objective selection, action construction from
+//! per-task scores, feature assembly and expected quality gain.
+
+use crowd_sim::{Action, ArrivalContext, TaskSnapshot};
+
+/// Which benefit a baseline optimises (the paper evaluates each baseline once per benefit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Benefit {
+    /// Maximise the worker completion rate (Fig. 7).
+    Worker,
+    /// Maximise the requesters' task quality gain (Fig. 8).
+    Requester,
+}
+
+/// Whether the policy assigns one task or shows the full ranked list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListMode {
+    /// Assign exactly one task per arrival.
+    AssignOne,
+    /// Rank every available task.
+    RankAll,
+}
+
+/// Builds an [`Action`] from per-task scores (higher = better), respecting the list mode.
+/// Ties are broken by the original pool order, which keeps results deterministic.
+pub fn action_from_scores(ctx: &ArrivalContext, scores: &[f32], mode: ListMode) -> Action {
+    debug_assert_eq!(scores.len(), ctx.available.len());
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    match mode {
+        ListMode::AssignOne => match order.first() {
+            Some(&best) => Action::Assign(ctx.available[best].id),
+            None => Action::Rank(Vec::new()),
+        },
+        ListMode::RankAll => Action::Rank(order.iter().map(|&i| ctx.available[i].id).collect()),
+    }
+}
+
+/// Concatenates the worker feature with a task feature (and, for the requester benefit, the
+/// worker quality and current task quality) — the same observable information the DQN state
+/// rows carry.
+pub fn pair_feature(ctx: &ArrivalContext, task: &TaskSnapshot, benefit: Benefit) -> Vec<f32> {
+    let mut f = Vec::with_capacity(ctx.worker_feature.len() + task.feature.len() + 2);
+    f.extend_from_slice(&ctx.worker_feature);
+    f.extend_from_slice(&task.feature);
+    if benefit == Benefit::Requester {
+        f.push(ctx.worker_quality);
+        f.push(task.quality);
+    }
+    f
+}
+
+/// Expected Dixit–Stiglitz quality gain (p = 2) if this worker completed this task now:
+/// `sqrt(q_t² + q_w²) − q_t`. Used by the greedy baselines to convert a completion score
+/// into an expected requester benefit.
+pub fn expected_quality_gain(ctx: &ArrivalContext, task: &TaskSnapshot) -> f32 {
+    let q_t = task.quality.max(0.0);
+    let q_w = ctx.worker_quality.max(0.0);
+    (q_t * q_t + q_w * q_w).sqrt() - q_t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_sim::{TaskId, WorkerId};
+
+    pub(crate) fn snapshot(id: u32, quality: f32) -> TaskSnapshot {
+        TaskSnapshot {
+            id: TaskId(id),
+            feature: vec![id as f32, 1.0],
+            quality,
+            award: 5.0,
+            category: 0,
+            domain: 0,
+            deadline: 100,
+            completions: 0,
+        }
+    }
+
+    pub(crate) fn context(n: u32) -> ArrivalContext {
+        ArrivalContext {
+            time: 10,
+            worker_id: WorkerId(3),
+            worker_feature: vec![0.2, 0.8],
+            worker_quality: 0.6,
+            is_new_worker: false,
+            available: (0..n).map(|i| snapshot(i, 0.1 * i as f32)).collect(),
+        }
+    }
+
+    #[test]
+    fn action_from_scores_orders_descending() {
+        let ctx = context(3);
+        let action = action_from_scores(&ctx, &[0.1, 0.9, 0.5], ListMode::RankAll);
+        assert_eq!(
+            action,
+            Action::Rank(vec![TaskId(1), TaskId(2), TaskId(0)])
+        );
+        let single = action_from_scores(&ctx, &[0.1, 0.9, 0.5], ListMode::AssignOne);
+        assert_eq!(single, Action::Assign(TaskId(1)));
+    }
+
+    #[test]
+    fn ties_break_by_pool_order() {
+        let ctx = context(3);
+        let action = action_from_scores(&ctx, &[0.5, 0.5, 0.5], ListMode::RankAll);
+        assert_eq!(
+            action,
+            Action::Rank(vec![TaskId(0), TaskId(1), TaskId(2)])
+        );
+    }
+
+    #[test]
+    fn empty_pool_gives_empty_action() {
+        let ctx = context(0);
+        assert_eq!(
+            action_from_scores(&ctx, &[], ListMode::AssignOne),
+            Action::Rank(Vec::new())
+        );
+    }
+
+    #[test]
+    fn pair_feature_layout() {
+        let ctx = context(1);
+        let worker_only = pair_feature(&ctx, &ctx.available[0], Benefit::Worker);
+        assert_eq!(worker_only, vec![0.2, 0.8, 0.0, 1.0]);
+        let requester = pair_feature(&ctx, &ctx.available[0], Benefit::Requester);
+        assert_eq!(requester, vec![0.2, 0.8, 0.0, 1.0, 0.6, 0.0]);
+    }
+
+    #[test]
+    fn expected_gain_diminishes_with_task_quality() {
+        let ctx = context(2);
+        let fresh = expected_quality_gain(&ctx, &snapshot(0, 0.0));
+        let mature = expected_quality_gain(&ctx, &snapshot(1, 2.0));
+        assert!((fresh - 0.6).abs() < 1e-6);
+        assert!(mature < fresh);
+        assert!(mature > 0.0);
+    }
+}

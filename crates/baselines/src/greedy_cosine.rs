@@ -1,0 +1,122 @@
+//! Greedy + Cosine Similarity baseline (paper Sec. VII-A3).
+//!
+//! The cosine similarity between the worker's feature (distribution of recently completed
+//! tasks) and a task's feature is treated as the completion probability; for the requester
+//! benefit it is multiplied by the expected Dixit–Stiglitz quality gain.
+
+use crate::common::{action_from_scores, expected_quality_gain, Benefit, ListMode};
+use crowd_sim::{Action, ArrivalContext, Policy, PolicyFeedback};
+use crowd_tensor::ops::cosine_slices;
+
+/// The similarity-scoring greedy baseline. It has no trainable model — only the features
+/// themselves evolve (maintained by the platform), so `observe` is a no-op.
+#[derive(Debug, Clone)]
+pub struct GreedyCosine {
+    benefit: Benefit,
+    mode: ListMode,
+    name: &'static str,
+}
+
+impl GreedyCosine {
+    /// Creates the baseline for the given benefit and list mode.
+    pub fn new(benefit: Benefit, mode: ListMode) -> Self {
+        GreedyCosine {
+            benefit,
+            mode,
+            name: match benefit {
+                Benefit::Worker => "Greedy CS",
+                Benefit::Requester => "Greedy CS (r)",
+            },
+        }
+    }
+
+    /// Score of one task for the arriving worker.
+    pub fn score(&self, ctx: &ArrivalContext, task_index: usize) -> f32 {
+        let task = &ctx.available[task_index];
+        let similarity = cosine_slices(&ctx.worker_feature, &task.feature);
+        match self.benefit {
+            Benefit::Worker => similarity,
+            Benefit::Requester => similarity.max(0.0) * expected_quality_gain(ctx, task),
+        }
+    }
+}
+
+impl Policy for GreedyCosine {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn act(&mut self, ctx: &ArrivalContext) -> Action {
+        let scores: Vec<f32> = (0..ctx.available.len()).map(|i| self.score(ctx, i)).collect();
+        action_from_scores(ctx, &scores, self.mode)
+    }
+
+    fn observe(&mut self, _ctx: &ArrivalContext, _feedback: &PolicyFeedback) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_sim::{TaskId, TaskSnapshot, WorkerId};
+
+    fn snapshot(id: u32, feature: Vec<f32>, quality: f32) -> TaskSnapshot {
+        TaskSnapshot {
+            id: TaskId(id),
+            feature,
+            quality,
+            award: 1.0,
+            category: 0,
+            domain: 0,
+            deadline: 10,
+            completions: 0,
+        }
+    }
+
+    fn context() -> ArrivalContext {
+        ArrivalContext {
+            time: 0,
+            worker_id: WorkerId(0),
+            worker_feature: vec![1.0, 0.0, 0.0],
+            worker_quality: 0.8,
+            is_new_worker: false,
+            available: vec![
+                snapshot(0, vec![1.0, 0.0, 0.0], 0.0), // identical to worker history
+                snapshot(1, vec![0.0, 1.0, 0.0], 0.0), // orthogonal
+                snapshot(2, vec![0.7, 0.7, 0.0], 0.0), // in between
+            ],
+        }
+    }
+
+    #[test]
+    fn worker_benefit_ranks_by_similarity() {
+        let mut p = GreedyCosine::new(Benefit::Worker, ListMode::RankAll);
+        match p.act(&context()) {
+            Action::Rank(list) => assert_eq!(list, vec![TaskId(0), TaskId(2), TaskId(1)]),
+            _ => panic!("expected rank"),
+        }
+        assert_eq!(p.name(), "Greedy CS");
+    }
+
+    #[test]
+    fn requester_benefit_prefers_low_quality_tasks_for_equal_similarity() {
+        // Two identical-similarity tasks, one already high quality: the fresh task promises
+        // a larger marginal gain and must rank first.
+        let mut ctx = context();
+        ctx.available = vec![
+            snapshot(0, vec![1.0, 0.0, 0.0], 2.0),
+            snapshot(1, vec![1.0, 0.0, 0.0], 0.0),
+        ];
+        let mut p = GreedyCosine::new(Benefit::Requester, ListMode::AssignOne);
+        assert_eq!(p.act(&ctx), Action::Assign(TaskId(1)));
+    }
+
+    #[test]
+    fn cold_start_worker_scores_zero_everywhere() {
+        let mut ctx = context();
+        ctx.worker_feature = vec![0.0, 0.0, 0.0];
+        let p = GreedyCosine::new(Benefit::Worker, ListMode::RankAll);
+        for i in 0..ctx.available.len() {
+            assert_eq!(p.score(&ctx, i), 0.0);
+        }
+    }
+}

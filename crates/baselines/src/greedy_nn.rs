@@ -1,0 +1,243 @@
+//! Greedy + Neural Network baseline (paper Sec. VII-A3).
+//!
+//! A two-hidden-layer MLP maps `[worker feature | task feature (| qualities)]` to a predicted
+//! completion probability (worker benefit) or quality gain (requester benefit). Training
+//! examples accumulate from feedback and the model is retrained at the end of each simulated
+//! day — the supervised update regime the paper contrasts with the RL methods' real-time
+//! updates.
+
+use crate::common::{action_from_scores, pair_feature, Benefit, ListMode};
+use crowd_nn::Mlp;
+use crowd_sim::{Action, ArrivalContext, Policy, PolicyFeedback};
+use crowd_tensor::{Matrix, Rng};
+
+/// Upper bound on retained training examples (oldest are dropped), keeping daily retraining
+/// bounded like a sliding window over recent history.
+const MAX_EXAMPLES: usize = 20_000;
+
+/// The daily-retrained MLP baseline.
+#[derive(Debug)]
+pub struct GreedyNn {
+    benefit: Benefit,
+    mode: ListMode,
+    model: Option<Mlp>,
+    feature_dim: Option<usize>,
+    hidden: Vec<usize>,
+    examples: Vec<(Vec<f32>, f32)>,
+    epochs: usize,
+    rng: Rng,
+    name: &'static str,
+}
+
+impl GreedyNn {
+    /// Creates the baseline with the paper's two hidden layers.
+    pub fn new(benefit: Benefit, mode: ListMode, seed: u64) -> Self {
+        GreedyNn {
+            benefit,
+            mode,
+            model: None,
+            feature_dim: None,
+            hidden: vec![32, 32],
+            examples: Vec::new(),
+            epochs: 3,
+            rng: Rng::seed_from(seed),
+            name: match benefit {
+                Benefit::Worker => "Greedy NN",
+                Benefit::Requester => "Greedy NN (r)",
+            },
+        }
+    }
+
+    /// Number of stored training examples.
+    pub fn n_examples(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Whether the model has been trained at least once.
+    pub fn is_trained(&self) -> bool {
+        self.model.is_some()
+    }
+
+    fn ensure_model(&mut self, dim: usize) {
+        if self.feature_dim != Some(dim) {
+            self.feature_dim = Some(dim);
+            self.model = None;
+        }
+    }
+
+    fn retrain(&mut self) {
+        let Some(dim) = self.feature_dim else { return };
+        if self.examples.is_empty() {
+            return;
+        }
+        let rows: Vec<Vec<f32>> = self.examples.iter().map(|(f, _)| f.clone()).collect();
+        let targets: Vec<f32> = self.examples.iter().map(|(_, y)| *y).collect();
+        let x = Matrix::from_rows(&rows).expect("rectangular training matrix");
+        let mut model = Mlp::new(dim, &self.hidden, 0.005, &mut self.rng);
+        model
+            .fit(&x, &targets, self.epochs, 64, &mut self.rng)
+            .expect("MLP training failed");
+        self.model = Some(model);
+    }
+}
+
+impl Policy for GreedyNn {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn act(&mut self, ctx: &ArrivalContext) -> Action {
+        if ctx.available.is_empty() {
+            return Action::Rank(Vec::new());
+        }
+        let rows: Vec<Vec<f32>> = ctx
+            .available
+            .iter()
+            .map(|t| pair_feature(ctx, t, self.benefit))
+            .collect();
+        self.ensure_model(rows[0].len());
+        let scores = match &self.model {
+            Some(model) => {
+                let x = Matrix::from_rows(&rows).expect("rectangular inference matrix");
+                model.predict(&x).expect("MLP prediction failed")
+            }
+            // Untrained model: fall back to a neutral score (ties break by pool order).
+            None => vec![0.0; rows.len()],
+        };
+        action_from_scores(ctx, &scores, self.mode)
+    }
+
+    fn observe(&mut self, ctx: &ArrivalContext, feedback: &PolicyFeedback) {
+        // Positive example for the completed task, negatives for the tasks the worker scanned
+        // and skipped (the ones ranked above the completed position).
+        let negatives_end = match feedback.completed {
+            Some((_, pos)) => pos,
+            None => feedback.shown.len().min(8),
+        };
+        fn push(this: &mut GreedyNn, ctx: &ArrivalContext, task_id: crowd_sim::TaskId, label: f32) {
+            if let Some(pos) = ctx.position_of(task_id) {
+                let f = pair_feature(ctx, &ctx.available[pos], this.benefit);
+                this.ensure_model(f.len());
+                if this.examples.len() >= MAX_EXAMPLES {
+                    this.examples.remove(0);
+                }
+                this.examples.push((f, label));
+            }
+        }
+        if let Some((task, _)) = feedback.completed {
+            let label = match self.benefit {
+                Benefit::Worker => 1.0,
+                Benefit::Requester => feedback.quality_gain,
+            };
+            push(self, ctx, task, label);
+        }
+        for &task in feedback.shown.iter().take(negatives_end) {
+            push(self, ctx, task, 0.0);
+        }
+    }
+
+    fn end_of_day(&mut self, _day: usize) {
+        self.retrain();
+    }
+
+    fn warm_start(&mut self, history: &[(ArrivalContext, PolicyFeedback)]) {
+        for (ctx, feedback) in history {
+            self.observe(ctx, feedback);
+        }
+        self.retrain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_sim::{TaskId, TaskSnapshot, WorkerId};
+
+    fn snapshot(id: u32, feature: Vec<f32>) -> TaskSnapshot {
+        TaskSnapshot {
+            id: TaskId(id),
+            feature,
+            quality: 0.0,
+            award: 1.0,
+            category: 0,
+            domain: 0,
+            deadline: 100,
+            completions: 0,
+        }
+    }
+
+    /// Worker likes "category 0" tasks (feature [1,0]); builds a context with one liked and
+    /// one disliked task.
+    fn context() -> ArrivalContext {
+        ArrivalContext {
+            time: 0,
+            worker_id: WorkerId(0),
+            worker_feature: vec![1.0, 0.0],
+            worker_quality: 0.5,
+            is_new_worker: false,
+            available: vec![snapshot(0, vec![1.0, 0.0]), snapshot(1, vec![0.0, 1.0])],
+        }
+    }
+
+    fn feedback(ctx: &ArrivalContext, completed: Option<(u32, usize)>) -> PolicyFeedback {
+        PolicyFeedback {
+            time: 0,
+            worker_id: ctx.worker_id,
+            worker_quality: ctx.worker_quality,
+            shown: ctx.available.iter().map(|t| t.id).collect(),
+            completed: completed.map(|(id, pos)| (TaskId(id), pos)),
+            quality_gain: if completed.is_some() { 0.5 } else { 0.0 },
+            worker_feature_before: ctx.worker_feature.clone(),
+            worker_feature_after: ctx.worker_feature.clone(),
+        }
+    }
+
+    #[test]
+    fn untrained_model_still_acts() {
+        let mut p = GreedyNn::new(Benefit::Worker, ListMode::RankAll, 0);
+        assert!(!p.is_trained());
+        match p.act(&context()) {
+            Action::Rank(list) => assert_eq!(list.len(), 2),
+            _ => panic!("expected rank"),
+        }
+    }
+
+    #[test]
+    fn learns_worker_preference_after_daily_retrain() {
+        let mut p = GreedyNn::new(Benefit::Worker, ListMode::AssignOne, 1);
+        let ctx = context();
+        // The worker repeatedly completes the liked task (shown at position 1 sometimes so
+        // negatives for the disliked task are generated too).
+        for _ in 0..60 {
+            p.observe(&ctx, &feedback(&ctx, Some((0, 0))));
+            let mut swapped = ctx.clone();
+            swapped.available.reverse();
+            p.observe(&swapped, &feedback(&swapped, Some((0, 1))));
+        }
+        assert!(p.n_examples() > 100);
+        p.end_of_day(0);
+        assert!(p.is_trained());
+        assert_eq!(p.act(&ctx), Action::Assign(TaskId(0)));
+    }
+
+    #[test]
+    fn warm_start_trains_immediately() {
+        let ctx = context();
+        let history: Vec<_> = (0..40)
+            .map(|_| (ctx.clone(), feedback(&ctx, Some((0, 0)))))
+            .collect();
+        let mut p = GreedyNn::new(Benefit::Worker, ListMode::AssignOne, 2);
+        p.warm_start(&history);
+        assert!(p.is_trained());
+    }
+
+    #[test]
+    fn example_buffer_is_bounded() {
+        let mut p = GreedyNn::new(Benefit::Requester, ListMode::RankAll, 3);
+        let ctx = context();
+        for _ in 0..(MAX_EXAMPLES / 2 + 10) {
+            p.observe(&ctx, &feedback(&ctx, Some((0, 1))));
+        }
+        assert!(p.n_examples() <= MAX_EXAMPLES);
+    }
+}

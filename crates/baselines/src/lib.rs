@@ -1,0 +1,28 @@
+//! Baseline task-arrangement policies from the paper's evaluation (Sec. VII-A3).
+//!
+//! | Paper name | Type | Update regime |
+//! |---|---|---|
+//! | Random | no model | — |
+//! | Taskrec (PMF) | probabilistic matrix factorization over worker/task/category | retrained daily |
+//! | Greedy + Cosine Similarity | similarity scoring | feature updates only |
+//! | Greedy + Neural Network | two-hidden-layer MLP | retrained daily |
+//! | SpatialUCB / LinUCB | contextual linear bandit with UCB exploration | updated per feedback |
+//!
+//! Every baseline implements [`crowd_sim::Policy`] and supports both the single-assignment
+//! and ranked-list settings, plus the worker-benefit and requester-benefit objectives (the
+//! latter by scoring expected quality gain instead of completion probability, exactly as the
+//! paper adapts each baseline).
+
+pub mod common;
+pub mod greedy_cosine;
+pub mod greedy_nn;
+pub mod linucb;
+pub mod random_policy;
+pub mod taskrec;
+
+pub use common::{Benefit, ListMode};
+pub use greedy_cosine::GreedyCosine;
+pub use greedy_nn::GreedyNn;
+pub use linucb::LinUcb;
+pub use random_policy::RandomPolicy;
+pub use taskrec::Taskrec;

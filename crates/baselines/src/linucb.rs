@@ -1,0 +1,252 @@
+//! SpatialUCB / LinUCB baseline (paper Sec. VII-A3, adapting Hassan & Curry's multi-armed
+//! bandit spatial assignment and Li et al.'s LinUCB).
+//!
+//! A single ridge-regression model over the joint worker–task feature `x` estimates the
+//! expected reward; the score of a task is the upper confidence bound
+//! `θᵀx + α·sqrt(xᵀ A⁻¹ x)` where `A = λI + Σ x xᵀ`. The model is updated after every
+//! feedback (real-time regime), with `A⁻¹` maintained incrementally via Sherman–Morrison.
+
+use crate::common::{action_from_scores, pair_feature, Benefit, ListMode};
+use crowd_sim::{Action, ArrivalContext, Policy, PolicyFeedback};
+use crowd_tensor::ops::dot_slices;
+use crowd_tensor::Matrix;
+
+/// The LinUCB contextual-bandit baseline.
+#[derive(Debug, Clone)]
+pub struct LinUcb {
+    benefit: Benefit,
+    mode: ListMode,
+    /// Exploration strength α.
+    alpha: f32,
+    /// Inverse design matrix A⁻¹ (lazily sized on the first context).
+    a_inv: Option<Matrix>,
+    /// Reward-weighted feature sum b.
+    b: Vec<f32>,
+    /// Cached θ = A⁻¹ b, refreshed after every update.
+    theta: Vec<f32>,
+    updates: u64,
+    name: &'static str,
+}
+
+impl LinUcb {
+    /// Creates the baseline with exploration strength `alpha` (0.5 is a reasonable default).
+    pub fn new(benefit: Benefit, mode: ListMode, alpha: f32) -> Self {
+        LinUcb {
+            benefit,
+            mode,
+            alpha,
+            a_inv: None,
+            b: Vec::new(),
+            theta: Vec::new(),
+            updates: 0,
+            name: match benefit {
+                Benefit::Worker => "LinUCB",
+                Benefit::Requester => "LinUCB (r)",
+            },
+        }
+    }
+
+    /// Number of feedback updates applied.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    fn ensure_dim(&mut self, dim: usize) {
+        let needs_reset = match &self.a_inv {
+            Some(a) => a.rows() != dim,
+            None => true,
+        };
+        if needs_reset {
+            // Ridge prior λ = 1 ⇒ A = I ⇒ A⁻¹ = I.
+            self.a_inv = Some(Matrix::identity(dim));
+            self.b = vec![0.0; dim];
+            self.theta = vec![0.0; dim];
+        }
+    }
+
+    /// UCB score for a feature vector.
+    fn ucb(&self, x: &[f32]) -> f32 {
+        let Some(a_inv) = &self.a_inv else { return 0.0 };
+        let mean = dot_slices(&self.theta, x);
+        // variance = xᵀ A⁻¹ x.
+        let mut ax = vec![0.0f32; x.len()];
+        for (i, ax_i) in ax.iter_mut().enumerate() {
+            *ax_i = dot_slices(a_inv.row(i), x);
+        }
+        let variance = dot_slices(&ax, x).max(0.0);
+        mean + self.alpha * variance.sqrt()
+    }
+
+    /// Sherman–Morrison update of A⁻¹ and b with one observation `(x, reward)`, then refresh
+    /// θ.
+    fn update(&mut self, x: &[f32], reward: f32) {
+        self.ensure_dim(x.len());
+        let a_inv = self.a_inv.as_mut().expect("initialised above");
+        // u = A⁻¹ x
+        let dim = x.len();
+        let mut u = vec![0.0f32; dim];
+        for (i, u_i) in u.iter_mut().enumerate() {
+            *u_i = dot_slices(a_inv.row(i), x);
+        }
+        let denom = 1.0 + dot_slices(x, &u);
+        // A⁻¹ ← A⁻¹ − (u uᵀ) / denom   (A⁻¹ is symmetric, so A⁻¹x = xᵀA⁻¹).
+        for i in 0..dim {
+            for j in 0..dim {
+                let v = a_inv.get(i, j) - u[i] * u[j] / denom;
+                a_inv.set(i, j, v);
+            }
+        }
+        for (b_i, &x_i) in self.b.iter_mut().zip(x) {
+            *b_i += reward * x_i;
+        }
+        // θ = A⁻¹ b.
+        let a_inv = self.a_inv.as_ref().expect("initialised above");
+        self.theta = (0..dim).map(|i| dot_slices(a_inv.row(i), &self.b)).collect();
+        self.updates += 1;
+    }
+}
+
+impl Policy for LinUcb {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn act(&mut self, ctx: &ArrivalContext) -> Action {
+        if ctx.available.is_empty() {
+            return Action::Rank(Vec::new());
+        }
+        let features: Vec<Vec<f32>> = ctx
+            .available
+            .iter()
+            .map(|t| pair_feature(ctx, t, self.benefit))
+            .collect();
+        self.ensure_dim(features[0].len());
+        let scores: Vec<f32> = features.iter().map(|x| self.ucb(x)).collect();
+        action_from_scores(ctx, &scores, self.mode)
+    }
+
+    fn observe(&mut self, ctx: &ArrivalContext, feedback: &PolicyFeedback) {
+        let negatives_end = match feedback.completed {
+            Some((_, pos)) => pos,
+            None => feedback.shown.len().min(8),
+        };
+        let mut updates: Vec<(Vec<f32>, f32)> = Vec::new();
+        if let Some((task, _)) = feedback.completed {
+            if let Some(pos) = ctx.position_of(task) {
+                let reward = match self.benefit {
+                    Benefit::Worker => 1.0,
+                    Benefit::Requester => feedback.quality_gain,
+                };
+                updates.push((pair_feature(ctx, &ctx.available[pos], self.benefit), reward));
+            }
+        }
+        for &task in feedback.shown.iter().take(negatives_end) {
+            if let Some(pos) = ctx.position_of(task) {
+                updates.push((pair_feature(ctx, &ctx.available[pos], self.benefit), 0.0));
+            }
+        }
+        for (x, reward) in updates {
+            self.update(&x, reward);
+        }
+    }
+
+    fn warm_start(&mut self, history: &[(ArrivalContext, PolicyFeedback)]) {
+        for (ctx, feedback) in history {
+            self.observe(ctx, feedback);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_sim::{TaskId, TaskSnapshot, WorkerId};
+
+    fn snapshot(id: u32, feature: Vec<f32>) -> TaskSnapshot {
+        TaskSnapshot {
+            id: TaskId(id),
+            feature,
+            quality: 0.0,
+            award: 1.0,
+            category: 0,
+            domain: 0,
+            deadline: 100,
+            completions: 0,
+        }
+    }
+
+    fn context() -> ArrivalContext {
+        ArrivalContext {
+            time: 0,
+            worker_id: WorkerId(0),
+            worker_feature: vec![1.0, 0.0],
+            worker_quality: 0.7,
+            is_new_worker: false,
+            available: vec![snapshot(0, vec![1.0, 0.0]), snapshot(1, vec![0.0, 1.0])],
+        }
+    }
+
+    fn feedback(ctx: &ArrivalContext, completed: Option<(u32, usize)>, gain: f32) -> PolicyFeedback {
+        PolicyFeedback {
+            time: 0,
+            worker_id: ctx.worker_id,
+            worker_quality: ctx.worker_quality,
+            shown: ctx.available.iter().map(|t| t.id).collect(),
+            completed: completed.map(|(id, pos)| (TaskId(id), pos)),
+            quality_gain: gain,
+            worker_feature_before: ctx.worker_feature.clone(),
+            worker_feature_after: ctx.worker_feature.clone(),
+        }
+    }
+
+    #[test]
+    fn untrained_scores_are_purely_exploratory() {
+        let mut p = LinUcb::new(Benefit::Worker, ListMode::RankAll, 0.5);
+        match p.act(&context()) {
+            Action::Rank(list) => assert_eq!(list.len(), 2),
+            _ => panic!("expected rank"),
+        }
+        assert_eq!(p.updates(), 0);
+    }
+
+    #[test]
+    fn learns_rewarded_context_in_real_time() {
+        let mut p = LinUcb::new(Benefit::Worker, ListMode::AssignOne, 0.1);
+        let ctx = context();
+        // Task 0 (matching the worker) is always completed, task 1 never.
+        for _ in 0..50 {
+            p.observe(&ctx, &feedback(&ctx, Some((0, 0)), 0.0));
+            p.observe(&ctx, &feedback(&ctx, None, 0.0));
+        }
+        assert!(p.updates() > 50);
+        assert_eq!(p.act(&ctx), Action::Assign(TaskId(0)));
+    }
+
+    #[test]
+    fn requester_variant_uses_quality_gain_as_reward() {
+        let mut p = LinUcb::new(Benefit::Requester, ListMode::AssignOne, 0.1);
+        let mut ctx = context();
+        // Make features identical so only the learned reward distinguishes the tasks; then
+        // reward completion of task 1 with a big quality gain.
+        ctx.available = vec![snapshot(0, vec![1.0, 0.0]), snapshot(1, vec![0.0, 1.0])];
+        for _ in 0..60 {
+            p.observe(&ctx, &feedback(&ctx, Some((1, 0)), 0.9));
+            p.observe(&ctx, &feedback(&ctx, Some((0, 0)), 0.05));
+        }
+        assert_eq!(p.act(&ctx), Action::Assign(TaskId(1)));
+        assert_eq!(p.name(), "LinUCB (r)");
+    }
+
+    #[test]
+    fn ucb_bonus_shrinks_with_observations() {
+        let mut p = LinUcb::new(Benefit::Worker, ListMode::AssignOne, 1.0);
+        let x = vec![1.0, 0.0, 0.0, 0.0];
+        p.ensure_dim(4);
+        let before = p.ucb(&x);
+        for _ in 0..30 {
+            p.update(&x, 0.0);
+        }
+        let after = p.ucb(&x);
+        assert!(after < before, "UCB bonus should shrink: {before} -> {after}");
+    }
+}

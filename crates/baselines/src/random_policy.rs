@@ -1,0 +1,104 @@
+//! The Random baseline: picks a task (or orders the pool) uniformly at random.
+
+use crate::common::{action_from_scores, ListMode};
+use crowd_sim::{Action, ArrivalContext, Policy, PolicyFeedback};
+use crowd_tensor::Rng;
+
+/// Uniformly random task arrangement — the paper's weakest baseline.
+#[derive(Debug)]
+pub struct RandomPolicy {
+    mode: ListMode,
+    rng: Rng,
+}
+
+impl RandomPolicy {
+    /// Creates the policy with its own RNG stream.
+    pub fn new(mode: ListMode, seed: u64) -> Self {
+        RandomPolicy {
+            mode,
+            rng: Rng::seed_from(seed),
+        }
+    }
+}
+
+impl Policy for RandomPolicy {
+    fn name(&self) -> &str {
+        "Random"
+    }
+
+    fn act(&mut self, ctx: &ArrivalContext) -> Action {
+        let scores: Vec<f32> = (0..ctx.available.len()).map(|_| self.rng.unit()).collect();
+        action_from_scores(ctx, &scores, self.mode)
+    }
+
+    fn observe(&mut self, _ctx: &ArrivalContext, _feedback: &PolicyFeedback) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_sim::{TaskId, TaskSnapshot, WorkerId};
+
+    fn context(n: u32) -> ArrivalContext {
+        ArrivalContext {
+            time: 0,
+            worker_id: WorkerId(0),
+            worker_feature: vec![0.0],
+            worker_quality: 0.5,
+            is_new_worker: false,
+            available: (0..n)
+                .map(|i| TaskSnapshot {
+                    id: TaskId(i),
+                    feature: vec![0.0],
+                    quality: 0.0,
+                    award: 1.0,
+                    category: 0,
+                    domain: 0,
+                    deadline: 10,
+                    completions: 0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn rank_mode_produces_permutations_that_vary() {
+        let mut p = RandomPolicy::new(ListMode::RankAll, 1);
+        let ctx = context(6);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..20 {
+            match p.act(&ctx) {
+                Action::Rank(list) => {
+                    assert_eq!(list.len(), 6);
+                    let mut sorted = list.clone();
+                    sorted.sort();
+                    sorted.dedup();
+                    assert_eq!(sorted.len(), 6);
+                    seen.insert(list);
+                }
+                _ => panic!("expected rank"),
+            }
+        }
+        assert!(seen.len() > 5, "random rankings should vary");
+    }
+
+    #[test]
+    fn assign_mode_covers_all_tasks_eventually() {
+        let mut p = RandomPolicy::new(ListMode::AssignOne, 2);
+        let ctx = context(4);
+        let mut hit = [false; 4];
+        for _ in 0..200 {
+            if let Action::Assign(t) = p.act(&ctx) {
+                hit[t.0 as usize] = true;
+            }
+        }
+        assert!(hit.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn empty_pool_is_handled() {
+        let mut p = RandomPolicy::new(ListMode::RankAll, 3);
+        assert_eq!(p.act(&context(0)), Action::Rank(Vec::new()));
+        assert_eq!(p.name(), "Random");
+    }
+}

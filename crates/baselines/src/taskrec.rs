@@ -1,0 +1,313 @@
+//! Taskrec baseline (Yuen, King & Leung 2015 — the paper's \[33\]): a unified probabilistic
+//! matrix factorization over the worker–task, worker–category and task–category relations.
+//!
+//! Latent factors `U_w`, `V_t`, `C_c` are fit by SGD on the observed completions (implicit
+//! positive feedback), the skipped-but-shown tasks (implicit negatives), the worker–category
+//! completion counts and the task–category memberships. Prediction of the completion
+//! probability of task `t` for worker `w` is `U_w · V_t`, falling back to `U_w · C_{cat(t)}`
+//! for tasks with no interaction history (the usual cold-start path, important here because
+//! tasks churn constantly). Taskrec only models the worker benefit, exactly as in the paper
+//! (it is absent from the requester-benefit comparison).
+
+use crate::common::{action_from_scores, ListMode};
+use crowd_sim::{Action, ArrivalContext, Policy, PolicyFeedback, TaskId, WorkerId};
+use crowd_tensor::ops::dot_slices;
+use crowd_tensor::Rng;
+use std::collections::HashMap;
+
+/// Maximum retained interaction triples (oldest dropped) so daily retraining stays bounded.
+const MAX_INTERACTIONS: usize = 40_000;
+
+/// The PMF-based task recommendation baseline.
+#[derive(Debug)]
+pub struct Taskrec {
+    mode: ListMode,
+    factors: usize,
+    learning_rate: f32,
+    regularization: f32,
+    epochs: usize,
+    rng: Rng,
+    worker_index: HashMap<WorkerId, usize>,
+    task_index: HashMap<TaskId, usize>,
+    task_category: Vec<u16>,
+    worker_factors: Vec<Vec<f32>>,
+    task_factors: Vec<Vec<f32>>,
+    category_factors: HashMap<u16, Vec<f32>>,
+    /// (worker, task, category, label) interactions observed so far.
+    interactions: Vec<(usize, usize, u16, f32)>,
+    trained: bool,
+}
+
+impl Taskrec {
+    /// Creates the baseline with the given latent dimensionality.
+    pub fn new(mode: ListMode, factors: usize, seed: u64) -> Self {
+        Taskrec {
+            mode,
+            factors: factors.max(2),
+            learning_rate: 0.05,
+            regularization: 0.02,
+            epochs: 4,
+            rng: Rng::seed_from(seed),
+            worker_index: HashMap::new(),
+            task_index: HashMap::new(),
+            task_category: Vec::new(),
+            worker_factors: Vec::new(),
+            task_factors: Vec::new(),
+            category_factors: HashMap::new(),
+            interactions: Vec::new(),
+            trained: false,
+        }
+    }
+
+    /// Number of stored interactions.
+    pub fn n_interactions(&self) -> usize {
+        self.interactions.len()
+    }
+
+    /// Whether at least one retraining pass has run.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    fn random_factors(factors: usize, rng: &mut Rng) -> Vec<f32> {
+        (0..factors).map(|_| rng.normal(0.0, 0.1)).collect()
+    }
+
+    fn worker_slot(&mut self, worker: WorkerId) -> usize {
+        if let Some(&idx) = self.worker_index.get(&worker) {
+            return idx;
+        }
+        let idx = self.worker_factors.len();
+        self.worker_factors
+            .push(Self::random_factors(self.factors, &mut self.rng));
+        self.worker_index.insert(worker, idx);
+        idx
+    }
+
+    fn task_slot(&mut self, task: TaskId, category: u16) -> usize {
+        if let Some(&idx) = self.task_index.get(&task) {
+            return idx;
+        }
+        let idx = self.task_factors.len();
+        self.task_factors
+            .push(Self::random_factors(self.factors, &mut self.rng));
+        self.task_category.push(category);
+        self.task_index.insert(task, idx);
+        idx
+    }
+
+    fn sgd_pair(u: &mut [f32], v: &mut [f32], label: f32, lr: f32, reg: f32) {
+        let pred = dot_slices(u, v);
+        let err = label - pred;
+        for i in 0..u.len() {
+            let (ui, vi) = (u[i], v[i]);
+            u[i] += lr * (err * vi - reg * ui);
+            v[i] += lr * (err * ui - reg * vi);
+        }
+    }
+
+    fn retrain(&mut self) {
+        if self.interactions.is_empty() {
+            return;
+        }
+        let lr = self.learning_rate;
+        let reg = self.regularization;
+        let mut order: Vec<usize> = (0..self.interactions.len()).collect();
+        for _ in 0..self.epochs {
+            self.rng.shuffle(&mut order);
+            for &i in &order {
+                let (w, t, category, label) = self.interactions[i];
+                // Worker–task relation.
+                {
+                    let (workers, tasks) = (&mut self.worker_factors, &mut self.task_factors);
+                    Self::sgd_pair(&mut workers[w], &mut tasks[t], label, lr, reg);
+                }
+                // Worker–category relation (a completion links the worker to the category).
+                {
+                    let factors = self.factors;
+                    let rngref = &mut self.rng;
+                    let cat = self
+                        .category_factors
+                        .entry(category)
+                        .or_insert_with(|| Self::random_factors(factors, rngref));
+                    Self::sgd_pair(&mut self.worker_factors[w], cat, label, lr, reg);
+                }
+                // Task–category membership is always a positive relation.
+                {
+                    let factors = self.factors;
+                    let rngref = &mut self.rng;
+                    let cat = self
+                        .category_factors
+                        .entry(category)
+                        .or_insert_with(|| Self::random_factors(factors, rngref));
+                    Self::sgd_pair(&mut self.task_factors[t], cat, 1.0, lr, reg);
+                }
+            }
+        }
+        self.trained = true;
+    }
+
+    /// Predicted completion propensity of a task for a worker.
+    fn score(&self, worker: WorkerId, task: TaskId, category: u16) -> f32 {
+        let Some(&w) = self.worker_index.get(&worker) else {
+            return 0.0;
+        };
+        let worker_factors = &self.worker_factors[w];
+        if let Some(&t) = self.task_index.get(&task) {
+            return dot_slices(worker_factors, &self.task_factors[t]);
+        }
+        // Cold-start task: fall back to the worker–category affinity.
+        match self.category_factors.get(&category) {
+            Some(cat) => dot_slices(worker_factors, cat),
+            None => 0.0,
+        }
+    }
+}
+
+impl Policy for Taskrec {
+    fn name(&self) -> &str {
+        "Taskrec"
+    }
+
+    fn act(&mut self, ctx: &ArrivalContext) -> Action {
+        let scores: Vec<f32> = ctx
+            .available
+            .iter()
+            .map(|t| self.score(ctx.worker_id, t.id, t.category))
+            .collect();
+        action_from_scores(ctx, &scores, self.mode)
+    }
+
+    fn observe(&mut self, ctx: &ArrivalContext, feedback: &PolicyFeedback) {
+        let negatives_end = match feedback.completed {
+            Some((_, pos)) => pos,
+            None => feedback.shown.len().min(8),
+        };
+        let w = self.worker_slot(ctx.worker_id);
+        let record = |this: &mut Self, task_id: TaskId, label: f32| {
+            if let Some(pos) = ctx.position_of(task_id) {
+                let category = ctx.available[pos].category;
+                let t = this.task_slot(task_id, category);
+                if this.interactions.len() >= MAX_INTERACTIONS {
+                    this.interactions.remove(0);
+                }
+                this.interactions.push((w, t, category, label));
+            }
+        };
+        if let Some((task, _)) = feedback.completed {
+            record(self, task, 1.0);
+        }
+        for &task in feedback.shown.iter().take(negatives_end) {
+            record(self, task, 0.0);
+        }
+    }
+
+    fn end_of_day(&mut self, _day: usize) {
+        self.retrain();
+    }
+
+    fn warm_start(&mut self, history: &[(ArrivalContext, PolicyFeedback)]) {
+        for (ctx, feedback) in history {
+            self.observe(ctx, feedback);
+        }
+        self.retrain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_sim::TaskSnapshot;
+
+    fn snapshot(id: u32, category: u16) -> TaskSnapshot {
+        TaskSnapshot {
+            id: TaskId(id),
+            feature: vec![0.0],
+            quality: 0.0,
+            award: 1.0,
+            category,
+            domain: 0,
+            deadline: 100,
+            completions: 0,
+        }
+    }
+
+    fn context(worker: u32, tasks: &[(u32, u16)]) -> ArrivalContext {
+        ArrivalContext {
+            time: 0,
+            worker_id: WorkerId(worker),
+            worker_feature: vec![0.0],
+            worker_quality: 0.5,
+            is_new_worker: false,
+            available: tasks.iter().map(|&(id, c)| snapshot(id, c)).collect(),
+        }
+    }
+
+    fn feedback(ctx: &ArrivalContext, completed: Option<(u32, usize)>) -> PolicyFeedback {
+        PolicyFeedback {
+            time: 0,
+            worker_id: ctx.worker_id,
+            worker_quality: 0.5,
+            shown: ctx.available.iter().map(|t| t.id).collect(),
+            completed: completed.map(|(id, pos)| (TaskId(id), pos)),
+            quality_gain: 0.0,
+            worker_feature_before: vec![],
+            worker_feature_after: vec![],
+        }
+    }
+
+    #[test]
+    fn unknown_worker_scores_zero() {
+        let mut p = Taskrec::new(ListMode::RankAll, 4, 0);
+        let ctx = context(9, &[(0, 0), (1, 1)]);
+        match p.act(&ctx) {
+            Action::Rank(list) => assert_eq!(list.len(), 2),
+            _ => panic!("expected rank"),
+        }
+        assert!(!p.is_trained());
+    }
+
+    #[test]
+    fn learns_worker_category_preference_and_generalises_to_new_tasks() {
+        let mut p = Taskrec::new(ListMode::AssignOne, 6, 1);
+        // Worker 0 always completes category-0 tasks shown together with category-1 tasks.
+        for i in 0..80u32 {
+            let ctx = context(0, &[(2 * i, 0), (2 * i + 1, 1)]);
+            let completed_first = i % 2 == 0;
+            let fb = if completed_first {
+                feedback(&ctx, Some((2 * i, 0)))
+            } else {
+                // Sometimes the liked task is ranked second so the disliked one becomes an
+                // explicit negative.
+                feedback(&ctx, Some((2 * i, 1)))
+            };
+            p.observe(&ctx, &fb);
+        }
+        p.end_of_day(0);
+        assert!(p.is_trained());
+        assert!(p.n_interactions() > 80);
+        // Brand-new tasks (never seen ids) from the two categories: category 0 must win via
+        // the category factors.
+        let ctx = context(0, &[(9_000, 1), (9_001, 0)]);
+        assert_eq!(p.act(&ctx), Action::Assign(TaskId(9_001)));
+    }
+
+    #[test]
+    fn interaction_buffer_is_bounded() {
+        let mut p = Taskrec::new(ListMode::RankAll, 2, 2);
+        let ctx = context(0, &[(0, 0), (1, 1)]);
+        for _ in 0..(MAX_INTERACTIONS / 2 + 5) {
+            p.observe(&ctx, &feedback(&ctx, Some((0, 1))));
+        }
+        assert!(p.n_interactions() <= MAX_INTERACTIONS);
+    }
+
+    #[test]
+    fn warm_start_produces_trained_model() {
+        let ctx = context(0, &[(0, 0), (1, 1)]);
+        let history: Vec<_> = (0..30).map(|_| (ctx.clone(), feedback(&ctx, Some((0, 0))))).collect();
+        let mut p = Taskrec::new(ListMode::RankAll, 4, 3);
+        p.warm_start(&history);
+        assert!(p.is_trained());
+    }
+}

@@ -1,0 +1,38 @@
+//! Multi-head self-attention forward and backward latency — the dominant cost inside the
+//! Q-network (ablation support for the architecture choice of Fig. 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd_autograd::Graph;
+use crowd_nn::{GraphBinding, MultiHeadSelfAttention, ParamStore};
+use crowd_tensor::{Matrix, Rng};
+
+fn bench_attention(c: &mut Criterion) {
+    let dim = 32;
+    let mut group = c.benchmark_group("attention");
+    group.sample_size(20);
+    for &rows in &[16usize, 64] {
+        let mut rng = Rng::seed_from(1);
+        let mut store = ParamStore::new();
+        let attn = MultiHeadSelfAttention::new(&mut store, "attn", dim, 4, &mut rng);
+        let x = Matrix::randn(rows, dim, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("infer", rows), &rows, |b, _| {
+            b.iter(|| attn.infer(&store, &x, None).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("forward_backward", rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut g = Graph::new();
+                let mut binding = GraphBinding::new();
+                let xv = g.constant(x.clone());
+                let out = attn.forward(&mut g, &store, &mut binding, xv, None).unwrap();
+                let loss = g.squared_sum(out);
+                g.backward(loss).unwrap();
+                binding.gradients(&g).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attention);
+criterion_main!(benches);

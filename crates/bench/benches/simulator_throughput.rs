@@ -1,0 +1,39 @@
+//! Platform event-replay throughput: how fast the simulator itself runs when a trivial
+//! policy is attached (shows the experiment harness is not the bottleneck).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowd_sim::{Action, Platform, SimConfig};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_throughput");
+    group.sample_size(10);
+
+    group.bench_function("replay_tiny_dataset_full_pool", |b| {
+        let dataset = SimConfig::tiny().generate();
+        b.iter(|| {
+            let features = Platform::default_feature_space(&dataset);
+            let mut platform = Platform::new(dataset.clone(), features, 1);
+            let mut completions = 0usize;
+            while let Some(arrival) = platform.next_arrival() {
+                let ctx = arrival.context;
+                if ctx.available.is_empty() {
+                    continue;
+                }
+                let action = Action::Rank(ctx.available.iter().map(|t| t.id).collect());
+                if platform.apply(&ctx, &action).completed.is_some() {
+                    completions += 1;
+                }
+            }
+            completions
+        })
+    });
+
+    group.bench_function("generate_small_dataset", |b| {
+        b.iter(|| SimConfig::small().generate().events.len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! One full model update as the number of available tasks grows — the micro-benchmark behind
+//! Table I and Fig. 10(d): LinUCB's Sherman–Morrison update vs one DDQN observe (transition
+//! construction + a prioritized minibatch learning step).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd_baselines::{Benefit, LinUcb, ListMode};
+use crowd_bench::synthetic_context;
+use crowd_rl_core::{DdqnAgent, DdqnConfig};
+use crowd_sim::{Policy, PolicyFeedback};
+
+fn feedback_for(ctx: &crowd_sim::ArrivalContext, action: &crowd_sim::Action) -> PolicyFeedback {
+    let shown = action.shown_order();
+    PolicyFeedback {
+        time: ctx.time,
+        worker_id: ctx.worker_id,
+        worker_quality: ctx.worker_quality,
+        completed: shown.first().map(|&t| (t, 0)),
+        quality_gain: 0.3,
+        worker_feature_before: ctx.worker_feature.clone(),
+        worker_feature_after: ctx.worker_feature.clone(),
+        shown,
+    }
+}
+
+fn bench_update(c: &mut Criterion) {
+    let feature_dim = 20;
+    let mut group = c.benchmark_group("update_latency");
+    group.sample_size(10);
+
+    for &pool in &[10usize, 50, 100] {
+        let ctx = synthetic_context(pool, feature_dim, 3);
+
+        group.bench_with_input(BenchmarkId::new("linucb", pool), &pool, |b, _| {
+            let mut policy = LinUcb::new(Benefit::Worker, ListMode::RankAll, 0.5);
+            let action = policy.act(&ctx);
+            let fb = feedback_for(&ctx, &action);
+            b.iter(|| policy.observe(&ctx, &fb))
+        });
+
+        group.bench_with_input(BenchmarkId::new("ddqn", pool), &pool, |b, _| {
+            // Worker-benefit-only agent so exactly one network is updated per observe,
+            // matching the per-method timing of Table I.
+            let config = DdqnConfig {
+                hidden_dim: 32,
+                num_heads: 4,
+                batch_size: 16,
+                learn_every: 1,
+                buffer_size: 64,
+                max_tasks: pool,
+                ..DdqnConfig::default()
+            }
+            .worker_only();
+            let mut agent = DdqnAgent::new(config.clone(), feature_dim, feature_dim);
+            // Pre-fill the memory so every timed observe includes a learning step.
+            for _ in 0..config.batch_size + 1 {
+                let action = agent.act(&ctx);
+                let fb = feedback_for(&ctx, &action);
+                agent.observe(&ctx, &fb);
+            }
+            let action = agent.act(&ctx);
+            let fb = feedback_for(&ctx, &action);
+            b.iter(|| agent.observe(&ctx, &fb))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Shared helpers for the Criterion micro-benchmarks.
+//!
+//! The actual benchmarks live in `benches/`:
+//!
+//! * `qnetwork_forward` — Q-network inference latency vs pool size;
+//! * `attention` — multi-head self-attention forward/backward latency;
+//! * `update_latency` — one full model update (LinUCB vs DDQN) vs pool size, the
+//!   micro-benchmark version of Table I and Fig. 10(d);
+//! * `replay_buffer` — prioritized replay push/sample throughput;
+//! * `simulator_throughput` — platform event replay throughput.
+
+use crowd_sim::{ArrivalContext, TaskId, TaskSnapshot, WorkerId};
+use crowd_tensor::Rng;
+
+/// Builds a synthetic arrival context with `n_tasks` available tasks and `feature_dim`-wide
+/// features, used by several benches.
+pub fn synthetic_context(n_tasks: usize, feature_dim: usize, seed: u64) -> ArrivalContext {
+    let mut rng = Rng::seed_from(seed);
+    ArrivalContext {
+        time: 1_000,
+        worker_id: WorkerId(0),
+        worker_feature: (0..feature_dim).map(|_| rng.unit()).collect(),
+        worker_quality: 0.7,
+        is_new_worker: false,
+        available: (0..n_tasks as u32)
+            .map(|i| TaskSnapshot {
+                id: TaskId(i),
+                feature: (0..feature_dim).map(|_| rng.unit()).collect(),
+                quality: rng.unit(),
+                award: 50.0,
+                category: (i % 5) as u16,
+                domain: (i % 7) as u16,
+                deadline: 2_000 + 250 * i as u64,
+                completions: 0,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_context_has_requested_shape() {
+        let ctx = synthetic_context(12, 6, 1);
+        assert_eq!(ctx.available.len(), 12);
+        assert_eq!(ctx.worker_feature.len(), 6);
+        assert!(ctx.available.iter().all(|t| t.feature.len() == 6));
+    }
+
+    #[test]
+    fn synthetic_context_is_deterministic() {
+        assert_eq!(synthetic_context(4, 3, 9), synthetic_context(4, 3, 9));
+    }
+}

@@ -1,0 +1,461 @@
+//! The end-to-end DDQN task-arrangement agent (the "DDQN" method of the paper's
+//! experiments): two Q-networks for the two benefits, the state transformer, online arrival
+//! statistics, the future-state predictors, the feedback transformers, the aggregator and
+//! the explorer — wired together behind the [`crowd_sim::Policy`] interface.
+
+use crate::aggregator;
+use crate::arrival_stats::ArrivalStats;
+use crate::config::{DdqnConfig, RecommendationMode};
+use crate::explorer::Explorer;
+use crate::learner::DqnLearner;
+use crate::memory::{FutureBranch, Transition};
+use crate::predictor::{requester_future_branches, worker_future_branches};
+use crate::state::{StateKind, StateTensor, StateTransformer};
+use crowd_sim::{Action, ArrivalContext, Policy, PolicyFeedback, TaskId};
+use crowd_tensor::Rng;
+use std::sync::Arc;
+
+/// Upper bound on the number of failed (reward-0) transitions stored per feedback. Under the
+/// cascade model only the tasks ranked above the completed one are certain negatives; when
+/// nothing was completed we cap the negatives at a typical attention budget.
+const MAX_NEGATIVE_TRANSITIONS: usize = 8;
+
+/// The dual-DQN task arrangement agent.
+#[derive(Debug)]
+pub struct DdqnAgent {
+    config: DdqnConfig,
+    transformer_worker: StateTransformer,
+    transformer_requester: StateTransformer,
+    learner_worker: DqnLearner,
+    learner_requester: DqnLearner,
+    stats: ArrivalStats,
+    explorer: Explorer,
+    rng: Rng,
+    observations: u64,
+    mean_worker_quality: f32,
+    quality_samples: u64,
+    name: String,
+}
+
+impl DdqnAgent {
+    /// Creates an agent for a platform whose task and worker features have the given
+    /// dimensions (see [`crowd_sim::FeatureSpace`]).
+    pub fn new(config: DdqnConfig, task_dim: usize, worker_dim: usize) -> Self {
+        config.validate();
+        let mut rng = Rng::seed_from(config.seed);
+        let transformer_worker =
+            StateTransformer::new(StateKind::Worker, config.max_tasks, task_dim, worker_dim);
+        let transformer_requester =
+            StateTransformer::new(StateKind::Requester, config.max_tasks, task_dim, worker_dim);
+        let learner_worker = DqnLearner::new(
+            &config,
+            transformer_worker.row_dim(),
+            config.gamma_worker,
+            &mut rng,
+        );
+        let learner_requester = DqnLearner::new(
+            &config,
+            transformer_requester.row_dim(),
+            config.gamma_requester,
+            &mut rng,
+        );
+        let stats = ArrivalStats::new(
+            worker_dim,
+            config.same_worker_horizon,
+            config.consecutive_horizon,
+        );
+        let explorer = Explorer::new(&config);
+        let name = match (config.balance_weight, config.mode) {
+            (w, _) if w >= 1.0 => "DDQN(w)".to_string(),
+            (w, _) if w <= 0.0 => "DDQN(r)".to_string(),
+            (w, _) => format!("DDQN(w={w:.2})"),
+        };
+        DdqnAgent {
+            config,
+            transformer_worker,
+            transformer_requester,
+            learner_worker,
+            learner_requester,
+            stats,
+            explorer,
+            rng,
+            observations: 0,
+            mean_worker_quality: 0.5,
+            quality_samples: 0,
+            name,
+        }
+    }
+
+    /// The agent configuration.
+    pub fn config(&self) -> &DdqnConfig {
+        &self.config
+    }
+
+    /// Number of feedbacks observed so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Total learning steps performed by the two learners.
+    pub fn total_updates(&self) -> u64 {
+        self.learner_worker.updates() + self.learner_requester.updates()
+    }
+
+    /// Online arrival statistics (exposed for diagnostics and experiments).
+    pub fn arrival_stats(&self) -> &ArrivalStats {
+        &self.stats
+    }
+
+    /// Disables exploration (used once the evaluation phase starts measuring a frozen
+    /// policy, and by the efficiency benchmarks).
+    pub fn freeze_exploration(&mut self) {
+        self.explorer.freeze();
+    }
+
+    fn uses_worker_network(&self) -> bool {
+        self.config.balance_weight > 0.0
+    }
+
+    fn uses_requester_network(&self) -> bool {
+        self.config.balance_weight < 1.0
+    }
+
+    /// Combined Q values (aggregator output) for the tasks of a context, in the order of the
+    /// state tensor rows. Also returns the state tensors so callers can reuse them.
+    fn combined_q(&self, ctx: &ArrivalContext) -> (Vec<f32>, StateTensor, StateTensor) {
+        let state_w = self.transformer_worker.from_context(ctx);
+        let state_r = self.transformer_requester.from_context(ctx);
+        let q_w = if self.uses_worker_network() {
+            Some(
+                self.learner_worker
+                    .q_values(&state_w)
+                    .expect("worker Q inference failed"),
+            )
+        } else {
+            None
+        };
+        let q_r = if self.uses_requester_network() {
+            Some(
+                self.learner_requester
+                    .q_values(&state_r)
+                    .expect("requester Q inference failed"),
+            )
+        } else {
+            None
+        };
+        let combined = aggregator::combine(
+            q_w.as_deref(),
+            q_r.as_deref(),
+            self.config.balance_weight,
+        );
+        (combined, state_w, state_r)
+    }
+
+    /// Exposes the combined Q values for benchmarking / inspection (one per available task,
+    /// aligned with the state-tensor row order).
+    pub fn q_values(&self, ctx: &ArrivalContext) -> Vec<f32> {
+        self.combined_q(ctx).0
+    }
+
+    fn store_transitions_for(
+        &mut self,
+        ctx: &ArrivalContext,
+        feedback: &PolicyFeedback,
+    ) {
+        // Which shown tasks become transitions: the completed one (positive) plus the tasks
+        // ranked above it (certain negatives under the cascade assumption).
+        let negatives_end = match feedback.completed {
+            Some((_, position)) => position,
+            None => feedback.shown.len().min(MAX_NEGATIVE_TRANSITIONS),
+        };
+
+        if self.uses_worker_network() {
+            let state = self.transformer_worker.from_context(ctx);
+            let branches = Arc::new(worker_future_branches(
+                &self.transformer_worker,
+                &self.stats,
+                ctx,
+                feedback,
+                self.config.same_worker_horizon,
+                self.config.max_future_breakpoints,
+            ));
+            self.push_transitions(
+                &state,
+                &branches,
+                feedback,
+                negatives_end,
+                true,
+            );
+        }
+        if self.uses_requester_network() {
+            let state = self.transformer_requester.from_context(ctx);
+            let branches = Arc::new(requester_future_branches(
+                &self.transformer_requester,
+                &self.stats,
+                ctx,
+                feedback,
+                self.mean_worker_quality,
+                self.config.consecutive_horizon,
+                self.config.max_future_breakpoints,
+            ));
+            self.push_transitions(
+                &state,
+                &branches,
+                feedback,
+                negatives_end,
+                false,
+            );
+        }
+    }
+
+    fn push_transitions(
+        &mut self,
+        state: &StateTensor,
+        branches: &Arc<Vec<FutureBranch>>,
+        feedback: &PolicyFeedback,
+        negatives_end: usize,
+        worker_side: bool,
+    ) {
+        let mut push = |task: TaskId, reward: f32| {
+            if let Some(row) = state.task_ids.iter().position(|&t| t == task) {
+                let transition = Transition {
+                    state: state.clone(),
+                    action_row: row,
+                    reward,
+                    branches: Arc::clone(branches),
+                };
+                if worker_side {
+                    self.learner_worker.store_transition(transition);
+                } else {
+                    self.learner_requester.store_transition(transition);
+                }
+            }
+        };
+        if let Some((task, _)) = feedback.completed {
+            let reward = if worker_side {
+                feedback.completion_reward()
+            } else {
+                feedback.quality_reward()
+            };
+            push(task, reward);
+        }
+        for &task in feedback.shown.iter().take(negatives_end) {
+            push(task, 0.0);
+        }
+    }
+}
+
+impl Policy for DdqnAgent {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn act(&mut self, ctx: &ArrivalContext) -> Action {
+        if ctx.available.is_empty() {
+            return Action::Rank(Vec::new());
+        }
+        let (combined, state_w, _state_r) = self.combined_q(ctx);
+        let task_ids = &state_w.task_ids;
+        let order = self.explorer.decide(&combined, &mut self.rng);
+        match self.config.mode {
+            RecommendationMode::AssignOne => match order.first() {
+                Some(&idx) => Action::Assign(task_ids[idx]),
+                None => Action::Rank(Vec::new()),
+            },
+            RecommendationMode::RankList => {
+                let mut ranked: Vec<TaskId> = order.iter().map(|&i| task_ids[i]).collect();
+                // Tasks beyond max_tasks (truncated out of the state) go to the bottom of the
+                // list in their original order so the action still covers the whole pool.
+                for snap in &ctx.available {
+                    if !ranked.contains(&snap.id) {
+                        ranked.push(snap.id);
+                    }
+                }
+                Action::Rank(ranked)
+            }
+        }
+    }
+
+    fn observe(&mut self, ctx: &ArrivalContext, feedback: &PolicyFeedback) {
+        // 1. Online statistics (φ, ϕ, p_new, mean features) update first so the predictors
+        //    see the newest arrival.
+        self.stats
+            .record_arrival(ctx.worker_id, ctx.time, &ctx.worker_feature);
+        self.quality_samples += 1;
+        let n = self.quality_samples as f32;
+        self.mean_worker_quality += (ctx.worker_quality - self.mean_worker_quality) / n;
+
+        // 2. Feedback transformers + future-state predictors → transitions into the memories.
+        if !ctx.available.is_empty() && !feedback.shown.is_empty() {
+            self.store_transitions_for(ctx, feedback);
+        }
+
+        // 3. Learners run after every `learn_every` feedbacks (the paper updates after every
+        //    feedback; `learn_every` > 1 trades fidelity for CPU time).
+        self.observations += 1;
+        if self.observations % self.config.learn_every as u64 == 0 {
+            if self.uses_worker_network() {
+                self.learner_worker
+                    .learn(&mut self.rng)
+                    .expect("worker learner failed");
+            }
+            if self.uses_requester_network() {
+                self.learner_requester
+                    .learn(&mut self.rng)
+                    .expect("requester learner failed");
+            }
+        }
+    }
+
+    fn warm_start(&mut self, history: &[(ArrivalContext, PolicyFeedback)]) {
+        for (ctx, feedback) in history {
+            self.observe(ctx, feedback);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_sim::{Platform, SimConfig};
+
+    fn agent_for(platform: &Platform, config: DdqnConfig) -> DdqnAgent {
+        let fs = platform.feature_space();
+        DdqnAgent::new(config, fs.task_dim(), fs.worker_dim())
+    }
+
+    fn small_config() -> DdqnConfig {
+        DdqnConfig {
+            max_tasks: 32,
+            hidden_dim: 16,
+            num_heads: 2,
+            batch_size: 8,
+            buffer_size: 128,
+            learn_every: 4,
+            exploration_anneal_steps: 200,
+            ..DdqnConfig::default()
+        }
+    }
+
+    #[test]
+    fn names_reflect_configuration() {
+        let ds = SimConfig::tiny().generate();
+        let platform = Platform::new(ds.clone(), Platform::default_feature_space(&ds), 0);
+        assert_eq!(agent_for(&platform, small_config().worker_only()).name(), "DDQN(w)");
+        assert_eq!(
+            agent_for(&platform, small_config().requester_only()).name(),
+            "DDQN(r)"
+        );
+        assert_eq!(
+            agent_for(&platform, small_config().with_balance(0.25)).name(),
+            "DDQN(w=0.25)"
+        );
+    }
+
+    #[test]
+    fn act_produces_valid_actions_in_both_modes() {
+        let ds = SimConfig::tiny().generate();
+        let fs = Platform::default_feature_space(&ds);
+        let mut platform = Platform::new(ds, fs, 1);
+        let mut ranker = agent_for(&platform, small_config());
+        let mut assigner = agent_for(
+            &platform,
+            small_config().with_mode(RecommendationMode::AssignOne),
+        );
+        let mut checked = 0;
+        while let Some(arrival) = platform.next_arrival() {
+            let ctx = &arrival.context;
+            if ctx.available.is_empty() {
+                continue;
+            }
+            match ranker.act(ctx) {
+                Action::Rank(list) => {
+                    // Complete permutation of the pool, no duplicates.
+                    assert_eq!(list.len(), ctx.available.len());
+                    let mut dedup = list.clone();
+                    dedup.sort();
+                    dedup.dedup();
+                    assert_eq!(dedup.len(), list.len());
+                }
+                Action::Assign(_) => panic!("rank mode must produce Rank actions"),
+            }
+            match assigner.act(ctx) {
+                Action::Assign(task) => assert!(ctx.position_of(task).is_some()),
+                Action::Rank(list) => assert!(list.is_empty()),
+            }
+            checked += 1;
+            if checked > 30 {
+                break;
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn observe_accumulates_transitions_and_learns() {
+        let ds = SimConfig::tiny().generate();
+        let fs = Platform::default_feature_space(&ds);
+        let mut platform = Platform::new(ds, fs, 2);
+        let mut agent = agent_for(&platform, small_config());
+        let mut steps = 0;
+        while let Some(arrival) = platform.next_arrival() {
+            let ctx = arrival.context;
+            if ctx.available.is_empty() {
+                continue;
+            }
+            let action = agent.act(&ctx);
+            let feedback = platform.apply(&ctx, &action);
+            agent.observe(&ctx, &feedback);
+            steps += 1;
+            if steps >= 120 {
+                break;
+            }
+        }
+        assert!(agent.observations() >= 100);
+        assert!(agent.arrival_stats().arrivals_seen() >= 100);
+        assert!(agent.total_updates() > 0, "learners never ran");
+    }
+
+    #[test]
+    fn worker_only_agent_never_touches_requester_learner() {
+        let ds = SimConfig::tiny().generate();
+        let fs = Platform::default_feature_space(&ds);
+        let mut platform = Platform::new(ds, fs, 3);
+        let mut agent = agent_for(&platform, small_config().worker_only());
+        let mut steps = 0;
+        while let Some(arrival) = platform.next_arrival() {
+            let ctx = arrival.context;
+            if ctx.available.is_empty() {
+                continue;
+            }
+            let action = agent.act(&ctx);
+            let feedback = platform.apply(&ctx, &action);
+            agent.observe(&ctx, &feedback);
+            steps += 1;
+            if steps >= 60 {
+                break;
+            }
+        }
+        assert_eq!(agent.learner_requester.updates(), 0);
+        assert_eq!(agent.learner_requester.memory_len(), 0);
+        assert!(agent.learner_worker.memory_len() > 0);
+    }
+
+    #[test]
+    fn frozen_agent_is_deterministic_given_context() {
+        let ds = SimConfig::tiny().generate();
+        let fs = Platform::default_feature_space(&ds);
+        let mut platform = Platform::new(ds, fs, 4);
+        let mut agent = agent_for(&platform, small_config());
+        agent.freeze_exploration();
+        let arrival = loop {
+            let a = platform.next_arrival().unwrap();
+            if !a.context.available.is_empty() {
+                break a;
+            }
+        };
+        let first = agent.act(&arrival.context);
+        let second = agent.act(&arrival.context);
+        assert_eq!(first, second);
+    }
+}

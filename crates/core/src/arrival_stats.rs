@@ -1,0 +1,332 @@
+//! Online worker-arrival statistics (paper Sec. IV-D and V-D).
+//!
+//! Maintains, from the observed arrival stream only:
+//!
+//! * `φ(g)` — histogram of the gap between two consecutive arrivals of the *same* worker,
+//!   supported on `[1, 10080]` minutes (one week), used by the MDP(w) future-state predictor;
+//! * `ϕ(g)` — histogram of the gap between two consecutive arrivals of *any* workers,
+//!   supported on `[0, 60]` minutes, used by the MDP(r) future-state predictor;
+//! * the rate of new (never seen) workers `p_new` and the mean feature of known workers,
+//!   which together define the next-worker distribution of Sec. V-D.
+//!
+//! Histograms are seeded from the initialisation month and updated after every arrival, as
+//! the paper requires for real-time adaptation.
+
+use std::collections::HashMap;
+
+use crowd_sim::WorkerId;
+
+/// Bucketed histogram over minute gaps with a fixed support.
+#[derive(Debug, Clone)]
+struct GapHistogram {
+    bin_minutes: u64,
+    max_minutes: u64,
+    counts: Vec<f64>,
+    total: f64,
+}
+
+impl GapHistogram {
+    fn new(bin_minutes: u64, max_minutes: u64) -> Self {
+        let bins = (max_minutes / bin_minutes.max(1)) as usize + 1;
+        GapHistogram {
+            bin_minutes: bin_minutes.max(1),
+            max_minutes,
+            counts: vec![0.0; bins],
+            total: 0.0,
+        }
+    }
+
+    fn record(&mut self, gap: u64) {
+        if gap > self.max_minutes {
+            return;
+        }
+        let bin = (gap / self.bin_minutes) as usize;
+        self.counts[bin] += 1.0;
+        self.total += 1.0;
+    }
+
+    /// Probability mass of gaps in `[from, to)` minutes (normalised over recorded gaps).
+    fn mass_between(&self, from: u64, to: u64) -> f64 {
+        if self.total <= 0.0 || from >= to {
+            return 0.0;
+        }
+        let from_bin = (from.min(self.max_minutes) / self.bin_minutes) as usize;
+        let to_bin = ((to.min(self.max_minutes + 1)).saturating_sub(1) / self.bin_minutes) as usize;
+        let sum: f64 = self.counts[from_bin..=to_bin.min(self.counts.len() - 1)].iter().sum();
+        sum / self.total
+    }
+
+    fn mean(&self) -> f64 {
+        if self.total <= 0.0 {
+            return (self.max_minutes / 2) as f64;
+        }
+        let weighted: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c * (i as f64 * self.bin_minutes as f64 + self.bin_minutes as f64 / 2.0))
+            .sum();
+        weighted / self.total
+    }
+}
+
+/// Online arrival statistics for both future-state predictors.
+#[derive(Debug, Clone)]
+pub struct ArrivalStats {
+    /// φ(g): same-worker revisit gaps.
+    same_worker: GapHistogram,
+    /// ϕ(g): consecutive arrival gaps across all workers.
+    consecutive: GapHistogram,
+    last_arrival_per_worker: HashMap<WorkerId, u64>,
+    last_known_feature: HashMap<WorkerId, Vec<f32>>,
+    last_global_arrival: Option<u64>,
+    arrivals_seen: u64,
+    new_workers_seen: u64,
+    feature_dim: usize,
+    mean_feature: Vec<f32>,
+}
+
+impl ArrivalStats {
+    /// Creates empty statistics. `same_worker_horizon` / `consecutive_horizon` are the φ/ϕ
+    /// supports in minutes (paper: 10080 and 60).
+    pub fn new(feature_dim: usize, same_worker_horizon: u64, consecutive_horizon: u64) -> Self {
+        ArrivalStats {
+            same_worker: GapHistogram::new(30, same_worker_horizon),
+            consecutive: GapHistogram::new(1, consecutive_horizon),
+            last_arrival_per_worker: HashMap::new(),
+            last_known_feature: HashMap::new(),
+            last_global_arrival: None,
+            arrivals_seen: 0,
+            new_workers_seen: 0,
+            feature_dim,
+            mean_feature: vec![0.0; feature_dim],
+        }
+    }
+
+    /// Number of arrivals recorded.
+    pub fn arrivals_seen(&self) -> u64 {
+        self.arrivals_seen
+    }
+
+    /// Estimated probability that the next arrival is a brand-new worker (Sec. V-D's
+    /// `p_new`).
+    pub fn new_worker_rate(&self) -> f32 {
+        if self.arrivals_seen == 0 {
+            return 0.5;
+        }
+        (self.new_workers_seen as f32 / self.arrivals_seen as f32).clamp(0.0, 1.0)
+    }
+
+    /// Mean observable feature of known workers (the stand-in feature of a new worker).
+    pub fn mean_worker_feature(&self) -> &[f32] {
+        &self.mean_feature
+    }
+
+    /// Number of distinct workers observed.
+    pub fn known_workers(&self) -> usize {
+        self.last_arrival_per_worker.len()
+    }
+
+    /// Records one arrival with the worker's current observable feature.
+    pub fn record_arrival(&mut self, worker: WorkerId, time: u64, feature: &[f32]) {
+        self.arrivals_seen += 1;
+        if let Some(prev) = self.last_global_arrival {
+            self.consecutive.record(time.saturating_sub(prev));
+        }
+        self.last_global_arrival = Some(time);
+
+        match self.last_arrival_per_worker.insert(worker, time) {
+            Some(prev) => {
+                self.same_worker.record(time.saturating_sub(prev).max(1));
+            }
+            None => {
+                self.new_workers_seen += 1;
+            }
+        }
+        self.last_known_feature.insert(worker, feature.to_vec());
+        self.recompute_mean_feature();
+    }
+
+    fn recompute_mean_feature(&mut self) {
+        if self.last_known_feature.is_empty() {
+            return;
+        }
+        let mut mean = vec![0.0f32; self.feature_dim];
+        for f in self.last_known_feature.values() {
+            for (m, &v) in mean.iter_mut().zip(f.iter()) {
+                *m += v;
+            }
+        }
+        let n = self.last_known_feature.len() as f32;
+        for m in &mut mean {
+            *m /= n;
+        }
+        self.mean_feature = mean;
+    }
+
+    /// Probability mass of the same worker returning within `[from, to)` minutes of their
+    /// last arrival — i.e. `Σ_{g ∈ [from, to)} φ(g)`.
+    pub fn same_worker_mass_between(&self, from: u64, to: u64) -> f64 {
+        if self.same_worker.total <= 0.0 {
+            // No data yet: fall back to a uniform prior over the support.
+            let span = self.same_worker.max_minutes.max(1) as f64;
+            return ((to.min(self.same_worker.max_minutes) as f64
+                - from.min(self.same_worker.max_minutes) as f64)
+                / span)
+                .max(0.0);
+        }
+        self.same_worker.mass_between(from, to)
+    }
+
+    /// Probability mass of the next (any-worker) arrival happening within `[from, to)`
+    /// minutes — i.e. `Σ_{g ∈ [from, to)} ϕ(g)`.
+    pub fn consecutive_mass_between(&self, from: u64, to: u64) -> f64 {
+        if self.consecutive.total <= 0.0 {
+            let span = self.consecutive.max_minutes.max(1) as f64;
+            return ((to.min(self.consecutive.max_minutes) as f64
+                - from.min(self.consecutive.max_minutes) as f64)
+                / span)
+                .max(0.0);
+        }
+        self.consecutive.mass_between(from, to)
+    }
+
+    /// Mean same-worker revisit gap in minutes.
+    pub fn mean_same_worker_gap(&self) -> f64 {
+        self.same_worker.mean()
+    }
+
+    /// Mean consecutive-arrival gap in minutes.
+    pub fn mean_consecutive_gap(&self) -> f64 {
+        self.consecutive.mean()
+    }
+
+    /// Expected feature of the next arriving worker at time `next_time` (Sec. V-D):
+    /// a `p_new`-weighted blend of the mean old-worker feature and the φ-weighted mixture of
+    /// known workers' features, where each known worker `w` is weighted by
+    /// `φ(next_time − last_arrival_w)`.
+    pub fn expected_next_worker_feature(&self, next_time: u64) -> Vec<f32> {
+        if self.last_known_feature.is_empty() {
+            return vec![0.0; self.feature_dim];
+        }
+        let mut weights = Vec::with_capacity(self.last_known_feature.len());
+        let mut features = Vec::with_capacity(self.last_known_feature.len());
+        for (worker, feature) in &self.last_known_feature {
+            let last = self.last_arrival_per_worker.get(worker).copied().unwrap_or(0);
+            let gap = next_time.saturating_sub(last).max(1);
+            // φ(g) for this worker's gap bucket; workers overdue beyond the support get a
+            // tiny weight instead of zero so the mixture stays well-defined.
+            let w = self
+                .same_worker_mass_between(gap, gap + self.same_worker.bin_minutes)
+                .max(1e-6);
+            weights.push(w as f32);
+            features.push(feature);
+        }
+        let total: f32 = weights.iter().sum();
+        let mut mixture = vec![0.0f32; self.feature_dim];
+        for (w, f) in weights.iter().zip(features.iter()) {
+            for (m, &v) in mixture.iter_mut().zip(f.iter()) {
+                *m += (w / total) * v;
+            }
+        }
+        let p_new = self.new_worker_rate();
+        mixture
+            .iter()
+            .zip(self.mean_feature.iter())
+            .map(|(&old, &mean)| (1.0 - p_new) * old + p_new * mean)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> ArrivalStats {
+        ArrivalStats::new(2, 10_080, 60)
+    }
+
+    #[test]
+    fn new_worker_rate_tracks_first_visits() {
+        let mut s = stats();
+        assert_eq!(s.new_worker_rate(), 0.5); // prior before any data
+        s.record_arrival(WorkerId(0), 10, &[1.0, 0.0]);
+        s.record_arrival(WorkerId(1), 20, &[0.0, 1.0]);
+        s.record_arrival(WorkerId(0), 30, &[1.0, 0.0]);
+        s.record_arrival(WorkerId(0), 40, &[1.0, 0.0]);
+        assert_eq!(s.arrivals_seen(), 4);
+        assert_eq!(s.known_workers(), 2);
+        assert!((s.new_worker_rate() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn same_worker_histogram_collects_gaps() {
+        let mut s = stats();
+        s.record_arrival(WorkerId(0), 0, &[0.0; 2]);
+        s.record_arrival(WorkerId(0), 100, &[0.0; 2]);
+        s.record_arrival(WorkerId(0), 1540, &[0.0; 2]); // gap 1440 = 1 day
+        // Gap of 100 falls in [90, 120); gap of 1440 in [1440, 1470).
+        assert!(s.same_worker_mass_between(90, 121) > 0.4);
+        assert!(s.same_worker_mass_between(1400, 1500) > 0.4);
+        assert!(s.same_worker_mass_between(5000, 6000) < 1e-9);
+    }
+
+    #[test]
+    fn consecutive_histogram_uses_short_horizon() {
+        let mut s = stats();
+        s.record_arrival(WorkerId(0), 0, &[0.0; 2]);
+        s.record_arrival(WorkerId(1), 5, &[0.0; 2]);
+        s.record_arrival(WorkerId(2), 12, &[0.0; 2]);
+        s.record_arrival(WorkerId(3), 500, &[0.0; 2]); // beyond the 60-minute support: ignored
+        assert!(s.consecutive_mass_between(0, 10) > 0.4);
+        assert!((s.consecutive_mass_between(0, 61) - 1.0).abs() < 1e-9);
+        assert!(s.mean_consecutive_gap() < 30.0);
+    }
+
+    #[test]
+    fn uniform_prior_before_any_gap_data() {
+        let s = stats();
+        let half = s.same_worker_mass_between(0, 5040);
+        assert!((half - 0.5).abs() < 0.01);
+        let all = s.consecutive_mass_between(0, 60);
+        assert!((all - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn mean_feature_and_expected_next_worker() {
+        let mut s = stats();
+        s.record_arrival(WorkerId(0), 0, &[1.0, 0.0]);
+        s.record_arrival(WorkerId(1), 10, &[0.0, 1.0]);
+        let mean = s.mean_worker_feature();
+        assert!((mean[0] - 0.5).abs() < 1e-6 && (mean[1] - 0.5).abs() < 1e-6);
+        let expected = s.expected_next_worker_feature(20);
+        assert_eq!(expected.len(), 2);
+        // A convex combination of observed features stays inside [0, 1].
+        assert!(expected.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn expected_feature_prefers_workers_with_matching_revisit_gap() {
+        let mut s = ArrivalStats::new(1, 10_080, 60);
+        // Worker 0 historically revisits after ~60 minutes; worker 1 after ~3 days.
+        for i in 0..20u64 {
+            s.record_arrival(WorkerId(0), i * 5000, &[1.0]);
+            s.record_arrival(WorkerId(0), i * 5000 + 60, &[1.0]);
+        }
+        for i in 0..20u64 {
+            s.record_arrival(WorkerId(1), i * 9000 + 2, &[0.0]);
+            s.record_arrival(WorkerId(1), i * 9000 + 2 + 4320, &[0.0]);
+        }
+        // Immediately (~60 min) after worker 0's last arrival, the expected next worker looks
+        // much more like worker 0 than worker 1.
+        let last0 = 19 * 5000;
+        let expected_soon = s.expected_next_worker_feature(last0 + 60);
+        assert!(expected_soon[0] > 0.4, "expected {expected_soon:?}");
+    }
+
+    #[test]
+    fn empty_stats_expected_feature_is_zero() {
+        let s = stats();
+        assert_eq!(s.expected_next_worker_feature(100), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Exploration wrapper (paper Sec. VI-B): ε-greedy for single-task assignment, Gaussian Q
+//! noise with a decaying scale for list recommendation.
+
+use crate::config::{DdqnConfig, RecommendationMode};
+use crowd_rl_kit::{greedy_rank, EpsilonGreedy, GaussianQNoise};
+use crowd_tensor::Rng;
+
+/// The agent's explorer: dispatches to the strategy matching the recommendation mode.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    mode: RecommendationMode,
+    epsilon: EpsilonGreedy,
+    noise: GaussianQNoise,
+    /// When true, no exploration is performed (evaluation / frozen-policy mode).
+    frozen: bool,
+}
+
+impl Explorer {
+    /// Creates the explorer from the agent configuration.
+    pub fn new(config: &DdqnConfig) -> Self {
+        Explorer {
+            mode: config.mode,
+            epsilon: EpsilonGreedy::paper_default(config.exploration_anneal_steps),
+            noise: GaussianQNoise::paper_default(config.exploration_anneal_steps),
+            frozen: false,
+        }
+    }
+
+    /// Disables exploration entirely (pure exploitation).
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// Re-enables exploration.
+    pub fn unfreeze(&mut self) {
+        self.frozen = false;
+    }
+
+    /// Whether exploration is currently disabled.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Picks a single task index from the Q values (ε-greedy). `None` on an empty pool.
+    pub fn select_single(&mut self, q_values: &[f32], rng: &mut Rng) -> Option<usize> {
+        if self.frozen {
+            return greedy_rank(q_values).first().copied();
+        }
+        self.epsilon.select(q_values, rng)
+    }
+
+    /// Produces a full ranking of task indices from the Q values (noise-perturbed unless
+    /// frozen).
+    pub fn rank(&mut self, q_values: &[f32], rng: &mut Rng) -> Vec<usize> {
+        if self.frozen {
+            greedy_rank(q_values)
+        } else {
+            self.noise.rank(q_values, rng)
+        }
+    }
+
+    /// Decides according to the configured mode: a single index (wrapped in a one-element
+    /// vector) for [`RecommendationMode::AssignOne`], a full ranking otherwise.
+    pub fn decide(&mut self, q_values: &[f32], rng: &mut Rng) -> Vec<usize> {
+        match self.mode {
+            RecommendationMode::AssignOne => {
+                self.select_single(q_values, rng).into_iter().collect()
+            }
+            RecommendationMode::RankList => self.rank(q_values, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(mode: RecommendationMode) -> DdqnConfig {
+        DdqnConfig {
+            mode,
+            exploration_anneal_steps: 100,
+            ..DdqnConfig::default()
+        }
+    }
+
+    #[test]
+    fn assign_mode_returns_single_index() {
+        let mut e = Explorer::new(&config(RecommendationMode::AssignOne));
+        let mut rng = Rng::seed_from(0);
+        let decision = e.decide(&[0.1, 0.9, 0.2], &mut rng);
+        assert_eq!(decision.len(), 1);
+        assert!(decision[0] < 3);
+        assert!(e.decide(&[], &mut rng).is_empty());
+    }
+
+    #[test]
+    fn rank_mode_returns_full_permutation() {
+        let mut e = Explorer::new(&config(RecommendationMode::RankList));
+        let mut rng = Rng::seed_from(1);
+        let decision = e.decide(&[0.1, 0.9, 0.2, 0.4], &mut rng);
+        let mut sorted = decision.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn frozen_explorer_is_greedy() {
+        let mut e = Explorer::new(&config(RecommendationMode::RankList));
+        e.freeze();
+        assert!(e.is_frozen());
+        let mut rng = Rng::seed_from(2);
+        for _ in 0..20 {
+            assert_eq!(e.decide(&[0.1, 0.9, 0.2], &mut rng), vec![1, 2, 0]);
+        }
+        e.unfreeze();
+        assert!(!e.is_frozen());
+    }
+
+    #[test]
+    fn frozen_single_selection_is_argmax() {
+        let mut e = Explorer::new(&config(RecommendationMode::AssignOne));
+        e.freeze();
+        let mut rng = Rng::seed_from(3);
+        assert_eq!(e.select_single(&[0.5, 2.0, 1.0], &mut rng), Some(1));
+        assert_eq!(e.select_single(&[], &mut rng), None);
+    }
+}

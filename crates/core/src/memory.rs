@@ -1,0 +1,111 @@
+//! Transition storage: what one experience `(s_i, a_i, r_i, s_{i+1}-distribution)` looks like
+//! once the future-state predictors have done their work.
+
+use crate::state::StateTensor;
+use std::sync::Arc;
+
+/// One branch of the predicted future-state distribution: "with probability `probability`
+/// the next decision happens in a world whose state is `state`".
+///
+/// For MDP(w) the branches enumerate which of the currently available tasks will have
+/// expired by the time the same worker returns (Sec. IV-D); for MDP(r) they do the same over
+/// the much shorter next-arrival window, with the expected next worker substituted into the
+/// state (Sec. V-D).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FutureBranch {
+    /// Probability mass of this branch (branches of a transition sum to at most 1; the
+    /// remainder is the ignored tail of the gap distribution, exactly as the paper ignores
+    /// gaps beyond one week).
+    pub probability: f32,
+    /// The predicted future state tensor.
+    pub state: StateTensor,
+}
+
+/// A stored transition ready for the double-DQN learner.
+///
+/// The future branches are shared (`Arc`) between the successful transition and the failed
+/// transitions generated from the same feedback, since they describe the same future world.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// State the decision was taken in.
+    pub state: StateTensor,
+    /// Row of the chosen task inside `state` (not the display position).
+    pub action_row: usize,
+    /// Immediate reward: 1/0 for MDP(w), the quality gain for MDP(r).
+    pub reward: f32,
+    /// Predicted future-state distribution.
+    pub branches: Arc<Vec<FutureBranch>>,
+}
+
+impl Transition {
+    /// Total probability mass covered by the future branches.
+    pub fn branch_mass(&self) -> f32 {
+        self.branches.iter().map(|b| b.probability).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{StateKind, StateTransformer};
+    use crowd_sim::{TaskId, TaskSnapshot};
+
+    fn snap(id: u32) -> TaskSnapshot {
+        TaskSnapshot {
+            id: TaskId(id),
+            feature: vec![1.0, 0.0],
+            quality: 0.0,
+            award: 1.0,
+            category: 0,
+            domain: 0,
+            deadline: 100,
+            completions: 0,
+        }
+    }
+
+    #[test]
+    fn branch_mass_sums_probabilities() {
+        let tf = StateTransformer::new(StateKind::Worker, 2, 2, 2);
+        let state = tf.build(&[snap(0)], &[0.0, 0.0], 0.5);
+        let t = Transition {
+            state: state.clone(),
+            action_row: 0,
+            reward: 1.0,
+            branches: Arc::new(vec![
+                FutureBranch {
+                    probability: 0.6,
+                    state: state.clone(),
+                },
+                FutureBranch {
+                    probability: 0.3,
+                    state,
+                },
+            ]),
+        };
+        assert!((t.branch_mass() - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn branches_are_shared_not_copied() {
+        let tf = StateTransformer::new(StateKind::Worker, 2, 2, 2);
+        let state = tf.build(&[snap(0)], &[0.0, 0.0], 0.5);
+        let branches = Arc::new(vec![FutureBranch {
+            probability: 1.0,
+            state: state.clone(),
+        }]);
+        let a = Transition {
+            state: state.clone(),
+            action_row: 0,
+            reward: 1.0,
+            branches: Arc::clone(&branches),
+        };
+        let b = Transition {
+            state,
+            action_row: 0,
+            reward: 0.0,
+            branches: Arc::clone(&branches),
+        };
+        assert_eq!(Arc::strong_count(&branches), 3);
+        assert!(Arc::ptr_eq(&a.branches, &b.branches));
+    }
+}

@@ -1,0 +1,343 @@
+//! Future-state predictors (paper Sec. IV-D2 and V-D2).
+//!
+//! After a feedback is received for `(s_i, a_i)`, the framework does not wait to observe the
+//! realised `s_{i+1}` (which for MDP(w) may be days away, and for MDP(r) would make
+//! transitions extremely sparse). Instead it predicts the distribution of the future state
+//! explicitly from the arrival statistics:
+//!
+//! * the next timestamp follows the φ(g) (same worker, MDP(w)) or ϕ(g) (any worker, MDP(r))
+//!   gap histogram;
+//! * the pool `T_{i+1}` differs from `T_i` only through the tasks that expire before the
+//!   next timestamp, so breakpoints are placed at the deadlines of the currently available
+//!   tasks;
+//! * the worker feature is the worker's updated feature (MDP(w)) or the expectation of the
+//!   next worker's feature under the arrival mixture (MDP(r), the paper's speed-up);
+//! * the completed task's quality is bumped by the observed quality gain (MDP(r)).
+
+use crate::arrival_stats::ArrivalStats;
+use crate::memory::FutureBranch;
+use crate::state::StateTransformer;
+use crowd_sim::{ArrivalContext, PolicyFeedback, TaskSnapshot};
+
+/// Builds the future pool snapshots implied by the feedback: identical to the current pool,
+/// except that the completed task's quality reflects the quality gain and its completion
+/// count grows by one.
+fn future_pool(ctx: &ArrivalContext, feedback: &PolicyFeedback) -> Vec<TaskSnapshot> {
+    let mut pool = ctx.available.clone();
+    if let Some((task, _)) = feedback.completed {
+        if let Some(snap) = pool.iter_mut().find(|s| s.id == task) {
+            snap.quality += feedback.quality_gain;
+            snap.completions += 1;
+        }
+    }
+    pool
+}
+
+/// One expiry interval: gaps in `[start, end)` minutes leave `survivors` tasks available.
+#[derive(Debug, Clone, PartialEq)]
+struct ExpiryInterval {
+    start: u64,
+    end: u64,
+    /// Number of leading (earliest-deadline) tasks that have expired in this interval.
+    expired_prefix: usize,
+    mass: f64,
+}
+
+/// Computes the expiry intervals of a pool over `[1, horizon)` minutes from `now`, with the
+/// probability mass of each interval taken from `mass_fn`.
+fn expiry_intervals(
+    deadlines_sorted: &[u64],
+    now: u64,
+    horizon: u64,
+    mass_fn: impl Fn(u64, u64) -> f64,
+) -> Vec<ExpiryInterval> {
+    // Breakpoints are the task deadlines that fall inside the horizon window.
+    let mut breakpoints: Vec<u64> = deadlines_sorted
+        .iter()
+        .map(|&d| d.saturating_sub(now))
+        .filter(|&gap| gap > 0 && gap < horizon)
+        .collect();
+    breakpoints.dedup();
+    let mut intervals = Vec::with_capacity(breakpoints.len() + 1);
+    let mut start = 0u64;
+    for &bp in &breakpoints {
+        intervals.push(ExpiryInterval {
+            start,
+            end: bp,
+            expired_prefix: deadlines_sorted
+                .iter()
+                .take_while(|&&d| d.saturating_sub(now) <= start)
+                .count(),
+            mass: mass_fn(start, bp),
+        });
+        start = bp;
+    }
+    intervals.push(ExpiryInterval {
+        start,
+        end: horizon,
+        expired_prefix: deadlines_sorted
+            .iter()
+            .take_while(|&&d| d.saturating_sub(now) <= start)
+            .count(),
+        mass: mass_fn(start, horizon),
+    });
+    intervals.retain(|i| i.mass > 1e-9 || i.start == 0);
+    intervals
+}
+
+/// Greedily merges the lowest-mass interval into its higher-mass neighbour until at most
+/// `max_branches` remain. The merged interval keeps the survivor count of whichever side had
+/// more mass, so the expectation is distorted as little as possible.
+fn merge_intervals(mut intervals: Vec<ExpiryInterval>, max_branches: usize) -> Vec<ExpiryInterval> {
+    while intervals.len() > max_branches.max(1) {
+        let (idx, _) = intervals
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.mass.partial_cmp(&b.1.mass).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("non-empty intervals");
+        let neighbour = if idx == 0 {
+            1
+        } else if idx == intervals.len() - 1 {
+            idx - 1
+        } else if intervals[idx - 1].mass >= intervals[idx + 1].mass {
+            idx - 1
+        } else {
+            idx + 1
+        };
+        let (keep, remove) = if intervals[neighbour].mass >= intervals[idx].mass {
+            (neighbour, idx)
+        } else {
+            (idx, neighbour)
+        };
+        let removed_mass = intervals[remove].mass;
+        let removed_start = intervals[remove].start;
+        let removed_end = intervals[remove].end;
+        let kept = &mut intervals[keep];
+        kept.mass += removed_mass;
+        kept.start = kept.start.min(removed_start);
+        kept.end = kept.end.max(removed_end);
+        intervals.remove(remove);
+    }
+    intervals
+}
+
+/// Builds the MDP(w) future-state branches: the same worker returns with gap ~ φ(g), tasks
+/// whose deadlines pass in the meantime disappear, and the worker's feature is the
+/// post-completion feature.
+pub fn worker_future_branches(
+    transformer: &StateTransformer,
+    stats: &ArrivalStats,
+    ctx: &ArrivalContext,
+    feedback: &PolicyFeedback,
+    horizon: u64,
+    max_branches: usize,
+) -> Vec<FutureBranch> {
+    build_branches(
+        transformer,
+        ctx,
+        feedback,
+        &feedback.worker_feature_after,
+        ctx.worker_quality,
+        horizon,
+        max_branches,
+        |from, to| stats.same_worker_mass_between(from, to),
+    )
+}
+
+/// Builds the MDP(r) future-state branches: the *next* worker arrives with gap ~ ϕ(g); the
+/// expected next-worker feature and quality stand in for the unknown arrival (the paper's
+/// expectation speed-up).
+#[allow(clippy::too_many_arguments)]
+pub fn requester_future_branches(
+    transformer: &StateTransformer,
+    stats: &ArrivalStats,
+    ctx: &ArrivalContext,
+    feedback: &PolicyFeedback,
+    expected_next_worker_quality: f32,
+    horizon: u64,
+    max_branches: usize,
+) -> Vec<FutureBranch> {
+    let next_time = ctx.time + stats.mean_consecutive_gap().round().max(1.0) as u64;
+    let expected_feature = stats.expected_next_worker_feature(next_time);
+    build_branches(
+        transformer,
+        ctx,
+        feedback,
+        &expected_feature,
+        expected_next_worker_quality,
+        horizon,
+        max_branches,
+        |from, to| stats.consecutive_mass_between(from, to),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_branches(
+    transformer: &StateTransformer,
+    ctx: &ArrivalContext,
+    feedback: &PolicyFeedback,
+    future_worker_feature: &[f32],
+    future_worker_quality: f32,
+    horizon: u64,
+    max_branches: usize,
+    mass_fn: impl Fn(u64, u64) -> f64,
+) -> Vec<FutureBranch> {
+    let mut pool = future_pool(ctx, feedback);
+    // Sort by deadline so "the first k tasks expired" is a prefix.
+    pool.sort_by_key(|s| s.deadline);
+    let deadlines: Vec<u64> = pool.iter().map(|s| s.deadline).collect();
+    let intervals = merge_intervals(
+        expiry_intervals(&deadlines, ctx.time, horizon, mass_fn),
+        max_branches,
+    );
+    intervals
+        .into_iter()
+        .filter(|interval| interval.mass > 0.0)
+        .map(|interval| {
+            let survivors = &pool[interval.expired_prefix.min(pool.len())..];
+            FutureBranch {
+                probability: interval.mass as f32,
+                state: transformer.build(survivors, future_worker_feature, future_worker_quality),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateKind;
+    use crowd_sim::{TaskId, WorkerId};
+
+    fn snapshot(id: u32, deadline: u64) -> TaskSnapshot {
+        TaskSnapshot {
+            id: TaskId(id),
+            feature: vec![1.0, 0.0, 0.0],
+            quality: 0.2,
+            award: 10.0,
+            category: 0,
+            domain: 0,
+            deadline,
+            completions: 1,
+        }
+    }
+
+    fn context(deadlines: &[u64]) -> ArrivalContext {
+        ArrivalContext {
+            time: 1000,
+            worker_id: WorkerId(0),
+            worker_feature: vec![0.5, 0.5, 0.0],
+            worker_quality: 0.7,
+            is_new_worker: false,
+            available: deadlines
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| snapshot(i as u32, d))
+                .collect(),
+        }
+    }
+
+    fn feedback(ctx: &ArrivalContext, completed: Option<u32>) -> PolicyFeedback {
+        PolicyFeedback {
+            time: ctx.time,
+            worker_id: ctx.worker_id,
+            worker_quality: ctx.worker_quality,
+            shown: ctx.available.iter().map(|s| s.id).collect(),
+            completed: completed.map(|id| (TaskId(id), 0)),
+            quality_gain: if completed.is_some() { 0.3 } else { 0.0 },
+            worker_feature_before: ctx.worker_feature.clone(),
+            worker_feature_after: vec![0.9, 0.1, 0.0],
+        }
+    }
+
+    fn stats() -> ArrivalStats {
+        let mut s = ArrivalStats::new(3, 10_080, 60);
+        // Revisit gaps spread over the support: ~100 min, ~600 min and ~5000 min, each with
+        // roughly a third of the mass, so expiry intervals receive non-trivial probability.
+        for i in 0..50u64 {
+            let base = i * 40_000;
+            s.record_arrival(WorkerId(1), base, &[0.1, 0.2, 0.3]);
+            s.record_arrival(WorkerId(1), base + 100, &[0.1, 0.2, 0.3]);
+            s.record_arrival(WorkerId(1), base + 100 + 600, &[0.1, 0.2, 0.3]);
+            s.record_arrival(WorkerId(1), base + 100 + 600 + 5000, &[0.1, 0.2, 0.3]);
+        }
+        s
+    }
+
+    #[test]
+    fn branch_probabilities_are_a_subdistribution() {
+        let tf = StateTransformer::new(StateKind::Worker, 8, 3, 3);
+        let ctx = context(&[1000 + 300, 1000 + 2000, 1000 + 50_000]);
+        let fb = feedback(&ctx, Some(0));
+        let branches = worker_future_branches(&tf, &stats(), &ctx, &fb, 10_080, 8);
+        assert!(!branches.is_empty());
+        let mass: f32 = branches.iter().map(|b| b.probability).sum();
+        assert!(mass > 0.0 && mass <= 1.0 + 1e-5, "mass {mass}");
+    }
+
+    #[test]
+    fn later_branches_have_fewer_surviving_tasks() {
+        let tf = StateTransformer::new(StateKind::Worker, 8, 3, 3);
+        // Two tasks expire within the horizon, one far beyond it.
+        let ctx = context(&[1000 + 200, 1000 + 3000, 1_000_000]);
+        let fb = feedback(&ctx, None);
+        let branches = worker_future_branches(&tf, &stats(), &ctx, &fb, 10_080, 8);
+        let survivor_counts: Vec<usize> = branches.iter().map(|b| b.state.real_tasks).collect();
+        assert!(survivor_counts.windows(2).all(|w| w[0] >= w[1]), "{survivor_counts:?}");
+        assert_eq!(*survivor_counts.first().unwrap(), 3);
+        assert!(*survivor_counts.last().unwrap() <= 1 + 1, "{survivor_counts:?}");
+    }
+
+    #[test]
+    fn future_worker_feature_is_the_updated_one() {
+        let tf = StateTransformer::new(StateKind::Worker, 4, 3, 3);
+        let ctx = context(&[50_000]);
+        let fb = feedback(&ctx, Some(0));
+        let branches = worker_future_branches(&tf, &stats(), &ctx, &fb, 10_080, 4);
+        // Worker part of each row is the post-completion feature [0.9, 0.1, 0.0].
+        let row = branches[0].state.features.row(0);
+        assert!((row[3] - 0.9).abs() < 1e-6 && (row[4] - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merging_respects_max_branches() {
+        let tf = StateTransformer::new(StateKind::Worker, 16, 3, 3);
+        let deadlines: Vec<u64> = (1..12).map(|i| 1000 + i * 500).collect();
+        let ctx = context(&deadlines);
+        let fb = feedback(&ctx, None);
+        let branches = worker_future_branches(&tf, &stats(), &ctx, &fb, 10_080, 3);
+        assert!(branches.len() <= 3);
+        let mass: f32 = branches.iter().map(|b| b.probability).sum();
+        assert!(mass > 0.5, "merging lost probability mass: {mass}");
+    }
+
+    #[test]
+    fn requester_branches_update_completed_task_quality() {
+        let tf = StateTransformer::new(StateKind::Requester, 4, 3, 3);
+        let ctx = context(&[1_000_000, 2_000_000]);
+        let fb = feedback(&ctx, Some(0));
+        let mut s = stats();
+        // Give the consecutive histogram some short gaps.
+        s.record_arrival(WorkerId(2), 1, &[0.0, 0.0, 0.0]);
+        s.record_arrival(WorkerId(3), 6, &[0.0, 0.0, 0.0]);
+        let branches = requester_future_branches(&tf, &s, &ctx, &fb, 0.6, 60, 4);
+        assert!(!branches.is_empty());
+        // Find task 0's row (deadline-sorted keeps it first) and check quality = 0.2 + 0.3.
+        let state = &branches[0].state;
+        let row = state.features.row(0);
+        let task_quality = row[3 + 3 + 1];
+        assert!((task_quality - 0.5).abs() < 1e-5, "quality {task_quality}");
+        // Requester-side future worker quality uses the supplied expectation.
+        assert!((row[3 + 3] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_available_tasks_yields_padded_empty_branches() {
+        let tf = StateTransformer::new(StateKind::Worker, 4, 3, 3);
+        let ctx = context(&[]);
+        let fb = feedback(&ctx, None);
+        let branches = worker_future_branches(&tf, &stats(), &ctx, &fb, 10_080, 4);
+        assert!(!branches.is_empty());
+        assert_eq!(branches[0].state.real_tasks, 0);
+    }
+}

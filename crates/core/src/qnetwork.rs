@@ -1,0 +1,325 @@
+//! The set-based Q-network (paper Fig. 3 and Fig. 4).
+//!
+//! Architecture, following Sec. IV-B2:
+//!
+//! 1. two row-wise feed-forward blocks lift each `[f_tj | f_wi]` row to the hidden width;
+//! 2. a multi-head self-attention layer computes pairwise interactions among the available
+//!    tasks, followed by a residual row-wise block that keeps the network stable;
+//! 3. a second self-attention layer captures higher-order interactions;
+//! 4. a final row-wise linear layer reduces every row to a single value `Q(s_i, t_j)`.
+//!
+//! Every block is row-wise or (masked) self-attention, so the Q value of a task does not
+//! depend on the order of the other tasks — only on *which* tasks are present (the
+//! permutation-invariance argument of the paper's appendix). The final reduction is a plain
+//! linear layer rather than a ReLU'd one so Q values are not constrained to be non-negative;
+//! this is the only deviation from the figure and is noted in DESIGN.md.
+
+use crate::state::StateTensor;
+use crowd_autograd::{Graph, VarId};
+use crowd_nn::{GraphBinding, Linear, MultiHeadSelfAttention, ParamStore, RowwiseFF};
+use crowd_tensor::{Matrix, Rng};
+
+/// Result alias from the numeric substrate.
+pub type Result<T> = crowd_tensor::Result<T>;
+
+/// The permutation-invariant Q-network.
+#[derive(Debug, Clone)]
+pub struct SetQNetwork {
+    ff1: RowwiseFF,
+    ff2: RowwiseFF,
+    attention1: MultiHeadSelfAttention,
+    residual_ff: RowwiseFF,
+    attention2: MultiHeadSelfAttention,
+    head: Linear,
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+impl SetQNetwork {
+    /// Registers all layers into `store`. Constructing a second network over a *cloned* store
+    /// yields a parameter-compatible target network (same [`crowd_nn::ParamId`] layout).
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        input_dim: usize,
+        hidden_dim: usize,
+        num_heads: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        let ff1 = RowwiseFF::new(store, &format!("{name}.ff1"), input_dim, hidden_dim, rng);
+        let ff2 = RowwiseFF::new(store, &format!("{name}.ff2"), hidden_dim, hidden_dim, rng);
+        let attention1 =
+            MultiHeadSelfAttention::new(store, &format!("{name}.attn1"), hidden_dim, num_heads, rng);
+        let residual_ff =
+            RowwiseFF::new(store, &format!("{name}.resff"), hidden_dim, hidden_dim, rng);
+        let attention2 =
+            MultiHeadSelfAttention::new(store, &format!("{name}.attn2"), hidden_dim, num_heads, rng);
+        let head = Linear::new(store, &format!("{name}.head"), hidden_dim, 1, rng);
+        SetQNetwork {
+            ff1,
+            ff2,
+            attention1,
+            residual_ff,
+            attention2,
+            head,
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// Input row dimension expected by the network.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden width of the internal layers.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Differentiable forward pass on the tape. Returns the `[max_tasks, 1]` column of Q
+    /// values (entries on padded rows are meaningless and must be masked by the loss).
+    pub fn forward(
+        &self,
+        graph: &mut Graph,
+        store: &ParamStore,
+        binding: &mut GraphBinding,
+        state: &StateTensor,
+    ) -> Result<VarId> {
+        let mask = state.attention_mask();
+        let x = graph.constant(state.features.clone());
+        let h1 = self.ff1.forward(graph, store, binding, x)?;
+        let h2 = self.ff2.forward(graph, store, binding, h1)?;
+        let a1 = self
+            .attention1
+            .forward(graph, store, binding, h2, Some(&mask))?;
+        let r1 = self.residual_ff.forward(graph, store, binding, a1)?;
+        let h3 = graph.add(h2, r1)?;
+        let a2 = self
+            .attention2
+            .forward(graph, store, binding, h3, Some(&mask))?;
+        self.head.forward(graph, store, binding, a2)
+    }
+
+    /// Gradient-free forward pass; returns one Q value per *real* task row, in row order.
+    pub fn infer(&self, store: &ParamStore, state: &StateTensor) -> Result<Vec<f32>> {
+        if state.real_tasks == 0 {
+            return Ok(Vec::new());
+        }
+        let mask = state.attention_mask();
+        let h1 = self.ff1.infer(store, &state.features)?;
+        let h2 = self.ff2.infer(store, &h1)?;
+        let a1 = self.attention1.infer(store, &h2, Some(&mask))?;
+        let r1 = self.residual_ff.infer(store, &a1)?;
+        let h3 = h2.add(&r1)?;
+        let a2 = self.attention2.infer(store, &h3, Some(&mask))?;
+        let q = self.head.infer(store, &a2)?;
+        Ok(q.col(0)[..state.real_tasks].to_vec())
+    }
+
+    /// Maximum Q value over real tasks; `None` for an empty pool.
+    pub fn max_q(&self, store: &ParamStore, state: &StateTensor) -> Result<Option<f32>> {
+        Ok(self
+            .infer(store, state)?
+            .into_iter()
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f32| a.max(v)))))
+    }
+
+    /// Index (row) of the maximum Q value over real tasks; `None` for an empty pool.
+    pub fn argmax_q(&self, store: &ParamStore, state: &StateTensor) -> Result<Option<usize>> {
+        let q = self.infer(store, state)?;
+        Ok(q.iter()
+            .enumerate()
+            .fold(None, |best: Option<(usize, f32)>, (i, &v)| match best {
+                Some((_, bv)) if v <= bv => best,
+                _ => Some((i, v)),
+            })
+            .map(|(i, _)| i))
+    }
+
+    /// Builds the `[max_tasks, 1]` loss mask/target pair for a minibatch element: the mask
+    /// selects `action_row` and the target carries `target_value` there.
+    pub fn action_target(
+        max_tasks: usize,
+        action_row: usize,
+        target_value: f32,
+    ) -> (Matrix, Matrix) {
+        let mut mask = Matrix::zeros(max_tasks, 1);
+        let mut target = Matrix::zeros(max_tasks, 1);
+        if action_row < max_tasks {
+            mask.set(action_row, 0, 1.0);
+            target.set(action_row, 0, target_value);
+        }
+        (mask, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{StateKind, StateTransformer};
+    use crowd_sim::{TaskId, TaskSnapshot};
+
+    fn snapshot(id: u32, seed: f32) -> TaskSnapshot {
+        TaskSnapshot {
+            id: TaskId(id),
+            feature: vec![seed, 1.0 - seed, 0.5 * seed, 0.2],
+            quality: 0.0,
+            award: 10.0,
+            category: 0,
+            domain: 0,
+            deadline: 1000 + id as u64,
+            completions: 0,
+        }
+    }
+
+    fn state(n: u32, max_tasks: usize) -> StateTensor {
+        let tf = StateTransformer::new(StateKind::Worker, max_tasks, 4, 3);
+        let snaps: Vec<TaskSnapshot> = (0..n).map(|i| snapshot(i, i as f32 * 0.1)).collect();
+        tf.build(&snaps, &[0.3, 0.6, 0.1], 0.5)
+    }
+
+    fn network(input_dim: usize, seed: u64) -> (ParamStore, SetQNetwork) {
+        let mut rng = Rng::seed_from(seed);
+        let mut store = ParamStore::new();
+        let net = SetQNetwork::new(&mut store, "q", input_dim, 16, 4, &mut rng);
+        (store, net)
+    }
+
+    #[test]
+    fn infer_returns_one_q_per_real_task() {
+        let (store, net) = network(7, 0);
+        let st = state(5, 8);
+        let q = net.infer(&store, &st).unwrap();
+        assert_eq!(q.len(), 5);
+        assert!(q.iter().all(|v| v.is_finite()));
+        assert!(net.infer(&store, &state(0, 8)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn tape_forward_matches_inference_on_real_rows() {
+        let (store, net) = network(7, 1);
+        let st = state(4, 6);
+        let mut g = Graph::new();
+        let mut binding = GraphBinding::new();
+        let out = net.forward(&mut g, &store, &mut binding, &st).unwrap();
+        let tape_q = g.value(out).col(0);
+        let infer_q = net.infer(&store, &st).unwrap();
+        for (a, b) in tape_q.iter().take(4).zip(infer_q.iter()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn q_values_are_permutation_invariant() {
+        // Reversing the task order must permute Q values identically (paper appendix).
+        let (store, net) = network(7, 2);
+        let tf = StateTransformer::new(StateKind::Worker, 6, 4, 3);
+        let snaps: Vec<TaskSnapshot> = (0..5).map(|i| snapshot(i, i as f32 * 0.17)).collect();
+        let mut reversed = snaps.clone();
+        reversed.reverse();
+        let wf = [0.3, 0.6, 0.1];
+        let q_fwd = net.infer(&store, &tf.build(&snaps, &wf, 0.5)).unwrap();
+        let q_rev = net.infer(&store, &tf.build(&reversed, &wf, 0.5)).unwrap();
+        for i in 0..5 {
+            assert!(
+                (q_fwd[i] - q_rev[4 - i]).abs() < 1e-4,
+                "row {i}: {} vs {}",
+                q_fwd[i],
+                q_rev[4 - i]
+            );
+        }
+    }
+
+    #[test]
+    fn q_depends_on_the_other_available_tasks() {
+        // The same (worker, task) pair gets a different value when the competing pool
+        // changes — the contextual effect the paper argues per-task scoring models miss.
+        let (store, net) = network(7, 3);
+        let tf = StateTransformer::new(StateKind::Worker, 6, 4, 3);
+        let wf = [0.3, 0.6, 0.1];
+        let solo = tf.build(&[snapshot(0, 0.1)], &wf, 0.5);
+        let crowded: Vec<TaskSnapshot> =
+            (0..5).map(|i| snapshot(i, if i == 0 { 0.1 } else { 0.9 })).collect();
+        let crowded_state = tf.build(&crowded, &wf, 0.5);
+        let q_solo = net.infer(&store, &solo).unwrap()[0];
+        let q_crowded = net.infer(&store, &crowded_state).unwrap()[0];
+        assert!(
+            (q_solo - q_crowded).abs() > 1e-6,
+            "pool context had no effect on Q"
+        );
+    }
+
+    #[test]
+    fn padding_does_not_change_real_q_values() {
+        // Same pool represented with different maxT (more padding rows) gives the same Qs.
+        let (store, net) = network(7, 4);
+        let small_tf = StateTransformer::new(StateKind::Worker, 5, 4, 3);
+        let large_tf = StateTransformer::new(StateKind::Worker, 12, 4, 3);
+        let snaps: Vec<TaskSnapshot> = (0..4).map(|i| snapshot(i, i as f32 * 0.2)).collect();
+        let wf = [0.3, 0.6, 0.1];
+        let q_small = net.infer(&store, &small_tf.build(&snaps, &wf, 0.5)).unwrap();
+        let q_large = net.infer(&store, &large_tf.build(&snaps, &wf, 0.5)).unwrap();
+        for (a, b) in q_small.iter().zip(q_large.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn argmax_and_max_agree() {
+        let (store, net) = network(7, 5);
+        let st = state(6, 8);
+        let q = net.infer(&store, &st).unwrap();
+        let max = net.max_q(&store, &st).unwrap().unwrap();
+        let arg = net.argmax_q(&store, &st).unwrap().unwrap();
+        assert!((q[arg] - max).abs() < 1e-6);
+        assert!(net.max_q(&store, &state(0, 8)).unwrap().is_none());
+    }
+
+    #[test]
+    fn cloned_store_is_a_compatible_target_network() {
+        let (store, net) = network(7, 6);
+        let mut target = store.clone();
+        let st = state(3, 8);
+        // Initially identical.
+        assert_eq!(net.infer(&store, &st).unwrap(), net.infer(&target, &st).unwrap());
+        // Diverge the target, then hard-sync back.
+        let first_param = target.iter().next().map(|(id, _, _)| id).unwrap();
+        target.get_mut(first_param).fill(0.0);
+        target.copy_from(&store);
+        assert_eq!(net.infer(&store, &st).unwrap(), net.infer(&target, &st).unwrap());
+    }
+
+    #[test]
+    fn action_target_selects_single_row() {
+        let (mask, target) = SetQNetwork::action_target(4, 2, 1.5);
+        assert_eq!(mask.col(0), vec![0.0, 0.0, 1.0, 0.0]);
+        assert_eq!(target.get(2, 0), 1.5);
+        let (mask_oob, _) = SetQNetwork::action_target(4, 9, 1.0);
+        assert_eq!(mask_oob.sum(), 0.0);
+    }
+
+    #[test]
+    fn gradient_step_moves_q_towards_target() {
+        use crowd_nn::{Adam, Optimizer};
+        let (mut store, net) = network(7, 7);
+        let st = state(4, 6);
+        let mut opt = Adam::new(0.01);
+        let initial_q = net.infer(&store, &st).unwrap()[1];
+        let target_value = initial_q + 2.0;
+        for _ in 0..60 {
+            let mut g = Graph::new();
+            let mut binding = GraphBinding::new();
+            let out = net.forward(&mut g, &store, &mut binding, &st).unwrap();
+            let (mask, target) = SetQNetwork::action_target(6, 1, target_value);
+            let loss = g.masked_mse(out, &target, &mask).unwrap();
+            g.backward(loss).unwrap();
+            opt.step(&mut store, &binding.gradients(&g)).unwrap();
+        }
+        let trained_q = net.infer(&store, &st).unwrap()[1];
+        assert!(
+            (trained_q - target_value).abs() < 0.2,
+            "Q moved from {initial_q} to {trained_q}, target {target_value}"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Worker arrival gap distributions.
+//!
+//! Fig. 5 of the paper shows two empirical patterns the framework exploits:
+//! (a)/(b) the gap between two consecutive arrivals *of the same worker* is a mixture of a
+//! short revisit (minutes to a couple of hours) and "come back after 1, 2, … 7 days";
+//! (c) the gap between two consecutive arrivals of *any* workers is a short long-tailed
+//! distribution (99% under 60 minutes on the real platform).
+//!
+//! [`GapDistribution`] is the generative model the synthetic dataset uses for (a)/(b); the
+//! global pattern (c) then emerges from interleaving many workers.
+
+use crowd_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Number of minutes in a day.
+const DAY: f32 = 1440.0;
+
+/// Mixture model of the same-worker revisit gap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GapDistribution {
+    /// Probability that the next arrival is a short revisit (same session / same day).
+    pub short_prob: f32,
+    /// Mean of the short revisit gap in minutes (exponentially distributed).
+    pub short_mean_minutes: f32,
+    /// Mean number of days of the long revisit component (geometric-like, capped).
+    pub mean_days: f32,
+    /// Maximum number of days of the long component (the paper ignores gaps > 7 days).
+    pub max_days: u32,
+    /// Standard deviation (minutes) of the jitter added around the day multiples.
+    pub day_jitter_minutes: f32,
+}
+
+impl Default for GapDistribution {
+    fn default() -> Self {
+        GapDistribution {
+            short_prob: 0.35,
+            short_mean_minutes: 45.0,
+            mean_days: 2.0,
+            max_days: 7,
+            day_jitter_minutes: 240.0,
+        }
+    }
+}
+
+impl GapDistribution {
+    /// Expected gap in minutes.
+    pub fn mean_minutes(&self) -> f32 {
+        // The truncated-geometric day count has a mean close to `mean_days` when
+        // `mean_days << max_days`; the analytic form below mirrors `sample_days`.
+        let p = 1.0 / self.mean_days.max(1.0);
+        let mut mean_days = 0.0;
+        let mut remaining = 1.0;
+        for d in 1..=self.max_days {
+            let prob = if d == self.max_days {
+                remaining
+            } else {
+                remaining * p
+            };
+            mean_days += d as f32 * prob;
+            remaining -= prob;
+        }
+        self.short_prob * self.short_mean_minutes + (1.0 - self.short_prob) * mean_days * DAY
+    }
+
+    fn sample_days(&self, rng: &mut Rng) -> u32 {
+        let p = 1.0 / self.mean_days.max(1.0);
+        for d in 1..self.max_days {
+            if rng.chance(p) {
+                return d;
+            }
+        }
+        self.max_days
+    }
+
+    /// Draws one revisit gap in minutes (always at least 1).
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        let minutes = if rng.chance(self.short_prob) {
+            rng.exponential(1.0 / self.short_mean_minutes.max(1.0))
+        } else {
+            let days = self.sample_days(rng) as f32;
+            (days * DAY + rng.normal(0.0, self.day_jitter_minutes)).max(1.0)
+        };
+        minutes.max(1.0).round() as u64
+    }
+
+    /// Draws `count` gaps.
+    pub fn sample_many(&self, count: usize, rng: &mut Rng) -> Vec<u64> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_positive_and_bounded() {
+        let d = GapDistribution::default();
+        let mut rng = Rng::seed_from(0);
+        for _ in 0..5000 {
+            let g = d.sample(&mut rng);
+            assert!(g >= 1);
+            // max_days * day + generous jitter headroom
+            assert!(g < (d.max_days as u64 + 1) * 1440 + 2000);
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches_analytic() {
+        let d = GapDistribution::default();
+        let mut rng = Rng::seed_from(1);
+        let n = 40_000;
+        let mean = d.sample_many(n, &mut rng).iter().sum::<u64>() as f32 / n as f32;
+        let analytic = d.mean_minutes();
+        let rel = (mean - analytic).abs() / analytic;
+        assert!(rel < 0.05, "empirical {mean} analytic {analytic}");
+    }
+
+    #[test]
+    fn mixture_shape_short_and_daily_modes() {
+        let d = GapDistribution::default();
+        let mut rng = Rng::seed_from(2);
+        let gaps = d.sample_many(20_000, &mut rng);
+        let short = gaps.iter().filter(|&&g| g < 240).count() as f32 / gaps.len() as f32;
+        let daily = gaps.iter().filter(|&&g| g >= 1000).count() as f32 / gaps.len() as f32;
+        // Short revisits near the configured short_prob, the rest day-scale (Fig. 5(a)/(b)).
+        assert!((short - 0.35).abs() < 0.06, "short fraction {short}");
+        assert!(daily > 0.55, "daily fraction {daily}");
+    }
+
+    #[test]
+    fn higher_mean_days_gives_longer_gaps() {
+        let fast = GapDistribution {
+            mean_days: 1.0,
+            ..GapDistribution::default()
+        };
+        let slow = GapDistribution {
+            mean_days: 5.0,
+            ..GapDistribution::default()
+        };
+        assert!(slow.mean_minutes() > fast.mean_minutes());
+    }
+}

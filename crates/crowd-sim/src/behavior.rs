@@ -1,0 +1,201 @@
+//! The worker behaviour model: latent utility plus cascade browsing.
+//!
+//! The paper assumes (Sec. III and VII-B1) that a worker scans a recommended list top-down
+//! (cascade model, Craswell et al.) and completes the first task s/he finds interesting; the
+//! rest of the shown tasks count as skipped. "Interesting" is modelled here with a latent
+//! utility combining the worker's category/domain affinities, award sensitivity and noise —
+//! the ground truth that policies must discover from observed completions only.
+
+use crate::task::Task;
+use crate::worker::Worker;
+use crowd_tensor::Rng;
+
+/// Ground-truth behaviour model shared by the whole simulation.
+#[derive(Debug, Clone)]
+pub struct BehaviorModel {
+    /// Award normalisation constant (the award that counts as "1.0" utility for a fully
+    /// payment-driven worker).
+    pub award_scale: f32,
+    /// Standard deviation of the per-decision utility noise.
+    pub noise_std: f32,
+}
+
+impl Default for BehaviorModel {
+    fn default() -> Self {
+        BehaviorModel {
+            award_scale: 100.0,
+            noise_std: 0.15,
+        }
+    }
+}
+
+impl BehaviorModel {
+    /// Deterministic part of the worker's utility for a task.
+    pub fn base_utility(&self, worker: &Worker, task: &Task) -> f32 {
+        let cat = worker
+            .category_affinity
+            .get(task.category as usize)
+            .copied()
+            .unwrap_or(0.0);
+        let dom = worker
+            .domain_affinity
+            .get(task.domain as usize)
+            .copied()
+            .unwrap_or(0.0);
+        let award = (task.award / self.award_scale).min(2.0);
+        // Category is the dominant motive, domain secondary, award weighted by the worker's
+        // payment sensitivity (Kaufmann et al.'s top-3 motivations, Sec. IV-A1).
+        0.55 * cat + 0.25 * dom + worker.award_sensitivity * award
+    }
+
+    /// Noisy interest decision for a single task.
+    pub fn is_interested(&self, worker: &Worker, task: &Task, rng: &mut Rng) -> bool {
+        let u = self.base_utility(worker, task) + rng.normal(0.0, self.noise_std);
+        u > worker.interest_threshold
+    }
+
+    /// Cascade browse: the worker scans `shown` in order (up to the attention budget) and
+    /// returns the position of the first task s/he completes, or `None` if none is completed.
+    pub fn browse<'a>(
+        &self,
+        worker: &Worker,
+        shown: impl IntoIterator<Item = &'a Task>,
+        rng: &mut Rng,
+    ) -> Option<usize> {
+        for (position, task) in shown.into_iter().enumerate() {
+            if position >= worker.attention_budget {
+                return None;
+            }
+            if self.is_interested(worker, task, rng) {
+                return Some(position);
+            }
+        }
+        None
+    }
+
+    /// Probability that the worker is interested in the task, marginalising over the decision
+    /// noise (used by tests and by oracle diagnostics, never by policies).
+    pub fn interest_probability(&self, worker: &Worker, task: &Task) -> f32 {
+        // P(base + N(0, sigma) > threshold) = Phi((base - threshold) / sigma).
+        let z = (self.base_utility(worker, task) - worker.interest_threshold) / self.noise_std;
+        normal_cdf(z)
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation.
+fn normal_cdf(z: f32) -> f32 {
+    let t = 1.0 / (1.0 + 0.2316419 * z.abs());
+    let d = 0.398_942_3 * (-z * z / 2.0).exp();
+    let poly = t * (0.319_381_53
+        + t * (-0.356_563_782 + t * (1.781_477_937 + t * (-1.821_255_978 + t * 1.330_274_429))));
+    let p = 1.0 - d * poly;
+    if z >= 0.0 {
+        p
+    } else {
+        1.0 - p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskId;
+    use crate::worker::WorkerId;
+
+    fn worker(cat_affinity: Vec<f32>, threshold: f32, budget: usize) -> Worker {
+        Worker {
+            id: WorkerId(0),
+            quality: 0.5,
+            category_affinity: cat_affinity,
+            domain_affinity: vec![0.5, 0.5],
+            award_sensitivity: 0.2,
+            interest_threshold: threshold,
+            attention_budget: budget,
+            activity: 1.0,
+        }
+    }
+
+    fn task(category: u16, award: f32) -> Task {
+        Task {
+            id: TaskId(0),
+            requester: 0,
+            category,
+            domain: 0,
+            award,
+            created_at: 0,
+            deadline: 1000,
+        }
+    }
+
+    #[test]
+    fn utility_prefers_liked_categories() {
+        let model = BehaviorModel::default();
+        let w = worker(vec![1.0, 0.0], 0.5, 10);
+        assert!(model.base_utility(&w, &task(0, 50.0)) > model.base_utility(&w, &task(1, 50.0)));
+    }
+
+    #[test]
+    fn utility_grows_with_award() {
+        let model = BehaviorModel::default();
+        let w = worker(vec![0.5, 0.5], 0.5, 10);
+        assert!(model.base_utility(&w, &task(0, 150.0)) > model.base_utility(&w, &task(0, 10.0)));
+    }
+
+    #[test]
+    fn interest_probability_matches_empirical_rate() {
+        let model = BehaviorModel::default();
+        let w = worker(vec![0.8, 0.0], 0.55, 10);
+        let t = task(0, 60.0);
+        let p = model.interest_probability(&w, &t);
+        let mut rng = Rng::seed_from(0);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| model.is_interested(&w, &t, &mut rng)).count();
+        let empirical = hits as f32 / n as f32;
+        assert!((p - empirical).abs() < 0.02, "analytic {p} empirical {empirical}");
+    }
+
+    #[test]
+    fn cascade_returns_first_interesting_position() {
+        let model = BehaviorModel {
+            award_scale: 100.0,
+            noise_std: 1e-6, // effectively deterministic
+        };
+        let w = worker(vec![1.0, 0.0], 0.5, 10);
+        let boring = task(1, 0.0);
+        let interesting = task(0, 80.0);
+        let shown = vec![boring.clone(), boring.clone(), interesting, boring];
+        let mut rng = Rng::seed_from(1);
+        assert_eq!(model.browse(&w, shown.iter(), &mut rng), Some(2));
+    }
+
+    #[test]
+    fn cascade_respects_attention_budget() {
+        let model = BehaviorModel {
+            award_scale: 100.0,
+            noise_std: 1e-6,
+        };
+        let w = worker(vec![1.0, 0.0], 0.5, 2);
+        let boring = task(1, 0.0);
+        let interesting = task(0, 80.0);
+        // The interesting task sits past the attention budget, so it is never reached.
+        let shown = vec![boring.clone(), boring, interesting];
+        let mut rng = Rng::seed_from(2);
+        assert_eq!(model.browse(&w, shown.iter(), &mut rng), None);
+    }
+
+    #[test]
+    fn cascade_handles_empty_list() {
+        let model = BehaviorModel::default();
+        let w = worker(vec![1.0], 0.5, 5);
+        let mut rng = Rng::seed_from(3);
+        assert_eq!(model.browse(&w, [].iter(), &mut rng), None);
+    }
+
+    #[test]
+    fn normal_cdf_sanity() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-3);
+        assert!(normal_cdf(3.0) > 0.99);
+        assert!(normal_cdf(-3.0) < 0.01);
+        assert!((normal_cdf(1.0) - 0.8413).abs() < 2e-3);
+    }
+}

@@ -1,0 +1,92 @@
+//! The time-ordered event stream replayed by the [`Platform`](crate::Platform).
+
+use crate::task::TaskId;
+use crate::worker::WorkerId;
+use serde::{Deserialize, Serialize};
+
+/// What happened at a point in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A requester published a new task; it joins the available pool.
+    TaskCreated(TaskId),
+    /// A task reached its deadline; it leaves the available pool.
+    TaskExpired(TaskId),
+    /// A worker arrived and must be shown a task (or a ranked list of tasks).
+    WorkerArrival(WorkerId),
+}
+
+/// A timestamped event. Times are minutes since the start of the simulated horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Minutes since the start of the horizon.
+    pub time: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// True for worker-arrival events (the only events that require a decision).
+    pub fn is_arrival(&self) -> bool {
+        matches!(self.kind, EventKind::WorkerArrival(_))
+    }
+}
+
+/// Sorts events by time; ties are broken so that task creations come before arrivals and
+/// arrivals before expirations, ensuring a worker arriving exactly at a task's creation time
+/// sees it and one arriving exactly at the deadline does not.
+pub fn sort_events(events: &mut [Event]) {
+    fn rank(kind: &EventKind) -> u8 {
+        match kind {
+            EventKind::TaskCreated(_) => 0,
+            EventKind::WorkerArrival(_) => 1,
+            EventKind::TaskExpired(_) => 2,
+        }
+    }
+    events.sort_by(|a, b| a.time.cmp(&b.time).then(rank(&a.kind).cmp(&rank(&b.kind))));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_detection() {
+        let e = Event {
+            time: 5,
+            kind: EventKind::WorkerArrival(WorkerId(0)),
+        };
+        assert!(e.is_arrival());
+        let e2 = Event {
+            time: 5,
+            kind: EventKind::TaskCreated(TaskId(0)),
+        };
+        assert!(!e2.is_arrival());
+    }
+
+    #[test]
+    fn sort_breaks_ties_in_create_arrive_expire_order() {
+        let mut events = vec![
+            Event {
+                time: 10,
+                kind: EventKind::TaskExpired(TaskId(1)),
+            },
+            Event {
+                time: 10,
+                kind: EventKind::WorkerArrival(WorkerId(2)),
+            },
+            Event {
+                time: 10,
+                kind: EventKind::TaskCreated(TaskId(3)),
+            },
+            Event {
+                time: 5,
+                kind: EventKind::TaskExpired(TaskId(0)),
+            },
+        ];
+        sort_events(&mut events);
+        assert_eq!(events[0].time, 5);
+        assert!(matches!(events[1].kind, EventKind::TaskCreated(_)));
+        assert!(matches!(events[2].kind, EventKind::WorkerArrival(_)));
+        assert!(matches!(events[3].kind, EventKind::TaskExpired(_)));
+    }
+}

@@ -1,0 +1,228 @@
+//! Feature construction (paper Sec. IV-A and V-A).
+//!
+//! * Task features: one-hot category ⊕ one-hot domain ⊕ one-hot discretised award — the
+//!   paper's top-3 worker motivations (remuneration, autonomy, skill variety).
+//! * Worker features: the distribution of recently completed tasks, maintained here as an
+//!   exponentially decayed average of completed-task feature vectors so it can be updated in
+//!   real time after every feedback (the "updated worker feature f_wi by r_i" of MDP(w)).
+
+use crate::task::Task;
+use serde::{Deserialize, Serialize};
+
+/// Describes how entities are embedded into fixed-length feature vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSpace {
+    n_categories: usize,
+    n_domains: usize,
+    /// Upper edges of the award buckets (ascending); awards above the last edge fall into the
+    /// final bucket.
+    award_bucket_edges: Vec<f32>,
+    /// Exponential decay applied to the previous worker feature on each new completion.
+    worker_decay: f32,
+}
+
+impl FeatureSpace {
+    /// Creates a feature space with `n_award_buckets` equal-width award buckets over
+    /// `[0, max_award]`.
+    pub fn new(
+        n_categories: usize,
+        n_domains: usize,
+        n_award_buckets: usize,
+        max_award: f32,
+        worker_decay: f32,
+    ) -> Self {
+        assert!(n_categories > 0 && n_domains > 0 && n_award_buckets > 0);
+        let width = max_award / n_award_buckets as f32;
+        let award_bucket_edges = (1..=n_award_buckets)
+            .map(|i| width * i as f32)
+            .collect();
+        FeatureSpace {
+            n_categories,
+            n_domains,
+            award_bucket_edges,
+            worker_decay: worker_decay.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Number of task categories.
+    pub fn n_categories(&self) -> usize {
+        self.n_categories
+    }
+
+    /// Number of task domains.
+    pub fn n_domains(&self) -> usize {
+        self.n_domains
+    }
+
+    /// Number of award buckets.
+    pub fn n_award_buckets(&self) -> usize {
+        self.award_bucket_edges.len()
+    }
+
+    /// Dimension of a task feature vector (= dimension of a worker feature vector).
+    pub fn task_dim(&self) -> usize {
+        self.n_categories + self.n_domains + self.award_bucket_edges.len()
+    }
+
+    /// Dimension of a worker feature vector. Kept equal to [`FeatureSpace::task_dim`] so
+    /// worker and task features live in the same space (required by the cosine-similarity
+    /// baseline and convenient for the Q-network input concatenation).
+    pub fn worker_dim(&self) -> usize {
+        self.task_dim()
+    }
+
+    /// Bucket index of an award value.
+    pub fn award_bucket(&self, award: f32) -> usize {
+        for (i, &edge) in self.award_bucket_edges.iter().enumerate() {
+            if award <= edge {
+                return i;
+            }
+        }
+        self.award_bucket_edges.len() - 1
+    }
+
+    /// Builds the feature vector of a task.
+    pub fn task_feature(&self, task: &Task) -> Vec<f32> {
+        let mut f = vec![0.0; self.task_dim()];
+        let cat = (task.category as usize).min(self.n_categories - 1);
+        f[cat] = 1.0;
+        let dom = (task.domain as usize).min(self.n_domains - 1);
+        f[self.n_categories + dom] = 1.0;
+        let bucket = self.award_bucket(task.award);
+        f[self.n_categories + self.n_domains + bucket] = 1.0;
+        f
+    }
+
+    /// A fresh (cold-start) worker feature: all zeros, meaning "no completion history yet".
+    pub fn initial_worker_feature(&self) -> Vec<f32> {
+        vec![0.0; self.worker_dim()]
+    }
+
+    /// Updates a worker feature in place after the worker completed a task with feature
+    /// `completed_task_feature`: exponential decay towards the distribution of recent
+    /// completions. A worker with no history (all zeros) adopts the task feature directly.
+    pub fn update_worker_feature(&self, worker_feature: &mut [f32], completed_task_feature: &[f32]) {
+        debug_assert_eq!(worker_feature.len(), completed_task_feature.len());
+        let is_cold = worker_feature.iter().all(|&v| v == 0.0);
+        if is_cold {
+            worker_feature.copy_from_slice(completed_task_feature);
+            return;
+        }
+        let decay = self.worker_decay;
+        for (w, &t) in worker_feature.iter_mut().zip(completed_task_feature) {
+            *w = decay * *w + (1.0 - decay) * t;
+        }
+    }
+
+    /// Mean of a set of worker features — the "average feature of old workers" used to
+    /// represent an unseen new worker in the MDP(r) future-state predictor (Sec. V-D).
+    pub fn mean_feature(features: &[Vec<f32>]) -> Vec<f32> {
+        if features.is_empty() {
+            return Vec::new();
+        }
+        let dim = features[0].len();
+        let mut mean = vec![0.0; dim];
+        for f in features {
+            for (m, &v) in mean.iter_mut().zip(f) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= features.len() as f32;
+        }
+        mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskId;
+
+    fn space() -> FeatureSpace {
+        FeatureSpace::new(3, 2, 4, 100.0, 0.8)
+    }
+
+    fn task(category: u16, domain: u16, award: f32) -> Task {
+        Task {
+            id: TaskId(0),
+            requester: 0,
+            category,
+            domain,
+            award,
+            created_at: 0,
+            deadline: 10,
+        }
+    }
+
+    #[test]
+    fn dimensions() {
+        let s = space();
+        assert_eq!(s.task_dim(), 9);
+        assert_eq!(s.worker_dim(), 9);
+        assert_eq!(s.n_award_buckets(), 4);
+    }
+
+    #[test]
+    fn task_feature_is_three_hot() {
+        let s = space();
+        let f = s.task_feature(&task(1, 0, 30.0));
+        assert_eq!(f.len(), 9);
+        assert_eq!(f.iter().filter(|&&v| v == 1.0).count(), 3);
+        assert_eq!(f[1], 1.0); // category 1
+        assert_eq!(f[3], 1.0); // domain 0
+        assert_eq!(f[3 + 2 + 1], 1.0); // award 30 -> bucket 1 (edges 25/50/75/100)
+    }
+
+    #[test]
+    fn award_buckets_cover_extremes() {
+        let s = space();
+        assert_eq!(s.award_bucket(0.0), 0);
+        assert_eq!(s.award_bucket(25.0), 0);
+        assert_eq!(s.award_bucket(99.0), 3);
+        assert_eq!(s.award_bucket(1e6), 3);
+    }
+
+    #[test]
+    fn out_of_range_category_is_clamped() {
+        let s = space();
+        let f = s.task_feature(&task(99, 99, 10.0));
+        assert_eq!(f[2], 1.0); // clamped to last category
+        assert_eq!(f[3 + 1], 1.0); // clamped to last domain
+    }
+
+    #[test]
+    fn cold_start_worker_adopts_first_completion() {
+        let s = space();
+        let mut wf = s.initial_worker_feature();
+        let tf = s.task_feature(&task(0, 1, 80.0));
+        s.update_worker_feature(&mut wf, &tf);
+        assert_eq!(wf, tf);
+    }
+
+    #[test]
+    fn worker_feature_decays_towards_recent_tasks() {
+        let s = space();
+        let mut wf = s.initial_worker_feature();
+        let cat0 = s.task_feature(&task(0, 0, 10.0));
+        let cat2 = s.task_feature(&task(2, 1, 90.0));
+        s.update_worker_feature(&mut wf, &cat0);
+        for _ in 0..20 {
+            s.update_worker_feature(&mut wf, &cat2);
+        }
+        // After many category-2 completions the category-2 weight dominates category-0.
+        assert!(wf[2] > 0.9);
+        assert!(wf[0] < 0.05);
+        // Still a valid (bounded) distribution-like vector.
+        assert!(wf.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn mean_feature_averages() {
+        let a = vec![1.0, 0.0];
+        let b = vec![0.0, 1.0];
+        let m = FeatureSpace::mean_feature(&[a, b]);
+        assert_eq!(m, vec![0.5, 0.5]);
+        assert!(FeatureSpace::mean_feature(&[]).is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! Crowdsourcing platform simulator.
+//!
+//! The paper evaluates on a crawled CrowdSpring dataset that is not public, and — like the
+//! paper's own offline replay — needs a behavioural assumption about which task an arriving
+//! worker completes. This crate provides the full substrate:
+//!
+//! * entity types ([`Task`], [`Worker`]) and the time-ordered event stream of task creations,
+//!   task expirations and worker arrivals ([`Event`]);
+//! * feature construction exactly as Sec. IV-A describes (one-hot category ⊕ one-hot domain ⊕
+//!   discretised award for tasks; decayed distribution of recently completed task features
+//!   for workers) in [`features`];
+//! * the cascade browsing / latent-utility behaviour model in [`behavior`];
+//! * Dixit–Stiglitz task quality (Eq. 5) in [`quality`];
+//! * a synthetic CrowdSpring-replica generator calibrated to the statistics the paper reports
+//!   (Fig. 5/6) in [`generator`], plus the resampling and quality-perturbation knobs used by
+//!   the synthetic experiments (Fig. 10);
+//! * the [`Platform`] environment that replays the event stream, shows task pools to
+//!   policies, applies worker feedback and maintains worker/task state;
+//! * the [`Policy`] trait implemented by the DDQN agent (`crowd-rl-core`) and all baselines
+//!   (`crowd-baselines`);
+//! * dataset statistics used to regenerate Fig. 5 and Fig. 6 in [`stats`].
+
+pub mod arrival;
+pub mod behavior;
+pub mod dataset;
+pub mod event;
+pub mod features;
+pub mod generator;
+pub mod platform;
+pub mod policy;
+pub mod quality;
+pub mod stats;
+pub mod task;
+pub mod worker;
+
+pub use arrival::GapDistribution;
+pub use behavior::BehaviorModel;
+pub use dataset::{Dataset, MINUTES_PER_DAY, MINUTES_PER_MONTH};
+pub use event::{Event, EventKind};
+pub use features::FeatureSpace;
+pub use generator::{perturb_worker_qualities, resample_arrivals, SimConfig};
+pub use platform::{Arrival, Platform};
+pub use policy::{Action, ArrivalContext, Policy, PolicyFeedback, TaskSnapshot};
+pub use quality::{dixit_stiglitz, quality_gain};
+pub use stats::{consecutive_arrival_gap_histogram, monthly_stats, same_worker_gap_histogram, GapHistogram, MonthStats};
+pub use task::{Task, TaskId};
+pub use worker::{Worker, WorkerId};

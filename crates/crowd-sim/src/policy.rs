@@ -1,0 +1,198 @@
+//! The [`Policy`] trait — the interface between the platform environment and every task
+//! arrangement method (the DDQN agent and all baselines).
+
+use crate::task::TaskId;
+use crate::worker::WorkerId;
+
+/// Snapshot of one available task as shown to a policy at decision time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSnapshot {
+    /// Task identifier.
+    pub id: TaskId,
+    /// Task feature vector (Sec. IV-A1).
+    pub feature: Vec<f32>,
+    /// Current Dixit–Stiglitz quality of the task (Sec. V-A).
+    pub quality: f32,
+    /// Raw award value.
+    pub award: f32,
+    /// Category index.
+    pub category: u16,
+    /// Domain index.
+    pub domain: u16,
+    /// Expiration time (minutes since horizon start).
+    pub deadline: u64,
+    /// Number of completions so far.
+    pub completions: usize,
+}
+
+/// Everything a policy sees when a worker arrives (the observable part of the MDP state
+/// `s_i = [f_wi, f_Ti, q_wi, q_Ti]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalContext {
+    /// Arrival time in minutes since the start of the horizon.
+    pub time: u64,
+    /// The arriving worker.
+    pub worker_id: WorkerId,
+    /// The worker's observable feature vector (distribution of recent completions).
+    pub worker_feature: Vec<f32>,
+    /// The worker's known quality `q_wi ∈ [0, 1]`.
+    pub worker_quality: f32,
+    /// Whether this worker has been seen before by the platform.
+    pub is_new_worker: bool,
+    /// Snapshots of the currently available tasks `T_i`.
+    pub available: Vec<TaskSnapshot>,
+}
+
+impl ArrivalContext {
+    /// Position of a task inside [`ArrivalContext::available`], if present.
+    pub fn position_of(&self, task: TaskId) -> Option<usize> {
+        self.available.iter().position(|t| t.id == task)
+    }
+}
+
+/// A policy's decision for one arrival.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Assign exactly one task (the paper's "recommend one task" setting).
+    Assign(TaskId),
+    /// Show a ranked list of tasks, best first (the paper's "recommend a sorted list").
+    Rank(Vec<TaskId>),
+}
+
+impl Action {
+    /// The shown tasks in display order (a single assignment is a one-element list).
+    pub fn shown_order(&self) -> Vec<TaskId> {
+        match self {
+            Action::Assign(t) => vec![*t],
+            Action::Rank(list) => list.clone(),
+        }
+    }
+}
+
+/// Outcome of showing an action to the arriving worker. Produced by
+/// [`Platform::apply`](crate::platform::Platform::apply) and fed back to the policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyFeedback {
+    /// Arrival time of the decision this feedback refers to.
+    pub time: u64,
+    /// The worker who made the decision.
+    pub worker_id: WorkerId,
+    /// The worker's quality.
+    pub worker_quality: f32,
+    /// Tasks shown, in the order they were shown.
+    pub shown: Vec<TaskId>,
+    /// Completed task and its 0-based position in `shown`, if any task was completed.
+    pub completed: Option<(TaskId, usize)>,
+    /// Quality gain `q_new - q_old` of the completed task (0 when nothing was completed).
+    pub quality_gain: f32,
+    /// Worker feature before the completion was applied.
+    pub worker_feature_before: Vec<f32>,
+    /// Worker feature after the completion was applied (equal to `before` when nothing was
+    /// completed).
+    pub worker_feature_after: Vec<f32>,
+}
+
+impl PolicyFeedback {
+    /// MDP(w) immediate reward: 1 when a task was completed, else 0 (Sec. IV-C).
+    pub fn completion_reward(&self) -> f32 {
+        if self.completed.is_some() {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// MDP(r) immediate reward: the quality gain of the completed task (Sec. V-C).
+    pub fn quality_reward(&self) -> f32 {
+        self.quality_gain
+    }
+}
+
+/// A task-arrangement policy.
+///
+/// The runner calls [`Policy::act`] for every worker arrival, applies the action to the
+/// environment, then calls [`Policy::observe`] with the resulting feedback. Supervised
+/// baselines retrain inside [`Policy::end_of_day`]; RL methods update inside `observe`
+/// (Sec. VII-A3's update regimes).
+pub trait Policy {
+    /// Human-readable name used in reports.
+    fn name(&self) -> &str;
+
+    /// Decides what to show to the arriving worker.
+    fn act(&mut self, ctx: &ArrivalContext) -> Action;
+
+    /// Receives the worker's feedback for a previous decision.
+    fn observe(&mut self, ctx: &ArrivalContext, feedback: &PolicyFeedback);
+
+    /// Called at the end of each simulated day (supervised baselines retrain here).
+    fn end_of_day(&mut self, _day: usize) {}
+
+    /// Called once after the initialisation month with all historical feedback, so models
+    /// can warm-start exactly like the paper initialises from the first month of data.
+    fn warm_start(&mut self, _history: &[(ArrivalContext, PolicyFeedback)]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(id: u32) -> TaskSnapshot {
+        TaskSnapshot {
+            id: TaskId(id),
+            feature: vec![0.0; 3],
+            quality: 0.0,
+            award: 1.0,
+            category: 0,
+            domain: 0,
+            deadline: 100,
+            completions: 0,
+        }
+    }
+
+    #[test]
+    fn position_lookup() {
+        let ctx = ArrivalContext {
+            time: 0,
+            worker_id: WorkerId(0),
+            worker_feature: vec![],
+            worker_quality: 0.5,
+            is_new_worker: false,
+            available: vec![snapshot(5), snapshot(9)],
+        };
+        assert_eq!(ctx.position_of(TaskId(9)), Some(1));
+        assert_eq!(ctx.position_of(TaskId(1)), None);
+    }
+
+    #[test]
+    fn action_shown_order() {
+        assert_eq!(Action::Assign(TaskId(3)).shown_order(), vec![TaskId(3)]);
+        assert_eq!(
+            Action::Rank(vec![TaskId(1), TaskId(2)]).shown_order(),
+            vec![TaskId(1), TaskId(2)]
+        );
+    }
+
+    #[test]
+    fn feedback_rewards() {
+        let fb = PolicyFeedback {
+            time: 0,
+            worker_id: WorkerId(0),
+            worker_quality: 0.7,
+            shown: vec![TaskId(1)],
+            completed: Some((TaskId(1), 0)),
+            quality_gain: 0.4,
+            worker_feature_before: vec![],
+            worker_feature_after: vec![],
+        };
+        assert_eq!(fb.completion_reward(), 1.0);
+        assert_eq!(fb.quality_reward(), 0.4);
+
+        let skipped = PolicyFeedback {
+            completed: None,
+            quality_gain: 0.0,
+            ..fb
+        };
+        assert_eq!(skipped.completion_reward(), 0.0);
+        assert_eq!(skipped.quality_reward(), 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Dixit–Stiglitz task quality aggregation (paper Eq. 5).
+//!
+//! `q_t = (Σ_{i ∈ I_t} q_{w_i}^p)^{1/p}` with `p ≥ 1`: `p = 1` gives the additive quality of
+//! independent micro-tasks (AMT), large `p` approaches the max-quality semantics of
+//! competition platforms; the paper's experiments use `p = 2`.
+
+/// Aggregates the qualities of the workers who completed a task into the task's quality.
+///
+/// Returns 0 for an empty completion set. `p` is clamped to at least 1.
+pub fn dixit_stiglitz(worker_qualities: &[f32], p: f32) -> f32 {
+    if worker_qualities.is_empty() {
+        return 0.0;
+    }
+    let p = p.max(1.0);
+    let sum: f32 = worker_qualities
+        .iter()
+        .map(|q| q.max(0.0).powf(p))
+        .sum();
+    sum.powf(1.0 / p)
+}
+
+/// Marginal gain in task quality from one additional completion by a worker of quality
+/// `new_worker_quality`, given the qualities of previous completers.
+pub fn quality_gain(previous: &[f32], new_worker_quality: f32, p: f32) -> f32 {
+    let before = dixit_stiglitz(previous, p);
+    let mut all = previous.to_vec();
+    all.push(new_worker_quality);
+    dixit_stiglitz(&all, p) - before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_zero_quality() {
+        assert_eq!(dixit_stiglitz(&[], 2.0), 0.0);
+    }
+
+    #[test]
+    fn p_one_is_additive() {
+        // AMT-style micro-tasks: quality is the sum of completer qualities.
+        let q = dixit_stiglitz(&[0.5, 0.3, 0.2], 1.0);
+        assert!((q - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn large_p_approaches_max() {
+        // Competition platforms: only the best submission counts.
+        let q = dixit_stiglitz(&[0.9, 0.5, 0.4], 50.0);
+        assert!((q - 0.9).abs() < 0.01);
+    }
+
+    #[test]
+    fn p_two_matches_euclidean_norm() {
+        let q = dixit_stiglitz(&[0.6, 0.8], 2.0);
+        assert!((q - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn p_below_one_is_clamped() {
+        assert_eq!(dixit_stiglitz(&[0.5, 0.5], 0.1), dixit_stiglitz(&[0.5, 0.5], 1.0));
+    }
+
+    #[test]
+    fn diminishing_marginal_utility() {
+        // With p = 2, each additional identical-quality worker adds less than the previous.
+        let g1 = quality_gain(&[], 0.5, 2.0);
+        let g2 = quality_gain(&[0.5], 0.5, 2.0);
+        let g3 = quality_gain(&[0.5, 0.5], 0.5, 2.0);
+        assert!(g1 > g2 && g2 > g3, "gains {g1} {g2} {g3}");
+        assert!(g3 > 0.0);
+    }
+
+    #[test]
+    fn higher_quality_worker_contributes_more() {
+        let strong = quality_gain(&[0.5, 0.5], 0.9, 2.0);
+        let weak = quality_gain(&[0.5, 0.5], 0.2, 2.0);
+        assert!(strong > weak);
+    }
+
+    #[test]
+    fn negative_inputs_are_treated_as_zero() {
+        assert_eq!(dixit_stiglitz(&[-0.5, 0.0], 2.0), 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Dataset statistics: everything needed to regenerate the paper's Fig. 5 (arrival-gap
+//! histograms) and Fig. 6 (monthly task/arrival counts).
+
+use crate::dataset::Dataset;
+use crate::event::EventKind;
+use crate::worker::WorkerId;
+use std::collections::HashMap;
+
+/// A histogram over time gaps in minutes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GapHistogram {
+    /// Width of each bin in minutes.
+    pub bin_minutes: u64,
+    /// Bin counts; bin `i` covers `[i*bin_minutes, (i+1)*bin_minutes)`.
+    pub counts: Vec<usize>,
+}
+
+impl GapHistogram {
+    fn from_gaps(gaps: impl Iterator<Item = u64>, bin_minutes: u64, max_minutes: u64) -> Self {
+        let n_bins = (max_minutes / bin_minutes.max(1)) as usize + 1;
+        let mut counts = vec![0usize; n_bins];
+        for gap in gaps {
+            if gap <= max_minutes {
+                counts[(gap / bin_minutes.max(1)) as usize] += 1;
+            }
+        }
+        GapHistogram {
+            bin_minutes,
+            counts,
+        }
+    }
+
+    /// Total number of gaps recorded.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of mass at or below the given minute mark.
+    pub fn fraction_below(&self, minutes: u64) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let cutoff_bin = (minutes / self.bin_minutes.max(1)) as usize;
+        let below: usize = self.counts.iter().take(cutoff_bin + 1).sum();
+        below as f32 / total as f32
+    }
+}
+
+/// Gap histogram between two consecutive arrivals *of the same worker* (Fig. 5(a)/(b)).
+pub fn same_worker_gap_histogram(dataset: &Dataset, bin_minutes: u64, max_minutes: u64) -> GapHistogram {
+    let mut last_arrival: HashMap<WorkerId, u64> = HashMap::new();
+    let mut gaps = Vec::new();
+    for event in &dataset.events {
+        if let EventKind::WorkerArrival(w) = event.kind {
+            if let Some(prev) = last_arrival.insert(w, event.time) {
+                gaps.push(event.time - prev);
+            }
+        }
+    }
+    GapHistogram::from_gaps(gaps.into_iter(), bin_minutes, max_minutes)
+}
+
+/// Gap histogram between two consecutive arrivals of *any* workers (Fig. 5(c)).
+pub fn consecutive_arrival_gap_histogram(
+    dataset: &Dataset,
+    bin_minutes: u64,
+    max_minutes: u64,
+) -> GapHistogram {
+    let mut last: Option<u64> = None;
+    let mut gaps = Vec::new();
+    for event in &dataset.events {
+        if let EventKind::WorkerArrival(_) = event.kind {
+            if let Some(prev) = last {
+                gaps.push(event.time - prev);
+            }
+            last = Some(event.time);
+        }
+    }
+    GapHistogram::from_gaps(gaps.into_iter(), bin_minutes, max_minutes)
+}
+
+/// Per-month dataset statistics (Fig. 6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonthStats {
+    /// Month index (0-based).
+    pub month: usize,
+    /// Tasks created in this month.
+    pub new_tasks: usize,
+    /// Tasks whose deadline fell in this month.
+    pub expired_tasks: usize,
+    /// Worker arrivals in this month.
+    pub arrivals: usize,
+    /// Average number of available tasks observed at arrival instants.
+    pub avg_available: f32,
+}
+
+/// Computes per-month counts of new tasks, expired tasks, worker arrivals and the average
+/// pool size seen by arriving workers.
+pub fn monthly_stats(dataset: &Dataset) -> Vec<MonthStats> {
+    let months = dataset.months.max(1);
+    let mut new_tasks = vec![0usize; months];
+    let mut expired_tasks = vec![0usize; months];
+    let mut arrivals = vec![0usize; months];
+    let mut pool_sum = vec![0usize; months];
+
+    let mut pool = 0usize;
+    for event in &dataset.events {
+        let m = Dataset::month_of(event.time).min(months - 1);
+        match event.kind {
+            EventKind::TaskCreated(_) => {
+                new_tasks[m] += 1;
+                pool += 1;
+            }
+            EventKind::TaskExpired(_) => {
+                expired_tasks[m] += 1;
+                pool = pool.saturating_sub(1);
+            }
+            EventKind::WorkerArrival(_) => {
+                arrivals[m] += 1;
+                pool_sum[m] += pool;
+            }
+        }
+    }
+
+    (0..months)
+        .map(|m| MonthStats {
+            month: m,
+            new_tasks: new_tasks[m],
+            expired_tasks: expired_tasks[m],
+            arrivals: arrivals[m],
+            avg_available: if arrivals[m] > 0 {
+                pool_sum[m] as f32 / arrivals[m] as f32
+            } else {
+                0.0
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::SimConfig;
+
+    #[test]
+    fn same_worker_gaps_show_short_and_daily_modes() {
+        let ds = SimConfig::small().generate();
+        let hist = same_worker_gap_histogram(&ds, 30, 7 * 1440);
+        assert!(hist.total() > 100);
+        // A visible fraction of revisits happens within 3 hours (Fig. 5(a)) and a majority
+        // within a week (Fig. 5(b)).
+        assert!(hist.fraction_below(180) > 0.15, "{}", hist.fraction_below(180));
+        assert!(hist.fraction_below(7 * 1440) > 0.9);
+    }
+
+    #[test]
+    fn consecutive_gaps_are_much_shorter_than_same_worker_gaps() {
+        let ds = SimConfig::small().generate();
+        // Use a window wide enough to cover essentially all gaps so the fractions are
+        // comparable (a narrow window would silently drop the long same-worker gaps).
+        let window = 14 * 1440;
+        let global = consecutive_arrival_gap_histogram(&ds, 5, window);
+        let same = same_worker_gap_histogram(&ds, 5, window);
+        // Interleaving many workers compresses the global gap (Fig. 5(c) vs 5(a)).
+        assert!(global.fraction_below(60) > same.fraction_below(60));
+        assert!(global.fraction_below(240) > 0.5);
+    }
+
+    #[test]
+    fn monthly_stats_are_consistent_with_config() {
+        let cfg = SimConfig::small();
+        let ds = cfg.generate();
+        let stats = monthly_stats(&ds);
+        assert_eq!(stats.len(), cfg.months);
+        let total_new: usize = stats.iter().map(|s| s.new_tasks).sum();
+        assert_eq!(total_new, cfg.months * cfg.tasks_per_month);
+        let total_arrivals: usize = stats.iter().map(|s| s.arrivals).sum();
+        assert_eq!(total_arrivals, ds.n_arrivals());
+        // Pool builds up after month 0, so later months see a non-trivial pool.
+        assert!(stats[1].avg_available > 1.0);
+    }
+
+    #[test]
+    fn histogram_fraction_bounds() {
+        let ds = SimConfig::tiny().generate();
+        let hist = consecutive_arrival_gap_histogram(&ds, 10, 1000);
+        assert!(hist.fraction_below(1000) <= 1.0);
+        assert!(hist.fraction_below(0) <= hist.fraction_below(500));
+    }
+
+    #[test]
+    fn empty_dataset_histograms_are_empty() {
+        let ds = Dataset {
+            tasks: vec![],
+            workers: vec![],
+            events: vec![],
+            n_categories: 1,
+            n_domains: 1,
+            quality_exponent: 2.0,
+            months: 1,
+        };
+        assert_eq!(same_worker_gap_histogram(&ds, 10, 100).total(), 0);
+        assert_eq!(consecutive_arrival_gap_histogram(&ds, 10, 100).total(), 0);
+        let stats = monthly_stats(&ds);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].arrivals, 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Task entities: what requesters publish on the platform.
+
+use serde::{Deserialize, Serialize};
+
+/// Opaque identifier of a task (index into the dataset's task table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// Index into [`crate::Dataset::tasks`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A crowdsourcing task as published by a requester.
+///
+/// Following Sec. IV-A, the attributes that matter for recommendation are the award
+/// (remuneration), the category (task autonomy proxy) and the domain (skill variety proxy),
+/// plus the lifetime window set by the requester.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Identifier; equals the task's position in the dataset table.
+    pub id: TaskId,
+    /// Requester who published the task.
+    pub requester: u32,
+    /// Category index in `[0, n_categories)`.
+    pub category: u16,
+    /// Domain index in `[0, n_domains)`.
+    pub domain: u16,
+    /// Monetary award for completing the task (arbitrary currency units).
+    pub award: f32,
+    /// Creation time in minutes since the start of the simulated horizon.
+    pub created_at: u64,
+    /// Expiration time (deadline) in minutes since the start of the horizon.
+    pub deadline: u64,
+}
+
+impl Task {
+    /// True when the task is available (created and not yet expired) at `time`.
+    pub fn is_available_at(&self, time: u64) -> bool {
+        self.created_at <= time && time < self.deadline
+    }
+
+    /// Task lifetime in minutes.
+    pub fn lifetime(&self) -> u64 {
+        self.deadline.saturating_sub(self.created_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> Task {
+        Task {
+            id: TaskId(3),
+            requester: 1,
+            category: 2,
+            domain: 4,
+            award: 120.0,
+            created_at: 100,
+            deadline: 500,
+        }
+    }
+
+    #[test]
+    fn availability_window() {
+        let t = task();
+        assert!(!t.is_available_at(99));
+        assert!(t.is_available_at(100));
+        assert!(t.is_available_at(499));
+        assert!(!t.is_available_at(500));
+    }
+
+    #[test]
+    fn lifetime_and_index() {
+        let t = task();
+        assert_eq!(t.lifetime(), 400);
+        assert_eq!(t.id.index(), 3);
+    }
+
+    #[test]
+    fn lifetime_saturates_when_misordered() {
+        let mut t = task();
+        t.deadline = 50;
+        assert_eq!(t.lifetime(), 0);
+    }
+}

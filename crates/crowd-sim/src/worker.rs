@@ -1,0 +1,83 @@
+//! Worker entities: the crowd that completes tasks.
+
+use serde::{Deserialize, Serialize};
+
+/// Opaque identifier of a worker (index into the dataset's worker table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkerId(pub u32);
+
+impl WorkerId {
+    /// Index into [`crate::Dataset::workers`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A worker's latent (ground-truth) profile.
+///
+/// The *latent* preference vectors drive the behaviour model and are never exposed to
+/// policies; policies only observe the feature vectors built from completion history
+/// (Sec. IV-A2), mirroring the information asymmetry of the real platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Worker {
+    /// Identifier; equals the worker's position in the dataset table.
+    pub id: WorkerId,
+    /// Ground-truth worker quality in `[0, 1]` (Sec. V-A assumes this is known to the
+    /// platform from history or qualification tests).
+    pub quality: f32,
+    /// Latent affinity for each task category (higher = more likely to complete).
+    pub category_affinity: Vec<f32>,
+    /// Latent affinity for each task domain.
+    pub domain_affinity: Vec<f32>,
+    /// How strongly the worker's interest scales with the (normalised) award:
+    /// payment-driven workers have high values, interest-driven workers low values.
+    pub award_sensitivity: f32,
+    /// Utility threshold above which the worker completes a task.
+    pub interest_threshold: f32,
+    /// Maximum number of list positions the worker scans (cascade attention budget).
+    pub attention_budget: usize,
+    /// Relative arrival frequency (used by the generator only).
+    pub activity: f32,
+}
+
+impl Worker {
+    /// Applies additive Gaussian-style noise `delta` to the quality, clamping to `[0, 1]`.
+    /// Used by the Fig. 10(c) experiment ("distribution of qualities of workers").
+    pub fn perturb_quality(&mut self, delta: f32) {
+        self.quality = (self.quality + delta).clamp(0.0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn worker() -> Worker {
+        Worker {
+            id: WorkerId(7),
+            quality: 0.6,
+            category_affinity: vec![0.1, 0.9],
+            domain_affinity: vec![0.5],
+            award_sensitivity: 0.3,
+            interest_threshold: 0.5,
+            attention_budget: 10,
+            activity: 1.0,
+        }
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(worker().id.index(), 7);
+    }
+
+    #[test]
+    fn perturb_quality_clamps() {
+        let mut w = worker();
+        w.perturb_quality(0.9);
+        assert_eq!(w.quality, 1.0);
+        w.perturb_quality(-2.0);
+        assert_eq!(w.quality, 0.0);
+        w.perturb_quality(0.25);
+        assert!((w.quality - 0.25).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,57 @@
+//! Regenerates Fig. 7 and its summary table: cumulative CR, kCR and nDCG-CR per month for
+//! Random, Taskrec, Greedy CS, Greedy NN, LinUCB and DDQN (worker benefit only).
+
+use crowd_baselines::Benefit;
+use crowd_experiments::{
+    experiment_dataset, experiment_scale, f3, policies_for_benefit, print_table, run_policy,
+    RunnerConfig,
+};
+
+fn main() {
+    let scale = experiment_scale();
+    let dataset = experiment_dataset();
+    let cfg = RunnerConfig::default();
+    println!(
+        "Fig. 7 reproduction — benefit of workers ({:?} scale, {} evaluated months)",
+        scale,
+        dataset.months.saturating_sub(cfg.warmup_months)
+    );
+
+    let mut outcomes = Vec::new();
+    for mut policy in policies_for_benefit(&dataset, Benefit::Worker, scale) {
+        eprintln!("running {} ...", policy.name());
+        outcomes.push(run_policy(&dataset, policy.as_mut(), &cfg));
+    }
+
+    // Monthly cumulative curves (Fig. 7(a)-(c)).
+    for (metric_idx, metric_name) in ["CR", "kCR", "nDCG-CR"].iter().enumerate() {
+        let months = outcomes.iter().map(|o| o.metrics.months()).max().unwrap_or(0);
+        let mut rows = Vec::new();
+        for month in 0..months {
+            let mut row = vec![format!("month {}", month + 1)];
+            for outcome in &outcomes {
+                let (cr, kcr, ndcg) = outcome.metrics.cumulative_worker_row(month);
+                row.push(f3([cr, kcr, ndcg][metric_idx]));
+            }
+            rows.push(row);
+        }
+        let mut headers = vec!["month"];
+        let names: Vec<String> = outcomes.iter().map(|o| o.policy.clone()).collect();
+        headers.extend(names.iter().map(|s| s.as_str()));
+        print_table(&format!("Fig 7: cumulative {metric_name} per month"), &headers, &rows);
+    }
+
+    // Final summary table.
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            let s = o.summary();
+            vec![o.policy.clone(), f3(s.cr), f3(s.k_cr), f3(s.ndcg_cr)]
+        })
+        .collect();
+    print_table(
+        "Fig 7 table: final worker-benefit measures",
+        &["method", "CR", "kCR", "nDCG-CR"],
+        &rows,
+    );
+}

@@ -1,0 +1,51 @@
+//! Regenerates Fig. 8 and its summary table: per-month QG, kQG and nDCG-QG for Random,
+//! Greedy CS, Greedy NN, LinUCB and DDQN (requester benefit only).
+
+use crowd_baselines::Benefit;
+use crowd_experiments::{
+    experiment_dataset, experiment_scale, f1, policies_for_benefit, print_table, run_policy,
+    RunnerConfig,
+};
+
+fn main() {
+    let scale = experiment_scale();
+    let dataset = experiment_dataset();
+    let cfg = RunnerConfig::default();
+    println!("Fig. 8 reproduction — benefit of requesters ({scale:?} scale)");
+
+    let mut outcomes = Vec::new();
+    for mut policy in policies_for_benefit(&dataset, Benefit::Requester, scale) {
+        eprintln!("running {} ...", policy.name());
+        outcomes.push(run_policy(&dataset, policy.as_mut(), &cfg));
+    }
+
+    for (metric_idx, metric_name) in ["QG", "kQG", "nDCG-QG"].iter().enumerate() {
+        let months = outcomes.iter().map(|o| o.metrics.months()).max().unwrap_or(0);
+        let mut rows = Vec::new();
+        for month in 0..months {
+            let mut row = vec![format!("month {}", month + 1)];
+            for outcome in &outcomes {
+                let (qg, kqg, ndcg) = outcome.metrics.monthly_requester_row(month);
+                row.push(f1([qg, kqg, ndcg][metric_idx]));
+            }
+            rows.push(row);
+        }
+        let mut headers = vec!["month"];
+        let names: Vec<String> = outcomes.iter().map(|o| o.policy.clone()).collect();
+        headers.extend(names.iter().map(|s| s.as_str()));
+        print_table(&format!("Fig 8: {metric_name} per month"), &headers, &rows);
+    }
+
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            let s = o.summary();
+            vec![o.policy.clone(), f1(s.qg), f1(s.k_qg), f1(s.ndcg_qg)]
+        })
+        .collect();
+    print_table(
+        "Fig 8 table: final requester-benefit measures",
+        &["method", "QG", "kQG", "nDCG-QG"],
+        &rows,
+    );
+}

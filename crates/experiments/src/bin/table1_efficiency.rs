@@ -1,0 +1,34 @@
+//! Regenerates Table I: average model-update time per method (supervised methods retrain
+//! daily on accumulated data; RL methods update after every feedback).
+
+use crowd_baselines::Benefit;
+use crowd_experiments::{
+    experiment_dataset, experiment_scale, policies_for_benefit, print_table, run_policy,
+    RunnerConfig,
+};
+
+fn main() {
+    let scale = experiment_scale();
+    let dataset = experiment_dataset();
+    let cfg = RunnerConfig::default();
+    println!("Table I reproduction — model update efficiency ({scale:?} scale)");
+    println!("(Random and Greedy CS are included for completeness; the paper omits them because they have no model to update.)");
+
+    let mut rows = Vec::new();
+    for mut policy in policies_for_benefit(&dataset, Benefit::Worker, scale) {
+        eprintln!("running {} ...", policy.name());
+        let outcome = run_policy(&dataset, policy.as_mut(), &cfg);
+        rows.push(vec![
+            outcome.policy.clone(),
+            format!("{:.6}", outcome.update_timer.mean_seconds()),
+            format!("{:.6}", outcome.act_timer.mean_seconds()),
+            outcome.update_timer.count().to_string(),
+        ]);
+    }
+    print_table(
+        "Table I: average update time per method (seconds)",
+        &["method", "update (s)", "decide (s)", "# updates"],
+        &rows,
+    );
+    println!("\nExpected shape: the daily-retrained supervised models (Taskrec, Greedy NN) pay seconds per retraining, while the RL methods (LinUCB, DDQN) update in milliseconds after every feedback.");
+}

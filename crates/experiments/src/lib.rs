@@ -1,0 +1,24 @@
+//! Experiment harness: replays a synthetic dataset against any [`crowd_sim::Policy`] with the
+//! paper's evaluation protocol (Sec. VII-B1) and regenerates every figure and table of the
+//! evaluation section through the binaries in `src/bin/`.
+//!
+//! Protocol implemented by [`runner::run_policy`]:
+//!
+//! 1. the first month of the event stream is the initialisation window: every arrival is
+//!    served a random full-pool ranking, the resulting history initialises worker/task
+//!    features (inside the platform) and is handed to the policy's `warm_start`;
+//! 2. from month 1 on, the policy chooses an action per arrival, the cascade behaviour model
+//!    produces feedback, metrics accumulate (per month and cumulatively), and the policy
+//!    observes the feedback (RL methods update immediately; supervised methods retrain at the
+//!    end-of-day hook);
+//! 3. model update time and decision (inference) time are measured separately (Table I).
+
+pub mod report;
+pub mod runner;
+pub mod scenarios;
+
+pub use report::{f1, f3, format_row, print_table};
+pub use runner::{run_policy, RunOutcome, RunnerConfig};
+pub use scenarios::{
+    ddqn_config_for, ddqn_for, experiment_dataset, experiment_scale, policies_for_benefit, Scale,
+};

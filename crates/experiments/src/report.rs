@@ -1,0 +1,66 @@
+//! Plain-text table formatting for the experiment binaries (the repository has no plotting
+//! dependency; every figure is emitted as the series of numbers that would be plotted).
+
+/// Formats one row with a fixed column width.
+pub fn format_row(cells: &[String], width: usize) -> String {
+    cells
+        .iter()
+        .map(|c| format!("{c:>width$}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Prints a header + rows table with aligned columns.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let width = headers
+        .iter()
+        .map(|h| h.len())
+        .chain(rows.iter().flat_map(|r| r.iter().map(|c| c.len())))
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    println!("\n== {title} ==");
+    println!(
+        "{}",
+        format_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(), width)
+    );
+    for row in rows {
+        println!("{}", format_row(row, width));
+    }
+}
+
+/// Formats a float with three decimals.
+pub fn f3(v: f32) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with one decimal (quality-gain scale numbers).
+pub fn f1(v: f32) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_padded_to_width() {
+        let row = format_row(&["a".to_string(), "bb".to_string()], 4);
+        assert_eq!(row, "   a    bb");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f1(123.456), "123.5");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "demo",
+            &["method", "CR"],
+            &[vec!["Random".to_string(), f3(0.1)]],
+        );
+    }
+}

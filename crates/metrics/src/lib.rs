@@ -1,0 +1,329 @@
+//! Evaluation measures from the paper (Sec. VII-A2) plus update-time tracking (Table I).
+//!
+//! Worker-benefit measures:
+//! * **CR** — completion rate when one task is assigned per arrival (Eq. 8);
+//! * **kCR** — position-discounted completion rate of a top-k list (Eq. 10);
+//! * **nDCG-CR** — position-discounted completion rate of the full ranked list (Eq. 9).
+//!
+//! Requester-benefit measures:
+//! * **QG** — cumulative task quality gain (Eq. 11);
+//! * **kQG** / **nDCG-QG** — position-discounted quality gains (Eq. 12/13).
+//!
+//! The accumulator keeps per-month breakdowns so the month-by-month curves of Fig. 7/8 can be
+//! reproduced, and a [`UpdateTimer`] records per-feedback model update latency for Table I.
+
+pub mod timing;
+
+pub use timing::UpdateTimer;
+
+use crowd_sim::PolicyFeedback;
+
+/// Discount applied to a completion at 0-based `position` in a ranked list:
+/// `1 / log2(1 + r)` with `r` the 1-based rank, as in the paper's nDCG definitions.
+pub fn position_discount(position: usize) -> f32 {
+    1.0 / ((position as f32 + 2.0).log2())
+}
+
+/// One arrival's contribution to the metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Sample {
+    month: usize,
+    completed: bool,
+    /// 0-based rank of the completed task within the shown list (0 when assigned directly).
+    position: usize,
+    quality_gain: f32,
+    /// Whether the decision was a single assignment (CR/QG) or a list (kCR/nDCG-CR/...).
+    single: bool,
+}
+
+/// Accumulates the paper's six measures, globally and per month.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsAccumulator {
+    samples: Vec<Sample>,
+    /// Length `k` used by the top-k measures (the paper's kCR/kQG).
+    top_k: usize,
+}
+
+impl MetricsAccumulator {
+    /// Creates an accumulator using list length `top_k` for the kCR/kQG measures.
+    pub fn new(top_k: usize) -> Self {
+        MetricsAccumulator {
+            samples: Vec::new(),
+            top_k: top_k.max(1),
+        }
+    }
+
+    /// Number of recorded arrivals (the "number of total timestamps" denominator).
+    pub fn timestamps(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The `k` used by the top-k measures.
+    pub fn top_k(&self) -> usize {
+        self.top_k
+    }
+
+    /// Records one arrival's feedback. `month` is the evaluation month index (0-based,
+    /// relative to the start of the evaluation window).
+    pub fn record(&mut self, month: usize, feedback: &PolicyFeedback) {
+        let single = feedback.shown.len() <= 1;
+        let (completed, position) = match feedback.completed {
+            Some((_, pos)) => (true, pos),
+            None => (false, 0),
+        };
+        self.samples.push(Sample {
+            month,
+            completed,
+            position,
+            quality_gain: feedback.quality_gain,
+            single,
+        });
+    }
+
+    fn filtered(&self, month: Option<usize>) -> impl Iterator<Item = &Sample> {
+        self.samples
+            .iter()
+            .filter(move |s| month.map_or(true, |m| s.month == m))
+    }
+
+    /// Completion rate (Eq. 8): completions divided by arrivals. For single assignments a
+    /// completion counts fully; for lists it counts only when the completed task was ranked
+    /// first (the strictest reading, so CR is comparable across modes).
+    pub fn completion_rate(&self, month: Option<usize>) -> f32 {
+        let mut n = 0usize;
+        let mut hits = 0.0f32;
+        for s in self.filtered(month) {
+            n += 1;
+            if s.completed && (s.single || s.position == 0) {
+                hits += 1.0;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            hits / n as f32
+        }
+    }
+
+    /// Top-k completion rate (Eq. 10): discounted completions within the first `k` positions.
+    pub fn k_completion_rate(&self, month: Option<usize>) -> f32 {
+        let mut n = 0usize;
+        let mut gain = 0.0f32;
+        for s in self.filtered(month) {
+            n += 1;
+            if s.completed && s.position < self.top_k {
+                gain += position_discount(s.position);
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            gain / n as f32
+        }
+    }
+
+    /// nDCG completion rate (Eq. 9): discounted completions anywhere in the list.
+    pub fn ndcg_completion_rate(&self, month: Option<usize>) -> f32 {
+        let mut n = 0usize;
+        let mut gain = 0.0f32;
+        for s in self.filtered(month) {
+            n += 1;
+            if s.completed {
+                gain += position_discount(s.position);
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            gain / n as f32
+        }
+    }
+
+    /// Cumulative quality gain (Eq. 11). Counts the gain whenever a task was completed (for
+    /// single assignments) or completed at rank 0 (for lists), mirroring `completion_rate`.
+    pub fn quality_gain(&self, month: Option<usize>) -> f32 {
+        self.filtered(month)
+            .filter(|s| s.completed && (s.single || s.position == 0))
+            .map(|s| s.quality_gain)
+            .sum()
+    }
+
+    /// Top-k quality gain (Eq. 13): position-discounted gains within the first `k` positions.
+    pub fn k_quality_gain(&self, month: Option<usize>) -> f32 {
+        self.filtered(month)
+            .filter(|s| s.completed && s.position < self.top_k)
+            .map(|s| s.quality_gain * position_discount(s.position))
+            .sum()
+    }
+
+    /// nDCG quality gain (Eq. 12): position-discounted gains anywhere in the list.
+    pub fn ndcg_quality_gain(&self, month: Option<usize>) -> f32 {
+        self.filtered(month)
+            .filter(|s| s.completed)
+            .map(|s| s.quality_gain * position_discount(s.position))
+            .sum()
+    }
+
+    /// Months covered (0-based max month index + 1); 0 when nothing is recorded.
+    pub fn months(&self) -> usize {
+        self.samples.iter().map(|s| s.month + 1).max().unwrap_or(0)
+    }
+
+    /// Cumulative worker-benefit measures up to and including `month` — the running curves of
+    /// Fig. 7 are cumulative over the evaluation window.
+    pub fn cumulative_worker_row(&self, month: usize) -> (f32, f32, f32) {
+        let mut acc = MetricsAccumulator::new(self.top_k);
+        acc.samples = self
+            .samples
+            .iter()
+            .copied()
+            .filter(|s| s.month <= month)
+            .collect();
+        (
+            acc.completion_rate(None),
+            acc.k_completion_rate(None),
+            acc.ndcg_completion_rate(None),
+        )
+    }
+
+    /// Per-month requester-benefit measures (Fig. 8 reports the quality gain of each month
+    /// separately).
+    pub fn monthly_requester_row(&self, month: usize) -> (f32, f32, f32) {
+        (
+            self.quality_gain(Some(month)),
+            self.k_quality_gain(Some(month)),
+            self.ndcg_quality_gain(Some(month)),
+        )
+    }
+
+    /// Final summary over the whole evaluation window: (CR, kCR, nDCG-CR, QG, kQG, nDCG-QG).
+    pub fn summary(&self) -> MetricsSummary {
+        MetricsSummary {
+            cr: self.completion_rate(None),
+            k_cr: self.k_completion_rate(None),
+            ndcg_cr: self.ndcg_completion_rate(None),
+            qg: self.quality_gain(None),
+            k_qg: self.k_quality_gain(None),
+            ndcg_qg: self.ndcg_quality_gain(None),
+            timestamps: self.timestamps(),
+        }
+    }
+}
+
+/// Final values of all six measures (the tables under Fig. 7 and Fig. 8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSummary {
+    /// Completion rate.
+    pub cr: f32,
+    /// Top-k completion rate.
+    pub k_cr: f32,
+    /// nDCG completion rate.
+    pub ndcg_cr: f32,
+    /// Cumulative quality gain.
+    pub qg: f32,
+    /// Top-k quality gain.
+    pub k_qg: f32,
+    /// nDCG quality gain.
+    pub ndcg_qg: f32,
+    /// Number of evaluated arrivals.
+    pub timestamps: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_sim::{TaskId, WorkerId};
+
+    fn feedback(shown: usize, completed_at: Option<usize>, gain: f32) -> PolicyFeedback {
+        let shown_ids: Vec<TaskId> = (0..shown as u32).map(TaskId).collect();
+        PolicyFeedback {
+            time: 0,
+            worker_id: WorkerId(0),
+            worker_quality: 0.5,
+            shown: shown_ids.clone(),
+            completed: completed_at.map(|p| (shown_ids[p], p)),
+            quality_gain: if completed_at.is_some() { gain } else { 0.0 },
+            worker_feature_before: vec![],
+            worker_feature_after: vec![],
+        }
+    }
+
+    #[test]
+    fn discount_follows_log_rank() {
+        assert!((position_discount(0) - 1.0).abs() < 1e-6);
+        assert!((position_discount(1) - 1.0 / 3.0f32.log2()).abs() < 1e-6);
+        assert!(position_discount(0) > position_discount(1));
+        assert!(position_discount(1) > position_discount(9));
+    }
+
+    #[test]
+    fn single_assignment_cr_and_qg() {
+        let mut m = MetricsAccumulator::new(5);
+        m.record(0, &feedback(1, Some(0), 0.4));
+        m.record(0, &feedback(1, None, 0.0));
+        m.record(0, &feedback(1, Some(0), 0.6));
+        m.record(0, &feedback(1, None, 0.0));
+        assert!((m.completion_rate(None) - 0.5).abs() < 1e-6);
+        assert!((m.quality_gain(None) - 1.0).abs() < 1e-6);
+        assert_eq!(m.timestamps(), 4);
+    }
+
+    #[test]
+    fn list_measures_discount_by_position() {
+        let mut m = MetricsAccumulator::new(2);
+        m.record(0, &feedback(10, Some(0), 1.0)); // full credit
+        m.record(0, &feedback(10, Some(3), 1.0)); // outside top-2, still counts for nDCG
+        m.record(0, &feedback(10, None, 0.0));
+        // CR counts only rank-0 completions for lists.
+        assert!((m.completion_rate(None) - 1.0 / 3.0).abs() < 1e-6);
+        // kCR with k=2: only the first completion counts, discounted by 1.0.
+        assert!((m.k_completion_rate(None) - 1.0 / 3.0).abs() < 1e-6);
+        // nDCG-CR counts both, the second discounted by 1/log2(5).
+        let expected = (1.0 + 1.0 / 5.0f32.log2()) / 3.0;
+        assert!((m.ndcg_completion_rate(None) - expected).abs() < 1e-6);
+        // Quality versions mirror the same weighting on the gains.
+        assert!((m.k_quality_gain(None) - 1.0).abs() < 1e-6);
+        assert!((m.ndcg_quality_gain(None) - (1.0 + 1.0 / 5.0f32.log2())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_month_and_cumulative_breakdowns() {
+        let mut m = MetricsAccumulator::new(3);
+        m.record(0, &feedback(1, Some(0), 1.0));
+        m.record(0, &feedback(1, None, 0.0));
+        m.record(1, &feedback(1, Some(0), 2.0));
+        assert_eq!(m.months(), 2);
+        assert!((m.completion_rate(Some(0)) - 0.5).abs() < 1e-6);
+        assert!((m.completion_rate(Some(1)) - 1.0).abs() < 1e-6);
+        assert!((m.quality_gain(Some(1)) - 2.0).abs() < 1e-6);
+        let (cr_m0, _, _) = m.cumulative_worker_row(0);
+        let (cr_m1, _, _) = m.cumulative_worker_row(1);
+        assert!((cr_m0 - 0.5).abs() < 1e-6);
+        assert!((cr_m1 - 2.0 / 3.0).abs() < 1e-6);
+        let (qg_m1, _, _) = m.monthly_requester_row(1);
+        assert!((qg_m1 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_accumulator_is_zero() {
+        let m = MetricsAccumulator::new(5);
+        let s = m.summary();
+        assert_eq!(s.cr, 0.0);
+        assert_eq!(s.qg, 0.0);
+        assert_eq!(s.timestamps, 0);
+        assert_eq!(m.months(), 0);
+    }
+
+    #[test]
+    fn summary_matches_individual_measures() {
+        let mut m = MetricsAccumulator::new(4);
+        for i in 0..10 {
+            m.record(i % 3, &feedback(6, if i % 2 == 0 { Some(i % 4) } else { None }, 0.3));
+        }
+        let s = m.summary();
+        assert!((s.cr - m.completion_rate(None)).abs() < 1e-6);
+        assert!((s.k_cr - m.k_completion_rate(None)).abs() < 1e-6);
+        assert!((s.ndcg_qg - m.ndcg_quality_gain(None)).abs() < 1e-6);
+        assert_eq!(s.timestamps, 10);
+    }
+}

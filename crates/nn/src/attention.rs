@@ -1,0 +1,269 @@
+//! Multi-head self-attention (paper Fig. 4 and Sec. IV-B2).
+//!
+//! `Att(X1, X2, X3) = softmax(X1 X2ᵀ / √d) X3`, with `h` heads whose outputs are concatenated
+//! and linearly recombined. Padded rows of the state matrix are excluded by an additive mask
+//! (−1e9 on the scores of padded *columns*), so padding never influences real tasks'
+//! representations, and the whole block stays permutation-invariant over the real rows
+//! (Appendix, Proof 2).
+
+use crate::linear::Linear;
+use crate::param::{GraphBinding, ParamId, ParamStore};
+use crate::Result;
+use crowd_autograd::{Graph, VarId};
+use crowd_tensor::{Matrix, Rng};
+
+/// Multi-head self-attention layer with `h` heads of dimension `model_dim / h`.
+#[derive(Debug, Clone)]
+pub struct MultiHeadSelfAttention {
+    /// Per-head projection matrices for queries, keys and values (no bias, as in the paper).
+    heads: Vec<HeadParams>,
+    /// Output projection `W^O`.
+    output: Linear,
+    model_dim: usize,
+    head_dim: usize,
+}
+
+#[derive(Debug, Clone)]
+struct HeadParams {
+    wq: ParamId,
+    wk: ParamId,
+    wv: ParamId,
+}
+
+impl MultiHeadSelfAttention {
+    /// Registers a new attention layer. `model_dim` must be divisible by `num_heads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_heads == 0` or `model_dim % num_heads != 0`; layer shapes are fixed
+    /// at construction time and a mismatch is a programming error.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        model_dim: usize,
+        num_heads: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(num_heads > 0, "attention needs at least one head");
+        assert_eq!(
+            model_dim % num_heads,
+            0,
+            "model_dim {model_dim} must be divisible by num_heads {num_heads}"
+        );
+        let head_dim = model_dim / num_heads;
+        let heads = (0..num_heads)
+            .map(|h| HeadParams {
+                wq: store.register(
+                    format!("{name}.head{h}.wq"),
+                    Matrix::xavier(model_dim, head_dim, rng),
+                ),
+                wk: store.register(
+                    format!("{name}.head{h}.wk"),
+                    Matrix::xavier(model_dim, head_dim, rng),
+                ),
+                wv: store.register(
+                    format!("{name}.head{h}.wv"),
+                    Matrix::xavier(model_dim, head_dim, rng),
+                ),
+            })
+            .collect();
+        let output = Linear::new(store, &format!("{name}.out"), model_dim, model_dim, rng);
+        MultiHeadSelfAttention {
+            heads,
+            output,
+            model_dim,
+            head_dim,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn num_heads(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Model (input/output) dimension.
+    pub fn model_dim(&self) -> usize {
+        self.model_dim
+    }
+
+    /// Builds the additive attention mask for a pool where only the first `real_rows` of
+    /// `total_rows` are real tasks: scores towards padded keys get −1e9 so their softmax
+    /// weight is effectively zero.
+    pub fn padding_mask(total_rows: usize, real_rows: usize) -> Matrix {
+        let mut mask = Matrix::zeros(total_rows, total_rows);
+        for r in 0..total_rows {
+            for c in real_rows..total_rows {
+                mask.set(r, c, -1e9);
+            }
+        }
+        mask
+    }
+
+    /// Applies multi-head self-attention on the tape.
+    ///
+    /// `x` is `n x model_dim`; `mask` (if provided) is an `n x n` additive score mask.
+    pub fn forward(
+        &self,
+        graph: &mut Graph,
+        store: &ParamStore,
+        binding: &mut GraphBinding,
+        x: VarId,
+        mask: Option<&Matrix>,
+    ) -> Result<VarId> {
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mask_var = mask.map(|m| graph.constant(m.clone()));
+        let mut concat: Option<VarId> = None;
+        for head in &self.heads {
+            let wq = binding.bind(graph, store, head.wq);
+            let wk = binding.bind(graph, store, head.wk);
+            let wv = binding.bind(graph, store, head.wv);
+            let q = graph.matmul(x, wq)?;
+            let k = graph.matmul(x, wk)?;
+            let v = graph.matmul(x, wv)?;
+            let kt = graph.transpose(k);
+            let scores = graph.matmul(q, kt)?;
+            let scaled = graph.scale(scores, scale);
+            let masked = match mask_var {
+                Some(m) => graph.add(scaled, m)?,
+                None => scaled,
+            };
+            let attn = graph.softmax_rows(masked);
+            let head_out = graph.matmul(attn, v)?;
+            concat = Some(match concat {
+                None => head_out,
+                Some(prev) => graph.concat_cols(prev, head_out)?,
+            });
+        }
+        let concat = concat.expect("at least one head");
+        self.output.forward(graph, store, binding, concat)
+    }
+
+    /// Gradient-free forward pass (target network evaluation).
+    pub fn infer(&self, store: &ParamStore, x: &Matrix, mask: Option<&Matrix>) -> Result<Matrix> {
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mut concat: Option<Matrix> = None;
+        for head in &self.heads {
+            let q = x.matmul(store.get(head.wq))?;
+            let k = x.matmul(store.get(head.wk))?;
+            let v = x.matmul(store.get(head.wv))?;
+            let mut scores = q.matmul_transpose(&k)?.scale(scale);
+            if let Some(m) = mask {
+                scores = scores.add(m)?;
+            }
+            let attn = scores.softmax_rows();
+            let head_out = attn.matmul(&v)?;
+            concat = Some(match concat {
+                None => head_out,
+                Some(prev) => prev.concat_cols(&head_out)?,
+            });
+        }
+        self.output.infer(store, &concat.expect("at least one head"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_autograd::Graph;
+
+    fn setup(model_dim: usize, heads: usize, seed: u64) -> (ParamStore, MultiHeadSelfAttention, Rng) {
+        let mut rng = Rng::seed_from(seed);
+        let mut store = ParamStore::new();
+        let attn = MultiHeadSelfAttention::new(&mut store, "attn", model_dim, heads, &mut rng);
+        (store, attn, rng)
+    }
+
+    #[test]
+    fn output_shape_matches_input() {
+        let (store, attn, mut rng) = setup(8, 4, 0);
+        let x = Matrix::randn(6, 8, &mut rng);
+        let out = attn.infer(&store, &x, None).unwrap();
+        assert_eq!(out.shape(), (6, 8));
+    }
+
+    #[test]
+    fn tape_and_inference_agree() {
+        let (store, attn, mut rng) = setup(8, 2, 1);
+        let x = Matrix::randn(5, 8, &mut rng);
+        let mask = MultiHeadSelfAttention::padding_mask(5, 3);
+
+        let mut g = Graph::new();
+        let mut binding = GraphBinding::new();
+        let xv = g.constant(x.clone());
+        let y = attn
+            .forward(&mut g, &store, &mut binding, xv, Some(&mask))
+            .unwrap();
+        let inferred = attn.infer(&store, &x, Some(&mask)).unwrap();
+        for (a, b) in g.value(y).as_slice().iter().zip(inferred.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn permutation_equivariance_over_rows() {
+        // Swapping two input rows swaps the corresponding output rows (self-attention is
+        // permutation-equivariant; combined with a final row-wise reduction this gives the
+        // permutation-invariant Q values claimed in the paper).
+        let (store, attn, mut rng) = setup(4, 2, 2);
+        let a = Matrix::randn(1, 4, &mut rng);
+        let b = Matrix::randn(1, 4, &mut rng);
+        let c = Matrix::randn(1, 4, &mut rng);
+        let abc = a.concat_rows(&b).unwrap().concat_rows(&c).unwrap();
+        let cba = c.concat_rows(&b).unwrap().concat_rows(&a).unwrap();
+        let out1 = attn.infer(&store, &abc, None).unwrap();
+        let out2 = attn.infer(&store, &cba, None).unwrap();
+        for col in 0..4 {
+            assert!((out1.get(0, col) - out2.get(2, col)).abs() < 1e-5);
+            assert!((out1.get(1, col) - out2.get(1, col)).abs() < 1e-5);
+            assert!((out1.get(2, col) - out2.get(0, col)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn padding_mask_blocks_padded_rows() {
+        // The representation of real rows must be identical whether padded rows contain
+        // zeros or garbage, as long as the mask hides them.
+        let (store, attn, mut rng) = setup(4, 2, 3);
+        let real = Matrix::randn(3, 4, &mut rng);
+        let zeros_pad = real.concat_rows(&Matrix::zeros(2, 4)).unwrap();
+        let garbage_pad = real
+            .concat_rows(&Matrix::randn(2, 4, &mut rng).scale(50.0))
+            .unwrap();
+        let mask = MultiHeadSelfAttention::padding_mask(5, 3);
+        let out_zero = attn.infer(&store, &zeros_pad, Some(&mask)).unwrap();
+        let out_garbage = attn.infer(&store, &garbage_pad, Some(&mask)).unwrap();
+        for r in 0..3 {
+            for c in 0..4 {
+                assert!(
+                    (out_zero.get(r, c) - out_garbage.get(r, c)).abs() < 1e-4,
+                    "row {r} col {c} differs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_flow_to_all_heads() {
+        let (store, attn, mut rng) = setup(8, 4, 4);
+        let x = Matrix::randn(4, 8, &mut rng);
+        let mut g = Graph::new();
+        let mut binding = GraphBinding::new();
+        let xv = g.constant(x);
+        let y = attn.forward(&mut g, &store, &mut binding, xv, None).unwrap();
+        let loss = g.squared_sum(y);
+        g.backward(loss).unwrap();
+        let grads = binding.gradients(&g);
+        // 4 heads * 3 projections + output weight + output bias.
+        assert_eq!(grads.len(), 14);
+        let nonzero = grads.iter().filter(|(_, m)| m.norm() > 0.0).count();
+        assert!(nonzero >= 13, "only {nonzero} params received gradient");
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn indivisible_head_dim_panics() {
+        let mut rng = Rng::seed_from(5);
+        let mut store = ParamStore::new();
+        let _ = MultiHeadSelfAttention::new(&mut store, "bad", 7, 2, &mut rng);
+    }
+}

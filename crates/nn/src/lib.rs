@@ -1,0 +1,49 @@
+//! Neural-network building blocks on top of [`crowd_autograd`].
+//!
+//! This crate provides what the paper's models need and nothing more:
+//!
+//! * a [`ParamStore`] holding named trainable matrices outside any particular tape, so a
+//!   target network Q̃ is simply a second store copied from θ (double Q-learning, Sec. IV-D);
+//! * [`Linear`] / [`RowwiseFF`] layers — the "row-wise Linear Layer" rFF(X) = relu(XW + b)
+//!   of Fig. 3;
+//! * [`MultiHeadSelfAttention`] — the attention layer of Fig. 4 with additive masking for
+//!   zero-padded rows;
+//! * [`Mlp`] — the two-hidden-layer feed-forward regressor used by the Greedy+NN baseline;
+//! * [`Sgd`] and [`Adam`] optimizers with optional gradient clipping.
+//!
+//! ```
+//! use crowd_nn::{Adam, GraphBinding, Linear, Optimizer, ParamStore};
+//! use crowd_autograd::Graph;
+//! use crowd_tensor::{Matrix, Rng};
+//!
+//! let mut rng = Rng::seed_from(0);
+//! let mut store = ParamStore::new();
+//! let layer = Linear::new(&mut store, "lin", 4, 1, &mut rng);
+//! let mut opt = Adam::new(0.01);
+//!
+//! // One gradient step on a toy regression target.
+//! let x = Matrix::randn(8, 4, &mut rng);
+//! let target = Matrix::zeros(8, 1);
+//! let mut g = Graph::new();
+//! let mut binding = GraphBinding::new();
+//! let xv = g.constant(x);
+//! let y = layer.forward(&mut g, &store, &mut binding, xv).unwrap();
+//! let loss = g.masked_mse(y, &target, &Matrix::ones(8, 1)).unwrap();
+//! g.backward(loss).unwrap();
+//! opt.step(&mut store, &binding.gradients(&g)).unwrap();
+//! ```
+
+pub mod attention;
+pub mod linear;
+pub mod mlp;
+pub mod optimizer;
+pub mod param;
+
+pub use attention::MultiHeadSelfAttention;
+pub use linear::{Linear, RowwiseFF};
+pub use mlp::Mlp;
+pub use optimizer::{Adam, Optimizer, Sgd};
+pub use param::{GraphBinding, ParamId, ParamStore};
+
+/// Result alias shared with the numeric substrate.
+pub type Result<T> = crowd_tensor::Result<T>;

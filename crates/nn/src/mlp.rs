@@ -1,0 +1,192 @@
+//! A small multi-layer perceptron regressor.
+//!
+//! The paper's Greedy+NN baseline (Sec. VII-A3) "inputs the worker and task features into a
+//! neural network of two hidden layers to predict the completion rate"; this type is that
+//! network. It owns its parameters and optimizer, so callers just `fit` on minibatches and
+//! `predict` scores.
+
+use crate::linear::{Linear, RowwiseFF};
+use crate::optimizer::{Adam, Optimizer};
+use crate::param::{GraphBinding, ParamStore};
+use crate::Result;
+use crowd_autograd::Graph;
+use crowd_tensor::{Matrix, Rng};
+
+/// Feed-forward regressor: `input -> [hidden, relu]* -> linear -> scalar per row`.
+#[derive(Debug)]
+pub struct Mlp {
+    store: ParamStore,
+    hidden: Vec<RowwiseFF>,
+    head: Linear,
+    optimizer: Adam,
+    input_dim: usize,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given hidden layer widths (e.g. `&[64, 64]` for the paper's
+    /// two-hidden-layer baseline) and a single scalar output per input row.
+    pub fn new(input_dim: usize, hidden_dims: &[usize], learning_rate: f32, rng: &mut Rng) -> Self {
+        let mut store = ParamStore::new();
+        let mut hidden = Vec::with_capacity(hidden_dims.len());
+        let mut prev = input_dim;
+        for (i, &width) in hidden_dims.iter().enumerate() {
+            hidden.push(RowwiseFF::new(&mut store, &format!("hidden{i}"), prev, width, rng));
+            prev = width;
+        }
+        let head = Linear::new(&mut store, "head", prev, 1, rng);
+        Mlp {
+            store,
+            hidden,
+            head,
+            optimizer: Adam::new(learning_rate),
+            input_dim,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_weights(&self) -> usize {
+        self.store.num_weights()
+    }
+
+    /// Predicts one score per row of `x` (shape `n x input_dim` → `n`-element vector).
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f32>> {
+        let mut h = x.clone();
+        for layer in &self.hidden {
+            h = layer.infer(&self.store, &h)?;
+        }
+        let out = self.head.infer(&self.store, &h)?;
+        Ok(out.col(0))
+    }
+
+    /// Runs one gradient step on a minibatch of `(features, target)` rows and returns the
+    /// batch mean-squared error before the update.
+    pub fn fit_batch(&mut self, x: &Matrix, targets: &[f32]) -> Result<f32> {
+        debug_assert_eq!(x.rows(), targets.len());
+        let mut g = Graph::new();
+        let mut binding = GraphBinding::new();
+        let mut h = g.constant(x.clone());
+        for layer in &self.hidden {
+            h = layer.forward(&mut g, &self.store, &mut binding, h)?;
+        }
+        let pred = self.head.forward(&mut g, &self.store, &mut binding, h)?;
+        let target = Matrix::col_vector(targets);
+        let mask = Matrix::ones(targets.len(), 1);
+        let loss = g.masked_mse(pred, &target, &mask)?;
+        let loss_value = g.value(loss).get(0, 0);
+        g.backward(loss)?;
+        let grads = binding.gradients(&g);
+        self.optimizer.step(&mut self.store, &grads)?;
+        Ok(loss_value)
+    }
+
+    /// Trains for `epochs` passes over the dataset with the given minibatch size, shuffling
+    /// between epochs. Returns the final epoch's mean loss; returns 0.0 for an empty dataset.
+    pub fn fit(
+        &mut self,
+        x: &Matrix,
+        targets: &[f32],
+        epochs: usize,
+        batch_size: usize,
+        rng: &mut Rng,
+    ) -> Result<f32> {
+        if x.rows() == 0 {
+            return Ok(0.0);
+        }
+        debug_assert_eq!(x.rows(), targets.len());
+        let mut order: Vec<usize> = (0..x.rows()).collect();
+        let mut last_epoch_loss = 0.0;
+        for _ in 0..epochs {
+            rng.shuffle(&mut order);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            for chunk in order.chunks(batch_size.max(1)) {
+                let mut rows = Vec::with_capacity(chunk.len());
+                let mut ys = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    rows.push(x.row(i).to_vec());
+                    ys.push(targets[i]);
+                }
+                let batch = Matrix::from_rows(&rows)?;
+                epoch_loss += self.fit_batch(&batch, &ys)?;
+                batches += 1;
+            }
+            last_epoch_loss = epoch_loss / batches.max(1) as f32;
+        }
+        Ok(last_epoch_loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_weight_count() {
+        let mut rng = Rng::seed_from(0);
+        let mlp = Mlp::new(6, &[8, 8], 0.01, &mut rng);
+        assert_eq!(mlp.input_dim(), 6);
+        // 6*8+8 + 8*8+8 + 8*1+1 = 56 + 72 + 9 = 137.
+        assert_eq!(mlp.num_weights(), 137);
+        let x = Matrix::randn(5, 6, &mut rng);
+        assert_eq!(mlp.predict(&x).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn learns_a_linear_function() {
+        let mut rng = Rng::seed_from(1);
+        let mut mlp = Mlp::new(3, &[16, 16], 0.01, &mut rng);
+        // Target: y = 2*x0 - x1 + 0.5*x2.
+        let n = 256;
+        let x = Matrix::rand_uniform(n, 3, -1.0, 1.0, &mut rng);
+        let y: Vec<f32> = (0..n)
+            .map(|i| 2.0 * x.get(i, 0) - x.get(i, 1) + 0.5 * x.get(i, 2))
+            .collect();
+        let final_loss = mlp.fit(&x, &y, 60, 32, &mut rng).unwrap();
+        assert!(final_loss < 0.05, "final loss {final_loss}");
+
+        // Generalises to unseen points.
+        let x_test = Matrix::rand_uniform(64, 3, -1.0, 1.0, &mut rng);
+        let preds = mlp.predict(&x_test).unwrap();
+        let mut mse = 0.0;
+        for i in 0..64 {
+            let truth = 2.0 * x_test.get(i, 0) - x_test.get(i, 1) + 0.5 * x_test.get(i, 2);
+            mse += (preds[i] - truth).powi(2);
+        }
+        mse /= 64.0;
+        assert!(mse < 0.1, "test mse {mse}");
+    }
+
+    #[test]
+    fn learns_a_nonlinear_decision_signal() {
+        let mut rng = Rng::seed_from(2);
+        let mut mlp = Mlp::new(2, &[16, 16], 0.02, &mut rng);
+        // Target: completion probability is high only when both features are positive —
+        // mirrors "worker likes category AND award is high".
+        let n = 300;
+        let x = Matrix::rand_uniform(n, 2, -1.0, 1.0, &mut rng);
+        let y: Vec<f32> = (0..n)
+            .map(|i| if x.get(i, 0) > 0.0 && x.get(i, 1) > 0.0 { 1.0 } else { 0.0 })
+            .collect();
+        mlp.fit(&x, &y, 80, 32, &mut rng).unwrap();
+        let both_pos = mlp
+            .predict(&Matrix::from_vec(1, 2, vec![0.7, 0.8]).unwrap())
+            .unwrap()[0];
+        let both_neg = mlp
+            .predict(&Matrix::from_vec(1, 2, vec![-0.7, -0.8]).unwrap())
+            .unwrap()[0];
+        assert!(both_pos > both_neg + 0.3, "pos {both_pos} neg {both_neg}");
+    }
+
+    #[test]
+    fn empty_fit_is_a_noop() {
+        let mut rng = Rng::seed_from(3);
+        let mut mlp = Mlp::new(4, &[8], 0.01, &mut rng);
+        let loss = mlp.fit(&Matrix::zeros(0, 4), &[], 5, 16, &mut rng).unwrap();
+        assert_eq!(loss, 0.0);
+    }
+}

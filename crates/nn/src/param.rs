@@ -1,0 +1,267 @@
+//! Trainable parameter storage decoupled from any particular autograd tape.
+
+use crowd_autograd::{Graph, VarId};
+use crowd_tensor::Matrix;
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Raw index; stable for the lifetime of the store.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Param {
+    name: String,
+    value: Matrix,
+}
+
+/// A flat collection of named trainable matrices.
+///
+/// Layers register their parameters here at construction time and look the values up on every
+/// forward pass. The double-DQN target network is a second `ParamStore` refreshed with
+/// [`ParamStore::copy_from`].
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ParamStore::default()
+    }
+
+    /// Registers a parameter and returns its handle.
+    pub fn register(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let id = ParamId(self.params.len());
+        self.params.push(Param {
+            name: name.into(),
+            value,
+        });
+        id
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameter is registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_weights(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Immutable access to a parameter value.
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].value
+    }
+
+    /// Mutable access to a parameter value.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.0].value
+    }
+
+    /// Name given at registration.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// Iterates over `(id, name, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
+        self.params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ParamId(i), p.name.as_str(), &p.value))
+    }
+
+    /// Hard-copies every parameter value from `other`. Both stores must have been built by
+    /// constructing the same layers in the same order (same shapes at the same indices);
+    /// this is how the target network θ̃ ← θ sync of double DQN is implemented.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two stores have a different number of parameters or mismatched shapes —
+    /// that is a programming error, not a runtime condition.
+    pub fn copy_from(&mut self, other: &ParamStore) {
+        assert_eq!(
+            self.params.len(),
+            other.params.len(),
+            "copy_from: param count mismatch"
+        );
+        for (dst, src) in self.params.iter_mut().zip(other.params.iter()) {
+            assert_eq!(
+                dst.value.shape(),
+                src.value.shape(),
+                "copy_from: shape mismatch for {}",
+                dst.name
+            );
+            dst.value = src.value.clone();
+        }
+    }
+
+    /// Polyak (soft) update `θ̃ ← τ·θ + (1-τ)·θ̃`; exposed for experimentation even though the
+    /// paper uses hard copies every 100 iterations.
+    pub fn soft_update_from(&mut self, other: &ParamStore, tau: f32) {
+        assert_eq!(self.params.len(), other.params.len());
+        for (dst, src) in self.params.iter_mut().zip(other.params.iter()) {
+            let blended = dst
+                .value
+                .scale(1.0 - tau)
+                .add(&src.value.scale(tau))
+                .expect("soft_update_from: shape mismatch");
+            dst.value = blended;
+        }
+    }
+
+    /// Sum of squared weights; useful for L2 diagnostics and tests.
+    pub fn squared_norm(&self) -> f32 {
+        self.params.iter().map(|p| p.value.squared_norm()).sum()
+    }
+}
+
+/// Per-forward-pass mapping from [`ParamId`] to the tape node holding that parameter's value.
+///
+/// A fresh binding is created for each forward pass (each new [`Graph`]); after `backward`,
+/// [`GraphBinding::gradients`] collects `(ParamId, gradient)` pairs for the optimizer.
+#[derive(Debug, Default)]
+pub struct GraphBinding {
+    bound: Vec<(ParamId, VarId)>,
+}
+
+impl GraphBinding {
+    /// Creates an empty binding.
+    pub fn new() -> Self {
+        GraphBinding::default()
+    }
+
+    /// Returns the tape node for `id`, inserting the parameter value as a differentiable leaf
+    /// the first time it is requested in this graph.
+    pub fn bind(&mut self, graph: &mut Graph, store: &ParamStore, id: ParamId) -> VarId {
+        if let Some(&(_, var)) = self.bound.iter().find(|(p, _)| *p == id) {
+            return var;
+        }
+        let var = graph.leaf(store.get(id).clone());
+        self.bound.push((id, var));
+        var
+    }
+
+    /// Number of parameters bound so far.
+    pub fn len(&self) -> usize {
+        self.bound.len()
+    }
+
+    /// True when nothing has been bound.
+    pub fn is_empty(&self) -> bool {
+        self.bound.is_empty()
+    }
+
+    /// Collects `(param, gradient)` pairs after a backward pass. Parameters that did not
+    /// receive a gradient (e.g. unused heads) get a zero matrix of the right shape.
+    pub fn gradients(&self, graph: &Graph) -> Vec<(ParamId, Matrix)> {
+        self.bound
+            .iter()
+            .map(|&(pid, vid)| {
+                let grad = graph
+                    .grad(vid)
+                    .cloned()
+                    .unwrap_or_else(|| {
+                        let v = graph.value(vid);
+                        Matrix::zeros(v.rows(), v.cols())
+                    });
+                (pid, grad)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_tensor::Rng;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::ones(2, 3));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.num_weights(), 6);
+        assert_eq!(store.name(id), "w");
+        assert_eq!(store.get(id).shape(), (2, 3));
+        store.get_mut(id).set(0, 0, 5.0);
+        assert_eq!(store.get(id).get(0, 0), 5.0);
+    }
+
+    #[test]
+    fn copy_from_syncs_values() {
+        let mut rng = Rng::seed_from(1);
+        let mut a = ParamStore::new();
+        let mut b = ParamStore::new();
+        let ida = a.register("w", Matrix::randn(3, 3, &mut rng));
+        let idb = b.register("w", Matrix::zeros(3, 3));
+        b.copy_from(&a);
+        assert_eq!(b.get(idb), a.get(ida));
+    }
+
+    #[test]
+    #[should_panic(expected = "param count mismatch")]
+    fn copy_from_panics_on_count_mismatch() {
+        let a = ParamStore::new();
+        let mut b = ParamStore::new();
+        b.register("w", Matrix::zeros(1, 1));
+        b.copy_from(&a);
+    }
+
+    #[test]
+    fn soft_update_blends() {
+        let mut a = ParamStore::new();
+        let mut b = ParamStore::new();
+        a.register("w", Matrix::filled(1, 1, 10.0));
+        let idb = b.register("w", Matrix::filled(1, 1, 0.0));
+        b.soft_update_from(&a, 0.1);
+        assert!((b.get(idb).get(0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binding_reuses_nodes_and_collects_grads() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::filled(1, 2, 3.0));
+        let mut g = Graph::new();
+        let mut binding = GraphBinding::new();
+        let v1 = binding.bind(&mut g, &store, id);
+        let v2 = binding.bind(&mut g, &store, id);
+        assert_eq!(v1, v2);
+        assert_eq!(binding.len(), 1);
+
+        let loss = g.squared_sum(v1);
+        g.backward(loss).unwrap();
+        let grads = binding.gradients(&g);
+        assert_eq!(grads.len(), 1);
+        assert_eq!(grads[0].1.as_slice(), &[6.0, 6.0]);
+    }
+
+    #[test]
+    fn unused_bound_param_gets_zero_grad() {
+        let mut store = ParamStore::new();
+        let used = store.register("used", Matrix::ones(1, 1));
+        let unused = store.register("unused", Matrix::ones(2, 2));
+        let mut g = Graph::new();
+        let mut binding = GraphBinding::new();
+        let u = binding.bind(&mut g, &store, used);
+        let _nu = binding.bind(&mut g, &store, unused);
+        let loss = g.squared_sum(u);
+        g.backward(loss).unwrap();
+        let grads = binding.gradients(&g);
+        let unused_grad = &grads.iter().find(|(p, _)| *p == unused).unwrap().1;
+        assert_eq!(unused_grad.as_slice(), &[0.0; 4]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Exploration strategies (paper Sec. VI-B).
+//!
+//! * [`EpsilonGreedy`] for single-task assignment: with probability ε the agent follows the
+//!   Q values, otherwise it picks a random task. The paper's schedule increases ε (the
+//!   *exploit* probability) from 0.9 to 0.98.
+//! * [`GaussianQNoise`] for list recommendation: instead of fully random ordering, zero-mean
+//!   Gaussian noise with the std of the current Q values (times a decaying factor) is added
+//!   to every Q value before ranking.
+
+use crate::schedule::Schedule;
+use crowd_tensor::Rng;
+
+/// ε-greedy action selection over a slice of Q values.
+#[derive(Debug, Clone)]
+pub struct EpsilonGreedy {
+    /// Schedule of the probability of *following* the greedy policy.
+    exploit_schedule: Schedule,
+    step: u64,
+}
+
+impl EpsilonGreedy {
+    /// Creates an explorer whose exploit probability follows `exploit_schedule`.
+    pub fn new(exploit_schedule: Schedule) -> Self {
+        EpsilonGreedy {
+            exploit_schedule,
+            step: 0,
+        }
+    }
+
+    /// The paper's single-task schedule: exploit probability grows linearly 0.9 → 0.98.
+    pub fn paper_default(anneal_steps: u64) -> Self {
+        EpsilonGreedy::new(Schedule::Linear {
+            start: 0.9,
+            end: 0.98,
+            steps: anneal_steps,
+        })
+    }
+
+    /// Current exploit probability.
+    pub fn exploit_probability(&self) -> f32 {
+        self.exploit_schedule.at(self.step)
+    }
+
+    /// Number of decisions taken so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Picks an index among `q_values`: greedy with the scheduled probability, uniform
+    /// otherwise. Returns `None` on an empty slice. Advances the schedule by one step.
+    pub fn select(&mut self, q_values: &[f32], rng: &mut Rng) -> Option<usize> {
+        if q_values.is_empty() {
+            return None;
+        }
+        let exploit = rng.chance(self.exploit_probability());
+        self.step += 1;
+        if exploit {
+            let mut best = 0;
+            for (i, &q) in q_values.iter().enumerate() {
+                if q > q_values[best] {
+                    best = i;
+                }
+            }
+            Some(best)
+        } else {
+            Some(rng.below(q_values.len()))
+        }
+    }
+}
+
+/// Gaussian-noise exploration over Q values for list ranking.
+#[derive(Debug, Clone)]
+pub struct GaussianQNoise {
+    /// Probability of injecting noise at all (the paper keeps this at 0.9).
+    noise_probability: f32,
+    /// Decay factor applied to the noise std, from 1.0 down to 0.1 in the paper.
+    decay_schedule: Schedule,
+    step: u64,
+}
+
+impl GaussianQNoise {
+    /// Creates a noise explorer.
+    pub fn new(noise_probability: f32, decay_schedule: Schedule) -> Self {
+        GaussianQNoise {
+            noise_probability,
+            decay_schedule,
+            step: 0,
+        }
+    }
+
+    /// The paper's list-recommendation configuration: noise probability 0.9, decay factor
+    /// 1.0 → 0.1 over `anneal_steps` decisions.
+    pub fn paper_default(anneal_steps: u64) -> Self {
+        GaussianQNoise::new(
+            0.9,
+            Schedule::Linear {
+                start: 1.0,
+                end: 0.1,
+                steps: anneal_steps,
+            },
+        )
+    }
+
+    /// Current decay factor.
+    pub fn decay_factor(&self) -> f32 {
+        self.decay_schedule.at(self.step)
+    }
+
+    /// Returns (possibly) noise-perturbed copies of the Q values and advances the schedule.
+    ///
+    /// With probability `noise_probability`, each Q value receives `N(0, σ·decay)` noise where
+    /// σ is the standard deviation of the current Q values; otherwise the values are returned
+    /// unchanged.
+    pub fn perturb(&mut self, q_values: &[f32], rng: &mut Rng) -> Vec<f32> {
+        let decay = self.decay_factor();
+        self.step += 1;
+        if q_values.is_empty() || !rng.chance(self.noise_probability) {
+            return q_values.to_vec();
+        }
+        let mean = q_values.iter().sum::<f32>() / q_values.len() as f32;
+        let var = q_values.iter().map(|q| (q - mean).powi(2)).sum::<f32>() / q_values.len() as f32;
+        let std = var.sqrt();
+        if std <= f32::EPSILON {
+            return q_values.to_vec();
+        }
+        q_values
+            .iter()
+            .map(|&q| q + rng.normal(0.0, std * decay))
+            .collect()
+    }
+
+    /// Ranks task indices by (possibly perturbed) Q values, descending.
+    pub fn rank(&mut self, q_values: &[f32], rng: &mut Rng) -> Vec<usize> {
+        let perturbed = self.perturb(q_values, rng);
+        let mut order: Vec<usize> = (0..perturbed.len()).collect();
+        order.sort_by(|&a, &b| {
+            perturbed[b]
+                .partial_cmp(&perturbed[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        order
+    }
+}
+
+/// Ranks indices by Q value descending without any exploration (pure exploitation).
+pub fn greedy_rank(q_values: &[f32]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..q_values.len()).collect();
+    order.sort_by(|&a, &b| {
+        q_values[b]
+            .partial_cmp(&q_values[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_greedy_empty_returns_none() {
+        let mut e = EpsilonGreedy::paper_default(10);
+        let mut rng = Rng::seed_from(0);
+        assert_eq!(e.select(&[], &mut rng), None);
+    }
+
+    #[test]
+    fn epsilon_greedy_mostly_greedy_at_high_exploit() {
+        let mut e = EpsilonGreedy::new(Schedule::Constant(0.95));
+        let mut rng = Rng::seed_from(1);
+        let q = [0.0, 0.0, 5.0, 0.0];
+        let mut greedy_hits = 0;
+        for _ in 0..1000 {
+            if e.select(&q, &mut rng) == Some(2) {
+                greedy_hits += 1;
+            }
+        }
+        assert!(greedy_hits > 900, "greedy hits {greedy_hits}");
+    }
+
+    #[test]
+    fn epsilon_greedy_explores_at_zero_exploit() {
+        let mut e = EpsilonGreedy::new(Schedule::Constant(0.0));
+        let mut rng = Rng::seed_from(2);
+        let q = [0.0, 0.0, 5.0, 0.0];
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[e.select(&q, &mut rng).unwrap()] += 1;
+        }
+        // Roughly uniform.
+        assert!(counts.iter().all(|&c| c > 800), "counts {counts:?}");
+    }
+
+    #[test]
+    fn epsilon_schedule_advances() {
+        let mut e = EpsilonGreedy::paper_default(100);
+        let mut rng = Rng::seed_from(3);
+        let before = e.exploit_probability();
+        for _ in 0..100 {
+            e.select(&[1.0, 2.0], &mut rng);
+        }
+        assert_eq!(e.steps(), 100);
+        assert!(e.exploit_probability() > before);
+        assert!((e.exploit_probability() - 0.98).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gaussian_noise_preserves_values_when_disabled() {
+        let mut n = GaussianQNoise::new(0.0, Schedule::Constant(1.0));
+        let mut rng = Rng::seed_from(4);
+        let q = [1.0, 2.0, 3.0];
+        assert_eq!(n.perturb(&q, &mut rng), q.to_vec());
+    }
+
+    #[test]
+    fn gaussian_noise_scale_tracks_q_spread() {
+        let mut n = GaussianQNoise::new(1.0, Schedule::Constant(1.0));
+        let mut rng = Rng::seed_from(5);
+        // Wide spread -> perturbations visibly change the ordering sometimes; tiny spread ->
+        // perturbations stay tiny.
+        let tight = [1.0, 1.0001, 1.0002];
+        let perturbed = n.perturb(&tight, &mut rng);
+        for (p, q) in perturbed.iter().zip(tight.iter()) {
+            assert!((p - q).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn gaussian_noise_changes_ranking_sometimes_but_not_always() {
+        let mut n = GaussianQNoise::new(1.0, Schedule::Constant(1.0));
+        let mut rng = Rng::seed_from(6);
+        let q = [0.1, 0.11, 0.12, 0.13];
+        let mut changed = 0;
+        for _ in 0..200 {
+            if n.rank(&q, &mut rng) != vec![3, 2, 1, 0] {
+                changed += 1;
+            }
+        }
+        assert!(changed > 10, "ranking never changed");
+        assert!(changed < 200, "ranking always changed");
+    }
+
+    #[test]
+    fn decayed_noise_becomes_nearly_greedy() {
+        let mut n = GaussianQNoise::new(1.0, Schedule::Constant(0.001));
+        let mut rng = Rng::seed_from(7);
+        let q = [0.0, 10.0, 20.0, 30.0];
+        for _ in 0..50 {
+            assert_eq!(n.rank(&q, &mut rng), vec![3, 2, 1, 0]);
+        }
+    }
+
+    #[test]
+    fn greedy_rank_sorts_descending() {
+        assert_eq!(greedy_rank(&[0.5, 2.0, 1.0]), vec![1, 2, 0]);
+        assert!(greedy_rank(&[]).is_empty());
+    }
+}

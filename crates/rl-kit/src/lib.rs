@@ -1,0 +1,25 @@
+//! Reinforcement-learning toolkit used by the DDQN framework and the LinUCB baseline.
+//!
+//! Contents:
+//!
+//! * [`ReplayBuffer`] — bounded FIFO memory of transitions sampled uniformly;
+//! * [`PrioritizedReplay`] — proportional prioritized experience replay (Schaul et al. 2015,
+//!   cited as \[25\] in the paper) backed by a [`SumTree`], with importance-sampling weights;
+//! * [`EpsilonGreedy`] — the ε schedule of Sec. VII-B1 (ε grows from 0.9 to 0.98 for
+//!   single-task assignment, i.e. the probability of *following* the policy grows);
+//! * [`GaussianQNoise`] — the list-recommendation explorer of Sec. VI-B that perturbs Q
+//!   values with zero-mean noise whose std matches the current Q-value spread, with a decay
+//!   factor;
+//! * [`Schedule`] — linear / exponential scalar schedules shared by the above.
+
+pub mod explore;
+pub mod prioritized;
+pub mod replay;
+pub mod schedule;
+pub mod sum_tree;
+
+pub use explore::{greedy_rank, EpsilonGreedy, GaussianQNoise};
+pub use prioritized::{PrioritizedReplay, PrioritizedSample};
+pub use replay::ReplayBuffer;
+pub use schedule::Schedule;
+pub use sum_tree::SumTree;

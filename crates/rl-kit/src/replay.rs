@@ -1,0 +1,148 @@
+//! Bounded uniform-sampling replay memory.
+
+use crowd_tensor::Rng;
+use std::collections::VecDeque;
+
+/// A bounded FIFO buffer of transitions with uniform minibatch sampling.
+///
+/// The paper's memory buffer ("sorted by occurrence time", Sec. II-C2, size 1000 in
+/// Sec. VII-B1) evicts the oldest transition when full. The prioritized variant in
+/// [`crate::prioritized`] is used by default; this uniform buffer backs the ablation bench
+/// and simpler baselines.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer<T> {
+    capacity: usize,
+    items: VecDeque<T>,
+}
+
+impl<T> ReplayBuffer<T> {
+    /// Creates a buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        ReplayBuffer {
+            capacity,
+            items: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Maximum number of stored transitions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when the buffer has reached capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Appends a transition, evicting the oldest one when full. Returns the evicted item.
+    pub fn push(&mut self, item: T) -> Option<T> {
+        let evicted = if self.is_full() {
+            self.items.pop_front()
+        } else {
+            None
+        };
+        self.items.push_back(item);
+        evicted
+    }
+
+    /// Immutable access by insertion order (0 = oldest still stored).
+    pub fn get(&self, index: usize) -> Option<&T> {
+        self.items.get(index)
+    }
+
+    /// Samples `batch` indices uniformly with replacement (empty when the buffer is empty).
+    pub fn sample_indices(&self, batch: usize, rng: &mut Rng) -> Vec<usize> {
+        if self.items.is_empty() {
+            return Vec::new();
+        }
+        (0..batch).map(|_| rng.below(self.items.len())).collect()
+    }
+
+    /// Samples `batch` references uniformly with replacement.
+    pub fn sample<'a>(&'a self, batch: usize, rng: &mut Rng) -> Vec<&'a T> {
+        self.sample_indices(batch, rng)
+            .into_iter()
+            .filter_map(|i| self.items.get(i))
+            .collect()
+    }
+
+    /// Iterates over stored transitions from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_evict_fifo() {
+        let mut buf = ReplayBuffer::new(3);
+        assert!(buf.is_empty());
+        assert_eq!(buf.push(1), None);
+        assert_eq!(buf.push(2), None);
+        assert_eq!(buf.push(3), None);
+        assert!(buf.is_full());
+        assert_eq!(buf.push(4), Some(1));
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(buf.get(0), Some(&2));
+        assert_eq!(buf.get(5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _: ReplayBuffer<u8> = ReplayBuffer::new(0);
+    }
+
+    #[test]
+    fn sampling_from_empty_is_empty() {
+        let buf: ReplayBuffer<u8> = ReplayBuffer::new(4);
+        let mut rng = Rng::seed_from(0);
+        assert!(buf.sample(8, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn sampling_covers_all_items() {
+        let mut buf = ReplayBuffer::new(8);
+        for i in 0..8 {
+            buf.push(i);
+        }
+        let mut rng = Rng::seed_from(1);
+        let mut seen = [false; 8];
+        for &v in &buf.sample(256, &mut rng) {
+            seen[*v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut buf = ReplayBuffer::new(2);
+        buf.push(1);
+        buf.clear();
+        assert!(buf.is_empty());
+    }
+}

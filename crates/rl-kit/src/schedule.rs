@@ -1,0 +1,112 @@
+//! Scalar schedules (linear / exponential) shared by the explorers and learning-rate decay.
+
+/// A deterministic scalar schedule evaluated by step count.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Schedule {
+    /// Always the same value.
+    Constant(f32),
+    /// Linear interpolation from `start` to `end` over `steps` steps, then clamped at `end`.
+    Linear {
+        /// Value at step 0.
+        start: f32,
+        /// Value at and after `steps`.
+        end: f32,
+        /// Number of steps over which to interpolate.
+        steps: u64,
+    },
+    /// Exponential decay `start * factor^step`, floored at `min`.
+    Exponential {
+        /// Value at step 0.
+        start: f32,
+        /// Per-step multiplicative factor (usually < 1).
+        factor: f32,
+        /// Lower bound.
+        min: f32,
+    },
+}
+
+impl Schedule {
+    /// Value of the schedule at `step`.
+    pub fn at(&self, step: u64) -> f32 {
+        match *self {
+            Schedule::Constant(v) => v,
+            Schedule::Linear { start, end, steps } => {
+                if steps == 0 || step >= steps {
+                    end
+                } else {
+                    let t = step as f32 / steps as f32;
+                    start + (end - start) * t
+                }
+            }
+            Schedule::Exponential { start, factor, min } => {
+                let v = start * factor.powf(step as f32);
+                if start >= min {
+                    v.max(min)
+                } else {
+                    v.min(min)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_flat() {
+        let s = Schedule::Constant(0.9);
+        assert_eq!(s.at(0), 0.9);
+        assert_eq!(s.at(1_000_000), 0.9);
+    }
+
+    #[test]
+    fn linear_interpolates_and_clamps() {
+        // The paper's ε grows from 0.9 to 0.98 (probability of following the policy).
+        let s = Schedule::Linear {
+            start: 0.9,
+            end: 0.98,
+            steps: 100,
+        };
+        assert!((s.at(0) - 0.9).abs() < 1e-6);
+        assert!((s.at(50) - 0.94).abs() < 1e-6);
+        assert!((s.at(100) - 0.98).abs() < 1e-6);
+        assert!((s.at(10_000) - 0.98).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_with_zero_steps_is_end() {
+        let s = Schedule::Linear {
+            start: 1.0,
+            end: 0.0,
+            steps: 0,
+        };
+        assert_eq!(s.at(0), 0.0);
+    }
+
+    #[test]
+    fn exponential_decays_to_floor() {
+        // The paper's noise decay factor starts at 1 and decreases to 0.1.
+        let s = Schedule::Exponential {
+            start: 1.0,
+            factor: 0.99,
+            min: 0.1,
+        };
+        assert_eq!(s.at(0), 1.0);
+        assert!(s.at(100) < 0.4);
+        assert!((s.at(100_000) - 0.1).abs() < 1e-6);
+        assert!(s.at(10) > s.at(20));
+    }
+
+    #[test]
+    fn exponential_can_grow_to_ceiling() {
+        let s = Schedule::Exponential {
+            start: 0.5,
+            factor: 1.05,
+            min: 1.0,
+        };
+        assert_eq!(s.at(0), 0.5);
+        assert!((s.at(1_000) - 1.0).abs() < 1e-6);
+    }
+}

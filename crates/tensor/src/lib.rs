@@ -1,0 +1,31 @@
+//! Dense `f32` matrix substrate for the crowd-rl workspace.
+//!
+//! The paper's Q-network is a small set-transformer operating on matrices of shape
+//! `[maxT, feature_dim]`; everything the workspace needs from a linear-algebra backend is a
+//! row-major dense matrix with shape-checked operations and a deterministic random number
+//! source. This crate provides exactly that and nothing more, so the higher layers
+//! ([`crowd-autograd`](https://docs.rs/crowd-autograd), `crowd-nn`) stay small and auditable.
+//!
+//! # Quick example
+//!
+//! ```
+//! use crowd_tensor::{Matrix, Rng};
+//!
+//! let mut rng = Rng::seed_from(42);
+//! let a = Matrix::randn(3, 4, &mut rng);
+//! let b = Matrix::randn(4, 2, &mut rng);
+//! let c = a.matmul(&b).unwrap();
+//! assert_eq!(c.shape(), (3, 2));
+//! ```
+
+pub mod error;
+pub mod matrix;
+pub mod ops;
+pub mod random;
+
+pub use error::TensorError;
+pub use matrix::Matrix;
+pub use random::Rng;
+
+/// Convenience result alias used across the workspace's numeric crates.
+pub type Result<T> = std::result::Result<T, TensorError>;

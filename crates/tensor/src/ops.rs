@@ -1,0 +1,648 @@
+//! Numeric operations on [`Matrix`].
+//!
+//! The hot path of the whole workspace is `matmul` inside the Q-network forward/backward
+//! pass; it uses the classic `i-k-j` loop order so the innermost loop walks both operands
+//! contiguously and auto-vectorises. Everything else is straightforward element-wise or
+//! row-wise code with explicit shape checks.
+
+use crate::error::TensorError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+impl Matrix {
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless `self.cols() == rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols() != rhs.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (m, k) = self.shape();
+        let n = rhs.cols();
+        let mut out = Matrix::zeros(m, n);
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let c = out.as_mut_slice();
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c_v += a_ip * b_v;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self * rhs^T` without materialising the transpose.
+    pub fn matmul_transpose(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols() != rhs.cols() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_transpose",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (m, _) = self.shape();
+        let n = rhs.rows();
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            for j in 0..n {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0f32;
+                for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                    acc += x * y;
+                }
+                out.set(i, j, acc);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let (m, n) = self.shape();
+        let mut out = Matrix::zeros(n, m);
+        for i in 0..m {
+            for j in 0..n {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    fn check_same_shape(&self, rhs: &Matrix, op: &'static str) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.check_same_shape(rhs, "add")?;
+        let mut out = self.clone();
+        for (o, &r) in out.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *o += r;
+        }
+        Ok(out)
+    }
+
+    /// In-place element-wise sum; used by gradient accumulation.
+    pub fn add_assign(&mut self, rhs: &Matrix) -> Result<()> {
+        self.check_same_shape(rhs, "add_assign")?;
+        for (o, &r) in self.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *o += r;
+        }
+        Ok(())
+    }
+
+    /// In-place `self += alpha * rhs` (axpy).
+    pub fn add_scaled_assign(&mut self, rhs: &Matrix, alpha: f32) -> Result<()> {
+        self.check_same_shape(rhs, "add_scaled_assign")?;
+        for (o, &r) in self.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *o += alpha * r;
+        }
+        Ok(())
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.check_same_shape(rhs, "sub")?;
+        let mut out = self.clone();
+        for (o, &r) in out.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *o -= r;
+        }
+        Ok(out)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.check_same_shape(rhs, "hadamard")?;
+        let mut out = self.clone();
+        for (o, &r) in out.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *o *= r;
+        }
+        Ok(out)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, alpha: f32) -> Matrix {
+        let mut out = self.clone();
+        for v in out.as_mut_slice() {
+            *v *= alpha;
+        }
+        out
+    }
+
+    /// Adds a scalar to every element.
+    pub fn shift(&self, delta: f32) -> Matrix {
+        let mut out = self.clone();
+        for v in out.as_mut_slice() {
+            *v += delta;
+        }
+        out
+    }
+
+    /// Applies `f` to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let mut out = self.clone();
+        for v in out.as_mut_slice() {
+            *v = f(*v);
+        }
+        out
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Matrix {
+        self.map(|v| if v > 0.0 { v } else { 0.0 })
+    }
+
+    /// Adds a `1 x cols` row vector to every row.
+    pub fn add_row_broadcast(&self, row: &Matrix) -> Result<Matrix> {
+        if row.rows() != 1 || row.cols() != self.cols() {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_row_broadcast",
+                lhs: self.shape(),
+                rhs: row.shape(),
+            });
+        }
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                let v = out.get(r, c) + row.get(0, c);
+                out.set(r, c, v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Row-wise softmax: every row is exponentiated (after subtracting its max for stability)
+    /// and normalised to sum to one. Rows of all `-inf` become uniform zero-safe rows.
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            if !max.is_finite() {
+                let n = row.len() as f32;
+                for v in row.iter_mut() {
+                    *v = 1.0 / n;
+                }
+                continue;
+            }
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+        out
+    }
+
+    /// Horizontal concatenation `[self | rhs]`.
+    pub fn concat_cols(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows() != rhs.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "concat_cols",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows(), self.cols() + rhs.cols());
+        for r in 0..self.rows() {
+            out.row_mut(r)[..self.cols()].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols()..].copy_from_slice(rhs.row(r));
+        }
+        Ok(out)
+    }
+
+    /// Vertical concatenation (stack `rhs` below `self`).
+    pub fn concat_rows(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols() != rhs.cols() {
+            return Err(TensorError::ShapeMismatch {
+                op: "concat_rows",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut data = Vec::with_capacity(self.len() + rhs.len());
+        data.extend_from_slice(self.as_slice());
+        data.extend_from_slice(rhs.as_slice());
+        Matrix::from_vec(self.rows() + rhs.rows(), self.cols(), data)
+    }
+
+    /// Copies columns `[start, end)` into a new matrix.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Result<Matrix> {
+        if start > end || end > self.cols() {
+            return Err(TensorError::IndexOutOfBounds {
+                op: "slice_cols",
+                index: end,
+                bound: self.cols() + 1,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows(), end - start);
+        for r in 0..self.rows() {
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
+        }
+        Ok(out)
+    }
+
+    /// Copies rows `[start, end)` into a new matrix.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Result<Matrix> {
+        if start > end || end > self.rows() {
+            return Err(TensorError::IndexOutOfBounds {
+                op: "slice_rows",
+                index: end,
+                bound: self.rows() + 1,
+            });
+        }
+        let mut out = Matrix::zeros(end - start, self.cols());
+        for (dst, src) in (start..end).enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        Ok(out)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Per-row sums as a `rows x 1` column vector.
+    pub fn row_sums(&self) -> Matrix {
+        let sums: Vec<f32> = (0..self.rows()).map(|r| self.row(r).iter().sum()).collect();
+        Matrix::col_vector(&sums)
+    }
+
+    /// Per-column sums as a `1 x cols` row vector.
+    pub fn col_sums(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols());
+        for r in 0..self.rows() {
+            for c in 0..self.cols() {
+                let v = out.get(0, c) + self.get(r, c);
+                out.set(0, c, v);
+            }
+        }
+        out
+    }
+
+    /// Per-column means as a `1 x cols` row vector.
+    pub fn col_means(&self) -> Matrix {
+        if self.rows() == 0 {
+            return Matrix::zeros(1, self.cols());
+        }
+        self.col_sums().scale(1.0 / self.rows() as f32)
+    }
+
+    /// Maximum element. Errors on an empty matrix.
+    pub fn max(&self) -> Result<f32> {
+        self.as_slice()
+            .iter()
+            .cloned()
+            .fold(None, |acc: Option<f32>, v| Some(acc.map_or(v, |a| a.max(v))))
+            .ok_or(TensorError::EmptyInput { op: "max" })
+    }
+
+    /// Index (row-major) and value of the maximum element. Errors on an empty matrix.
+    pub fn argmax(&self) -> Result<(usize, f32)> {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, &v) in self.as_slice().iter().enumerate() {
+            match best {
+                Some((_, bv)) if v <= bv => {}
+                _ => best = Some((i, v)),
+            }
+        }
+        best.ok_or(TensorError::EmptyInput { op: "argmax" })
+    }
+
+    /// Squared Frobenius norm.
+    pub fn squared_norm(&self) -> f32 {
+        self.as_slice().iter().map(|v| v * v).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.squared_norm().sqrt()
+    }
+
+    /// Dot product between two matrices of identical shape (sum of the Hadamard product).
+    pub fn dot(&self, rhs: &Matrix) -> Result<f32> {
+        self.check_same_shape(rhs, "dot")?;
+        Ok(self
+            .as_slice()
+            .iter()
+            .zip(rhs.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum())
+    }
+
+    /// Cosine similarity between two same-shape matrices (flattened). Returns 0 when either
+    /// operand has zero norm.
+    pub fn cosine_similarity(&self, rhs: &Matrix) -> Result<f32> {
+        let dot = self.dot(rhs)?;
+        let denom = self.norm() * rhs.norm();
+        if denom <= f32::EPSILON {
+            Ok(0.0)
+        } else {
+            Ok(dot / denom)
+        }
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Matrix {
+        self.map(|v| v.clamp(lo, hi))
+    }
+}
+
+/// Dot product of two equal-length slices; tiny helper used throughout the baselines.
+pub fn dot_slices(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+/// Cosine similarity of two equal-length slices (0 when either has zero norm).
+pub fn cosine_slices(a: &[f32], b: &[f32]) -> f32 {
+    let dot = dot_slices(a, b);
+    let na = dot_slices(a, a).sqrt();
+    let nb = dot_slices(b, b).sqrt();
+    if na <= f32::EPSILON || nb <= f32::EPSILON {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::Rng;
+
+    fn m(rows: usize, cols: usize, data: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::ShapeMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let mut rng = Rng::seed_from(0);
+        let a = Matrix::randn(4, 4, &mut rng);
+        let id = Matrix::identity(4);
+        assert_eq!(a.matmul(&id).unwrap(), a);
+        assert_eq!(id.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_transpose_matches_explicit() {
+        let mut rng = Rng::seed_from(1);
+        let a = Matrix::randn(3, 5, &mut rng);
+        let b = Matrix::randn(4, 5, &mut rng);
+        let fast = a.matmul_transpose(&b).unwrap();
+        let slow = a.matmul(&b.transpose()).unwrap();
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = Rng::seed_from(2);
+        let a = Matrix::randn(3, 7, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(1, 3, &[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.hadamard(&b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+        assert_eq!(a.shift(1.0).as_slice(), &[2.0, 3.0, 4.0]);
+        assert!(a.add(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn add_assign_and_axpy() {
+        let mut a = m(1, 2, &[1.0, 2.0]);
+        a.add_assign(&m(1, 2, &[3.0, 4.0])).unwrap();
+        assert_eq!(a.as_slice(), &[4.0, 6.0]);
+        a.add_scaled_assign(&m(1, 2, &[1.0, 1.0]), 0.5).unwrap();
+        assert_eq!(a.as_slice(), &[4.5, 6.5]);
+    }
+
+    #[test]
+    fn relu_and_map() {
+        let a = m(1, 4, &[-1.0, 0.0, 2.0, -3.0]);
+        assert_eq!(a.relu().as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+        assert_eq!(a.map(|v| v * v).as_slice(), &[1.0, 0.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn row_broadcast() {
+        let a = Matrix::zeros(2, 3);
+        let bias = Matrix::row_vector(&[1.0, 2.0, 3.0]);
+        let out = a.add_row_broadcast(&bias).unwrap();
+        assert_eq!(out.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(out.row(1), &[1.0, 2.0, 3.0]);
+        assert!(a.add_row_broadcast(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_are_stable() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        assert!(s.all_finite());
+        // Larger logits get larger probabilities.
+        assert!(s.get(0, 2) > s.get(0, 1));
+    }
+
+    #[test]
+    fn softmax_handles_fully_masked_row() {
+        let a = m(1, 3, &[f32::NEG_INFINITY; 3]);
+        let s = a.softmax_rows();
+        assert!(s.all_finite());
+    }
+
+    #[test]
+    fn concat_and_slice() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = m(2, 1, &[5.0, 6.0]);
+        let cat = a.concat_cols(&b).unwrap();
+        assert_eq!(cat.row(0), &[1.0, 2.0, 5.0]);
+        assert_eq!(cat.row(1), &[3.0, 4.0, 6.0]);
+        assert_eq!(cat.slice_cols(2, 3).unwrap(), b);
+        assert_eq!(cat.slice_cols(0, 2).unwrap(), a);
+        assert!(cat.slice_cols(1, 5).is_err());
+
+        let stacked = a.concat_rows(&m(1, 2, &[7.0, 8.0])).unwrap();
+        assert_eq!(stacked.shape(), (3, 2));
+        assert_eq!(stacked.row(2), &[7.0, 8.0]);
+        assert_eq!(stacked.slice_rows(2, 3).unwrap().row(0), &[7.0, 8.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.row_sums().as_slice(), &[3.0, 7.0]);
+        assert_eq!(a.col_sums().as_slice(), &[4.0, 6.0]);
+        assert_eq!(a.col_means().as_slice(), &[2.0, 3.0]);
+        assert_eq!(a.max().unwrap(), 4.0);
+        assert_eq!(a.argmax().unwrap(), (3, 4.0));
+        assert!((a.norm() - 30.0f32.sqrt()).abs() < 1e-6);
+        assert!(Matrix::zeros(0, 0).max().is_err());
+        assert!(Matrix::zeros(0, 0).argmax().is_err());
+    }
+
+    #[test]
+    fn dot_and_cosine() {
+        let a = m(1, 3, &[1.0, 0.0, 0.0]);
+        let b = m(1, 3, &[0.0, 1.0, 0.0]);
+        assert_eq!(a.dot(&b).unwrap(), 0.0);
+        assert_eq!(a.cosine_similarity(&b).unwrap(), 0.0);
+        assert!((a.cosine_similarity(&a).unwrap() - 1.0).abs() < 1e-6);
+        let zero = Matrix::zeros(1, 3);
+        assert_eq!(a.cosine_similarity(&zero).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        let a = m(1, 3, &[-5.0, 0.5, 7.0]);
+        assert_eq!(a.clamp(0.0, 1.0).as_slice(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn slice_helpers() {
+        assert_eq!(dot_slices(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((cosine_slices(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert_eq!(cosine_slices(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use crate::matrix::Matrix;
+    use proptest::prelude::*;
+
+    fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+        (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+            proptest::collection::vec(-10.0f32..10.0, r * c)
+                .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn transpose_is_involution(m in arb_matrix(8)) {
+            prop_assert_eq!(m.transpose().transpose(), m);
+        }
+
+        #[test]
+        fn add_is_commutative(m in arb_matrix(6)) {
+            let other = m.scale(0.5);
+            prop_assert_eq!(m.add(&other).unwrap(), other.add(&m).unwrap());
+        }
+
+        #[test]
+        fn scale_distributes_over_add(m in arb_matrix(6), alpha in -3.0f32..3.0) {
+            let other = m.map(|v| v - 1.0);
+            let lhs = m.add(&other).unwrap().scale(alpha);
+            let rhs = m.scale(alpha).add(&other.scale(alpha)).unwrap();
+            for (a, b) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+                prop_assert!((a - b).abs() < 1e-3);
+            }
+        }
+
+        #[test]
+        fn softmax_rows_are_probabilities(m in arb_matrix(7)) {
+            let s = m.softmax_rows();
+            for r in 0..s.rows() {
+                let sum: f32 = s.row(r).iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-4);
+                prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+            }
+        }
+
+        #[test]
+        fn matmul_associativity(a in arb_matrix(5)) {
+            // Build compatible b and c from a's shape deterministically.
+            let (r, c) = a.shape();
+            let b = Matrix::filled(c, 3, 0.5);
+            let cc = Matrix::filled(3, 2, -0.25);
+            let left = a.matmul(&b).unwrap().matmul(&cc).unwrap();
+            let right = a.matmul(&b.matmul(&cc).unwrap()).unwrap();
+            prop_assert_eq!(left.shape(), (r, 2));
+            for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+
+        #[test]
+        fn concat_then_slice_roundtrip(a in arb_matrix(6)) {
+            let b = a.map(|v| v + 1.0);
+            let cat = a.concat_cols(&b).unwrap();
+            prop_assert_eq!(cat.slice_cols(0, a.cols()).unwrap(), a.clone());
+            prop_assert_eq!(cat.slice_cols(a.cols(), cat.cols()).unwrap(), b);
+        }
+
+        #[test]
+        fn relu_is_idempotent_and_nonnegative(m in arb_matrix(8)) {
+            let r = m.relu();
+            prop_assert_eq!(r.relu(), r.clone());
+            prop_assert!(r.as_slice().iter().all(|&v| v >= 0.0));
+        }
+    }
+}

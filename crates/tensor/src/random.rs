@@ -1,0 +1,305 @@
+//! Deterministic random number generation and the handful of distributions the simulator and
+//! network initialisers need (uniform, normal, Beta, categorical, exponential, geometric-like
+//! histogram sampling).
+//!
+//! Everything in the workspace threads a single [`Rng`] seeded from a `u64`, so every
+//! experiment, test and benchmark is reproducible bit-for-bit on the same toolchain.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+/// Workspace-wide random number generator.
+///
+/// Wraps [`rand::rngs::StdRng`] and adds the distribution helpers the paper's simulator needs
+/// (normal via Box–Muller, Beta via Marsaglia–Tsang Gamma sampling, categorical sampling from
+/// unnormalised weights). Keeping these here avoids a dependency beyond the approved `rand`.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    inner: StdRng,
+    /// Cached second value from Box–Muller so consecutive normal draws cost one transform.
+    cached_normal: Option<f32>,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        Rng {
+            inner: StdRng::seed_from_u64(seed),
+            cached_normal: None,
+        }
+    }
+
+    /// Derives an independent child generator; useful to give components their own streams
+    /// while keeping a single top-level seed.
+    pub fn fork(&mut self) -> Rng {
+        let seed = self.inner.gen::<u64>();
+        Rng::seed_from(seed)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f32 {
+        self.inner.gen::<f32>()
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Uniform integer in `[0, n)`. Returns 0 when `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            self.inner.gen_range(0..n)
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            lo
+        } else {
+            self.inner.gen_range(lo..hi)
+        }
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f32) -> bool {
+        self.unit() < p
+    }
+
+    /// Standard normal draw scaled to `mean` and `std`, using Box–Muller with caching.
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        if let Some(z) = self.cached_normal.take() {
+            return mean + std * z;
+        }
+        // Box–Muller transform.
+        let mut u1 = self.unit();
+        if u1 < 1e-12 {
+            u1 = 1e-12;
+        }
+        let u2 = self.unit();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        let z0 = radius * theta.cos();
+        let z1 = radius * theta.sin();
+        self.cached_normal = Some(z1);
+        mean + std * z0
+    }
+
+    /// Exponential draw with the given rate (mean `1/rate`).
+    pub fn exponential(&mut self, rate: f32) -> f32 {
+        let mut u = self.unit();
+        if u < 1e-12 {
+            u = 1e-12;
+        }
+        -u.ln() / rate.max(1e-12)
+    }
+
+    /// Gamma draw with shape `alpha > 0` and scale 1, via Marsaglia–Tsang (with the
+    /// boosting trick for `alpha < 1`).
+    pub fn gamma(&mut self, alpha: f32) -> f32 {
+        if alpha < 1.0 {
+            // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+            let u = self.unit().max(1e-12);
+            return self.gamma(alpha + 1.0) * u.powf(1.0 / alpha);
+        }
+        let d = alpha - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = self.normal(0.0, 1.0);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u = self.unit().max(1e-12);
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v;
+            }
+        }
+    }
+
+    /// Beta(`a`, `b`) draw in `[0, 1]`, used for latent worker qualities.
+    pub fn beta(&mut self, a: f32, b: f32) -> f32 {
+        let x = self.gamma(a);
+        let y = self.gamma(b);
+        if x + y <= 0.0 {
+            0.5
+        } else {
+            x / (x + y)
+        }
+    }
+
+    /// Samples an index from unnormalised non-negative weights. Returns `None` when all
+    /// weights are zero or the slice is empty.
+    pub fn categorical(&mut self, weights: &[f32]) -> Option<usize> {
+        let total: f32 = weights.iter().map(|w| w.max(0.0)).sum();
+        if total <= 0.0 || weights.is_empty() {
+            return None;
+        }
+        let mut target = self.unit() * total;
+        for (i, w) in weights.iter().enumerate() {
+            let w = w.max(0.0);
+            if target < w {
+                return Some(i);
+            }
+            target -= w;
+        }
+        Some(weights.len() - 1)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        if slice.len() < 2 {
+            return;
+        }
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices uniformly from `0..n` (or all of them when `k >= n`).
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(k.min(n));
+        idx
+    }
+
+    /// Raw `u64`, exposed so callers can derive child seeds.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = Rng::seed_from(3);
+        let mut b = Rng::seed_from(3);
+        for _ in 0..100 {
+            assert_eq!(a.unit(), b.unit());
+        }
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let mut a = Rng::seed_from(3);
+        let mut fork = a.fork();
+        let xs: Vec<f32> = (0..16).map(|_| a.unit()).collect();
+        let ys: Vec<f32> = (0..16).map(|_| fork.unit()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = Rng::seed_from(11);
+        for _ in 0..1000 {
+            let v = rng.uniform(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_and_range() {
+        let mut rng = Rng::seed_from(5);
+        assert_eq!(rng.below(0), 0);
+        for _ in 0..200 {
+            assert!(rng.below(7) < 7);
+            let r = rng.range(3, 9);
+            assert!((3..9).contains(&r));
+        }
+        assert_eq!(rng.range(5, 5), 5);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::seed_from(42);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| rng.normal(1.5, 2.0)).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!((mean - 1.5).abs() < 0.1, "mean was {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var was {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = Rng::seed_from(9);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exponential(0.5)).sum::<f32>() / n as f32;
+        assert!((mean - 2.0).abs() < 0.15, "mean was {mean}");
+    }
+
+    #[test]
+    fn beta_stays_in_unit_interval_and_centers() {
+        let mut rng = Rng::seed_from(13);
+        let n = 10_000;
+        let xs: Vec<f32> = (0..n).map(|_| rng.beta(2.0, 2.0)).collect();
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        assert!((mean - 0.5).abs() < 0.05, "mean was {mean}");
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut rng = Rng::seed_from(17);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.gamma(3.0)).sum::<f32>() / n as f32;
+        assert!((mean - 3.0).abs() < 0.2, "mean was {mean}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = Rng::seed_from(23);
+        let weights = [0.0, 1.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[rng.categorical(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[2] as f32 / counts[1] as f32;
+        assert!((ratio - 3.0).abs() < 0.5, "ratio was {ratio}");
+        assert!(rng.categorical(&[]).is_none());
+        assert!(rng.categorical(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from(31);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = Rng::seed_from(37);
+        let s = rng.sample_indices(20, 8);
+        assert_eq!(s.len(), 8);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 8);
+        assert_eq!(rng.sample_indices(3, 10).len(), 3);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Rng::seed_from(41);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.1)));
+    }
+}

@@ -1,0 +1,34 @@
+//! Runs the full worker-benefit policy line-up of the paper (Random, Taskrec, Greedy CS,
+//! Greedy NN, LinUCB, DDQN) on a small synthetic dataset and prints a comparison table —
+//! a miniature version of the Fig. 7 experiment.
+//!
+//! Run with: `cargo run --release -p crowd-experiments --example compare_baselines`
+
+use crowd_baselines::Benefit;
+use crowd_experiments::{f3, policies_for_benefit, print_table, run_policy, RunnerConfig, Scale};
+
+fn main() {
+    let scale = Scale::Tiny;
+    let dataset = scale.sim_config().generate();
+    let cfg = RunnerConfig::default();
+
+    let mut rows = Vec::new();
+    for mut policy in policies_for_benefit(&dataset, Benefit::Worker, scale) {
+        eprintln!("running {} ...", policy.name());
+        let outcome = run_policy(&dataset, policy.as_mut(), &cfg);
+        let s = outcome.summary();
+        rows.push(vec![
+            outcome.policy.clone(),
+            f3(s.cr),
+            f3(s.k_cr),
+            f3(s.ndcg_cr),
+            format!("{:.5}", outcome.update_timer.mean_seconds()),
+        ]);
+    }
+    print_table(
+        "Worker-benefit comparison (tiny synthetic dataset)",
+        &["method", "CR", "kCR", "nDCG-CR", "update (s)"],
+        &rows,
+    );
+    println!("\nFor the full experiment use: cargo run --release -p crowd-experiments --bin fig7_worker_benefit");
+}

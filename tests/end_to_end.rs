@@ -1,0 +1,95 @@
+//! End-to-end integration tests: dataset generation → platform replay → DDQN agent →
+//! metrics, spanning every crate in the workspace.
+
+use crowd_experiments::{run_policy, RunnerConfig};
+use crowd_rl_core::{DdqnAgent, DdqnConfig, RecommendationMode};
+use crowd_sim::{monthly_stats, Platform, SimConfig};
+
+fn tiny_ddqn_config() -> DdqnConfig {
+    DdqnConfig {
+        hidden_dim: 16,
+        num_heads: 2,
+        batch_size: 8,
+        learn_every: 4,
+        max_tasks: 32,
+        buffer_size: 256,
+        ..DdqnConfig::default()
+    }
+}
+
+#[test]
+fn ddqn_full_pipeline_produces_sane_metrics() {
+    let dataset = SimConfig::tiny().generate();
+    let features = Platform::default_feature_space(&dataset);
+    let mut agent = DdqnAgent::new(tiny_ddqn_config(), features.task_dim(), features.worker_dim());
+    let outcome = run_policy(&dataset, &mut agent, &RunnerConfig::default());
+    let summary = outcome.summary();
+
+    assert!(outcome.evaluated_arrivals > 50, "too few evaluated arrivals");
+    assert!((0.0..=1.0).contains(&summary.cr), "CR out of range: {}", summary.cr);
+    assert!(summary.ndcg_cr >= summary.cr - 1e-6, "nDCG-CR must dominate CR");
+    assert!(summary.k_cr >= summary.cr - 1e-6, "kCR must dominate CR");
+    assert!(summary.qg >= 0.0);
+    assert!(summary.ndcg_qg >= 0.0);
+    assert!(outcome.final_total_quality > 0.0);
+    assert!(agent.total_updates() > 0, "the agent never learned");
+    // The agent should achieve a non-trivial list success rate: the cascade model completes
+    // something whenever an interesting task appears early enough.
+    assert!(summary.ndcg_cr > 0.05, "nDCG-CR suspiciously low: {}", summary.ndcg_cr);
+}
+
+#[test]
+fn ddqn_assign_one_mode_runs_end_to_end() {
+    let dataset = SimConfig::tiny().generate();
+    let features = Platform::default_feature_space(&dataset);
+    let config = tiny_ddqn_config()
+        .with_mode(RecommendationMode::AssignOne)
+        .with_balance(0.25);
+    let mut agent = DdqnAgent::new(config, features.task_dim(), features.worker_dim());
+    let outcome = run_policy(&dataset, &mut agent, &RunnerConfig::default());
+    let summary = outcome.summary();
+    // In assign-one mode CR, kCR and nDCG-CR coincide (only one position exists).
+    assert!((summary.cr - summary.k_cr).abs() < 1e-6);
+    assert!((summary.cr - summary.ndcg_cr).abs() < 1e-6);
+    assert!(outcome.update_timer.count() > 0);
+}
+
+#[test]
+fn dataset_statistics_match_the_papers_shape() {
+    // The replica generator must produce the qualitative dataset shape of Fig. 5/6: a steady
+    // pool of available tasks and same-worker revisit gaps spread between minutes and days.
+    let dataset = SimConfig::small().generate();
+    let stats = monthly_stats(&dataset);
+    // Post-initialisation months have a stable pool and a steady arrival flow.
+    for month in stats.iter().skip(1) {
+        assert!(month.avg_available > 3.0, "month {} pool too small", month.month);
+        assert!(month.arrivals > 100, "month {} has too few arrivals", month.month);
+        assert!(month.new_tasks > 0 && month.expired_tasks > 0);
+    }
+    let same = crowd_sim::same_worker_gap_histogram(&dataset, 30, 10_080);
+    assert!(same.fraction_below(180) > 0.1, "no short revisits");
+    assert!(same.fraction_below(180) < 0.9, "no day-scale revisits");
+}
+
+#[test]
+fn platform_conserves_quality_accounting() {
+    // The sum of per-feedback quality gains equals the platform's final total task quality.
+    let dataset = SimConfig::tiny().generate();
+    let features = Platform::default_feature_space(&dataset);
+    let mut platform = Platform::new(dataset, features, 3);
+    let mut gain_sum = 0.0f32;
+    while let Some(arrival) = platform.next_arrival() {
+        let ctx = arrival.context;
+        if ctx.available.is_empty() {
+            continue;
+        }
+        let action = crowd_sim::Action::Rank(ctx.available.iter().map(|t| t.id).collect());
+        let feedback = platform.apply(&ctx, &action);
+        gain_sum += feedback.quality_gain;
+    }
+    let total = platform.total_task_quality();
+    assert!(
+        (gain_sum - total).abs() < total.max(1.0) * 1e-3,
+        "gain sum {gain_sum} != total quality {total}"
+    );
+}

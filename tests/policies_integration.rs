@@ -1,0 +1,99 @@
+//! Integration tests running every policy of the paper's comparison through the shared
+//! runner on the same dataset, checking the evaluation protocol treats them uniformly.
+
+use crowd_baselines::{Benefit, GreedyCosine, GreedyNn, LinUcb, ListMode, RandomPolicy, Taskrec};
+use crowd_experiments::{policies_for_benefit, run_policy, RunnerConfig, Scale};
+use crowd_sim::{Policy, SimConfig};
+
+#[test]
+fn every_worker_benefit_policy_completes_a_run() {
+    let dataset = SimConfig::tiny().generate();
+    let cfg = RunnerConfig::default();
+    for mut policy in policies_for_benefit(&dataset, Benefit::Worker, Scale::Tiny) {
+        let name = policy.name().to_string();
+        let outcome = run_policy(&dataset, policy.as_mut(), &cfg);
+        let s = outcome.summary();
+        assert!(outcome.evaluated_arrivals > 0, "{name}: no evaluated arrivals");
+        assert!((0.0..=1.0).contains(&s.cr), "{name}: CR out of range");
+        assert!(s.ndcg_cr >= s.k_cr - 1e-6, "{name}: nDCG-CR must dominate kCR");
+        assert!(s.ndcg_cr <= 1.0 + 1e-6, "{name}: nDCG-CR above 1");
+    }
+}
+
+#[test]
+fn every_requester_benefit_policy_completes_a_run() {
+    let dataset = SimConfig::tiny().generate();
+    let cfg = RunnerConfig::default();
+    for mut policy in policies_for_benefit(&dataset, Benefit::Requester, Scale::Tiny) {
+        let name = policy.name().to_string();
+        let outcome = run_policy(&dataset, policy.as_mut(), &cfg);
+        let s = outcome.summary();
+        assert!(s.qg >= 0.0, "{name}: negative quality gain");
+        assert!(s.ndcg_qg >= s.k_qg - 1e-6, "{name}: nDCG-QG must dominate kQG");
+        assert!(
+            s.qg <= outcome.final_total_quality + 1e-3,
+            "{name}: evaluated QG cannot exceed the platform's total quality"
+        );
+    }
+}
+
+#[test]
+fn policies_see_identical_worker_behaviour() {
+    // The platform's behaviour seed is part of the runner config, so two runs of the *same*
+    // policy are identical, and different policies face the same workers.
+    let dataset = SimConfig::tiny().generate();
+    let cfg = RunnerConfig::default();
+    let mut a = RandomPolicy::new(ListMode::RankAll, 5);
+    let mut b = RandomPolicy::new(ListMode::RankAll, 5);
+    let out_a = run_policy(&dataset, &mut a, &cfg);
+    let out_b = run_policy(&dataset, &mut b, &cfg);
+    assert_eq!(out_a.summary(), out_b.summary());
+    assert_eq!(out_a.evaluated_arrivals, out_b.evaluated_arrivals);
+}
+
+#[test]
+fn supervised_baselines_actually_retrain_daily() {
+    let dataset = SimConfig::tiny().generate();
+    let cfg = RunnerConfig::default();
+    let mut nn = GreedyNn::new(Benefit::Worker, ListMode::RankAll, 3);
+    run_policy(&dataset, &mut nn, &cfg);
+    assert!(nn.is_trained(), "Greedy NN never retrained");
+    assert!(nn.n_examples() > 0);
+
+    let mut pmf = Taskrec::new(ListMode::RankAll, 6, 3);
+    run_policy(&dataset, &mut pmf, &cfg);
+    assert!(pmf.is_trained(), "Taskrec never retrained");
+}
+
+#[test]
+fn rl_baseline_updates_in_real_time() {
+    let dataset = SimConfig::tiny().generate();
+    let cfg = RunnerConfig::default();
+    let mut bandit = LinUcb::new(Benefit::Worker, ListMode::RankAll, 0.5);
+    let outcome = run_policy(&dataset, &mut bandit, &cfg);
+    // LinUCB performs at least one Sherman–Morrison update per evaluated arrival with a
+    // non-empty pool (warm-start history adds more).
+    assert!(bandit.updates() as usize >= outcome.evaluated_arrivals);
+}
+
+#[test]
+fn informed_policies_beat_random_on_list_quality() {
+    // On the small dataset (more signal than tiny), any policy that uses the worker's history
+    // should rank interesting tasks earlier than random ordering does.
+    let dataset = SimConfig::small().generate();
+    let cfg = RunnerConfig::default();
+    let mut random = RandomPolicy::new(ListMode::RankAll, 1);
+    let random_ndcg = run_policy(&dataset, &mut random, &cfg).summary().ndcg_cr;
+    let mut cosine = GreedyCosine::new(Benefit::Worker, ListMode::RankAll);
+    let cosine_ndcg = run_policy(&dataset, &mut cosine, &cfg).summary().ndcg_cr;
+    let mut bandit = LinUcb::new(Benefit::Worker, ListMode::RankAll, 0.5);
+    let bandit_ndcg = run_policy(&dataset, &mut bandit, &cfg).summary().ndcg_cr;
+    assert!(
+        cosine_ndcg > random_ndcg,
+        "cosine {cosine_ndcg} should beat random {random_ndcg}"
+    );
+    assert!(
+        bandit_ndcg > random_ndcg,
+        "LinUCB {bandit_ndcg} should beat random {random_ndcg}"
+    );
+}
