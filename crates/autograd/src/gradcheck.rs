@@ -97,10 +97,7 @@ mod tests {
         let inputs = vec![rand_mat(3, 4, 1), rand_mat(4, 2, 2)];
         for idx in 0..2 {
             let report = check_gradient(&f, &inputs, idx, 1e-2);
-            assert!(
-                report.passes(2e-2),
-                "matmul chain input {idx}: {report:?}"
-            );
+            assert!(report.passes(2e-2), "matmul chain input {idx}: {report:?}");
         }
     }
 
@@ -155,9 +152,8 @@ mod tests {
     fn gradcheck_masked_mse() {
         let target = rand_mat(2, 3, 31);
         let mask = Matrix::from_vec(2, 3, vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0]).unwrap();
-        let f: Box<ScalarFn> = Box::new(move |g, ids| {
-            g.masked_mse(ids[0], &target, &mask).unwrap()
-        });
+        let f: Box<ScalarFn> =
+            Box::new(move |g, ids| g.masked_mse(ids[0], &target, &mask).unwrap());
         let inputs = vec![rand_mat(2, 3, 32)];
         let report = check_gradient(&f, &inputs, 0, 1e-2);
         assert!(report.passes(2e-2), "masked mse: {report:?}");
@@ -174,7 +170,10 @@ mod tests {
         let inputs = vec![rand_mat(2, 2, 41), rand_mat(2, 2, 42)];
         for idx in 0..2 {
             let report = check_gradient(&f, &inputs, idx, 1e-2);
-            assert!(report.passes(2e-2), "sub/scale/shift input {idx}: {report:?}");
+            assert!(
+                report.passes(2e-2),
+                "sub/scale/shift input {idx}: {report:?}"
+            );
         }
     }
 }

@@ -55,7 +55,12 @@ impl Graph {
     }
 
     fn push(&mut self, op: Op, inputs: Vec<VarId>, value: Matrix, requires_grad: bool) -> VarId {
-        debug_assert_eq!(op.arity(), inputs.len(), "op arity mismatch for {}", op.name());
+        debug_assert_eq!(
+            op.arity(),
+            inputs.len(),
+            "op arity mismatch for {}",
+            op.name()
+        );
         let id = VarId(self.nodes.len());
         self.nodes.push(Node {
             op,

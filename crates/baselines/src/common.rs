@@ -1,7 +1,8 @@
-//! Shared plumbing for the baseline policies: objective selection, action construction from
-//! per-task scores, feature assembly and expected quality gain.
+//! Shared plumbing for the baseline policies: objective selection, decision construction
+//! from per-task scores, feature assembly and expected quality gain — all over the borrowed
+//! view interface.
 
-use crowd_sim::{Action, ArrivalContext, TaskSnapshot};
+use crowd_sim::{ArrivalView, Decision, TaskRef};
 
 /// Which benefit a baseline optimises (the paper evaluates each baseline once per benefit).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,35 +22,71 @@ pub enum ListMode {
     RankAll,
 }
 
-/// Builds an [`Action`] from per-task scores (higher = better), respecting the list mode.
-/// Ties are broken by the original pool order, which keeps results deterministic.
-pub fn action_from_scores(ctx: &ArrivalContext, scores: &[f32], mode: ListMode) -> Action {
-    debug_assert_eq!(scores.len(), ctx.available.len());
-    let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
-    match mode {
-        ListMode::AssignOne => match order.first() {
-            Some(&best) => Action::Assign(ctx.available[best].id),
-            None => Action::Rank(Vec::new()),
-        },
-        ListMode::RankAll => Action::Rank(order.iter().map(|&i| ctx.available[i].id).collect()),
+/// Reusable index scratch for score-based ranking: sorting indices by score needs a
+/// working buffer, and keeping it in the policy makes the per-arrival decision path
+/// allocation-free in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreRanker {
+    order: Vec<usize>,
+}
+
+impl ScoreRanker {
+    /// A ranker with an empty scratch buffer.
+    pub fn new() -> Self {
+        ScoreRanker::default()
     }
+
+    /// Writes a decision from per-task scores (higher = better, aligned with pool order)
+    /// into the reusable buffer, respecting the list mode. Ties are broken by the original
+    /// pool order, which keeps results deterministic.
+    pub fn decide(
+        &mut self,
+        view: &ArrivalView<'_>,
+        scores: &[f32],
+        mode: ListMode,
+        decision: &mut Decision,
+    ) {
+        debug_assert_eq!(scores.len(), view.n_tasks());
+        decision.clear();
+        self.order.clear();
+        self.order.extend(0..scores.len());
+        self.order.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        match mode {
+            ListMode::AssignOne => {
+                if let Some(&best) = self.order.first() {
+                    decision.assign(view.task_id(best));
+                }
+            }
+            ListMode::RankAll => decision.extend(self.order.iter().map(|&i| view.task_id(i))),
+        }
+    }
+}
+
+/// One-shot convenience wrapper over [`ScoreRanker::decide`] (allocates a scratch; prefer
+/// a policy-owned [`ScoreRanker`] in decision loops).
+pub fn decide_from_scores(
+    view: &ArrivalView<'_>,
+    scores: &[f32],
+    mode: ListMode,
+    decision: &mut Decision,
+) {
+    ScoreRanker::new().decide(view, scores, mode, decision);
 }
 
 /// Concatenates the worker feature with a task feature (and, for the requester benefit, the
 /// worker quality and current task quality) — the same observable information the DQN state
 /// rows carry.
-pub fn pair_feature(ctx: &ArrivalContext, task: &TaskSnapshot, benefit: Benefit) -> Vec<f32> {
-    let mut f = Vec::with_capacity(ctx.worker_feature.len() + task.feature.len() + 2);
-    f.extend_from_slice(&ctx.worker_feature);
-    f.extend_from_slice(&task.feature);
+pub fn pair_feature(view: &ArrivalView<'_>, task: &TaskRef<'_>, benefit: Benefit) -> Vec<f32> {
+    let mut f = Vec::with_capacity(view.worker_feature.len() + task.feature.len() + 2);
+    f.extend_from_slice(view.worker_feature);
+    f.extend_from_slice(task.feature);
     if benefit == Benefit::Requester {
-        f.push(ctx.worker_quality);
+        f.push(view.worker_quality);
         f.push(task.quality);
     }
     f
@@ -58,16 +95,16 @@ pub fn pair_feature(ctx: &ArrivalContext, task: &TaskSnapshot, benefit: Benefit)
 /// Expected Dixit–Stiglitz quality gain (p = 2) if this worker completed this task now:
 /// `sqrt(q_t² + q_w²) − q_t`. Used by the greedy baselines to convert a completion score
 /// into an expected requester benefit.
-pub fn expected_quality_gain(ctx: &ArrivalContext, task: &TaskSnapshot) -> f32 {
+pub fn expected_quality_gain(view: &ArrivalView<'_>, task: &TaskRef<'_>) -> f32 {
     let q_t = task.quality.max(0.0);
-    let q_w = ctx.worker_quality.max(0.0);
+    let q_w = view.worker_quality.max(0.0);
     (q_t * q_t + q_w * q_w).sqrt() - q_t
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crowd_sim::{TaskId, WorkerId};
+    use crowd_sim::{ArrivalContext, TaskId, TaskSnapshot, WorkerId};
 
     pub(crate) fn snapshot(id: u32, quality: f32) -> TaskSnapshot {
         TaskSnapshot {
@@ -94,50 +131,67 @@ mod tests {
     }
 
     #[test]
-    fn action_from_scores_orders_descending() {
+    fn decide_from_scores_orders_descending() {
         let ctx = context(3);
-        let action = action_from_scores(&ctx, &[0.1, 0.9, 0.5], ListMode::RankAll);
-        assert_eq!(
-            action,
-            Action::Rank(vec![TaskId(1), TaskId(2), TaskId(0)])
+        let mut decision = Decision::new();
+        decide_from_scores(
+            &ctx.view(),
+            &[0.1, 0.9, 0.5],
+            ListMode::RankAll,
+            &mut decision,
         );
-        let single = action_from_scores(&ctx, &[0.1, 0.9, 0.5], ListMode::AssignOne);
-        assert_eq!(single, Action::Assign(TaskId(1)));
+        assert_eq!(decision.shown(), &[TaskId(1), TaskId(2), TaskId(0)]);
+        assert!(!decision.is_assignment());
+        decide_from_scores(
+            &ctx.view(),
+            &[0.1, 0.9, 0.5],
+            ListMode::AssignOne,
+            &mut decision,
+        );
+        assert_eq!(decision.shown(), &[TaskId(1)]);
+        assert!(decision.is_assignment());
     }
 
     #[test]
     fn ties_break_by_pool_order() {
         let ctx = context(3);
-        let action = action_from_scores(&ctx, &[0.5, 0.5, 0.5], ListMode::RankAll);
-        assert_eq!(
-            action,
-            Action::Rank(vec![TaskId(0), TaskId(1), TaskId(2)])
+        let mut decision = Decision::new();
+        decide_from_scores(
+            &ctx.view(),
+            &[0.5, 0.5, 0.5],
+            ListMode::RankAll,
+            &mut decision,
         );
+        assert_eq!(decision.shown(), &[TaskId(0), TaskId(1), TaskId(2)]);
     }
 
     #[test]
-    fn empty_pool_gives_empty_action() {
+    fn empty_pool_gives_empty_decision() {
         let ctx = context(0);
-        assert_eq!(
-            action_from_scores(&ctx, &[], ListMode::AssignOne),
-            Action::Rank(Vec::new())
-        );
+        let mut decision = Decision::new();
+        decision.push(TaskId(9)); // stale content must be cleared
+        decide_from_scores(&ctx.view(), &[], ListMode::AssignOne, &mut decision);
+        assert!(decision.is_empty());
     }
 
     #[test]
     fn pair_feature_layout() {
         let ctx = context(1);
-        let worker_only = pair_feature(&ctx, &ctx.available[0], Benefit::Worker);
+        let view = ctx.view();
+        let worker_only = pair_feature(&view, &view.task(0), Benefit::Worker);
         assert_eq!(worker_only, vec![0.2, 0.8, 0.0, 1.0]);
-        let requester = pair_feature(&ctx, &ctx.available[0], Benefit::Requester);
+        let requester = pair_feature(&view, &view.task(0), Benefit::Requester);
         assert_eq!(requester, vec![0.2, 0.8, 0.0, 1.0, 0.6, 0.0]);
     }
 
     #[test]
     fn expected_gain_diminishes_with_task_quality() {
         let ctx = context(2);
-        let fresh = expected_quality_gain(&ctx, &snapshot(0, 0.0));
-        let mature = expected_quality_gain(&ctx, &snapshot(1, 2.0));
+        let view = ctx.view();
+        let fresh_snap = snapshot(0, 0.0);
+        let mature_snap = snapshot(1, 2.0);
+        let fresh = expected_quality_gain(&view, &fresh_snap.as_ref());
+        let mature = expected_quality_gain(&view, &mature_snap.as_ref());
         assert!((fresh - 0.6).abs() < 1e-6);
         assert!(mature < fresh);
         assert!(mature > 0.0);

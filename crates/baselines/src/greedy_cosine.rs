@@ -4,8 +4,8 @@
 //! tasks) and a task's feature is treated as the completion probability; for the requester
 //! benefit it is multiplied by the expected Dixit–Stiglitz quality gain.
 
-use crate::common::{action_from_scores, expected_quality_gain, Benefit, ListMode};
-use crowd_sim::{Action, ArrivalContext, Policy, PolicyFeedback};
+use crate::common::{expected_quality_gain, Benefit, ListMode, ScoreRanker};
+use crowd_sim::{ArrivalView, Decision, FeedbackView, Policy};
 use crowd_tensor::ops::cosine_slices;
 
 /// The similarity-scoring greedy baseline. It has no trainable model — only the features
@@ -15,6 +15,8 @@ pub struct GreedyCosine {
     benefit: Benefit,
     mode: ListMode,
     name: &'static str,
+    scores: Vec<f32>,
+    ranker: ScoreRanker,
 }
 
 impl GreedyCosine {
@@ -27,16 +29,19 @@ impl GreedyCosine {
                 Benefit::Worker => "Greedy CS",
                 Benefit::Requester => "Greedy CS (r)",
             },
+            scores: Vec::new(),
+            ranker: ScoreRanker::new(),
         }
     }
 
-    /// Score of one task for the arriving worker.
-    pub fn score(&self, ctx: &ArrivalContext, task_index: usize) -> f32 {
-        let task = &ctx.available[task_index];
-        let similarity = cosine_slices(&ctx.worker_feature, &task.feature);
+    /// Score of one task for the arriving worker. Reads features straight from the
+    /// borrowed view — no copies.
+    pub fn score(&self, view: &ArrivalView<'_>, task_index: usize) -> f32 {
+        let task = view.task(task_index);
+        let similarity = cosine_slices(view.worker_feature, task.feature);
         match self.benefit {
             Benefit::Worker => similarity,
-            Benefit::Requester => similarity.max(0.0) * expected_quality_gain(ctx, task),
+            Benefit::Requester => similarity.max(0.0) * expected_quality_gain(view, &task),
         }
     }
 }
@@ -46,18 +51,21 @@ impl Policy for GreedyCosine {
         self.name
     }
 
-    fn act(&mut self, ctx: &ArrivalContext) -> Action {
-        let scores: Vec<f32> = (0..ctx.available.len()).map(|i| self.score(ctx, i)).collect();
-        action_from_scores(ctx, &scores, self.mode)
+    fn act(&mut self, view: &ArrivalView<'_>, decision: &mut Decision) {
+        self.scores.clear();
+        for i in 0..view.n_tasks() {
+            self.scores.push(self.score(view, i));
+        }
+        self.ranker.decide(view, &self.scores, self.mode, decision);
     }
 
-    fn observe(&mut self, _ctx: &ArrivalContext, _feedback: &PolicyFeedback) {}
+    fn observe(&mut self, _view: &ArrivalView<'_>, _feedback: &FeedbackView<'_>) {}
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crowd_sim::{TaskId, TaskSnapshot, WorkerId};
+    use crowd_sim::{ArrivalContext, TaskId, TaskSnapshot, WorkerId};
 
     fn snapshot(id: u32, feature: Vec<f32>, quality: f32) -> TaskSnapshot {
         TaskSnapshot {
@@ -90,10 +98,10 @@ mod tests {
     #[test]
     fn worker_benefit_ranks_by_similarity() {
         let mut p = GreedyCosine::new(Benefit::Worker, ListMode::RankAll);
-        match p.act(&context()) {
-            Action::Rank(list) => assert_eq!(list, vec![TaskId(0), TaskId(2), TaskId(1)]),
-            _ => panic!("expected rank"),
-        }
+        let ctx = context();
+        let mut decision = Decision::new();
+        p.act(&ctx.view(), &mut decision);
+        assert_eq!(decision.shown(), &[TaskId(0), TaskId(2), TaskId(1)]);
         assert_eq!(p.name(), "Greedy CS");
     }
 
@@ -107,7 +115,10 @@ mod tests {
             snapshot(1, vec![1.0, 0.0, 0.0], 0.0),
         ];
         let mut p = GreedyCosine::new(Benefit::Requester, ListMode::AssignOne);
-        assert_eq!(p.act(&ctx), Action::Assign(TaskId(1)));
+        let mut decision = Decision::new();
+        p.act(&ctx.view(), &mut decision);
+        assert!(decision.is_assignment());
+        assert_eq!(decision.shown(), &[TaskId(1)]);
     }
 
     #[test]
@@ -115,8 +126,9 @@ mod tests {
         let mut ctx = context();
         ctx.worker_feature = vec![0.0, 0.0, 0.0];
         let p = GreedyCosine::new(Benefit::Worker, ListMode::RankAll);
-        for i in 0..ctx.available.len() {
-            assert_eq!(p.score(&ctx, i), 0.0);
+        let view = ctx.view();
+        for i in 0..view.n_tasks() {
+            assert_eq!(p.score(&view, i), 0.0);
         }
     }
 }

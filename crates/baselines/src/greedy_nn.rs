@@ -6,9 +6,9 @@
 //! day — the supervised update regime the paper contrasts with the RL methods' real-time
 //! updates.
 
-use crate::common::{action_from_scores, pair_feature, Benefit, ListMode};
+use crate::common::{pair_feature, Benefit, ListMode, ScoreRanker};
 use crowd_nn::Mlp;
-use crowd_sim::{Action, ArrivalContext, Policy, PolicyFeedback};
+use crowd_sim::{ArrivalContext, ArrivalView, Decision, FeedbackView, Policy, PolicyFeedback};
 use crowd_tensor::{Matrix, Rng};
 
 /// Upper bound on retained training examples (oldest are dropped), keeping daily retraining
@@ -27,6 +27,7 @@ pub struct GreedyNn {
     epochs: usize,
     rng: Rng,
     name: &'static str,
+    ranker: ScoreRanker,
 }
 
 impl GreedyNn {
@@ -45,6 +46,7 @@ impl GreedyNn {
                 Benefit::Worker => "Greedy NN",
                 Benefit::Requester => "Greedy NN (r)",
             },
+            ranker: ScoreRanker::new(),
         }
     }
 
@@ -86,14 +88,14 @@ impl Policy for GreedyNn {
         self.name
     }
 
-    fn act(&mut self, ctx: &ArrivalContext) -> Action {
-        if ctx.available.is_empty() {
-            return Action::Rank(Vec::new());
+    fn act(&mut self, view: &ArrivalView<'_>, decision: &mut Decision) {
+        decision.clear();
+        if view.is_empty() {
+            return;
         }
-        let rows: Vec<Vec<f32>> = ctx
-            .available
-            .iter()
-            .map(|t| pair_feature(ctx, t, self.benefit))
+        let rows: Vec<Vec<f32>> = view
+            .tasks()
+            .map(|t| pair_feature(view, &t, self.benefit))
             .collect();
         self.ensure_model(rows[0].len());
         let scores = match &self.model {
@@ -104,19 +106,24 @@ impl Policy for GreedyNn {
             // Untrained model: fall back to a neutral score (ties break by pool order).
             None => vec![0.0; rows.len()],
         };
-        action_from_scores(ctx, &scores, self.mode)
+        self.ranker.decide(view, &scores, self.mode, decision);
     }
 
-    fn observe(&mut self, ctx: &ArrivalContext, feedback: &PolicyFeedback) {
+    fn observe(&mut self, view: &ArrivalView<'_>, feedback: &FeedbackView<'_>) {
         // Positive example for the completed task, negatives for the tasks the worker scanned
         // and skipped (the ones ranked above the completed position).
         let negatives_end = match feedback.completed {
             Some((_, pos)) => pos,
             None => feedback.shown.len().min(8),
         };
-        fn push(this: &mut GreedyNn, ctx: &ArrivalContext, task_id: crowd_sim::TaskId, label: f32) {
-            if let Some(pos) = ctx.position_of(task_id) {
-                let f = pair_feature(ctx, &ctx.available[pos], this.benefit);
+        fn push(
+            this: &mut GreedyNn,
+            view: &ArrivalView<'_>,
+            task_id: crowd_sim::TaskId,
+            label: f32,
+        ) {
+            if let Some(pos) = view.position_of(task_id) {
+                let f = pair_feature(view, &view.task(pos), this.benefit);
                 this.ensure_model(f.len());
                 if this.examples.len() >= MAX_EXAMPLES {
                     this.examples.remove(0);
@@ -129,10 +136,10 @@ impl Policy for GreedyNn {
                 Benefit::Worker => 1.0,
                 Benefit::Requester => feedback.quality_gain,
             };
-            push(self, ctx, task, label);
+            push(self, view, task, label);
         }
         for &task in feedback.shown.iter().take(negatives_end) {
-            push(self, ctx, task, 0.0);
+            push(self, view, task, 0.0);
         }
     }
 
@@ -142,7 +149,7 @@ impl Policy for GreedyNn {
 
     fn warm_start(&mut self, history: &[(ArrivalContext, PolicyFeedback)]) {
         for (ctx, feedback) in history {
-            self.observe(ctx, feedback);
+            self.observe(&ctx.view(), &feedback.view());
         }
         self.retrain();
     }
@@ -196,10 +203,9 @@ mod tests {
     fn untrained_model_still_acts() {
         let mut p = GreedyNn::new(Benefit::Worker, ListMode::RankAll, 0);
         assert!(!p.is_trained());
-        match p.act(&context()) {
-            Action::Rank(list) => assert_eq!(list.len(), 2),
-            _ => panic!("expected rank"),
-        }
+        let mut decision = Decision::new();
+        p.act(&context().view(), &mut decision);
+        assert_eq!(decision.len(), 2);
     }
 
     #[test]
@@ -209,15 +215,19 @@ mod tests {
         // The worker repeatedly completes the liked task (shown at position 1 sometimes so
         // negatives for the disliked task are generated too).
         for _ in 0..60 {
-            p.observe(&ctx, &feedback(&ctx, Some((0, 0))));
+            p.observe(&ctx.view(), &feedback(&ctx, Some((0, 0))).view());
             let mut swapped = ctx.clone();
             swapped.available.reverse();
-            p.observe(&swapped, &feedback(&swapped, Some((0, 1))));
+            let swapped_fb = feedback(&swapped, Some((0, 1)));
+            p.observe(&swapped.view(), &swapped_fb.view());
         }
         assert!(p.n_examples() > 100);
         p.end_of_day(0);
         assert!(p.is_trained());
-        assert_eq!(p.act(&ctx), Action::Assign(TaskId(0)));
+        let mut decision = Decision::new();
+        p.act(&ctx.view(), &mut decision);
+        assert!(decision.is_assignment());
+        assert_eq!(decision.shown(), &[TaskId(0)]);
     }
 
     #[test]
@@ -235,8 +245,9 @@ mod tests {
     fn example_buffer_is_bounded() {
         let mut p = GreedyNn::new(Benefit::Requester, ListMode::RankAll, 3);
         let ctx = context();
+        let fb = feedback(&ctx, Some((0, 1)));
         for _ in 0..(MAX_EXAMPLES / 2 + 10) {
-            p.observe(&ctx, &feedback(&ctx, Some((0, 1))));
+            p.observe(&ctx.view(), &fb.view());
         }
         assert!(p.n_examples() <= MAX_EXAMPLES);
     }

@@ -20,7 +20,7 @@ pub mod linucb;
 pub mod random_policy;
 pub mod taskrec;
 
-pub use common::{Benefit, ListMode};
+pub use common::{Benefit, ListMode, ScoreRanker};
 pub use greedy_cosine::GreedyCosine;
 pub use greedy_nn::GreedyNn;
 pub use linucb::LinUcb;

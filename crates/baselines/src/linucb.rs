@@ -6,8 +6,8 @@
 //! `θᵀx + α·sqrt(xᵀ A⁻¹ x)` where `A = λI + Σ x xᵀ`. The model is updated after every
 //! feedback (real-time regime), with `A⁻¹` maintained incrementally via Sherman–Morrison.
 
-use crate::common::{action_from_scores, pair_feature, Benefit, ListMode};
-use crowd_sim::{Action, ArrivalContext, Policy, PolicyFeedback};
+use crate::common::{pair_feature, Benefit, ListMode, ScoreRanker};
+use crowd_sim::{ArrivalContext, ArrivalView, Decision, FeedbackView, Policy, PolicyFeedback};
 use crowd_tensor::ops::dot_slices;
 use crowd_tensor::Matrix;
 
@@ -26,6 +26,7 @@ pub struct LinUcb {
     theta: Vec<f32>,
     updates: u64,
     name: &'static str,
+    ranker: ScoreRanker,
 }
 
 impl LinUcb {
@@ -43,6 +44,7 @@ impl LinUcb {
                 Benefit::Worker => "LinUCB",
                 Benefit::Requester => "LinUCB (r)",
             },
+            ranker: ScoreRanker::new(),
         }
     }
 
@@ -101,7 +103,9 @@ impl LinUcb {
         }
         // θ = A⁻¹ b.
         let a_inv = self.a_inv.as_ref().expect("initialised above");
-        self.theta = (0..dim).map(|i| dot_slices(a_inv.row(i), &self.b)).collect();
+        self.theta = (0..dim)
+            .map(|i| dot_slices(a_inv.row(i), &self.b))
+            .collect();
         self.updates += 1;
     }
 }
@@ -111,38 +115,38 @@ impl Policy for LinUcb {
         self.name
     }
 
-    fn act(&mut self, ctx: &ArrivalContext) -> Action {
-        if ctx.available.is_empty() {
-            return Action::Rank(Vec::new());
+    fn act(&mut self, view: &ArrivalView<'_>, decision: &mut Decision) {
+        decision.clear();
+        if view.is_empty() {
+            return;
         }
-        let features: Vec<Vec<f32>> = ctx
-            .available
-            .iter()
-            .map(|t| pair_feature(ctx, t, self.benefit))
+        let features: Vec<Vec<f32>> = view
+            .tasks()
+            .map(|t| pair_feature(view, &t, self.benefit))
             .collect();
         self.ensure_dim(features[0].len());
         let scores: Vec<f32> = features.iter().map(|x| self.ucb(x)).collect();
-        action_from_scores(ctx, &scores, self.mode)
+        self.ranker.decide(view, &scores, self.mode, decision);
     }
 
-    fn observe(&mut self, ctx: &ArrivalContext, feedback: &PolicyFeedback) {
+    fn observe(&mut self, view: &ArrivalView<'_>, feedback: &FeedbackView<'_>) {
         let negatives_end = match feedback.completed {
             Some((_, pos)) => pos,
             None => feedback.shown.len().min(8),
         };
         let mut updates: Vec<(Vec<f32>, f32)> = Vec::new();
         if let Some((task, _)) = feedback.completed {
-            if let Some(pos) = ctx.position_of(task) {
+            if let Some(pos) = view.position_of(task) {
                 let reward = match self.benefit {
                     Benefit::Worker => 1.0,
                     Benefit::Requester => feedback.quality_gain,
                 };
-                updates.push((pair_feature(ctx, &ctx.available[pos], self.benefit), reward));
+                updates.push((pair_feature(view, &view.task(pos), self.benefit), reward));
             }
         }
         for &task in feedback.shown.iter().take(negatives_end) {
-            if let Some(pos) = ctx.position_of(task) {
-                updates.push((pair_feature(ctx, &ctx.available[pos], self.benefit), 0.0));
+            if let Some(pos) = view.position_of(task) {
+                updates.push((pair_feature(view, &view.task(pos), self.benefit), 0.0));
             }
         }
         for (x, reward) in updates {
@@ -152,7 +156,7 @@ impl Policy for LinUcb {
 
     fn warm_start(&mut self, history: &[(ArrivalContext, PolicyFeedback)]) {
         for (ctx, feedback) in history {
-            self.observe(ctx, feedback);
+            self.observe(&ctx.view(), &feedback.view());
         }
     }
 }
@@ -186,7 +190,11 @@ mod tests {
         }
     }
 
-    fn feedback(ctx: &ArrivalContext, completed: Option<(u32, usize)>, gain: f32) -> PolicyFeedback {
+    fn feedback(
+        ctx: &ArrivalContext,
+        completed: Option<(u32, usize)>,
+        gain: f32,
+    ) -> PolicyFeedback {
         PolicyFeedback {
             time: 0,
             worker_id: ctx.worker_id,
@@ -202,10 +210,9 @@ mod tests {
     #[test]
     fn untrained_scores_are_purely_exploratory() {
         let mut p = LinUcb::new(Benefit::Worker, ListMode::RankAll, 0.5);
-        match p.act(&context()) {
-            Action::Rank(list) => assert_eq!(list.len(), 2),
-            _ => panic!("expected rank"),
-        }
+        let mut decision = Decision::new();
+        p.act(&context().view(), &mut decision);
+        assert_eq!(decision.len(), 2);
         assert_eq!(p.updates(), 0);
     }
 
@@ -215,11 +222,14 @@ mod tests {
         let ctx = context();
         // Task 0 (matching the worker) is always completed, task 1 never.
         for _ in 0..50 {
-            p.observe(&ctx, &feedback(&ctx, Some((0, 0)), 0.0));
-            p.observe(&ctx, &feedback(&ctx, None, 0.0));
+            p.observe(&ctx.view(), &feedback(&ctx, Some((0, 0)), 0.0).view());
+            p.observe(&ctx.view(), &feedback(&ctx, None, 0.0).view());
         }
         assert!(p.updates() > 50);
-        assert_eq!(p.act(&ctx), Action::Assign(TaskId(0)));
+        let mut decision = Decision::new();
+        p.act(&ctx.view(), &mut decision);
+        assert!(decision.is_assignment());
+        assert_eq!(decision.shown(), &[TaskId(0)]);
     }
 
     #[test]
@@ -230,10 +240,13 @@ mod tests {
         // reward completion of task 1 with a big quality gain.
         ctx.available = vec![snapshot(0, vec![1.0, 0.0]), snapshot(1, vec![0.0, 1.0])];
         for _ in 0..60 {
-            p.observe(&ctx, &feedback(&ctx, Some((1, 0)), 0.9));
-            p.observe(&ctx, &feedback(&ctx, Some((0, 0)), 0.05));
+            p.observe(&ctx.view(), &feedback(&ctx, Some((1, 0)), 0.9).view());
+            p.observe(&ctx.view(), &feedback(&ctx, Some((0, 0)), 0.05).view());
         }
-        assert_eq!(p.act(&ctx), Action::Assign(TaskId(1)));
+        let mut decision = Decision::new();
+        p.act(&ctx.view(), &mut decision);
+        assert!(decision.is_assignment());
+        assert_eq!(decision.shown(), &[TaskId(1)]);
         assert_eq!(p.name(), "LinUCB (r)");
     }
 
@@ -247,6 +260,9 @@ mod tests {
             p.update(&x, 0.0);
         }
         let after = p.ucb(&x);
-        assert!(after < before, "UCB bonus should shrink: {before} -> {after}");
+        assert!(
+            after < before,
+            "UCB bonus should shrink: {before} -> {after}"
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! The Random baseline: picks a task (or orders the pool) uniformly at random.
 
-use crate::common::{action_from_scores, ListMode};
-use crowd_sim::{Action, ArrivalContext, Policy, PolicyFeedback};
+use crate::common::{ListMode, ScoreRanker};
+use crowd_sim::{ArrivalView, Decision, FeedbackView, Policy};
 use crowd_tensor::Rng;
 
 /// Uniformly random task arrangement — the paper's weakest baseline.
@@ -9,6 +9,8 @@ use crowd_tensor::Rng;
 pub struct RandomPolicy {
     mode: ListMode,
     rng: Rng,
+    scores: Vec<f32>,
+    ranker: ScoreRanker,
 }
 
 impl RandomPolicy {
@@ -17,6 +19,8 @@ impl RandomPolicy {
         RandomPolicy {
             mode,
             rng: Rng::seed_from(seed),
+            scores: Vec::new(),
+            ranker: ScoreRanker::new(),
         }
     }
 }
@@ -26,18 +30,20 @@ impl Policy for RandomPolicy {
         "Random"
     }
 
-    fn act(&mut self, ctx: &ArrivalContext) -> Action {
-        let scores: Vec<f32> = (0..ctx.available.len()).map(|_| self.rng.unit()).collect();
-        action_from_scores(ctx, &scores, self.mode)
+    fn act(&mut self, view: &ArrivalView<'_>, decision: &mut Decision) {
+        self.scores.clear();
+        self.scores
+            .extend((0..view.n_tasks()).map(|_| self.rng.unit()));
+        self.ranker.decide(view, &self.scores, self.mode, decision);
     }
 
-    fn observe(&mut self, _ctx: &ArrivalContext, _feedback: &PolicyFeedback) {}
+    fn observe(&mut self, _view: &ArrivalView<'_>, _feedback: &FeedbackView<'_>) {}
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crowd_sim::{TaskId, TaskSnapshot, WorkerId};
+    use crowd_sim::{ArrivalContext, TaskId, TaskSnapshot, WorkerId};
 
     fn context(n: u32) -> ArrivalContext {
         ArrivalContext {
@@ -65,19 +71,17 @@ mod tests {
     fn rank_mode_produces_permutations_that_vary() {
         let mut p = RandomPolicy::new(ListMode::RankAll, 1);
         let ctx = context(6);
+        let mut decision = Decision::new();
         let mut seen = std::collections::HashSet::new();
         for _ in 0..20 {
-            match p.act(&ctx) {
-                Action::Rank(list) => {
-                    assert_eq!(list.len(), 6);
-                    let mut sorted = list.clone();
-                    sorted.sort();
-                    sorted.dedup();
-                    assert_eq!(sorted.len(), 6);
-                    seen.insert(list);
-                }
-                _ => panic!("expected rank"),
-            }
+            p.act(&ctx.view(), &mut decision);
+            let list = decision.shown().to_vec();
+            assert_eq!(list.len(), 6);
+            let mut sorted = list.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 6);
+            seen.insert(list);
         }
         assert!(seen.len() > 5, "random rankings should vary");
     }
@@ -86,11 +90,12 @@ mod tests {
     fn assign_mode_covers_all_tasks_eventually() {
         let mut p = RandomPolicy::new(ListMode::AssignOne, 2);
         let ctx = context(4);
+        let mut decision = Decision::new();
         let mut hit = [false; 4];
         for _ in 0..200 {
-            if let Action::Assign(t) = p.act(&ctx) {
-                hit[t.0 as usize] = true;
-            }
+            p.act(&ctx.view(), &mut decision);
+            assert!(decision.is_assignment());
+            hit[decision.shown()[0].0 as usize] = true;
         }
         assert!(hit.iter().all(|&h| h));
     }
@@ -98,7 +103,9 @@ mod tests {
     #[test]
     fn empty_pool_is_handled() {
         let mut p = RandomPolicy::new(ListMode::RankAll, 3);
-        assert_eq!(p.act(&context(0)), Action::Rank(Vec::new()));
+        let mut decision = Decision::new();
+        p.act(&context(0).view(), &mut decision);
+        assert!(decision.is_empty());
         assert_eq!(p.name(), "Random");
     }
 }

@@ -9,8 +9,10 @@
 //! tasks churn constantly). Taskrec only models the worker benefit, exactly as in the paper
 //! (it is absent from the requester-benefit comparison).
 
-use crate::common::{action_from_scores, ListMode};
-use crowd_sim::{Action, ArrivalContext, Policy, PolicyFeedback, TaskId, WorkerId};
+use crate::common::{ListMode, ScoreRanker};
+use crowd_sim::{
+    ArrivalContext, ArrivalView, Decision, FeedbackView, Policy, PolicyFeedback, TaskId, WorkerId,
+};
 use crowd_tensor::ops::dot_slices;
 use crowd_tensor::Rng;
 use std::collections::HashMap;
@@ -36,6 +38,7 @@ pub struct Taskrec {
     /// (worker, task, category, label) interactions observed so far.
     interactions: Vec<(usize, usize, u16, f32)>,
     trained: bool,
+    ranker: ScoreRanker,
 }
 
 impl Taskrec {
@@ -56,6 +59,7 @@ impl Taskrec {
             category_factors: HashMap::new(),
             interactions: Vec::new(),
             trained: false,
+            ranker: ScoreRanker::new(),
         }
     }
 
@@ -169,24 +173,23 @@ impl Policy for Taskrec {
         "Taskrec"
     }
 
-    fn act(&mut self, ctx: &ArrivalContext) -> Action {
-        let scores: Vec<f32> = ctx
-            .available
-            .iter()
-            .map(|t| self.score(ctx.worker_id, t.id, t.category))
+    fn act(&mut self, view: &ArrivalView<'_>, decision: &mut Decision) {
+        let scores: Vec<f32> = view
+            .tasks()
+            .map(|t| self.score(view.worker_id, t.id, t.category))
             .collect();
-        action_from_scores(ctx, &scores, self.mode)
+        self.ranker.decide(view, &scores, self.mode, decision);
     }
 
-    fn observe(&mut self, ctx: &ArrivalContext, feedback: &PolicyFeedback) {
+    fn observe(&mut self, view: &ArrivalView<'_>, feedback: &FeedbackView<'_>) {
         let negatives_end = match feedback.completed {
             Some((_, pos)) => pos,
             None => feedback.shown.len().min(8),
         };
-        let w = self.worker_slot(ctx.worker_id);
+        let w = self.worker_slot(view.worker_id);
         let record = |this: &mut Self, task_id: TaskId, label: f32| {
-            if let Some(pos) = ctx.position_of(task_id) {
-                let category = ctx.available[pos].category;
+            if let Some(pos) = view.position_of(task_id) {
+                let category = view.task(pos).category;
                 let t = this.task_slot(task_id, category);
                 if this.interactions.len() >= MAX_INTERACTIONS {
                     this.interactions.remove(0);
@@ -208,7 +211,7 @@ impl Policy for Taskrec {
 
     fn warm_start(&mut self, history: &[(ArrivalContext, PolicyFeedback)]) {
         for (ctx, feedback) in history {
-            self.observe(ctx, feedback);
+            self.observe(&ctx.view(), &feedback.view());
         }
         self.retrain();
     }
@@ -260,10 +263,9 @@ mod tests {
     fn unknown_worker_scores_zero() {
         let mut p = Taskrec::new(ListMode::RankAll, 4, 0);
         let ctx = context(9, &[(0, 0), (1, 1)]);
-        match p.act(&ctx) {
-            Action::Rank(list) => assert_eq!(list.len(), 2),
-            _ => panic!("expected rank"),
-        }
+        let mut decision = Decision::new();
+        p.act(&ctx.view(), &mut decision);
+        assert_eq!(decision.len(), 2);
         assert!(!p.is_trained());
     }
 
@@ -281,7 +283,7 @@ mod tests {
                 // explicit negative.
                 feedback(&ctx, Some((2 * i, 1)))
             };
-            p.observe(&ctx, &fb);
+            p.observe(&ctx.view(), &fb.view());
         }
         p.end_of_day(0);
         assert!(p.is_trained());
@@ -289,15 +291,19 @@ mod tests {
         // Brand-new tasks (never seen ids) from the two categories: category 0 must win via
         // the category factors.
         let ctx = context(0, &[(9_000, 1), (9_001, 0)]);
-        assert_eq!(p.act(&ctx), Action::Assign(TaskId(9_001)));
+        let mut decision = Decision::new();
+        p.act(&ctx.view(), &mut decision);
+        assert!(decision.is_assignment());
+        assert_eq!(decision.shown(), &[TaskId(9_001)]);
     }
 
     #[test]
     fn interaction_buffer_is_bounded() {
         let mut p = Taskrec::new(ListMode::RankAll, 2, 2);
         let ctx = context(0, &[(0, 0), (1, 1)]);
+        let fb = feedback(&ctx, Some((0, 1)));
         for _ in 0..(MAX_INTERACTIONS / 2 + 5) {
-            p.observe(&ctx, &feedback(&ctx, Some((0, 1))));
+            p.observe(&ctx.view(), &fb.view());
         }
         assert!(p.n_interactions() <= MAX_INTERACTIONS);
     }
@@ -305,7 +311,9 @@ mod tests {
     #[test]
     fn warm_start_produces_trained_model() {
         let ctx = context(0, &[(0, 0), (1, 1)]);
-        let history: Vec<_> = (0..30).map(|_| (ctx.clone(), feedback(&ctx, Some((0, 0))))).collect();
+        let history: Vec<_> = (0..30)
+            .map(|_| (ctx.clone(), feedback(&ctx, Some((0, 0)))))
+            .collect();
         let mut p = Taskrec::new(ListMode::RankAll, 4, 3);
         p.warm_start(&history);
         assert!(p.is_trained());

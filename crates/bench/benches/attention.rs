@@ -1,8 +1,8 @@
 //! Multi-head self-attention forward and backward latency — the dominant cost inside the
 //! Q-network (ablation support for the architecture choice of Fig. 3).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crowd_autograd::Graph;
+use crowd_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crowd_nn::{GraphBinding, MultiHeadSelfAttention, ParamStore};
 use crowd_tensor::{Matrix, Rng};
 
@@ -24,7 +24,9 @@ fn bench_attention(c: &mut Criterion) {
                 let mut g = Graph::new();
                 let mut binding = GraphBinding::new();
                 let xv = g.constant(x.clone());
-                let out = attn.forward(&mut g, &store, &mut binding, xv, None).unwrap();
+                let out = attn
+                    .forward(&mut g, &store, &mut binding, xv, None)
+                    .unwrap();
                 let loss = g.squared_sum(out);
                 g.backward(loss).unwrap();
                 binding.gradients(&g).len()

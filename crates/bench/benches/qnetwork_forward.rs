@@ -1,8 +1,8 @@
 //! Q-network inference latency as the available-task pool grows (the decision-time half of
 //! the paper's efficiency story).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crowd_bench::synthetic_context;
+use crowd_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crowd_nn::ParamStore;
 use crowd_rl_core::{SetQNetwork, StateKind, StateTransformer};
 use crowd_tensor::Rng;

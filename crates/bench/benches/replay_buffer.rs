@@ -1,7 +1,7 @@
 //! Prioritized replay push/sample/update throughput (Sec. IV-D uses prioritized experience
 //! replay; this bench shows its overhead is negligible next to the network update).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use crowd_bench::{criterion_group, criterion_main, Criterion};
 use crowd_rl_kit::{PrioritizedReplay, ReplayBuffer};
 use crowd_tensor::Rng;
 

@@ -2,14 +2,13 @@
 //! Table I and Fig. 10(d): LinUCB's Sherman–Morrison update vs one DDQN observe (transition
 //! construction + a prioritized minibatch learning step).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crowd_baselines::{Benefit, LinUcb, ListMode};
-use crowd_bench::synthetic_context;
+use crowd_bench::{criterion_group, criterion_main, synthetic_context, BenchmarkId, Criterion};
 use crowd_rl_core::{DdqnAgent, DdqnConfig};
-use crowd_sim::{Policy, PolicyFeedback};
+use crowd_sim::{Decision, Policy, PolicyFeedback};
 
-fn feedback_for(ctx: &crowd_sim::ArrivalContext, action: &crowd_sim::Action) -> PolicyFeedback {
-    let shown = action.shown_order();
+fn feedback_for(ctx: &crowd_sim::ArrivalContext, decision: &Decision) -> PolicyFeedback {
+    let shown = decision.shown().to_vec();
     PolicyFeedback {
         time: ctx.time,
         worker_id: ctx.worker_id,
@@ -32,9 +31,10 @@ fn bench_update(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("linucb", pool), &pool, |b, _| {
             let mut policy = LinUcb::new(Benefit::Worker, ListMode::RankAll, 0.5);
-            let action = policy.act(&ctx);
-            let fb = feedback_for(&ctx, &action);
-            b.iter(|| policy.observe(&ctx, &fb))
+            let mut decision = Decision::new();
+            policy.act(&ctx.view(), &mut decision);
+            let fb = feedback_for(&ctx, &decision);
+            b.iter(|| policy.observe(&ctx.view(), &fb.view()))
         });
 
         group.bench_with_input(BenchmarkId::new("ddqn", pool), &pool, |b, _| {
@@ -51,15 +51,16 @@ fn bench_update(c: &mut Criterion) {
             }
             .worker_only();
             let mut agent = DdqnAgent::new(config.clone(), feature_dim, feature_dim);
+            let mut decision = Decision::new();
             // Pre-fill the memory so every timed observe includes a learning step.
             for _ in 0..config.batch_size + 1 {
-                let action = agent.act(&ctx);
-                let fb = feedback_for(&ctx, &action);
-                agent.observe(&ctx, &fb);
+                agent.act(&ctx.view(), &mut decision);
+                let fb = feedback_for(&ctx, &decision);
+                agent.observe(&ctx.view(), &fb.view());
             }
-            let action = agent.act(&ctx);
-            let fb = feedback_for(&ctx, &action);
-            b.iter(|| agent.observe(&ctx, &fb))
+            agent.act(&ctx.view(), &mut decision);
+            let fb = feedback_for(&ctx, &decision);
+            b.iter(|| agent.observe(&ctx.view(), &fb.view()))
         });
     }
     group.finish();

@@ -12,6 +12,10 @@
 use crowd_sim::{ArrivalContext, TaskId, TaskSnapshot, WorkerId};
 use crowd_tensor::Rng;
 
+pub mod harness;
+
+pub use harness::{Bencher, BenchmarkGroup, BenchmarkId, Criterion};
+
 /// Builds a synthetic arrival context with `n_tasks` available tasks and `feature_dim`-wide
 /// features, used by several benches.
 pub fn synthetic_context(n_tasks: usize, feature_dim: usize, seed: u64) -> ArrivalContext {

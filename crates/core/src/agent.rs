@@ -11,7 +11,9 @@ use crate::learner::DqnLearner;
 use crate::memory::{FutureBranch, Transition};
 use crate::predictor::{requester_future_branches, worker_future_branches};
 use crate::state::{StateKind, StateTensor, StateTransformer};
-use crowd_sim::{Action, ArrivalContext, Policy, PolicyFeedback, TaskId};
+use crowd_sim::{
+    ArrivalContext, ArrivalView, Decision, FeedbackView, Policy, PolicyFeedback, TaskId,
+};
 use crowd_tensor::Rng;
 use std::sync::Arc;
 
@@ -35,6 +37,10 @@ pub struct DdqnAgent {
     mean_worker_quality: f32,
     quality_samples: u64,
     name: String,
+    /// Generation-stamped membership scratch (indexed by task id) used by the ranked-list
+    /// tail fill in `act`; reused across arrivals so the hot path stays allocation-free.
+    ranked_stamps: Vec<u64>,
+    ranked_stamp_gen: u64,
 }
 
 impl DdqnAgent {
@@ -83,6 +89,8 @@ impl DdqnAgent {
             mean_worker_quality: 0.5,
             quality_samples: 0,
             name,
+            ranked_stamps: Vec::new(),
+            ranked_stamp_gen: 0,
         }
     }
 
@@ -120,48 +128,43 @@ impl DdqnAgent {
         self.config.balance_weight < 1.0
     }
 
-    /// Combined Q values (aggregator output) for the tasks of a context, in the order of the
-    /// state tensor rows. Also returns the state tensors so callers can reuse them.
-    fn combined_q(&self, ctx: &ArrivalContext) -> (Vec<f32>, StateTensor, StateTensor) {
-        let state_w = self.transformer_worker.from_context(ctx);
-        let state_r = self.transformer_requester.from_context(ctx);
-        let q_w = if self.uses_worker_network() {
-            Some(
-                self.learner_worker
-                    .q_values(&state_w)
-                    .expect("worker Q inference failed"),
-            )
-        } else {
-            None
-        };
-        let q_r = if self.uses_requester_network() {
-            Some(
-                self.learner_requester
-                    .q_values(&state_r)
-                    .expect("requester Q inference failed"),
-            )
-        } else {
-            None
-        };
-        let combined = aggregator::combine(
-            q_w.as_deref(),
-            q_r.as_deref(),
-            self.config.balance_weight,
-        );
-        (combined, state_w, state_r)
+    /// Combined Q values (aggregator output) for the tasks of an arrival view, in the
+    /// order of the state tensor rows, plus one of the state tensors used (both
+    /// transformers order tasks identically, so its `task_ids` align with the Q values).
+    /// Only the tensors of active networks are built — a single-objective agent packs one
+    /// state per decision, not two.
+    fn combined_q(&self, view: &ArrivalView<'_>) -> (Vec<f32>, StateTensor) {
+        let state_w = self
+            .uses_worker_network()
+            .then(|| self.transformer_worker.from_view(view));
+        let state_r = self
+            .uses_requester_network()
+            .then(|| self.transformer_requester.from_view(view));
+        let q_w = state_w.as_ref().map(|state| {
+            self.learner_worker
+                .q_values(state)
+                .expect("worker Q inference failed")
+        });
+        let q_r = state_r.as_ref().map(|state| {
+            self.learner_requester
+                .q_values(state)
+                .expect("requester Q inference failed")
+        });
+        let combined =
+            aggregator::combine(q_w.as_deref(), q_r.as_deref(), self.config.balance_weight);
+        let state = state_w
+            .or(state_r)
+            .expect("balance weight always enables at least one network");
+        (combined, state)
     }
 
     /// Exposes the combined Q values for benchmarking / inspection (one per available task,
     /// aligned with the state-tensor row order).
-    pub fn q_values(&self, ctx: &ArrivalContext) -> Vec<f32> {
-        self.combined_q(ctx).0
+    pub fn q_values(&self, view: &ArrivalView<'_>) -> Vec<f32> {
+        self.combined_q(view).0
     }
 
-    fn store_transitions_for(
-        &mut self,
-        ctx: &ArrivalContext,
-        feedback: &PolicyFeedback,
-    ) {
+    fn store_transitions_for(&mut self, view: &ArrivalView<'_>, feedback: &FeedbackView<'_>) {
         // Which shown tasks become transitions: the completed one (positive) plus the tasks
         // ranked above it (certain negatives under the cascade assumption).
         let negatives_end = match feedback.completed {
@@ -170,41 +173,29 @@ impl DdqnAgent {
         };
 
         if self.uses_worker_network() {
-            let state = self.transformer_worker.from_context(ctx);
+            let state = self.transformer_worker.from_view(view);
             let branches = Arc::new(worker_future_branches(
                 &self.transformer_worker,
                 &self.stats,
-                ctx,
+                view,
                 feedback,
                 self.config.same_worker_horizon,
                 self.config.max_future_breakpoints,
             ));
-            self.push_transitions(
-                &state,
-                &branches,
-                feedback,
-                negatives_end,
-                true,
-            );
+            self.push_transitions(&state, &branches, feedback, negatives_end, true);
         }
         if self.uses_requester_network() {
-            let state = self.transformer_requester.from_context(ctx);
+            let state = self.transformer_requester.from_view(view);
             let branches = Arc::new(requester_future_branches(
                 &self.transformer_requester,
                 &self.stats,
-                ctx,
+                view,
                 feedback,
                 self.mean_worker_quality,
                 self.config.consecutive_horizon,
                 self.config.max_future_breakpoints,
             ));
-            self.push_transitions(
-                &state,
-                &branches,
-                feedback,
-                negatives_end,
-                false,
-            );
+            self.push_transitions(&state, &branches, feedback, negatives_end, false);
         }
     }
 
@@ -212,7 +203,7 @@ impl DdqnAgent {
         &mut self,
         state: &StateTensor,
         branches: &Arc<Vec<FutureBranch>>,
-        feedback: &PolicyFeedback,
+        feedback: &FeedbackView<'_>,
         negatives_end: usize,
         worker_side: bool,
     ) {
@@ -250,50 +241,67 @@ impl Policy for DdqnAgent {
         &self.name
     }
 
-    fn act(&mut self, ctx: &ArrivalContext) -> Action {
-        if ctx.available.is_empty() {
-            return Action::Rank(Vec::new());
+    fn act(&mut self, view: &ArrivalView<'_>, decision: &mut Decision) {
+        decision.clear();
+        if view.is_empty() {
+            return;
         }
-        let (combined, state_w, _state_r) = self.combined_q(ctx);
-        let task_ids = &state_w.task_ids;
+        let (combined, state) = self.combined_q(view);
+        let task_ids = &state.task_ids;
         let order = self.explorer.decide(&combined, &mut self.rng);
         match self.config.mode {
-            RecommendationMode::AssignOne => match order.first() {
-                Some(&idx) => Action::Assign(task_ids[idx]),
-                None => Action::Rank(Vec::new()),
-            },
+            RecommendationMode::AssignOne => {
+                if let Some(&idx) = order.first() {
+                    decision.assign(task_ids[idx]);
+                }
+            }
             RecommendationMode::RankList => {
-                let mut ranked: Vec<TaskId> = order.iter().map(|&i| task_ids[i]).collect();
+                decision.extend(order.iter().map(|&i| task_ids[i]));
                 // Tasks beyond max_tasks (truncated out of the state) go to the bottom of the
-                // list in their original order so the action still covers the whole pool.
-                for snap in &ctx.available {
-                    if !ranked.contains(&snap.id) {
-                        ranked.push(snap.id);
+                // list in their original order so the decision still covers the whole pool.
+                // Membership is tracked with a generation-stamped scratch table so the fill
+                // stays O(pool) instead of O(pool²) on deep pools.
+                self.ranked_stamp_gen += 1;
+                let generation = self.ranked_stamp_gen;
+                for &id in decision.shown() {
+                    let slot = id.index();
+                    if slot >= self.ranked_stamps.len() {
+                        self.ranked_stamps.resize(slot + 1, 0);
+                    }
+                    self.ranked_stamps[slot] = generation;
+                }
+                for i in 0..view.n_tasks() {
+                    let id = view.task_id(i);
+                    let in_ranking = self.ranked_stamps.get(id.index()) == Some(&generation);
+                    if !in_ranking {
+                        decision.push(id);
                     }
                 }
-                Action::Rank(ranked)
             }
         }
     }
 
-    fn observe(&mut self, ctx: &ArrivalContext, feedback: &PolicyFeedback) {
+    fn observe(&mut self, view: &ArrivalView<'_>, feedback: &FeedbackView<'_>) {
         // 1. Online statistics (φ, ϕ, p_new, mean features) update first so the predictors
         //    see the newest arrival.
         self.stats
-            .record_arrival(ctx.worker_id, ctx.time, &ctx.worker_feature);
+            .record_arrival(view.worker_id, view.time, view.worker_feature);
         self.quality_samples += 1;
         let n = self.quality_samples as f32;
-        self.mean_worker_quality += (ctx.worker_quality - self.mean_worker_quality) / n;
+        self.mean_worker_quality += (view.worker_quality - self.mean_worker_quality) / n;
 
         // 2. Feedback transformers + future-state predictors → transitions into the memories.
-        if !ctx.available.is_empty() && !feedback.shown.is_empty() {
-            self.store_transitions_for(ctx, feedback);
+        if !view.is_empty() && !feedback.shown.is_empty() {
+            self.store_transitions_for(view, feedback);
         }
 
         // 3. Learners run after every `learn_every` feedbacks (the paper updates after every
         //    feedback; `learn_every` > 1 trades fidelity for CPU time).
         self.observations += 1;
-        if self.observations % self.config.learn_every as u64 == 0 {
+        if self
+            .observations
+            .is_multiple_of(self.config.learn_every as u64)
+        {
             if self.uses_worker_network() {
                 self.learner_worker
                     .learn(&mut self.rng)
@@ -309,7 +317,7 @@ impl Policy for DdqnAgent {
 
     fn warm_start(&mut self, history: &[(ArrivalContext, PolicyFeedback)]) {
         for (ctx, feedback) in history {
-            self.observe(ctx, feedback);
+            self.observe(&ctx.view(), &feedback.view());
         }
     }
 }
@@ -317,7 +325,7 @@ impl Policy for DdqnAgent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crowd_sim::{Platform, SimConfig};
+    use crowd_sim::{Env, Platform, SimConfig};
 
     fn agent_for(platform: &Platform, config: DdqnConfig) -> DdqnAgent {
         let fs = platform.feature_space();
@@ -341,7 +349,10 @@ mod tests {
     fn names_reflect_configuration() {
         let ds = SimConfig::tiny().generate();
         let platform = Platform::new(ds.clone(), Platform::default_feature_space(&ds), 0);
-        assert_eq!(agent_for(&platform, small_config().worker_only()).name(), "DDQN(w)");
+        assert_eq!(
+            agent_for(&platform, small_config().worker_only()).name(),
+            "DDQN(w)"
+        );
         assert_eq!(
             agent_for(&platform, small_config().requester_only()).name(),
             "DDQN(r)"
@@ -353,7 +364,7 @@ mod tests {
     }
 
     #[test]
-    fn act_produces_valid_actions_in_both_modes() {
+    fn act_produces_valid_decisions_in_both_modes() {
         let ds = SimConfig::tiny().generate();
         let fs = Platform::default_feature_space(&ds);
         let mut platform = Platform::new(ds, fs, 1);
@@ -362,27 +373,26 @@ mod tests {
             &platform,
             small_config().with_mode(RecommendationMode::AssignOne),
         );
+        let mut decision = Decision::new();
         let mut checked = 0;
-        while let Some(arrival) = platform.next_arrival() {
-            let ctx = &arrival.context;
-            if ctx.available.is_empty() {
+        while platform.next_arrival() {
+            let view = platform.arrival();
+            if view.is_empty() {
                 continue;
             }
-            match ranker.act(ctx) {
-                Action::Rank(list) => {
-                    // Complete permutation of the pool, no duplicates.
-                    assert_eq!(list.len(), ctx.available.len());
-                    let mut dedup = list.clone();
-                    dedup.sort();
-                    dedup.dedup();
-                    assert_eq!(dedup.len(), list.len());
-                }
-                Action::Assign(_) => panic!("rank mode must produce Rank actions"),
-            }
-            match assigner.act(ctx) {
-                Action::Assign(task) => assert!(ctx.position_of(task).is_some()),
-                Action::Rank(list) => assert!(list.is_empty()),
-            }
+            ranker.act(&view, &mut decision);
+            // Complete permutation of the pool, no duplicates.
+            assert_eq!(decision.len(), view.n_tasks());
+            assert!(!decision.is_assignment());
+            let mut dedup = decision.shown().to_vec();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), decision.len());
+
+            assigner.act(&view, &mut decision);
+            assert!(decision.is_assignment());
+            assert_eq!(decision.len(), 1);
+            assert!(view.position_of(decision.shown()[0]).is_some());
             checked += 1;
             if checked > 30 {
                 break;
@@ -397,15 +407,15 @@ mod tests {
         let fs = Platform::default_feature_space(&ds);
         let mut platform = Platform::new(ds, fs, 2);
         let mut agent = agent_for(&platform, small_config());
+        let mut decision = Decision::new();
         let mut steps = 0;
-        while let Some(arrival) = platform.next_arrival() {
-            let ctx = arrival.context;
-            if ctx.available.is_empty() {
+        while platform.next_arrival() {
+            if platform.arrival().is_empty() {
                 continue;
             }
-            let action = agent.act(&ctx);
-            let feedback = platform.apply(&ctx, &action);
-            agent.observe(&ctx, &feedback);
+            agent.act(&platform.arrival(), &mut decision);
+            platform.apply(&decision);
+            agent.observe(&platform.arrival(), &platform.feedback());
             steps += 1;
             if steps >= 120 {
                 break;
@@ -422,15 +432,15 @@ mod tests {
         let fs = Platform::default_feature_space(&ds);
         let mut platform = Platform::new(ds, fs, 3);
         let mut agent = agent_for(&platform, small_config().worker_only());
+        let mut decision = Decision::new();
         let mut steps = 0;
-        while let Some(arrival) = platform.next_arrival() {
-            let ctx = arrival.context;
-            if ctx.available.is_empty() {
+        while platform.next_arrival() {
+            if platform.arrival().is_empty() {
                 continue;
             }
-            let action = agent.act(&ctx);
-            let feedback = platform.apply(&ctx, &action);
-            agent.observe(&ctx, &feedback);
+            agent.act(&platform.arrival(), &mut decision);
+            platform.apply(&decision);
+            agent.observe(&platform.arrival(), &platform.feedback());
             steps += 1;
             if steps >= 60 {
                 break;
@@ -442,20 +452,23 @@ mod tests {
     }
 
     #[test]
-    fn frozen_agent_is_deterministic_given_context() {
+    fn frozen_agent_is_deterministic_given_view() {
         let ds = SimConfig::tiny().generate();
         let fs = Platform::default_feature_space(&ds);
         let mut platform = Platform::new(ds, fs, 4);
         let mut agent = agent_for(&platform, small_config());
         agent.freeze_exploration();
-        let arrival = loop {
-            let a = platform.next_arrival().unwrap();
-            if !a.context.available.is_empty() {
-                break a;
+        loop {
+            assert!(platform.next_arrival());
+            if !platform.arrival().is_empty() {
+                break;
             }
-        };
-        let first = agent.act(&arrival.context);
-        let second = agent.act(&arrival.context);
+        }
+        let view = platform.arrival();
+        let mut first = Decision::new();
+        let mut second = Decision::new();
+        agent.act(&view, &mut first);
+        agent.act(&view, &mut second);
         assert_eq!(first, second);
     }
 }

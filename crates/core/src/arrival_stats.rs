@@ -52,7 +52,9 @@ impl GapHistogram {
         }
         let from_bin = (from.min(self.max_minutes) / self.bin_minutes) as usize;
         let to_bin = ((to.min(self.max_minutes + 1)).saturating_sub(1) / self.bin_minutes) as usize;
-        let sum: f64 = self.counts[from_bin..=to_bin.min(self.counts.len() - 1)].iter().sum();
+        let sum: f64 = self.counts[from_bin..=to_bin.min(self.counts.len() - 1)]
+            .iter()
+            .sum();
         sum / self.total
     }
 
@@ -212,7 +214,11 @@ impl ArrivalStats {
         let mut weights = Vec::with_capacity(self.last_known_feature.len());
         let mut features = Vec::with_capacity(self.last_known_feature.len());
         for (worker, feature) in &self.last_known_feature {
-            let last = self.last_arrival_per_worker.get(worker).copied().unwrap_or(0);
+            let last = self
+                .last_arrival_per_worker
+                .get(worker)
+                .copied()
+                .unwrap_or(0);
             let gap = next_time.saturating_sub(last).max(1);
             // φ(g) for this worker's gap bucket; workers overdue beyond the support get a
             // tiny weight instead of zero so the mixture stays well-defined.
@@ -265,7 +271,7 @@ mod tests {
         s.record_arrival(WorkerId(0), 0, &[0.0; 2]);
         s.record_arrival(WorkerId(0), 100, &[0.0; 2]);
         s.record_arrival(WorkerId(0), 1540, &[0.0; 2]); // gap 1440 = 1 day
-        // Gap of 100 falls in [90, 120); gap of 1440 in [1440, 1470).
+                                                        // Gap of 100 falls in [90, 120); gap of 1440 in [1440, 1470).
         assert!(s.same_worker_mass_between(90, 121) > 0.4);
         assert!(s.same_worker_mass_between(1400, 1500) > 0.4);
         assert!(s.same_worker_mass_between(5000, 6000) < 1e-9);

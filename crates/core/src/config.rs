@@ -141,7 +141,7 @@ impl DdqnConfig {
         assert!(self.max_tasks > 0, "max_tasks must be positive");
         assert!(self.hidden_dim > 0, "hidden_dim must be positive");
         assert!(
-            self.hidden_dim % self.num_heads == 0,
+            self.hidden_dim.is_multiple_of(self.num_heads),
             "hidden_dim must be divisible by num_heads"
         );
         assert!(self.buffer_size > 0 && self.batch_size > 0);

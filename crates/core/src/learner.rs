@@ -145,9 +145,9 @@ impl DqnLearner {
 
             let mut graph = Graph::new();
             let mut binding = GraphBinding::new();
-            let q_column = self
-                .net
-                .forward(&mut graph, &self.store, &mut binding, &transition.state)?;
+            let q_column =
+                self.net
+                    .forward(&mut graph, &self.store, &mut binding, &transition.state)?;
             let current_q = graph.value(q_column).get(transition.action_row, 0);
             let td_error = target_value - current_q;
 
@@ -187,7 +187,7 @@ impl DqnLearner {
         }
 
         self.updates += 1;
-        if self.updates % self.target_sync_every == 0 {
+        if self.updates.is_multiple_of(self.target_sync_every) {
             self.sync_target();
         }
 
@@ -314,7 +314,10 @@ mod tests {
         // Q(s, a_rewarded) should exceed the immediate reward of 1 thanks to bootstrapping:
         // with γ = 0.5 the fixed point is around 1 / (1 - 0.5·1) ≈ 1.3–2 depending on the
         // failed action's value. We only require it to clearly exceed 1.
-        assert!(q[0] > 1.05, "bootstrapped Q should exceed immediate reward, got {q:?}");
+        assert!(
+            q[0] > 1.05,
+            "bootstrapped Q should exceed immediate reward, got {q:?}"
+        );
     }
 
     #[test]
@@ -357,6 +360,9 @@ mod tests {
             learner.learn(&mut rng).unwrap();
         }
         let q = learner.q_values(&state).unwrap()[0];
-        assert!((q - 0.5).abs() < 0.1, "Q should converge to the reward, got {q}");
+        assert!(
+            (q - 0.5).abs() < 0.1,
+            "Q should converge to the reward, got {q}"
+        );
     }
 }

@@ -20,9 +20,13 @@
 //!
 //! # Quick start
 //!
+//! The agent implements [`crowd_sim::Policy`] over the zero-copy `Env` interface: each
+//! arrival hands the agent a borrowed [`crowd_sim::ArrivalView`] and a reusable
+//! [`crowd_sim::Decision`] buffer — no per-arrival clones of task or worker features.
+//!
 //! ```
 //! use crowd_rl_core::{DdqnAgent, DdqnConfig};
-//! use crowd_sim::{Platform, Policy, SimConfig};
+//! use crowd_sim::{Decision, Env, Platform, Policy, SimConfig};
 //!
 //! // Simulate a small crowdsourcing platform and run the DDQN agent on it.
 //! let dataset = SimConfig::tiny().generate();
@@ -33,14 +37,21 @@
 //!     features.task_dim(),
 //!     features.worker_dim(),
 //! );
+//! let mut decision = Decision::new();
 //! let mut completions = 0;
 //! for _ in 0..50 {
-//!     let Some(arrival) = platform.next_arrival() else { break };
-//!     if arrival.context.available.is_empty() { continue; }
-//!     let action = agent.act(&arrival.context);
-//!     let feedback = platform.apply(&arrival.context, &action);
-//!     if feedback.completed.is_some() { completions += 1; }
-//!     agent.observe(&arrival.context, &feedback);
+//!     if !platform.next_arrival() {
+//!         break;
+//!     }
+//!     if platform.arrival().is_empty() {
+//!         continue;
+//!     }
+//!     agent.act(&platform.arrival(), &mut decision);
+//!     platform.apply(&decision);
+//!     if platform.feedback().completed.is_some() {
+//!         completions += 1;
+//!     }
+//!     agent.observe(&platform.arrival(), &platform.feedback());
 //! }
 //! assert!(agent.observations() > 0);
 //! ```

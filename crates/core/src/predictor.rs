@@ -17,13 +17,15 @@
 use crate::arrival_stats::ArrivalStats;
 use crate::memory::FutureBranch;
 use crate::state::StateTransformer;
-use crowd_sim::{ArrivalContext, PolicyFeedback, TaskSnapshot};
+use crowd_sim::{ArrivalView, FeedbackView, TaskSnapshot};
 
 /// Builds the future pool snapshots implied by the feedback: identical to the current pool,
 /// except that the completed task's quality reflects the quality gain and its completion
-/// count grows by one.
-fn future_pool(ctx: &ArrivalContext, feedback: &PolicyFeedback) -> Vec<TaskSnapshot> {
-    let mut pool = ctx.available.clone();
+/// count grows by one. This gathers owned snapshots — the predictors synthesise
+/// hypothetical pools, which is inherently an owning operation and runs per feedback, not
+/// per decision.
+fn future_pool(view: &ArrivalView<'_>, feedback: &FeedbackView<'_>) -> Vec<TaskSnapshot> {
+    let mut pool: Vec<TaskSnapshot> = view.tasks().map(|t| t.to_snapshot()).collect();
     if let Some((task, _)) = feedback.completed {
         if let Some(snap) = pool.iter_mut().find(|s| s.id == task) {
             snap.quality += feedback.quality_gain;
@@ -93,13 +95,15 @@ fn merge_intervals(mut intervals: Vec<ExpiryInterval>, max_branches: usize) -> V
         let (idx, _) = intervals
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.mass.partial_cmp(&b.1.mass).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| {
+                a.1.mass
+                    .partial_cmp(&b.1.mass)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .expect("non-empty intervals");
         let neighbour = if idx == 0 {
             1
-        } else if idx == intervals.len() - 1 {
-            idx - 1
-        } else if intervals[idx - 1].mass >= intervals[idx + 1].mass {
+        } else if idx == intervals.len() - 1 || intervals[idx - 1].mass >= intervals[idx + 1].mass {
             idx - 1
         } else {
             idx + 1
@@ -127,17 +131,17 @@ fn merge_intervals(mut intervals: Vec<ExpiryInterval>, max_branches: usize) -> V
 pub fn worker_future_branches(
     transformer: &StateTransformer,
     stats: &ArrivalStats,
-    ctx: &ArrivalContext,
-    feedback: &PolicyFeedback,
+    view: &ArrivalView<'_>,
+    feedback: &FeedbackView<'_>,
     horizon: u64,
     max_branches: usize,
 ) -> Vec<FutureBranch> {
     build_branches(
         transformer,
-        ctx,
+        view,
         feedback,
-        &feedback.worker_feature_after,
-        ctx.worker_quality,
+        feedback.worker_feature_after,
+        view.worker_quality,
         horizon,
         max_branches,
         |from, to| stats.same_worker_mass_between(from, to),
@@ -151,17 +155,17 @@ pub fn worker_future_branches(
 pub fn requester_future_branches(
     transformer: &StateTransformer,
     stats: &ArrivalStats,
-    ctx: &ArrivalContext,
-    feedback: &PolicyFeedback,
+    view: &ArrivalView<'_>,
+    feedback: &FeedbackView<'_>,
     expected_next_worker_quality: f32,
     horizon: u64,
     max_branches: usize,
 ) -> Vec<FutureBranch> {
-    let next_time = ctx.time + stats.mean_consecutive_gap().round().max(1.0) as u64;
+    let next_time = view.time + stats.mean_consecutive_gap().round().max(1.0) as u64;
     let expected_feature = stats.expected_next_worker_feature(next_time);
     build_branches(
         transformer,
-        ctx,
+        view,
         feedback,
         &expected_feature,
         expected_next_worker_quality,
@@ -174,20 +178,20 @@ pub fn requester_future_branches(
 #[allow(clippy::too_many_arguments)]
 fn build_branches(
     transformer: &StateTransformer,
-    ctx: &ArrivalContext,
-    feedback: &PolicyFeedback,
+    view: &ArrivalView<'_>,
+    feedback: &FeedbackView<'_>,
     future_worker_feature: &[f32],
     future_worker_quality: f32,
     horizon: u64,
     max_branches: usize,
     mass_fn: impl Fn(u64, u64) -> f64,
 ) -> Vec<FutureBranch> {
-    let mut pool = future_pool(ctx, feedback);
+    let mut pool = future_pool(view, feedback);
     // Sort by deadline so "the first k tasks expired" is a prefix.
     pool.sort_by_key(|s| s.deadline);
     let deadlines: Vec<u64> = pool.iter().map(|s| s.deadline).collect();
     let intervals = merge_intervals(
-        expiry_intervals(&deadlines, ctx.time, horizon, mass_fn),
+        expiry_intervals(&deadlines, view.time, horizon, mass_fn),
         max_branches,
     );
     intervals
@@ -207,7 +211,7 @@ fn build_branches(
 mod tests {
     use super::*;
     use crate::state::StateKind;
-    use crowd_sim::{TaskId, WorkerId};
+    use crowd_sim::{ArrivalContext, PolicyFeedback, TaskId, WorkerId};
 
     fn snapshot(id: u32, deadline: u64) -> TaskSnapshot {
         TaskSnapshot {
@@ -269,7 +273,7 @@ mod tests {
         let tf = StateTransformer::new(StateKind::Worker, 8, 3, 3);
         let ctx = context(&[1000 + 300, 1000 + 2000, 1000 + 50_000]);
         let fb = feedback(&ctx, Some(0));
-        let branches = worker_future_branches(&tf, &stats(), &ctx, &fb, 10_080, 8);
+        let branches = worker_future_branches(&tf, &stats(), &ctx.view(), &fb.view(), 10_080, 8);
         assert!(!branches.is_empty());
         let mass: f32 = branches.iter().map(|b| b.probability).sum();
         assert!(mass > 0.0 && mass <= 1.0 + 1e-5, "mass {mass}");
@@ -281,11 +285,17 @@ mod tests {
         // Two tasks expire within the horizon, one far beyond it.
         let ctx = context(&[1000 + 200, 1000 + 3000, 1_000_000]);
         let fb = feedback(&ctx, None);
-        let branches = worker_future_branches(&tf, &stats(), &ctx, &fb, 10_080, 8);
+        let branches = worker_future_branches(&tf, &stats(), &ctx.view(), &fb.view(), 10_080, 8);
         let survivor_counts: Vec<usize> = branches.iter().map(|b| b.state.real_tasks).collect();
-        assert!(survivor_counts.windows(2).all(|w| w[0] >= w[1]), "{survivor_counts:?}");
+        assert!(
+            survivor_counts.windows(2).all(|w| w[0] >= w[1]),
+            "{survivor_counts:?}"
+        );
         assert_eq!(*survivor_counts.first().unwrap(), 3);
-        assert!(*survivor_counts.last().unwrap() <= 1 + 1, "{survivor_counts:?}");
+        assert!(
+            *survivor_counts.last().unwrap() <= 1 + 1,
+            "{survivor_counts:?}"
+        );
     }
 
     #[test]
@@ -293,7 +303,7 @@ mod tests {
         let tf = StateTransformer::new(StateKind::Worker, 4, 3, 3);
         let ctx = context(&[50_000]);
         let fb = feedback(&ctx, Some(0));
-        let branches = worker_future_branches(&tf, &stats(), &ctx, &fb, 10_080, 4);
+        let branches = worker_future_branches(&tf, &stats(), &ctx.view(), &fb.view(), 10_080, 4);
         // Worker part of each row is the post-completion feature [0.9, 0.1, 0.0].
         let row = branches[0].state.features.row(0);
         assert!((row[3] - 0.9).abs() < 1e-6 && (row[4] - 0.1).abs() < 1e-6);
@@ -305,7 +315,7 @@ mod tests {
         let deadlines: Vec<u64> = (1..12).map(|i| 1000 + i * 500).collect();
         let ctx = context(&deadlines);
         let fb = feedback(&ctx, None);
-        let branches = worker_future_branches(&tf, &stats(), &ctx, &fb, 10_080, 3);
+        let branches = worker_future_branches(&tf, &stats(), &ctx.view(), &fb.view(), 10_080, 3);
         assert!(branches.len() <= 3);
         let mass: f32 = branches.iter().map(|b| b.probability).sum();
         assert!(mass > 0.5, "merging lost probability mass: {mass}");
@@ -320,7 +330,7 @@ mod tests {
         // Give the consecutive histogram some short gaps.
         s.record_arrival(WorkerId(2), 1, &[0.0, 0.0, 0.0]);
         s.record_arrival(WorkerId(3), 6, &[0.0, 0.0, 0.0]);
-        let branches = requester_future_branches(&tf, &s, &ctx, &fb, 0.6, 60, 4);
+        let branches = requester_future_branches(&tf, &s, &ctx.view(), &fb.view(), 0.6, 60, 4);
         assert!(!branches.is_empty());
         // Find task 0's row (deadline-sorted keeps it first) and check quality = 0.2 + 0.3.
         let state = &branches[0].state;
@@ -336,7 +346,7 @@ mod tests {
         let tf = StateTransformer::new(StateKind::Worker, 4, 3, 3);
         let ctx = context(&[]);
         let fb = feedback(&ctx, None);
-        let branches = worker_future_branches(&tf, &stats(), &ctx, &fb, 10_080, 4);
+        let branches = worker_future_branches(&tf, &stats(), &ctx.view(), &fb.view(), 10_080, 4);
         assert!(!branches.is_empty());
         assert_eq!(branches[0].state.real_tasks, 0);
     }

@@ -5,7 +5,10 @@
 //! 1. two row-wise feed-forward blocks lift each `[f_tj | f_wi]` row to the hidden width;
 //! 2. a multi-head self-attention layer computes pairwise interactions among the available
 //!    tasks, followed by a residual row-wise block that keeps the network stable;
-//! 3. a second self-attention layer captures higher-order interactions;
+//! 3. a second self-attention layer captures higher-order interactions, with a residual
+//!    connection so each row keeps its own identity (without it the head would see only a
+//!    convex combination of rows, and training can collapse the Q function to a
+//!    row-independent constant);
 //! 4. a final row-wise linear layer reduces every row to a single value `Q(s_i, t_j)`.
 //!
 //! Every block is row-wise or (masked) self-attention, so the Q value of a task does not
@@ -48,12 +51,22 @@ impl SetQNetwork {
     ) -> Self {
         let ff1 = RowwiseFF::new(store, &format!("{name}.ff1"), input_dim, hidden_dim, rng);
         let ff2 = RowwiseFF::new(store, &format!("{name}.ff2"), hidden_dim, hidden_dim, rng);
-        let attention1 =
-            MultiHeadSelfAttention::new(store, &format!("{name}.attn1"), hidden_dim, num_heads, rng);
+        let attention1 = MultiHeadSelfAttention::new(
+            store,
+            &format!("{name}.attn1"),
+            hidden_dim,
+            num_heads,
+            rng,
+        );
         let residual_ff =
             RowwiseFF::new(store, &format!("{name}.resff"), hidden_dim, hidden_dim, rng);
-        let attention2 =
-            MultiHeadSelfAttention::new(store, &format!("{name}.attn2"), hidden_dim, num_heads, rng);
+        let attention2 = MultiHeadSelfAttention::new(
+            store,
+            &format!("{name}.attn2"),
+            hidden_dim,
+            num_heads,
+            rng,
+        );
         let head = Linear::new(store, &format!("{name}.head"), hidden_dim, 1, rng);
         SetQNetwork {
             ff1,
@@ -98,7 +111,8 @@ impl SetQNetwork {
         let a2 = self
             .attention2
             .forward(graph, store, binding, h3, Some(&mask))?;
-        self.head.forward(graph, store, binding, a2)
+        let h4 = graph.add(h3, a2)?;
+        self.head.forward(graph, store, binding, h4)
     }
 
     /// Gradient-free forward pass; returns one Q value per *real* task row, in row order.
@@ -113,7 +127,8 @@ impl SetQNetwork {
         let r1 = self.residual_ff.infer(store, &a1)?;
         let h3 = h2.add(&r1)?;
         let a2 = self.attention2.infer(store, &h3, Some(&mask))?;
-        let q = self.head.infer(store, &a2)?;
+        let h4 = h3.add(&a2)?;
+        let q = self.head.infer(store, &h4)?;
         Ok(q.col(0)[..state.real_tasks].to_vec())
     }
 
@@ -239,8 +254,9 @@ mod tests {
         let tf = StateTransformer::new(StateKind::Worker, 6, 4, 3);
         let wf = [0.3, 0.6, 0.1];
         let solo = tf.build(&[snapshot(0, 0.1)], &wf, 0.5);
-        let crowded: Vec<TaskSnapshot> =
-            (0..5).map(|i| snapshot(i, if i == 0 { 0.1 } else { 0.9 })).collect();
+        let crowded: Vec<TaskSnapshot> = (0..5)
+            .map(|i| snapshot(i, if i == 0 { 0.1 } else { 0.9 }))
+            .collect();
         let crowded_state = tf.build(&crowded, &wf, 0.5);
         let q_solo = net.infer(&store, &solo).unwrap()[0];
         let q_crowded = net.infer(&store, &crowded_state).unwrap()[0];
@@ -258,8 +274,12 @@ mod tests {
         let large_tf = StateTransformer::new(StateKind::Worker, 12, 4, 3);
         let snaps: Vec<TaskSnapshot> = (0..4).map(|i| snapshot(i, i as f32 * 0.2)).collect();
         let wf = [0.3, 0.6, 0.1];
-        let q_small = net.infer(&store, &small_tf.build(&snaps, &wf, 0.5)).unwrap();
-        let q_large = net.infer(&store, &large_tf.build(&snaps, &wf, 0.5)).unwrap();
+        let q_small = net
+            .infer(&store, &small_tf.build(&snaps, &wf, 0.5))
+            .unwrap();
+        let q_large = net
+            .infer(&store, &large_tf.build(&snaps, &wf, 0.5))
+            .unwrap();
         for (a, b) in q_small.iter().zip(q_large.iter()) {
             assert!((a - b).abs() < 1e-4);
         }
@@ -282,12 +302,18 @@ mod tests {
         let mut target = store.clone();
         let st = state(3, 8);
         // Initially identical.
-        assert_eq!(net.infer(&store, &st).unwrap(), net.infer(&target, &st).unwrap());
+        assert_eq!(
+            net.infer(&store, &st).unwrap(),
+            net.infer(&target, &st).unwrap()
+        );
         // Diverge the target, then hard-sync back.
         let first_param = target.iter().next().map(|(id, _, _)| id).unwrap();
         target.get_mut(first_param).fill(0.0);
         target.copy_from(&store);
-        assert_eq!(net.infer(&store, &st).unwrap(), net.infer(&target, &st).unwrap());
+        assert_eq!(
+            net.infer(&store, &st).unwrap(),
+            net.infer(&target, &st).unwrap()
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! quality and task quality) into one row per task, zero-pads to `maxT` rows and records a
 //! row mask so the Q-network's attention never looks at padding.
 
-use crowd_sim::{ArrivalContext, TaskId, TaskSnapshot};
+use crowd_sim::{ArrivalContext, ArrivalView, TaskId, TaskRef, TaskSnapshot};
 use crowd_tensor::Matrix;
 
 /// Which MDP the state is built for: MDP(r) appends the two quality dimensions.
@@ -75,25 +75,53 @@ impl StateTransformer {
         self.kind
     }
 
-    /// Builds the state for an arrival context.
+    /// Builds the state for a borrowed arrival view — the hot path. Task features are read
+    /// straight out of the platform's arena and packed into the state matrix; the only
+    /// allocations are the state tensor itself.
+    pub fn from_view(&self, view: &ArrivalView<'_>) -> StateTensor {
+        self.build_rows(
+            view.n_tasks(),
+            |i| view.task(i),
+            view.worker_feature,
+            view.worker_quality,
+        )
+    }
+
+    /// Builds the state for an owned arrival context (warm-start replay, tests).
     pub fn from_context(&self, ctx: &ArrivalContext) -> StateTensor {
-        self.build(&ctx.available, &ctx.worker_feature, ctx.worker_quality)
+        self.from_view(&ctx.view())
     }
 
     /// Builds the state from an explicit snapshot list, worker feature and worker quality
     /// (used by the future-state predictors, which synthesise hypothetical pools).
-    ///
-    /// When the pool exceeds `max_tasks`, the tasks closest to their deadline are kept — they
-    /// are the ones whose value is most time-critical.
     pub fn build(
         &self,
         available: &[TaskSnapshot],
         worker_feature: &[f32],
         worker_quality: f32,
     ) -> StateTensor {
-        let mut order: Vec<usize> = (0..available.len()).collect();
-        if available.len() > self.max_tasks {
-            order.sort_by_key(|&i| available[i].deadline);
+        self.build_rows(
+            available.len(),
+            |i| available[i].as_ref(),
+            worker_feature,
+            worker_quality,
+        )
+    }
+
+    /// Shared row packer over any borrowed task accessor.
+    ///
+    /// When the pool exceeds `max_tasks`, the tasks closest to their deadline are kept — they
+    /// are the ones whose value is most time-critical.
+    fn build_rows<'a>(
+        &self,
+        n_tasks: usize,
+        task_at: impl Fn(usize) -> TaskRef<'a>,
+        worker_feature: &[f32],
+        worker_quality: f32,
+    ) -> StateTensor {
+        let mut order: Vec<usize> = (0..n_tasks).collect();
+        if n_tasks > self.max_tasks {
+            order.sort_by_key(|&i| task_at(i).deadline);
             order.truncate(self.max_tasks);
         }
         let real_tasks = order.len();
@@ -102,17 +130,17 @@ impl StateTransformer {
         let mut row_mask = Matrix::zeros(self.max_tasks, 1);
         let mut task_ids = Vec::with_capacity(real_tasks);
         for (row, &idx) in order.iter().enumerate() {
-            let snap = &available[idx];
-            task_ids.push(snap.id);
+            let task = task_at(idx);
+            task_ids.push(task.id);
             row_mask.set(row, 0, 1.0);
             let dst = features.row_mut(row);
-            let t_len = snap.feature.len().min(self.task_dim);
-            dst[..t_len].copy_from_slice(&snap.feature[..t_len]);
+            let t_len = task.feature.len().min(self.task_dim);
+            dst[..t_len].copy_from_slice(&task.feature[..t_len]);
             let w_len = worker_feature.len().min(self.worker_dim);
             dst[self.task_dim..self.task_dim + w_len].copy_from_slice(&worker_feature[..w_len]);
             if self.kind == StateKind::Requester {
                 dst[self.task_dim + self.worker_dim] = worker_quality;
-                dst[self.task_dim + self.worker_dim + 1] = snap.quality;
+                dst[self.task_dim + self.worker_dim + 1] = task.quality;
             }
         }
         StateTensor {
@@ -149,7 +177,9 @@ mod tests {
             worker_feature: vec![0.5, 0.25],
             worker_quality: 0.9,
             is_new_worker: false,
-            available: (0..n).map(|i| snapshot(i, 100 + i as u64, 0.1 * i as f32)).collect(),
+            available: (0..n)
+                .map(|i| snapshot(i, 100 + i as u64, 0.1 * i as f32))
+                .collect(),
         }
     }
 

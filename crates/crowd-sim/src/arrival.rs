@@ -10,13 +10,12 @@
 //! global pattern (c) then emerges from interleaving many workers.
 
 use crowd_tensor::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Number of minutes in a day.
 const DAY: f32 = 1440.0;
 
 /// Mixture model of the same-worker revisit gap.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GapDistribution {
     /// Probability that the next arrival is a short revisit (same session / same day).
     pub short_prob: f32,

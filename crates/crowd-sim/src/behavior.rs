@@ -86,8 +86,9 @@ impl BehaviorModel {
 fn normal_cdf(z: f32) -> f32 {
     let t = 1.0 / (1.0 + 0.2316419 * z.abs());
     let d = 0.398_942_3 * (-z * z / 2.0).exp();
-    let poly = t * (0.319_381_53
-        + t * (-0.356_563_782 + t * (1.781_477_937 + t * (-1.821_255_978 + t * 1.330_274_429))));
+    let poly = t
+        * (0.319_381_53
+            + t * (-0.356_563_78 + t * (1.781_477_9 + t * (-1.821_255_9 + t * 1.330_274_5))));
     let p = 1.0 - d * poly;
     if z >= 0.0 {
         p
@@ -149,9 +150,14 @@ mod tests {
         let p = model.interest_probability(&w, &t);
         let mut rng = Rng::seed_from(0);
         let n = 20_000;
-        let hits = (0..n).filter(|_| model.is_interested(&w, &t, &mut rng)).count();
+        let hits = (0..n)
+            .filter(|_| model.is_interested(&w, &t, &mut rng))
+            .count();
         let empirical = hits as f32 / n as f32;
-        assert!((p - empirical).abs() < 0.02, "analytic {p} empirical {empirical}");
+        assert!(
+            (p - empirical).abs() < 0.02,
+            "analytic {p} empirical {empirical}"
+        );
     }
 
     #[test]
@@ -163,7 +169,7 @@ mod tests {
         let w = worker(vec![1.0, 0.0], 0.5, 10);
         let boring = task(1, 0.0);
         let interesting = task(0, 80.0);
-        let shown = vec![boring.clone(), boring.clone(), interesting, boring];
+        let shown = [boring.clone(), boring.clone(), interesting, boring];
         let mut rng = Rng::seed_from(1);
         assert_eq!(model.browse(&w, shown.iter(), &mut rng), Some(2));
     }
@@ -178,7 +184,7 @@ mod tests {
         let boring = task(1, 0.0);
         let interesting = task(0, 80.0);
         // The interesting task sits past the attention budget, so it is never reached.
-        let shown = vec![boring.clone(), boring, interesting];
+        let shown = [boring.clone(), boring, interesting];
         let mut rng = Rng::seed_from(2);
         assert_eq!(model.browse(&w, shown.iter(), &mut rng), None);
     }

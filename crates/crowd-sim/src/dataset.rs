@@ -3,7 +3,6 @@
 use crate::event::Event;
 use crate::task::Task;
 use crate::worker::Worker;
-use serde::{Deserialize, Serialize};
 
 /// Minutes in a simulated day.
 pub const MINUTES_PER_DAY: u64 = 1440;
@@ -12,7 +11,7 @@ pub const MINUTES_PER_MONTH: u64 = 30 * MINUTES_PER_DAY;
 
 /// A complete simulated dataset, analogous to the paper's crawled CrowdSpring data: the task
 /// table, the worker table and the time-ordered event stream over the whole horizon.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     /// All tasks ever created, indexed by [`crate::TaskId`].
     pub tasks: Vec<Task>,

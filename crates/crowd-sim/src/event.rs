@@ -2,10 +2,9 @@
 
 use crate::task::TaskId;
 use crate::worker::WorkerId;
-use serde::{Deserialize, Serialize};
 
 /// What happened at a point in simulated time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// A requester published a new task; it joins the available pool.
     TaskCreated(TaskId),
@@ -16,7 +15,7 @@ pub enum EventKind {
 }
 
 /// A timestamped event. Times are minutes since the start of the simulated horizon.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {
     /// Minutes since the start of the horizon.
     pub time: u64,

@@ -7,10 +7,9 @@
 //!   real time after every feedback (the "updated worker feature f_wi by r_i" of MDP(w)).
 
 use crate::task::Task;
-use serde::{Deserialize, Serialize};
 
 /// Describes how entities are embedded into fixed-length feature vectors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureSpace {
     n_categories: usize,
     n_domains: usize,
@@ -33,9 +32,7 @@ impl FeatureSpace {
     ) -> Self {
         assert!(n_categories > 0 && n_domains > 0 && n_award_buckets > 0);
         let width = max_award / n_award_buckets as f32;
-        let award_bucket_edges = (1..=n_award_buckets)
-            .map(|i| width * i as f32)
-            .collect();
+        let award_bucket_edges = (1..=n_award_buckets).map(|i| width * i as f32).collect();
         FeatureSpace {
             n_categories,
             n_domains,
@@ -101,7 +98,11 @@ impl FeatureSpace {
     /// Updates a worker feature in place after the worker completed a task with feature
     /// `completed_task_feature`: exponential decay towards the distribution of recent
     /// completions. A worker with no history (all zeros) adopts the task feature directly.
-    pub fn update_worker_feature(&self, worker_feature: &mut [f32], completed_task_feature: &[f32]) {
+    pub fn update_worker_feature(
+        &self,
+        worker_feature: &mut [f32],
+        completed_task_feature: &[f32],
+    ) {
         debug_assert_eq!(worker_feature.len(), completed_task_feature.len());
         let is_cold = worker_feature.iter().all(|&v| v == 0.0);
         if is_cold {

@@ -13,10 +13,9 @@ use crate::event::{sort_events, Event, EventKind};
 use crate::task::{Task, TaskId};
 use crate::worker::{Worker, WorkerId};
 use crowd_tensor::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the synthetic dataset generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Number of simulated months (the first month is the initialisation month).
     pub months: usize,
@@ -195,10 +194,11 @@ impl SimConfig {
             let month_start = month as u64 * MINUTES_PER_MONTH;
             for _ in 0..self.tasks_per_month {
                 let created_at = month_start + rng.below(MINUTES_PER_MONTH as usize) as u64;
-                let lifetime_days = rng.range(self.min_task_days as usize, self.max_task_days as usize + 1) as u64;
+                let lifetime_days =
+                    rng.range(self.min_task_days as usize, self.max_task_days as usize + 1) as u64;
                 let deadline = (created_at + lifetime_days * MINUTES_PER_DAY).min(horizon);
-                let award = (rng.normal(0.0, 0.6).exp() * self.max_award * 0.25)
-                    .clamp(1.0, self.max_award);
+                let award =
+                    (rng.normal(0.0, 0.6).exp() * self.max_award * 0.25).clamp(1.0, self.max_award);
                 tasks.push(Task {
                     id: TaskId(id),
                     requester: rng.below(self.n_requesters) as u32,
@@ -263,7 +263,12 @@ impl SimConfig {
 /// roughly one day (|N(1 day, 1 day)|) so duplicated arrival times stay distinct, exactly as
 /// described in Sec. VII-C1.
 pub fn resample_arrivals(dataset: &Dataset, rate: f32, rng: &mut Rng) -> Dataset {
-    let arrivals: Vec<Event> = dataset.events.iter().copied().filter(Event::is_arrival).collect();
+    let arrivals: Vec<Event> = dataset
+        .events
+        .iter()
+        .copied()
+        .filter(Event::is_arrival)
+        .collect();
     let others: Vec<Event> = dataset
         .events
         .iter()
@@ -278,7 +283,9 @@ pub fn resample_arrivals(dataset: &Dataset, rate: f32, rng: &mut Rng) -> Dataset
         let idx = rng.below(arrivals.len().max(1));
         let mut event = arrivals[idx];
         if times_chosen[idx] > 0 {
-            let jitter = rng.normal(MINUTES_PER_DAY as f32, MINUTES_PER_DAY as f32).abs() as u64;
+            let jitter = rng
+                .normal(MINUTES_PER_DAY as f32, MINUTES_PER_DAY as f32)
+                .abs() as u64;
             event.time = (event.time + jitter).min(horizon.saturating_sub(1));
         }
         times_chosen[idx] += 1;
@@ -391,9 +398,13 @@ mod tests {
         let mut rng = Rng::seed_from(1);
         let down = perturb_worker_qualities(&ds, -0.4, 0.2, &mut rng);
         let up = perturb_worker_qualities(&ds, 0.2, 0.2, &mut rng);
-        let mean = |d: &Dataset| d.workers.iter().map(|w| w.quality).sum::<f32>() / d.workers.len() as f32;
+        let mean =
+            |d: &Dataset| d.workers.iter().map(|w| w.quality).sum::<f32>() / d.workers.len() as f32;
         assert!(mean(&down) < mean(&ds));
         assert!(mean(&up) >= mean(&ds) - 0.05);
-        assert!(down.workers.iter().all(|w| (0.0..=1.0).contains(&w.quality)));
+        assert!(down
+            .workers
+            .iter()
+            .all(|w| (0.0..=1.0).contains(&w.quality)));
     }
 }

@@ -14,15 +14,47 @@
 //! * a synthetic CrowdSpring-replica generator calibrated to the statistics the paper reports
 //!   (Fig. 5/6) in [`generator`], plus the resampling and quality-perturbation knobs used by
 //!   the synthetic experiments (Fig. 10);
-//! * the [`Platform`] environment that replays the event stream, shows task pools to
-//!   policies, applies worker feedback and maintains worker/task state;
+//! * the zero-copy environment layer in [`env`]: the [`Env`] trait, borrowed
+//!   [`ArrivalView`] / [`FeedbackView`] / [`TaskRef`] views into platform storage, and the
+//!   reusable [`Decision`] buffer — the hot decision loop performs no per-arrival clones;
+//! * the [`Platform`] environment that replays the event stream over flat
+//!   struct-of-arrays state (task-feature arena, worker-feature arena, quality arrays)
+//!   and implements [`Env`];
 //! * the [`Policy`] trait implemented by the DDQN agent (`crowd-rl-core`) and all baselines
 //!   (`crowd-baselines`);
 //! * dataset statistics used to regenerate Fig. 5 and Fig. 6 in [`stats`].
+//!
+//! The canonical interaction loop:
+//!
+//! ```
+//! use crowd_sim::{Decision, Env, Platform, SimConfig};
+//!
+//! let dataset = SimConfig::tiny().generate();
+//! let features = Platform::default_feature_space(&dataset);
+//! let mut platform = Platform::new(dataset, features, 7);
+//! let mut decision = Decision::new();
+//! let mut completions = 0;
+//! while platform.next_arrival() {
+//!     let view = platform.arrival();
+//!     if view.is_empty() {
+//!         continue;
+//!     }
+//!     // A trivial policy: show the whole pool in order. Real policies implement
+//!     // `crowd_sim::Policy` and write their ranking into the decision buffer.
+//!     decision.clear();
+//!     decision.extend((0..view.n_tasks()).map(|i| view.task_id(i)));
+//!     platform.apply(&decision);
+//!     if platform.feedback().completed.is_some() {
+//!         completions += 1;
+//!     }
+//! }
+//! assert!(completions > 0);
+//! ```
 
 pub mod arrival;
 pub mod behavior;
 pub mod dataset;
+pub mod env;
 pub mod event;
 pub mod features;
 pub mod generator;
@@ -36,12 +68,16 @@ pub mod worker;
 pub use arrival::GapDistribution;
 pub use behavior::BehaviorModel;
 pub use dataset::{Dataset, MINUTES_PER_DAY, MINUTES_PER_MONTH};
+pub use env::{ArrivalView, Decision, Env, FeedbackView, TaskRef};
 pub use event::{Event, EventKind};
 pub use features::FeatureSpace;
 pub use generator::{perturb_worker_qualities, resample_arrivals, SimConfig};
 pub use platform::{Arrival, Platform};
 pub use policy::{Action, ArrivalContext, Policy, PolicyFeedback, TaskSnapshot};
 pub use quality::{dixit_stiglitz, quality_gain};
-pub use stats::{consecutive_arrival_gap_histogram, monthly_stats, same_worker_gap_histogram, GapHistogram, MonthStats};
+pub use stats::{
+    consecutive_arrival_gap_histogram, monthly_stats, same_worker_gap_histogram, GapHistogram,
+    MonthStats,
+};
 pub use task::{Task, TaskId};
 pub use worker::{Worker, WorkerId};

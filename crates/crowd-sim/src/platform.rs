@@ -1,36 +1,66 @@
 //! The platform environment: replays the event stream, exposes the available-task pool to a
 //! policy for each worker arrival and applies the worker's (simulated) feedback.
+//!
+//! `Platform` implements the zero-copy [`Env`] interface. All dynamic state is kept in
+//! flat struct-of-arrays storage — a task-feature arena filled once at construction, a
+//! worker-feature arena, per-task quality/completion arrays — so an [`ArrivalView`] is a
+//! bundle of borrowed slices and building one costs nothing.
+//!
+//! State mutations from [`Env::apply`] are *staged* and committed at the next
+//! [`Env::next_arrival`], which keeps every view (arrival and feedback) stable for the
+//! whole decide→apply→observe cycle of one arrival, exactly mirroring the owned-snapshot
+//! semantics of the original interface.
+//!
+//! The owned compatibility path ([`Platform::next_arrival_owned`] /
+//! [`Platform::apply_owned`]) materialises `ArrivalContext` / `PolicyFeedback` records per
+//! arrival and commits immediately; it exists for the equivalence tests and the
+//! old-vs-new benchmark, and is documented as the deprecated path.
 
 use crate::behavior::BehaviorModel;
 use crate::dataset::Dataset;
+use crate::env::{ArenaPool, ArrivalView, Decision, Env, FeedbackView};
 use crate::event::EventKind;
 use crate::features::FeatureSpace;
-use crate::policy::{Action, ArrivalContext, PolicyFeedback, TaskSnapshot};
+use crate::policy::{Action, ArrivalContext, PolicyFeedback};
 use crate::quality::dixit_stiglitz;
 use crate::task::TaskId;
 use crate::worker::WorkerId;
 use crowd_tensor::Rng;
 
-/// Dynamic state of one task while the simulation runs.
-#[derive(Debug, Clone, Default)]
-struct TaskState {
-    completer_qualities: Vec<f32>,
-    quality: f32,
-}
-
-/// Dynamic state of one worker while the simulation runs.
-#[derive(Debug, Clone)]
-struct WorkerState {
-    feature: Vec<f32>,
-    seen: bool,
-    completions: usize,
-}
-
-/// A pending worker arrival produced by [`Platform::next_arrival`].
+/// A pending worker arrival produced by [`Platform::next_arrival_owned`] (owned
+/// compatibility path).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Arrival {
     /// The observable context handed to the policy.
     pub context: ArrivalContext,
+}
+
+/// The arrival the event cursor is currently stopped at.
+#[derive(Debug, Clone, Copy)]
+struct CurrentArrival {
+    time: u64,
+    worker: WorkerId,
+    is_new_worker: bool,
+}
+
+/// Staged effects of the last [`Env::apply`], committed on the next
+/// [`Env::next_arrival`]. All buffers are reused across arrivals.
+#[derive(Debug, Clone, Default)]
+struct StepState {
+    /// Shown tasks after filtering out unavailable ids (reusable buffer).
+    shown: Vec<TaskId>,
+    /// Completed task and its position in `shown`, if any.
+    completed: Option<(TaskId, usize)>,
+    /// Quality gain of the completed task.
+    quality_gain: f32,
+    /// The completed task's new Dixit–Stiglitz quality.
+    new_quality: f32,
+    /// Post-completion worker feature (reusable buffer; meaningful only on completion).
+    after_feature: Vec<f32>,
+    /// True between `apply` and the commit in the next `next_arrival`.
+    pending: bool,
+    /// True when `feedback()` may be called (an apply happened for the current arrival).
+    valid: bool,
 }
 
 /// The crowdsourcing platform environment.
@@ -39,10 +69,11 @@ pub struct Arrival {
 /// replays the dataset's event stream. The interaction loop is:
 ///
 /// ```text
-/// while let Some(arrival) = platform.next_arrival() {
-///     let action = policy.act(&arrival.context);
-///     let feedback = platform.apply(&arrival.context, &action);
-///     policy.observe(&arrival.context, &feedback);
+/// let mut decision = Decision::new();
+/// while platform.next_arrival() {
+///     policy.act(&platform.arrival(), &mut decision);
+///     platform.apply(&decision);
+///     policy.observe(&platform.arrival(), &platform.feedback());
 /// }
 /// ```
 #[derive(Debug, Clone)]
@@ -51,13 +82,24 @@ pub struct Platform {
     features: FeatureSpace,
     behavior: BehaviorModel,
     rng: Rng,
-    // Dynamic state.
+    // Immutable arenas (filled once at construction).
+    task_features: Vec<f32>,
+    task_dim: usize,
+    // Dynamic struct-of-arrays state.
     available: Vec<TaskId>,
-    task_states: Vec<TaskState>,
-    worker_states: Vec<WorkerState>,
+    in_pool: Vec<bool>,
+    task_qualities: Vec<f32>,
+    task_completions: Vec<u32>,
+    completer_qualities: Vec<Vec<f32>>,
+    worker_features: Vec<f32>,
+    worker_dim: usize,
+    worker_seen: Vec<bool>,
+    worker_completions: Vec<u32>,
     next_event: usize,
     current_time: u64,
     completed_total: usize,
+    current: Option<CurrentArrival>,
+    step: StepState,
 }
 
 impl Platform {
@@ -73,27 +115,42 @@ impl Platform {
         behavior: BehaviorModel,
         seed: u64,
     ) -> Self {
-        let task_states = vec![TaskState::default(); dataset.tasks.len()];
-        let worker_states = dataset
-            .workers
-            .iter()
-            .map(|_| WorkerState {
-                feature: features.initial_worker_feature(),
-                seen: false,
-                completions: 0,
-            })
-            .collect();
+        let task_dim = features.task_dim();
+        let worker_dim = features.worker_dim();
+        // Task features are static (category/domain/award never change), so the whole
+        // arena is computed once and every view borrows from it.
+        let mut task_features = Vec::with_capacity(dataset.tasks.len() * task_dim);
+        for task in &dataset.tasks {
+            task_features.extend_from_slice(&features.task_feature(task));
+        }
+        let initial_worker = features.initial_worker_feature();
+        let mut worker_features = Vec::with_capacity(dataset.workers.len() * worker_dim);
+        for _ in &dataset.workers {
+            worker_features.extend_from_slice(&initial_worker);
+        }
+        let n_tasks = dataset.tasks.len();
+        let n_workers = dataset.workers.len();
         Platform {
-            dataset,
             features,
             behavior,
             rng: Rng::seed_from(seed),
+            task_features,
+            task_dim,
             available: Vec::new(),
-            task_states,
-            worker_states,
+            in_pool: vec![false; n_tasks],
+            task_qualities: vec![0.0; n_tasks],
+            task_completions: vec![0; n_tasks],
+            completer_qualities: vec![Vec::new(); n_tasks],
+            worker_features,
+            worker_dim,
+            worker_seen: vec![false; n_workers],
+            worker_completions: vec![0; n_workers],
             next_event: 0,
             current_time: 0,
             completed_total: 0,
+            current: None,
+            step: StepState::default(),
+            dataset,
         }
     }
 
@@ -107,12 +164,7 @@ impl Platform {
         &self.dataset
     }
 
-    /// Current simulation time (minutes since horizon start).
-    pub fn current_time(&self) -> u64 {
-        self.current_time
-    }
-
-    /// Total number of completions applied so far.
+    /// Total number of committed completions so far.
     pub fn total_completions(&self) -> usize {
         self.completed_total
     }
@@ -122,24 +174,31 @@ impl Platform {
         &self.available
     }
 
-    /// Current Dixit–Stiglitz quality of a task.
+    /// Current Dixit–Stiglitz quality of a task (committed state).
     pub fn task_quality(&self, task: TaskId) -> f32 {
-        self.task_states[task.index()].quality
+        self.task_qualities[task.index()]
     }
 
-    /// Current observable feature of a worker.
+    /// The precomputed feature row of a task (borrowed from the arena).
+    pub fn task_feature(&self, task: TaskId) -> &[f32] {
+        let row = task.index();
+        &self.task_features[row * self.task_dim..(row + 1) * self.task_dim]
+    }
+
+    /// Current observable feature of a worker (committed state).
     pub fn worker_feature(&self, worker: WorkerId) -> &[f32] {
-        &self.worker_states[worker.index()].feature
+        let row = worker.index();
+        &self.worker_features[row * self.worker_dim..(row + 1) * self.worker_dim]
     }
 
     /// Number of tasks a worker has completed so far.
     pub fn worker_completions(&self, worker: WorkerId) -> usize {
-        self.worker_states[worker.index()].completions
+        self.worker_completions[worker.index()] as usize
     }
 
     /// Sum of all task qualities (the requester-side objective the paper maximises).
     pub fn total_task_quality(&self) -> f32 {
-        self.task_states.iter().map(|t| t.quality).sum()
+        self.task_qualities.iter().sum()
     }
 
     /// True when the whole event stream has been consumed.
@@ -147,116 +206,134 @@ impl Platform {
         self.next_event >= self.dataset.events.len()
     }
 
-    fn snapshot(&self, id: TaskId) -> TaskSnapshot {
-        let task = &self.dataset.tasks[id.index()];
-        let state = &self.task_states[id.index()];
-        TaskSnapshot {
-            id,
-            feature: self.features.task_feature(task),
-            quality: state.quality,
-            award: task.award,
-            category: task.category,
-            domain: task.domain,
-            deadline: task.deadline,
-            completions: state.completer_qualities.len(),
+    /// Current simulation time (minutes since horizon start).
+    pub fn current_time(&self) -> u64 {
+        self.current_time
+    }
+
+    /// Commits the staged effects of the last `apply`, if any.
+    fn commit_pending(&mut self) {
+        if !self.step.pending {
+            return;
+        }
+        self.step.pending = false;
+        let Some(current) = self.current else { return };
+        if let Some((task_id, _)) = self.step.completed {
+            let ti = task_id.index();
+            let worker_quality = self.dataset.workers[current.worker.index()].quality;
+            self.completer_qualities[ti].push(worker_quality);
+            self.task_qualities[ti] = self.step.new_quality;
+            self.task_completions[ti] += 1;
+            let wi = current.worker.index();
+            self.worker_features[wi * self.worker_dim..(wi + 1) * self.worker_dim]
+                .copy_from_slice(&self.step.after_feature);
+            self.worker_completions[wi] += 1;
+            self.completed_total += 1;
         }
     }
 
-    /// Advances the event stream to the next worker arrival, applying task creations and
-    /// expirations on the way, and returns the decision context. Returns `None` when the
-    /// stream is exhausted.
-    pub fn next_arrival(&mut self) -> Option<Arrival> {
-        while self.next_event < self.dataset.events.len() {
-            let event = self.dataset.events[self.next_event];
-            self.next_event += 1;
-            self.current_time = event.time;
-            match event.kind {
-                EventKind::TaskCreated(id) => {
-                    self.available.push(id);
-                }
-                EventKind::TaskExpired(id) => {
-                    self.available.retain(|&t| t != id);
-                }
-                EventKind::WorkerArrival(worker_id) => {
-                    let state = &mut self.worker_states[worker_id.index()];
-                    let is_new_worker = !state.seen;
-                    state.seen = true;
-                    let worker = &self.dataset.workers[worker_id.index()];
-                    let context = ArrivalContext {
-                        time: event.time,
-                        worker_id,
-                        worker_feature: self.worker_states[worker_id.index()].feature.clone(),
-                        worker_quality: worker.quality,
-                        is_new_worker,
-                        available: self.available.iter().map(|&t| self.snapshot(t)).collect(),
-                    };
-                    return Some(Arrival { context });
-                }
+    /// The shared apply implementation: filters the decision against the live pool, runs
+    /// the cascade behaviour model and stages the resulting state updates.
+    fn apply_decision(&mut self, decision: &Decision) {
+        let current = self
+            .current
+            .expect("apply() requires a pending arrival; call next_arrival() first");
+        // Applying twice for one arrival replaces the staged effects (the compatibility
+        // path commits explicitly instead).
+        self.step.pending = false;
+
+        let Platform {
+            dataset,
+            features,
+            behavior,
+            rng,
+            task_features,
+            task_dim,
+            in_pool,
+            task_qualities,
+            completer_qualities,
+            worker_features,
+            worker_dim,
+            step,
+            ..
+        } = self;
+
+        step.shown.clear();
+        for &task in decision.shown() {
+            if in_pool[task.index()] {
+                step.shown.push(task);
             }
         }
-        None
+        let worker = &dataset.workers[current.worker.index()];
+        let completed_position = behavior.browse(
+            worker,
+            step.shown.iter().map(|t| &dataset.tasks[t.index()]),
+            rng,
+        );
+
+        step.completed = None;
+        step.quality_gain = 0.0;
+        step.new_quality = 0.0;
+        if let Some(position) = completed_position {
+            let task_id = step.shown[position];
+            let ti = task_id.index();
+            let old_quality = task_qualities[ti];
+            // Compute the post-completion quality without committing: push the completer,
+            // evaluate, pop (capacity is retained, so no allocation in steady state).
+            let qualities = &mut completer_qualities[ti];
+            qualities.push(worker.quality);
+            step.new_quality = dixit_stiglitz(qualities, dataset.quality_exponent);
+            qualities.pop();
+            step.quality_gain = step.new_quality - old_quality;
+
+            let wi = current.worker.index();
+            step.after_feature.clear();
+            step.after_feature
+                .extend_from_slice(&worker_features[wi * *worker_dim..(wi + 1) * *worker_dim]);
+            let task_feature = &task_features[ti * *task_dim..(ti + 1) * *task_dim];
+            features.update_worker_feature(&mut step.after_feature, task_feature);
+            step.completed = Some((task_id, position));
+        }
+        step.pending = true;
+        step.valid = true;
     }
 
-    /// Applies a policy's action for the given arrival: the worker browses the shown tasks
-    /// with the cascade behaviour model, and the completion (if any) updates the worker
-    /// feature and the task quality. Tasks in the action that are not currently available are
-    /// ignored (they cannot be shown).
-    pub fn apply(&mut self, ctx: &ArrivalContext, action: &Action) -> PolicyFeedback {
-        let worker = self.dataset.workers[ctx.worker_id.index()].clone();
-        let shown: Vec<TaskId> = action
-            .shown_order()
-            .into_iter()
-            .filter(|t| self.available.contains(t))
-            .collect();
-        let shown_tasks: Vec<&crate::task::Task> =
-            shown.iter().map(|t| &self.dataset.tasks[t.index()]).collect();
-        let completed_position = self
-            .behavior
-            .browse(&worker, shown_tasks.iter().copied(), &mut self.rng);
-
-        let before = self.worker_states[ctx.worker_id.index()].feature.clone();
-        let mut after = before.clone();
-        let mut quality_gain = 0.0;
-        let completed = completed_position.map(|pos| {
-            let task_id = shown[pos];
-            let p = self.dataset.quality_exponent;
-            let state = &mut self.task_states[task_id.index()];
-            let old_quality = state.quality;
-            state.completer_qualities.push(worker.quality);
-            state.quality = dixit_stiglitz(&state.completer_qualities, p);
-            quality_gain = state.quality - old_quality;
-
-            let task_feature = self
-                .features
-                .task_feature(&self.dataset.tasks[task_id.index()]);
-            self.features.update_worker_feature(&mut after, &task_feature);
-            let wstate = &mut self.worker_states[ctx.worker_id.index()];
-            wstate.feature = after.clone();
-            wstate.completions += 1;
-            self.completed_total += 1;
-            (task_id, pos)
-        });
-
-        PolicyFeedback {
-            time: ctx.time,
-            worker_id: ctx.worker_id,
-            worker_quality: worker.quality,
-            shown,
-            completed,
-            quality_gain,
-            worker_feature_before: before,
-            worker_feature_after: after,
+    /// Owned compatibility path for [`Env::next_arrival`]: advances the stream and gathers
+    /// an owned [`ArrivalContext`], cloning every feature vector in the pool. Prefer the
+    /// borrowed [`Env`] interface in anything performance-sensitive.
+    pub fn next_arrival_owned(&mut self) -> Option<Arrival> {
+        if Env::next_arrival(self) {
+            Some(Arrival {
+                context: self.arrival().to_context(),
+            })
+        } else {
+            None
         }
+    }
+
+    /// Owned compatibility path for [`Env::apply`]: applies an [`Action`] for the current
+    /// arrival and returns an owned [`PolicyFeedback`], committing the effects
+    /// immediately (the original eager semantics).
+    pub fn apply_owned(&mut self, ctx: &ArrivalContext, action: &Action) -> PolicyFeedback {
+        debug_assert_eq!(
+            self.current.map(|c| c.worker),
+            Some(ctx.worker_id),
+            "apply_owned() must be called with the current arrival's context"
+        );
+        let mut decision = Decision::with_capacity(action.shown_len());
+        decision.set_action(action);
+        self.apply_decision(&decision);
+        let feedback = self.feedback().to_feedback();
+        // Eager commit; the staged feedback view is no longer self-consistent afterwards,
+        // so invalidate it (the owned record returned above is the feedback).
+        Env::flush(self);
+        feedback
     }
 
     /// Builds the default feature space for a dataset: one award bucket per 25 currency units
     /// (at least 4 buckets) and an exponential worker-feature decay of 0.8.
     pub fn default_feature_space(dataset: &Dataset) -> FeatureSpace {
-        let max_award = dataset
-            .tasks
-            .iter()
-            .map(|t| t.award)
-            .fold(1.0f32, f32::max);
+        let max_award = dataset.tasks.iter().map(|t| t.award).fold(1.0f32, f32::max);
         let buckets = ((max_award / 25.0).ceil() as usize).clamp(4, 12);
         FeatureSpace::new(
             dataset.n_categories,
@@ -265,6 +342,115 @@ impl Platform {
             max_award,
             0.8,
         )
+    }
+}
+
+impl Env for Platform {
+    fn next_arrival(&mut self) -> bool {
+        self.commit_pending();
+        self.step.valid = false;
+        self.current = None;
+        while self.next_event < self.dataset.events.len() {
+            let event = self.dataset.events[self.next_event];
+            self.next_event += 1;
+            self.current_time = event.time;
+            match event.kind {
+                EventKind::TaskCreated(id) => {
+                    self.available.push(id);
+                    self.in_pool[id.index()] = true;
+                }
+                EventKind::TaskExpired(id) => {
+                    self.available.retain(|&t| t != id);
+                    self.in_pool[id.index()] = false;
+                }
+                EventKind::WorkerArrival(worker) => {
+                    let wi = worker.index();
+                    let is_new_worker = !self.worker_seen[wi];
+                    self.worker_seen[wi] = true;
+                    self.current = Some(CurrentArrival {
+                        time: event.time,
+                        worker,
+                        is_new_worker,
+                    });
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn arrival(&self) -> ArrivalView<'_> {
+        let current = self
+            .current
+            .expect("arrival() requires a pending arrival; call next_arrival() first");
+        let wi = current.worker.index();
+        ArrivalView::from_arena(
+            current.time,
+            current.worker,
+            &self.worker_features[wi * self.worker_dim..(wi + 1) * self.worker_dim],
+            self.dataset.workers[wi].quality,
+            current.is_new_worker,
+            ArenaPool {
+                ids: &self.available,
+                features: &self.task_features,
+                feature_dim: self.task_dim,
+                qualities: &self.task_qualities,
+                completions: &self.task_completions,
+                tasks: &self.dataset.tasks,
+            },
+        )
+    }
+
+    fn apply(&mut self, decision: &Decision) {
+        self.apply_decision(decision);
+    }
+
+    fn flush(&mut self) {
+        self.commit_pending();
+        self.step.valid = false;
+    }
+
+    fn feedback(&self) -> FeedbackView<'_> {
+        assert!(
+            self.step.valid,
+            "feedback() requires a prior apply() for the current arrival"
+        );
+        let current = self.current.expect("feedback() requires a pending arrival");
+        let wi = current.worker.index();
+        // While the effects are staged, the live worker feature still holds the
+        // pre-completion value; the staged buffer holds the post-completion one.
+        let before = &self.worker_features[wi * self.worker_dim..(wi + 1) * self.worker_dim];
+        let after: &[f32] = if self.step.completed.is_some() && self.step.pending {
+            &self.step.after_feature
+        } else {
+            before
+        };
+        FeedbackView {
+            time: current.time,
+            worker_id: current.worker,
+            worker_quality: self.dataset.workers[wi].quality,
+            shown: &self.step.shown,
+            completed: self.step.completed,
+            quality_gain: self.step.quality_gain,
+            worker_feature_before: before,
+            worker_feature_after: after,
+        }
+    }
+
+    fn finished(&self) -> bool {
+        Platform::finished(self)
+    }
+
+    fn current_time(&self) -> u64 {
+        Platform::current_time(self)
+    }
+
+    fn total_task_quality(&self) -> f32 {
+        Platform::total_task_quality(self)
+    }
+
+    fn total_completions(&self) -> usize {
+        Platform::total_completions(self)
     }
 }
 
@@ -285,59 +471,86 @@ mod tests {
         let mut p = platform();
         let mut last = 0;
         let mut count = 0;
-        while let Some(arrival) = p.next_arrival() {
-            assert!(arrival.context.time >= last);
-            last = arrival.context.time;
+        while p.next_arrival() {
+            let view = p.arrival();
+            assert!(view.time >= last);
+            last = view.time;
             count += 1;
             // Never show expired or not-yet-created tasks.
-            for snap in &arrival.context.available {
-                let task = &p.dataset().tasks[snap.id.index()];
-                assert!(task.is_available_at(arrival.context.time));
+            for task in view.tasks() {
+                let row = &p.dataset().tasks[task.id.index()];
+                assert!(row.is_available_at(view.time));
             }
         }
         assert!(count > 0);
-        assert!(p.finished());
+        assert!(Platform::finished(&p));
     }
 
     #[test]
     fn first_visit_is_flagged_as_new_worker() {
         let mut p = platform();
         let mut seen = std::collections::HashSet::new();
-        while let Some(arrival) = p.next_arrival() {
-            let first = seen.insert(arrival.context.worker_id);
-            assert_eq!(arrival.context.is_new_worker, first);
+        while p.next_arrival() {
+            let view = p.arrival();
+            let first = seen.insert(view.worker_id);
+            assert_eq!(view.is_new_worker, first);
         }
+    }
+
+    #[test]
+    fn views_borrow_arena_storage_without_cloning() {
+        let mut p = platform();
+        assert!(p.next_arrival());
+        let view = p.arrival();
+        for task in view.tasks() {
+            // The borrowed feature row is exactly the arena row (pointer-identical).
+            let arena_row = p.task_feature(task.id);
+            assert!(std::ptr::eq(task.feature, arena_row));
+            // And matches the recomputed feature.
+            let recomputed = p
+                .feature_space()
+                .task_feature(&p.dataset().tasks[task.id.index()]);
+            assert_eq!(task.feature, recomputed.as_slice());
+        }
+        assert!(std::ptr::eq(
+            view.worker_feature,
+            p.worker_feature(view.worker_id)
+        ));
     }
 
     #[test]
     fn completions_update_quality_and_worker_feature() {
         let mut p = platform();
+        let mut decision = Decision::new();
         let mut any_completion = false;
-        while let Some(arrival) = p.next_arrival() {
-            if arrival.context.available.is_empty() {
-                continue;
-            }
-            // Show the full pool so the probability of some completion is high.
-            let action = Action::Rank(arrival.context.available.iter().map(|t| t.id).collect());
-            let fb = p.apply(&arrival.context, &action);
+        while p.next_arrival() {
+            let worker = {
+                let view = p.arrival();
+                if view.is_empty() {
+                    continue;
+                }
+                // Show the full pool so the probability of some completion is high.
+                decision.clear();
+                decision.extend((0..view.n_tasks()).map(|i| view.task_id(i)));
+                view.worker_id
+            };
+            p.apply(&decision);
+            let fb = p.feedback();
             if let Some((task, pos)) = fb.completed {
                 any_completion = true;
                 assert!(pos < fb.shown.len());
                 assert_eq!(fb.shown[pos], task);
                 assert!(fb.quality_gain > 0.0);
-                assert!(p.task_quality(task) > 0.0);
-                // The post-completion feature reflects the completed task: a cold-start
-                // worker adopts the task feature outright, otherwise it moves towards it.
-                if fb.worker_feature_before.iter().all(|&v| v == 0.0) {
-                    let task_feature = p
-                        .feature_space()
-                        .task_feature(&p.dataset().tasks[task.index()]);
-                    assert_eq!(fb.worker_feature_after, task_feature);
+                // Effects are staged: committed state is unchanged until the next
+                // next_arrival() call...
+                let before: Vec<f32> = fb.worker_feature_before.to_vec();
+                let after: Vec<f32> = fb.worker_feature_after.to_vec();
+                assert_eq!(p.worker_feature(worker), before.as_slice());
+                // ...and the staged after-feature reflects the completed task: a cold-start
+                // worker adopts the task feature outright.
+                if before.iter().all(|&v| v == 0.0) {
+                    assert_eq!(after.as_slice(), p.task_feature(task));
                 }
-                assert_eq!(
-                    p.worker_feature(arrival.context.worker_id),
-                    fb.worker_feature_after.as_slice()
-                );
             } else {
                 assert_eq!(fb.quality_gain, 0.0);
                 assert_eq!(fb.worker_feature_before, fb.worker_feature_after);
@@ -349,11 +562,67 @@ mod tests {
     }
 
     #[test]
-    fn unavailable_tasks_in_action_are_ignored() {
+    fn staged_effects_commit_on_the_next_arrival() {
         let mut p = platform();
-        let arrival = p.next_arrival().unwrap();
-        // A task id that is certainly not in the current pool: one that expires before the
-        // first arrival or simply an id excluded from the pool list.
+        let mut decision = Decision::new();
+        loop {
+            assert!(p.next_arrival(), "ran out of arrivals without a completion");
+            let view = p.arrival();
+            if view.is_empty() {
+                continue;
+            }
+            let worker = view.worker_id;
+            decision.clear();
+            decision.extend((0..view.n_tasks()).map(|i| view.task_id(i)));
+            p.apply(&decision);
+            let fb = p.feedback();
+            if let Some((task, _)) = fb.completed {
+                let after: Vec<f32> = fb.worker_feature_after.to_vec();
+                let new_quality_staged = fb.quality_gain + p.task_quality(task);
+                // First completion of the run, still staged: committed quality is untouched.
+                assert_eq!(p.task_quality(task), 0.0);
+                assert_eq!(p.total_completions(), 0);
+                // Advancing commits: quality, worker feature and counters move together.
+                p.next_arrival();
+                assert!((p.task_quality(task) - new_quality_staged).abs() < 1e-6);
+                assert_eq!(p.worker_feature(worker), after.as_slice());
+                assert_eq!(p.total_completions(), 1);
+                assert_eq!(p.worker_completions(worker), 1);
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn owned_path_commits_immediately() {
+        let mut p = platform();
+        let mut any_completion = false;
+        while let Some(arrival) = p.next_arrival_owned() {
+            let ctx = arrival.context;
+            if ctx.available.is_empty() {
+                continue;
+            }
+            let action = Action::Rank(ctx.available.iter().map(|t| t.id).collect());
+            let fb = p.apply_owned(&ctx, &action);
+            if let Some((task, pos)) = fb.completed {
+                any_completion = true;
+                assert!(pos < fb.shown.len());
+                assert!(p.task_quality(task) > 0.0);
+                assert_eq!(
+                    p.worker_feature(ctx.worker_id),
+                    fb.worker_feature_after.as_slice()
+                );
+            }
+        }
+        assert!(any_completion);
+        assert!(p.total_completions() > 0);
+    }
+
+    #[test]
+    fn unavailable_tasks_in_decision_are_ignored() {
+        let mut p = platform();
+        assert!(p.next_arrival());
+        // A task id that is certainly not in the current pool.
         let bogus = p
             .dataset()
             .tasks
@@ -361,7 +630,10 @@ mod tests {
             .map(|t| t.id)
             .find(|id| !p.available_tasks().contains(id))
             .unwrap();
-        let fb = p.apply(&arrival.context, &Action::Assign(bogus));
+        let mut decision = Decision::new();
+        decision.assign(bogus);
+        p.apply(&decision);
+        let fb = p.feedback();
         assert!(fb.shown.is_empty());
         assert!(fb.completed.is_none());
     }
@@ -372,13 +644,17 @@ mod tests {
             let ds = SimConfig::tiny().generate();
             let fs = Platform::default_feature_space(&ds);
             let mut p = Platform::new(ds, fs, seed);
+            let mut decision = Decision::new();
             let mut completions = 0;
-            while let Some(arrival) = p.next_arrival() {
-                if arrival.context.available.is_empty() {
+            while p.next_arrival() {
+                let view = p.arrival();
+                if view.is_empty() {
                     continue;
                 }
-                let action = Action::Rank(arrival.context.available.iter().map(|t| t.id).collect());
-                if p.apply(&arrival.context, &action).completed.is_some() {
+                decision.clear();
+                decision.extend((0..view.n_tasks()).map(|i| view.task_id(i)));
+                p.apply(&decision);
+                if p.feedback().completed.is_some() {
                     completions += 1;
                 }
             }
@@ -387,5 +663,42 @@ mod tests {
         assert_eq!(run(5), run(5));
         // Different behaviour seeds usually give different outcomes.
         assert!(run(5) != run(6) || run(5) != run(7));
+    }
+
+    #[test]
+    fn owned_and_borrowed_paths_are_identical() {
+        let ds = SimConfig::tiny().generate();
+        let fs = Platform::default_feature_space(&ds);
+
+        let mut owned = Platform::new(ds.clone(), fs.clone(), 7);
+        let mut owned_gains = Vec::new();
+        while let Some(arrival) = owned.next_arrival_owned() {
+            let ctx = arrival.context;
+            if ctx.available.is_empty() {
+                continue;
+            }
+            let action = Action::Rank(ctx.available.iter().map(|t| t.id).collect());
+            let fb = owned.apply_owned(&ctx, &action);
+            owned_gains.push((fb.completed, fb.quality_gain));
+        }
+
+        let mut borrowed = Platform::new(ds, fs, 7);
+        let mut decision = Decision::new();
+        let mut borrowed_gains = Vec::new();
+        while borrowed.next_arrival() {
+            let view = borrowed.arrival();
+            if view.is_empty() {
+                continue;
+            }
+            decision.clear();
+            decision.extend((0..view.n_tasks()).map(|i| view.task_id(i)));
+            borrowed.apply(&decision);
+            let fb = borrowed.feedback();
+            borrowed_gains.push((fb.completed, fb.quality_gain));
+        }
+
+        assert_eq!(owned_gains, borrowed_gains);
+        assert_eq!(owned.total_completions(), borrowed.total_completions());
+        assert!((owned.total_task_quality() - borrowed.total_task_quality()).abs() < 1e-6);
     }
 }

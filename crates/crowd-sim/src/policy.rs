@@ -1,10 +1,20 @@
 //! The [`Policy`] trait — the interface between the platform environment and every task
-//! arrangement method (the DDQN agent and all baselines).
+//! arrangement method (the DDQN agent and all baselines) — plus the owned *record* types
+//! ([`ArrivalContext`], [`Action`], [`PolicyFeedback`]).
+//!
+//! The hot decision loop operates on borrowed views ([`ArrivalView`], [`FeedbackView`])
+//! and the reusable [`Decision`] buffer from [`crate::env`]; the owned types here are used
+//! for warm-start history, synthetic test harnesses and anywhere a record must outlive the
+//! environment step that produced it. Bridge in both directions with
+//! [`ArrivalContext::view`] / [`ArrivalView::to_context`](crate::ArrivalView::to_context)
+//! and the feedback equivalents.
 
+use crate::env::{ArrivalView, Decision, FeedbackView};
 use crate::task::TaskId;
 use crate::worker::WorkerId;
 
-/// Snapshot of one available task as shown to a policy at decision time.
+/// Snapshot of one available task as shown to a policy at decision time (owned record; the
+/// hot loop uses [`crate::TaskRef`] instead).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TaskSnapshot {
     /// Task identifier.
@@ -25,8 +35,9 @@ pub struct TaskSnapshot {
     pub completions: usize,
 }
 
-/// Everything a policy sees when a worker arrives (the observable part of the MDP state
-/// `s_i = [f_wi, f_Ti, q_wi, q_Ti]`).
+/// Everything a policy sees when a worker arrives (owned record of the observable part of
+/// the MDP state `s_i = [f_wi, f_Ti, q_wi, q_Ti]`; the hot loop uses
+/// [`ArrivalView`] instead).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArrivalContext {
     /// Arrival time in minutes since the start of the horizon.
@@ -50,7 +61,8 @@ impl ArrivalContext {
     }
 }
 
-/// A policy's decision for one arrival.
+/// A policy's decision as an owned record (compatibility path; the hot loop writes into a
+/// reusable [`Decision`] buffer instead).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Action {
     /// Assign exactly one task (the paper's "recommend one task" setting).
@@ -61,16 +73,27 @@ pub enum Action {
 
 impl Action {
     /// The shown tasks in display order (a single assignment is a one-element list).
+    /// Allocates; prefer [`Decision::shown`] in anything performance-sensitive.
     pub fn shown_order(&self) -> Vec<TaskId> {
         match self {
             Action::Assign(t) => vec![*t],
             Action::Rank(list) => list.clone(),
         }
     }
+
+    /// Number of shown tasks, without materialising the list.
+    pub fn shown_len(&self) -> usize {
+        match self {
+            Action::Assign(_) => 1,
+            Action::Rank(list) => list.len(),
+        }
+    }
 }
 
-/// Outcome of showing an action to the arriving worker. Produced by
-/// [`Platform::apply`](crate::platform::Platform::apply) and fed back to the policy.
+/// Outcome of showing an action to the arriving worker (owned record; the hot loop uses
+/// [`FeedbackView`] instead). Produced by
+/// [`Platform::apply_owned`](crate::platform::Platform::apply_owned) and by
+/// [`FeedbackView::to_feedback`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct PolicyFeedback {
     /// Arrival time of the decision this feedback refers to.
@@ -108,27 +131,35 @@ impl PolicyFeedback {
     }
 }
 
-/// A task-arrangement policy.
+/// A task-arrangement policy over the zero-copy view interface.
 ///
-/// The runner calls [`Policy::act`] for every worker arrival, applies the action to the
-/// environment, then calls [`Policy::observe`] with the resulting feedback. Supervised
-/// baselines retrain inside [`Policy::end_of_day`]; RL methods update inside `observe`
-/// (Sec. VII-A3's update regimes).
+/// The session calls [`Policy::act`] for every worker arrival with a borrowed
+/// [`ArrivalView`] and a reusable [`Decision`] buffer to write the ranking into, applies
+/// the decision to the environment, then calls [`Policy::observe`] with the same view and
+/// the borrowed [`FeedbackView`]. Supervised baselines retrain inside
+/// [`Policy::end_of_day`]; RL methods update inside `observe` (Sec. VII-A3's update
+/// regimes).
 pub trait Policy {
     /// Human-readable name used in reports.
     fn name(&self) -> &str;
 
-    /// Decides what to show to the arriving worker.
-    fn act(&mut self, ctx: &ArrivalContext) -> Action;
+    /// Decides what to show to the arriving worker, writing the ranking (or single
+    /// assignment) into `decision`. The buffer may hold a previous arrival's decision:
+    /// implementations must overwrite it (start with [`Decision::clear`] or
+    /// [`Decision::assign`]) rather than append.
+    fn act(&mut self, view: &ArrivalView<'_>, decision: &mut Decision);
 
-    /// Receives the worker's feedback for a previous decision.
-    fn observe(&mut self, ctx: &ArrivalContext, feedback: &PolicyFeedback);
+    /// Receives the worker's feedback for the decision just applied. `view` is identical
+    /// to the one `act` saw (environment effects are committed only after this call).
+    fn observe(&mut self, view: &ArrivalView<'_>, feedback: &FeedbackView<'_>);
 
     /// Called at the end of each simulated day (supervised baselines retrain here).
     fn end_of_day(&mut self, _day: usize) {}
 
     /// Called once after the initialisation month with all historical feedback, so models
     /// can warm-start exactly like the paper initialises from the first month of data.
+    /// History records are owned; replay them through views via
+    /// [`ArrivalContext::view`] / [`PolicyFeedback::view`].
     fn warm_start(&mut self, _history: &[(ArrivalContext, PolicyFeedback)]) {}
 }
 
@@ -161,15 +192,18 @@ mod tests {
         };
         assert_eq!(ctx.position_of(TaskId(9)), Some(1));
         assert_eq!(ctx.position_of(TaskId(1)), None);
+        assert_eq!(ctx.view().position_of(TaskId(9)), Some(1));
     }
 
     #[test]
     fn action_shown_order() {
         assert_eq!(Action::Assign(TaskId(3)).shown_order(), vec![TaskId(3)]);
+        assert_eq!(Action::Assign(TaskId(3)).shown_len(), 1);
         assert_eq!(
             Action::Rank(vec![TaskId(1), TaskId(2)]).shown_order(),
             vec![TaskId(1), TaskId(2)]
         );
+        assert_eq!(Action::Rank(vec![TaskId(1), TaskId(2)]).shown_len(), 2);
     }
 
     #[test]
@@ -186,6 +220,7 @@ mod tests {
         };
         assert_eq!(fb.completion_reward(), 1.0);
         assert_eq!(fb.quality_reward(), 0.4);
+        assert_eq!(fb.view().completion_reward(), 1.0);
 
         let skipped = PolicyFeedback {
             completed: None,

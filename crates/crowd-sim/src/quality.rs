@@ -12,10 +12,7 @@ pub fn dixit_stiglitz(worker_qualities: &[f32], p: f32) -> f32 {
         return 0.0;
     }
     let p = p.max(1.0);
-    let sum: f32 = worker_qualities
-        .iter()
-        .map(|q| q.max(0.0).powf(p))
-        .sum();
+    let sum: f32 = worker_qualities.iter().map(|q| q.max(0.0).powf(p)).sum();
     sum.powf(1.0 / p)
 }
 
@@ -59,7 +56,10 @@ mod tests {
 
     #[test]
     fn p_below_one_is_clamped() {
-        assert_eq!(dixit_stiglitz(&[0.5, 0.5], 0.1), dixit_stiglitz(&[0.5, 0.5], 1.0));
+        assert_eq!(
+            dixit_stiglitz(&[0.5, 0.5], 0.1),
+            dixit_stiglitz(&[0.5, 0.5], 1.0)
+        );
     }
 
     #[test]

@@ -48,7 +48,11 @@ impl GapHistogram {
 }
 
 /// Gap histogram between two consecutive arrivals *of the same worker* (Fig. 5(a)/(b)).
-pub fn same_worker_gap_histogram(dataset: &Dataset, bin_minutes: u64, max_minutes: u64) -> GapHistogram {
+pub fn same_worker_gap_histogram(
+    dataset: &Dataset,
+    bin_minutes: u64,
+    max_minutes: u64,
+) -> GapHistogram {
     let mut last_arrival: HashMap<WorkerId, u64> = HashMap::new();
     let mut gaps = Vec::new();
     for event in &dataset.events {
@@ -150,7 +154,11 @@ mod tests {
         assert!(hist.total() > 100);
         // A visible fraction of revisits happens within 3 hours (Fig. 5(a)) and a majority
         // within a week (Fig. 5(b)).
-        assert!(hist.fraction_below(180) > 0.15, "{}", hist.fraction_below(180));
+        assert!(
+            hist.fraction_below(180) > 0.15,
+            "{}",
+            hist.fraction_below(180)
+        );
         assert!(hist.fraction_below(7 * 1440) > 0.9);
     }
 

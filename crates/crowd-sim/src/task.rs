@@ -1,9 +1,7 @@
 //! Task entities: what requesters publish on the platform.
 
-use serde::{Deserialize, Serialize};
-
 /// Opaque identifier of a task (index into the dataset's task table).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TaskId(pub u32);
 
 impl TaskId {
@@ -18,7 +16,7 @@ impl TaskId {
 /// Following Sec. IV-A, the attributes that matter for recommendation are the award
 /// (remuneration), the category (task autonomy proxy) and the domain (skill variety proxy),
 /// plus the lifetime window set by the requester.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Task {
     /// Identifier; equals the task's position in the dataset table.
     pub id: TaskId,

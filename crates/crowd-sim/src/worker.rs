@@ -1,9 +1,7 @@
 //! Worker entities: the crowd that completes tasks.
 
-use serde::{Deserialize, Serialize};
-
 /// Opaque identifier of a worker (index into the dataset's worker table).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct WorkerId(pub u32);
 
 impl WorkerId {
@@ -18,7 +16,7 @@ impl WorkerId {
 /// The *latent* preference vectors drive the behaviour model and are never exposed to
 /// policies; policies only observe the feature vectors built from completion history
 /// (Sec. IV-A2), mirroring the information asymmetry of the real platform.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Worker {
     /// Identifier; equals the worker's position in the dataset table.
     pub id: WorkerId,

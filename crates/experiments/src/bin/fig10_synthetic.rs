@@ -9,9 +9,9 @@ use crowd_experiments::{
     ddqn_config_for, ddqn_for, experiment_scale, f1, f3, print_table, run_policy, RunnerConfig,
     Scale,
 };
-use crowd_rl_core::{DdqnAgent, DdqnConfig, StateKind, StateTransformer};
+use crowd_rl_core::{DdqnAgent, DdqnConfig};
 use crowd_sim::{
-    perturb_worker_qualities, resample_arrivals, ArrivalContext, Dataset, Policy, TaskId,
+    perturb_worker_qualities, resample_arrivals, ArrivalContext, Dataset, Decision, Policy, TaskId,
     TaskSnapshot, WorkerId,
 };
 use crowd_tensor::Rng;
@@ -46,12 +46,18 @@ fn density_experiment(scale: Scale) {
         let mut cr_row = vec![format!("{rate:.1}")];
         let mut qg_row = vec![format!("{rate:.1}")];
         for mut policy in lineup(&dataset, Benefit::Worker, scale) {
-            eprintln!("density rate {rate}: running {} (worker) ...", policy.name());
+            eprintln!(
+                "density rate {rate}: running {} (worker) ...",
+                policy.name()
+            );
             let outcome = run_policy(&dataset, policy.as_mut(), &cfg);
             cr_row.push(f3(outcome.summary().cr));
         }
         for mut policy in lineup(&dataset, Benefit::Requester, scale) {
-            eprintln!("density rate {rate}: running {} (requester) ...", policy.name());
+            eprintln!(
+                "density rate {rate}: running {} (requester) ...",
+                policy.name()
+            );
             let outcome = run_policy(&dataset, policy.as_mut(), &cfg);
             qg_row.push(f1(outcome.summary().qg));
         }
@@ -59,8 +65,16 @@ fn density_experiment(scale: Scale) {
         qg_rows.push(qg_row);
     }
     let headers = ["rate", "Random", "Greedy CS", "LinUCB", "Greedy NN", "DDQN"];
-    print_table("Fig 10(a): CR vs worker-arrival sampling rate", &headers, &cr_rows);
-    print_table("Fig 10(b): QG vs worker-arrival sampling rate", &headers, &qg_rows);
+    print_table(
+        "Fig 10(a): CR vs worker-arrival sampling rate",
+        &headers,
+        &cr_rows,
+    );
+    print_table(
+        "Fig 10(b): QG vs worker-arrival sampling rate",
+        &headers,
+        &qg_rows,
+    );
 }
 
 fn quality_experiment(scale: Scale) {
@@ -73,7 +87,10 @@ fn quality_experiment(scale: Scale) {
         let dataset = perturb_worker_qualities(&base, mean, std, &mut rng);
         let mut row = vec![format!("N({mean:.1},{std:.1})")];
         for mut policy in lineup(&dataset, Benefit::Requester, scale) {
-            eprintln!("quality noise N({mean},{std}): running {} ...", policy.name());
+            eprintln!(
+                "quality noise N({mean},{std}): running {} ...",
+                policy.name()
+            );
             let outcome = run_policy(&dataset, policy.as_mut(), &cfg);
             row.push(f1(outcome.summary().qg));
         }
@@ -81,7 +98,14 @@ fn quality_experiment(scale: Scale) {
     }
     print_table(
         "Fig 10(c): QG vs worker-quality noise distribution",
-        &["noise", "Random", "Greedy CS", "LinUCB", "Greedy NN", "DDQN"],
+        &[
+            "noise",
+            "Random",
+            "Greedy CS",
+            "LinUCB",
+            "Greedy NN",
+            "DDQN",
+        ],
         &rows,
     );
 }
@@ -122,10 +146,11 @@ fn scalability_experiment() {
 
         // LinUCB: one observe with a completion.
         let mut linucb = LinUcb::new(Benefit::Worker, ListMode::RankAll, 0.5);
-        let action = linucb.act(&ctx);
-        let feedback = fake_feedback(&ctx, &action);
+        let mut decision = Decision::new();
+        linucb.act(&ctx.view(), &mut decision);
+        let feedback = fake_feedback(&ctx, &decision);
         let start = Instant::now();
-        linucb.observe(&ctx, &feedback);
+        linucb.observe(&ctx.view(), &feedback.view());
         let linucb_time = start.elapsed().as_secs_f64();
 
         // DDQN: one observe (transition construction + one learning step).
@@ -142,16 +167,15 @@ fn scalability_experiment() {
         .worker_only();
         let mut agent = DdqnAgent::new(config.clone(), feature_dim, feature_dim);
         // Pre-fill the replay memory so the timed observe includes a full learning step.
-        let tf = StateTransformer::new(StateKind::Worker, config.max_tasks, feature_dim, feature_dim);
-        let _ = &tf;
         for _ in 0..config.batch_size + 1 {
-            let warm_action = agent.act(&ctx);
-            agent.observe(&ctx, &fake_feedback(&ctx, &warm_action));
+            agent.act(&ctx.view(), &mut decision);
+            let warm_feedback = fake_feedback(&ctx, &decision);
+            agent.observe(&ctx.view(), &warm_feedback.view());
         }
-        let action = agent.act(&ctx);
-        let feedback = fake_feedback(&ctx, &action);
+        agent.act(&ctx.view(), &mut decision);
+        let feedback = fake_feedback(&ctx, &decision);
         let start = Instant::now();
-        agent.observe(&ctx, &feedback);
+        agent.observe(&ctx.view(), &feedback.view());
         let ddqn_time = start.elapsed().as_secs_f64();
 
         rows.push(vec![
@@ -168,8 +192,8 @@ fn scalability_experiment() {
     println!("\nExpected shape: both methods scale roughly linearly in the pool size (paper Fig. 10(d)); see also `cargo bench -p crowd-bench --bench update_latency`.");
 }
 
-fn fake_feedback(ctx: &ArrivalContext, action: &crowd_sim::Action) -> crowd_sim::PolicyFeedback {
-    let shown = action.shown_order();
+fn fake_feedback(ctx: &ArrivalContext, decision: &Decision) -> crowd_sim::PolicyFeedback {
+    let shown = decision.shown().to_vec();
     crowd_sim::PolicyFeedback {
         time: ctx.time,
         worker_id: ctx.worker_id,

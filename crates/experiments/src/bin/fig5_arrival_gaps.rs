@@ -19,7 +19,11 @@ fn main() {
         .enumerate()
         .map(|(i, &c)| vec![format!("{}-{}", i * 10, (i + 1) * 10), c.to_string()])
         .collect();
-    print_table("Fig 5(a): same-worker gap, 0-180 min", &["gap (min)", "# arrivals"], &rows);
+    print_table(
+        "Fig 5(a): same-worker gap, 0-180 min",
+        &["gap (min)", "# arrivals"],
+        &rows,
+    );
 
     // (b) same worker, 0-7 days, 1-day bins.
     let b = same_worker_gap_histogram(&dataset, 1440, 7 * 1440);
@@ -29,7 +33,11 @@ fn main() {
         .enumerate()
         .map(|(i, &c)| vec![format!("day {}-{}", i, i + 1), c.to_string()])
         .collect();
-    print_table("Fig 5(b): same-worker gap, 0-7 days", &["gap", "# arrivals"], &rows);
+    print_table(
+        "Fig 5(b): same-worker gap, 0-7 days",
+        &["gap", "# arrivals"],
+        &rows,
+    );
 
     // (c) consecutive arrivals (any worker), 0-210 minutes, 10-minute bins.
     let c = consecutive_arrival_gap_histogram(&dataset, 10, 210);

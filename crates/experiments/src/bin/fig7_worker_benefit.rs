@@ -25,7 +25,11 @@ fn main() {
 
     // Monthly cumulative curves (Fig. 7(a)-(c)).
     for (metric_idx, metric_name) in ["CR", "kCR", "nDCG-CR"].iter().enumerate() {
-        let months = outcomes.iter().map(|o| o.metrics.months()).max().unwrap_or(0);
+        let months = outcomes
+            .iter()
+            .map(|o| o.metrics.months())
+            .max()
+            .unwrap_or(0);
         let mut rows = Vec::new();
         for month in 0..months {
             let mut row = vec![format!("month {}", month + 1)];
@@ -38,7 +42,11 @@ fn main() {
         let mut headers = vec!["month"];
         let names: Vec<String> = outcomes.iter().map(|o| o.policy.clone()).collect();
         headers.extend(names.iter().map(|s| s.as_str()));
-        print_table(&format!("Fig 7: cumulative {metric_name} per month"), &headers, &rows);
+        print_table(
+            &format!("Fig 7: cumulative {metric_name} per month"),
+            &headers,
+            &rows,
+        );
     }
 
     // Final summary table.

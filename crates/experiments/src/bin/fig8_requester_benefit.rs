@@ -20,7 +20,11 @@ fn main() {
     }
 
     for (metric_idx, metric_name) in ["QG", "kQG", "nDCG-QG"].iter().enumerate() {
-        let months = outcomes.iter().map(|o| o.metrics.months()).max().unwrap_or(0);
+        let months = outcomes
+            .iter()
+            .map(|o| o.metrics.months())
+            .max()
+            .unwrap_or(0);
         let mut rows = Vec::new();
         for month in 0..months {
             let mut row = vec![format!("month {}", month + 1)];

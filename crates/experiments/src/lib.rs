@@ -2,7 +2,12 @@
 //! paper's evaluation protocol (Sec. VII-B1) and regenerates every figure and table of the
 //! evaluation section through the binaries in `src/bin/`.
 //!
-//! Protocol implemented by [`runner::run_policy`]:
+//! The replay loop is owned by the [`Session`] facade, which drives any policy against any
+//! [`crowd_sim::Env`] through the zero-copy view interface; [`SessionBatch`] steps `N`
+//! independent simulations in one call, and [`runner::run_policy`] is the one-shot
+//! convenience wrapper.
+//!
+//! Protocol implemented by [`Session`]:
 //!
 //! 1. the first month of the event stream is the initialisation window: every arrival is
 //!    served a random full-pool ranking, the resulting history initialises worker/task
@@ -16,9 +21,11 @@
 pub mod report;
 pub mod runner;
 pub mod scenarios;
+pub mod session;
 
 pub use report::{f1, f3, format_row, print_table};
 pub use runner::{run_policy, RunOutcome, RunnerConfig};
 pub use scenarios::{
     ddqn_config_for, ddqn_for, experiment_dataset, experiment_scale, policies_for_benefit, Scale,
 };
+pub use session::{run_policies_lockstep, Session, SessionBatch};

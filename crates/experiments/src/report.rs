@@ -22,7 +22,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");
     println!(
         "{}",
-        format_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(), width)
+        format_row(
+            &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+            width
+        )
     );
     for row in rows {
         println!("{}", format_row(row, width));

@@ -1,8 +1,14 @@
-//! The replay loop shared by every experiment.
+//! Runner configuration, per-run outcome, and the one-shot [`run_policy`] entry point.
+//!
+//! The replay loop itself lives in [`crate::session`]: `run_policy` builds a
+//! [`Session`](crate::Session) over a platform replay of the dataset, drives it to
+//! completion and returns the outcome. Use [`Session`](crate::Session) directly to step
+//! arrival-by-arrival, or [`SessionBatch`](crate::SessionBatch) to advance several
+//! simulations in lock-step.
 
+use crate::session::Session;
 use crowd_metrics::{MetricsAccumulator, MetricsSummary, UpdateTimer};
-use crowd_sim::{Action, ArrivalContext, Dataset, Platform, Policy, PolicyFeedback};
-use crowd_tensor::Rng;
+use crowd_sim::{Dataset, Policy};
 
 /// Runner parameters.
 #[derive(Debug, Clone)]
@@ -57,73 +63,15 @@ impl RunOutcome {
 
 /// Replays `dataset` against `policy` with the protocol described in the crate docs.
 pub fn run_policy(dataset: &Dataset, policy: &mut dyn Policy, config: &RunnerConfig) -> RunOutcome {
-    let features = Platform::default_feature_space(dataset);
-    let mut platform = Platform::new(dataset.clone(), features, config.platform_seed);
-    let mut warmup_rng = Rng::seed_from(config.warmup_seed);
-    let mut metrics = MetricsAccumulator::new(config.top_k);
-    let mut update_timer = UpdateTimer::new();
-    let mut act_timer = UpdateTimer::new();
-    let mut warmup_history: Vec<(ArrivalContext, PolicyFeedback)> = Vec::new();
-    let mut warm_started = config.warmup_months == 0;
-    let mut current_day: Option<usize> = None;
-    let mut evaluated_arrivals = 0usize;
-
-    while let Some(arrival) = platform.next_arrival() {
-        let ctx = arrival.context;
-        let month = Dataset::month_of(ctx.time);
-        let day = Dataset::day_of(ctx.time);
-
-        // End-of-day hook (supervised retraining) counts as model update time.
-        if warm_started {
-            if let Some(prev_day) = current_day {
-                if day != prev_day {
-                    update_timer.time(|| policy.end_of_day(prev_day));
-                }
-            }
-        }
-        current_day = Some(day);
-
-        if month < config.warmup_months {
-            // Initialisation window: random full-pool ranking, identical for every policy.
-            if ctx.available.is_empty() {
-                continue;
-            }
-            let mut order: Vec<_> = ctx.available.iter().map(|t| t.id).collect();
-            warmup_rng.shuffle(&mut order);
-            let feedback = platform.apply(&ctx, &Action::Rank(order));
-            warmup_history.push((ctx, feedback));
-            continue;
-        }
-
-        if !warm_started {
-            policy.warm_start(&warmup_history);
-            warm_started = true;
-        }
-
-        if ctx.available.is_empty() {
-            continue;
-        }
-        let action = act_timer.time(|| policy.act(&ctx));
-        let feedback = platform.apply(&ctx, &action);
-        metrics.record(month - config.warmup_months, &feedback);
-        evaluated_arrivals += 1;
-        update_timer.time(|| policy.observe(&ctx, &feedback));
-    }
-
-    RunOutcome {
-        policy: policy.name().to_string(),
-        metrics,
-        update_timer,
-        act_timer,
-        final_total_quality: platform.total_task_quality(),
-        total_completions: platform.total_completions(),
-        evaluated_arrivals,
-    }
+    let mut session = Session::for_dataset(dataset, config);
+    session.run(policy);
+    session.finish(policy.name())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::{run_policies_lockstep, Session, SessionBatch};
     use crowd_baselines::{Benefit, GreedyCosine, ListMode, RandomPolicy};
     use crowd_sim::SimConfig;
 
@@ -140,7 +88,10 @@ mod tests {
         assert!(outcome.total_completions > 0);
         // Update timer recorded one entry per evaluated arrival plus daily retraining hooks.
         assert!(outcome.update_timer.count() as usize >= outcome.evaluated_arrivals);
-        assert_eq!(outcome.act_timer.count() as usize, outcome.evaluated_arrivals);
+        assert_eq!(
+            outcome.act_timer.count() as usize,
+            outcome.evaluated_arrivals
+        );
     }
 
     #[test]
@@ -171,5 +122,81 @@ mod tests {
             cosine_out.summary().ndcg_cr,
             random_out.summary().ndcg_cr
         );
+    }
+
+    #[test]
+    fn stepped_session_matches_one_shot_run() {
+        let dataset = SimConfig::tiny().generate();
+        let cfg = RunnerConfig::default();
+        let mut one_shot = GreedyCosine::new(Benefit::Worker, ListMode::RankAll);
+        let expected = run_policy(&dataset, &mut one_shot, &cfg);
+
+        let mut stepped_policy = GreedyCosine::new(Benefit::Worker, ListMode::RankAll);
+        let mut session = Session::for_dataset(&dataset, &cfg);
+        let mut steps = 0;
+        while session.step(&mut stepped_policy) {
+            steps += 1;
+        }
+        assert!(session.is_done());
+        let outcome = session.finish(stepped_policy.name());
+        assert_eq!(steps, expected.evaluated_arrivals);
+        assert_eq!(outcome.summary(), expected.summary());
+        assert_eq!(outcome.total_completions, expected.total_completions);
+    }
+
+    #[test]
+    fn partially_stepped_session_finish_commits_staged_effects() {
+        let dataset = SimConfig::tiny().generate();
+        let cfg = RunnerConfig::default();
+        let mut policy = GreedyCosine::new(Benefit::Worker, ListMode::RankAll);
+        let mut session = Session::for_dataset(&dataset, &cfg);
+        // Step until an evaluated arrival completes a task; that completion is still staged
+        // (it commits only on the next next_arrival), so the committed counter excludes it.
+        while session.step(&mut policy) {
+            if session.metrics().summary().ndcg_cr > 0.0 {
+                break;
+            }
+        }
+        assert!(
+            !session.is_done(),
+            "tiny dataset should complete something early"
+        );
+        let committed_before_finish = session.env().total_completions();
+        let outcome = session.finish(policy.name());
+        assert!(
+            outcome.total_completions > committed_before_finish,
+            "finish() must flush the staged completion ({} vs {})",
+            outcome.total_completions,
+            committed_before_finish
+        );
+    }
+
+    #[test]
+    fn session_batch_matches_individual_runs() {
+        let dataset = SimConfig::tiny().generate();
+        let cfg = RunnerConfig::default();
+
+        let mut solo_random = RandomPolicy::new(ListMode::RankAll, 5);
+        let solo_random_out = run_policy(&dataset, &mut solo_random, &cfg);
+        let mut solo_cosine = GreedyCosine::new(Benefit::Worker, ListMode::RankAll);
+        let solo_cosine_out = run_policy(&dataset, &mut solo_cosine, &cfg);
+
+        let policies: Vec<Box<dyn crowd_sim::Policy>> = vec![
+            Box::new(RandomPolicy::new(ListMode::RankAll, 5)),
+            Box::new(GreedyCosine::new(Benefit::Worker, ListMode::RankAll)),
+        ];
+        let outcomes = run_policies_lockstep(&dataset, policies, &cfg);
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].summary(), solo_random_out.summary());
+        assert_eq!(outcomes[1].summary(), solo_cosine_out.summary());
+    }
+
+    #[test]
+    fn empty_session_batch_is_a_noop() {
+        let mut batch: SessionBatch = SessionBatch::new();
+        assert!(batch.is_empty());
+        assert_eq!(batch.len(), 0);
+        assert_eq!(batch.step_all(&mut []), 0);
+        assert!(batch.finish(&[]).is_empty());
     }
 }

@@ -19,7 +19,11 @@ impl Scale {
     /// Parses the `CROWD_SCALE` environment variable (`tiny` / `small` / `replica`),
     /// defaulting to [`Scale::Small`].
     pub fn from_env() -> Scale {
-        match std::env::var("CROWD_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("CROWD_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "tiny" => Scale::Tiny,
             "replica" | "full" => Scale::Replica,
             _ => Scale::Small,
@@ -123,7 +127,14 @@ mod tests {
         let names: Vec<&str> = policies.iter().map(|p| p.name()).collect();
         assert_eq!(
             names,
-            vec!["Random", "Taskrec", "Greedy CS", "Greedy NN", "LinUCB", "DDQN(w)"]
+            vec![
+                "Random",
+                "Taskrec",
+                "Greedy CS",
+                "Greedy NN",
+                "LinUCB",
+                "DDQN(w)"
+            ]
         );
     }
 
@@ -134,7 +145,13 @@ mod tests {
         let names: Vec<&str> = policies.iter().map(|p| p.name()).collect();
         assert_eq!(
             names,
-            vec!["Random", "Greedy CS (r)", "Greedy NN (r)", "LinUCB (r)", "DDQN(r)"]
+            vec![
+                "Random",
+                "Greedy CS (r)",
+                "Greedy NN (r)",
+                "LinUCB (r)",
+                "DDQN(r)"
+            ]
         );
     }
 

@@ -1,0 +1,278 @@
+//! The [`Session`] facade: owns the replay loop of the paper's evaluation protocol and
+//! drives any [`Policy`] against any [`Env`] through the zero-copy view interface, one
+//! simulation at a time or `N` of them in lock-step ([`SessionBatch`]).
+//!
+//! A session advances one worker arrival per [`Session::step`]:
+//!
+//! 1. arrivals inside the warm-up window are served a random full-pool ranking (identical
+//!    for every policy) and recorded into the warm-start history;
+//! 2. on the first post-warm-up arrival the policy receives the history via
+//!    [`Policy::warm_start`];
+//! 3. evaluated arrivals run the hot loop `Env::next_arrival` → `Policy::act` →
+//!    `Env::apply` → `Policy::observe` with a reusable [`Decision`] buffer and borrowed
+//!    views — no per-arrival clones of task or worker feature vectors;
+//! 4. decision time and model-update time are timed separately (Table I), and the metric
+//!    accumulator records every evaluated feedback.
+//!
+//! [`SessionBatch`] steps many independent sessions in one call — the precondition for
+//! batching Q-network inference across simulations later on the roadmap.
+
+use crate::runner::{RunOutcome, RunnerConfig};
+use crowd_metrics::{MetricsAccumulator, UpdateTimer};
+use crowd_sim::{ArrivalContext, Dataset, Decision, Env, Platform, Policy, PolicyFeedback, TaskId};
+use crowd_tensor::Rng;
+
+/// One replay of a dataset against one policy, steppable one arrival at a time.
+#[derive(Debug)]
+pub struct Session<E: Env = Platform> {
+    env: E,
+    config: RunnerConfig,
+    decision: Decision,
+    metrics: MetricsAccumulator,
+    update_timer: UpdateTimer,
+    act_timer: UpdateTimer,
+    warmup_rng: Rng,
+    warmup_order: Vec<TaskId>,
+    warmup_history: Vec<(ArrivalContext, PolicyFeedback)>,
+    warm_started: bool,
+    current_day: Option<usize>,
+    evaluated_arrivals: usize,
+    done: bool,
+}
+
+impl Session<Platform> {
+    /// Builds a session over a [`Platform`] replay of `dataset` with the default feature
+    /// space — the standard experiment setup.
+    pub fn for_dataset(dataset: &Dataset, config: &RunnerConfig) -> Self {
+        let features = Platform::default_feature_space(dataset);
+        let platform = Platform::new(dataset.clone(), features, config.platform_seed);
+        Session::new(platform, config)
+    }
+}
+
+impl<E: Env> Session<E> {
+    /// Wraps an environment in a fresh session.
+    pub fn new(env: E, config: &RunnerConfig) -> Self {
+        Session {
+            env,
+            config: config.clone(),
+            decision: Decision::new(),
+            metrics: MetricsAccumulator::new(config.top_k),
+            update_timer: UpdateTimer::new(),
+            act_timer: UpdateTimer::new(),
+            warmup_rng: Rng::seed_from(config.warmup_seed),
+            warmup_order: Vec::new(),
+            warmup_history: Vec::new(),
+            warm_started: config.warmup_months == 0,
+            current_day: None,
+            evaluated_arrivals: 0,
+            done: false,
+        }
+    }
+
+    /// The wrapped environment.
+    pub fn env(&self) -> &E {
+        &self.env
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &MetricsAccumulator {
+        &self.metrics
+    }
+
+    /// Number of evaluated (post-warm-up) arrivals so far.
+    pub fn evaluated_arrivals(&self) -> usize {
+        self.evaluated_arrivals
+    }
+
+    /// True once the event stream is exhausted.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Advances the replay by one *evaluated* arrival (warm-up arrivals are consumed
+    /// internally). Returns `false` once the event stream is exhausted.
+    pub fn step(&mut self, policy: &mut (impl Policy + ?Sized)) -> bool {
+        if self.done {
+            return false;
+        }
+        loop {
+            if !self.env.next_arrival() {
+                self.done = true;
+                return false;
+            }
+            let (time, empty) = {
+                let view = self.env.arrival();
+                (view.time, view.is_empty())
+            };
+            let month = Dataset::month_of(time);
+            let day = Dataset::day_of(time);
+
+            // End-of-day hook (supervised retraining) counts as model update time.
+            if self.warm_started {
+                if let Some(prev_day) = self.current_day {
+                    if day != prev_day {
+                        self.update_timer.time(|| policy.end_of_day(prev_day));
+                    }
+                }
+            }
+            self.current_day = Some(day);
+
+            if month < self.config.warmup_months {
+                // Initialisation window: random full-pool ranking, identical for every
+                // policy.
+                if empty {
+                    continue;
+                }
+                self.decision.clear();
+                {
+                    let view = self.env.arrival();
+                    self.warmup_order.clear();
+                    self.warmup_order
+                        .extend((0..view.n_tasks()).map(|i| view.task_id(i)));
+                }
+                self.warmup_rng.shuffle(&mut self.warmup_order);
+                self.decision.extend(self.warmup_order.iter().copied());
+                self.env.apply(&self.decision);
+                // Owned history records are gathered only here, outside the hot loop.
+                let context = self.env.arrival().to_context();
+                let feedback = self.env.feedback().to_feedback();
+                self.warmup_history.push((context, feedback));
+                continue;
+            }
+
+            if !self.warm_started {
+                policy.warm_start(&self.warmup_history);
+                self.warm_started = true;
+            }
+
+            if empty {
+                continue;
+            }
+
+            // The Policy contract promises an empty buffer on entry to `act`.
+            self.decision.clear();
+            {
+                let view = self.env.arrival();
+                let decision = &mut self.decision;
+                self.act_timer.time(|| policy.act(&view, decision));
+            }
+            self.env.apply(&self.decision);
+            {
+                let view = self.env.arrival();
+                let feedback = self.env.feedback();
+                self.metrics
+                    .record(month - self.config.warmup_months, &feedback);
+                self.update_timer.time(|| policy.observe(&view, &feedback));
+            }
+            self.evaluated_arrivals += 1;
+            return true;
+        }
+    }
+
+    /// Runs the session to completion; returns the number of evaluated arrivals.
+    pub fn run(&mut self, policy: &mut (impl Policy + ?Sized)) -> usize {
+        while self.step(policy) {}
+        self.evaluated_arrivals
+    }
+
+    /// Consumes the session into the final [`RunOutcome`].
+    pub fn finish(mut self, policy_name: &str) -> RunOutcome {
+        // A partially-stepped session may still hold staged effects from its last apply;
+        // flush them so the reported totals include the final arrival's completion.
+        self.env.flush();
+        RunOutcome {
+            policy: policy_name.to_string(),
+            metrics: self.metrics,
+            update_timer: self.update_timer,
+            act_timer: self.act_timer,
+            final_total_quality: self.env.total_task_quality(),
+            total_completions: self.env.total_completions(),
+            evaluated_arrivals: self.evaluated_arrivals,
+        }
+    }
+}
+
+/// `N` independent sessions stepped in lock-step — one call advances every live simulation
+/// by one evaluated arrival (the vectorized-env shape that batched Q-network inference
+/// plugs into).
+#[derive(Debug, Default)]
+pub struct SessionBatch<E: Env = Platform> {
+    sessions: Vec<Session<E>>,
+}
+
+impl<E: Env> SessionBatch<E> {
+    /// An empty batch.
+    pub fn new() -> Self {
+        SessionBatch {
+            sessions: Vec::new(),
+        }
+    }
+
+    /// Adds a session to the batch.
+    pub fn push(&mut self, session: Session<E>) {
+        self.sessions.push(session);
+    }
+
+    /// Number of sessions in the batch.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when the batch holds no session.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// The sessions, in insertion order.
+    pub fn sessions(&self) -> &[Session<E>] {
+        &self.sessions
+    }
+
+    /// Steps every live session once against its paired policy; returns how many sessions
+    /// are still live. `policies` must align with the sessions by index.
+    pub fn step_all(&mut self, policies: &mut [Box<dyn Policy>]) -> usize {
+        assert_eq!(
+            self.sessions.len(),
+            policies.len(),
+            "one policy per session required"
+        );
+        let mut live = 0;
+        for (session, policy) in self.sessions.iter_mut().zip(policies.iter_mut()) {
+            if session.step(policy.as_mut()) {
+                live += 1;
+            }
+        }
+        live
+    }
+
+    /// Steps until every session is exhausted.
+    pub fn run_all(&mut self, policies: &mut [Box<dyn Policy>]) {
+        while self.step_all(policies) > 0 {}
+    }
+
+    /// Consumes the batch into one [`RunOutcome`] per session.
+    pub fn finish(self, policies: &[Box<dyn Policy>]) -> Vec<RunOutcome> {
+        assert_eq!(self.sessions.len(), policies.len());
+        self.sessions
+            .into_iter()
+            .zip(policies.iter())
+            .map(|(session, policy)| session.finish(policy.name()))
+            .collect()
+    }
+}
+
+/// Runs several policies over the same dataset in lock-step (each against its own
+/// deterministic platform replay) and returns their outcomes in order.
+pub fn run_policies_lockstep(
+    dataset: &Dataset,
+    mut policies: Vec<Box<dyn Policy>>,
+    config: &RunnerConfig,
+) -> Vec<RunOutcome> {
+    let mut batch = SessionBatch::new();
+    for _ in 0..policies.len() {
+        batch.push(Session::for_dataset(dataset, config));
+    }
+    batch.run_all(&mut policies);
+    batch.finish(&policies)
+}

@@ -16,7 +16,7 @@ pub mod timing;
 
 pub use timing::UpdateTimer;
 
-use crowd_sim::PolicyFeedback;
+use crowd_sim::FeedbackView;
 
 /// Discount applied to a completion at 0-based `position` in a ranked list:
 /// `1 / log2(1 + r)` with `r` the 1-based rank, as in the paper's nDCG definitions.
@@ -64,8 +64,10 @@ impl MetricsAccumulator {
     }
 
     /// Records one arrival's feedback. `month` is the evaluation month index (0-based,
-    /// relative to the start of the evaluation window).
-    pub fn record(&mut self, month: usize, feedback: &PolicyFeedback) {
+    /// relative to the start of the evaluation window). Takes the borrowed view so the hot
+    /// loop records metrics without materialising owned feedback; owned records can be
+    /// passed via [`crowd_sim::PolicyFeedback::view`].
+    pub fn record(&mut self, month: usize, feedback: &FeedbackView<'_>) {
         let single = feedback.shown.len() <= 1;
         let (completed, position) = match feedback.completed {
             Some((_, pos)) => (true, pos),
@@ -83,7 +85,7 @@ impl MetricsAccumulator {
     fn filtered(&self, month: Option<usize>) -> impl Iterator<Item = &Sample> {
         self.samples
             .iter()
-            .filter(move |s| month.map_or(true, |m| s.month == m))
+            .filter(move |s| month.is_none_or(|m| s.month == m))
     }
 
     /// Completion rate (Eq. 8): completions divided by arrivals. For single assignments a
@@ -232,7 +234,7 @@ pub struct MetricsSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crowd_sim::{TaskId, WorkerId};
+    use crowd_sim::{PolicyFeedback, TaskId, WorkerId};
 
     fn feedback(shown: usize, completed_at: Option<usize>, gain: f32) -> PolicyFeedback {
         let shown_ids: Vec<TaskId> = (0..shown as u32).map(TaskId).collect();
@@ -259,10 +261,10 @@ mod tests {
     #[test]
     fn single_assignment_cr_and_qg() {
         let mut m = MetricsAccumulator::new(5);
-        m.record(0, &feedback(1, Some(0), 0.4));
-        m.record(0, &feedback(1, None, 0.0));
-        m.record(0, &feedback(1, Some(0), 0.6));
-        m.record(0, &feedback(1, None, 0.0));
+        m.record(0, &feedback(1, Some(0), 0.4).view());
+        m.record(0, &feedback(1, None, 0.0).view());
+        m.record(0, &feedback(1, Some(0), 0.6).view());
+        m.record(0, &feedback(1, None, 0.0).view());
         assert!((m.completion_rate(None) - 0.5).abs() < 1e-6);
         assert!((m.quality_gain(None) - 1.0).abs() < 1e-6);
         assert_eq!(m.timestamps(), 4);
@@ -271,9 +273,9 @@ mod tests {
     #[test]
     fn list_measures_discount_by_position() {
         let mut m = MetricsAccumulator::new(2);
-        m.record(0, &feedback(10, Some(0), 1.0)); // full credit
-        m.record(0, &feedback(10, Some(3), 1.0)); // outside top-2, still counts for nDCG
-        m.record(0, &feedback(10, None, 0.0));
+        m.record(0, &feedback(10, Some(0), 1.0).view()); // full credit
+        m.record(0, &feedback(10, Some(3), 1.0).view()); // outside top-2, still counts for nDCG
+        m.record(0, &feedback(10, None, 0.0).view());
         // CR counts only rank-0 completions for lists.
         assert!((m.completion_rate(None) - 1.0 / 3.0).abs() < 1e-6);
         // kCR with k=2: only the first completion counts, discounted by 1.0.
@@ -289,9 +291,9 @@ mod tests {
     #[test]
     fn per_month_and_cumulative_breakdowns() {
         let mut m = MetricsAccumulator::new(3);
-        m.record(0, &feedback(1, Some(0), 1.0));
-        m.record(0, &feedback(1, None, 0.0));
-        m.record(1, &feedback(1, Some(0), 2.0));
+        m.record(0, &feedback(1, Some(0), 1.0).view());
+        m.record(0, &feedback(1, None, 0.0).view());
+        m.record(1, &feedback(1, Some(0), 2.0).view());
         assert_eq!(m.months(), 2);
         assert!((m.completion_rate(Some(0)) - 0.5).abs() < 1e-6);
         assert!((m.completion_rate(Some(1)) - 1.0).abs() < 1e-6);
@@ -318,7 +320,10 @@ mod tests {
     fn summary_matches_individual_measures() {
         let mut m = MetricsAccumulator::new(4);
         for i in 0..10 {
-            m.record(i % 3, &feedback(6, if i % 2 == 0 { Some(i % 4) } else { None }, 0.3));
+            m.record(
+                i % 3,
+                &feedback(6, if i % 2 == 0 { Some(i % 4) } else { None }, 0.3).view(),
+            );
         }
         let s = m.summary();
         assert!((s.cr - m.completion_rate(None)).abs() < 1e-6);

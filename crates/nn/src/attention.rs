@@ -157,7 +157,8 @@ impl MultiHeadSelfAttention {
                 Some(prev) => prev.concat_cols(&head_out)?,
             });
         }
-        self.output.infer(store, &concat.expect("at least one head"))
+        self.output
+            .infer(store, &concat.expect("at least one head"))
     }
 }
 
@@ -166,7 +167,11 @@ mod tests {
     use super::*;
     use crowd_autograd::Graph;
 
-    fn setup(model_dim: usize, heads: usize, seed: u64) -> (ParamStore, MultiHeadSelfAttention, Rng) {
+    fn setup(
+        model_dim: usize,
+        heads: usize,
+        seed: u64,
+    ) -> (ParamStore, MultiHeadSelfAttention, Rng) {
         let mut rng = Rng::seed_from(seed);
         let mut store = ParamStore::new();
         let attn = MultiHeadSelfAttention::new(&mut store, "attn", model_dim, heads, &mut rng);
@@ -249,7 +254,9 @@ mod tests {
         let mut g = Graph::new();
         let mut binding = GraphBinding::new();
         let xv = g.constant(x);
-        let y = attn.forward(&mut g, &store, &mut binding, xv, None).unwrap();
+        let y = attn
+            .forward(&mut g, &store, &mut binding, xv, None)
+            .unwrap();
         let loss = g.squared_sum(y);
         g.backward(loss).unwrap();
         let grads = binding.gradients(&g);

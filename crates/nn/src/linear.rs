@@ -1,5 +1,6 @@
 //! Fully-connected layers: plain [`Linear`] and the paper's row-wise feed-forward
-//! [`RowwiseFF`] (`rFF(X) = relu(XW + b)`, Fig. 3).
+//! [`RowwiseFF`] (`rFF(X) = relu(XW + b)`, Fig. 3, implemented with a small leaky slope so
+//! units cannot die under the DQN's bootstrapped targets).
 
 use crate::param::{GraphBinding, ParamId, ParamStore};
 use crate::Result;
@@ -28,7 +29,10 @@ impl Linear {
         out_dim: usize,
         rng: &mut Rng,
     ) -> Self {
-        let weight = store.register(format!("{name}.weight"), Matrix::xavier(in_dim, out_dim, rng));
+        let weight = store.register(
+            format!("{name}.weight"),
+            Matrix::xavier(in_dim, out_dim, rng),
+        );
         let bias = store.register(format!("{name}.bias"), Matrix::zeros(1, out_dim));
         Linear {
             weight,
@@ -71,7 +75,15 @@ impl Linear {
     }
 }
 
-/// The paper's row-wise feed-forward block: `rFF(X) = relu(X W + b)`.
+/// Negative-side slope of the leaky rectifier used by [`RowwiseFF`].
+///
+/// A plain ReLU lets the DQN's large bootstrapped TD targets kill first-layer units
+/// outright (both inputs of a pair land in the flat region and the Q function collapses to
+/// a row-independent constant — observed in `crowd-rl-core`'s learner tests); the small
+/// leak keeps a gradient path open without noticeably changing the forward pass.
+pub const LEAKY_SLOPE: f32 = 0.01;
+
+/// The paper's row-wise feed-forward block: `rFF(X) = relu(X W + b)` (leaky variant).
 #[derive(Debug, Clone)]
 pub struct RowwiseFF {
     linear: Linear,
@@ -101,7 +113,8 @@ impl RowwiseFF {
         self.linear.out_dim()
     }
 
-    /// Applies `relu(XW + b)` on the tape.
+    /// Applies `leaky_relu(XW + b)` on the tape, composed from primitive ops:
+    /// `leaky(z) = relu(z) - slope * relu(-z)`.
     pub fn forward(
         &self,
         graph: &mut Graph,
@@ -110,12 +123,19 @@ impl RowwiseFF {
         x: VarId,
     ) -> Result<VarId> {
         let affine = self.linear.forward(graph, store, binding, x)?;
-        Ok(graph.relu(affine))
+        let pos = graph.relu(affine);
+        let negated = graph.scale(affine, -1.0);
+        let neg = graph.relu(negated);
+        let leak = graph.scale(neg, LEAKY_SLOPE);
+        graph.sub(pos, leak)
     }
 
     /// Gradient-free forward pass.
     pub fn infer(&self, store: &ParamStore, x: &Matrix) -> Result<Matrix> {
-        Ok(self.linear.infer(store, x)?.relu())
+        Ok(self
+            .linear
+            .infer(store, x)?
+            .map(|v| if v > 0.0 { v } else { LEAKY_SLOPE * v }))
     }
 }
 
@@ -147,14 +167,27 @@ mod tests {
     }
 
     #[test]
-    fn rowwise_ff_is_nonnegative() {
+    fn rowwise_ff_is_a_leaky_rectifier() {
         let mut rng = Rng::seed_from(1);
         let mut store = ParamStore::new();
         let ff = RowwiseFF::new(&mut store, "ff", 4, 6, &mut rng);
         let x = Matrix::randn(3, 4, &mut rng);
         let out = ff.infer(&store, &x).unwrap();
         assert_eq!(out.shape(), (3, 6));
-        assert!(out.as_slice().iter().all(|&v| v >= 0.0));
+        // Negative side is attenuated by the leaky slope, so outputs hug zero from below.
+        let pre = ff.linear.infer(&store, &x).unwrap();
+        for (&z, &v) in pre.as_slice().iter().zip(out.as_slice()) {
+            let expected = if z > 0.0 { z } else { LEAKY_SLOPE * z };
+            assert!((v - expected).abs() < 1e-6);
+        }
+        // Tape forward agrees with inference (covers the composite leaky construction).
+        let mut g = crowd_autograd::Graph::new();
+        let mut binding = GraphBinding::new();
+        let xv = g.constant(x.clone());
+        let y = ff.forward(&mut g, &store, &mut binding, xv).unwrap();
+        for (a, b) in g.value(y).as_slice().iter().zip(out.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
     }
 
     #[test]

@@ -30,7 +30,13 @@ impl Mlp {
         let mut hidden = Vec::with_capacity(hidden_dims.len());
         let mut prev = input_dim;
         for (i, &width) in hidden_dims.iter().enumerate() {
-            hidden.push(RowwiseFF::new(&mut store, &format!("hidden{i}"), prev, width, rng));
+            hidden.push(RowwiseFF::new(
+                &mut store,
+                &format!("hidden{i}"),
+                prev,
+                width,
+                rng,
+            ));
             prev = width;
         }
         let head = Linear::new(&mut store, "head", prev, 1, rng);
@@ -153,11 +159,11 @@ mod tests {
         let x_test = Matrix::rand_uniform(64, 3, -1.0, 1.0, &mut rng);
         let preds = mlp.predict(&x_test).unwrap();
         let mut mse = 0.0;
-        for i in 0..64 {
+        for (i, pred) in preds.iter().enumerate() {
             let truth = 2.0 * x_test.get(i, 0) - x_test.get(i, 1) + 0.5 * x_test.get(i, 2);
-            mse += (preds[i] - truth).powi(2);
+            mse += (pred - truth).powi(2);
         }
-        mse /= 64.0;
+        mse /= preds.len() as f32;
         assert!(mse < 0.1, "test mse {mse}");
     }
 
@@ -170,7 +176,13 @@ mod tests {
         let n = 300;
         let x = Matrix::rand_uniform(n, 2, -1.0, 1.0, &mut rng);
         let y: Vec<f32> = (0..n)
-            .map(|i| if x.get(i, 0) > 0.0 && x.get(i, 1) > 0.0 { 1.0 } else { 0.0 })
+            .map(|i| {
+                if x.get(i, 0) > 0.0 && x.get(i, 1) > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
         mlp.fit(&x, &y, 80, 32, &mut rng).unwrap();
         let both_pos = mlp

@@ -218,7 +218,11 @@ mod tests {
             let g = quadratic_grad(&store, id);
             opt.step(&mut store, &[(id, g)]).unwrap();
         }
-        assert!(store.get(id).as_slice().iter().all(|v| (v - 3.0).abs() < 1e-3));
+        assert!(store
+            .get(id)
+            .as_slice()
+            .iter()
+            .all(|v| (v - 3.0).abs() < 1e-3));
     }
 
     #[test]
@@ -230,7 +234,11 @@ mod tests {
             let g = quadratic_grad(&store, id);
             opt.step(&mut store, &[(id, g)]).unwrap();
         }
-        assert!(store.get(id).as_slice().iter().all(|v| (v - 3.0).abs() < 1e-2));
+        assert!(store
+            .get(id)
+            .as_slice()
+            .iter()
+            .all(|v| (v - 3.0).abs() < 1e-2));
     }
 
     #[test]
@@ -243,7 +251,11 @@ mod tests {
             opt.step(&mut store, &[(id, g)]).unwrap();
         }
         assert_eq!(opt.steps(), 500);
-        assert!(store.get(id).as_slice().iter().all(|v| (v - 3.0).abs() < 1e-2));
+        assert!(store
+            .get(id)
+            .as_slice()
+            .iter()
+            .all(|v| (v - 3.0).abs() < 1e-2));
     }
 
     #[test]

@@ -171,13 +171,10 @@ impl GraphBinding {
         self.bound
             .iter()
             .map(|&(pid, vid)| {
-                let grad = graph
-                    .grad(vid)
-                    .cloned()
-                    .unwrap_or_else(|| {
-                        let v = graph.value(vid);
-                        Matrix::zeros(v.rows(), v.cols())
-                    });
+                let grad = graph.grad(vid).cloned().unwrap_or_else(|| {
+                    let v = graph.value(vid);
+                    Matrix::zeros(v.rows(), v.cols())
+                });
                 (pid, grad)
             })
             .collect()

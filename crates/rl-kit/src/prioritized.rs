@@ -208,7 +208,9 @@ mod tests {
 
     #[test]
     fn weights_are_normalised_and_smaller_for_likelier_items() {
-        let mut buf = PrioritizedReplay::new(4).with_alpha(1.0).with_beta(1.0, 0.0);
+        let mut buf = PrioritizedReplay::new(4)
+            .with_alpha(1.0)
+            .with_beta(1.0, 0.0);
         for i in 0..4 {
             buf.push(i);
         }
@@ -218,11 +220,16 @@ mod tests {
         buf.update_priority(3, 0.1);
         let mut rng = Rng::seed_from(2);
         let samples = buf.sample(200, &mut rng);
-        assert!(samples.iter().all(|s| s.weight <= 1.0 + 1e-6 && s.weight > 0.0));
+        assert!(samples
+            .iter()
+            .all(|s| s.weight <= 1.0 + 1e-6 && s.weight > 0.0));
         let w_high = samples.iter().find(|s| s.index == 0).map(|s| s.weight);
         let w_low = samples.iter().find(|s| s.index != 0).map(|s| s.weight);
         if let (Some(h), Some(l)) = (w_high, w_low) {
-            assert!(h < l, "high-priority weight {h} should be below low-priority {l}");
+            assert!(
+                h < l,
+                "high-priority weight {h} should be below low-priority {l}"
+            );
         }
     }
 

@@ -4,7 +4,6 @@
 use crate::error::TensorError;
 use crate::random::Rng;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// A dense, row-major matrix of `f32` values.
 ///
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// (`[maxT, feature_dim]` state matrices, `[n, d]` weight matrices), so a single 2-D type with
 /// explicit shapes keeps the autograd layer simple. Vectors are represented as `1 x n` or
 /// `n x 1` matrices.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,

@@ -330,7 +330,9 @@ impl Matrix {
         self.as_slice()
             .iter()
             .cloned()
-            .fold(None, |acc: Option<f32>, v| Some(acc.map_or(v, |a| a.max(v))))
+            .fold(None, |acc: Option<f32>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
             .ok_or(TensorError::EmptyInput { op: "max" })
     }
 
@@ -572,77 +574,109 @@ mod tests {
     }
 }
 
+// Seeded randomised property tests. The original version used `proptest`, which is not
+// available in the offline build environment; these sweeps keep the same property coverage
+// with the workspace's own deterministic Rng.
 #[cfg(test)]
 mod proptests {
     use crate::matrix::Matrix;
-    use proptest::prelude::*;
+    use crate::random::Rng;
 
-    fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
-        (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-            proptest::collection::vec(-10.0f32..10.0, r * c)
-                .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
-        })
+    const CASES: usize = 64;
+
+    fn random_matrix(max_dim: usize, rng: &mut Rng) -> Matrix {
+        let r = rng.range(1, max_dim + 1);
+        let c = rng.range(1, max_dim + 1);
+        let data: Vec<f32> = (0..r * c).map(|_| rng.uniform(-10.0, 10.0)).collect();
+        Matrix::from_vec(r, c, data).unwrap()
     }
 
-    proptest! {
-        #[test]
-        fn transpose_is_involution(m in arb_matrix(8)) {
-            prop_assert_eq!(m.transpose().transpose(), m);
+    #[test]
+    fn transpose_is_involution() {
+        let mut rng = Rng::seed_from(101);
+        for _ in 0..CASES {
+            let m = random_matrix(8, &mut rng);
+            assert_eq!(m.transpose().transpose(), m);
         }
+    }
 
-        #[test]
-        fn add_is_commutative(m in arb_matrix(6)) {
+    #[test]
+    fn add_is_commutative() {
+        let mut rng = Rng::seed_from(102);
+        for _ in 0..CASES {
+            let m = random_matrix(6, &mut rng);
             let other = m.scale(0.5);
-            prop_assert_eq!(m.add(&other).unwrap(), other.add(&m).unwrap());
+            assert_eq!(m.add(&other).unwrap(), other.add(&m).unwrap());
         }
+    }
 
-        #[test]
-        fn scale_distributes_over_add(m in arb_matrix(6), alpha in -3.0f32..3.0) {
+    #[test]
+    fn scale_distributes_over_add() {
+        let mut rng = Rng::seed_from(103);
+        for _ in 0..CASES {
+            let m = random_matrix(6, &mut rng);
+            let alpha = rng.uniform(-3.0, 3.0);
             let other = m.map(|v| v - 1.0);
             let lhs = m.add(&other).unwrap().scale(alpha);
             let rhs = m.scale(alpha).add(&other.scale(alpha)).unwrap();
             for (a, b) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-                prop_assert!((a - b).abs() < 1e-3);
+                assert!((a - b).abs() < 1e-3);
             }
         }
+    }
 
-        #[test]
-        fn softmax_rows_are_probabilities(m in arb_matrix(7)) {
+    #[test]
+    fn softmax_rows_are_probabilities() {
+        let mut rng = Rng::seed_from(104);
+        for _ in 0..CASES {
+            let m = random_matrix(7, &mut rng);
             let s = m.softmax_rows();
             for r in 0..s.rows() {
                 let sum: f32 = s.row(r).iter().sum();
-                prop_assert!((sum - 1.0).abs() < 1e-4);
-                prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+                assert!((sum - 1.0).abs() < 1e-4);
+                assert!(s.row(r).iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
             }
         }
+    }
 
-        #[test]
-        fn matmul_associativity(a in arb_matrix(5)) {
+    #[test]
+    fn matmul_associativity() {
+        let mut rng = Rng::seed_from(105);
+        for _ in 0..CASES {
+            let a = random_matrix(5, &mut rng);
             // Build compatible b and c from a's shape deterministically.
             let (r, c) = a.shape();
             let b = Matrix::filled(c, 3, 0.5);
             let cc = Matrix::filled(3, 2, -0.25);
             let left = a.matmul(&b).unwrap().matmul(&cc).unwrap();
             let right = a.matmul(&b.matmul(&cc).unwrap()).unwrap();
-            prop_assert_eq!(left.shape(), (r, 2));
+            assert_eq!(left.shape(), (r, 2));
             for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
-                prop_assert!((x - y).abs() < 1e-3);
+                assert!((x - y).abs() < 1e-3);
             }
         }
+    }
 
-        #[test]
-        fn concat_then_slice_roundtrip(a in arb_matrix(6)) {
+    #[test]
+    fn concat_then_slice_roundtrip() {
+        let mut rng = Rng::seed_from(106);
+        for _ in 0..CASES {
+            let a = random_matrix(6, &mut rng);
             let b = a.map(|v| v + 1.0);
             let cat = a.concat_cols(&b).unwrap();
-            prop_assert_eq!(cat.slice_cols(0, a.cols()).unwrap(), a.clone());
-            prop_assert_eq!(cat.slice_cols(a.cols(), cat.cols()).unwrap(), b);
+            assert_eq!(cat.slice_cols(0, a.cols()).unwrap(), a.clone());
+            assert_eq!(cat.slice_cols(a.cols(), cat.cols()).unwrap(), b);
         }
+    }
 
-        #[test]
-        fn relu_is_idempotent_and_nonnegative(m in arb_matrix(8)) {
+    #[test]
+    fn relu_is_idempotent_and_nonnegative() {
+        let mut rng = Rng::seed_from(107);
+        for _ in 0..CASES {
+            let m = random_matrix(8, &mut rng);
             let r = m.relu();
-            prop_assert_eq!(r.relu(), r.clone());
-            prop_assert!(r.as_slice().iter().all(|&v| v >= 0.0));
+            assert_eq!(r.relu(), r.clone());
+            assert!(r.as_slice().iter().all(|&v| v >= 0.0));
         }
     }
 }

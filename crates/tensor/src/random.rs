@@ -5,17 +5,56 @@
 //! Everything in the workspace threads a single [`Rng`] seeded from a `u64`, so every
 //! experiment, test and benchmark is reproducible bit-for-bit on the same toolchain.
 
-use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng};
+/// A self-contained xoshiro256++ generator (Blackman & Vigna), seeded via SplitMix64.
+///
+/// The build environment has no network access, so the `rand` crate is not available; this
+/// generator is small, fast, and statistically strong enough for simulation workloads. It is
+/// NOT cryptographically secure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the 64-bit seed into the 256-bit state.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Xoshiro256pp { s }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
 
 /// Workspace-wide random number generator.
 ///
-/// Wraps [`rand::rngs::StdRng`] and adds the distribution helpers the paper's simulator needs
-/// (normal via Box–Muller, Beta via Marsaglia–Tsang Gamma sampling, categorical sampling from
-/// unnormalised weights). Keeping these here avoids a dependency beyond the approved `rand`.
+/// Wraps a self-contained xoshiro256++ core and adds the distribution helpers the paper's
+/// simulator needs (normal via Box–Muller, Beta via Marsaglia–Tsang Gamma sampling,
+/// categorical sampling from unnormalised weights), keeping the workspace dependency-free.
 #[derive(Debug, Clone)]
 pub struct Rng {
-    inner: StdRng,
+    inner: Xoshiro256pp,
     /// Cached second value from Box–Muller so consecutive normal draws cost one transform.
     cached_normal: Option<f32>,
 }
@@ -24,7 +63,7 @@ impl Rng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
         Rng {
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256pp::seed_from_u64(seed),
             cached_normal: None,
         }
     }
@@ -32,14 +71,15 @@ impl Rng {
     /// Derives an independent child generator; useful to give components their own streams
     /// while keeping a single top-level seed.
     pub fn fork(&mut self) -> Rng {
-        let seed = self.inner.gen::<u64>();
+        let seed = self.inner.next_u64();
         Rng::seed_from(seed)
     }
 
     /// Uniform `f32` in `[0, 1)`.
     #[inline]
     pub fn unit(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        // 24 high-quality mantissa bits → uniform in [0, 1).
+        (self.inner.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
     }
 
     /// Uniform `f32` in `[lo, hi)`.
@@ -54,7 +94,9 @@ impl Rng {
         if n == 0 {
             0
         } else {
-            self.inner.gen_range(0..n)
+            // Widening-multiply rejection-free mapping (Lemire); bias is negligible for the
+            // simulation-sized `n` used here.
+            (((self.inner.next_u64() as u128) * (n as u128)) >> 64) as usize
         }
     }
 
@@ -64,7 +106,7 @@ impl Rng {
         if hi <= lo {
             lo
         } else {
-            self.inner.gen_range(lo..hi)
+            lo + self.below(hi - lo)
         }
     }
 
@@ -175,7 +217,7 @@ impl Rng {
 
     /// Raw `u64`, exposed so callers can derive child seeds.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen::<u64>()
+        self.inner.next_u64()
     }
 }
 

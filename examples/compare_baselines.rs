@@ -2,20 +2,28 @@
 //! Greedy NN, LinUCB, DDQN) on a small synthetic dataset and prints a comparison table —
 //! a miniature version of the Fig. 7 experiment.
 //!
+//! All six policies are driven as one `SessionBatch`: every call steps each live
+//! simulation by one arrival (the vectorized-env shape that batched Q-network inference
+//! plugs into later).
+//!
 //! Run with: `cargo run --release -p crowd-experiments --example compare_baselines`
 
 use crowd_baselines::Benefit;
-use crowd_experiments::{f3, policies_for_benefit, print_table, run_policy, RunnerConfig, Scale};
+use crowd_experiments::{
+    f3, policies_for_benefit, print_table, run_policies_lockstep, RunnerConfig, Scale,
+};
 
 fn main() {
     let scale = Scale::Tiny;
     let dataset = scale.sim_config().generate();
     let cfg = RunnerConfig::default();
 
+    let policies = policies_for_benefit(&dataset, Benefit::Worker, scale);
+    eprintln!("stepping {} policies in lock-step ...", policies.len());
+    let outcomes = run_policies_lockstep(&dataset, policies, &cfg);
+
     let mut rows = Vec::new();
-    for mut policy in policies_for_benefit(&dataset, Benefit::Worker, scale) {
-        eprintln!("running {} ...", policy.name());
-        let outcome = run_policy(&dataset, policy.as_mut(), &cfg);
+    for outcome in &outcomes {
         let s = outcome.summary();
         rows.push(vec![
             outcome.policy.clone(),

@@ -1,10 +1,10 @@
 //! Quickstart: simulate a small crowdsourcing platform, run the DDQN task-arrangement agent
-//! on it, and print the completion rate it achieves.
+//! on it through the zero-copy `Env` interface, and print the completion rate it achieves.
 //!
 //! Run with: `cargo run --release -p crowd-experiments --example quickstart`
 
 use crowd_rl_core::{DdqnAgent, DdqnConfig};
-use crowd_sim::{Platform, Policy, SimConfig};
+use crowd_sim::{Decision, Env, Platform, Policy, SimConfig};
 
 fn main() {
     // 1. Generate a synthetic CrowdSpring-like dataset (2 months, ~240 worker arrivals).
@@ -32,21 +32,22 @@ fn main() {
         features.worker_dim(),
     );
 
-    // 3. Interaction loop: the agent ranks the available tasks for every arriving worker,
-    //    observes the feedback, and learns online.
+    // 3. Interaction loop over the zero-copy Env interface: every arrival hands the agent a
+    //    borrowed view of the pool (no feature clones), the agent writes its ranking into a
+    //    reusable decision buffer, observes the feedback, and learns online.
+    let mut decision = Decision::new();
     let mut arrivals = 0;
     let mut completions = 0;
-    while let Some(arrival) = platform.next_arrival() {
-        let ctx = arrival.context;
-        if ctx.available.is_empty() {
+    while platform.next_arrival() {
+        if platform.arrival().is_empty() {
             continue;
         }
-        let action = agent.act(&ctx);
-        let feedback = platform.apply(&ctx, &action);
-        if feedback.completed.is_some() {
+        agent.act(&platform.arrival(), &mut decision);
+        platform.apply(&decision);
+        if platform.feedback().completed.is_some() {
             completions += 1;
         }
-        agent.observe(&ctx, &feedback);
+        agent.observe(&platform.arrival(), &platform.feedback());
         arrivals += 1;
     }
 

@@ -3,7 +3,7 @@
 
 use crowd_experiments::{run_policy, RunnerConfig};
 use crowd_rl_core::{DdqnAgent, DdqnConfig, RecommendationMode};
-use crowd_sim::{monthly_stats, Platform, SimConfig};
+use crowd_sim::{monthly_stats, Decision, Env, Platform, SimConfig};
 
 fn tiny_ddqn_config() -> DdqnConfig {
     DdqnConfig {
@@ -21,13 +21,27 @@ fn tiny_ddqn_config() -> DdqnConfig {
 fn ddqn_full_pipeline_produces_sane_metrics() {
     let dataset = SimConfig::tiny().generate();
     let features = Platform::default_feature_space(&dataset);
-    let mut agent = DdqnAgent::new(tiny_ddqn_config(), features.task_dim(), features.worker_dim());
+    let mut agent = DdqnAgent::new(
+        tiny_ddqn_config(),
+        features.task_dim(),
+        features.worker_dim(),
+    );
     let outcome = run_policy(&dataset, &mut agent, &RunnerConfig::default());
     let summary = outcome.summary();
 
-    assert!(outcome.evaluated_arrivals > 50, "too few evaluated arrivals");
-    assert!((0.0..=1.0).contains(&summary.cr), "CR out of range: {}", summary.cr);
-    assert!(summary.ndcg_cr >= summary.cr - 1e-6, "nDCG-CR must dominate CR");
+    assert!(
+        outcome.evaluated_arrivals > 50,
+        "too few evaluated arrivals"
+    );
+    assert!(
+        (0.0..=1.0).contains(&summary.cr),
+        "CR out of range: {}",
+        summary.cr
+    );
+    assert!(
+        summary.ndcg_cr >= summary.cr - 1e-6,
+        "nDCG-CR must dominate CR"
+    );
     assert!(summary.k_cr >= summary.cr - 1e-6, "kCR must dominate CR");
     assert!(summary.qg >= 0.0);
     assert!(summary.ndcg_qg >= 0.0);
@@ -35,7 +49,11 @@ fn ddqn_full_pipeline_produces_sane_metrics() {
     assert!(agent.total_updates() > 0, "the agent never learned");
     // The agent should achieve a non-trivial list success rate: the cascade model completes
     // something whenever an interesting task appears early enough.
-    assert!(summary.ndcg_cr > 0.05, "nDCG-CR suspiciously low: {}", summary.ndcg_cr);
+    assert!(
+        summary.ndcg_cr > 0.05,
+        "nDCG-CR suspiciously low: {}",
+        summary.ndcg_cr
+    );
 }
 
 #[test]
@@ -62,8 +80,16 @@ fn dataset_statistics_match_the_papers_shape() {
     let stats = monthly_stats(&dataset);
     // Post-initialisation months have a stable pool and a steady arrival flow.
     for month in stats.iter().skip(1) {
-        assert!(month.avg_available > 3.0, "month {} pool too small", month.month);
-        assert!(month.arrivals > 100, "month {} has too few arrivals", month.month);
+        assert!(
+            month.avg_available > 3.0,
+            "month {} pool too small",
+            month.month
+        );
+        assert!(
+            month.arrivals > 100,
+            "month {} has too few arrivals",
+            month.month
+        );
         assert!(month.new_tasks > 0 && month.expired_tasks > 0);
     }
     let same = crowd_sim::same_worker_gap_histogram(&dataset, 30, 10_080);
@@ -77,15 +103,17 @@ fn platform_conserves_quality_accounting() {
     let dataset = SimConfig::tiny().generate();
     let features = Platform::default_feature_space(&dataset);
     let mut platform = Platform::new(dataset, features, 3);
+    let mut decision = Decision::new();
     let mut gain_sum = 0.0f32;
-    while let Some(arrival) = platform.next_arrival() {
-        let ctx = arrival.context;
-        if ctx.available.is_empty() {
+    while platform.next_arrival() {
+        let view = platform.arrival();
+        if view.is_empty() {
             continue;
         }
-        let action = crowd_sim::Action::Rank(ctx.available.iter().map(|t| t.id).collect());
-        let feedback = platform.apply(&ctx, &action);
-        gain_sum += feedback.quality_gain;
+        decision.clear();
+        decision.extend((0..view.n_tasks()).map(|i| view.task_id(i)));
+        platform.apply(&decision);
+        gain_sum += platform.feedback().quality_gain;
     }
     let total = platform.total_task_quality();
     assert!(

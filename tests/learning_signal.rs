@@ -6,7 +6,7 @@ use crowd_baselines::{ListMode, RandomPolicy};
 use crowd_experiments::{run_policy, RunnerConfig};
 use crowd_rl_core::{DdqnAgent, DdqnConfig, RecommendationMode};
 use crowd_sim::{
-    Action, ArrivalContext, Platform, Policy, PolicyFeedback, SimConfig, TaskId, TaskSnapshot,
+    ArrivalContext, Decision, Platform, Policy, PolicyFeedback, SimConfig, TaskId, TaskSnapshot,
     WorkerId,
 };
 
@@ -44,10 +44,13 @@ fn bandit_context() -> ArrivalContext {
     }
 }
 
-fn bandit_feedback(ctx: &ArrivalContext, action: &Action) -> PolicyFeedback {
-    let shown = action.shown_order();
+fn bandit_feedback(ctx: &ArrivalContext, decision: &Decision) -> PolicyFeedback {
+    let shown = decision.shown().to_vec();
     // Cascade: the worker completes task 7 at whatever position it is shown, never task 8.
-    let completed = shown.iter().position(|&t| t == TaskId(7)).map(|pos| (TaskId(7), pos));
+    let completed = shown
+        .iter()
+        .position(|&t| t == TaskId(7))
+        .map(|pos| (TaskId(7), pos));
     PolicyFeedback {
         time: ctx.time,
         worker_id: ctx.worker_id,
@@ -78,28 +81,30 @@ fn agent_learns_to_assign_the_rewarding_task() {
     let mut agent = DdqnAgent::new(config, 4, 4);
 
     // Interact with the bandit environment for a while.
+    let mut decision = Decision::new();
     for i in 0..250 {
         let mut ctx = bandit_context();
         ctx.time += i;
-        let action = agent.act(&ctx);
-        let feedback = bandit_feedback(&ctx, &action);
-        agent.observe(&ctx, &feedback);
+        agent.act(&ctx.view(), &mut decision);
+        let feedback = bandit_feedback(&ctx, &decision);
+        agent.observe(&ctx.view(), &feedback.view());
     }
 
     // After training, the frozen (greedy) agent must assign the rewarding task.
     agent.freeze_exploration();
     let mut correct = 0;
     for _ in 0..20 {
-        match agent.act(&bandit_context()) {
-            Action::Assign(task) => {
-                if task == TaskId(7) {
-                    correct += 1;
-                }
-            }
-            Action::Rank(_) => panic!("assign mode expected"),
+        let ctx = bandit_context();
+        agent.act(&ctx.view(), &mut decision);
+        assert!(decision.is_assignment(), "assign mode expected");
+        if decision.shown() == [TaskId(7)] {
+            correct += 1;
         }
     }
-    assert!(correct >= 18, "agent picked the rewarding task only {correct}/20 times");
+    assert!(
+        correct >= 18,
+        "agent picked the rewarding task only {correct}/20 times"
+    );
 }
 
 #[test]
@@ -117,18 +122,23 @@ fn agent_learns_to_rank_the_rewarding_task_first() {
     }
     .worker_only();
     let mut agent = DdqnAgent::new(config, 4, 4);
+    let mut decision = Decision::new();
     for i in 0..250 {
         let mut ctx = bandit_context();
         ctx.time += i;
-        let action = agent.act(&ctx);
-        let feedback = bandit_feedback(&ctx, &action);
-        agent.observe(&ctx, &feedback);
+        agent.act(&ctx.view(), &mut decision);
+        let feedback = bandit_feedback(&ctx, &decision);
+        agent.observe(&ctx.view(), &feedback.view());
     }
     agent.freeze_exploration();
-    match agent.act(&bandit_context()) {
-        Action::Rank(list) => assert_eq!(list[0], TaskId(7), "rewarding task not ranked first"),
-        Action::Assign(_) => panic!("rank mode expected"),
-    }
+    let ctx = bandit_context();
+    agent.act(&ctx.view(), &mut decision);
+    assert!(!decision.is_assignment(), "rank mode expected");
+    assert_eq!(
+        decision.shown()[0],
+        TaskId(7),
+        "rewarding task not ranked first"
+    );
 }
 
 #[test]

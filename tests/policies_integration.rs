@@ -3,7 +3,7 @@
 
 use crowd_baselines::{Benefit, GreedyCosine, GreedyNn, LinUcb, ListMode, RandomPolicy, Taskrec};
 use crowd_experiments::{policies_for_benefit, run_policy, RunnerConfig, Scale};
-use crowd_sim::{Policy, SimConfig};
+use crowd_sim::SimConfig;
 
 #[test]
 fn every_worker_benefit_policy_completes_a_run() {
@@ -13,9 +13,15 @@ fn every_worker_benefit_policy_completes_a_run() {
         let name = policy.name().to_string();
         let outcome = run_policy(&dataset, policy.as_mut(), &cfg);
         let s = outcome.summary();
-        assert!(outcome.evaluated_arrivals > 0, "{name}: no evaluated arrivals");
+        assert!(
+            outcome.evaluated_arrivals > 0,
+            "{name}: no evaluated arrivals"
+        );
         assert!((0.0..=1.0).contains(&s.cr), "{name}: CR out of range");
-        assert!(s.ndcg_cr >= s.k_cr - 1e-6, "{name}: nDCG-CR must dominate kCR");
+        assert!(
+            s.ndcg_cr >= s.k_cr - 1e-6,
+            "{name}: nDCG-CR must dominate kCR"
+        );
         assert!(s.ndcg_cr <= 1.0 + 1e-6, "{name}: nDCG-CR above 1");
     }
 }
@@ -29,7 +35,10 @@ fn every_requester_benefit_policy_completes_a_run() {
         let outcome = run_policy(&dataset, policy.as_mut(), &cfg);
         let s = outcome.summary();
         assert!(s.qg >= 0.0, "{name}: negative quality gain");
-        assert!(s.ndcg_qg >= s.k_qg - 1e-6, "{name}: nDCG-QG must dominate kQG");
+        assert!(
+            s.ndcg_qg >= s.k_qg - 1e-6,
+            "{name}: nDCG-QG must dominate kQG"
+        );
         assert!(
             s.qg <= outcome.final_total_quality + 1e-3,
             "{name}: evaluated QG cannot exceed the platform's total quality"
