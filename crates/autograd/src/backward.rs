@@ -1,4 +1,4 @@
-//! The reverse sweep: vector-Jacobian products for every [`Op`](crate::op::Op).
+//! The reverse sweep: vector-Jacobian products for every [`crate::op::Op`].
 
 use crate::graph::{Graph, VarId};
 use crate::op::Op;

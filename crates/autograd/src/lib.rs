@@ -28,6 +28,41 @@
 //! let gw = g.grad(w).unwrap();
 //! assert!((gw.get(0, 0) - 2.0 * 5.5 * 3.0).abs() < 1e-3);
 //! ```
+//!
+//! # Tape vs tape-free inference
+//!
+//! Every layer in `crowd-nn` has two forward paths: a taped `forward` (differentiable, used
+//! by the learner) and a tape-free `infer` (used at decision time, including the batched
+//! path). The convention is that both compute the same function; the graph is only needed
+//! when gradients are:
+//!
+//! ```
+//! use crowd_autograd::Graph;
+//! use crowd_tensor::{Matrix, Rng};
+//!
+//! let mut rng = Rng::seed_from(5);
+//! let x = Matrix::randn(4, 3, &mut rng);
+//! let w = Matrix::randn(3, 2, &mut rng);
+//!
+//! // Tape-free: plain matrix ops.
+//! let direct = x.matmul(&w).unwrap().relu();
+//!
+//! // Taped: same values, plus the ability to backpropagate.
+//! let mut g = Graph::new();
+//! let xv = g.constant(x);
+//! let wv = g.leaf(w);
+//! let y = g.matmul(xv, wv).unwrap();
+//! let y = g.relu(y);
+//! assert_eq!(g.value(y).as_slice(), direct.as_slice());
+//!
+//! let loss = g.squared_sum(y);
+//! g.backward(loss).unwrap();
+//! assert!(g.grad(wv).unwrap().norm() > 0.0); // gradients only exist on the tape
+//! ```
+//!
+//! Gradients are verified against central finite differences in [`gradcheck`]; the
+//! equivalence of taped and tape-free forwards is asserted per layer in `crowd-nn` and for
+//! the whole Q-network in `crowd-rl-core`.
 
 pub mod backward;
 pub mod gradcheck;

@@ -20,6 +20,15 @@ pub mod linucb;
 pub mod random_policy;
 pub mod taskrec;
 
+// Every baseline scores arrivals independently, so the default per-view loop of
+// `act_batch` already satisfies the batched contract; only the DDQN agent (in
+// `crowd-rl-core`) overrides it with a shared forward pass.
+impl crowd_sim::BatchedPolicy for GreedyCosine {}
+impl crowd_sim::BatchedPolicy for GreedyNn {}
+impl crowd_sim::BatchedPolicy for LinUcb {}
+impl crowd_sim::BatchedPolicy for RandomPolicy {}
+impl crowd_sim::BatchedPolicy for Taskrec {}
+
 pub use common::{Benefit, ListMode, ScoreRanker};
 pub use greedy_cosine::GreedyCosine;
 pub use greedy_nn::GreedyNn;

@@ -3,6 +3,8 @@
 //! The actual benchmarks live in `benches/`:
 //!
 //! * `qnetwork_forward` — Q-network inference latency vs pool size;
+//! * `batched_inference` — per-arrival vs batched decision latency at `N ∈ {1, 8, 32,
+//!   128}` simultaneous simulations (the `SessionBatch::step_batched` hot path);
 //! * `attention` — multi-head self-attention forward/backward latency;
 //! * `update_latency` — one full model update (LinUCB vs DDQN) vs pool size, the
 //!   micro-benchmark version of Table I and Fig. 10(d);

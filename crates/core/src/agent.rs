@@ -12,7 +12,8 @@ use crate::memory::{FutureBranch, Transition};
 use crate::predictor::{requester_future_branches, worker_future_branches};
 use crate::state::{StateKind, StateTensor, StateTransformer};
 use crowd_sim::{
-    ArrivalContext, ArrivalView, Decision, FeedbackView, Policy, PolicyFeedback, TaskId,
+    ArrivalContext, ArrivalView, BatchedPolicy, Decision, FeedbackView, Policy, PolicyFeedback,
+    TaskId,
 };
 use crowd_tensor::Rng;
 use std::sync::Arc;
@@ -41,6 +42,9 @@ pub struct DdqnAgent {
     /// tail fill in `act`; reused across arrivals so the hot path stays allocation-free.
     ranked_stamps: Vec<u64>,
     ranked_stamp_gen: u64,
+    /// When true, `observe` skips the gradient updates (evaluation mode). Statistics and
+    /// replay memory keep accumulating so learning can resume seamlessly.
+    learning_frozen: bool,
 }
 
 impl DdqnAgent {
@@ -91,6 +95,7 @@ impl DdqnAgent {
             name,
             ranked_stamps: Vec::new(),
             ranked_stamp_gen: 0,
+            learning_frozen: false,
         }
     }
 
@@ -118,6 +123,19 @@ impl DdqnAgent {
     /// policy, and by the efficiency benchmarks).
     pub fn freeze_exploration(&mut self) {
         self.explorer.freeze();
+    }
+
+    /// Pauses gradient updates: `observe` keeps recording statistics and transitions but
+    /// runs no learner step, so the Q-networks stay fixed. This makes `act` a pure function
+    /// of the entry parameters — the precondition under which a batched round
+    /// ([`BatchedPolicy::act_batch`]) is bit-identical to sequential stepping.
+    pub fn freeze_learning(&mut self) {
+        self.learning_frozen = true;
+    }
+
+    /// Resumes gradient updates after [`DdqnAgent::freeze_learning`].
+    pub fn unfreeze_learning(&mut self) {
+        self.learning_frozen = false;
     }
 
     fn uses_worker_network(&self) -> bool {
@@ -162,6 +180,50 @@ impl DdqnAgent {
     /// aligned with the state-tensor row order).
     pub fn q_values(&self, view: &ArrivalView<'_>) -> Vec<f32> {
         self.combined_q(view).0
+    }
+
+    /// Turns combined Q values into a decision: exploration, mode dispatch and — in ranked
+    /// mode — the tail fill for tasks truncated out of the state. Shared verbatim by the
+    /// sequential [`Policy::act`] and the batched [`BatchedPolicy::act_batch`] so both
+    /// consume the exploration RNG identically.
+    fn decide_from_q(
+        &mut self,
+        combined: &[f32],
+        task_ids: &[TaskId],
+        view: &ArrivalView<'_>,
+        decision: &mut Decision,
+    ) {
+        let order = self.explorer.decide(combined, &mut self.rng);
+        match self.config.mode {
+            RecommendationMode::AssignOne => {
+                if let Some(&idx) = order.first() {
+                    decision.assign(task_ids[idx]);
+                }
+            }
+            RecommendationMode::RankList => {
+                decision.extend(order.iter().map(|&i| task_ids[i]));
+                // Tasks beyond max_tasks (truncated out of the state) go to the bottom of the
+                // list in their original order so the decision still covers the whole pool.
+                // Membership is tracked with a generation-stamped scratch table so the fill
+                // stays O(pool) instead of O(pool²) on deep pools.
+                self.ranked_stamp_gen += 1;
+                let generation = self.ranked_stamp_gen;
+                for &id in decision.shown() {
+                    let slot = id.index();
+                    if slot >= self.ranked_stamps.len() {
+                        self.ranked_stamps.resize(slot + 1, 0);
+                    }
+                    self.ranked_stamps[slot] = generation;
+                }
+                for i in 0..view.n_tasks() {
+                    let id = view.task_id(i);
+                    let in_ranking = self.ranked_stamps.get(id.index()) == Some(&generation);
+                    if !in_ranking {
+                        decision.push(id);
+                    }
+                }
+            }
+        }
     }
 
     fn store_transitions_for(&mut self, view: &ArrivalView<'_>, feedback: &FeedbackView<'_>) {
@@ -247,38 +309,7 @@ impl Policy for DdqnAgent {
             return;
         }
         let (combined, state) = self.combined_q(view);
-        let task_ids = &state.task_ids;
-        let order = self.explorer.decide(&combined, &mut self.rng);
-        match self.config.mode {
-            RecommendationMode::AssignOne => {
-                if let Some(&idx) = order.first() {
-                    decision.assign(task_ids[idx]);
-                }
-            }
-            RecommendationMode::RankList => {
-                decision.extend(order.iter().map(|&i| task_ids[i]));
-                // Tasks beyond max_tasks (truncated out of the state) go to the bottom of the
-                // list in their original order so the decision still covers the whole pool.
-                // Membership is tracked with a generation-stamped scratch table so the fill
-                // stays O(pool) instead of O(pool²) on deep pools.
-                self.ranked_stamp_gen += 1;
-                let generation = self.ranked_stamp_gen;
-                for &id in decision.shown() {
-                    let slot = id.index();
-                    if slot >= self.ranked_stamps.len() {
-                        self.ranked_stamps.resize(slot + 1, 0);
-                    }
-                    self.ranked_stamps[slot] = generation;
-                }
-                for i in 0..view.n_tasks() {
-                    let id = view.task_id(i);
-                    let in_ranking = self.ranked_stamps.get(id.index()) == Some(&generation);
-                    if !in_ranking {
-                        decision.push(id);
-                    }
-                }
-            }
-        }
+        self.decide_from_q(&combined, &state.task_ids, view, decision);
     }
 
     fn observe(&mut self, view: &ArrivalView<'_>, feedback: &FeedbackView<'_>) {
@@ -296,11 +327,13 @@ impl Policy for DdqnAgent {
         }
 
         // 3. Learners run after every `learn_every` feedbacks (the paper updates after every
-        //    feedback; `learn_every` > 1 trades fidelity for CPU time).
+        //    feedback; `learn_every` > 1 trades fidelity for CPU time), unless learning is
+        //    frozen (evaluation / batched-equivalence mode).
         self.observations += 1;
-        if self
-            .observations
-            .is_multiple_of(self.config.learn_every as u64)
+        if !self.learning_frozen
+            && self
+                .observations
+                .is_multiple_of(self.config.learn_every as u64)
         {
             if self.uses_worker_network() {
                 self.learner_worker
@@ -318,6 +351,77 @@ impl Policy for DdqnAgent {
     fn warm_start(&mut self, history: &[(ArrivalContext, PolicyFeedback)]) {
         for (ctx, feedback) in history {
             self.observe(&ctx.view(), &feedback.view());
+        }
+    }
+}
+
+impl BatchedPolicy for DdqnAgent {
+    /// Decides on `N` arrivals with **one Q-network forward pass per active network**: all
+    /// views' state rows are packed into a single `[Σ max_tasks, row_dim]` buffer (built
+    /// straight from the borrowed views, no cloning of feature vectors beyond the state
+    /// tensors the sequential path builds too) and evaluated through
+    /// [`DqnLearner::q_values_batch`](crate::DqnLearner::q_values_batch). Exploration then
+    /// runs per view in view order, so the RNG stream matches sequential `act` calls
+    /// exactly.
+    fn act_batch(&mut self, views: &[ArrivalView<'_>], decisions: &mut [Decision]) {
+        assert_eq!(
+            views.len(),
+            decisions.len(),
+            "one decision buffer per view required"
+        );
+        // Empty pools skip state construction just like the sequential `act` short-circuit;
+        // a zero-row placeholder keeps the index alignment with `views` and contributes no
+        // rows to the packed buffer.
+        let build_states = |transformer: &StateTransformer| {
+            views
+                .iter()
+                .map(|view| {
+                    if view.is_empty() {
+                        StateTensor {
+                            features: crowd_tensor::Matrix::zeros(0, transformer.row_dim()),
+                            row_mask: crowd_tensor::Matrix::zeros(0, 1),
+                            task_ids: Vec::new(),
+                            real_tasks: 0,
+                        }
+                    } else {
+                        transformer.from_view(view)
+                    }
+                })
+                .collect::<Vec<StateTensor>>()
+        };
+        let states_w = self
+            .uses_worker_network()
+            .then(|| build_states(&self.transformer_worker));
+        let states_r = self
+            .uses_requester_network()
+            .then(|| build_states(&self.transformer_requester));
+        let q_w = states_w.as_ref().map(|states| {
+            let refs: Vec<&StateTensor> = states.iter().collect();
+            self.learner_worker
+                .q_values_batch(&refs)
+                .expect("worker Q batch inference failed")
+        });
+        let q_r = states_r.as_ref().map(|states| {
+            let refs: Vec<&StateTensor> = states.iter().collect();
+            self.learner_requester
+                .q_values_batch(&refs)
+                .expect("requester Q batch inference failed")
+        });
+        let states = states_w
+            .as_ref()
+            .or(states_r.as_ref())
+            .expect("balance weight always enables at least one network");
+        for (i, (view, decision)) in views.iter().zip(decisions.iter_mut()).enumerate() {
+            decision.clear();
+            if view.is_empty() {
+                continue;
+            }
+            let combined = aggregator::combine(
+                q_w.as_ref().map(|q| q[i].as_slice()),
+                q_r.as_ref().map(|q| q[i].as_slice()),
+                self.config.balance_weight,
+            );
+            self.decide_from_q(&combined, &states[i].task_ids, view, decision);
         }
     }
 }
@@ -449,6 +553,36 @@ mod tests {
         assert_eq!(agent.learner_requester.updates(), 0);
         assert_eq!(agent.learner_requester.memory_len(), 0);
         assert!(agent.learner_worker.memory_len() > 0);
+    }
+
+    #[test]
+    fn act_batch_matches_sequential_act_and_skips_empty_views() {
+        let ds = SimConfig::tiny().generate();
+        let fs = Platform::default_feature_space(&ds);
+        let mut platform = Platform::new(ds, fs, 5);
+        let mut batch_agent = agent_for(&platform, small_config());
+        let mut seq_agent = agent_for(&platform, small_config());
+        let mut contexts = Vec::new();
+        while contexts.len() < 4 && platform.next_arrival() {
+            if !platform.arrival().is_empty() {
+                contexts.push(platform.arrival().to_context());
+            }
+        }
+        assert_eq!(contexts.len(), 4, "tiny dataset should yield 4 pools");
+        // An empty pool in the middle of the batch must be skipped exactly like the
+        // sequential path skips it (no state build, no RNG draw, cleared decision).
+        let mut empty = contexts[0].clone();
+        empty.available.clear();
+        contexts.insert(2, empty);
+        let views: Vec<ArrivalView<'_>> = contexts.iter().map(|ctx| ctx.view()).collect();
+        let mut batched: Vec<Decision> = (0..views.len()).map(|_| Decision::new()).collect();
+        batch_agent.act_batch(&views, &mut batched);
+        for (view, batch_decision) in views.iter().zip(&batched) {
+            let mut expected = Decision::new();
+            seq_agent.act(view, &mut expected);
+            assert_eq!(&expected, batch_decision, "batched decision diverged");
+        }
+        assert!(batched[2].is_empty());
     }
 
     #[test]

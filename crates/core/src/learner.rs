@@ -102,6 +102,13 @@ impl DqnLearner {
         self.net.infer(&self.store, state)
     }
 
+    /// Q values of the online network for `N` states in one packed forward pass
+    /// ([`SetQNetwork::infer_batch`]); each entry is bit-identical to
+    /// [`DqnLearner::q_values`] on that state alone.
+    pub fn q_values_batch(&self, states: &[&crate::state::StateTensor]) -> Result<Vec<Vec<f32>>> {
+        self.net.infer_batch(&self.store, states)
+    }
+
     /// Stores a transition with maximal priority.
     pub fn store_transition(&mut self, transition: Transition) {
         self.memory.push(transition);

@@ -19,8 +19,19 @@
 
 use crate::state::StateTensor;
 use crowd_autograd::{Graph, VarId};
-use crowd_nn::{GraphBinding, Linear, MultiHeadSelfAttention, ParamStore, RowwiseFF};
+use crowd_nn::{GraphBinding, Linear, MultiHeadSelfAttention, ParamStore, PoolSegment, RowwiseFF};
 use crowd_tensor::{Matrix, Rng};
+
+/// Greatest-Q row index; ties break towards the earlier row, `None` on an empty slice.
+fn argmax_of(q: &[f32]) -> Option<usize> {
+    q.iter()
+        .enumerate()
+        .fold(None, |best: Option<(usize, f32)>, (i, &v)| match best {
+            Some((_, bv)) if v <= bv => best,
+            _ => Some((i, v)),
+        })
+        .map(|(i, _)| i)
+}
 
 /// Result alias from the numeric substrate.
 pub type Result<T> = crowd_tensor::Result<T>;
@@ -132,6 +143,115 @@ impl SetQNetwork {
         Ok(q.col(0)[..state.real_tasks].to_vec())
     }
 
+    /// Gradient-free forward pass over `N` states in **one** packed graph — the batched
+    /// inference path that lets a `SessionBatch`'s arrivals (see `crowd-experiments` and
+    /// `ARCHITECTURE.md` at the repository root) share a single forward pass.
+    ///
+    /// Only the *real* task rows of every state are stacked, into one
+    /// `[Σ pool sizes, row_dim]` buffer with per-session row offsets; the row-wise blocks
+    /// (`ff1`, `ff2`, the residual block and the head) run as stacked matmuls over the
+    /// whole buffer, and the two attention layers run per-session over the packed rows via
+    /// [`MultiHeadSelfAttention::infer_packed`]. Every returned Q vector is
+    /// **bit-identical** to what [`SetQNetwork::infer`] returns for that state's padded
+    /// tensor alone:
+    ///
+    /// * each row-wise output row depends only on its own input row, so dropping padded
+    ///   rows cannot change a real row;
+    /// * in the padded pass, masked attention scores underflow to exactly `0.0` after the
+    ///   row-max-subtracting softmax, so padded columns contribute exact zeros to both the
+    ///   softmax denominator and the value aggregation — the same bits as not having the
+    ///   columns at all.
+    ///
+    /// (See the equivalence tests below and `tests/batched_equivalence.rs` for the
+    /// end-to-end proof.) Dropping the padding is also where the batched path wins its
+    /// latency: the fixed-shape per-state pass pays full attention and projection cost for
+    /// padded rows, the packed pass pays only for real tasks.
+    ///
+    /// Empty pools keep the sequential path's short-circuit: their entry is an empty vector
+    /// and they contribute no rows to the packed buffer.
+    pub fn infer_batch(
+        &self,
+        store: &ParamStore,
+        states: &[&StateTensor],
+    ) -> Result<Vec<Vec<f32>>> {
+        let mut segments: Vec<PoolSegment> = Vec::with_capacity(states.len());
+        let mut first_shape = None;
+        let mut total_rows = 0;
+        for state in states {
+            if state.real_tasks == 0 {
+                continue;
+            }
+            // All states must agree on the row width; report a mismatch against the first
+            // non-empty state's shape so the diagnostic names the actual disagreement.
+            let first = *first_shape.get_or_insert(state.features.shape());
+            if state.features.cols() != first.1 {
+                return Err(crowd_tensor::TensorError::ShapeMismatch {
+                    op: "infer_batch",
+                    lhs: first,
+                    rhs: state.features.shape(),
+                });
+            }
+            segments.push(PoolSegment {
+                start: total_rows,
+                rows: state.real_tasks,
+                real_rows: state.real_tasks,
+            });
+            total_rows += state.real_tasks;
+        }
+        let Some((_, row_dim)) = first_shape else {
+            return Ok(vec![Vec::new(); states.len()]);
+        };
+        // Pack the real-row prefixes back to back (state matrices are row-major, so each
+        // prefix is one contiguous copy).
+        let mut x = Matrix::zeros(total_rows, row_dim);
+        {
+            let dst = x.as_mut_slice();
+            let mut seg_iter = segments.iter();
+            for state in states {
+                if state.real_tasks == 0 {
+                    continue;
+                }
+                let seg = seg_iter.next().expect("one segment per non-empty state");
+                dst[seg.start * row_dim..seg.end() * row_dim]
+                    .copy_from_slice(&state.features.as_slice()[..seg.rows * row_dim]);
+            }
+        }
+        let h1 = self.ff1.infer(store, &x)?;
+        let h2 = self.ff2.infer(store, &h1)?;
+        let a1 = self.attention1.infer_packed(store, &h2, &segments)?;
+        let r1 = self.residual_ff.infer(store, &a1)?;
+        let h3 = h2.add(&r1)?;
+        let a2 = self.attention2.infer_packed(store, &h3, &segments)?;
+        let h4 = h3.add(&a2)?;
+        let q = self.head.infer(store, &h4)?;
+        let col = q.col(0);
+        let mut out = Vec::with_capacity(states.len());
+        let mut seg_iter = segments.iter();
+        for state in states {
+            if state.real_tasks == 0 {
+                out.push(Vec::new());
+                continue;
+            }
+            let seg = seg_iter.next().expect("one segment per non-empty state");
+            out.push(col[seg.start..seg.start + state.real_tasks].to_vec());
+        }
+        Ok(out)
+    }
+
+    /// Batched [`SetQNetwork::argmax_q`]: the best row per state from one shared forward
+    /// pass (`None` for empty pools).
+    pub fn argmax_batch(
+        &self,
+        store: &ParamStore,
+        states: &[&StateTensor],
+    ) -> Result<Vec<Option<usize>>> {
+        Ok(self
+            .infer_batch(store, states)?
+            .into_iter()
+            .map(|q| argmax_of(&q))
+            .collect())
+    }
+
     /// Maximum Q value over real tasks; `None` for an empty pool.
     pub fn max_q(&self, store: &ParamStore, state: &StateTensor) -> Result<Option<f32>> {
         Ok(self
@@ -142,14 +262,7 @@ impl SetQNetwork {
 
     /// Index (row) of the maximum Q value over real tasks; `None` for an empty pool.
     pub fn argmax_q(&self, store: &ParamStore, state: &StateTensor) -> Result<Option<usize>> {
-        let q = self.infer(store, state)?;
-        Ok(q.iter()
-            .enumerate()
-            .fold(None, |best: Option<(usize, f32)>, (i, &v)| match best {
-                Some((_, bv)) if v <= bv => best,
-                _ => Some((i, v)),
-            })
-            .map(|(i, _)| i))
+        Ok(argmax_of(&self.infer(store, state)?))
     }
 
     /// Builds the `[max_tasks, 1]` loss mask/target pair for a minibatch element: the mask
@@ -314,6 +427,53 @@ mod tests {
             net.infer(&store, &st).unwrap(),
             net.infer(&target, &st).unwrap()
         );
+    }
+
+    #[test]
+    fn infer_batch_is_bit_identical_to_sequential_infer() {
+        // The tentpole guarantee: N states through one packed forward pass yield exactly
+        // the bits of N independent passes — including empty pools and mixed pool sizes.
+        let (store, net) = network(7, 8);
+        let states = [state(5, 8), state(0, 8), state(3, 8), state(8, 8)];
+        let refs: Vec<&StateTensor> = states.iter().collect();
+        let batched = net.infer_batch(&store, &refs).unwrap();
+        assert_eq!(batched.len(), states.len());
+        for (st, q_batch) in states.iter().zip(&batched) {
+            let q_solo = net.infer(&store, st).unwrap();
+            assert_eq!(q_batch, &q_solo, "batched Q diverged from sequential Q");
+        }
+    }
+
+    #[test]
+    fn infer_batch_handles_mixed_max_tasks() {
+        // Sessions with different pool capacities pack into one buffer of unequal blocks.
+        let (store, net) = network(7, 9);
+        let a = state(4, 6);
+        let b = state(7, 12);
+        let batched = net.infer_batch(&store, &[&a, &b]).unwrap();
+        assert_eq!(batched[0], net.infer(&store, &a).unwrap());
+        assert_eq!(batched[1], net.infer(&store, &b).unwrap());
+    }
+
+    #[test]
+    fn argmax_batch_matches_argmax_q() {
+        let (store, net) = network(7, 10);
+        let states = [state(6, 8), state(0, 8), state(2, 8)];
+        let refs: Vec<&StateTensor> = states.iter().collect();
+        let batched = net.argmax_batch(&store, &refs).unwrap();
+        for (st, arg) in states.iter().zip(&batched) {
+            assert_eq!(*arg, net.argmax_q(&store, st).unwrap());
+        }
+        assert_eq!(batched[1], None);
+    }
+
+    #[test]
+    fn infer_batch_of_empty_pools_skips_the_forward_pass() {
+        let (store, net) = network(7, 11);
+        let empty = state(0, 8);
+        let out = net.infer_batch(&store, &[&empty, &empty]).unwrap();
+        assert_eq!(out, vec![Vec::<f32>::new(), Vec::new()]);
+        assert!(net.infer_batch(&store, &[]).unwrap().is_empty());
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! * [`ArrivalView`] borrows task features straight out of the platform's task-feature
 //!   arena (one flat `Vec<f32>`, filled once at construction) and the worker feature out of
 //!   the worker-feature arena — **no per-arrival clones**;
-//! * [`Decision`] is a reusable ranking buffer the policy writes into, replacing the
-//!   allocating `Action::shown_order()` path;
+//! * [`Decision`] is a reusable ranking buffer the policy writes into — no allocation per
+//!   decision once its capacity has grown to the pool size;
 //! * [`FeedbackView`] borrows the shown list and worker features from the platform's
 //!   per-step scratch state;
 //! * [`Env`] is the minimal stepping interface (`next_arrival` → `arrival`/`apply` →
@@ -306,8 +306,9 @@ impl PolicyFeedback {
 
 /// A policy's decision for one arrival: an ordered list of task ids written into a
 /// reusable buffer. Clearing and refilling the buffer performs no allocation once its
-/// capacity has grown to the pool size, replacing the allocating `Action::shown_order()`
-/// path of the old interface.
+/// capacity has grown to the pool size. The owned [`Action`] record is the deprecated
+/// equivalent, kept for history and tests; bridge with [`Decision::set_action`] /
+/// [`Decision::to_action`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Decision {
     ranking: Vec<TaskId>,

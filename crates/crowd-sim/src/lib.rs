@@ -14,7 +14,7 @@
 //! * a synthetic CrowdSpring-replica generator calibrated to the statistics the paper reports
 //!   (Fig. 5/6) in [`generator`], plus the resampling and quality-perturbation knobs used by
 //!   the synthetic experiments (Fig. 10);
-//! * the zero-copy environment layer in [`env`]: the [`Env`] trait, borrowed
+//! * the zero-copy environment layer in [`mod@env`]: the [`Env`] trait, borrowed
 //!   [`ArrivalView`] / [`FeedbackView`] / [`TaskRef`] views into platform storage, and the
 //!   reusable [`Decision`] buffer — the hot decision loop performs no per-arrival clones;
 //! * the [`Platform`] environment that replays the event stream over flat
@@ -23,6 +23,10 @@
 //! * the [`Policy`] trait implemented by the DDQN agent (`crowd-rl-core`) and all baselines
 //!   (`crowd-baselines`);
 //! * dataset statistics used to regenerate Fig. 5 and Fig. 6 in [`stats`].
+//!
+//! How this crate's `Env`/`Policy` layer composes with the `Session` replay facade and the
+//! batched-inference path above it is mapped end to end in `ARCHITECTURE.md` at the
+//! repository root.
 //!
 //! The canonical interaction loop:
 //!
@@ -73,7 +77,7 @@ pub use event::{Event, EventKind};
 pub use features::FeatureSpace;
 pub use generator::{perturb_worker_qualities, resample_arrivals, SimConfig};
 pub use platform::{Arrival, Platform};
-pub use policy::{Action, ArrivalContext, Policy, PolicyFeedback, TaskSnapshot};
+pub use policy::{Action, ArrivalContext, BatchedPolicy, Policy, PolicyFeedback, TaskSnapshot};
 pub use quality::{dixit_stiglitz, quality_gain};
 pub use stats::{
     consecutive_arrival_gap_histogram, monthly_stats, same_worker_gap_histogram, GapHistogram,

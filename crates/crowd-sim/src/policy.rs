@@ -163,6 +163,44 @@ pub trait Policy {
     fn warm_start(&mut self, _history: &[(ArrivalContext, PolicyFeedback)]) {}
 }
 
+/// A policy that can decide on `N` arrivals (one per live simulation) in a single call —
+/// the entry point batched Q-network inference plugs into.
+///
+/// # Contract
+///
+/// `act_batch` must behave exactly like calling [`Policy::act`] once per view, **in view
+/// order, with the model parameters the policy holds on entry**. Anything consumed per
+/// decision (exploration RNG draws, annealing schedules) must be consumed in the same view
+/// order, so a batched round and the equivalent sequence of `act` calls leave the policy —
+/// including its RNG stream — in bit-identical states. Each `decisions[i]` buffer may hold
+/// a previous round's ranking and must be overwritten, never appended to (same rule as
+/// [`Policy::act`]).
+///
+/// The default implementation simply loops `act`, which satisfies the contract trivially;
+/// policies with a real batched path (the DDQN agent packs every view's state rows into
+/// one Q-network forward pass) override it. For a *learning* policy the batched round and
+/// the sequential round can still diverge: sequential stepping may update parameters
+/// between two acts of the same round, while `act_batch` evaluates every view against the
+/// entry parameters. With learning paused (e.g. `DdqnAgent::freeze_learning`) the two are
+/// bit-identical — `tests/batched_equivalence.rs` proves it end to end.
+pub trait BatchedPolicy: Policy {
+    /// Decides on every view in one call, writing into the aligned `decisions` buffers.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `views.len() != decisions.len()`.
+    fn act_batch(&mut self, views: &[ArrivalView<'_>], decisions: &mut [Decision]) {
+        assert_eq!(
+            views.len(),
+            decisions.len(),
+            "one decision buffer per view required"
+        );
+        for (view, decision) in views.iter().zip(decisions.iter_mut()) {
+            self.act(view, decision);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,8 +4,12 @@
 //!
 //! The replay loop is owned by the [`Session`] facade, which drives any policy against any
 //! [`crowd_sim::Env`] through the zero-copy view interface; [`SessionBatch`] steps `N`
-//! independent simulations in one call, and [`runner::run_policy`] is the one-shot
-//! convenience wrapper.
+//! independent simulations in one call (per-session policies via
+//! [`SessionBatch::step_all`], or one shared [`crowd_sim::BatchedPolicy`] deciding on every
+//! live arrival in a single batched call via [`SessionBatch::step_batched`]), and
+//! [`runner::run_policy`] is the one-shot convenience wrapper. `ARCHITECTURE.md` at the
+//! repository root maps the whole layering, including where batched Q-network inference
+//! plugs in.
 //!
 //! Protocol implemented by [`Session`]:
 //!

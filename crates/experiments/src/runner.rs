@@ -1,10 +1,11 @@
 //! Runner configuration, per-run outcome, and the one-shot [`run_policy`] entry point.
 //!
-//! The replay loop itself lives in [`crate::session`]: `run_policy` builds a
-//! [`Session`](crate::Session) over a platform replay of the dataset, drives it to
-//! completion and returns the outcome. Use [`Session`](crate::Session) directly to step
-//! arrival-by-arrival, or [`SessionBatch`](crate::SessionBatch) to advance several
-//! simulations in lock-step.
+//! The replay loop itself lives in [`crate::session`]: `run_policy` builds a [`Session`]
+//! over a platform replay of the dataset, drives it to completion and returns the outcome.
+//! Use [`Session`] directly to step arrival-by-arrival, or
+//! [`SessionBatch`](crate::SessionBatch) to advance several simulations in lock-step —
+//! per-session policies via `step_all`, or one shared `BatchedPolicy` with a single
+//! batched act per round via `step_batched`.
 
 use crate::session::Session;
 use crowd_metrics::{MetricsAccumulator, MetricsSummary, UpdateTimer};

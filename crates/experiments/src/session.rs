@@ -14,13 +14,21 @@
 //! 4. decision time and model-update time are timed separately (Table I), and the metric
 //!    accumulator records every evaluated feedback.
 //!
-//! [`SessionBatch`] steps many independent sessions in one call — the precondition for
-//! batching Q-network inference across simulations later on the roadmap.
+//! [`SessionBatch`] steps many independent sessions in one call. With
+//! [`SessionBatch::step_all`] each session is paired with its own policy; with
+//! [`SessionBatch::step_batched`] one shared [`BatchedPolicy`] decides on every live
+//! session's arrival in a single `act_batch` call — for the DDQN agent that is **one
+//! Q-network forward pass for `N` simulations** (see `ARCHITECTURE.md` at the repository
+//! root for where this sits in the layering).
 
 use crate::runner::{RunOutcome, RunnerConfig};
 use crowd_metrics::{MetricsAccumulator, UpdateTimer};
-use crowd_sim::{ArrivalContext, Dataset, Decision, Env, Platform, Policy, PolicyFeedback, TaskId};
+use crowd_sim::{
+    ArrivalContext, ArrivalView, BatchedPolicy, Dataset, Decision, Env, Platform, Policy,
+    PolicyFeedback, TaskId,
+};
 use crowd_tensor::Rng;
+use std::time::Instant;
 
 /// One replay of a dataset against one policy, steppable one arrival at a time.
 #[derive(Debug)]
@@ -90,9 +98,14 @@ impl<E: Env> Session<E> {
         self.done
     }
 
-    /// Advances the replay by one *evaluated* arrival (warm-up arrivals are consumed
-    /// internally). Returns `false` once the event stream is exhausted.
-    pub fn step(&mut self, policy: &mut (impl Policy + ?Sized)) -> bool {
+    /// Advances the event stream to the next *evaluated* arrival, consuming warm-up
+    /// arrivals, empty pools and day boundaries on the way, and leaves the environment
+    /// positioned on it. Returns `false` once the stream is exhausted.
+    ///
+    /// Shared by sequential [`Session::step`] and [`SessionBatch::step_batched`]: after a
+    /// `true` return the caller produces a decision into `self.decision` and calls
+    /// [`Session::commit_decision`].
+    fn advance_to_arrival(&mut self, policy: &mut (impl Policy + ?Sized)) -> bool {
         if self.done {
             return false;
         }
@@ -150,24 +163,41 @@ impl<E: Env> Session<E> {
                 continue;
             }
 
-            // The Policy contract promises an empty buffer on entry to `act`.
-            self.decision.clear();
-            {
-                let view = self.env.arrival();
-                let decision = &mut self.decision;
-                self.act_timer.time(|| policy.act(&view, decision));
-            }
-            self.env.apply(&self.decision);
-            {
-                let view = self.env.arrival();
-                let feedback = self.env.feedback();
-                self.metrics
-                    .record(month - self.config.warmup_months, &feedback);
-                self.update_timer.time(|| policy.observe(&view, &feedback));
-            }
-            self.evaluated_arrivals += 1;
             return true;
         }
+    }
+
+    /// Applies `self.decision` to the pending arrival, records the metrics and hands the
+    /// feedback to the policy's `observe`. Second half of [`Session::step`], called by
+    /// [`SessionBatch::step_batched`] after the batched act filled the decision buffer.
+    fn commit_decision(&mut self, policy: &mut (impl Policy + ?Sized)) {
+        let month = Dataset::month_of(self.env.arrival().time);
+        self.env.apply(&self.decision);
+        {
+            let view = self.env.arrival();
+            let feedback = self.env.feedback();
+            self.metrics
+                .record(month - self.config.warmup_months, &feedback);
+            self.update_timer.time(|| policy.observe(&view, &feedback));
+        }
+        self.evaluated_arrivals += 1;
+    }
+
+    /// Advances the replay by one *evaluated* arrival (warm-up arrivals are consumed
+    /// internally). Returns `false` once the event stream is exhausted.
+    pub fn step(&mut self, policy: &mut (impl Policy + ?Sized)) -> bool {
+        if !self.advance_to_arrival(policy) {
+            return false;
+        }
+        // The Policy contract promises an empty buffer on entry to `act`.
+        self.decision.clear();
+        {
+            let view = self.env.arrival();
+            let decision = &mut self.decision;
+            self.act_timer.time(|| policy.act(&view, decision));
+        }
+        self.commit_decision(policy);
+        true
     }
 
     /// Runs the session to completion; returns the number of evaluated arrivals.
@@ -194,11 +224,18 @@ impl<E: Env> Session<E> {
 }
 
 /// `N` independent sessions stepped in lock-step — one call advances every live simulation
-/// by one evaluated arrival (the vectorized-env shape that batched Q-network inference
-/// plugs into).
+/// by one evaluated arrival. [`SessionBatch::step_all`] pairs each session with its own
+/// policy; [`SessionBatch::step_batched`] drives every session with one shared
+/// [`BatchedPolicy`], collecting all live arrivals into a single `act_batch` call so the
+/// DDQN agent can score them in one Q-network forward pass.
 #[derive(Debug, Default)]
 pub struct SessionBatch<E: Env = Platform> {
     sessions: Vec<Session<E>>,
+    /// Scratch decision buffers for `step_batched`, index-aligned with `live`; reused
+    /// across rounds so steady-state batched stepping allocates only the view list.
+    scratch_decisions: Vec<Decision>,
+    /// Scratch list of the live sessions' indexes for the current batched round.
+    live: Vec<usize>,
 }
 
 impl<E: Env> SessionBatch<E> {
@@ -206,6 +243,8 @@ impl<E: Env> SessionBatch<E> {
     pub fn new() -> Self {
         SessionBatch {
             sessions: Vec::new(),
+            scratch_decisions: Vec::new(),
+            live: Vec::new(),
         }
     }
 
@@ -251,6 +290,73 @@ impl<E: Env> SessionBatch<E> {
         while self.step_all(policies) > 0 {}
     }
 
+    /// Steps every live session once against one **shared** policy, collecting all pending
+    /// arrivals into a single [`BatchedPolicy::act_batch`] call; returns how many sessions
+    /// are still live.
+    ///
+    /// One round runs in three phases:
+    ///
+    /// 1. every session advances to its next evaluated arrival (warm-up windows, empty
+    ///    pools and end-of-day hooks are consumed per session, in session order);
+    /// 2. the policy decides on all live arrivals in one `act_batch` call — for the DDQN
+    ///    agent a single packed Q-network forward pass;
+    /// 3. each decision is applied and observed, in session order.
+    ///
+    /// Equivalence with sequential stepping (`for s in sessions { s.step(&mut policy) }`):
+    /// every view is evaluated against the parameters the policy held at the start of
+    /// phase 2, so the round is bit-identical to the sequential one exactly when `act` is
+    /// a pure function of those parameters — i.e. nothing in `observe`/`warm_start`/
+    /// `end_of_day` changes what `act` would return. The frozen-learning DDQN agent
+    /// satisfies this and `tests/batched_equivalence.rs` proves it (metrics, completions
+    /// and RNG stream all match bit for bit). A *training* agent updates its networks
+    /// between the acts of a sequential round, which batched stepping intentionally trades
+    /// away for the shared forward pass — standard vectorized-environment semantics.
+    ///
+    /// The batched act time is split evenly across the live sessions' decision timers so
+    /// per-session `RunOutcome`s stay comparable with the sequential path.
+    pub fn step_batched<P: BatchedPolicy + ?Sized>(&mut self, policy: &mut P) -> usize {
+        self.live.clear();
+        for (i, session) in self.sessions.iter_mut().enumerate() {
+            if session.advance_to_arrival(policy) {
+                self.live.push(i);
+            }
+        }
+        let n = self.live.len();
+        if n == 0 {
+            return 0;
+        }
+        if self.scratch_decisions.len() < n {
+            self.scratch_decisions.resize_with(n, Decision::new);
+        }
+        let start = Instant::now();
+        {
+            // The Policy contract promises empty buffers on entry to `act_batch`.
+            for decision in &mut self.scratch_decisions[..n] {
+                decision.clear();
+            }
+            let sessions = &self.sessions;
+            let views: Vec<ArrivalView<'_>> = self
+                .live
+                .iter()
+                .map(|&i| sessions[i].env.arrival())
+                .collect();
+            policy.act_batch(&views, &mut self.scratch_decisions[..n]);
+        }
+        let per_session = start.elapsed() / n as u32;
+        for (k, i) in self.live.iter().copied().enumerate() {
+            let session = &mut self.sessions[i];
+            std::mem::swap(&mut session.decision, &mut self.scratch_decisions[k]);
+            session.act_timer.record(per_session);
+            session.commit_decision(policy);
+        }
+        n
+    }
+
+    /// Runs batched rounds until every session is exhausted.
+    pub fn run_batched<P: BatchedPolicy + ?Sized>(&mut self, policy: &mut P) {
+        while self.step_batched(policy) > 0 {}
+    }
+
     /// Consumes the batch into one [`RunOutcome`] per session.
     pub fn finish(self, policies: &[Box<dyn Policy>]) -> Vec<RunOutcome> {
         assert_eq!(self.sessions.len(), policies.len());
@@ -258,6 +364,16 @@ impl<E: Env> SessionBatch<E> {
             .into_iter()
             .zip(policies.iter())
             .map(|(session, policy)| session.finish(policy.name()))
+            .collect()
+    }
+
+    /// Consumes the batch into one [`RunOutcome`] per session, all attributed to the same
+    /// shared policy — the counterpart of [`SessionBatch::step_batched`] /
+    /// [`SessionBatch::run_batched`].
+    pub fn finish_shared(self, policy_name: &str) -> Vec<RunOutcome> {
+        self.sessions
+            .into_iter()
+            .map(|session| session.finish(policy_name))
             .collect()
     }
 }

@@ -12,6 +12,26 @@ use crate::Result;
 use crowd_autograd::{Graph, VarId};
 use crowd_tensor::{Matrix, Rng};
 
+/// One session's row block inside a packed `[Σ pool sizes, dim]` buffer used by
+/// [`MultiHeadSelfAttention::infer_packed`]: the block starts at row `start`, spans `rows`
+/// rows, and only the first `real_rows` of them are real tasks (the rest is padding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolSegment {
+    /// First row of the block inside the packed buffer.
+    pub start: usize,
+    /// Number of rows in the block (the session's `max_tasks`, padding included).
+    pub rows: usize,
+    /// Number of real (non-padding) rows at the top of the block.
+    pub real_rows: usize,
+}
+
+impl PoolSegment {
+    /// One past the last row of the block.
+    pub fn end(&self) -> usize {
+        self.start + self.rows
+    }
+}
+
 /// Multi-head self-attention layer with `h` heads of dimension `model_dim / h`.
 #[derive(Debug, Clone)]
 pub struct MultiHeadSelfAttention {
@@ -160,6 +180,62 @@ impl MultiHeadSelfAttention {
         self.output
             .infer(store, &concat.expect("at least one head"))
     }
+
+    /// Gradient-free forward pass over a packed `[Σ pool sizes, model_dim]` buffer holding
+    /// `N` sessions' state rows back to back — the batched-inference hot path.
+    ///
+    /// The Q/K/V and output projections are row-wise, so they run as single stacked matmuls
+    /// over the whole buffer; scores and softmax never cross sessions, so they run block by
+    /// block with each segment's own padding mask. The rows of the result are bit-identical
+    /// to calling [`MultiHeadSelfAttention::infer`] once per segment with
+    /// [`MultiHeadSelfAttention::padding_mask`]`(rows, real_rows)` — row-wise matmul rows
+    /// depend only on their own input row, and the block computations are the very same
+    /// operations on the very same bits.
+    ///
+    /// Rows not covered by any segment come back as bias-shifted zeros and must be ignored
+    /// by the caller; segments may not overlap.
+    pub fn infer_packed(
+        &self,
+        store: &ParamStore,
+        x: &Matrix,
+        segments: &[PoolSegment],
+    ) -> Result<Matrix> {
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        // Per-segment padding masks, shared by every head. A segment without padding
+        // (`real_rows == rows`) needs no mask at all: its additive mask would be all-zero,
+        // and `x + 0.0 == x` bit for bit (accumulated scores are never `-0.0`), so
+        // skipping the add is both faster and bit-identical.
+        let masks: Vec<Option<Matrix>> = segments
+            .iter()
+            .map(|seg| {
+                (seg.real_rows < seg.rows).then(|| Self::padding_mask(seg.rows, seg.real_rows))
+            })
+            .collect();
+        let mut concat: Option<Matrix> = None;
+        for head in &self.heads {
+            let q = x.matmul(store.get(head.wq))?;
+            let k = x.matmul(store.get(head.wk))?;
+            let v = x.matmul(store.get(head.wv))?;
+            let mut head_out = Matrix::zeros(x.rows(), self.head_dim);
+            for (seg, mask) in segments.iter().zip(&masks) {
+                let qb = q.slice_rows(seg.start, seg.end())?;
+                let kb = k.slice_rows(seg.start, seg.end())?;
+                let vb = v.slice_rows(seg.start, seg.end())?;
+                let mut scores = qb.matmul_transpose(&kb)?.scale(scale);
+                if let Some(mask) = mask {
+                    scores = scores.add(mask)?;
+                }
+                let attn = scores.softmax_rows();
+                head_out.paste_rows(seg.start, &attn.matmul(&vb)?)?;
+            }
+            concat = Some(match concat {
+                None => head_out,
+                Some(prev) => prev.concat_cols(&head_out)?,
+            });
+        }
+        self.output
+            .infer(store, &concat.expect("at least one head"))
+    }
 }
 
 #[cfg(test)]
@@ -272,5 +348,49 @@ mod tests {
         let mut rng = Rng::seed_from(5);
         let mut store = ParamStore::new();
         let _ = MultiHeadSelfAttention::new(&mut store, "bad", 7, 2, &mut rng);
+    }
+
+    #[test]
+    fn packed_inference_is_bit_identical_to_per_segment_inference() {
+        // The guarantee the batched Q-network path is built on: one packed forward pass
+        // over N sessions' rows produces exactly the bits of N independent passes.
+        let (store, attn, mut rng) = setup(8, 2, 6);
+        let pools = [(5usize, 3usize), (4, 4), (6, 1)];
+        let blocks: Vec<Matrix> = pools
+            .iter()
+            .map(|&(rows, _)| Matrix::randn(rows, 8, &mut rng))
+            .collect();
+        let block_refs: Vec<&Matrix> = blocks.iter().collect();
+        let packed = Matrix::vstack(&block_refs).unwrap();
+        let mut segments = Vec::new();
+        let mut start = 0;
+        for &(rows, real) in &pools {
+            segments.push(PoolSegment {
+                start,
+                rows,
+                real_rows: real,
+            });
+            start += rows;
+        }
+        let out = attn.infer_packed(&store, &packed, &segments).unwrap();
+        for (block, seg) in blocks.iter().zip(&segments) {
+            let mask = MultiHeadSelfAttention::padding_mask(seg.rows, seg.real_rows);
+            let solo = attn.infer(&store, block, Some(&mask)).unwrap();
+            assert_eq!(
+                out.slice_rows(seg.start, seg.end()).unwrap(),
+                solo,
+                "segment starting at {} differs from the per-session pass",
+                seg.start
+            );
+        }
+    }
+
+    #[test]
+    fn packed_inference_with_empty_segment_list_ignores_every_row() {
+        let (store, attn, mut rng) = setup(4, 2, 7);
+        let x = Matrix::randn(3, 4, &mut rng);
+        // No segments: nothing to attend over; the result only carries the output bias.
+        let out = attn.infer_packed(&store, &x, &[]).unwrap();
+        assert_eq!(out.shape(), (3, 4));
     }
 }

@@ -7,9 +7,13 @@
 //! * [`Linear`] / [`RowwiseFF`] layers — the "row-wise Linear Layer" rFF(X) = relu(XW + b)
 //!   of Fig. 3;
 //! * [`MultiHeadSelfAttention`] — the attention layer of Fig. 4 with additive masking for
-//!   zero-padded rows;
+//!   zero-padded rows, plus the packed batched-inference path
+//!   ([`MultiHeadSelfAttention::infer_packed`]) that runs attention for `N` sessions over
+//!   one `[Σ pool sizes, dim]` buffer with per-session [`PoolSegment`] offsets;
 //! * [`Mlp`] — the two-hidden-layer feed-forward regressor used by the Greedy+NN baseline;
 //! * [`Sgd`] and [`Adam`] optimizers with optional gradient clipping.
+//!
+//! # One gradient step
 //!
 //! ```
 //! use crowd_nn::{Adam, GraphBinding, Linear, Optimizer, ParamStore};
@@ -32,6 +36,36 @@
 //! g.backward(loss).unwrap();
 //! opt.step(&mut store, &binding.gradients(&g)).unwrap();
 //! ```
+//!
+//! # Packed attention for batched inference
+//!
+//! The row-wise Q/K/V and output projections of [`MultiHeadSelfAttention`] run as stacked
+//! matmuls over a packed buffer; scores and softmax stay within each session's
+//! [`PoolSegment`], so sessions never attend to each other and every block comes out
+//! bit-identical to a per-session pass:
+//!
+//! ```
+//! use crowd_nn::{MultiHeadSelfAttention, ParamStore, PoolSegment};
+//! use crowd_tensor::{Matrix, Rng};
+//!
+//! let mut rng = Rng::seed_from(3);
+//! let mut store = ParamStore::new();
+//! let attn = MultiHeadSelfAttention::new(&mut store, "attn", 8, 2, &mut rng);
+//!
+//! // Two sessions with 3 and 5 available tasks, packed back to back.
+//! let a = Matrix::randn(3, 8, &mut rng);
+//! let b = Matrix::randn(5, 8, &mut rng);
+//! let packed = Matrix::vstack(&[&a, &b]).unwrap();
+//! let segments = [
+//!     PoolSegment { start: 0, rows: 3, real_rows: 3 },
+//!     PoolSegment { start: 3, rows: 5, real_rows: 5 },
+//! ];
+//! let out = attn.infer_packed(&store, &packed, &segments).unwrap();
+//!
+//! // Each block equals the standalone pass over that session alone.
+//! assert_eq!(out.slice_rows(0, 3).unwrap(), attn.infer(&store, &a, None).unwrap());
+//! assert_eq!(out.slice_rows(3, 8).unwrap(), attn.infer(&store, &b, None).unwrap());
+//! ```
 
 pub mod attention;
 pub mod linear;
@@ -39,7 +73,7 @@ pub mod mlp;
 pub mod optimizer;
 pub mod param;
 
-pub use attention::MultiHeadSelfAttention;
+pub use attention::{MultiHeadSelfAttention, PoolSegment};
 pub use linear::{Linear, RowwiseFF};
 pub use mlp::Mlp;
 pub use optimizer::{Adam, Optimizer, Sgd};

@@ -17,6 +17,43 @@
 //! let c = a.matmul(&b).unwrap();
 //! assert_eq!(c.shape(), (3, 2));
 //! ```
+//!
+//! # Packed-row ops: the substrate of batched inference
+//!
+//! Batched Q-network inference stacks `N` sessions' state rows into one
+//! `[Σ pool sizes, dim]` buffer ([`Matrix::vstack`]), runs every row-wise layer as a single
+//! stacked matmul, and scatters per-session blocks with [`Matrix::slice_rows`] /
+//! [`Matrix::paste_rows`]. Because a row-wise operation's output row depends only on its own
+//! input row, the stacked result is **bit-identical** to processing the parts one at a time:
+//!
+//! ```
+//! use crowd_tensor::{Matrix, Rng};
+//!
+//! let mut rng = Rng::seed_from(1);
+//! let session_a = Matrix::randn(3, 4, &mut rng); // 3 available tasks
+//! let session_b = Matrix::randn(5, 4, &mut rng); // 5 available tasks
+//! let weights = Matrix::randn(4, 2, &mut rng);
+//!
+//! let packed = Matrix::vstack(&[&session_a, &session_b]).unwrap();
+//! let stacked = packed.matmul(&weights).unwrap(); // ONE matmul for both sessions
+//!
+//! assert_eq!(stacked.slice_rows(0, 3).unwrap(), session_a.matmul(&weights).unwrap());
+//! assert_eq!(stacked.slice_rows(3, 8).unwrap(), session_b.matmul(&weights).unwrap());
+//! ```
+//!
+//! # Determinism
+//!
+//! [`Rng`] is a self-contained xoshiro256++ generator (no external `rand`): the same seed
+//! yields the same stream on every platform, which is what makes the workspace's
+//! bit-identity equivalence tests possible.
+//!
+//! ```
+//! use crowd_tensor::Rng;
+//!
+//! let mut a = Rng::seed_from(99);
+//! let mut b = Rng::seed_from(99);
+//! assert_eq!(a.normal(0.0, 1.0), b.normal(0.0, 1.0));
+//! ```
 
 pub mod error;
 pub mod matrix;

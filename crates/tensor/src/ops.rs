@@ -285,6 +285,70 @@ impl Matrix {
         Ok(out)
     }
 
+    /// Stacks several matrices with equal column counts into one `[Σ rows, cols]` matrix.
+    ///
+    /// This is the packing step of batched inference: `N` per-session state matrices become
+    /// one buffer, so every row-wise layer (`matmul`, bias broadcast, activations) runs as a
+    /// single stacked operation instead of `N` small ones. Because those operations act on
+    /// each row independently, the packed result is bit-identical to processing the parts
+    /// one at a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the parts disagree on column count.
+    /// An empty part list yields a `0 x 0` matrix.
+    pub fn vstack(parts: &[&Matrix]) -> Result<Matrix> {
+        let Some(first) = parts.first() else {
+            return Ok(Matrix::zeros(0, 0));
+        };
+        let cols = first.cols();
+        let mut rows = 0;
+        for part in parts {
+            if part.cols() != cols {
+                return Err(TensorError::ShapeMismatch {
+                    op: "vstack",
+                    lhs: first.shape(),
+                    rhs: part.shape(),
+                });
+            }
+            rows += part.rows();
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for part in parts {
+            data.extend_from_slice(part.as_slice());
+        }
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// Overwrites rows `[start, start + src.rows())` of `self` with the rows of `src` — the
+    /// scatter step of batched inference, writing a per-session result block back into the
+    /// packed buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the column counts differ or the block does not fit.
+    pub fn paste_rows(&mut self, start: usize, src: &Matrix) -> Result<()> {
+        if src.cols() != self.cols() {
+            return Err(TensorError::ShapeMismatch {
+                op: "paste_rows",
+                lhs: self.shape(),
+                rhs: src.shape(),
+            });
+        }
+        let end = start + src.rows();
+        if end > self.rows() {
+            return Err(TensorError::IndexOutOfBounds {
+                op: "paste_rows",
+                index: end,
+                bound: self.rows() + 1,
+            });
+        }
+        for r in 0..src.rows() {
+            self.row_mut(start + r).copy_from_slice(src.row(r));
+        }
+        Ok(())
+    }
+
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
         self.as_slice().iter().sum()
@@ -678,5 +742,57 @@ mod proptests {
             assert_eq!(r.relu(), r.clone());
             assert!(r.as_slice().iter().all(|&v| v >= 0.0));
         }
+    }
+
+    #[test]
+    fn vstack_packs_and_slice_rows_unpacks() {
+        let mut rng = Rng::seed_from(108);
+        let a = Matrix::randn(3, 4, &mut rng);
+        let b = Matrix::randn(1, 4, &mut rng);
+        let c = Matrix::randn(2, 4, &mut rng);
+        let packed = Matrix::vstack(&[&a, &b, &c]).unwrap();
+        assert_eq!(packed.shape(), (6, 4));
+        assert_eq!(packed.slice_rows(0, 3).unwrap(), a);
+        assert_eq!(packed.slice_rows(3, 4).unwrap(), b);
+        assert_eq!(packed.slice_rows(4, 6).unwrap(), c);
+        // Column mismatch is rejected; an empty list packs to nothing.
+        assert!(Matrix::vstack(&[&a, &Matrix::zeros(2, 3)]).is_err());
+        assert_eq!(Matrix::vstack(&[]).unwrap().shape(), (0, 0));
+    }
+
+    #[test]
+    fn stacked_matmul_is_bit_identical_to_per_part_matmul() {
+        // The property batched inference relies on: a row-wise op over the packed buffer
+        // produces exactly the bits of the per-part ops.
+        let mut rng = Rng::seed_from(109);
+        for _ in 0..CASES {
+            let a = random_matrix(5, &mut rng);
+            let b = Matrix::randn(rng.range(1, 6), a.cols(), &mut rng);
+            let w = Matrix::randn(a.cols(), 3, &mut rng);
+            let packed = Matrix::vstack(&[&a, &b]).unwrap();
+            let stacked = packed.matmul(&w).unwrap();
+            assert_eq!(
+                stacked.slice_rows(0, a.rows()).unwrap(),
+                a.matmul(&w).unwrap()
+            );
+            assert_eq!(
+                stacked.slice_rows(a.rows(), packed.rows()).unwrap(),
+                b.matmul(&w).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn paste_rows_scatters_blocks_back() {
+        let mut rng = Rng::seed_from(110);
+        let a = Matrix::randn(2, 3, &mut rng);
+        let b = Matrix::randn(3, 3, &mut rng);
+        let mut packed = Matrix::zeros(5, 3);
+        packed.paste_rows(0, &a).unwrap();
+        packed.paste_rows(2, &b).unwrap();
+        assert_eq!(packed, Matrix::vstack(&[&a, &b]).unwrap());
+        // Shape and bounds violations are rejected.
+        assert!(packed.paste_rows(0, &Matrix::zeros(1, 2)).is_err());
+        assert!(packed.paste_rows(4, &Matrix::zeros(2, 3)).is_err());
     }
 }

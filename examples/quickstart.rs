@@ -2,6 +2,10 @@
 //! on it through the zero-copy `Env` interface, and print the completion rate it achieves.
 //!
 //! Run with: `cargo run --release -p crowd-experiments --example quickstart`
+//!
+//! Next steps: `examples/batched_sessions.rs` runs 8 simulations at once with one shared
+//! Q-network forward pass per round (`SessionBatch::step_batched`), and `ARCHITECTURE.md`
+//! at the repository root maps the whole `Env`/`Session`/`Policy` layering.
 
 use crowd_rl_core::{DdqnAgent, DdqnConfig};
 use crowd_sim::{Decision, Env, Platform, Policy, SimConfig};
