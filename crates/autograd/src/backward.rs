@@ -150,6 +150,44 @@ pub(crate) fn run(graph: &mut Graph, output: VarId) -> Result<()> {
                     accumulate(graph, inputs[0], grad)?;
                 }
             }
+            Op::SliceRows { start, end: _ } => {
+                if propagate[0] {
+                    // Scatter: the sliced rows get the upstream gradient, everything else
+                    // zero. Packed training slices one buffer many times (per segment,
+                    // per head), all accumulating into the same slot — so once the slot
+                    // exists, add the row block in place instead of materialising and
+                    // adding a full-size mostly-zero matrix per slice node.
+                    let input = inputs[0];
+                    let src_shape = graph.nodes[input.0].value.shape();
+                    match &mut graph.grads[input.0] {
+                        Some(existing) => {
+                            for r in 0..upstream.rows() {
+                                let dst = existing.row_mut(start + r);
+                                for (d, &u) in dst.iter_mut().zip(upstream.row(r)) {
+                                    *d += u;
+                                }
+                            }
+                        }
+                        slot @ None => {
+                            let mut grad = Matrix::zeros(src_shape.0, src_shape.1);
+                            grad.paste_rows(start, &upstream)?;
+                            *slot = Some(grad);
+                        }
+                    }
+                }
+            }
+            Op::Vstack { parts } => {
+                // Gather: each stacked operand receives its own row block of the upstream
+                // gradient.
+                let mut offset = 0;
+                for (i, &rows) in parts.iter().enumerate() {
+                    if propagate[i] {
+                        let grad = upstream.slice_rows(offset, offset + rows)?;
+                        accumulate(graph, inputs[i], grad)?;
+                    }
+                    offset += rows;
+                }
+            }
             Op::Sum => {
                 if propagate[0] {
                     let shape = graph.nodes[inputs[0].0].value.shape();
@@ -301,6 +339,76 @@ mod tests {
         let ss = g2.squared_sum(x2);
         g2.backward(ss).unwrap();
         assert_eq!(g2.grad(x2).unwrap().as_slice(), &[2.0, -4.0, 6.0]);
+    }
+
+    #[test]
+    fn slice_rows_gradient_scatters_back() {
+        let mut g = Graph::new();
+        let x = g.leaf(mat(4, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]));
+        // Only rows 1..3 contribute to the loss.
+        let mid = g.slice_rows(x, 1, 3).unwrap();
+        let loss = g.sum(mid);
+        g.backward(loss).unwrap();
+        assert_eq!(
+            g.grad(x).unwrap().as_slice(),
+            &[0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn repeated_slice_rows_accumulate_in_place() {
+        // Several slices of one packed buffer (the per-segment, per-head pattern of
+        // packed attention) must accumulate into one gradient, including overlaps.
+        let mut g = Graph::new();
+        let x = g.leaf(mat(3, 2, &[1.0; 6]));
+        let a = g.slice_rows(x, 0, 2).unwrap();
+        let b = g.slice_rows(x, 1, 3).unwrap();
+        let sa = g.sum(a);
+        let sb = g.sum(b);
+        let both = g.add(sa, sb).unwrap();
+        g.backward(both).unwrap();
+        // Row 0 only from a, row 1 from both, row 2 only from b.
+        assert_eq!(
+            g.grad(x).unwrap().as_slice(),
+            &[1.0, 1.0, 2.0, 2.0, 1.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn vstack_gradient_routes_row_blocks() {
+        let mut g = Graph::new();
+        let a = g.leaf(mat(2, 2, &[1.0; 4]));
+        let b = g.leaf(mat(1, 2, &[1.0; 2]));
+        let c = g.constant(mat(3, 2, &[1.0; 6]));
+        let packed = g.vstack(&[a, b, c]).unwrap();
+        assert_eq!(g.value(packed).shape(), (6, 2));
+        // Weight each packed row differently so the routing is visible.
+        let w = g.constant(mat(
+            6,
+            2,
+            &[1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 9.0, 9.0, 9.0, 9.0, 9.0, 9.0],
+        ));
+        let weighted = g.hadamard(packed, w).unwrap();
+        let loss = g.sum(weighted);
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[1.0, 1.0, 2.0, 2.0]);
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[3.0, 3.0]);
+        assert!(g.grad(c).is_none(), "constants receive no gradient");
+    }
+
+    #[test]
+    fn vstack_then_slice_rows_roundtrip_gradient() {
+        // slice_rows(vstack([a, b])) selecting exactly b's block must give b the full
+        // upstream gradient and a none of it — the scatter/gather pair inverts cleanly.
+        let mut g = Graph::new();
+        let a = g.leaf(mat(3, 2, &[0.5; 6]));
+        let b = g.leaf(mat(2, 2, &[0.5; 4]));
+        let packed = g.vstack(&[a, b]).unwrap();
+        let bb = g.slice_rows(packed, 3, 5).unwrap();
+        let loss = g.sum(bb);
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[0.0; 6]);
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[1.0; 4]);
     }
 
     #[test]

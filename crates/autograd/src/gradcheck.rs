@@ -160,6 +160,44 @@ mod tests {
     }
 
     #[test]
+    fn gradcheck_vstack_slice_rows_segment_pipeline() {
+        // The packed-segment shape the learner uses: stack two unequal-height blocks,
+        // slice each back out, run a softmax per segment and recombine.
+        let f: Box<ScalarFn> = Box::new(|g, ids| {
+            let packed = g.vstack(&[ids[0], ids[1]]).unwrap();
+            let top = g.slice_rows(packed, 0, 2).unwrap();
+            let bottom = g.slice_rows(packed, 2, 5).unwrap();
+            let s_top = g.softmax_rows(top);
+            let s_bottom = g.softmax_rows(bottom);
+            let mixed = g.vstack(&[s_bottom, s_top]).unwrap();
+            let prod = g.hadamard(mixed, mixed).unwrap();
+            g.sum(prod)
+        });
+        let inputs = vec![rand_mat(2, 3, 51), rand_mat(3, 3, 52)];
+        for idx in 0..2 {
+            let report = check_gradient(&f, &inputs, idx, 1e-2);
+            assert!(
+                report.passes(2e-2),
+                "vstack/slice_rows input {idx}: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradcheck_weighted_masked_mse() {
+        let target = rand_mat(5, 1, 61);
+        let mask = Matrix::from_vec(5, 1, vec![1.0, 0.0, 1.0, 0.0, 1.0]).unwrap();
+        let weights = Matrix::from_vec(5, 1, vec![0.9, 0.0, 0.4, 0.0, 1.0]).unwrap();
+        let f: Box<ScalarFn> = Box::new(move |g, ids| {
+            g.weighted_masked_mse(ids[0], &target, &mask, &weights, 3.0)
+                .unwrap()
+        });
+        let inputs = vec![rand_mat(5, 1, 62)];
+        let report = check_gradient(&f, &inputs, 0, 1e-2);
+        assert!(report.passes(2e-2), "weighted masked mse: {report:?}");
+    }
+
+    #[test]
     fn gradcheck_sub_scale_shift() {
         let f: Box<ScalarFn> = Box::new(|g, ids| {
             let d = g.sub(ids[0], ids[1]).unwrap();

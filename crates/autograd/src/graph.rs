@@ -176,6 +176,26 @@ impl Graph {
         Ok(self.push(Op::SliceCols { start, end }, vec![a], value, rg))
     }
 
+    /// Row slice `a[start..end, :]` — gathers one segment's rows out of a packed buffer.
+    /// The backward pass scatters the upstream gradient back into the matching rows of a
+    /// zero matrix shaped like `a`.
+    pub fn slice_rows(&mut self, a: VarId, start: usize, end: usize) -> Result<VarId> {
+        let value = self.value_of(a).slice_rows(start, end)?;
+        let rg = self.needs_grad(&[a]);
+        Ok(self.push(Op::SliceRows { start, end }, vec![a], value, rg))
+    }
+
+    /// Vertical stack `[a0; a1; …]` of same-width nodes — scatters per-segment results back
+    /// into one packed buffer. The backward pass routes each operand its own row block of
+    /// the upstream gradient.
+    pub fn vstack(&mut self, parts: &[VarId]) -> Result<VarId> {
+        let values: Vec<&Matrix> = parts.iter().map(|&p| self.value_of(p)).collect();
+        let value = Matrix::vstack(&values)?;
+        let rows: Vec<usize> = values.iter().map(|m| m.rows()).collect();
+        let rg = self.needs_grad(parts);
+        Ok(self.push(Op::Vstack { parts: rows }, parts.to_vec(), value, rg))
+    }
+
     /// Sum of all elements (`1 x 1` result).
     pub fn sum(&mut self, a: VarId) -> VarId {
         let value = Matrix::filled(1, 1, self.value_of(a).sum());
@@ -210,6 +230,38 @@ impl Graph {
         let masked = self.hadamard(diff, m)?;
         let sq = self.squared_sum(masked);
         Ok(self.scale(sq, 1.0 / denom))
+    }
+
+    /// The packed-minibatch DQN loss: importance-weighted masked mean-squared error
+    /// `Σ_r w_r · (mask_r ∘ (pred_r − target_r))² / denom`, evaluated in one graph over a
+    /// packed prediction column whose segments each carry one selected (masked-in) row.
+    ///
+    /// `target`, `mask` and `weights` are inserted as constants, so gradients flow only
+    /// into `pred`; `weights` applies each transition's importance-sampling weight
+    /// *in-graph*, and `denom` (the minibatch size) turns the weighted sum into the batch
+    /// mean. The per-row evaluation order — square the masked difference, then multiply by
+    /// the weight, then accumulate row by row — is chosen to reproduce bit for bit the
+    /// value the sequential reference loop computes as
+    /// `Σ_i masked_mse(pred_i, …) · w_i / B` (see `crowd-rl-core`'s learner): masked-out
+    /// rows contribute exact `0.0` terms, and `f32` addition of `0.0` onto a non-negative
+    /// accumulator is bit-exact.
+    pub fn weighted_masked_mse(
+        &mut self,
+        pred: VarId,
+        target: &Matrix,
+        mask: &Matrix,
+        weights: &Matrix,
+        denom: f32,
+    ) -> Result<VarId> {
+        let t = self.constant(target.clone());
+        let m = self.constant(mask.clone());
+        let w = self.constant(weights.clone());
+        let diff = self.sub(pred, t)?;
+        let masked = self.hadamard(diff, m)?;
+        let sq = self.hadamard(masked, masked)?;
+        let weighted = self.hadamard(sq, w)?;
+        let total = self.sum(weighted);
+        Ok(self.scale(total, 1.0 / denom.max(1.0)))
     }
 
     /// Value of a node.
@@ -321,6 +373,29 @@ mod tests {
         assert!((gp.get(0, 1) + 6.0).abs() < 1e-4);
         assert_eq!(gp.get(0, 0), 0.0);
         assert_eq!(gp.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn weighted_masked_mse_matches_sequential_accumulation() {
+        // Two "transitions" packed into one column: rows 1 and 3 are the selected action
+        // rows with weights 0.5 and 1.0; denom 2 is the batch mean.
+        let mut g = Graph::new();
+        let pred = g.leaf(mat(4, 1, &[9.0, 2.0, 9.0, 4.0]));
+        let target = mat(4, 1, &[0.0, 5.0, 0.0, 1.0]);
+        let mask = mat(4, 1, &[0.0, 1.0, 0.0, 1.0]);
+        let weights = mat(4, 1, &[0.0, 0.5, 0.0, 1.0]);
+        let loss = g
+            .weighted_masked_mse(pred, &target, &mask, &weights, 2.0)
+            .unwrap();
+        // ((2-5)^2 * 0.5 + (4-1)^2 * 1.0) / 2 = (4.5 + 9) / 2 = 6.75.
+        assert!((g.value(loss).get(0, 0) - 6.75).abs() < 1e-5);
+        g.backward(loss).unwrap();
+        let gp = g.grad(pred).unwrap();
+        // d/dpred_1 = 2 * (2 - 5) * 0.5 / 2 = -1.5; masked-out rows get zero gradient.
+        assert!((gp.get(1, 0) + 1.5).abs() < 1e-4);
+        assert!((gp.get(3, 0) - 3.0).abs() < 1e-4);
+        assert_eq!(gp.get(0, 0), 0.0);
+        assert_eq!(gp.get(2, 0), 0.0);
     }
 
     #[test]

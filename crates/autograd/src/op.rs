@@ -39,6 +39,23 @@ pub enum Op {
         /// Last column (exclusive).
         end: usize,
     },
+    /// Row slice `A[start..end, :]` — the *gather* half of the packed-segment pair: it cuts
+    /// one segment's rows out of a packed buffer, and its backward scatters the upstream
+    /// gradient back into a zero matrix of the source shape.
+    SliceRows {
+        /// First row (inclusive).
+        start: usize,
+        /// Last row (exclusive).
+        end: usize,
+    },
+    /// Vertical stack `[A0; A1; …]` of same-width operands — the *scatter* half of the
+    /// packed-segment pair: per-segment results re-enter the packed buffer through it, and
+    /// its backward gathers each operand's rows back out of the upstream gradient.
+    Vstack {
+        /// Row count of every stacked operand, in operand order (recorded so the backward
+        /// pass can split the upstream gradient without re-reading operand shapes).
+        parts: Vec<usize>,
+    },
     /// Sum of all elements, producing a `1 x 1` matrix.
     Sum,
     /// Mean of all elements, producing a `1 x 1` matrix.
@@ -64,6 +81,8 @@ impl Op {
             Op::Transpose => "transpose",
             Op::ConcatCols => "concat_cols",
             Op::SliceCols { .. } => "slice_cols",
+            Op::SliceRows { .. } => "slice_rows",
+            Op::Vstack { .. } => "vstack",
             Op::Sum => "sum",
             Op::Mean => "mean",
             Op::SquaredSum => "squared_sum",
@@ -80,6 +99,7 @@ impl Op {
             | Op::Sub
             | Op::Hadamard
             | Op::ConcatCols => 2,
+            Op::Vstack { parts } => parts.len(),
             _ => 1,
         }
     }
@@ -103,5 +123,13 @@ mod tests {
         assert_eq!(Op::Relu.arity(), 1);
         assert_eq!(Op::ConcatCols.arity(), 2);
         assert_eq!(Op::SquaredSum.arity(), 1);
+        assert_eq!(Op::SliceRows { start: 0, end: 2 }.arity(), 1);
+        assert_eq!(
+            Op::Vstack {
+                parts: vec![2, 3, 1]
+            }
+            .arity(),
+            3
+        );
     }
 }

@@ -5,6 +5,14 @@
 //! under `benches/` use (`benchmark_group`, `bench_function`, `bench_with_input`,
 //! `BenchmarkId`, `criterion_group!`, `criterion_main!`). Timings are wall-clock medians
 //! over `sample_size` samples, printed as `group/name: <median> (min .. max)`.
+//!
+//! # Smoke mode
+//!
+//! Passing `--smoke` on the bench command line (`cargo bench -p crowd-bench -- --smoke`)
+//! or setting `CROWD_BENCH_SMOKE=1` collapses every group's sample count to the minimum,
+//! so CI can *build and run* every bench quickly without measuring anything meaningful —
+//! bench code can no longer bit-rot un-compiled. Benches with heavy per-case setup can
+//! additionally query [`smoke_mode`] to shrink their own workloads.
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
@@ -14,6 +22,18 @@ use std::time::{Duration, Instant};
 pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
 }
+
+/// True when the benches were invoked in quick smoke mode: the `--smoke` argument (the CI
+/// bench-smoke job passes it through `cargo bench -- --smoke`) or `CROWD_BENCH_SMOKE=1`.
+/// The harness then pins every group's sample count to the minimum; benches may also use
+/// this to shrink their own setup (fewer parameter points, smaller datasets).
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|arg| arg == "--smoke")
+        || std::env::var_os("CROWD_BENCH_SMOKE").is_some_and(|v| v == "1")
+}
+
+/// Samples per benchmark in smoke mode (the minimum the harness accepts).
+const SMOKE_SAMPLES: usize = 3;
 
 /// Entry point object handed to every benchmark function.
 #[derive(Debug, Default)]
@@ -26,7 +46,7 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
         BenchmarkGroup {
             name: name.into(),
-            sample_size: 20,
+            sample_size: if smoke_mode() { SMOKE_SAMPLES } else { 20 },
         }
     }
 }
@@ -61,9 +81,14 @@ pub struct BenchmarkGroup {
 }
 
 impl BenchmarkGroup {
-    /// Number of timed samples per benchmark.
+    /// Number of timed samples per benchmark. Ignored in smoke mode, which pins the count
+    /// to the minimum so every bench runs fast in CI.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(3);
+        self.sample_size = if smoke_mode() {
+            SMOKE_SAMPLES
+        } else {
+            n.max(3)
+        };
         self
     }
 

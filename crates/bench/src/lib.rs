@@ -9,14 +9,17 @@
 //! * `update_latency` — one full model update (LinUCB vs DDQN) vs pool size, the
 //!   micro-benchmark version of Table I and Fig. 10(d);
 //! * `replay_buffer` — prioritized replay push/sample throughput;
-//! * `simulator_throughput` — platform event replay throughput.
+//! * `simulator_throughput` — platform event replay throughput;
+//! * `batched_training` — packed (one autograd graph per minibatch) vs sequential
+//!   (per-transition) DDQN learning step at `B ∈ {16, 32, 64}`.
 
+use crowd_rl_core::{StateTensor, StateTransformer};
 use crowd_sim::{ArrivalContext, TaskId, TaskSnapshot, WorkerId};
 use crowd_tensor::Rng;
 
 pub mod harness;
 
-pub use harness::{Bencher, BenchmarkGroup, BenchmarkId, Criterion};
+pub use harness::{smoke_mode, Bencher, BenchmarkGroup, BenchmarkId, Criterion};
 
 /// Builds a synthetic arrival context with `n_tasks` available tasks and `feature_dim`-wide
 /// features, used by several benches.
@@ -43,9 +46,53 @@ pub fn synthetic_context(n_tasks: usize, feature_dim: usize, seed: u64) -> Arriv
     }
 }
 
+/// One random task snapshot with `task_dim`-wide features, for learner fixtures (states,
+/// transitions). Shared by `benches/batched_training.rs` and
+/// `tests/packed_learning_equivalence.rs` so the fixtures cannot drift apart.
+pub fn synthetic_snapshot(id: u32, task_dim: usize, rng: &mut Rng) -> TaskSnapshot {
+    TaskSnapshot {
+        id: TaskId(id),
+        feature: (0..task_dim).map(|_| rng.uniform(-1.0, 1.0)).collect(),
+        quality: rng.uniform(0.0, 1.0),
+        award: rng.uniform(1.0, 20.0),
+        category: 0,
+        domain: 0,
+        deadline: 1_000 + rng.below(5_000) as u64,
+        completions: 0,
+    }
+}
+
+/// A random state over `pool` tasks built through `tf` (worker feature and quality drawn
+/// from `rng`; `pool` may be 0 for an empty-pool state). `worker_dim` must match the
+/// transformer's worker dimension.
+pub fn synthetic_state(
+    tf: &StateTransformer,
+    pool: usize,
+    task_dim: usize,
+    worker_dim: usize,
+    rng: &mut Rng,
+) -> StateTensor {
+    let snaps: Vec<TaskSnapshot> = (0..pool as u32)
+        .map(|i| synthetic_snapshot(i, task_dim, rng))
+        .collect();
+    let worker: Vec<f32> = (0..worker_dim).map(|_| rng.uniform(0.0, 1.0)).collect();
+    tf.build(&snaps, &worker, rng.uniform(0.0, 1.0))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn synthetic_state_has_requested_pool() {
+        use crowd_rl_core::StateKind;
+        let tf = StateTransformer::new(StateKind::Worker, 8, 4, 3);
+        let mut rng = Rng::seed_from(5);
+        let st = synthetic_state(&tf, 5, 4, 3, &mut rng);
+        assert_eq!(st.real_tasks, 5);
+        assert_eq!(st.features.shape(), (8, 7));
+        assert_eq!(synthetic_state(&tf, 0, 4, 3, &mut rng).real_tasks, 0);
+    }
 
     #[test]
     fn synthetic_context_has_requested_shape() {

@@ -12,8 +12,8 @@ use crate::memory::{FutureBranch, Transition};
 use crate::predictor::{requester_future_branches, worker_future_branches};
 use crate::state::{StateKind, StateTensor, StateTransformer};
 use crowd_sim::{
-    ArrivalContext, ArrivalView, BatchedPolicy, Decision, FeedbackView, Policy, PolicyFeedback,
-    TaskId,
+    ArrivalContext, ArrivalView, BatchedPolicy, Decision, FeedbackView, LearnerTiming, Policy,
+    PolicyFeedback, TaskId,
 };
 use crowd_tensor::Rng;
 use std::sync::Arc;
@@ -353,6 +353,18 @@ impl Policy for DdqnAgent {
             self.observe(&ctx.view(), &feedback.view());
         }
     }
+
+    /// Learner wall time across both networks: every `DqnLearner::learn` call is timed, so
+    /// the efficiency binaries can report per-update learner latency (the packed-minibatch
+    /// hot path) separately from the rest of `observe`.
+    fn learner_timing(&self) -> Option<LearnerTiming> {
+        let (worker_updates, worker_total) = self.learner_worker.learn_timing();
+        let (requester_updates, requester_total) = self.learner_requester.learn_timing();
+        Some(LearnerTiming {
+            updates: worker_updates + requester_updates,
+            total: worker_total + requester_total,
+        })
+    }
 }
 
 impl BatchedPolicy for DdqnAgent {
@@ -528,6 +540,12 @@ mod tests {
         assert!(agent.observations() >= 100);
         assert!(agent.arrival_stats().arrivals_seen() >= 100);
         assert!(agent.total_updates() > 0, "learners never ran");
+        let timing = agent
+            .learner_timing()
+            .expect("the DDQN agent tracks timing");
+        assert_eq!(timing.updates, agent.total_updates());
+        assert!(timing.total > std::time::Duration::ZERO);
+        assert!(timing.mean_seconds() > 0.0);
     }
 
     #[test]

@@ -12,14 +12,39 @@
 //! expectation runs over the explicit future-state branches produced by the predictors
 //! instead of a single observed next state. Sampling uses prioritized experience replay with
 //! importance-sampling weights.
+//!
+//! # One autograd graph per update
+//!
+//! [`DqnLearner::learn`] is *packed*: the whole minibatch is one graph. The sampled
+//! transitions' states go through [`SetQNetwork::forward_batch`] (one `[Σ pool sizes, 1]`
+//! Q column on the tape), the loss is one in-graph importance-weighted masked MSE
+//! (`crowd_autograd::Graph::weighted_masked_mse`), and all double-DQN targets come from
+//! **two** packed passes — one [`SetQNetwork::infer_batch`] over every live future branch
+//! of every sampled transition for the online argmax, one over the same branches for the
+//! target-network evaluation. One `backward` then yields every parameter's minibatch
+//! gradient.
+//!
+//! [`DqnLearner::learn_sequential`] retains the original per-transition loop (B separate
+//! graphs, per-branch single-state inference) as the frozen reference path — like the
+//! owned-compat `apply_owned` stepping path, it exists only for the equivalence suite
+//! (`tests/packed_learning_equivalence.rs`) and the training benchmark
+//! (`crates/bench/benches/batched_training.rs`). The equivalence contract: from identical
+//! learner state, both paths report bit-identical loss / TD errors and write bit-identical
+//! replay priorities (packed forward values equal per-state forward values bit for bit, and
+//! the loss is accumulated in the same f32 order); post-update *parameters* agree only to
+//! documented f32 tolerance, because the packed backward legitimately sums gradient
+//! contributions across the minibatch in a different association order than the
+//! per-transition accumulation loop.
 
 use crate::config::DdqnConfig;
 use crate::memory::Transition;
-use crate::qnetwork::SetQNetwork;
+use crate::qnetwork::{argmax_of, SetQNetwork};
+use crate::state::StateTensor;
 use crowd_autograd::Graph;
 use crowd_nn::{Adam, GraphBinding, Optimizer, ParamStore};
 use crowd_rl_kit::PrioritizedReplay;
 use crowd_tensor::{Matrix, Rng};
+use std::time::{Duration, Instant};
 
 /// Result alias from the numeric substrate.
 pub type Result<T> = crowd_tensor::Result<T>;
@@ -36,7 +61,11 @@ pub struct LearnReport {
 }
 
 /// A self-contained double-DQN learner for one of the two MDPs.
-#[derive(Debug)]
+///
+/// `Clone` duplicates the complete learner state — networks, optimizer moments, replay
+/// memory and priorities — which is how the equivalence suite runs the packed and the
+/// sequential path from bit-identical starting points.
+#[derive(Debug, Clone)]
 pub struct DqnLearner {
     net: SetQNetwork,
     store: ParamStore,
@@ -48,6 +77,7 @@ pub struct DqnLearner {
     target_sync_every: u64,
     updates: u64,
     max_tasks: usize,
+    learn_time: Duration,
 }
 
 impl DqnLearner {
@@ -74,6 +104,7 @@ impl DqnLearner {
             target_sync_every: config.target_sync_every,
             updates: 0,
             max_tasks: config.max_tasks,
+            learn_time: Duration::ZERO,
         }
     }
 
@@ -90,6 +121,21 @@ impl DqnLearner {
     /// Number of learning steps performed.
     pub fn updates(&self) -> u64 {
         self.updates
+    }
+
+    /// Wall time spent inside [`DqnLearner::learn`] / [`DqnLearner::learn_sequential`] so
+    /// far (the gradient-update slice of the agent's `observe`), paired with the update
+    /// count. Surfaced per policy through `crowd_sim::Policy::learner_timing` so the
+    /// efficiency binaries can report per-update learner latency alongside decision time.
+    pub fn learn_timing(&self) -> (u64, Duration) {
+        (self.updates, self.learn_time)
+    }
+
+    /// Current sampling priority of replay `slot` (see
+    /// `crowd_rl_kit::PrioritizedReplay::priority`); exposed so the packed-vs-sequential
+    /// equivalence suite can compare two learners' replay state bit for bit.
+    pub fn replay_priority(&self, slot: usize) -> f64 {
+        self.memory.priority(slot)
     }
 
     /// Number of transitions currently stored.
@@ -114,7 +160,8 @@ impl DqnLearner {
         self.memory.push(transition);
     }
 
-    /// Double-DQN target for one transition.
+    /// Double-DQN target for one transition, branch by branch (the sequential reference;
+    /// the packed path batches this across the whole minibatch).
     fn target_for(&self, transition: &Transition) -> Result<f32> {
         let mut future = 0.0f32;
         for branch in transition.branches.iter() {
@@ -130,12 +177,137 @@ impl DqnLearner {
         Ok(transition.reward + self.gamma * future)
     }
 
-    /// Runs one prioritized minibatch update; returns `None` when the memory holds fewer
-    /// transitions than the batch size.
+    /// Runs one prioritized minibatch update as **one** autograd graph; returns `None` when
+    /// the memory holds fewer transitions than the batch size.
+    ///
+    /// One `learn` call performs exactly three network passes regardless of the batch size
+    /// or the number of future branches:
+    ///
+    /// 1. one [`SetQNetwork::infer_batch`] over every live future branch of every sampled
+    ///    transition with the online parameters θ — the double-DQN action *selection*;
+    /// 2. one `infer_batch` over the same branches with the target parameters θ̃ — the
+    ///    action *evaluation*; the targets
+    ///    `y_i = r_i + γ · Σ_b Pr(b) · Q̃(s_b, argmax_a Q(s_b, a))` are then assembled
+    ///    branch-by-branch in the sequential path's exact accumulation order;
+    /// 3. one [`SetQNetwork::forward_batch`] packing all sampled states' real task rows
+    ///    into a single `[Σ pool sizes, 1]` Q column on the tape, followed by one in-graph
+    ///    importance-weighted masked MSE and one backward sweep.
+    ///
+    /// The sampled transitions are *borrowed* from the replay memory
+    /// (`PrioritizedReplay::sample_refs`) — no per-update clones of state tensors or
+    /// branch distributions. Reported loss / TD errors and the written replay priorities
+    /// are bit-identical to [`DqnLearner::learn_sequential`] from the same learner state;
+    /// updated parameters match to f32 tolerance (see the module docs for why).
     pub fn learn(&mut self, rng: &mut Rng) -> Result<Option<LearnReport>> {
         if self.memory.len() < self.batch_size {
             return Ok(None);
         }
+        let start = Instant::now();
+        let (grads, priorities, report) = {
+            let sampled = self.memory.sample_refs(self.batch_size, rng);
+            let batch = sampled.len();
+
+            // Double-DQN targets: flatten every live branch of every sampled transition
+            // into one state list, score it once per network, then fold the expectation
+            // per transition in branch order (the sequential path's order).
+            let mut branch_states: Vec<&StateTensor> = Vec::new();
+            let mut branch_spans: Vec<(usize, usize)> = Vec::with_capacity(batch);
+            let mut branch_probs: Vec<f32> = Vec::new();
+            for (_, transition) in &sampled {
+                let span_start = branch_states.len();
+                for branch in transition.branches.iter() {
+                    if branch.state.real_tasks == 0 || branch.probability <= 0.0 {
+                        continue;
+                    }
+                    branch_states.push(&branch.state);
+                    branch_probs.push(branch.probability);
+                }
+                branch_spans.push((span_start, branch_states.len()));
+            }
+            let online_q = self.net.infer_batch(&self.store, &branch_states)?;
+            let target_q = self.net.infer_batch(&self.target_store, &branch_states)?;
+            let targets: Vec<f32> = sampled
+                .iter()
+                .zip(&branch_spans)
+                .map(|((_, transition), &(lo, hi))| {
+                    let mut future = 0.0f32;
+                    for b in lo..hi {
+                        if let Some(best_row) = argmax_of(&online_q[b]) {
+                            future += branch_probs[b] * target_q[b][best_row];
+                        }
+                    }
+                    transition.reward + self.gamma * future
+                })
+                .collect();
+
+            // One packed graph for the whole minibatch.
+            let mut graph = Graph::new();
+            let mut binding = GraphBinding::new();
+            let states: Vec<&StateTensor> = sampled.iter().map(|(_, t)| &t.state).collect();
+            let (q_column, segments) =
+                self.net
+                    .forward_batch(&mut graph, &self.store, &mut binding, &states)?;
+            let total_rows = segments.last().map_or(0, |seg| seg.end());
+            let mut mask = Matrix::zeros(total_rows, 1);
+            let mut target = Matrix::zeros(total_rows, 1);
+            let mut weights = Matrix::zeros(total_rows, 1);
+            let mut total_abs_td = 0.0f32;
+            let mut priorities = Vec::with_capacity(batch);
+            for (((sample, transition), seg), &target_value) in
+                sampled.iter().zip(&segments).zip(&targets)
+            {
+                // A stored transition's action row always indexes a real task row; fail
+                // loudly (in release too) rather than silently train a neighbouring
+                // segment's row on out-of-contract data.
+                if transition.action_row >= seg.rows {
+                    return Err(crowd_tensor::TensorError::IndexOutOfBounds {
+                        op: "learn (action_row past its packed segment)",
+                        index: transition.action_row,
+                        bound: seg.rows,
+                    });
+                }
+                let row = seg.start + transition.action_row;
+                mask.set(row, 0, 1.0);
+                target.set(row, 0, target_value);
+                weights.set(row, 0, sample.weight);
+                let td_error = target_value - graph.value(q_column).get(row, 0);
+                total_abs_td += td_error.abs();
+                priorities.push((sample.index, td_error));
+            }
+
+            let loss =
+                graph.weighted_masked_mse(q_column, &target, &mask, &weights, batch as f32)?;
+            let loss_value = graph.value(loss).get(0, 0);
+            graph.backward(loss)?;
+            let grads = binding.gradients(&graph);
+            let report = LearnReport {
+                loss: loss_value,
+                mean_td_error: total_abs_td * (1.0 / batch as f32),
+                batch,
+            };
+            (grads, priorities, report)
+        };
+
+        self.optimizer.step(&mut self.store, &grads)?;
+        for (slot, td_error) in priorities {
+            self.memory.update_priority(slot, td_error);
+        }
+        self.finish_update();
+        self.learn_time += start.elapsed();
+        Ok(Some(report))
+    }
+
+    /// The pre-packing per-transition update loop: `B` separate graphs per minibatch, one
+    /// forward + backward each, and per-branch single-state target inference. Retained —
+    /// like the owned-compat `Platform::apply_owned` path — **only** as the reference for
+    /// `tests/packed_learning_equivalence.rs` and the old-vs-new comparison in
+    /// `crates/bench/benches/batched_training.rs`; new code must call
+    /// [`DqnLearner::learn`].
+    pub fn learn_sequential(&mut self, rng: &mut Rng) -> Result<Option<LearnReport>> {
+        if self.memory.len() < self.batch_size {
+            return Ok(None);
+        }
+        let start = Instant::now();
         let samples = self.memory.sample(self.batch_size, rng);
         let mut grad_accumulator: Vec<Option<(crowd_nn::ParamId, Matrix)>> = Vec::new();
         let mut total_loss = 0.0f32;
@@ -192,17 +364,23 @@ impl DqnLearner {
         for (slot, td_error) in priorities {
             self.memory.update_priority(slot, td_error);
         }
-
-        self.updates += 1;
-        if self.updates.is_multiple_of(self.target_sync_every) {
-            self.sync_target();
-        }
+        self.finish_update();
+        self.learn_time += start.elapsed();
 
         Ok(Some(LearnReport {
             loss: total_loss * scale,
             mean_td_error: total_abs_td * scale,
             batch,
         }))
+    }
+
+    /// Shared epilogue of both update paths: bump the counter and hard-sync the target
+    /// network on schedule.
+    fn finish_update(&mut self) {
+        self.updates += 1;
+        if self.updates.is_multiple_of(self.target_sync_every) {
+            self.sync_target();
+        }
     }
 
     /// Hard-copies θ̃ ← θ.
@@ -346,6 +524,68 @@ mod tests {
             first.mean_td_error,
             later.mean_td_error
         );
+    }
+
+    #[test]
+    fn packed_learn_matches_sequential_from_identical_state() {
+        // One update from bit-identical learner state: the packed path must report the
+        // same loss / TD error bits and write the same replay priorities as the
+        // per-transition loop. (The 50-update sweep across both MDPs lives in
+        // tests/packed_learning_equivalence.rs.)
+        let cfg = config();
+        let tf = transformer();
+        let mut rng = Rng::seed_from(5);
+        let mut packed = DqnLearner::new(&cfg, 5, 0.3, &mut rng);
+        fill_memory(&mut packed, &tf);
+        let mut sequential = packed.clone();
+        let mut seq_rng = rng.clone();
+        let packed_report = packed.learn(&mut rng).unwrap().unwrap();
+        let seq_report = sequential.learn_sequential(&mut seq_rng).unwrap().unwrap();
+        assert_eq!(packed_report.batch, seq_report.batch);
+        assert_eq!(
+            packed_report.loss.to_bits(),
+            seq_report.loss.to_bits(),
+            "loss diverged: {} vs {}",
+            packed_report.loss,
+            seq_report.loss
+        );
+        assert_eq!(
+            packed_report.mean_td_error.to_bits(),
+            seq_report.mean_td_error.to_bits(),
+            "TD error diverged"
+        );
+        for slot in 0..cfg.buffer_size {
+            assert_eq!(
+                packed.replay_priority(slot).to_bits(),
+                sequential.replay_priority(slot).to_bits(),
+                "replay priority diverged at slot {slot}"
+            );
+        }
+        // Both paths consumed the sampling RNG identically.
+        assert_eq!(rng.next_u64(), seq_rng.next_u64());
+        // Parameters agree to f32 tolerance (gradient summation order differs).
+        for ((_, name, a), (_, _, b)) in packed.params().iter().zip(sequential.params().iter()) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert!(
+                    (x - y).abs() <= 1e-4_f32.max(x.abs() * 1e-3),
+                    "param {name} diverged beyond tolerance: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn learn_timing_accumulates_wall_time() {
+        let cfg = config();
+        let tf = transformer();
+        let mut rng = Rng::seed_from(6);
+        let mut learner = DqnLearner::new(&cfg, 5, 0.3, &mut rng);
+        assert_eq!(learner.learn_timing(), (0, std::time::Duration::ZERO));
+        fill_memory(&mut learner, &tf);
+        learner.learn(&mut rng).unwrap().unwrap();
+        let (updates, total) = learner.learn_timing();
+        assert_eq!(updates, 1);
+        assert!(total > std::time::Duration::ZERO);
     }
 
     #[test]

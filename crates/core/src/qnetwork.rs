@@ -23,7 +23,7 @@ use crowd_nn::{GraphBinding, Linear, MultiHeadSelfAttention, ParamStore, PoolSeg
 use crowd_tensor::{Matrix, Rng};
 
 /// Greatest-Q row index; ties break towards the earlier row, `None` on an empty slice.
-fn argmax_of(q: &[f32]) -> Option<usize> {
+pub(crate) fn argmax_of(q: &[f32]) -> Option<usize> {
     q.iter()
         .enumerate()
         .fold(None, |best: Option<(usize, f32)>, (i, &v)| match best {
@@ -143,6 +143,108 @@ impl SetQNetwork {
         Ok(q.col(0)[..state.real_tasks].to_vec())
     }
 
+    /// Packs the real-row prefixes of `states` back to back into one
+    /// `[Σ pool sizes, row_dim]` buffer with one padding-free segment per *non-empty*
+    /// state (empty pools contribute no rows and no segment). Returns `None` when every
+    /// pool is empty. State matrices are row-major, so each prefix is one contiguous copy;
+    /// all states must agree on the row width, and a mismatch is reported against the
+    /// first non-empty state's shape so the diagnostic names the actual disagreement.
+    fn pack_states(
+        op: &'static str,
+        states: &[&StateTensor],
+    ) -> Result<Option<(Matrix, Vec<PoolSegment>)>> {
+        let mut segments: Vec<PoolSegment> = Vec::with_capacity(states.len());
+        let mut first_shape = None;
+        let mut total_rows = 0;
+        for state in states {
+            if state.real_tasks == 0 {
+                continue;
+            }
+            let first = *first_shape.get_or_insert(state.features.shape());
+            if state.features.cols() != first.1 {
+                return Err(crowd_tensor::TensorError::ShapeMismatch {
+                    op,
+                    lhs: first,
+                    rhs: state.features.shape(),
+                });
+            }
+            segments.push(PoolSegment {
+                start: total_rows,
+                rows: state.real_tasks,
+                real_rows: state.real_tasks,
+            });
+            total_rows += state.real_tasks;
+        }
+        let Some((_, row_dim)) = first_shape else {
+            return Ok(None);
+        };
+        let mut x = Matrix::zeros(total_rows, row_dim);
+        {
+            let dst = x.as_mut_slice();
+            let mut seg_iter = segments.iter();
+            for state in states {
+                if state.real_tasks == 0 {
+                    continue;
+                }
+                let seg = seg_iter.next().expect("one segment per non-empty state");
+                dst[seg.start * row_dim..seg.end() * row_dim]
+                    .copy_from_slice(&state.features.as_slice()[..seg.rows * row_dim]);
+            }
+        }
+        Ok(Some((x, segments)))
+    }
+
+    /// Differentiable twin of [`SetQNetwork::infer_batch`]: `N` states through **one**
+    /// packed graph on the tape, producing a single `[Σ pool sizes, 1]` Q column — the
+    /// packed-minibatch training path that lets `DqnLearner::learn` differentiate a whole
+    /// minibatch with one forward + one backward sweep.
+    ///
+    /// Only the *real* task rows are packed (same layout as the inference path); the
+    /// row-wise blocks run as stacked tape matmuls over the whole buffer and the two
+    /// attention layers run per-segment via
+    /// [`MultiHeadSelfAttention::forward_packed`]. Returns the Q-column node plus the
+    /// segments, one per state in order, so callers can map each state's `action_row` to
+    /// `segments[i].start + action_row` in the packed column. The packed values are
+    /// **bit-identical** to [`SetQNetwork::forward`] on each state's padded tensor alone
+    /// (real rows) and to [`SetQNetwork::infer_batch`] — same argument as the inference
+    /// path, proven by the unit tests below and `tests/packed_learning_equivalence.rs`.
+    ///
+    /// # Errors
+    ///
+    /// Every state must hold at least one real task (a learner minibatch always does:
+    /// every stored transition's `action_row` indexes a real row); an empty pool or an
+    /// empty `states` slice yields [`crowd_tensor::TensorError::EmptyInput`] because a
+    /// zero-row segment has no Q entries to select.
+    pub fn forward_batch(
+        &self,
+        graph: &mut Graph,
+        store: &ParamStore,
+        binding: &mut GraphBinding,
+        states: &[&StateTensor],
+    ) -> Result<(VarId, Vec<PoolSegment>)> {
+        if states.is_empty() || states.iter().any(|s| s.real_tasks == 0) {
+            return Err(crowd_tensor::TensorError::EmptyInput {
+                op: "forward_batch",
+            });
+        }
+        let (x, segments) = Self::pack_states("forward_batch", states)?
+            .expect("non-empty states always produce a packed buffer");
+        let xv = graph.constant(x);
+        let h1 = self.ff1.forward(graph, store, binding, xv)?;
+        let h2 = self.ff2.forward(graph, store, binding, h1)?;
+        let a1 = self
+            .attention1
+            .forward_packed(graph, store, binding, h2, &segments)?;
+        let r1 = self.residual_ff.forward(graph, store, binding, a1)?;
+        let h3 = graph.add(h2, r1)?;
+        let a2 = self
+            .attention2
+            .forward_packed(graph, store, binding, h3, &segments)?;
+        let h4 = graph.add(h3, a2)?;
+        let q = self.head.forward(graph, store, binding, h4)?;
+        Ok((q, segments))
+    }
+
     /// Gradient-free forward pass over `N` states in **one** packed graph — the batched
     /// inference path that lets a `SessionBatch`'s arrivals (see `crowd-experiments` and
     /// `ARCHITECTURE.md` at the repository root) share a single forward pass.
@@ -174,48 +276,9 @@ impl SetQNetwork {
         store: &ParamStore,
         states: &[&StateTensor],
     ) -> Result<Vec<Vec<f32>>> {
-        let mut segments: Vec<PoolSegment> = Vec::with_capacity(states.len());
-        let mut first_shape = None;
-        let mut total_rows = 0;
-        for state in states {
-            if state.real_tasks == 0 {
-                continue;
-            }
-            // All states must agree on the row width; report a mismatch against the first
-            // non-empty state's shape so the diagnostic names the actual disagreement.
-            let first = *first_shape.get_or_insert(state.features.shape());
-            if state.features.cols() != first.1 {
-                return Err(crowd_tensor::TensorError::ShapeMismatch {
-                    op: "infer_batch",
-                    lhs: first,
-                    rhs: state.features.shape(),
-                });
-            }
-            segments.push(PoolSegment {
-                start: total_rows,
-                rows: state.real_tasks,
-                real_rows: state.real_tasks,
-            });
-            total_rows += state.real_tasks;
-        }
-        let Some((_, row_dim)) = first_shape else {
+        let Some((x, segments)) = Self::pack_states("infer_batch", states)? else {
             return Ok(vec![Vec::new(); states.len()]);
         };
-        // Pack the real-row prefixes back to back (state matrices are row-major, so each
-        // prefix is one contiguous copy).
-        let mut x = Matrix::zeros(total_rows, row_dim);
-        {
-            let dst = x.as_mut_slice();
-            let mut seg_iter = segments.iter();
-            for state in states {
-                if state.real_tasks == 0 {
-                    continue;
-                }
-                let seg = seg_iter.next().expect("one segment per non-empty state");
-                dst[seg.start * row_dim..seg.end() * row_dim]
-                    .copy_from_slice(&state.features.as_slice()[..seg.rows * row_dim]);
-            }
-        }
         let h1 = self.ff1.infer(store, &x)?;
         let h2 = self.ff2.infer(store, &h1)?;
         let a1 = self.attention1.infer_packed(store, &h2, &segments)?;
@@ -474,6 +537,112 @@ mod tests {
         let out = net.infer_batch(&store, &[&empty, &empty]).unwrap();
         assert_eq!(out, vec![Vec::<f32>::new(), Vec::new()]);
         assert!(net.infer_batch(&store, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn forward_batch_is_bit_identical_to_per_state_forward_and_infer_batch() {
+        // The packed-training guarantee: one tape for N states produces exactly the bits of
+        // N per-state tapes on the real rows (the padded per-state pass and the packed
+        // padding-free pass agree bit for bit), and exactly the bits of the gradient-free
+        // packed inference path.
+        let (store, net) = network(7, 12);
+        let states = [state(5, 8), state(3, 6), state(8, 8)];
+        let refs: Vec<&StateTensor> = states.iter().collect();
+
+        let mut g = Graph::new();
+        let mut binding = GraphBinding::new();
+        let (q, segments) = net
+            .forward_batch(&mut g, &store, &mut binding, &refs)
+            .unwrap();
+        assert_eq!(segments.len(), states.len());
+        let packed_col = g.value(q).col(0);
+        assert_eq!(packed_col.len(), 5 + 3 + 8);
+
+        let inferred = net.infer_batch(&store, &refs).unwrap();
+        for (st, seg) in states.iter().zip(&segments) {
+            // vs the per-state padded tape.
+            let mut g_solo = Graph::new();
+            let mut binding_solo = GraphBinding::new();
+            let q_solo = net
+                .forward(&mut g_solo, &store, &mut binding_solo, st)
+                .unwrap();
+            let solo_col = g_solo.value(q_solo).col(0);
+            for row in 0..st.real_tasks {
+                assert_eq!(
+                    packed_col[seg.start + row].to_bits(),
+                    solo_col[row].to_bits(),
+                    "packed tape Q diverged from the per-state tape at row {row}"
+                );
+            }
+        }
+        // vs the packed inference path: same bits across the whole column.
+        let flattened: Vec<f32> = inferred.into_iter().flatten().collect();
+        assert_eq!(
+            packed_col, flattened,
+            "tape values diverged from infer_batch"
+        );
+    }
+
+    #[test]
+    fn forward_batch_gradient_trains_all_selected_rows() {
+        use crowd_nn::{Adam, Optimizer};
+        // One packed update per step moves two different states' selected Q values towards
+        // their targets simultaneously.
+        let (mut store, net) = network(7, 13);
+        let states = [state(4, 6), state(6, 8)];
+        let refs: Vec<&StateTensor> = states.iter().collect();
+        let initial = net.infer_batch(&store, &refs).unwrap();
+        let targets = [initial[0][1] + 2.0, initial[1][3] - 1.5];
+        let mut opt = Adam::new(0.01);
+        for _ in 0..80 {
+            let mut g = Graph::new();
+            let mut binding = GraphBinding::new();
+            let (q, segments) = net
+                .forward_batch(&mut g, &store, &mut binding, &refs)
+                .unwrap();
+            let total_rows = segments.last().unwrap().end();
+            let mut target = Matrix::zeros(total_rows, 1);
+            let mut mask = Matrix::zeros(total_rows, 1);
+            let mut weights = Matrix::zeros(total_rows, 1);
+            for (seg, (&row, &y)) in segments.iter().zip([1usize, 3].iter().zip(&targets)) {
+                mask.set(seg.start + row, 0, 1.0);
+                target.set(seg.start + row, 0, y);
+                weights.set(seg.start + row, 0, 1.0);
+            }
+            let loss = g
+                .weighted_masked_mse(q, &target, &mask, &weights, 2.0)
+                .unwrap();
+            g.backward(loss).unwrap();
+            opt.step(&mut store, &binding.gradients(&g)).unwrap();
+        }
+        let trained = net.infer_batch(&store, &refs).unwrap();
+        assert!(
+            (trained[0][1] - targets[0]).abs() < 0.2,
+            "state 0 Q moved to {} target {}",
+            trained[0][1],
+            targets[0]
+        );
+        assert!(
+            (trained[1][3] - targets[1]).abs() < 0.2,
+            "state 1 Q moved to {} target {}",
+            trained[1][3],
+            targets[1]
+        );
+    }
+
+    #[test]
+    fn forward_batch_rejects_empty_pools() {
+        let (store, net) = network(7, 14);
+        let full = state(3, 6);
+        let empty = state(0, 6);
+        let mut g = Graph::new();
+        let mut binding = GraphBinding::new();
+        assert!(net
+            .forward_batch(&mut g, &store, &mut binding, &[&full, &empty])
+            .is_err());
+        assert!(net
+            .forward_batch(&mut g, &store, &mut binding, &[])
+            .is_err());
     }
 
     #[test]

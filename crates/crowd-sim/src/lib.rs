@@ -77,7 +77,9 @@ pub use event::{Event, EventKind};
 pub use features::FeatureSpace;
 pub use generator::{perturb_worker_qualities, resample_arrivals, SimConfig};
 pub use platform::{Arrival, Platform};
-pub use policy::{Action, ArrivalContext, BatchedPolicy, Policy, PolicyFeedback, TaskSnapshot};
+pub use policy::{
+    Action, ArrivalContext, BatchedPolicy, LearnerTiming, Policy, PolicyFeedback, TaskSnapshot,
+};
 pub use quality::{dixit_stiglitz, quality_gain};
 pub use stats::{
     consecutive_arrival_gap_histogram, monthly_stats, same_worker_gap_histogram, GapHistogram,

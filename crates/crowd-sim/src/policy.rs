@@ -12,6 +12,33 @@
 use crate::env::{ArrivalView, Decision, FeedbackView};
 use crate::task::TaskId;
 use crate::worker::WorkerId;
+use std::time::Duration;
+
+/// Wall time a policy has spent in its gradient/model-update steps — the *learner* slice
+/// of `observe`, separated from transition construction and statistics bookkeeping.
+///
+/// Reported by [`Policy::learner_timing`] for policies that track it (the DDQN agent times
+/// every `learn` call); the efficiency binaries print the per-update mean alongside
+/// decision and observe time so learner-side speedups (e.g. the packed minibatch graph)
+/// are visible in experiment output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LearnerTiming {
+    /// Number of gradient updates performed.
+    pub updates: u64,
+    /// Total wall time spent inside those updates.
+    pub total: Duration,
+}
+
+impl LearnerTiming {
+    /// Average seconds per gradient update (0 when no update ran).
+    pub fn mean_seconds(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.total.as_secs_f64() / self.updates as f64
+        }
+    }
+}
 
 /// Snapshot of one available task as shown to a policy at decision time (owned record; the
 /// hot loop uses [`crate::TaskRef`] instead).
@@ -161,6 +188,13 @@ pub trait Policy {
     /// History records are owned; replay them through views via
     /// [`ArrivalContext::view`] / [`PolicyFeedback::view`].
     fn warm_start(&mut self, _history: &[(ArrivalContext, PolicyFeedback)]) {}
+
+    /// Wall time this policy has spent in gradient/model-update steps, when it tracks
+    /// that separately from the rest of `observe` — `None` for policies without a
+    /// learner (the default). See [`LearnerTiming`].
+    fn learner_timing(&self) -> Option<LearnerTiming> {
+        None
+    }
 }
 
 /// A policy that can decide on `N` arrivals (one per live simulation) in a single call —

@@ -18,17 +18,34 @@ fn main() {
     for mut policy in policies_for_benefit(&dataset, Benefit::Worker, scale) {
         eprintln!("running {} ...", policy.name());
         let outcome = run_policy(&dataset, policy.as_mut(), &cfg);
+        // Per-gradient-update learner wall time, for policies that track it (the DDQN
+        // agent times every packed `learn` call); "-" for model-free / daily-retrained
+        // methods whose whole update cost is already the observe column.
+        let learn_column = match policy.learner_timing() {
+            Some(timing) if timing.updates > 0 => {
+                format!("{:.6}", timing.mean_seconds())
+            }
+            _ => "-".to_string(),
+        };
         rows.push(vec![
             outcome.policy.clone(),
             format!("{:.6}", outcome.update_timer.mean_seconds()),
             format!("{:.6}", outcome.act_timer.mean_seconds()),
+            learn_column,
             outcome.update_timer.count().to_string(),
         ]);
     }
     print_table(
         "Table I: average update time per method (seconds)",
-        &["method", "update (s)", "decide (s)", "# updates"],
+        &[
+            "method",
+            "update (s)",
+            "decide (s)",
+            "learn (s)",
+            "# updates",
+        ],
         &rows,
     );
     println!("\nExpected shape: the daily-retrained supervised models (Taskrec, Greedy NN) pay seconds per retraining, while the RL methods (LinUCB, DDQN) update in milliseconds after every feedback.");
+    println!("The learn column isolates the gradient-update slice of observe for learner-backed methods: one packed minibatch graph per DDQN update (see ARCHITECTURE.md, \"Packed minibatch training\").");
 }

@@ -181,6 +181,93 @@ impl MultiHeadSelfAttention {
             .infer(store, &concat.expect("at least one head"))
     }
 
+    /// Differentiable twin of [`MultiHeadSelfAttention::infer_packed`]: multi-head
+    /// self-attention over a packed `[Σ pool sizes, model_dim]` buffer **on the tape**, so
+    /// one backward pass differentiates `N` sessions'/transitions' attention at once — the
+    /// training-side counterpart of the batched-inference hot path.
+    ///
+    /// The Q/K/V projections run as single stacked matmuls over the whole buffer (one tape
+    /// node each per head, exactly like the inference path runs one `Matrix::matmul`);
+    /// scores and softmax never cross segments, so each segment's block is gathered with
+    /// `Graph::slice_rows`, soft-maxed on its own (the per-segment softmax), and the
+    /// per-segment attention outputs are scattered back into packed layout with
+    /// `Graph::vstack` before the stacked output projection. The scatter/gather backward
+    /// of those two ops routes every segment its own gradient block, and the stacked
+    /// matmuls accumulate all segments' parameter gradients in one sweep.
+    ///
+    /// Unlike the inference path, the segments must *tile* the buffer: contiguous, in row
+    /// order, starting at row 0 and covering every row of `x` (the per-segment outputs are
+    /// re-packed with `vstack`, which cannot leave gaps). That is exactly the layout
+    /// `SetQNetwork::forward_batch` builds; debug assertions enforce it.
+    ///
+    /// The forward *values* are the same bits [`MultiHeadSelfAttention::infer_packed`]
+    /// produces (the tape ops call the very same `Matrix` kernels block by block;
+    /// `crowd-rl-core`'s packed-learning equivalence suite leans on this), and per-segment
+    /// rows match a per-segment [`MultiHeadSelfAttention::forward`] with the matching
+    /// padding mask.
+    pub fn forward_packed(
+        &self,
+        graph: &mut Graph,
+        store: &ParamStore,
+        binding: &mut GraphBinding,
+        x: VarId,
+        segments: &[PoolSegment],
+    ) -> Result<VarId> {
+        debug_assert!(
+            {
+                let mut expected_start = 0;
+                segments.iter().all(|seg| {
+                    let contiguous = seg.start == expected_start;
+                    expected_start = seg.end();
+                    contiguous
+                }) && expected_start == graph.value(x).rows()
+            },
+            "forward_packed segments must tile the packed buffer contiguously from row 0"
+        );
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        // Per-segment padding masks, shared by every head; padding-free segments skip the
+        // mask add entirely (same bit-exactness argument as the inference path).
+        let mask_vars: Vec<Option<VarId>> = segments
+            .iter()
+            .map(|seg| {
+                (seg.real_rows < seg.rows)
+                    .then(|| graph.constant(Self::padding_mask(seg.rows, seg.real_rows)))
+            })
+            .collect();
+        let mut concat: Option<VarId> = None;
+        let mut seg_outs = Vec::with_capacity(segments.len());
+        for head in &self.heads {
+            let wq = binding.bind(graph, store, head.wq);
+            let wk = binding.bind(graph, store, head.wk);
+            let wv = binding.bind(graph, store, head.wv);
+            let q = graph.matmul(x, wq)?;
+            let k = graph.matmul(x, wk)?;
+            let v = graph.matmul(x, wv)?;
+            seg_outs.clear();
+            for (seg, mask) in segments.iter().zip(&mask_vars) {
+                let qb = graph.slice_rows(q, seg.start, seg.end())?;
+                let kb = graph.slice_rows(k, seg.start, seg.end())?;
+                let vb = graph.slice_rows(v, seg.start, seg.end())?;
+                let kt = graph.transpose(kb);
+                let scores = graph.matmul(qb, kt)?;
+                let scaled = graph.scale(scores, scale);
+                let masked = match mask {
+                    Some(m) => graph.add(scaled, *m)?,
+                    None => scaled,
+                };
+                let attn = graph.softmax_rows(masked);
+                seg_outs.push(graph.matmul(attn, vb)?);
+            }
+            let head_out = graph.vstack(&seg_outs)?;
+            concat = Some(match concat {
+                None => head_out,
+                Some(prev) => graph.concat_cols(prev, head_out)?,
+            });
+        }
+        let concat = concat.expect("at least one head");
+        self.output.forward(graph, store, binding, concat)
+    }
+
     /// Gradient-free forward pass over a packed `[Σ pool sizes, model_dim]` buffer holding
     /// `N` sessions' state rows back to back — the batched-inference hot path.
     ///
@@ -381,6 +468,167 @@ mod tests {
                 solo,
                 "segment starting at {} differs from the per-session pass",
                 seg.start
+            );
+        }
+    }
+
+    #[test]
+    fn forward_packed_matches_infer_packed_bit_for_bit() {
+        // The training-side guarantee: the packed tape values are the very bits the packed
+        // inference path produces, including a padded segment in the middle.
+        let (store, attn, mut rng) = setup(8, 2, 8);
+        let pools = [(4usize, 4usize), (5, 2), (3, 3)];
+        let total: usize = pools.iter().map(|&(rows, _)| rows).sum();
+        let x = Matrix::randn(total, 8, &mut rng);
+        let mut segments = Vec::new();
+        let mut start = 0;
+        for &(rows, real) in &pools {
+            segments.push(PoolSegment {
+                start,
+                rows,
+                real_rows: real,
+            });
+            start += rows;
+        }
+        let inferred = attn.infer_packed(&store, &x, &segments).unwrap();
+
+        let mut g = Graph::new();
+        let mut binding = GraphBinding::new();
+        let xv = g.constant(x);
+        let y = attn
+            .forward_packed(&mut g, &store, &mut binding, xv, &segments)
+            .unwrap();
+        assert_eq!(
+            g.value(y),
+            &inferred,
+            "tape forward_packed diverged from infer_packed"
+        );
+    }
+
+    #[test]
+    fn forward_packed_segments_match_per_segment_forward() {
+        // Each segment's rows on the packed tape equal a standalone per-segment forward
+        // with the matching padding mask — the property the packed learner's per-transition
+        // Q values rest on.
+        let (store, attn, mut rng) = setup(4, 2, 9);
+        let blocks = [Matrix::randn(3, 4, &mut rng), Matrix::randn(5, 4, &mut rng)];
+        let packed = Matrix::vstack(&[&blocks[0], &blocks[1]]).unwrap();
+        let segments = [
+            PoolSegment {
+                start: 0,
+                rows: 3,
+                real_rows: 2,
+            },
+            PoolSegment {
+                start: 3,
+                rows: 5,
+                real_rows: 5,
+            },
+        ];
+        let mut g = Graph::new();
+        let mut binding = GraphBinding::new();
+        let xv = g.constant(packed);
+        let y = attn
+            .forward_packed(&mut g, &store, &mut binding, xv, &segments)
+            .unwrap();
+        for (block, seg) in blocks.iter().zip(&segments) {
+            let mask = MultiHeadSelfAttention::padding_mask(seg.rows, seg.real_rows);
+            let mut g_solo = Graph::new();
+            let mut binding_solo = GraphBinding::new();
+            let x_solo = g_solo.constant(block.clone());
+            let y_solo = attn
+                .forward(&mut g_solo, &store, &mut binding_solo, x_solo, Some(&mask))
+                .unwrap();
+            for r in 0..seg.rows {
+                assert_eq!(
+                    g.value(y).row(seg.start + r),
+                    g_solo.value(y_solo).row(r),
+                    "segment at {} row {r} differs from the standalone forward",
+                    seg.start
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_packed_gradients_flow_to_all_heads() {
+        let (store, attn, mut rng) = setup(8, 4, 10);
+        let x = Matrix::randn(7, 8, &mut rng);
+        let segments = [
+            PoolSegment {
+                start: 0,
+                rows: 4,
+                real_rows: 4,
+            },
+            PoolSegment {
+                start: 4,
+                rows: 3,
+                real_rows: 3,
+            },
+        ];
+        let mut g = Graph::new();
+        let mut binding = GraphBinding::new();
+        let xv = g.constant(x);
+        let y = attn
+            .forward_packed(&mut g, &store, &mut binding, xv, &segments)
+            .unwrap();
+        let loss = g.squared_sum(y);
+        g.backward(loss).unwrap();
+        let grads = binding.gradients(&g);
+        // 4 heads * 3 projections + output weight + output bias.
+        assert_eq!(grads.len(), 14);
+        let nonzero = grads.iter().filter(|(_, m)| m.norm() > 0.0).count();
+        assert!(nonzero >= 13, "only {nonzero} params received gradient");
+    }
+
+    #[test]
+    fn gradcheck_forward_packed_two_unequal_segments() {
+        // Finite-difference check of the scatter/gather backward across a 2-segment pack
+        // with unequal pool sizes — the case a wrong row offset in the Vstack/SliceRows
+        // VJPs would corrupt. Every parameter is tied to a gradcheck leaf through
+        // GraphBinding::preset, so the check runs through forward_packed itself.
+        use crowd_autograd::gradcheck::{check_gradient, ScalarFn};
+
+        let (store, attn, mut rng) = setup(4, 2, 11);
+        let segments = [
+            PoolSegment {
+                start: 0,
+                rows: 2,
+                real_rows: 2,
+            },
+            PoolSegment {
+                start: 2,
+                rows: 5,
+                real_rows: 5,
+            },
+        ];
+        let param_ids: Vec<ParamId> = store.iter().map(|(id, _, _)| id).collect();
+        let mut inputs = vec![Matrix::randn(7, 4, &mut rng)];
+        inputs.extend(store.iter().map(|(_, _, value)| value.clone()));
+
+        let store_for_closure = store.clone();
+        let attn_for_closure = attn.clone();
+        let ids_for_closure = param_ids.clone();
+        let f: Box<ScalarFn> = Box::new(move |g, leaf_ids| {
+            let mut binding = GraphBinding::new();
+            for (pid, leaf) in ids_for_closure.iter().zip(&leaf_ids[1..]) {
+                binding.preset(*pid, *leaf);
+            }
+            let y = attn_for_closure
+                .forward_packed(g, &store_for_closure, &mut binding, leaf_ids[0], &segments)
+                .unwrap();
+            g.squared_sum(y)
+        });
+        for idx in 0..inputs.len() {
+            let report = check_gradient(&f, &inputs, idx, 1e-2);
+            assert!(
+                report.passes(5e-2),
+                "forward_packed input {idx} ({}): {report:?}",
+                if idx == 0 {
+                    "x"
+                } else {
+                    store.name(param_ids[idx - 1])
+                }
             );
         }
     }

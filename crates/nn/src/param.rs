@@ -155,6 +155,27 @@ impl GraphBinding {
         var
     }
 
+    /// Pre-binds `id` to an existing tape node, so every later [`GraphBinding::bind`] for it
+    /// returns `var` instead of inserting a fresh leaf. This ties a layer's parameter to a
+    /// node the caller controls — e.g. a `crowd_autograd::gradcheck` leaf, so a finite
+    /// difference check can perturb a layer's weights through the layer's own `forward`
+    /// path, or a shared node when two layers must use identical weights on one tape.
+    ///
+    /// The preset wins only if it happens before the first `bind` of `id`; presetting an
+    /// already-bound parameter is a programming error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is already bound in this graph.
+    pub fn preset(&mut self, id: ParamId, var: VarId) {
+        assert!(
+            self.bound.iter().all(|(p, _)| *p != id),
+            "preset: parameter {} is already bound",
+            id.index()
+        );
+        self.bound.push((id, var));
+    }
+
     /// Number of parameters bound so far.
     pub fn len(&self) -> usize {
         self.bound.len()
@@ -244,6 +265,35 @@ mod tests {
         let grads = binding.gradients(&g);
         assert_eq!(grads.len(), 1);
         assert_eq!(grads[0].1.as_slice(), &[6.0, 6.0]);
+    }
+
+    #[test]
+    fn preset_ties_param_to_external_leaf() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::filled(1, 2, 3.0));
+        let mut g = Graph::new();
+        let mut binding = GraphBinding::new();
+        // The external leaf deliberately carries a different value than the store: bind
+        // must return it untouched, proving the store value is bypassed.
+        let external = g.leaf(Matrix::filled(1, 2, 5.0));
+        binding.preset(id, external);
+        let bound = binding.bind(&mut g, &store, id);
+        assert_eq!(bound, external);
+        assert_eq!(g.value(bound).as_slice(), &[5.0, 5.0]);
+        let loss = g.squared_sum(bound);
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(external).unwrap().as_slice(), &[10.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already bound")]
+    fn preset_after_bind_panics() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::ones(1, 1));
+        let mut g = Graph::new();
+        let mut binding = GraphBinding::new();
+        let bound = binding.bind(&mut g, &store, id);
+        binding.preset(id, bound);
     }
 
     #[test]

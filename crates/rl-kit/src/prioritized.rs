@@ -143,6 +143,31 @@ impl<T> PrioritizedReplay<T> {
         out
     }
 
+    /// Samples `batch` slots like [`PrioritizedReplay::sample`], but pairs every sample
+    /// with a *borrow* of the stored transition, so callers that only read the sampled
+    /// items (the DQN learner assembling one packed minibatch) need not clone them out of
+    /// the buffer. The borrows hold the buffer until dropped; re-prioritise afterwards via
+    /// [`PrioritizedReplay::update_priority`] with the returned slot indices.
+    pub fn sample_refs(&mut self, batch: usize, rng: &mut Rng) -> Vec<(PrioritizedSample, &T)> {
+        let samples = self.sample(batch, rng);
+        samples
+            .into_iter()
+            .map(|sample| {
+                let item = self.items[sample.index]
+                    .as_ref()
+                    .expect("sampled slot must be occupied");
+                (sample, item)
+            })
+            .collect()
+    }
+
+    /// Current priority mass of `slot` as stored in the sum tree (`p^α`; 0.0 for empty
+    /// slots). Exposed so equivalence tests can compare two buffers' sampling state
+    /// bit for bit.
+    pub fn priority(&self, slot: usize) -> f64 {
+        self.tree.get(slot)
+    }
+
     /// Updates the priority of `slot` from a new absolute TD error.
     pub fn update_priority(&mut self, slot: usize, td_error: f32) {
         let p = (td_error.abs() as f64 + self.epsilon).min(1e4);
@@ -231,6 +256,40 @@ mod tests {
                 "high-priority weight {h} should be below low-priority {l}"
             );
         }
+    }
+
+    #[test]
+    fn sample_refs_matches_sample_and_borrows_items() {
+        // Same RNG state, same draws: sample_refs must return the same slots and weights
+        // as sample, with each slot's stored item attached by reference.
+        let mut by_value = PrioritizedReplay::new(8);
+        let mut by_ref = PrioritizedReplay::new(8);
+        for i in 0..6 {
+            by_value.push(i * 10);
+            by_ref.push(i * 10);
+        }
+        by_value.update_priority(2, 5.0);
+        by_ref.update_priority(2, 5.0);
+        let mut rng_a = Rng::seed_from(9);
+        let mut rng_b = Rng::seed_from(9);
+        let plain = by_value.sample(5, &mut rng_a);
+        let with_refs = by_ref.sample_refs(5, &mut rng_b);
+        assert_eq!(plain.len(), with_refs.len());
+        for (p, (s, item)) in plain.iter().zip(&with_refs) {
+            assert_eq!(p, s);
+            assert_eq!(Some(*item), by_value.get(p.index));
+        }
+    }
+
+    #[test]
+    fn priority_reflects_updates_and_empty_slots() {
+        let mut buf = PrioritizedReplay::new(4).with_alpha(1.0);
+        buf.push(1);
+        buf.push(2);
+        buf.update_priority(0, 3.0);
+        assert!((buf.priority(0) - (3.0f64 + 1e-3)).abs() < 1e-9);
+        // Slot 2 was never pushed: zero mass.
+        assert_eq!(buf.priority(2), 0.0);
     }
 
     #[test]
