@@ -34,14 +34,21 @@ pub(crate) fn run(graph: &mut Graph, output: VarId) -> Result<()> {
         match node_op {
             Op::Leaf => {}
             Op::MatMul => {
+                // Both VJPs run on the tape's pool; the row-sharded kernels are
+                // bit-identical to the serial ones, so pooled backward sweeps produce
+                // the exact gradient bits of serial ones.
+                let pool = graph.pool;
                 let a = inputs[0];
                 let b = inputs[1];
                 if propagate[0] {
-                    let grad_a = upstream.matmul_transpose(&graph.nodes[b.0].value)?;
+                    let grad_a = upstream.matmul_transpose_par(&graph.nodes[b.0].value, pool)?;
                     accumulate(graph, a, grad_a)?;
                 }
                 if propagate[1] {
-                    let grad_b = graph.nodes[a.0].value.transpose().matmul(&upstream)?;
+                    let grad_b = graph.nodes[a.0]
+                        .value
+                        .transpose()
+                        .matmul_par(&upstream, pool)?;
                     accumulate(graph, b, grad_b)?;
                 }
             }

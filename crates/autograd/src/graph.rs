@@ -2,7 +2,7 @@
 
 use crate::op::Op;
 use crate::Result;
-use crowd_tensor::{Matrix, TensorError};
+use crowd_tensor::{Matrix, TensorError, ThreadPool};
 
 /// Handle to a node on a [`Graph`] tape.
 ///
@@ -36,12 +36,32 @@ pub(crate) struct Node {
 pub struct Graph {
     pub(crate) nodes: Vec<Node>,
     pub(crate) grads: Vec<Option<Matrix>>,
+    /// Pool used by the matmul forward kernels and the MatMul backward VJPs. The serial
+    /// default keeps every existing caller single-threaded; the packed-training path
+    /// ([`Graph::with_pool`]) opts large stacked tapes into row-sharded kernels, which
+    /// are bit-identical to the serial ones (see `crowd_tensor::Matrix::matmul_par`).
+    pub(crate) pool: ThreadPool,
 }
 
 impl Graph {
-    /// Creates an empty tape.
+    /// Creates an empty tape with serial (single-threaded) kernels.
     pub fn new() -> Self {
         Graph::default()
+    }
+
+    /// Creates an empty tape whose matmul kernels (forward and backward) may shard rows
+    /// across `pool`. Values and gradients are bit-identical to a serial tape at any
+    /// thread count; only wall clock changes.
+    pub fn with_pool(pool: ThreadPool) -> Self {
+        Graph {
+            pool,
+            ..Graph::default()
+        }
+    }
+
+    /// The pool the tape's matmul kernels run on.
+    pub fn pool(&self) -> ThreadPool {
+        self.pool
     }
 
     /// Number of nodes currently on the tape.
@@ -92,9 +112,10 @@ impl Graph {
         self.push(Op::Leaf, vec![], value, false)
     }
 
-    /// Matrix product.
+    /// Matrix product. Runs on the tape's [`ThreadPool`] (serial by default); the pooled
+    /// kernel is bit-identical to the serial one.
     pub fn matmul(&mut self, a: VarId, b: VarId) -> Result<VarId> {
-        let value = self.value_of(a).matmul(self.value_of(b))?;
+        let value = self.value_of(a).matmul_par(self.value_of(b), self.pool)?;
         let rg = self.needs_grad(&[a, b]);
         Ok(self.push(Op::MatMul, vec![a, b], value, rg))
     }
@@ -396,6 +417,41 @@ mod tests {
         assert!((gp.get(3, 0) - 3.0).abs() < 1e-4);
         assert_eq!(gp.get(0, 0), 0.0);
         assert_eq!(gp.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn pooled_tape_matches_serial_tape_bit_for_bit() {
+        // Forward values and backward gradients of a large matmul chain must be the exact
+        // bits of the serial tape at any thread count (the row-sharded kernels' contract).
+        use crowd_tensor::Rng;
+        let mut rng = Rng::seed_from(7);
+        let x = Matrix::randn(256, 48, &mut rng);
+        let w1 = Matrix::randn(48, 64, &mut rng);
+        let w2 = Matrix::randn(64, 32, &mut rng);
+        let run = |pool: ThreadPool| {
+            let mut g = Graph::with_pool(pool);
+            let xv = g.constant(x.clone());
+            let w1v = g.leaf(w1.clone());
+            let w2v = g.leaf(w2.clone());
+            let h = g.matmul(xv, w1v).unwrap();
+            let y = g.matmul(h, w2v).unwrap();
+            let loss = g.squared_sum(y);
+            g.backward(loss).unwrap();
+            (
+                g.value(y).clone(),
+                g.grad(w1v).unwrap().clone(),
+                g.grad(w2v).unwrap().clone(),
+            )
+        };
+        let serial = run(ThreadPool::serial());
+        for threads in [2usize, 8] {
+            let pooled = run(ThreadPool::new(threads));
+            assert_eq!(pooled.0, serial.0, "forward diverged at {threads} threads");
+            assert_eq!(pooled.1, serial.1, "grad(w1) diverged at {threads} threads");
+            assert_eq!(pooled.2, serial.2, "grad(w2) diverged at {threads} threads");
+        }
+        assert_eq!(Graph::new().pool(), ThreadPool::serial());
+        assert_eq!(Graph::with_pool(ThreadPool::new(4)).pool().threads(), 4);
     }
 
     #[test]

@@ -23,8 +23,9 @@ const WORKER_DIM: usize = 8;
 
 /// Builds an identically seeded learner with a pre-filled replay memory: mixed pool sizes
 /// (the packed path's unequal segments) and 2 future branches per transition (the target
-/// batching win).
-fn prepared_learner(batch_size: usize) -> (DqnLearner, Rng) {
+/// batching win). The learner owns its minibatch-sampling RNG, so identically seeded
+/// learners draw identical minibatch sequences.
+fn prepared_learner(batch_size: usize) -> DqnLearner {
     let config = DdqnConfig {
         max_tasks: MAX_TASKS,
         hidden_dim: 32,
@@ -64,7 +65,7 @@ fn prepared_learner(batch_size: usize) -> (DqnLearner, Rng) {
             branches: Arc::new(branches),
         });
     }
-    (learner, rng)
+    learner
 }
 
 fn bench_training(c: &mut Criterion) {
@@ -73,15 +74,15 @@ fn bench_training(c: &mut Criterion) {
 
     for &batch in &[16usize, 32, 64] {
         group.bench_with_input(BenchmarkId::new("packed", batch), &batch, |b, &batch| {
-            let (mut learner, mut rng) = prepared_learner(batch);
-            b.iter(|| learner.learn(&mut rng).unwrap().unwrap().loss)
+            let mut learner = prepared_learner(batch);
+            b.iter(|| learner.learn().unwrap().unwrap().loss)
         });
         group.bench_with_input(
             BenchmarkId::new("sequential", batch),
             &batch,
             |b, &batch| {
-                let (mut learner, mut rng) = prepared_learner(batch);
-                b.iter(|| learner.learn_sequential(&mut rng).unwrap().unwrap().loss)
+                let mut learner = prepared_learner(batch);
+                b.iter(|| learner.learn_sequential().unwrap().unwrap().loss)
             },
         );
     }

@@ -11,7 +11,10 @@
 //! * `replay_buffer` — prioritized replay push/sample throughput;
 //! * `simulator_throughput` — platform event replay throughput;
 //! * `batched_training` — packed (one autograd graph per minibatch) vs sequential
-//!   (per-transition) DDQN learning step at `B ∈ {16, 32, 64}`.
+//!   (per-transition) DDQN learning step at `B ∈ {16, 32, 64}`;
+//! * `parallel_throughput` — full-replay session stepping across a sessions × threads
+//!   grid (`SessionBatch::run_all_parallel`) and the serial vs `par_join` two-learner
+//!   update round.
 
 use crowd_rl_core::{StateTensor, StateTransformer};
 use crowd_sim::{ArrivalContext, TaskId, TaskSnapshot, WorkerId};

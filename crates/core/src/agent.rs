@@ -12,10 +12,10 @@ use crate::memory::{FutureBranch, Transition};
 use crate::predictor::{requester_future_branches, worker_future_branches};
 use crate::state::{StateKind, StateTensor, StateTransformer};
 use crowd_sim::{
-    ArrivalContext, ArrivalView, BatchedPolicy, Decision, FeedbackView, LearnerTiming, Policy,
-    PolicyFeedback, TaskId,
+    ArrivalContext, ArrivalView, BatchedPolicy, Decision, FeedbackView, LearnerBranchTiming,
+    LearnerTiming, Policy, PolicyFeedback, TaskId,
 };
-use crowd_tensor::Rng;
+use crowd_tensor::{Rng, ThreadPool};
 use std::sync::Arc;
 
 /// Upper bound on the number of failed (reward-0) transitions stored per feedback. Under the
@@ -45,6 +45,11 @@ pub struct DdqnAgent {
     /// When true, `observe` skips the gradient updates (evaluation mode). Statistics and
     /// replay memory keep accumulating so learning can resume seamlessly.
     learning_frozen: bool,
+    /// Worker pool for the agent's internal parallelism: parallel state packing in
+    /// `act_batch` and the concurrent two-learner dispatch in `observe`. Serial by
+    /// default; set via [`DdqnAgent::set_thread_pool`] (also reachable through
+    /// [`Policy::set_thread_pool`]). Results are bit-identical at any thread count.
+    pool: ThreadPool,
 }
 
 impl DdqnAgent {
@@ -96,7 +101,26 @@ impl DdqnAgent {
             ranked_stamps: Vec::new(),
             ranked_stamp_gen: 0,
             learning_frozen: false,
+            pool: ThreadPool::serial(),
         }
+    }
+
+    /// Hands the agent (and both of its learners) a worker pool. With more than one
+    /// thread:
+    ///
+    /// * `act_batch` builds the per-view state tensors in parallel shards and runs its
+    ///   packed forward passes on row-sharded kernels;
+    /// * `observe` runs the worker- and requester-branch `DqnLearner::learn` calls on two
+    ///   pool workers via `par_join` (each learner owns its replay memory, parameters and
+    ///   sampling RNG, so the branches share nothing);
+    /// * each learner's packed training graph shards its stacked matmuls.
+    ///
+    /// All of it is deterministic: results are **bit-identical** to the serial agent at
+    /// any thread count (`tests/parallel_equivalence.rs`).
+    pub fn set_thread_pool(&mut self, pool: ThreadPool) {
+        self.pool = pool;
+        self.learner_worker.set_thread_pool(pool);
+        self.learner_requester.set_thread_pool(pool);
     }
 
     /// The agent configuration.
@@ -117,6 +141,23 @@ impl DdqnAgent {
     /// Online arrival statistics (exposed for diagnostics and experiments).
     pub fn arrival_stats(&self) -> &ArrivalStats {
         &self.stats
+    }
+
+    /// The worker-benefit learner (read-only; diagnostics and the equivalence suites).
+    pub fn worker_learner(&self) -> &DqnLearner {
+        &self.learner_worker
+    }
+
+    /// The requester-benefit learner (read-only; diagnostics and the equivalence suites).
+    pub fn requester_learner(&self) -> &DqnLearner {
+        &self.learner_requester
+    }
+
+    /// Non-destructive probe of the agent's exploration/decision RNG: the next `u64` the
+    /// stream *would* produce, without advancing it. Two agents that consumed their RNGs
+    /// identically probe identically — the post-run check of the equivalence suites.
+    pub fn rng_probe(&self) -> u64 {
+        self.rng.clone().next_u64()
     }
 
     /// Disables exploration (used once the evaluation phase starts measuring a frozen
@@ -328,22 +369,37 @@ impl Policy for DdqnAgent {
 
         // 3. Learners run after every `learn_every` feedbacks (the paper updates after every
         //    feedback; `learn_every` > 1 trades fidelity for CPU time), unless learning is
-        //    frozen (evaluation / batched-equivalence mode).
+        //    frozen (evaluation / batched-equivalence mode). The two branches are fully
+        //    independent — separate replay memories, parameter stores and sampling RNG
+        //    streams — so when both are active and the pool has more than one thread they
+        //    update concurrently on two pool workers; each learner's `sample_refs` borrow
+        //    of its own replay memory stays on its own worker. Results are bit-identical
+        //    to the sequential worker-then-requester order.
         self.observations += 1;
         if !self.learning_frozen
             && self
                 .observations
                 .is_multiple_of(self.config.learn_every as u64)
         {
-            if self.uses_worker_network() {
-                self.learner_worker
-                    .learn(&mut self.rng)
-                    .expect("worker learner failed");
-            }
-            if self.uses_requester_network() {
-                self.learner_requester
-                    .learn(&mut self.rng)
-                    .expect("requester learner failed");
+            match (self.uses_worker_network(), self.uses_requester_network()) {
+                (true, true) => {
+                    let worker = &mut self.learner_worker;
+                    let requester = &mut self.learner_requester;
+                    let (w, r) = self
+                        .pool
+                        .par_join(move || worker.learn(), move || requester.learn());
+                    w.expect("worker learner failed");
+                    r.expect("requester learner failed");
+                }
+                (true, false) => {
+                    self.learner_worker.learn().expect("worker learner failed");
+                }
+                (false, true) => {
+                    self.learner_requester
+                        .learn()
+                        .expect("requester learner failed");
+                }
+                (false, false) => unreachable!("balance weight always enables a network"),
             }
         }
     }
@@ -354,16 +410,35 @@ impl Policy for DdqnAgent {
         }
     }
 
-    /// Learner wall time across both networks: every `DqnLearner::learn` call is timed, so
-    /// the efficiency binaries can report per-update learner latency (the packed-minibatch
-    /// hot path) separately from the rest of `observe`.
+    /// Learner wall time, **per branch**: every `DqnLearner::learn` call is timed inside
+    /// its own learner, so the report stays correct when the two branches run
+    /// concurrently — the efficiency binaries take latency from
+    /// [`LearnerTiming::critical_path`] (the slower branch, which is what `observe`
+    /// actually waited for) instead of a double-counting sum, and can still show each
+    /// branch's own wall time.
     fn learner_timing(&self) -> Option<LearnerTiming> {
-        let (worker_updates, worker_total) = self.learner_worker.learn_timing();
-        let (requester_updates, requester_total) = self.learner_requester.learn_timing();
-        Some(LearnerTiming {
-            updates: worker_updates + requester_updates,
-            total: worker_total + requester_total,
-        })
+        let mut branches = Vec::with_capacity(2);
+        if self.uses_worker_network() {
+            let (updates, total) = self.learner_worker.learn_timing();
+            branches.push(LearnerBranchTiming {
+                name: "worker",
+                updates,
+                total,
+            });
+        }
+        if self.uses_requester_network() {
+            let (updates, total) = self.learner_requester.learn_timing();
+            branches.push(LearnerBranchTiming {
+                name: "requester",
+                updates,
+                total,
+            });
+        }
+        Some(LearnerTiming { branches })
+    }
+
+    fn set_thread_pool(&mut self, pool: ThreadPool) {
+        DdqnAgent::set_thread_pool(self, pool);
     }
 }
 
@@ -375,6 +450,13 @@ impl BatchedPolicy for DdqnAgent {
     /// [`DqnLearner::q_values_batch`](crate::DqnLearner::q_values_batch). Exploration then
     /// runs per view in view order, so the RNG stream matches sequential `act` calls
     /// exactly.
+    ///
+    /// With a multi-thread pool ([`DdqnAgent::set_thread_pool`]) the per-view state
+    /// tensors are built in parallel shards (each state is a pure function of its own
+    /// view and the shared transformer) and the packed forward pass runs on row-sharded
+    /// kernels — the "parallel pack" stage around the single shared forward. Exploration
+    /// and decision assembly stay sequential in view order, so the decisions and the RNG
+    /// stream are bit-identical at any thread count.
     fn act_batch(&mut self, views: &[ArrivalView<'_>], decisions: &mut [Decision]) {
         assert_eq!(
             views.len(),
@@ -383,23 +465,34 @@ impl BatchedPolicy for DdqnAgent {
         );
         // Empty pools skip state construction just like the sequential `act` short-circuit;
         // a zero-row placeholder keeps the index alignment with `views` and contributes no
-        // rows to the packed buffer.
+        // rows to the packed buffer. Parallel packing only pays once there are enough
+        // views to amortise the scoped-thread spawns (a per-view state build is
+        // microseconds, a spawn is tens of them); small batches shard to nothing —
+        // bit-identical either way, so this gate is pure wall clock.
+        let pool = if views.len() >= self.pool.threads() * 4 {
+            self.pool
+        } else {
+            ThreadPool::serial()
+        };
         let build_states = |transformer: &StateTransformer| {
-            views
+            let mut states: Vec<StateTensor> = views
                 .iter()
-                .map(|view| {
-                    if view.is_empty() {
-                        StateTensor {
-                            features: crowd_tensor::Matrix::zeros(0, transformer.row_dim()),
-                            row_mask: crowd_tensor::Matrix::zeros(0, 1),
-                            task_ids: Vec::new(),
-                            real_tasks: 0,
-                        }
-                    } else {
-                        transformer.from_view(view)
-                    }
+                .map(|_| StateTensor {
+                    features: crowd_tensor::Matrix::zeros(0, transformer.row_dim()),
+                    row_mask: crowd_tensor::Matrix::zeros(0, 1),
+                    task_ids: Vec::new(),
+                    real_tasks: 0,
                 })
-                .collect::<Vec<StateTensor>>()
+                .collect();
+            pool.par_chunks(&mut states, 1, |offset, chunk| {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    let view = &views[offset + k];
+                    if !view.is_empty() {
+                        *slot = transformer.from_view(view);
+                    }
+                }
+            });
+            states
         };
         let states_w = self
             .uses_worker_network()
@@ -543,9 +636,76 @@ mod tests {
         let timing = agent
             .learner_timing()
             .expect("the DDQN agent tracks timing");
-        assert_eq!(timing.updates, agent.total_updates());
-        assert!(timing.total > std::time::Duration::ZERO);
+        assert_eq!(timing.updates(), agent.total_updates());
+        assert!(timing.total_cpu() > std::time::Duration::ZERO);
+        assert!(timing.critical_path() <= timing.total_cpu());
         assert!(timing.mean_seconds() > 0.0);
+    }
+
+    #[test]
+    fn agent_and_learner_are_send() {
+        // The parallel split moves `&mut DqnLearner` (par_join) and boxed policies
+        // (step_all_parallel) across scoped threads; this is the compile-time fence.
+        fn assert_send<T: Send>() {}
+        assert_send::<DdqnAgent>();
+        assert_send::<crate::DqnLearner>();
+    }
+
+    #[test]
+    fn pooled_agent_replays_bit_identically_to_serial_agent() {
+        // A *training* agent (both exploration and learning active) driven over the same
+        // arrivals must end in a bit-identical state whether its internal pool has 1 or
+        // 8 threads: par_join learner dispatch, parallel act_batch packing and pooled
+        // kernels may only change wall clock.
+        let ds = SimConfig::tiny().generate();
+        let fs = Platform::default_feature_space(&ds);
+        let run = |threads: usize| {
+            let mut platform = Platform::new(ds.clone(), fs.clone(), 7);
+            // Balanced config so BOTH learners are active and the par_join path runs.
+            let mut agent = agent_for(&platform, small_config().with_balance(0.5));
+            agent.set_thread_pool(ThreadPool::new(threads));
+            let mut decision = Decision::new();
+            let mut steps = 0;
+            while platform.next_arrival() {
+                if platform.arrival().is_empty() {
+                    continue;
+                }
+                agent.act(&platform.arrival(), &mut decision);
+                platform.apply(&decision);
+                agent.observe(&platform.arrival(), &platform.feedback());
+                steps += 1;
+                if steps >= 100 {
+                    break;
+                }
+            }
+            agent
+        };
+        let serial = run(1);
+        let pooled = run(8);
+        assert!(serial.total_updates() > 0, "learners never ran");
+        assert_eq!(serial.total_updates(), pooled.total_updates());
+        assert_eq!(
+            serial.learner_worker.loss_history(),
+            pooled.learner_worker.loss_history()
+        );
+        assert_eq!(
+            serial.learner_requester.loss_history(),
+            pooled.learner_requester.loss_history()
+        );
+        assert_eq!(
+            serial.learner_worker.rng_probe(),
+            pooled.learner_worker.rng_probe()
+        );
+        for ((_, name, a), (_, _, b)) in serial
+            .learner_worker
+            .params()
+            .iter()
+            .zip(pooled.learner_worker.params().iter())
+        {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "worker param {name} diverged");
+            }
+        }
     }
 
     #[test]

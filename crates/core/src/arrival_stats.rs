@@ -11,8 +11,16 @@
 //!
 //! Histograms are seeded from the initialisation month and updated after every arrival, as
 //! the paper requires for real-time adaptation.
+//!
+//! Per-worker state lives in `BTreeMap`s keyed by [`WorkerId`] — **deliberately not**
+//! `HashMap`s: the mean-feature and next-worker-mixture computations sum `f32`s over
+//! these maps, and `HashMap`'s per-instance randomised iteration order would make those
+//! sums differ between two otherwise identical runs at the last-ulp level. Ordered
+//! iteration makes every statistic a pure function of the arrival sequence, which the
+//! workspace's replay-equivalence suites (and the `threads=1 ≡ threads=k` contract of
+//! `tests/parallel_equivalence.rs`) depend on.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crowd_sim::WorkerId;
 
@@ -79,8 +87,8 @@ pub struct ArrivalStats {
     same_worker: GapHistogram,
     /// ϕ(g): consecutive arrival gaps across all workers.
     consecutive: GapHistogram,
-    last_arrival_per_worker: HashMap<WorkerId, u64>,
-    last_known_feature: HashMap<WorkerId, Vec<f32>>,
+    last_arrival_per_worker: BTreeMap<WorkerId, u64>,
+    last_known_feature: BTreeMap<WorkerId, Vec<f32>>,
     last_global_arrival: Option<u64>,
     arrivals_seen: u64,
     new_workers_seen: u64,
@@ -95,8 +103,8 @@ impl ArrivalStats {
         ArrivalStats {
             same_worker: GapHistogram::new(30, same_worker_horizon),
             consecutive: GapHistogram::new(1, consecutive_horizon),
-            last_arrival_per_worker: HashMap::new(),
-            last_known_feature: HashMap::new(),
+            last_arrival_per_worker: BTreeMap::new(),
+            last_known_feature: BTreeMap::new(),
             last_global_arrival: None,
             arrivals_seen: 0,
             new_workers_seen: 0,

@@ -43,7 +43,7 @@ use crate::state::StateTensor;
 use crowd_autograd::Graph;
 use crowd_nn::{Adam, GraphBinding, Optimizer, ParamStore};
 use crowd_rl_kit::PrioritizedReplay;
-use crowd_tensor::{Matrix, Rng};
+use crowd_tensor::{Matrix, Rng, ThreadPool};
 use std::time::{Duration, Instant};
 
 /// Result alias from the numeric substrate.
@@ -62,9 +62,17 @@ pub struct LearnReport {
 
 /// A self-contained double-DQN learner for one of the two MDPs.
 ///
-/// `Clone` duplicates the complete learner state — networks, optimizer moments, replay
-/// memory and priorities — which is how the equivalence suite runs the packed and the
-/// sequential path from bit-identical starting points.
+/// The learner **owns everything a gradient update touches**: networks, optimizer
+/// moments, replay memory with priorities, *and its own minibatch-sampling RNG stream*
+/// (seeded from the constructor RNG). That self-containment is what makes the dual
+/// agent's two learners safe to run on two pool workers concurrently
+/// (`DdqnAgent::observe` dispatches them via `crowd_parallel::ThreadPool::par_join`): no
+/// state is shared, each learner's `sample_refs` borrow of its replay memory stays on its
+/// own worker, and the update is deterministic at any thread count.
+///
+/// `Clone` duplicates the complete learner state — including the sampling RNG — which is
+/// how the equivalence suite runs the packed and the sequential path from bit-identical
+/// starting points.
 #[derive(Debug, Clone)]
 pub struct DqnLearner {
     net: SetQNetwork,
@@ -72,16 +80,24 @@ pub struct DqnLearner {
     target_store: ParamStore,
     optimizer: Adam,
     memory: PrioritizedReplay<Transition>,
+    /// Minibatch-sampling RNG — owned so two learners never contend for one stream.
+    rng: Rng,
+    /// Pool for the packed forward/backward kernels inside `learn` (serial by default).
+    pool: ThreadPool,
     gamma: f32,
     batch_size: usize,
     target_sync_every: u64,
     updates: u64,
     max_tasks: usize,
     learn_time: Duration,
+    /// Every update's reported loss, in update order — the "loss stream" the parallel
+    /// equivalence suite compares bit for bit across thread counts (4 bytes per update).
+    losses: Vec<f32>,
 }
 
 impl DqnLearner {
-    /// Creates a learner whose Q-network takes `input_dim`-wide state rows.
+    /// Creates a learner whose Q-network takes `input_dim`-wide state rows. `rng` seeds
+    /// the network initialisation and the learner's own minibatch-sampling stream.
     pub fn new(config: &DdqnConfig, input_dim: usize, gamma: f32, rng: &mut Rng) -> Self {
         let mut store = ParamStore::new();
         let net = SetQNetwork::new(
@@ -92,6 +108,7 @@ impl DqnLearner {
             config.num_heads,
             rng,
         );
+        let sample_rng = Rng::seed_from(rng.next_u64());
         let target_store = store.clone();
         DqnLearner {
             net,
@@ -99,13 +116,23 @@ impl DqnLearner {
             target_store,
             optimizer: Adam::new(config.learning_rate).with_grad_clip(config.grad_clip),
             memory: PrioritizedReplay::new(config.buffer_size),
+            rng: sample_rng,
+            pool: ThreadPool::serial(),
             gamma,
             batch_size: config.batch_size,
             target_sync_every: config.target_sync_every,
             updates: 0,
             max_tasks: config.max_tasks,
             learn_time: Duration::ZERO,
+            losses: Vec::new(),
         }
+    }
+
+    /// Hands the learner a pool for the packed kernels inside [`DqnLearner::learn`] (the
+    /// two target `infer_batch` passes and the training graph). Results stay
+    /// bit-identical at any thread count; only wall clock changes.
+    pub fn set_thread_pool(&mut self, pool: ThreadPool) {
+        self.pool = pool;
     }
 
     /// The underlying Q-network (read-only access for diagnostics and benches).
@@ -138,6 +165,20 @@ impl DqnLearner {
         self.memory.priority(slot)
     }
 
+    /// Every update's reported loss so far, in update order — the loss stream the
+    /// parallel equivalence suite (`tests/parallel_equivalence.rs`) asserts bit-identical
+    /// across thread counts.
+    pub fn loss_history(&self) -> &[f32] {
+        &self.losses
+    }
+
+    /// Non-destructive probe of the minibatch-sampling RNG: the next `u64` the stream
+    /// *would* produce, without advancing it. Two learners that consumed their RNGs
+    /// identically probe identically — the post-run check of the equivalence suites.
+    pub fn rng_probe(&self) -> u64 {
+        self.rng.clone().next_u64()
+    }
+
     /// Number of transitions currently stored.
     pub fn memory_len(&self) -> usize {
         self.memory.len()
@@ -149,10 +190,11 @@ impl DqnLearner {
     }
 
     /// Q values of the online network for `N` states in one packed forward pass
-    /// ([`SetQNetwork::infer_batch`]); each entry is bit-identical to
-    /// [`DqnLearner::q_values`] on that state alone.
+    /// ([`SetQNetwork::infer_batch_par`] on the learner's pool); each entry is
+    /// bit-identical to [`DqnLearner::q_values`] on that state alone, at any thread
+    /// count.
     pub fn q_values_batch(&self, states: &[&crate::state::StateTensor]) -> Result<Vec<Vec<f32>>> {
-        self.net.infer_batch(&self.store, states)
+        self.net.infer_batch_par(&self.store, states, self.pool)
     }
 
     /// Stores a transition with maximal priority.
@@ -195,16 +237,20 @@ impl DqnLearner {
     ///
     /// The sampled transitions are *borrowed* from the replay memory
     /// (`PrioritizedReplay::sample_refs`) — no per-update clones of state tensors or
-    /// branch distributions. Reported loss / TD errors and the written replay priorities
-    /// are bit-identical to [`DqnLearner::learn_sequential`] from the same learner state;
-    /// updated parameters match to f32 tolerance (see the module docs for why).
-    pub fn learn(&mut self, rng: &mut Rng) -> Result<Option<LearnReport>> {
+    /// branch distributions; the minibatch is drawn from the learner's **own** sampling
+    /// RNG, so two learners can update concurrently without sharing a stream. The packed
+    /// kernels run on the learner's pool ([`DqnLearner::set_thread_pool`]) and are
+    /// bit-identical at any thread count. Reported loss / TD errors and the written
+    /// replay priorities are bit-identical to [`DqnLearner::learn_sequential`] from the
+    /// same learner state; updated parameters match to f32 tolerance (see the module docs
+    /// for why).
+    pub fn learn(&mut self) -> Result<Option<LearnReport>> {
         if self.memory.len() < self.batch_size {
             return Ok(None);
         }
         let start = Instant::now();
         let (grads, priorities, report) = {
-            let sampled = self.memory.sample_refs(self.batch_size, rng);
+            let sampled = self.memory.sample_refs(self.batch_size, &mut self.rng);
             let batch = sampled.len();
 
             // Double-DQN targets: flatten every live branch of every sampled transition
@@ -224,8 +270,12 @@ impl DqnLearner {
                 }
                 branch_spans.push((span_start, branch_states.len()));
             }
-            let online_q = self.net.infer_batch(&self.store, &branch_states)?;
-            let target_q = self.net.infer_batch(&self.target_store, &branch_states)?;
+            let online_q = self
+                .net
+                .infer_batch_par(&self.store, &branch_states, self.pool)?;
+            let target_q =
+                self.net
+                    .infer_batch_par(&self.target_store, &branch_states, self.pool)?;
             let targets: Vec<f32> = sampled
                 .iter()
                 .zip(&branch_spans)
@@ -240,8 +290,8 @@ impl DqnLearner {
                 })
                 .collect();
 
-            // One packed graph for the whole minibatch.
-            let mut graph = Graph::new();
+            // One packed graph for the whole minibatch, on the learner's pool.
+            let mut graph = Graph::with_pool(self.pool);
             let mut binding = GraphBinding::new();
             let states: Vec<&StateTensor> = sampled.iter().map(|(_, t)| &t.state).collect();
             let (q_column, segments) =
@@ -292,6 +342,7 @@ impl DqnLearner {
         for (slot, td_error) in priorities {
             self.memory.update_priority(slot, td_error);
         }
+        self.losses.push(report.loss);
         self.finish_update();
         self.learn_time += start.elapsed();
         Ok(Some(report))
@@ -302,13 +353,15 @@ impl DqnLearner {
     /// like the owned-compat `Platform::apply_owned` path — **only** as the reference for
     /// `tests/packed_learning_equivalence.rs` and the old-vs-new comparison in
     /// `crates/bench/benches/batched_training.rs`; new code must call
-    /// [`DqnLearner::learn`].
-    pub fn learn_sequential(&mut self, rng: &mut Rng) -> Result<Option<LearnReport>> {
+    /// [`DqnLearner::learn`]. Samples from the same owned RNG stream as `learn` (so a
+    /// cloned learner running this path consumes the stream identically) and always runs
+    /// serial kernels — it is the single-threaded reference.
+    pub fn learn_sequential(&mut self) -> Result<Option<LearnReport>> {
         if self.memory.len() < self.batch_size {
             return Ok(None);
         }
         let start = Instant::now();
-        let samples = self.memory.sample(self.batch_size, rng);
+        let samples = self.memory.sample(self.batch_size, &mut self.rng);
         let mut grad_accumulator: Vec<Option<(crowd_nn::ParamId, Matrix)>> = Vec::new();
         let mut total_loss = 0.0f32;
         let mut total_abs_td = 0.0f32;
@@ -364,14 +417,16 @@ impl DqnLearner {
         for (slot, td_error) in priorities {
             self.memory.update_priority(slot, td_error);
         }
-        self.finish_update();
-        self.learn_time += start.elapsed();
-
-        Ok(Some(LearnReport {
+        let report = LearnReport {
             loss: total_loss * scale,
             mean_td_error: total_abs_td * scale,
             batch,
-        }))
+        };
+        self.losses.push(report.loss);
+        self.finish_update();
+        self.learn_time += start.elapsed();
+
+        Ok(Some(report))
     }
 
     /// Shared epilogue of both update paths: bump the counter and hard-sync the target
@@ -457,7 +512,7 @@ mod tests {
         let cfg = config();
         let mut rng = Rng::seed_from(0);
         let mut learner = DqnLearner::new(&cfg, 5, 0.3, &mut rng);
-        assert!(learner.learn(&mut rng).unwrap().is_none());
+        assert!(learner.learn().unwrap().is_none());
         assert_eq!(learner.memory_len(), 0);
     }
 
@@ -469,7 +524,7 @@ mod tests {
         let mut learner = DqnLearner::new(&cfg, 5, 0.3, &mut rng);
         fill_memory(&mut learner, &tf);
         for _ in 0..400 {
-            learner.learn(&mut rng).unwrap();
+            learner.learn().unwrap();
         }
         let snaps = vec![snapshot(0, 0.9), snapshot(1, 0.1)];
         let state = tf.build(&snaps, &[0.5, 0.5], 0.5);
@@ -491,7 +546,7 @@ mod tests {
         let mut learner = DqnLearner::new(&cfg, 5, 0.5, &mut rng);
         fill_memory(&mut learner, &tf);
         for _ in 0..600 {
-            learner.learn(&mut rng).unwrap();
+            learner.learn().unwrap();
         }
         let snaps = vec![snapshot(0, 0.9), snapshot(1, 0.1)];
         let state = tf.build(&snaps, &[0.5, 0.5], 0.5);
@@ -512,12 +567,12 @@ mod tests {
         let mut rng = Rng::seed_from(3);
         let mut learner = DqnLearner::new(&cfg, 5, 0.3, &mut rng);
         fill_memory(&mut learner, &tf);
-        let first = learner.learn(&mut rng).unwrap().unwrap();
+        let first = learner.learn().unwrap().unwrap();
         assert_eq!(first.batch, cfg.batch_size);
         for _ in 0..100 {
-            learner.learn(&mut rng).unwrap();
+            learner.learn().unwrap();
         }
-        let later = learner.learn(&mut rng).unwrap().unwrap();
+        let later = learner.learn().unwrap().unwrap();
         assert!(
             later.mean_td_error < first.mean_td_error,
             "TD error should shrink: {} -> {}",
@@ -537,10 +592,10 @@ mod tests {
         let mut rng = Rng::seed_from(5);
         let mut packed = DqnLearner::new(&cfg, 5, 0.3, &mut rng);
         fill_memory(&mut packed, &tf);
+        // The clone carries the sampling RNG, so both paths draw the same minibatch.
         let mut sequential = packed.clone();
-        let mut seq_rng = rng.clone();
-        let packed_report = packed.learn(&mut rng).unwrap().unwrap();
-        let seq_report = sequential.learn_sequential(&mut seq_rng).unwrap().unwrap();
+        let packed_report = packed.learn().unwrap().unwrap();
+        let seq_report = sequential.learn_sequential().unwrap().unwrap();
         assert_eq!(packed_report.batch, seq_report.batch);
         assert_eq!(
             packed_report.loss.to_bits(),
@@ -561,8 +616,14 @@ mod tests {
                 "replay priority diverged at slot {slot}"
             );
         }
-        // Both paths consumed the sampling RNG identically.
-        assert_eq!(rng.next_u64(), seq_rng.next_u64());
+        // Both paths consumed their sampling RNG identically.
+        assert_eq!(packed.rng_probe(), sequential.rng_probe());
+        // And both recorded the same loss stream entry.
+        assert_eq!(packed.loss_history().len(), 1);
+        assert_eq!(
+            packed.loss_history()[0].to_bits(),
+            sequential.loss_history()[0].to_bits()
+        );
         // Parameters agree to f32 tolerance (gradient summation order differs).
         for ((_, name, a), (_, _, b)) in packed.params().iter().zip(sequential.params().iter()) {
             for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
@@ -575,6 +636,46 @@ mod tests {
     }
 
     #[test]
+    fn pooled_learn_is_bit_identical_to_serial_learn() {
+        // Unlike packed-vs-sequential (parameters only within tolerance), pooled-vs-serial
+        // is the SAME algorithm on row-sharded kernels: everything — loss stream, replay
+        // priorities, post-update parameters, RNG stream — must match to the bit.
+        let cfg = config();
+        let tf = transformer();
+        let mut rng = Rng::seed_from(7);
+        let mut serial = DqnLearner::new(&cfg, 5, 0.3, &mut rng);
+        fill_memory(&mut serial, &tf);
+        let mut pooled = serial.clone();
+        pooled.set_thread_pool(ThreadPool::new(8));
+        for update in 0..5 {
+            let a = serial.learn().unwrap().unwrap();
+            let b = pooled.learn().unwrap().unwrap();
+            assert_eq!(
+                a.loss.to_bits(),
+                b.loss.to_bits(),
+                "pooled loss diverged at update {update}"
+            );
+        }
+        for slot in 0..cfg.buffer_size {
+            assert_eq!(
+                serial.replay_priority(slot).to_bits(),
+                pooled.replay_priority(slot).to_bits()
+            );
+        }
+        for ((_, name, a), (_, _, b)) in serial.params().iter().zip(pooled.params().iter()) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "param {name} not bit-identical under the pool"
+                );
+            }
+        }
+        assert_eq!(serial.rng_probe(), pooled.rng_probe());
+        assert_eq!(serial.loss_history(), pooled.loss_history());
+    }
+
+    #[test]
     fn learn_timing_accumulates_wall_time() {
         let cfg = config();
         let tf = transformer();
@@ -582,7 +683,7 @@ mod tests {
         let mut learner = DqnLearner::new(&cfg, 5, 0.3, &mut rng);
         assert_eq!(learner.learn_timing(), (0, std::time::Duration::ZERO));
         fill_memory(&mut learner, &tf);
-        learner.learn(&mut rng).unwrap().unwrap();
+        learner.learn().unwrap().unwrap();
         let (updates, total) = learner.learn_timing();
         assert_eq!(updates, 1);
         assert!(total > std::time::Duration::ZERO);
@@ -604,7 +705,7 @@ mod tests {
             });
         }
         for _ in 0..150 {
-            learner.learn(&mut rng).unwrap();
+            learner.learn().unwrap();
         }
         let q = learner.q_values(&state).unwrap()[0];
         assert!(

@@ -215,6 +215,9 @@ impl SetQNetwork {
     /// every stored transition's `action_row` indexes a real row); an empty pool or an
     /// empty `states` slice yields [`crowd_tensor::TensorError::EmptyInput`] because a
     /// zero-row segment has no Q entries to select.
+    ///
+    /// The stacked tape matmuls run on the **graph's** thread pool — build the graph with
+    /// `crowd_autograd::Graph::with_pool` to shard them (bit-identical to a serial tape).
     pub fn forward_batch(
         &self,
         graph: &mut Graph,
@@ -276,17 +279,36 @@ impl SetQNetwork {
         store: &ParamStore,
         states: &[&StateTensor],
     ) -> Result<Vec<Vec<f32>>> {
+        self.infer_batch_par(store, states, crowd_tensor::ThreadPool::serial())
+    }
+
+    /// [`SetQNetwork::infer_batch`] with every stacked matmul (the row-wise blocks, the
+    /// attention projections, the head) row-sharded over `pool` — the parallel inference
+    /// path, with the pool handle threaded down from the session layer. **Bit-identical**
+    /// to `infer_batch` at any thread count: row sharding never changes a row's f32
+    /// accumulation order (see `crowd_tensor::Matrix::matmul_par`), and everything else
+    /// is unchanged serial code.
+    pub fn infer_batch_par(
+        &self,
+        store: &ParamStore,
+        states: &[&StateTensor],
+        pool: crowd_tensor::ThreadPool,
+    ) -> Result<Vec<Vec<f32>>> {
         let Some((x, segments)) = Self::pack_states("infer_batch", states)? else {
             return Ok(vec![Vec::new(); states.len()]);
         };
-        let h1 = self.ff1.infer(store, &x)?;
-        let h2 = self.ff2.infer(store, &h1)?;
-        let a1 = self.attention1.infer_packed(store, &h2, &segments)?;
-        let r1 = self.residual_ff.infer(store, &a1)?;
+        let h1 = self.ff1.infer_par(store, &x, pool)?;
+        let h2 = self.ff2.infer_par(store, &h1, pool)?;
+        let a1 = self
+            .attention1
+            .infer_packed_par(store, &h2, &segments, pool)?;
+        let r1 = self.residual_ff.infer_par(store, &a1, pool)?;
         let h3 = h2.add(&r1)?;
-        let a2 = self.attention2.infer_packed(store, &h3, &segments)?;
+        let a2 = self
+            .attention2
+            .infer_packed_par(store, &h3, &segments, pool)?;
         let h4 = h3.add(&a2)?;
-        let q = self.head.infer(store, &h4)?;
+        let q = self.head.infer_par(store, &h4, pool)?;
         let col = q.col(0);
         let mut out = Vec::with_capacity(states.len());
         let mut seg_iter = segments.iter();
@@ -504,6 +526,44 @@ mod tests {
         for (st, q_batch) in states.iter().zip(&batched) {
             let q_solo = net.infer(&store, st).unwrap();
             assert_eq!(q_batch, &q_solo, "batched Q diverged from sequential Q");
+        }
+    }
+
+    #[test]
+    fn infer_batch_par_is_bit_identical_at_any_thread_count() {
+        let (store, net) = network(7, 15);
+        let states = [state(5, 8), state(0, 8), state(3, 6), state(8, 8)];
+        let refs: Vec<&StateTensor> = states.iter().collect();
+        let serial = net.infer_batch(&store, &refs).unwrap();
+        for threads in [1usize, 2, 8] {
+            let pool = crowd_tensor::ThreadPool::new(threads);
+            let pooled = net.infer_batch_par(&store, &refs, pool).unwrap();
+            assert_eq!(pooled, serial, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn pooled_forward_batch_matches_serial_tape_bit_for_bit() {
+        // The packed training graph on a pooled tape must produce the serial tape's bits
+        // (forward values; gradients are covered by the autograd-level test).
+        let (store, net) = network(7, 16);
+        let states = [state(5, 8), state(3, 6), state(8, 8)];
+        let refs: Vec<&StateTensor> = states.iter().collect();
+        let run = |pool: crowd_tensor::ThreadPool| {
+            let mut g = Graph::with_pool(pool);
+            let mut binding = GraphBinding::new();
+            let (q, _) = net
+                .forward_batch(&mut g, &store, &mut binding, &refs)
+                .unwrap();
+            g.value(q).clone()
+        };
+        let serial = run(crowd_tensor::ThreadPool::serial());
+        for threads in [2usize, 8] {
+            assert_eq!(
+                run(crowd_tensor::ThreadPool::new(threads)),
+                serial,
+                "pooled tape diverged at {threads} threads"
+            );
         }
     }
 

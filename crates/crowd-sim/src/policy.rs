@@ -12,30 +12,93 @@
 use crate::env::{ArrivalView, Decision, FeedbackView};
 use crate::task::TaskId;
 use crate::worker::WorkerId;
+use crowd_tensor::ThreadPool;
 use std::time::Duration;
 
-/// Wall time a policy has spent in its gradient/model-update steps — the *learner* slice
-/// of `observe`, separated from transition construction and statistics bookkeeping.
-///
-/// Reported by [`Policy::learner_timing`] for policies that track it (the DDQN agent times
-/// every `learn` call); the efficiency binaries print the per-update mean alongside
-/// decision and observe time so learner-side speedups (e.g. the packed minibatch graph)
-/// are visible in experiment output.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct LearnerTiming {
-    /// Number of gradient updates performed.
+/// Update count and wall time of **one** learner branch (e.g. the worker-benefit or the
+/// requester-benefit DQN of the dual agent). See [`LearnerTiming`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LearnerBranchTiming {
+    /// Branch label for reports (e.g. `"worker"` / `"requester"`).
+    pub name: &'static str,
+    /// Number of gradient updates this branch performed.
     pub updates: u64,
-    /// Total wall time spent inside those updates.
+    /// Wall time this branch spent inside those updates.
     pub total: Duration,
 }
 
-impl LearnerTiming {
-    /// Average seconds per gradient update (0 when no update ran).
+impl LearnerBranchTiming {
+    /// Average seconds per gradient update of this branch (0 when no update ran).
     pub fn mean_seconds(&self) -> f64 {
         if self.updates == 0 {
             0.0
         } else {
             self.total.as_secs_f64() / self.updates as f64
+        }
+    }
+}
+
+/// Wall time a policy has spent in its gradient/model-update steps — the *learner* slice
+/// of `observe`, separated from transition construction and statistics bookkeeping —
+/// broken down **per learner branch**.
+///
+/// Reported by [`Policy::learner_timing`] for policies that track it (the DDQN agent
+/// times every `learn` call of each of its two DQNs). The per-branch breakdown exists
+/// because the two learners may run **concurrently** (`DdqnAgent` dispatches them on two
+/// pool workers): summing their wall times would double-count the overlapped span, so
+/// latency reports must use [`LearnerTiming::critical_path`] — the slowest branch, which
+/// is what the caller actually waited — while [`LearnerTiming::total_cpu`] remains the
+/// summed per-branch time (CPU cost, not latency).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LearnerTiming {
+    /// Per-branch update counts and wall times, in a stable branch order.
+    pub branches: Vec<LearnerBranchTiming>,
+}
+
+impl LearnerTiming {
+    /// Timing of a single-branch learner.
+    pub fn single(name: &'static str, updates: u64, total: Duration) -> Self {
+        LearnerTiming {
+            branches: vec![LearnerBranchTiming {
+                name,
+                updates,
+                total,
+            }],
+        }
+    }
+
+    /// Total gradient updates across every branch.
+    pub fn updates(&self) -> u64 {
+        self.branches.iter().map(|b| b.updates).sum()
+    }
+
+    /// Summed per-branch wall time — the CPU cost of learning. When branches run
+    /// concurrently this **exceeds** the time the caller waited; use
+    /// [`LearnerTiming::critical_path`] for latency.
+    pub fn total_cpu(&self) -> Duration {
+        self.branches.iter().map(|b| b.total).sum()
+    }
+
+    /// The slowest branch's wall time — the learning latency on the critical path when
+    /// branches run concurrently (equal to [`LearnerTiming::total_cpu`] for a
+    /// single-branch learner).
+    pub fn critical_path(&self) -> Duration {
+        self.branches
+            .iter()
+            .map(|b| b.total)
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Average critical-path seconds per update *round* (the branches of one round run
+    /// concurrently, so a round's updates count once): `critical_path / max branch update
+    /// count`. 0 when no update ran.
+    pub fn mean_seconds(&self) -> f64 {
+        let rounds = self.branches.iter().map(|b| b.updates).max().unwrap_or(0);
+        if rounds == 0 {
+            0.0
+        } else {
+            self.critical_path().as_secs_f64() / rounds as f64
         }
     }
 }
@@ -195,7 +258,23 @@ pub trait Policy {
     fn learner_timing(&self) -> Option<LearnerTiming> {
         None
     }
+
+    /// Hands the policy a worker pool for its internal parallelism (packed forward
+    /// passes, concurrent learner branches). The default ignores it — most policies have
+    /// nothing to parallelise; the DDQN agent overrides it. Policies must stay
+    /// **deterministic at any thread count**: the pool may only change wall clock, never
+    /// results (the workspace-wide bit-identity contract,
+    /// `tests/parallel_equivalence.rs`).
+    fn set_thread_pool(&mut self, _pool: ThreadPool) {}
 }
+
+/// The canonical boxed policy used by session batches and the experiment line-ups.
+///
+/// `Send` is part of the contract so `SessionBatch::step_all_parallel` can shard
+/// session/policy pairs across pool workers; every policy in the workspace is a plain
+/// data structure (matrices, replay buffers, deterministic RNGs), so the bound costs
+/// nothing.
+pub type BoxedPolicy = Box<dyn Policy + Send>;
 
 /// A policy that can decide on `N` arrivals (one per live simulation) in a single call —
 /// the entry point batched Q-network inference plugs into.

@@ -1,29 +1,81 @@
 //! Regenerates Table I: average model-update time per method (supervised methods retrain
 //! daily on accumulated data; RL methods update after every feedback).
+//!
+//! Accepts `--threads N` (or `CROWD_THREADS`) and hands every policy the pool for its
+//! internal parallelism — for the DDQN agent that is the concurrent two-learner dispatch
+//! and the pooled packed kernels. When the pool has more than one thread, each method is
+//! additionally replayed once at `threads = 1` and a wall-clock speedup column reports
+//! `serial / pooled` run time (results themselves are bit-identical at any thread count,
+//! so only wall clock can differ).
 
 use crowd_baselines::Benefit;
 use crowd_experiments::{
     experiment_dataset, experiment_scale, policies_for_benefit, print_table, run_policy,
     RunnerConfig,
 };
+use crowd_tensor::ThreadPool;
+use std::time::Instant;
 
 fn main() {
     let scale = experiment_scale();
+    let pool = crowd_experiments::experiment_thread_pool();
     let dataset = experiment_dataset();
     let cfg = RunnerConfig::default();
-    println!("Table I reproduction — model update efficiency ({scale:?} scale)");
+    println!(
+        "Table I reproduction — model update efficiency ({scale:?} scale, {} thread(s))",
+        pool.threads()
+    );
     println!("(Random and Greedy CS are included for completeness; the paper omits them because they have no model to update.)");
 
+    // A second, identically constructed line-up serves as the serial wall-clock baseline
+    // for the speedup column — only built when there is a multi-thread pool to compare
+    // against (the twins carry full Q-networks and replay buffers).
+    let pooled_lineup = policies_for_benefit(&dataset, Benefit::Worker, scale);
+    let serial_twins: Vec<Option<_>> = if pool.is_serial() {
+        pooled_lineup.iter().map(|_| None).collect()
+    } else {
+        policies_for_benefit(&dataset, Benefit::Worker, scale)
+            .into_iter()
+            .map(Some)
+            .collect()
+    };
+
     let mut rows = Vec::new();
-    for mut policy in policies_for_benefit(&dataset, Benefit::Worker, scale) {
+    for (mut policy, serial_twin) in pooled_lineup.into_iter().zip(serial_twins) {
         eprintln!("running {} ...", policy.name());
+        policy.set_thread_pool(pool);
+        let started = Instant::now();
         let outcome = run_policy(&dataset, policy.as_mut(), &cfg);
+        let pooled_wall = started.elapsed();
+
+        let speedup_column = match serial_twin {
+            None => "-".to_string(),
+            Some(mut twin) => {
+                twin.set_thread_pool(ThreadPool::serial());
+                let serial_started = Instant::now();
+                run_policy(&dataset, twin.as_mut(), &cfg);
+                let serial_wall = serial_started.elapsed();
+                format!(
+                    "{:.2}x",
+                    serial_wall.as_secs_f64() / pooled_wall.as_secs_f64().max(1e-9)
+                )
+            }
+        };
+
         // Per-gradient-update learner wall time, for policies that track it (the DDQN
         // agent times every packed `learn` call); "-" for model-free / daily-retrained
-        // methods whose whole update cost is already the observe column.
+        // methods whose whole update cost is already the observe column. With concurrent
+        // learner branches the mean is taken over the CRITICAL PATH (the slower branch,
+        // which is what `observe` actually waited for) — summing branch wall times would
+        // double-count the overlapped span.
         let learn_column = match policy.learner_timing() {
-            Some(timing) if timing.updates > 0 => {
-                format!("{:.6}", timing.mean_seconds())
+            Some(timing) if timing.updates() > 0 => {
+                let branches: Vec<String> = timing
+                    .branches
+                    .iter()
+                    .map(|b| format!("{} {:.6}s", b.name, b.total.as_secs_f64()))
+                    .collect();
+                format!("{:.6} [{}]", timing.mean_seconds(), branches.join(", "))
             }
             _ => "-".to_string(),
         };
@@ -33,6 +85,7 @@ fn main() {
             format!("{:.6}", outcome.act_timer.mean_seconds()),
             learn_column,
             outcome.update_timer.count().to_string(),
+            speedup_column,
         ]);
     }
     print_table(
@@ -41,11 +94,12 @@ fn main() {
             "method",
             "update (s)",
             "decide (s)",
-            "learn (s)",
+            "learn (s, critical path [per-branch wall])",
             "# updates",
+            "speedup vs 1 thread",
         ],
         &rows,
     );
     println!("\nExpected shape: the daily-retrained supervised models (Taskrec, Greedy NN) pay seconds per retraining, while the RL methods (LinUCB, DDQN) update in milliseconds after every feedback.");
-    println!("The learn column isolates the gradient-update slice of observe for learner-backed methods: one packed minibatch graph per DDQN update (see ARCHITECTURE.md, \"Packed minibatch training\").");
+    println!("The learn column isolates the gradient-update slice of observe for learner-backed methods: one packed minibatch graph per DDQN update, with the two DDQN branches dispatched concurrently when the pool allows (see ARCHITECTURE.md, \"Parallel execution\").");
 }

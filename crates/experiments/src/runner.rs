@@ -182,7 +182,7 @@ mod tests {
         let mut solo_cosine = GreedyCosine::new(Benefit::Worker, ListMode::RankAll);
         let solo_cosine_out = run_policy(&dataset, &mut solo_cosine, &cfg);
 
-        let policies: Vec<Box<dyn crowd_sim::Policy>> = vec![
+        let policies: Vec<crowd_sim::BoxedPolicy> = vec![
             Box::new(RandomPolicy::new(ListMode::RankAll, 5)),
             Box::new(GreedyCosine::new(Benefit::Worker, ListMode::RankAll)),
         ];

@@ -2,7 +2,7 @@
 
 use crowd_baselines::{Benefit, GreedyCosine, GreedyNn, LinUcb, ListMode, RandomPolicy, Taskrec};
 use crowd_rl_core::{DdqnAgent, DdqnConfig, RecommendationMode};
-use crowd_sim::{Dataset, Platform, Policy, SimConfig};
+use crowd_sim::{BoxedPolicy, Dataset, Platform, SimConfig};
 
 /// Dataset scale of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +45,30 @@ pub fn experiment_scale() -> Scale {
     Scale::from_env()
 }
 
+/// The worker pool for an experiment binary or example: `--threads N` on the command
+/// line wins, then the `CROWD_THREADS` environment variable, then the machine's
+/// available parallelism. Thread count only changes wall clock — every run is
+/// bit-identical at any setting (the workspace's parallel-execution contract).
+pub fn experiment_thread_pool() -> crowd_tensor::ThreadPool {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        // Both `--threads N` and `--threads=N` normalise to one value extraction.
+        let value = if arg == "--threads" {
+            args.next()
+        } else {
+            arg.strip_prefix("--threads=").map(str::to_string)
+        };
+        let Some(value) = value else { continue };
+        match crowd_tensor::ThreadPool::parse(&value) {
+            Some(pool) => return pool,
+            None => eprintln!(
+                "--threads expects a positive integer (got {value:?}); falling back to CROWD_THREADS / available parallelism"
+            ),
+        }
+    }
+    crowd_tensor::ThreadPool::from_env()
+}
+
 /// Generates the dataset for the current experiment scale.
 pub fn experiment_dataset() -> Dataset {
     experiment_scale().sim_config().generate()
@@ -84,18 +108,14 @@ pub fn ddqn_for(dataset: &Dataset, config: DdqnConfig) -> DdqnAgent {
 /// The policy line-up of Fig. 7 (worker benefit) or Fig. 8 (requester benefit), including the
 /// benefit-specific DDQN variant. Taskrec only appears in the worker-benefit comparison, as
 /// in the paper.
-pub fn policies_for_benefit(
-    dataset: &Dataset,
-    benefit: Benefit,
-    scale: Scale,
-) -> Vec<Box<dyn Policy>> {
+pub fn policies_for_benefit(dataset: &Dataset, benefit: Benefit, scale: Scale) -> Vec<BoxedPolicy> {
     let mode = ListMode::RankAll;
     let ddqn_config = match benefit {
         Benefit::Worker => ddqn_config_for(scale).worker_only(),
         Benefit::Requester => ddqn_config_for(scale).requester_only(),
     }
     .with_mode(RecommendationMode::RankList);
-    let mut policies: Vec<Box<dyn Policy>> = vec![Box::new(RandomPolicy::new(mode, 11))];
+    let mut policies: Vec<BoxedPolicy> = vec![Box::new(RandomPolicy::new(mode, 11))];
     if benefit == Benefit::Worker {
         policies.push(Box::new(Taskrec::new(mode, 8, 13)));
     }

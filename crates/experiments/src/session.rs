@@ -20,14 +20,26 @@
 //! session's arrival in a single `act_batch` call — for the DDQN agent that is **one
 //! Q-network forward pass for `N` simulations** (see `ARCHITECTURE.md` at the repository
 //! root for where this sits in the layering).
+//!
+//! # Parallel stepping
+//!
+//! Give the batch a pool ([`SessionBatch::set_pool`]) and
+//! [`SessionBatch::step_all_parallel`] shards the session/policy *pairs* across pool
+//! workers: each pair owns everything its step touches (environment, metrics, timers,
+//! policy, RNG streams), so sharding is deterministic by construction and the outcomes
+//! are **bit-identical** to [`SessionBatch::step_all`] at any thread count
+//! (`tests/parallel_equivalence.rs`). [`SessionBatch::step_batched`] uses the same pool
+//! for its pack/unpack stages around the single shared `act_batch` call: environment
+//! `apply` + metric recording run per session in parallel, while the shared policy's
+//! `observe` calls stay sequential in session order (identical to the serial round).
 
 use crate::runner::{RunOutcome, RunnerConfig};
 use crowd_metrics::{MetricsAccumulator, UpdateTimer};
 use crowd_sim::{
-    ArrivalContext, ArrivalView, BatchedPolicy, Dataset, Decision, Env, Platform, Policy,
-    PolicyFeedback, TaskId,
+    ArrivalContext, ArrivalView, BatchedPolicy, BoxedPolicy, Dataset, Decision, Env, Platform,
+    Policy, PolicyFeedback, TaskId,
 };
-use crowd_tensor::Rng;
+use crowd_tensor::{Rng, ThreadPool};
 use std::time::Instant;
 
 /// One replay of a dataset against one policy, steppable one arrival at a time.
@@ -167,20 +179,35 @@ impl<E: Env> Session<E> {
         }
     }
 
+    /// Applies `self.decision` to the pending arrival and records the metrics — the
+    /// policy-free half of committing a decision. Touches only this session's own
+    /// environment and accumulator, so a batch may run it for many sessions in parallel;
+    /// the staged-commit contract keeps the arrival and feedback views valid for the
+    /// subsequent [`Session::observe_feedback`].
+    fn apply_and_record(&mut self) {
+        let month = Dataset::month_of(self.env.arrival().time);
+        self.env.apply(&self.decision);
+        let feedback = self.env.feedback();
+        self.metrics
+            .record(month - self.config.warmup_months, &feedback);
+        self.evaluated_arrivals += 1;
+    }
+
+    /// Hands the (still valid) arrival/feedback views to the policy's `observe`, timed —
+    /// the policy half of committing a decision. Must run after
+    /// [`Session::apply_and_record`] and, for a shared policy, in session order.
+    fn observe_feedback(&mut self, policy: &mut (impl Policy + ?Sized)) {
+        let view = self.env.arrival();
+        let feedback = self.env.feedback();
+        self.update_timer.time(|| policy.observe(&view, &feedback));
+    }
+
     /// Applies `self.decision` to the pending arrival, records the metrics and hands the
     /// feedback to the policy's `observe`. Second half of [`Session::step`], called by
     /// [`SessionBatch::step_batched`] after the batched act filled the decision buffer.
     fn commit_decision(&mut self, policy: &mut (impl Policy + ?Sized)) {
-        let month = Dataset::month_of(self.env.arrival().time);
-        self.env.apply(&self.decision);
-        {
-            let view = self.env.arrival();
-            let feedback = self.env.feedback();
-            self.metrics
-                .record(month - self.config.warmup_months, &feedback);
-            self.update_timer.time(|| policy.observe(&view, &feedback));
-        }
-        self.evaluated_arrivals += 1;
+        self.apply_and_record();
+        self.observe_feedback(policy);
     }
 
     /// Advances the replay by one *evaluated* arrival (warm-up arrivals are consumed
@@ -236,6 +263,9 @@ pub struct SessionBatch<E: Env = Platform> {
     scratch_decisions: Vec<Decision>,
     /// Scratch list of the live sessions' indexes for the current batched round.
     live: Vec<usize>,
+    /// Pool used by [`SessionBatch::step_all_parallel`] and the pack/unpack stages of
+    /// [`SessionBatch::step_batched`]. Serial by default.
+    pool: ThreadPool,
 }
 
 impl<E: Env> SessionBatch<E> {
@@ -245,7 +275,25 @@ impl<E: Env> SessionBatch<E> {
             sessions: Vec::new(),
             scratch_decisions: Vec::new(),
             live: Vec::new(),
+            pool: ThreadPool::serial(),
         }
+    }
+
+    /// Sets the pool used by the batch's parallel stepping paths (builder form).
+    pub fn with_pool(mut self, pool: ThreadPool) -> Self {
+        self.set_pool(pool);
+        self
+    }
+
+    /// Sets the pool used by the batch's parallel stepping paths. Stepping results are
+    /// bit-identical at any thread count; only wall clock changes.
+    pub fn set_pool(&mut self, pool: ThreadPool) {
+        self.pool = pool;
+    }
+
+    /// The batch's pool.
+    pub fn pool(&self) -> ThreadPool {
+        self.pool
     }
 
     /// Adds a session to the batch.
@@ -270,7 +318,7 @@ impl<E: Env> SessionBatch<E> {
 
     /// Steps every live session once against its paired policy; returns how many sessions
     /// are still live. `policies` must align with the sessions by index.
-    pub fn step_all(&mut self, policies: &mut [Box<dyn Policy>]) -> usize {
+    pub fn step_all(&mut self, policies: &mut [BoxedPolicy]) -> usize {
         assert_eq!(
             self.sessions.len(),
             policies.len(),
@@ -286,8 +334,55 @@ impl<E: Env> SessionBatch<E> {
     }
 
     /// Steps until every session is exhausted.
-    pub fn run_all(&mut self, policies: &mut [Box<dyn Policy>]) {
+    pub fn run_all(&mut self, policies: &mut [BoxedPolicy]) {
         while self.step_all(policies) > 0 {}
+    }
+
+    /// [`SessionBatch::step_all`] with the session/policy pairs sharded across the
+    /// batch's pool ([`SessionBatch::set_pool`]): each pool worker steps a contiguous
+    /// shard of pairs, one arrival each. Returns how many sessions are still live.
+    ///
+    /// A pair owns everything its step touches — the session's environment, decision
+    /// buffer, metrics, timers and warm-up RNG, plus the policy with its own model state
+    /// and RNG streams — so the shards share nothing and the outcomes (metrics,
+    /// completions, qualities, every policy's post-run state) are **bit-identical** to
+    /// sequential [`SessionBatch::step_all`] at any thread count, proven end to end by
+    /// `tests/parallel_equivalence.rs`. This is the replica-sweep hot path: `N`
+    /// simulations of the paper's protocol for ~`N/threads` the wall clock.
+    pub fn step_all_parallel(&mut self, policies: &mut [BoxedPolicy]) -> usize
+    where
+        E: Send,
+    {
+        assert_eq!(
+            self.sessions.len(),
+            policies.len(),
+            "one policy per session required"
+        );
+        if self.pool.is_serial() {
+            return self.step_all(policies);
+        }
+        let mut pairs: Vec<(&mut Session<E>, &mut BoxedPolicy)> =
+            self.sessions.iter_mut().zip(policies.iter_mut()).collect();
+        let pool = self.pool;
+        pool.par_chunks(&mut pairs, 1, |_, shard| {
+            let mut live = 0usize;
+            for (session, policy) in shard.iter_mut() {
+                if session.step(policy.as_mut()) {
+                    live += 1;
+                }
+            }
+            live
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Runs [`SessionBatch::step_all_parallel`] rounds until every session is exhausted.
+    pub fn run_all_parallel(&mut self, policies: &mut [BoxedPolicy])
+    where
+        E: Send,
+    {
+        while self.step_all_parallel(policies) > 0 {}
     }
 
     /// Steps every live session once against one **shared** policy, collecting all pending
@@ -314,7 +409,20 @@ impl<E: Env> SessionBatch<E> {
     ///
     /// The batched act time is split evenly across the live sessions' decision timers so
     /// per-session `RunOutcome`s stay comparable with the sequential path.
-    pub fn step_batched<P: BatchedPolicy + ?Sized>(&mut self, policy: &mut P) -> usize {
+    ///
+    /// With a multi-thread pool ([`SessionBatch::set_pool`]) the *unpack* stage after
+    /// `act_batch` — per-session `Env::apply` plus metric recording — runs sharded across
+    /// workers (every session owns its environment and accumulator), while the shared
+    /// policy's `observe` calls stay sequential in session order. Within each session the
+    /// apply → record → observe order is unchanged and the policy sees the exact call
+    /// sequence of the serial round, so batched stepping stays **bit-identical** at any
+    /// thread count. (The matching *pack* stage — building all views' state tensors in
+    /// parallel — lives inside the DDQN agent's `act_batch`; hand the agent the same pool
+    /// to enable it.)
+    pub fn step_batched<P: BatchedPolicy + ?Sized>(&mut self, policy: &mut P) -> usize
+    where
+        E: Send,
+    {
         self.live.clear();
         for (i, session) in self.sessions.iter_mut().enumerate() {
             if session.advance_to_arrival(policy) {
@@ -343,22 +451,50 @@ impl<E: Env> SessionBatch<E> {
             policy.act_batch(&views, &mut self.scratch_decisions[..n]);
         }
         let per_session = start.elapsed() / n as u32;
-        for (k, i) in self.live.iter().copied().enumerate() {
-            let session = &mut self.sessions[i];
-            std::mem::swap(&mut session.decision, &mut self.scratch_decisions[k]);
+        // Collect the live sessions once (`self.live` is ascending, so a single merge
+        // walk over `iter_mut` suffices) and swap their decisions in.
+        let mut live_iter = self.live.iter().copied().peekable();
+        let mut live_sessions: Vec<&mut Session<E>> = Vec::with_capacity(n);
+        for (i, session) in self.sessions.iter_mut().enumerate() {
+            if live_iter.peek() == Some(&i) {
+                live_iter.next();
+                live_sessions.push(session);
+            }
+        }
+        for (session, scratch) in live_sessions.iter_mut().zip(&mut self.scratch_decisions) {
+            std::mem::swap(&mut session.decision, scratch);
             session.act_timer.record(per_session);
-            session.commit_decision(policy);
+        }
+        // Unpack: apply + record per session (parallel — no policy involved), then the
+        // shared policy observes every feedback sequentially in session order. Small
+        // rounds run the unpack serially: a per-session apply is microseconds, a scoped
+        // spawn is tens of them, and the two paths are bit-identical anyway.
+        let unpack_pool = if n >= self.pool.threads() * 4 {
+            self.pool
+        } else {
+            ThreadPool::serial()
+        };
+        unpack_pool.par_chunks(&mut live_sessions, 1, |_, shard| {
+            for session in shard.iter_mut() {
+                session.apply_and_record();
+            }
+        });
+        for session in &mut live_sessions {
+            session.observe_feedback(policy);
         }
         n
     }
 
     /// Runs batched rounds until every session is exhausted.
-    pub fn run_batched<P: BatchedPolicy + ?Sized>(&mut self, policy: &mut P) {
+    pub fn run_batched<P: BatchedPolicy + ?Sized>(&mut self, policy: &mut P)
+    where
+        E: Send,
+    {
         while self.step_batched(policy) > 0 {}
     }
 
     /// Consumes the batch into one [`RunOutcome`] per session.
-    pub fn finish(self, policies: &[Box<dyn Policy>]) -> Vec<RunOutcome> {
+    pub fn finish(self, policies: &[BoxedPolicy]) -> Vec<RunOutcome> {
         assert_eq!(self.sessions.len(), policies.len());
         self.sessions
             .into_iter()
@@ -382,13 +518,33 @@ impl<E: Env> SessionBatch<E> {
 /// deterministic platform replay) and returns their outcomes in order.
 pub fn run_policies_lockstep(
     dataset: &Dataset,
-    mut policies: Vec<Box<dyn Policy>>,
+    policies: Vec<BoxedPolicy>,
     config: &RunnerConfig,
 ) -> Vec<RunOutcome> {
-    let mut batch = SessionBatch::new();
-    for _ in 0..policies.len() {
+    run_policies_lockstep_with_pool(dataset, policies, config, ThreadPool::serial())
+}
+
+/// [`run_policies_lockstep`] with the per-policy replays sharded across `pool` — each
+/// policy owns its own platform replay, so the sweep parallelises over policies with
+/// bit-identical outcomes at any thread count.
+///
+/// The pool is spent on the **outer** session sharding only; every policy keeps a serial
+/// internal pool. Handing both levels the same multi-thread pool would nest scoped
+/// pools (`threads` session shards × up to `threads` workers per pooled kernel inside
+/// each policy), oversubscribing the cores and multiplying spawn cost — the outer shard
+/// is the chunkier, better-scaling level. (Nesting is still *correct* — results are
+/// bit-identical either way — just slower; `tests/parallel_equivalence.rs` deliberately
+/// exercises the nested shape.)
+pub fn run_policies_lockstep_with_pool(
+    dataset: &Dataset,
+    mut policies: Vec<BoxedPolicy>,
+    config: &RunnerConfig,
+    pool: ThreadPool,
+) -> Vec<RunOutcome> {
+    let mut batch = SessionBatch::new().with_pool(pool);
+    for _ in &policies {
         batch.push(Session::for_dataset(dataset, config));
     }
-    batch.run_all(&mut policies);
+    batch.run_all_parallel(&mut policies);
     batch.finish(&policies)
 }

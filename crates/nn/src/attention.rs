@@ -200,6 +200,11 @@ impl MultiHeadSelfAttention {
     /// re-packed with `vstack`, which cannot leave gaps). That is exactly the layout
     /// `SetQNetwork::forward_batch` builds; debug assertions enforce it.
     ///
+    /// The stacked tape matmuls run on the **graph's** thread pool
+    /// (`crowd_autograd::Graph::with_pool`), so building the training graph on a pooled
+    /// tape shards the same projections `infer_packed_par` shards at inference time —
+    /// with the same bit-identity guarantee, forward and backward.
+    ///
     /// The forward *values* are the same bits [`MultiHeadSelfAttention::infer_packed`]
     /// produces (the tape ops call the very same `Matrix` kernels block by block;
     /// `crowd-rl-core`'s packed-learning equivalence suite leans on this), and per-segment
@@ -287,6 +292,26 @@ impl MultiHeadSelfAttention {
         x: &Matrix,
         segments: &[PoolSegment],
     ) -> Result<Matrix> {
+        self.infer_packed_par(store, x, segments, crowd_tensor::ThreadPool::serial())
+    }
+
+    /// [`MultiHeadSelfAttention::infer_packed`] with its stacked matmuls row-sharded over
+    /// `pool` — the parallel batched-inference path, with the pool handle threaded down
+    /// from the session layer (`SessionBatch` → `DdqnAgent::act_batch` →
+    /// `SetQNetwork::infer_batch_par`).
+    ///
+    /// Only the buffer-wide projections (Q/K/V per head, the output projection) shard;
+    /// each segment's score/softmax/value block is small (`rows × rows` with `rows` the
+    /// pool size) and stays on the calling thread. Row sharding keeps every output row's
+    /// f32 accumulation order unchanged, so the result is **bit-identical** to
+    /// [`MultiHeadSelfAttention::infer_packed`] at any thread count.
+    pub fn infer_packed_par(
+        &self,
+        store: &ParamStore,
+        x: &Matrix,
+        segments: &[PoolSegment],
+        pool: crowd_tensor::ThreadPool,
+    ) -> Result<Matrix> {
         let scale = 1.0 / (self.head_dim as f32).sqrt();
         // Per-segment padding masks, shared by every head. A segment without padding
         // (`real_rows == rows`) needs no mask at all: its additive mask would be all-zero,
@@ -300,9 +325,9 @@ impl MultiHeadSelfAttention {
             .collect();
         let mut concat: Option<Matrix> = None;
         for head in &self.heads {
-            let q = x.matmul(store.get(head.wq))?;
-            let k = x.matmul(store.get(head.wk))?;
-            let v = x.matmul(store.get(head.wv))?;
+            let q = x.matmul_par(store.get(head.wq), pool)?;
+            let k = x.matmul_par(store.get(head.wk), pool)?;
+            let v = x.matmul_par(store.get(head.wv), pool)?;
             let mut head_out = Matrix::zeros(x.rows(), self.head_dim);
             for (seg, mask) in segments.iter().zip(&masks) {
                 let qb = q.slice_rows(seg.start, seg.end())?;
@@ -321,7 +346,7 @@ impl MultiHeadSelfAttention {
             });
         }
         self.output
-            .infer(store, &concat.expect("at least one head"))
+            .infer_par(store, &concat.expect("at least one head"), pool)
     }
 }
 
@@ -630,6 +655,27 @@ mod tests {
                     store.name(param_ids[idx - 1])
                 }
             );
+        }
+    }
+
+    #[test]
+    fn infer_packed_par_is_bit_identical_at_any_thread_count() {
+        // A packed buffer tall enough that the stacked projections would shard on a real
+        // multi-thread pool; the pooled result must be the exact serial bits regardless.
+        let (store, attn, mut rng) = setup(8, 2, 12);
+        let x = Matrix::randn(96, 8, &mut rng);
+        let segments: Vec<PoolSegment> = (0..12)
+            .map(|i| PoolSegment {
+                start: i * 8,
+                rows: 8,
+                real_rows: if i % 3 == 0 { 5 } else { 8 },
+            })
+            .collect();
+        let serial = attn.infer_packed(&store, &x, &segments).unwrap();
+        for threads in [1usize, 2, 8] {
+            let pool = crowd_tensor::ThreadPool::new(threads);
+            let pooled = attn.infer_packed_par(&store, &x, &segments, pool).unwrap();
+            assert_eq!(pooled, serial, "diverged at {threads} threads");
         }
     }
 

@@ -70,7 +70,20 @@ impl Linear {
     /// Forward pass outside any tape (inference only); avoids graph overhead when gradients
     /// are not needed, e.g. when evaluating the frozen target network.
     pub fn infer(&self, store: &ParamStore, x: &Matrix) -> Result<Matrix> {
-        let xw = x.matmul(store.get(self.weight))?;
+        self.infer_par(store, x, crowd_tensor::ThreadPool::serial())
+    }
+
+    /// [`Linear::infer`] with a row-sharded matmul over `pool` — the batched-inference
+    /// path, where `x` is a packed `[Σ pool sizes, in_dim]` buffer large enough to split.
+    /// Bit-identical to the serial pass at any thread count
+    /// (`crowd_tensor::Matrix::matmul_par`).
+    pub fn infer_par(
+        &self,
+        store: &ParamStore,
+        x: &Matrix,
+        pool: crowd_tensor::ThreadPool,
+    ) -> Result<Matrix> {
+        let xw = x.matmul_par(store.get(self.weight), pool)?;
         xw.add_row_broadcast(store.get(self.bias))
     }
 }
@@ -132,9 +145,20 @@ impl RowwiseFF {
 
     /// Gradient-free forward pass.
     pub fn infer(&self, store: &ParamStore, x: &Matrix) -> Result<Matrix> {
+        self.infer_par(store, x, crowd_tensor::ThreadPool::serial())
+    }
+
+    /// [`RowwiseFF::infer`] with the affine map's matmul sharded over `pool`; bit-identical
+    /// to the serial pass (the activation is element-wise).
+    pub fn infer_par(
+        &self,
+        store: &ParamStore,
+        x: &Matrix,
+        pool: crowd_tensor::ThreadPool,
+    ) -> Result<Matrix> {
         Ok(self
             .linear
-            .infer(store, x)?
+            .infer_par(store, x, pool)?
             .map(|v| if v > 0.0 { v } else { LEAKY_SLOPE * v }))
     }
 }

@@ -41,6 +41,17 @@
 //! assert_eq!(stacked.slice_rows(3, 8).unwrap(), session_b.matmul(&weights).unwrap());
 //! ```
 //!
+//! # Parallel kernels
+//!
+//! The packed buffers above can grow to thousands of rows at replica scale, so the two
+//! matmul kernels have row-sharded twins — [`Matrix::matmul_par`] /
+//! [`Matrix::matmul_transpose_par`] — that split the *output rows* across a
+//! [`ThreadPool`] (re-exported from `crowd-parallel`). Every output row is produced by
+//! the same per-row kernel the serial path runs, with the same f32 accumulation order,
+//! so the parallel results are **bit-identical** to the serial ones at any thread count;
+//! small products fall back to the serial kernel automatically (a thread spawn costs
+//! more than they do).
+//!
 //! # Determinism
 //!
 //! [`Rng`] is a self-contained xoshiro256++ generator (no external `rand`): the same seed
@@ -63,6 +74,10 @@ pub mod random;
 pub use error::TensorError;
 pub use matrix::Matrix;
 pub use random::Rng;
+
+// Re-exported so downstream crates can accept a pool handle without depending on
+// `crowd-parallel` directly (the handle appears in `Matrix::matmul_par`'s signature).
+pub use crowd_parallel::ThreadPool;
 
 /// Convenience result alias used across the workspace's numeric crates.
 pub type Result<T> = std::result::Result<T, TensorError>;

@@ -8,6 +8,53 @@
 use crate::error::TensorError;
 use crate::matrix::Matrix;
 use crate::Result;
+use crowd_parallel::ThreadPool;
+
+/// Minimum number of scalar multiply-adds (`m · k · n`) before the parallel matmul
+/// kernels shard rows across threads. Below this, one scoped-thread spawn (tens of
+/// microseconds) costs more than the whole product, so the parallel entry points fall
+/// back to the serial kernel — which is bit-identical anyway.
+const PAR_MATMUL_MIN_MADDS: usize = 1 << 19;
+
+/// The shared `i-k-j` row kernel of [`Matrix::matmul`]: computes output rows
+/// `[row0, row0 + out_rows.len()/n)` into `out_rows`. Both the serial and the row-sharded
+/// parallel path run exactly this code per row, which is what makes
+/// [`Matrix::matmul_par`] bit-identical by construction.
+fn matmul_rows(a: &[f32], b: &[f32], k: usize, n: usize, row0: usize, out_rows: &mut [f32]) {
+    let rows = out_rows.len() / n.max(1);
+    for local in 0..rows {
+        let i = row0 + local;
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut out_rows[local * n..(local + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    }
+}
+
+/// The shared row kernel of [`Matrix::matmul_transpose`] (`self * rhs^T` without
+/// materialising the transpose), same sharding contract as [`matmul_rows`].
+fn matmul_transpose_rows(a: &Matrix, rhs: &Matrix, n: usize, row0: usize, out_rows: &mut [f32]) {
+    let rows = out_rows.len() / n.max(1);
+    for local in 0..rows {
+        let a_row = a.row(row0 + local);
+        let c_row = &mut out_rows[local * n..(local + 1) * n];
+        for (c_v, j) in c_row.iter_mut().zip(0..n) {
+            let b_row = rhs.row(j);
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            *c_v = acc;
+        }
+    }
+}
 
 impl Matrix {
     /// Matrix product `self * rhs`.
@@ -23,25 +70,40 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
+        let k = self.cols();
+        let n = rhs.cols();
+        let mut out = Matrix::zeros(self.rows(), n);
+        matmul_rows(self.as_slice(), rhs.as_slice(), k, n, 0, out.as_mut_slice());
+        Ok(out)
+    }
+
+    /// Row-sharded parallel twin of [`Matrix::matmul`]: output rows are split into
+    /// contiguous shards across `pool`, each computed by the very same per-row kernel the
+    /// serial path runs. Because every output row is a function of one `self` row and all
+    /// of `rhs` — accumulated in an order that does not depend on the shard — the result
+    /// is **bit-identical** to [`Matrix::matmul`] at any thread count.
+    ///
+    /// Small products (fewer than ~half a million multiply-adds) and serial pools skip the
+    /// scoped-thread machinery entirely and run the serial kernel.
+    pub fn matmul_par(&self, rhs: &Matrix, pool: ThreadPool) -> Result<Matrix> {
+        if self.cols() != rhs.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_par",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
         let (m, k) = self.shape();
         let n = rhs.cols();
+        if pool.is_serial() || m < 2 || m * k * n < PAR_MATMUL_MIN_MADDS {
+            return self.matmul(rhs);
+        }
         let mut out = Matrix::zeros(m, n);
         let a = self.as_slice();
         let b = rhs.as_slice();
-        let c = out.as_mut_slice();
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (p, &a_ip) in a_row.iter().enumerate() {
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = &b[p * n..(p + 1) * n];
-                for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
-                    *c_v += a_ip * b_v;
-                }
-            }
-        }
+        pool.par_chunks(out.as_mut_slice(), n, |offset, chunk| {
+            matmul_rows(a, b, k, n, offset / n, chunk);
+        });
         Ok(out)
     }
 
@@ -54,20 +116,31 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        let (m, _) = self.shape();
         let n = rhs.rows();
-        let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            for j in 0..n {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0f32;
-                for (&x, &y) in a_row.iter().zip(b_row.iter()) {
-                    acc += x * y;
-                }
-                out.set(i, j, acc);
-            }
+        let mut out = Matrix::zeros(self.rows(), n);
+        matmul_transpose_rows(self, rhs, n, 0, out.as_mut_slice());
+        Ok(out)
+    }
+
+    /// Row-sharded parallel twin of [`Matrix::matmul_transpose`]; same bit-identity and
+    /// small-product fallback contract as [`Matrix::matmul_par`].
+    pub fn matmul_transpose_par(&self, rhs: &Matrix, pool: ThreadPool) -> Result<Matrix> {
+        if self.cols() != rhs.cols() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_transpose_par",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
         }
+        let (m, k) = self.shape();
+        let n = rhs.rows();
+        if pool.is_serial() || m < 2 || m * k * n < PAR_MATMUL_MIN_MADDS {
+            return self.matmul_transpose(rhs);
+        }
+        let mut out = Matrix::zeros(m, n);
+        pool.par_chunks(out.as_mut_slice(), n, |offset, chunk| {
+            matmul_transpose_rows(self, rhs, n, offset / n, chunk);
+        });
         Ok(out)
     }
 
@@ -643,6 +716,7 @@ mod tests {
 // with the workspace's own deterministic Rng.
 #[cfg(test)]
 mod proptests {
+    use crate::error::TensorError;
     use crate::matrix::Matrix;
     use crate::random::Rng;
 
@@ -780,6 +854,68 @@ mod proptests {
                 b.matmul(&w).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn matmul_par_is_bit_identical_to_serial_at_any_thread_count() {
+        // Above the sharding threshold: 192 x 48 @ 48 x 64 = ~590k madds, so the pooled
+        // path really shards rows instead of falling back to the serial kernel.
+        let mut rng = Rng::seed_from(111);
+        let a = Matrix::randn(192, 48, &mut rng);
+        let b = Matrix::randn(48, 64, &mut rng);
+        let serial = a.matmul(&b).unwrap();
+        for threads in [1usize, 2, 3, 8, 300] {
+            let pool = crowd_parallel::ThreadPool::new(threads);
+            let par = a.matmul_par(&b, pool).unwrap();
+            assert_eq!(par, serial, "matmul_par diverged at {threads} threads");
+        }
+        // Shape errors are reported under the parallel op name.
+        assert!(matches!(
+            a.matmul_par(&Matrix::zeros(2, 2), crowd_parallel::ThreadPool::new(4)),
+            Err(TensorError::ShapeMismatch {
+                op: "matmul_par",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn matmul_transpose_par_is_bit_identical_to_serial() {
+        let mut rng = Rng::seed_from(112);
+        let a = Matrix::randn(160, 64, &mut rng);
+        let b = Matrix::randn(96, 64, &mut rng);
+        let serial = a.matmul_transpose(&b).unwrap();
+        for threads in [1usize, 2, 7, 16] {
+            let pool = crowd_parallel::ThreadPool::new(threads);
+            let par = a.matmul_transpose_par(&b, pool).unwrap();
+            assert_eq!(
+                par, serial,
+                "matmul_transpose_par diverged at {threads} threads"
+            );
+        }
+        assert!(a
+            .matmul_transpose_par(&Matrix::zeros(2, 2), crowd_parallel::ThreadPool::new(2))
+            .is_err());
+    }
+
+    #[test]
+    fn small_products_fall_back_to_the_serial_kernel() {
+        // Below the threshold the parallel entry points must still produce the same bits
+        // (they run the serial kernel), including degenerate shapes.
+        let mut rng = Rng::seed_from(113);
+        let pool = crowd_parallel::ThreadPool::new(8);
+        let a = Matrix::randn(3, 5, &mut rng);
+        let b = Matrix::randn(5, 2, &mut rng);
+        assert_eq!(a.matmul_par(&b, pool).unwrap(), a.matmul(&b).unwrap());
+        let empty = Matrix::zeros(0, 5);
+        assert_eq!(empty.matmul_par(&b, pool).unwrap().shape(), (0, 2));
+        let single = Matrix::randn(1, 2048, &mut rng);
+        let wide = Matrix::randn(2048, 512, &mut rng);
+        // One row can never shard, no matter how much work it holds.
+        assert_eq!(
+            single.matmul_par(&wide, pool).unwrap(),
+            single.matmul(&wide).unwrap()
+        );
     }
 
     #[test]

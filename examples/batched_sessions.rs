@@ -8,15 +8,21 @@
 //! `act` at a time (see `tests/batched_equivalence.rs`); here we train for a while first,
 //! then freeze and sweep.
 //!
-//! Run with: `cargo run --release -p crowd-experiments --example batched_sessions`
+//! A worker pool (`--threads N`, `CROWD_THREADS`, or the machine default) parallelises
+//! the per-round pack stage (state tensors built in parallel shards) and the per-session
+//! unpack stage (`apply` + metric recording) around the shared forward pass — with
+//! bit-identical results at any thread count.
+//!
+//! Run with: `cargo run --release -p crowd-experiments --example batched_sessions [-- --threads N]`
 
-use crowd_experiments::{run_policy, RunnerConfig, Session, SessionBatch};
+use crowd_experiments::{experiment_thread_pool, run_policy, RunnerConfig, Session, SessionBatch};
 use crowd_rl_core::{DdqnAgent, DdqnConfig};
 use crowd_sim::{Platform, SimConfig};
 
 const N_SESSIONS: usize = 8;
 
 fn main() {
+    let pool = experiment_thread_pool();
     // 1. Generate a synthetic CrowdSpring-like dataset and a DDQN agent for its feature
     //    dimensions.
     let dataset = SimConfig::tiny().generate();
@@ -33,14 +39,16 @@ fn main() {
         features.worker_dim(),
     );
 
-    // 2. Train online over one replay, then freeze the policy for evaluation.
+    // 2. Train online over one replay (the pool lets the agent's packed kernels and
+    //    two-learner dispatch parallelise), then freeze the policy for evaluation.
+    agent.set_thread_pool(pool);
     run_policy(&dataset, &mut agent, &RunnerConfig::default());
     agent.freeze_exploration();
     agent.freeze_learning();
 
     // 3. Build 8 sessions over the same dataset with different behaviour seeds: the same
     //    frozen policy faces 8 different realisations of worker behaviour.
-    let mut batch = SessionBatch::new();
+    let mut batch = SessionBatch::new().with_pool(pool);
     for i in 0..N_SESSIONS {
         let config = RunnerConfig {
             platform_seed: 10_000 + i as u64,
@@ -55,7 +63,10 @@ fn main() {
     while batch.step_batched(&mut agent) > 0 {
         rounds += 1;
     }
-    println!("{N_SESSIONS} sessions finished in {rounds} batched rounds");
+    println!(
+        "{N_SESSIONS} sessions finished in {rounds} batched rounds on {} thread(s)",
+        pool.threads()
+    );
 
     // 5. One outcome per replica: the spread over behaviour seeds is the error bar a
     //    single sequential run cannot give you.

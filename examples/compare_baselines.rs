@@ -4,23 +4,31 @@
 //!
 //! All six policies are driven as one `SessionBatch`: every call steps each live
 //! simulation by one arrival (the vectorized-env shape that batched Q-network inference
-//! plugs into later).
+//! plugs into later). The session/policy pairs are sharded across a worker pool —
+//! `--threads N` (or `CROWD_THREADS`) controls the width, defaulting to the machine's
+//! available parallelism; results are bit-identical at any thread count.
 //!
-//! Run with: `cargo run --release -p crowd-experiments --example compare_baselines`
+//! Run with: `cargo run --release -p crowd-experiments --example compare_baselines [-- --threads N]`
 
 use crowd_baselines::Benefit;
 use crowd_experiments::{
-    f3, policies_for_benefit, print_table, run_policies_lockstep, RunnerConfig, Scale,
+    experiment_thread_pool, f3, policies_for_benefit, print_table, run_policies_lockstep_with_pool,
+    RunnerConfig, Scale,
 };
 
 fn main() {
     let scale = Scale::Tiny;
+    let pool = experiment_thread_pool();
     let dataset = scale.sim_config().generate();
     let cfg = RunnerConfig::default();
 
     let policies = policies_for_benefit(&dataset, Benefit::Worker, scale);
-    eprintln!("stepping {} policies in lock-step ...", policies.len());
-    let outcomes = run_policies_lockstep(&dataset, policies, &cfg);
+    eprintln!(
+        "stepping {} policies in lock-step on {} thread(s) ...",
+        policies.len(),
+        pool.threads()
+    );
+    let outcomes = run_policies_lockstep_with_pool(&dataset, policies, &cfg, pool);
 
     let mut rows = Vec::new();
     for outcome in &outcomes {

@@ -21,10 +21,11 @@
 //!   tolerance after every update.
 //!
 //! Protocol per update: clone the packed learner (full state: networks, Adam moments,
-//! replay priorities, annealed β) and a copy of the RNG, run `learn_sequential` on the
-//! clone and `learn` on the original, compare, drop the clone. Cloning re-synchronises the
-//! tolerated parameter drift each round, so all 50+ updates compare both paths from
-//! bit-identical pre-states and the bit-level assertions stay exact.
+//! replay priorities, annealed β, **and the owned minibatch-sampling RNG**), run
+//! `learn_sequential` on the clone and `learn` on the original, compare, drop the clone.
+//! Cloning re-synchronises the tolerated parameter drift each round, so all 50+ updates
+//! compare both paths from bit-identical pre-states and the bit-level assertions stay
+//! exact.
 
 use crowd_bench::synthetic_state;
 use crowd_rl_core::{
@@ -115,7 +116,6 @@ fn run_sweep(kind: StateKind, gamma: f32, seed: u64) {
     for _ in 0..cfg.batch_size * 2 {
         learner.store_transition(random_transition(&tf, &mut feed_rng));
     }
-    let mut learn_rng = Rng::seed_from(seed.wrapping_mul(31) + 7);
 
     for update in 0..UPDATES {
         // Keep the buffer churning so the sweep covers wrap-around and re-prioritised
@@ -125,14 +125,14 @@ fn run_sweep(kind: StateKind, gamma: f32, seed: u64) {
             learner.store_transition(random_transition(&tf, &mut feed_rng));
         }
 
+        // The clone carries the sampling RNG, so both paths draw the same minibatch.
         let mut sequential = learner.clone();
-        let mut sequential_rng = learn_rng.clone();
         let packed_report = learner
-            .learn(&mut learn_rng)
+            .learn()
             .expect("packed learn failed")
             .expect("memory holds enough transitions");
         let sequential_report = sequential
-            .learn_sequential(&mut sequential_rng)
+            .learn_sequential()
             .expect("sequential learn failed")
             .expect("memory holds enough transitions");
 
@@ -162,8 +162,8 @@ fn run_sweep(kind: StateKind, gamma: f32, seed: u64) {
             );
         }
         assert_eq!(
-            learn_rng.clone().next_u64(),
-            sequential_rng.clone().next_u64(),
+            learner.rng_probe(),
+            sequential.rng_probe(),
             "[{kind:?} update {update}] the two paths consumed the RNG differently"
         );
         let (divergence, name) = max_param_divergence(&learner, &sequential);
@@ -208,12 +208,8 @@ fn packed_learning_handles_supervised_transitions() {
     }
     for update in 0..10 {
         let mut sequential = learner.clone();
-        let mut sequential_rng = rng.clone();
-        let packed = learner.learn(&mut rng).unwrap().unwrap();
-        let reference = sequential
-            .learn_sequential(&mut sequential_rng)
-            .unwrap()
-            .unwrap();
+        let packed = learner.learn().unwrap().unwrap();
+        let reference = sequential.learn_sequential().unwrap().unwrap();
         assert_eq!(
             packed.loss.to_bits(),
             reference.loss.to_bits(),
