@@ -38,6 +38,17 @@ impl Policy for RandomPolicy {
     }
 
     fn observe(&mut self, _view: &ArrivalView<'_>, _feedback: &FeedbackView<'_>) {}
+
+    /// The only dynamic state is the scoring RNG stream (the score/ranker buffers are
+    /// per-arrival scratch), so Random is trivially checkpointable.
+    fn checkpoint_state(&self, w: &mut crowd_ckpt::StateWriter) -> crowd_ckpt::Result<()> {
+        crowd_ckpt::SaveState::save_state(&self.rng, w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<()> {
+        crowd_ckpt::LoadState::load_state(&mut self.rng, r)
+    }
 }
 
 #[cfg(test)]

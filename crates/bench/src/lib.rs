@@ -20,6 +20,7 @@ use crowd_rl_core::{StateTensor, StateTransformer};
 use crowd_sim::{ArrivalContext, TaskId, TaskSnapshot, WorkerId};
 use crowd_tensor::Rng;
 
+pub mod ckpt_fixtures;
 pub mod harness;
 
 pub use harness::{smoke_mode, Bencher, BenchmarkGroup, BenchmarkId, Criterion};

@@ -1,0 +1,156 @@
+//! The typed error surface of the checkpoint loader.
+//!
+//! Every failure mode a reader can hit — wrong file, wrong version, damaged bytes,
+//! format skew — maps to a distinct [`CkptError`] variant. The loader **never panics and
+//! never half-loads**: validation (magic, version, table bounds, per-section CRCs)
+//! happens before any state is touched, and in-place loads run against a fully
+//! CRC-verified section.
+
+use std::fmt;
+
+/// Result alias for every fallible checkpoint operation.
+pub type Result<T> = std::result::Result<T, CkptError>;
+
+/// Everything that can go wrong saving or loading a snapshot.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Underlying filesystem failure (open, read, write, rename).
+    Io(std::io::Error),
+    /// The file does not start with the snapshot magic — it is not a snapshot at all.
+    BadMagic {
+        /// The first eight bytes actually found (zero-padded when the file is shorter).
+        found: [u8; 8],
+    },
+    /// The file announces a format version this build cannot read (e.g. a snapshot
+    /// written by a future version of the workspace).
+    UnsupportedVersion {
+        /// Version stored in the file header.
+        found: u32,
+        /// The single version this build supports ([`crate::FORMAT_VERSION`]).
+        supported: u32,
+    },
+    /// The byte stream ended before a read completed (truncated file or section).
+    Truncated {
+        /// What was being read when the bytes ran out.
+        what: &'static str,
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A section's stored CRC32 does not match the checksum of its payload bytes.
+    CrcMismatch {
+        /// Name of the damaged section.
+        section: String,
+        /// CRC stored in the section table.
+        stored: u32,
+        /// CRC computed over the payload actually present.
+        computed: u32,
+    },
+    /// The bytes decoded but violate the format's invariants (bad bool byte, non-UTF-8
+    /// name, overlapping table entry, shape mismatch against the live object, …).
+    Corrupt {
+        /// What was being decoded.
+        what: &'static str,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A section the loader requires is absent from the snapshot.
+    MissingSection {
+        /// The requested section name.
+        name: String,
+    },
+    /// The component does not support checkpointing (e.g. a policy without state
+    /// serialisation); callers can treat this as "skip" rather than "fail".
+    Unsupported {
+        /// What lacks checkpoint support.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CkptError::BadMagic { found } => {
+                write!(f, "not a snapshot file (magic bytes {found:02x?})")
+            }
+            CkptError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is not supported (this build reads version {supported})"
+            ),
+            CkptError::Truncated {
+                what,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated snapshot while reading {what}: needed {needed} bytes, {available} available"
+            ),
+            CkptError::CrcMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "CRC mismatch in section {section:?}: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            CkptError::Corrupt { what, detail } => {
+                write!(f, "corrupt snapshot while decoding {what}: {detail}")
+            }
+            CkptError::MissingSection { name } => {
+                write!(f, "snapshot has no section named {name:?}")
+            }
+            CkptError::Unsupported { what } => {
+                write!(f, "{what} does not support checkpointing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CkptError::CrcMismatch {
+            section: "env".to_string(),
+            stored: 1,
+            computed: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("env") && msg.contains("0x00000001"), "{msg}");
+        assert!(CkptError::BadMagic { found: [0; 8] }
+            .to_string()
+            .contains("not a snapshot"));
+        assert!(CkptError::UnsupportedVersion {
+            found: 9,
+            supported: 1
+        }
+        .to_string()
+        .contains("version 9"));
+    }
+
+    #[test]
+    fn io_errors_wrap_with_source() {
+        let e: CkptError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, CkptError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

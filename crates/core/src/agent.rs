@@ -339,6 +339,44 @@ impl DdqnAgent {
     }
 }
 
+/// Checkpoint format: both learners (worker first), the arrival statistics, the
+/// explorer, the exploration/decision RNG, the observation counter, the running mean
+/// worker quality with its sample count, and the learning-frozen flag.
+///
+/// Not stored (derived or scratch): the config and the transformers (reconstructed at
+/// construction), the display name, the thread pool (an execution resource, set via
+/// [`DdqnAgent::set_thread_pool`] after resume), and the generation-stamped ranked-list
+/// scratch — every `act` bumps the generation before stamping, so a reset scratch
+/// produces bit-identical decisions.
+impl crowd_ckpt::SaveState for DdqnAgent {
+    fn save_state(&self, w: &mut crowd_ckpt::StateWriter) {
+        w.save(&self.learner_worker);
+        w.save(&self.learner_requester);
+        w.save(&self.stats);
+        w.save(&self.explorer);
+        w.save(&self.rng);
+        w.put_u64(self.observations);
+        w.put_f32(self.mean_worker_quality);
+        w.put_u64(self.quality_samples);
+        w.put_bool(self.learning_frozen);
+    }
+}
+
+impl crowd_ckpt::LoadState for DdqnAgent {
+    fn load_state(&mut self, r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<()> {
+        r.load(&mut self.learner_worker)?;
+        r.load(&mut self.learner_requester)?;
+        r.load(&mut self.stats)?;
+        r.load(&mut self.explorer)?;
+        r.load(&mut self.rng)?;
+        self.observations = r.take_u64()?;
+        self.mean_worker_quality = r.take_f32()?;
+        self.quality_samples = r.take_u64()?;
+        self.learning_frozen = r.take_bool()?;
+        Ok(())
+    }
+}
+
 impl Policy for DdqnAgent {
     fn name(&self) -> &str {
         &self.name
@@ -439,6 +477,17 @@ impl Policy for DdqnAgent {
 
     fn set_thread_pool(&mut self, pool: ThreadPool) {
         DdqnAgent::set_thread_pool(self, pool);
+    }
+
+    /// The DDQN agent is fully checkpointable: delegates to its
+    /// [`crowd_ckpt::SaveState`] impl.
+    fn checkpoint_state(&self, w: &mut crowd_ckpt::StateWriter) -> crowd_ckpt::Result<()> {
+        crowd_ckpt::SaveState::save_state(self, w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<()> {
+        crowd_ckpt::LoadState::load_state(self, r)
     }
 }
 
@@ -551,6 +600,83 @@ mod tests {
             learn_every: 4,
             exploration_anneal_steps: 200,
             ..DdqnConfig::default()
+        }
+    }
+
+    #[test]
+    fn checkpointed_agent_continues_bit_identically() {
+        use crowd_ckpt::{Snapshot, SnapshotFile};
+        // Train an agent (both MDPs, exploration + learning active) for a while, save,
+        // restore into a FRESH agent built from the same config, and drive both over
+        // the same remaining arrivals: decisions, loss streams, RNG probes and every
+        // parameter must stay bit-identical.
+        let ds = SimConfig::tiny().generate();
+        let fs = Platform::default_feature_space(&ds);
+        let mut platform = Platform::new(ds.clone(), fs.clone(), 11);
+        let config = small_config().with_balance(0.5);
+        let mut agent = agent_for(&platform, config.clone());
+        let mut decision = Decision::new();
+        let mut steps = 0;
+        while platform.next_arrival() {
+            if platform.arrival().is_empty() {
+                continue;
+            }
+            agent.act(&platform.arrival(), &mut decision);
+            platform.apply(&decision);
+            agent.observe(&platform.arrival(), &platform.feedback());
+            steps += 1;
+            if steps >= 80 {
+                break;
+            }
+        }
+        assert!(agent.total_updates() > 0, "no learning before the snapshot");
+
+        let mut snap = Snapshot::new();
+        snap.put("agent", &agent);
+        let file = SnapshotFile::from_bytes(snap.to_bytes()).unwrap();
+        let mut resumed = agent_for(&platform, config);
+        file.load_into("agent", &mut resumed).unwrap();
+
+        // Both platforms continue from an identical committed state.
+        let mut platform_b = platform.clone();
+        let mut decision_b = Decision::new();
+        for _ in 0..60 {
+            if !platform.next_arrival() {
+                break;
+            }
+            assert!(platform_b.next_arrival());
+            if platform.arrival().is_empty() {
+                continue;
+            }
+            agent.act(&platform.arrival(), &mut decision);
+            resumed.act(&platform_b.arrival(), &mut decision_b);
+            assert_eq!(decision, decision_b, "decisions diverged after resume");
+            platform.apply(&decision);
+            platform_b.apply(&decision_b);
+            agent.observe(&platform.arrival(), &platform.feedback());
+            resumed.observe(&platform_b.arrival(), &platform_b.feedback());
+        }
+        assert_eq!(agent.total_updates(), resumed.total_updates());
+        assert_eq!(agent.rng_probe(), resumed.rng_probe());
+        assert_eq!(
+            agent.worker_learner().loss_history(),
+            resumed.worker_learner().loss_history()
+        );
+        assert_eq!(
+            agent.requester_learner().rng_probe(),
+            resumed.requester_learner().rng_probe()
+        );
+        for (learner_a, learner_b) in [
+            (agent.worker_learner(), resumed.worker_learner()),
+            (agent.requester_learner(), resumed.requester_learner()),
+        ] {
+            for ((_, name, a), (_, _, b)) in
+                learner_a.params().iter().zip(learner_b.params().iter())
+            {
+                for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "param {name} diverged");
+                }
+            }
         }
     }
 

@@ -252,12 +252,159 @@ impl ArrivalStats {
     }
 }
 
+impl GapHistogram {
+    fn save_ckpt(&self, w: &mut crowd_ckpt::StateWriter) {
+        w.put_u64(self.bin_minutes);
+        w.put_u64(self.max_minutes);
+        w.put_f64_slice(&self.counts);
+        w.put_f64(self.total);
+    }
+
+    fn load_ckpt(&mut self, r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<()> {
+        let bin_minutes = r.take_u64()?;
+        let max_minutes = r.take_u64()?;
+        let counts = r.take_f64_vec()?;
+        if bin_minutes != self.bin_minutes
+            || max_minutes != self.max_minutes
+            || counts.len() != self.counts.len()
+        {
+            return Err(crowd_ckpt::CkptError::Corrupt {
+                what: "gap histogram",
+                detail: format!(
+                    "snapshot support {bin_minutes}x{max_minutes} ({} bins) does not match the configured {}x{} ({} bins)",
+                    counts.len(),
+                    self.bin_minutes,
+                    self.max_minutes,
+                    self.counts.len()
+                ),
+            });
+        }
+        self.counts = counts;
+        self.total = r.take_f64()?;
+        Ok(())
+    }
+}
+
+/// Checkpoint format: the φ and ϕ histograms (bin width, support, counts, total — all
+/// counts as f64 raw bits), the per-worker last-arrival and last-feature `BTreeMap`s
+/// (entry count + `(worker id, value)` pairs in ascending key order — the canonical
+/// order the maps themselves iterate in, so a save→load→save is byte-stable), the last
+/// global arrival, the arrival/new-worker counters, and the running mean feature.
+///
+/// The mean feature is saved rather than recomputed: it is an f32 sum over map
+/// iteration order, and storing the exact bits sidesteps any recomputation concern.
+impl crowd_ckpt::SaveState for ArrivalStats {
+    fn save_state(&self, w: &mut crowd_ckpt::StateWriter) {
+        self.same_worker.save_ckpt(w);
+        self.consecutive.save_ckpt(w);
+        w.put_usize(self.last_arrival_per_worker.len());
+        for (worker, &time) in &self.last_arrival_per_worker {
+            w.save(worker);
+            w.put_u64(time);
+        }
+        w.put_usize(self.last_known_feature.len());
+        for (worker, feature) in &self.last_known_feature {
+            w.save(worker);
+            w.put_f32_slice(feature);
+        }
+        w.save(&self.last_global_arrival);
+        w.put_u64(self.arrivals_seen);
+        w.put_u64(self.new_workers_seen);
+        w.put_usize(self.feature_dim);
+        w.put_f32_slice(&self.mean_feature);
+    }
+}
+
+impl crowd_ckpt::LoadState for ArrivalStats {
+    fn load_state(&mut self, r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<()> {
+        self.same_worker.load_ckpt(r)?;
+        self.consecutive.load_ckpt(r)?;
+        let n = r.take_len("arrival map", 1)?;
+        self.last_arrival_per_worker = BTreeMap::new();
+        for _ in 0..n {
+            let worker: WorkerId = r.decode()?;
+            let time = r.take_u64()?;
+            self.last_arrival_per_worker.insert(worker, time);
+        }
+        let n = r.take_len("feature map", 1)?;
+        self.last_known_feature = BTreeMap::new();
+        for _ in 0..n {
+            let worker: WorkerId = r.decode()?;
+            let feature = r.take_f32_vec()?;
+            self.last_known_feature.insert(worker, feature);
+        }
+        self.last_global_arrival = r.decode()?;
+        self.arrivals_seen = r.take_u64()?;
+        self.new_workers_seen = r.take_u64()?;
+        let feature_dim = r.take_usize()?;
+        if feature_dim != self.feature_dim {
+            return Err(crowd_ckpt::CkptError::Corrupt {
+                what: "arrival stats",
+                detail: format!(
+                    "snapshot feature dim {feature_dim} does not match configured {}",
+                    self.feature_dim
+                ),
+            });
+        }
+        self.mean_feature = r.take_f32_vec()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn stats() -> ArrivalStats {
         ArrivalStats::new(2, 10_080, 60)
+    }
+
+    #[test]
+    fn checkpointed_stats_predict_identically() {
+        use crowd_ckpt::{Snapshot, SnapshotFile};
+        let mut s = stats();
+        for i in 0..50u64 {
+            s.record_arrival(
+                WorkerId((i % 7) as u32),
+                i * 37,
+                &[0.1 * (i % 5) as f32, 1.0 - 0.05 * (i % 9) as f32],
+            );
+        }
+        let mut snap = Snapshot::new();
+        snap.put("stats", &s);
+        let file = SnapshotFile::from_bytes(snap.to_bytes()).unwrap();
+        let mut restored = stats();
+        file.load_into("stats", &mut restored).unwrap();
+        assert_eq!(restored.arrivals_seen(), s.arrivals_seen());
+        assert_eq!(restored.known_workers(), s.known_workers());
+        assert_eq!(
+            restored.new_worker_rate().to_bits(),
+            s.new_worker_rate().to_bits()
+        );
+        for (a, b) in s
+            .mean_worker_feature()
+            .iter()
+            .zip(restored.mean_worker_feature())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The predictors' inputs must agree bit for bit.
+        for (a, b) in s
+            .expected_next_worker_feature(2000)
+            .iter()
+            .zip(restored.expected_next_worker_feature(2000))
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(
+            s.same_worker_mass_between(0, 500).to_bits(),
+            restored.same_worker_mass_between(0, 500).to_bits()
+        );
+        // A differently configured target rejects the snapshot.
+        let mut wrong_dim = ArrivalStats::new(3, 10_080, 60);
+        assert!(file.load_into("stats", &mut wrong_dim).is_err());
+        let mut wrong_support = ArrivalStats::new(2, 5_000, 60);
+        assert!(file.load_into("stats", &mut wrong_support).is_err());
     }
 
     #[test]

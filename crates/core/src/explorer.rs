@@ -71,6 +71,26 @@ impl Explorer {
     }
 }
 
+/// Checkpoint format: the ε-greedy explorer (schedule + step), the Gaussian-noise
+/// explorer (probability + schedule + step), then the frozen flag. The mode is
+/// configuration and is not stored.
+impl crowd_ckpt::SaveState for Explorer {
+    fn save_state(&self, w: &mut crowd_ckpt::StateWriter) {
+        w.save(&self.epsilon);
+        w.save(&self.noise);
+        w.put_bool(self.frozen);
+    }
+}
+
+impl crowd_ckpt::LoadState for Explorer {
+    fn load_state(&mut self, r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<()> {
+        r.load(&mut self.epsilon)?;
+        r.load(&mut self.noise)?;
+        self.frozen = r.take_bool()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

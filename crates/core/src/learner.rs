@@ -444,6 +444,42 @@ impl DqnLearner {
     }
 }
 
+/// Checkpoint format: sampling RNG, update counter (`u64`), accumulated learn wall time,
+/// the loss stream, online parameters θ, target parameters θ̃, the Adam state (moments +
+/// step), and the prioritized replay memory (transitions, priorities, sum tree, β).
+///
+/// Together these are *everything* `learn` reads, so a restored learner's next update —
+/// which minibatch it samples, the targets, the loss bits, the priority writes, the
+/// post-step parameters — is bit-identical to the uninterrupted learner's. Network
+/// architecture and hyper-parameters come from the construction config; the parameter
+/// stores and replay capacity validate the snapshot against them on load.
+impl crowd_ckpt::SaveState for DqnLearner {
+    fn save_state(&self, w: &mut crowd_ckpt::StateWriter) {
+        w.save(&self.rng);
+        w.put_u64(self.updates);
+        w.put_duration(self.learn_time);
+        w.put_f32_slice(&self.losses);
+        w.save(&self.store);
+        w.save(&self.target_store);
+        w.save(&self.optimizer);
+        w.save(&self.memory);
+    }
+}
+
+impl crowd_ckpt::LoadState for DqnLearner {
+    fn load_state(&mut self, r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<()> {
+        r.load(&mut self.rng)?;
+        self.updates = r.take_u64()?;
+        self.learn_time = r.take_duration()?;
+        self.losses = r.take_f32_vec()?;
+        r.load(&mut self.store)?;
+        r.load(&mut self.target_store)?;
+        r.load(&mut self.optimizer)?;
+        r.load(&mut self.memory)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

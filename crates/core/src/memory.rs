@@ -44,6 +44,50 @@ impl Transition {
     }
 }
 
+/// Checkpoint format: branch probability (f32 raw bits), then the predicted state.
+impl crowd_ckpt::SaveState for FutureBranch {
+    fn save_state(&self, w: &mut crowd_ckpt::StateWriter) {
+        w.put_f32(self.probability);
+        w.save(&self.state);
+    }
+}
+
+impl crowd_ckpt::DecodeState for FutureBranch {
+    fn decode_state(r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<Self> {
+        Ok(FutureBranch {
+            probability: r.take_f32()?,
+            state: r.decode()?,
+        })
+    }
+}
+
+/// Checkpoint format: state, action row (`u64`), reward (f32 raw bits), then the future
+/// branches as a plain list.
+///
+/// The `Arc` sharing between transitions generated from one feedback is **not**
+/// preserved across a roundtrip — each restored transition owns its branch list. That
+/// costs memory, never behaviour: learners read branches by value, so the resumed
+/// update stream is still bit-identical.
+impl crowd_ckpt::SaveState for Transition {
+    fn save_state(&self, w: &mut crowd_ckpt::StateWriter) {
+        w.save(&self.state);
+        w.put_usize(self.action_row);
+        w.put_f32(self.reward);
+        w.save(&*self.branches);
+    }
+}
+
+impl crowd_ckpt::DecodeState for Transition {
+    fn decode_state(r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<Self> {
+        Ok(Transition {
+            state: r.decode()?,
+            action_row: r.take_usize()?,
+            reward: r.take_f32()?,
+            branches: Arc::new(r.decode()?),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,6 +37,42 @@ impl StateTensor {
     }
 }
 
+/// Checkpoint format: feature matrix, row mask, task ids, real-row count (`u64`).
+/// State tensors appear in snapshots only inside stored transitions.
+impl crowd_ckpt::SaveState for StateTensor {
+    fn save_state(&self, w: &mut crowd_ckpt::StateWriter) {
+        w.save(&self.features);
+        w.save(&self.row_mask);
+        w.save(&self.task_ids);
+        w.put_usize(self.real_tasks);
+    }
+}
+
+impl crowd_ckpt::DecodeState for StateTensor {
+    fn decode_state(r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<Self> {
+        let features: Matrix = r.decode()?;
+        let row_mask: Matrix = r.decode()?;
+        let task_ids: Vec<TaskId> = r.decode()?;
+        let real_tasks = r.take_usize()?;
+        if real_tasks != task_ids.len() || real_tasks > features.rows() {
+            return Err(crowd_ckpt::CkptError::Corrupt {
+                what: "state tensor",
+                detail: format!(
+                    "{real_tasks} real rows vs {} task ids in a {}-row state",
+                    task_ids.len(),
+                    features.rows()
+                ),
+            });
+        }
+        Ok(StateTensor {
+            features,
+            row_mask,
+            task_ids,
+            real_tasks,
+        })
+    }
+}
+
 /// Builds [`StateTensor`]s from arrival contexts or raw snapshot lists.
 #[derive(Debug, Clone)]
 pub struct StateTransformer {

@@ -345,6 +345,99 @@ impl Platform {
     }
 }
 
+/// Checkpoint format (committed dynamic state only): behaviour RNG, available pool
+/// (task ids), pool membership flags, per-task qualities (f32 raw bits) / completion
+/// counts / completer-quality lists, worker feature arena (f32 raw bits), worker
+/// seen/completion arrays, then the event cursor, current time and committed completion
+/// total (`u64` each).
+///
+/// The immutable parts — dataset, feature space, behaviour constants, task-feature
+/// arena — are **not** stored: a resumed run reconstructs the platform from the same
+/// configuration and the loader validates the snapshot's array lengths against it. The
+/// per-arrival scratch (`current`, staged step effects) is dead between steps and is
+/// reset by the load; checkpoint drivers must flush staged effects first
+/// (`Session::checkpoint` does).
+impl crowd_ckpt::SaveState for Platform {
+    fn save_state(&self, w: &mut crowd_ckpt::StateWriter) {
+        w.save(&self.rng);
+        w.save(&self.available);
+        w.save(&self.in_pool);
+        w.put_f32_slice(&self.task_qualities);
+        w.put_u32_slice(&self.task_completions);
+        w.save(&self.completer_qualities);
+        w.put_f32_slice(&self.worker_features);
+        w.save(&self.worker_seen);
+        w.put_u32_slice(&self.worker_completions);
+        w.put_usize(self.next_event);
+        w.put_u64(self.current_time);
+        w.put_usize(self.completed_total);
+    }
+}
+
+impl crowd_ckpt::LoadState for Platform {
+    fn load_state(&mut self, r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<()> {
+        let n_tasks = self.dataset.tasks.len();
+        let n_workers = self.dataset.workers.len();
+        let corrupt = |detail: String| crowd_ckpt::CkptError::Corrupt {
+            what: "platform state",
+            detail,
+        };
+        crowd_ckpt::LoadState::load_state(&mut self.rng, r)?;
+        let available: Vec<TaskId> = r.decode()?;
+        if let Some(bad) = available.iter().find(|t| t.index() >= n_tasks) {
+            return Err(corrupt(format!("available task id {bad:?} out of range")));
+        }
+        let in_pool: Vec<bool> = r.decode()?;
+        let task_qualities = r.take_f32_vec()?;
+        let task_completions = r.take_u32_vec()?;
+        let completer_qualities: Vec<Vec<f32>> = r.decode()?;
+        let worker_features = r.take_f32_vec()?;
+        let worker_seen: Vec<bool> = r.decode()?;
+        let worker_completions = r.take_u32_vec()?;
+        if in_pool.len() != n_tasks
+            || task_qualities.len() != n_tasks
+            || task_completions.len() != n_tasks
+            || completer_qualities.len() != n_tasks
+        {
+            return Err(corrupt(format!(
+                "task-state arrays sized for {} tasks, dataset has {n_tasks}",
+                in_pool.len()
+            )));
+        }
+        if worker_features.len() != n_workers * self.worker_dim
+            || worker_seen.len() != n_workers
+            || worker_completions.len() != n_workers
+        {
+            return Err(corrupt(format!(
+                "worker-state arrays sized for {} workers, dataset has {n_workers}",
+                worker_seen.len()
+            )));
+        }
+        let next_event = r.take_usize()?;
+        if next_event > self.dataset.events.len() {
+            return Err(corrupt(format!(
+                "event cursor {next_event} past the {}-event stream",
+                self.dataset.events.len()
+            )));
+        }
+        self.available = available;
+        self.in_pool = in_pool;
+        self.task_qualities = task_qualities;
+        self.task_completions = task_completions;
+        self.completer_qualities = completer_qualities;
+        self.worker_features = worker_features;
+        self.worker_seen = worker_seen;
+        self.worker_completions = worker_completions;
+        self.next_event = next_event;
+        self.current_time = r.take_u64()?;
+        self.completed_total = r.take_usize()?;
+        // Per-arrival scratch is dead between steps; start the resumed replay clean.
+        self.current = None;
+        self.step = StepState::default();
+        Ok(())
+    }
+}
+
 impl Env for Platform {
     fn next_arrival(&mut self) -> bool {
         self.commit_pending();
@@ -464,6 +557,68 @@ mod tests {
         let ds = SimConfig::tiny().generate();
         let fs = Platform::default_feature_space(&ds);
         Platform::new(ds, fs, 99)
+    }
+
+    #[test]
+    fn checkpointed_platform_resumes_bit_identically() {
+        use crowd_ckpt::{Snapshot, SnapshotFile};
+        // Drive one replay halfway, snapshot it (after flushing staged effects, as the
+        // session layer does), and continue. A fresh platform restored from the
+        // snapshot must finish with identical completions, qualities and RNG stream.
+        let ds = SimConfig::tiny().generate();
+        let fs = Platform::default_feature_space(&ds);
+        let run_to_end = |p: &mut Platform| {
+            let mut decision = Decision::new();
+            let mut gains = Vec::new();
+            while p.next_arrival() {
+                let view = p.arrival();
+                if view.is_empty() {
+                    continue;
+                }
+                decision.clear();
+                decision.extend((0..view.n_tasks()).map(|i| view.task_id(i)));
+                p.apply(&decision);
+                gains.push(p.feedback().quality_gain.to_bits());
+            }
+            gains
+        };
+
+        let mut original = Platform::new(ds.clone(), fs.clone(), 42);
+        let mut decision = Decision::new();
+        for _ in 0..40 {
+            assert!(original.next_arrival());
+            let view = original.arrival();
+            if view.is_empty() {
+                continue;
+            }
+            decision.clear();
+            decision.extend((0..view.n_tasks()).map(|i| view.task_id(i)));
+            original.apply(&decision);
+        }
+        original.flush();
+        let mut snap = Snapshot::new();
+        snap.put("env", &original);
+        let file = SnapshotFile::from_bytes(snap.to_bytes()).unwrap();
+
+        let mut resumed = Platform::new(ds, fs, 0); // wrong seed, overwritten by the load
+        file.load_into("env", &mut resumed).unwrap();
+        assert_eq!(resumed.total_completions(), original.total_completions());
+        assert_eq!(resumed.current_time(), original.current_time());
+
+        let tail_a = run_to_end(&mut original);
+        let tail_b = run_to_end(&mut resumed);
+        assert_eq!(tail_a, tail_b);
+        assert_eq!(original.total_completions(), resumed.total_completions());
+        assert_eq!(
+            original.total_task_quality().to_bits(),
+            resumed.total_task_quality().to_bits()
+        );
+        for t in 0..original.dataset().tasks.len() {
+            assert_eq!(
+                original.task_quality(TaskId(t as u32)).to_bits(),
+                resumed.task_quality(TaskId(t as u32)).to_bits()
+            );
+        }
     }
 
     #[test]

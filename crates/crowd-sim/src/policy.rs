@@ -221,6 +221,105 @@ impl PolicyFeedback {
     }
 }
 
+/// Checkpoint format: id, feature (f32 slice), quality, award, category, domain (`u16`),
+/// deadline (`u64`), completions (`u64`). Owned records appear in snapshots only inside
+/// a pre-warm-start session's history; their floats roundtrip as raw bits so a resumed
+/// warm start replays the exact same values.
+impl crowd_ckpt::SaveState for TaskSnapshot {
+    fn save_state(&self, w: &mut crowd_ckpt::StateWriter) {
+        w.save(&self.id);
+        w.put_f32_slice(&self.feature);
+        w.put_f32(self.quality);
+        w.put_f32(self.award);
+        w.put_u16(self.category);
+        w.put_u16(self.domain);
+        w.put_u64(self.deadline);
+        w.put_usize(self.completions);
+    }
+}
+
+impl crowd_ckpt::DecodeState for TaskSnapshot {
+    fn decode_state(r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<Self> {
+        Ok(TaskSnapshot {
+            id: r.decode()?,
+            feature: r.take_f32_vec()?,
+            quality: r.take_f32()?,
+            award: r.take_f32()?,
+            category: r.take_u16()?,
+            domain: r.take_u16()?,
+            deadline: r.take_u64()?,
+            completions: r.take_usize()?,
+        })
+    }
+}
+
+/// Checkpoint format: time, worker id, worker feature (f32 slice), worker quality,
+/// new-worker flag, then the available-task snapshots.
+impl crowd_ckpt::SaveState for ArrivalContext {
+    fn save_state(&self, w: &mut crowd_ckpt::StateWriter) {
+        w.put_u64(self.time);
+        w.save(&self.worker_id);
+        w.put_f32_slice(&self.worker_feature);
+        w.put_f32(self.worker_quality);
+        w.put_bool(self.is_new_worker);
+        w.save(&self.available);
+    }
+}
+
+impl crowd_ckpt::DecodeState for ArrivalContext {
+    fn decode_state(r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<Self> {
+        Ok(ArrivalContext {
+            time: r.take_u64()?,
+            worker_id: r.decode()?,
+            worker_feature: r.take_f32_vec()?,
+            worker_quality: r.take_f32()?,
+            is_new_worker: r.take_bool()?,
+            available: r.decode()?,
+        })
+    }
+}
+
+/// Checkpoint format: time, worker id + quality, shown task ids, completed
+/// `Option<(TaskId, u64)>`, quality gain, worker features before/after.
+impl crowd_ckpt::SaveState for PolicyFeedback {
+    fn save_state(&self, w: &mut crowd_ckpt::StateWriter) {
+        w.put_u64(self.time);
+        w.save(&self.worker_id);
+        w.put_f32(self.worker_quality);
+        w.save(&self.shown);
+        match self.completed {
+            None => w.put_bool(false),
+            Some((task, position)) => {
+                w.put_bool(true);
+                w.save(&task);
+                w.put_usize(position);
+            }
+        }
+        w.put_f32(self.quality_gain);
+        w.put_f32_slice(&self.worker_feature_before);
+        w.put_f32_slice(&self.worker_feature_after);
+    }
+}
+
+impl crowd_ckpt::DecodeState for PolicyFeedback {
+    fn decode_state(r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<Self> {
+        Ok(PolicyFeedback {
+            time: r.take_u64()?,
+            worker_id: r.decode()?,
+            worker_quality: r.take_f32()?,
+            shown: r.decode()?,
+            completed: if r.take_bool()? {
+                Some((r.decode()?, r.take_usize()?))
+            } else {
+                None
+            },
+            quality_gain: r.take_f32()?,
+            worker_feature_before: r.take_f32_vec()?,
+            worker_feature_after: r.take_f32_vec()?,
+        })
+    }
+}
+
 /// A task-arrangement policy over the zero-copy view interface.
 ///
 /// The session calls [`Policy::act`] for every worker arrival with a borrowed
@@ -266,6 +365,31 @@ pub trait Policy {
     /// results (the workspace-wide bit-identity contract,
     /// `tests/parallel_equivalence.rs`).
     fn set_thread_pool(&mut self, _pool: ThreadPool) {}
+
+    /// Serialises the policy's complete dynamic state (model parameters, optimizer
+    /// moments, replay memories, RNG streams, schedule positions) into `w` so a resumed
+    /// run continues **bit-identically** to an uninterrupted one. The default returns
+    /// [`crowd_ckpt::CkptError::Unsupported`] — policies without checkpoint support are
+    /// skipped, not crashed, by checkpointing drivers. Overriders must pair this with
+    /// [`Policy::restore_state`] reading the exact same layout.
+    ///
+    /// (Named `checkpoint_state`/`restore_state` rather than reusing the
+    /// `crowd_ckpt::SaveState`/`LoadState` method names so a policy can implement both
+    /// traits without method-resolution ambiguity.)
+    fn checkpoint_state(&self, _w: &mut crowd_ckpt::StateWriter) -> crowd_ckpt::Result<()> {
+        Err(crowd_ckpt::CkptError::Unsupported {
+            what: "this policy",
+        })
+    }
+
+    /// Restores the state written by [`Policy::checkpoint_state`] into a freshly
+    /// constructed policy (built from the same configuration). On error the policy is
+    /// left in an unspecified (but memory-safe) state and must be discarded.
+    fn restore_state(&mut self, _r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<()> {
+        Err(crowd_ckpt::CkptError::Unsupported {
+            what: "this policy",
+        })
+    }
 }
 
 /// The canonical boxed policy used by session batches and the experiment line-ups.

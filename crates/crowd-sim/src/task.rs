@@ -11,6 +11,19 @@ impl TaskId {
     }
 }
 
+/// Checkpoint format: the raw `u32` index.
+impl crowd_ckpt::SaveState for TaskId {
+    fn save_state(&self, w: &mut crowd_ckpt::StateWriter) {
+        w.put_u32(self.0);
+    }
+}
+
+impl crowd_ckpt::DecodeState for TaskId {
+    fn decode_state(r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<Self> {
+        Ok(TaskId(r.take_u32()?))
+    }
+}
+
 /// A crowdsourcing task as published by a requester.
 ///
 /// Following Sec. IV-A, the attributes that matter for recommendation are the award

@@ -11,6 +11,19 @@ impl WorkerId {
     }
 }
 
+/// Checkpoint format: the raw `u32` index.
+impl crowd_ckpt::SaveState for WorkerId {
+    fn save_state(&self, w: &mut crowd_ckpt::StateWriter) {
+        w.put_u32(self.0);
+    }
+}
+
+impl crowd_ckpt::DecodeState for WorkerId {
+    fn decode_state(r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<Self> {
+        Ok(WorkerId(r.take_u32()?))
+    }
+}
+
 /// A worker's latent (ground-truth) profile.
 ///
 /// The *latent* preference vectors drive the behaviour model and are never exposed to

@@ -7,18 +7,144 @@
 //! additionally replayed once at `threads = 1` and a wall-clock speedup column reports
 //! `serial / pooled` run time (results themselves are bit-identical at any thread count,
 //! so only wall clock can differ).
+//!
+//! # Checkpoint / resume
+//!
+//! Long sweeps survive kills: `--checkpoint-every N` snapshots the in-flight replay
+//! every `N` evaluated arrivals (atomic rename, so a kill mid-write keeps the previous
+//! snapshot) to `--checkpoint-path` (default `table1.ckpt`), together with the finished
+//! methods' table rows; `--resume PATH` restores the rows and continues the interrupted
+//! replay **mid-stream** — the resumed sweep's numbers are bit-identical to an
+//! uninterrupted one (the contract of `tests/checkpoint_equivalence.rs`). Methods whose
+//! policies do not implement checkpointing (`Policy::checkpoint_state`) run without
+//! mid-replay snapshots; a policy-boundary snapshot is still written after each method
+//! so a resume never repeats finished methods. The serial-twin speedup column is
+//! disabled while checkpointing is active (the twin replay would double the snapshot
+//! bookkeeping for a diagnostic column).
 
 use crowd_baselines::Benefit;
+use crowd_ckpt::{CkptError, Snapshot, SnapshotFile, StateWriter};
 use crowd_experiments::{
     experiment_dataset, experiment_scale, policies_for_benefit, print_table, run_policy,
-    RunnerConfig,
+    RunnerConfig, Session,
 };
+use crowd_sim::BoxedPolicy;
 use crowd_tensor::ThreadPool;
+use std::path::PathBuf;
 use std::time::Instant;
+
+/// Command-line checkpoint options.
+struct CkptOptions {
+    every: Option<usize>,
+    path: PathBuf,
+    resume: Option<PathBuf>,
+}
+
+impl CkptOptions {
+    fn from_args() -> Self {
+        let mut every = None;
+        let mut path = PathBuf::from("table1.ckpt");
+        let mut resume = None;
+        let mut args = std::env::args().peekable();
+        while let Some(arg) = args.next() {
+            let mut value_of = |flag: &str| -> Option<String> {
+                if arg == flag {
+                    args.next()
+                } else {
+                    arg.strip_prefix(&format!("{flag}=")).map(str::to_string)
+                }
+            };
+            if let Some(v) = value_of("--checkpoint-every") {
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => every = Some(n),
+                    _ => eprintln!("--checkpoint-every expects a positive integer (got {v:?})"),
+                }
+            } else if let Some(v) = value_of("--checkpoint-path") {
+                path = PathBuf::from(v);
+            } else if let Some(v) = value_of("--resume") {
+                resume = Some(PathBuf::from(v));
+            }
+        }
+        CkptOptions {
+            every,
+            path,
+            resume,
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.every.is_some() || self.resume.is_some()
+    }
+}
+
+/// The `table1.meta` section: how many methods are already finished, and their rows.
+fn encode_meta(next_policy: usize, rows: &[Vec<String>]) -> Vec<u8> {
+    let mut w = StateWriter::new();
+    w.put_usize(next_policy);
+    w.save(&rows.to_vec());
+    w.into_bytes()
+}
+
+fn decode_meta(file: &SnapshotFile) -> Result<(usize, Vec<Vec<String>>), CkptError> {
+    let mut r = file.reader("table1.meta")?;
+    let next_policy = r.take_usize()?;
+    let rows: Vec<Vec<String>> = r.decode()?;
+    r.finish("table1 meta")?;
+    Ok((next_policy, rows))
+}
+
+/// Writes a policy-boundary snapshot (rows only, no in-flight session).
+fn write_boundary(opts: &CkptOptions, next_policy: usize, rows: &[Vec<String>]) {
+    let mut snap = Snapshot::new();
+    snap.put_raw("table1.meta", encode_meta(next_policy, rows));
+    if let Err(e) = snap.write_to(&opts.path) {
+        eprintln!("warning: could not write checkpoint: {e}");
+    }
+}
+
+/// Steps one replay to completion, snapshotting every `opts.every` evaluated arrivals
+/// when the policy supports it. `session` may arrive mid-replay (resume).
+fn run_checkpointed(
+    mut session: Session,
+    policy: &mut BoxedPolicy,
+    opts: &CkptOptions,
+    policy_index: usize,
+    rows: &[Vec<String>],
+) -> crowd_experiments::RunOutcome {
+    // `--resume` without `--checkpoint-every` is legal (finish the sweep, write no
+    // further snapshots): saturate so `resumed arrivals + MAX` cannot overflow.
+    let every = opts.every.unwrap_or(usize::MAX);
+    let mut supported = true;
+    let mut next_checkpoint_at = session.evaluated_arrivals().saturating_add(every);
+    while session.step(policy.as_mut()) {
+        if supported && session.evaluated_arrivals() >= next_checkpoint_at {
+            let mut snap = Snapshot::new();
+            snap.put_raw("table1.meta", encode_meta(policy_index, rows));
+            match session.checkpoint_into(policy.as_ref(), &mut snap, "") {
+                Ok(()) => {
+                    if let Err(e) = snap.write_to(&opts.path) {
+                        eprintln!("warning: could not write checkpoint: {e}");
+                    }
+                }
+                Err(CkptError::Unsupported { .. }) => {
+                    eprintln!(
+                        "note: {} does not support checkpointing; its replay restarts from scratch on resume",
+                        policy.name()
+                    );
+                    supported = false;
+                }
+                Err(e) => eprintln!("warning: checkpoint failed: {e}"),
+            }
+            next_checkpoint_at = session.evaluated_arrivals().saturating_add(every);
+        }
+    }
+    session.finish(policy.name())
+}
 
 fn main() {
     let scale = experiment_scale();
     let pool = crowd_experiments::experiment_thread_pool();
+    let opts = CkptOptions::from_args();
     let dataset = experiment_dataset();
     let cfg = RunnerConfig::default();
     println!(
@@ -27,11 +153,42 @@ fn main() {
     );
     println!("(Random and Greedy CS are included for completeness; the paper omits them because they have no model to update.)");
 
+    // Restore finished rows and locate the in-flight method when resuming.
+    let (mut rows, first_policy, resume_file) = match &opts.resume {
+        None => (Vec::new(), 0, None),
+        Some(path) => match SnapshotFile::read(path) {
+            Ok(file) => match decode_meta(&file) {
+                Ok((next_policy, rows)) => {
+                    println!(
+                        "resuming from {}: {} finished method(s){}",
+                        path.display(),
+                        rows.len(),
+                        if file.contains("session") {
+                            ", one mid-replay"
+                        } else {
+                            ""
+                        }
+                    );
+                    (rows, next_policy, Some(file))
+                }
+                Err(e) => {
+                    eprintln!("cannot resume: {e}");
+                    std::process::exit(1);
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot resume from {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        },
+    };
+
     // A second, identically constructed line-up serves as the serial wall-clock baseline
     // for the speedup column — only built when there is a multi-thread pool to compare
-    // against (the twins carry full Q-networks and replay buffers).
+    // against (the twins carry full Q-networks and replay buffers) and checkpointing is
+    // off (see the module docs).
     let pooled_lineup = policies_for_benefit(&dataset, Benefit::Worker, scale);
-    let serial_twins: Vec<Option<_>> = if pool.is_serial() {
+    let serial_twins: Vec<Option<_>> = if pool.is_serial() || opts.active() {
         pooled_lineup.iter().map(|_| None).collect()
     } else {
         policies_for_benefit(&dataset, Benefit::Worker, scale)
@@ -40,12 +197,33 @@ fn main() {
             .collect()
     };
 
-    let mut rows = Vec::new();
-    for (mut policy, serial_twin) in pooled_lineup.into_iter().zip(serial_twins) {
+    for (index, (mut policy, serial_twin)) in pooled_lineup
+        .into_iter()
+        .zip(serial_twins)
+        .enumerate()
+        .skip(first_policy)
+    {
         eprintln!("running {} ...", policy.name());
         policy.set_thread_pool(pool);
         let started = Instant::now();
-        let outcome = run_policy(&dataset, policy.as_mut(), &cfg);
+        let outcome = if opts.active() {
+            let mut session = Session::for_dataset(&dataset, &cfg);
+            if index == first_policy {
+                if let Some(file) = resume_file.as_ref().filter(|f| f.contains("session")) {
+                    if let Err(e) = session.resume(policy.as_mut(), file) {
+                        eprintln!("cannot resume the in-flight {} replay: {e}", policy.name());
+                        std::process::exit(1);
+                    }
+                    eprintln!(
+                        "  continuing mid-replay at {} evaluated arrivals",
+                        session.evaluated_arrivals()
+                    );
+                }
+            }
+            run_checkpointed(session, &mut policy, &opts, index, &rows)
+        } else {
+            run_policy(&dataset, policy.as_mut(), &cfg)
+        };
         let pooled_wall = started.elapsed();
 
         let speedup_column = match serial_twin {
@@ -87,6 +265,10 @@ fn main() {
             outcome.update_timer.count().to_string(),
             speedup_column,
         ]);
+        if opts.active() {
+            // Policy boundary: finished rows survive a kill between methods.
+            write_boundary(&opts, index + 1, &rows);
+        }
     }
     print_table(
         "Table I: average update time per method (seconds)",

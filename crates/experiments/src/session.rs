@@ -32,8 +32,22 @@
 //! for its pack/unpack stages around the single shared `act_batch` call: environment
 //! `apply` + metric recording run per session in parallel, while the shared policy's
 //! `observe` calls stay sequential in session order (identical to the serial round).
+//!
+//! # Checkpoint / resume
+//!
+//! Between steps, [`Session::checkpoint`] snapshots the whole run — replay-protocol
+//! progress (event cursor, warm-up phase and history, metric samples, timers),
+//! environment state and policy state — into a `crowd_ckpt` snapshot;
+//! [`Session::resume`] restores it into a freshly constructed session + policy, from
+//! which the replay continues **bit-identically** to an uninterrupted run
+//! (`tests/checkpoint_equivalence.rs`, at any `CROWD_THREADS`). [`SessionBatch`] has
+//! per-member variants ([`SessionBatch::checkpoint`] / [`SessionBatch::resume`], plus
+//! `_shared` twins for the shared-policy batched flow), and `table1_efficiency` wires
+//! the subsystem to the command line (`--checkpoint-every N` / `--resume PATH`). The
+//! byte-level snapshot layout is specified in `docs/CHECKPOINT_FORMAT.md`.
 
 use crate::runner::{RunOutcome, RunnerConfig};
+use crowd_ckpt::{CkptError, Snapshot, SnapshotFile, StateReader, StateWriter};
 use crowd_metrics::{MetricsAccumulator, UpdateTimer};
 use crowd_sim::{
     ArrivalContext, ArrivalView, BatchedPolicy, BoxedPolicy, Dataset, Decision, Env, Platform,
@@ -233,6 +247,131 @@ impl<E: Env> Session<E> {
         self.evaluated_arrivals
     }
 
+    /// Serialises the session's replay-protocol progress: warm-up months configured
+    /// (validation), metric samples, decision/update timers, the warm-up RNG and — only
+    /// while still inside the warm-up window — the accumulated warm-start history, plus
+    /// the day cursor, evaluated-arrival count and done flag.
+    fn save_session_state(&self, w: &mut StateWriter) {
+        w.put_usize(self.config.warmup_months);
+        w.save(&self.metrics);
+        w.save(&self.update_timer);
+        w.save(&self.act_timer);
+        w.save(&self.warmup_rng);
+        w.put_bool(self.warm_started);
+        w.save(&self.current_day.map(|d| d as u64));
+        w.put_usize(self.evaluated_arrivals);
+        w.put_bool(self.done);
+        if self.warm_started {
+            // After the hand-off the history is never read again; keep snapshots small.
+            w.put_usize(0);
+        } else {
+            w.save(&self.warmup_history);
+        }
+    }
+
+    fn load_session_state(&mut self, r: &mut StateReader<'_>) -> crowd_ckpt::Result<()> {
+        let warmup_months = r.take_usize()?;
+        if warmup_months != self.config.warmup_months {
+            return Err(CkptError::Corrupt {
+                what: "session state",
+                detail: format!(
+                    "snapshot was taken with {warmup_months} warm-up month(s), this session is configured with {}",
+                    self.config.warmup_months
+                ),
+            });
+        }
+        r.load(&mut self.metrics)?;
+        r.load(&mut self.update_timer)?;
+        r.load(&mut self.act_timer)?;
+        r.load(&mut self.warmup_rng)?;
+        self.warm_started = r.take_bool()?;
+        self.current_day = r.decode::<Option<u64>>()?.map(|d| d as usize);
+        self.evaluated_arrivals = r.take_usize()?;
+        self.done = r.take_bool()?;
+        self.warmup_history = r.decode()?;
+        self.decision.clear();
+        self.warmup_order.clear();
+        Ok(())
+    }
+}
+
+impl<E: Env + crowd_ckpt::SaveState> Session<E> {
+    /// Adds this session's full state — replay protocol progress (`{prefix}session`),
+    /// environment (`{prefix}env`) and policy (`{prefix}policy`) — to `snapshot`.
+    ///
+    /// Must be called **between steps** (after a [`Session::step`] returned, before the
+    /// next one). Staged environment effects are flushed first; the commit applies the
+    /// exact mutations the next `next_arrival` would have applied, so taking a
+    /// checkpoint never perturbs the continuing run — with or without a kill, the
+    /// remainder of the replay is bit-identical to an uninterrupted one
+    /// (`tests/checkpoint_equivalence.rs`).
+    ///
+    /// Fails with [`CkptError::Unsupported`] when the policy does not implement
+    /// checkpointing ([`Policy::checkpoint_state`]); nothing is added to `snapshot` in
+    /// that case.
+    pub fn checkpoint_into(
+        &mut self,
+        policy: &dyn Policy,
+        snapshot: &mut Snapshot,
+        prefix: &str,
+    ) -> crowd_ckpt::Result<()> {
+        let mut policy_bytes = StateWriter::new();
+        policy.checkpoint_state(&mut policy_bytes)?;
+        self.env.flush();
+        let mut session_bytes = StateWriter::new();
+        self.save_session_state(&mut session_bytes);
+        let mut env_bytes = StateWriter::new();
+        self.env.save_state(&mut env_bytes);
+        snapshot.put_raw(&format!("{prefix}session"), session_bytes.into_bytes());
+        snapshot.put_raw(&format!("{prefix}env"), env_bytes.into_bytes());
+        snapshot.put_raw(&format!("{prefix}policy"), policy_bytes.into_bytes());
+        Ok(())
+    }
+
+    /// One-session convenience over [`Session::checkpoint_into`]: a snapshot with the
+    /// unprefixed `session` / `env` / `policy` sections.
+    pub fn checkpoint(&mut self, policy: &dyn Policy) -> crowd_ckpt::Result<Snapshot> {
+        let mut snapshot = Snapshot::new();
+        self.checkpoint_into(policy, &mut snapshot, "")?;
+        Ok(snapshot)
+    }
+}
+
+impl<E: Env + crowd_ckpt::LoadState> Session<E> {
+    /// Restores the state written by [`Session::checkpoint_into`] under `prefix` into
+    /// this session (which must have been freshly constructed over the **same** dataset
+    /// and [`RunnerConfig`]) and `policy` (freshly constructed from the same
+    /// configuration). After a successful resume, stepping continues bit-identically to
+    /// the run the snapshot was taken from. On error the session and policy are left in
+    /// an unspecified (but memory-safe) state and must be discarded.
+    pub fn resume_sections(
+        &mut self,
+        policy: &mut dyn Policy,
+        file: &SnapshotFile,
+        prefix: &str,
+    ) -> crowd_ckpt::Result<()> {
+        let session_name = format!("{prefix}session");
+        let mut r = file.reader(&session_name)?;
+        self.load_session_state(&mut r)?;
+        r.finish("session state")?;
+        file.load_into(&format!("{prefix}env"), &mut self.env)?;
+        let mut r = file.reader(&format!("{prefix}policy"))?;
+        policy.restore_state(&mut r)?;
+        r.finish("policy state")
+    }
+
+    /// One-session convenience over [`Session::resume_sections`] (unprefixed names, as
+    /// written by [`Session::checkpoint`]).
+    pub fn resume(
+        &mut self,
+        policy: &mut dyn Policy,
+        file: &SnapshotFile,
+    ) -> crowd_ckpt::Result<()> {
+        self.resume_sections(policy, file, "")
+    }
+}
+
+impl<E: Env> Session<E> {
     /// Consumes the session into the final [`RunOutcome`].
     pub fn finish(mut self, policy_name: &str) -> RunOutcome {
         // A partially-stepped session may still hold staged effects from its last apply;
@@ -511,6 +650,122 @@ impl<E: Env> SessionBatch<E> {
             .into_iter()
             .map(|session| session.finish(policy_name))
             .collect()
+    }
+
+    /// Snapshots every session/policy pair: a `batch.meta` section holding the member
+    /// count, then per-member `member{i}.session` / `member{i}.env` / `member{i}.policy`
+    /// sections ([`Session::checkpoint_into`]). Call between [`SessionBatch::step_all`]
+    /// rounds; resuming with [`SessionBatch::resume`] continues every replica
+    /// bit-identically.
+    pub fn checkpoint(&mut self, policies: &[BoxedPolicy]) -> crowd_ckpt::Result<Snapshot>
+    where
+        E: crowd_ckpt::SaveState,
+    {
+        assert_eq!(
+            self.sessions.len(),
+            policies.len(),
+            "one policy per session required"
+        );
+        let mut snapshot = Snapshot::new();
+        let mut meta = StateWriter::new();
+        meta.put_usize(self.sessions.len());
+        snapshot.put_raw("batch.meta", meta.into_bytes());
+        for (i, (session, policy)) in self.sessions.iter_mut().zip(policies).enumerate() {
+            session.checkpoint_into(policy.as_ref(), &mut snapshot, &format!("member{i}."))?;
+        }
+        Ok(snapshot)
+    }
+
+    /// Restores a [`SessionBatch::checkpoint`] snapshot into freshly constructed
+    /// sessions and policies (same datasets, configs and construction order as the
+    /// saved batch; the member count is validated against `batch.meta`).
+    pub fn resume(
+        &mut self,
+        policies: &mut [BoxedPolicy],
+        file: &SnapshotFile,
+    ) -> crowd_ckpt::Result<()>
+    where
+        E: crowd_ckpt::LoadState,
+    {
+        assert_eq!(
+            self.sessions.len(),
+            policies.len(),
+            "one policy per session required"
+        );
+        let mut meta = file.reader("batch.meta")?;
+        let members = meta.take_usize()?;
+        meta.finish("batch meta")?;
+        if members != self.sessions.len() {
+            return Err(CkptError::Corrupt {
+                what: "session batch",
+                detail: format!(
+                    "snapshot holds {members} members, the live batch {}",
+                    self.sessions.len()
+                ),
+            });
+        }
+        for (i, (session, policy)) in self.sessions.iter_mut().zip(policies).enumerate() {
+            session.resume_sections(policy.as_mut(), file, &format!("member{i}."))?;
+        }
+        Ok(())
+    }
+
+    /// [`SessionBatch::checkpoint`] for the shared-policy batched-stepping flow
+    /// ([`SessionBatch::step_batched`]): per-member `session`/`env` sections plus one
+    /// `shared.policy` section.
+    pub fn checkpoint_shared(&mut self, policy: &dyn Policy) -> crowd_ckpt::Result<Snapshot>
+    where
+        E: crowd_ckpt::SaveState,
+    {
+        let mut snapshot = Snapshot::new();
+        let mut policy_bytes = StateWriter::new();
+        policy.checkpoint_state(&mut policy_bytes)?;
+        let mut meta = StateWriter::new();
+        meta.put_usize(self.sessions.len());
+        snapshot.put_raw("batch.meta", meta.into_bytes());
+        snapshot.put_raw("shared.policy", policy_bytes.into_bytes());
+        for (i, session) in self.sessions.iter_mut().enumerate() {
+            session.env.flush();
+            let mut session_bytes = StateWriter::new();
+            session.save_session_state(&mut session_bytes);
+            let mut env_bytes = StateWriter::new();
+            session.env.save_state(&mut env_bytes);
+            snapshot.put_raw(&format!("member{i}.session"), session_bytes.into_bytes());
+            snapshot.put_raw(&format!("member{i}.env"), env_bytes.into_bytes());
+        }
+        Ok(snapshot)
+    }
+
+    /// Restores a [`SessionBatch::checkpoint_shared`] snapshot.
+    pub fn resume_shared(
+        &mut self,
+        policy: &mut dyn Policy,
+        file: &SnapshotFile,
+    ) -> crowd_ckpt::Result<()>
+    where
+        E: crowd_ckpt::LoadState,
+    {
+        let mut meta = file.reader("batch.meta")?;
+        let members = meta.take_usize()?;
+        meta.finish("batch meta")?;
+        if members != self.sessions.len() {
+            return Err(CkptError::Corrupt {
+                what: "session batch",
+                detail: format!(
+                    "snapshot holds {members} members, the live batch {}",
+                    self.sessions.len()
+                ),
+            });
+        }
+        for (i, session) in self.sessions.iter_mut().enumerate() {
+            let mut r = file.reader(&format!("member{i}.session"))?;
+            session.load_session_state(&mut r)?;
+            r.finish("session state")?;
+            file.load_into(&format!("member{i}.env"), &mut session.env)?;
+        }
+        let mut r = file.reader("shared.policy")?;
+        policy.restore_state(&mut r)?;
+        r.finish("policy state")
     }
 }
 

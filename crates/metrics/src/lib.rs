@@ -212,6 +212,42 @@ impl MetricsAccumulator {
     }
 }
 
+/// Checkpoint format: `top_k` (`u64`), then the samples — per sample the month (`u64`),
+/// completed flag, 0-based position (`u64`), quality gain (f32 raw bits) and
+/// single-assignment flag. Every metric is recomputed from the samples, so restoring
+/// them restores every aggregate bit for bit.
+impl crowd_ckpt::SaveState for MetricsAccumulator {
+    fn save_state(&self, w: &mut crowd_ckpt::StateWriter) {
+        w.put_usize(self.top_k);
+        w.put_usize(self.samples.len());
+        for s in &self.samples {
+            w.put_usize(s.month);
+            w.put_bool(s.completed);
+            w.put_usize(s.position);
+            w.put_f32(s.quality_gain);
+            w.put_bool(s.single);
+        }
+    }
+}
+
+impl crowd_ckpt::LoadState for MetricsAccumulator {
+    fn load_state(&mut self, r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<()> {
+        self.top_k = r.take_usize()?;
+        let n = r.take_len("metric samples", 1)?;
+        self.samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.samples.push(Sample {
+                month: r.take_usize()?,
+                completed: r.take_bool()?,
+                position: r.take_usize()?,
+                quality_gain: r.take_f32()?,
+                single: r.take_bool()?,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Final values of all six measures (the tables under Fig. 7 and Fig. 8).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSummary {
@@ -247,6 +283,42 @@ mod tests {
             quality_gain: if completed_at.is_some() { gain } else { 0.0 },
             worker_feature_before: vec![],
             worker_feature_after: vec![],
+        }
+    }
+
+    #[test]
+    fn checkpoint_restores_every_aggregate_bit_for_bit() {
+        use crowd_ckpt::{LoadState, SaveState, StateReader, StateWriter};
+        let mut m = MetricsAccumulator::new(3);
+        for i in 0..20 {
+            m.record(
+                i % 4,
+                &feedback(
+                    7,
+                    if i % 3 == 0 { Some(i % 5) } else { None },
+                    0.17 * i as f32,
+                )
+                .view(),
+            );
+        }
+        let mut w = StateWriter::new();
+        m.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = MetricsAccumulator::new(99); // top_k overwritten by the load
+        restored.load_state(&mut StateReader::new(&bytes)).unwrap();
+        assert_eq!(restored.top_k(), 3);
+        let a = m.summary();
+        let b = restored.summary();
+        assert_eq!(a.timestamps, b.timestamps);
+        for (x, y) in [
+            (a.cr, b.cr),
+            (a.k_cr, b.k_cr),
+            (a.ndcg_cr, b.ndcg_cr),
+            (a.qg, b.qg),
+            (a.k_qg, b.k_qg),
+            (a.ndcg_qg, b.ndcg_qg),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 

@@ -129,6 +129,64 @@ impl ParamStore {
     }
 }
 
+/// Checkpoint format: parameter count (`u64`), then per parameter its registration name
+/// (length-prefixed string) and value matrix. Names and shapes ride along as load-time
+/// validation: restoring into a store built by constructing different layers (or the
+/// same layers in a different order) is config drift, and fails with a typed error
+/// instead of silently training the wrong weights.
+impl crowd_ckpt::SaveState for ParamStore {
+    fn save_state(&self, w: &mut crowd_ckpt::StateWriter) {
+        w.put_usize(self.params.len());
+        for p in &self.params {
+            w.put_str(&p.name);
+            w.save(&p.value);
+        }
+    }
+}
+
+/// Loading into an **empty** store adopts the saved layout wholesale (registering every
+/// parameter from the stream); loading into a populated store overwrites values in place
+/// after validating count, names and shapes.
+impl crowd_ckpt::LoadState for ParamStore {
+    fn load_state(&mut self, r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<()> {
+        let count = r.take_len("param store", 1)?;
+        if self.params.is_empty() {
+            for _ in 0..count {
+                let name = r.take_str()?;
+                let value: Matrix = r.decode()?;
+                self.register(name, value);
+            }
+            return Ok(());
+        }
+        if count != self.params.len() {
+            return Err(crowd_ckpt::CkptError::Corrupt {
+                what: "param store",
+                detail: format!(
+                    "snapshot holds {count} parameters, the live store {}",
+                    self.params.len()
+                ),
+            });
+        }
+        for p in &mut self.params {
+            let name = r.take_str()?;
+            let value: Matrix = r.decode()?;
+            if name != p.name || value.shape() != p.value.shape() {
+                return Err(crowd_ckpt::CkptError::Corrupt {
+                    what: "param store",
+                    detail: format!(
+                        "snapshot parameter {name:?} {:?} does not match live parameter {:?} {:?}",
+                        value.shape(),
+                        p.name,
+                        p.value.shape()
+                    ),
+                });
+            }
+            p.value = value;
+        }
+        Ok(())
+    }
+}
+
 /// Per-forward-pass mapping from [`ParamId`] to the tape node holding that parameter's value.
 ///
 /// A fresh binding is created for each forward pass (each new [`Graph`]); after `backward`,
@@ -206,6 +264,48 @@ impl GraphBinding {
 mod tests {
     use super::*;
     use crowd_tensor::Rng;
+
+    #[test]
+    fn checkpoint_into_empty_and_populated_stores() {
+        use crowd_ckpt::{Snapshot, SnapshotFile};
+        let mut rng = Rng::seed_from(5);
+        let mut store = ParamStore::new();
+        store.register("a", Matrix::randn(2, 3, &mut rng));
+        store.register("b", Matrix::randn(1, 4, &mut rng));
+        let mut snap = Snapshot::new();
+        snap.put("params", &store);
+        let file = SnapshotFile::from_bytes(snap.to_bytes()).unwrap();
+
+        // Empty target adopts the saved layout.
+        let mut empty = ParamStore::new();
+        file.load_into("params", &mut empty).unwrap();
+        assert_eq!(empty.len(), 2);
+        assert_eq!(empty.name(ParamId(1)), "b");
+        for ((_, _, x), (_, _, y)) in store.iter().zip(empty.iter()) {
+            for (a, b) in x.as_slice().iter().zip(y.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        // A matching populated target is overwritten in place.
+        let mut twin = ParamStore::new();
+        twin.register("a", Matrix::zeros(2, 3));
+        twin.register("b", Matrix::zeros(1, 4));
+        file.load_into("params", &mut twin).unwrap();
+        assert_eq!(twin.get(ParamId(0)), store.get(ParamId(0)));
+
+        // Mismatched layout (different name) is config drift → typed error.
+        let mut drifted = ParamStore::new();
+        drifted.register("a", Matrix::zeros(2, 3));
+        drifted.register("c", Matrix::zeros(1, 4));
+        assert!(file.load_into("params", &mut drifted).is_err());
+
+        // Mismatched shape as well.
+        let mut reshaped = ParamStore::new();
+        reshaped.register("a", Matrix::zeros(3, 2));
+        reshaped.register("b", Matrix::zeros(1, 4));
+        assert!(file.load_into("params", &mut reshaped).is_err());
+    }
 
     #[test]
     fn register_and_lookup() {

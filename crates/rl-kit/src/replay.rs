@@ -92,9 +92,67 @@ impl<T> ReplayBuffer<T> {
     }
 }
 
+/// Checkpoint format: capacity (`u64`, validated against the live buffer), then the
+/// stored transitions oldest-first (`u64` count + elements). FIFO order is the state —
+/// restoring preserves which transition the next eviction removes.
+impl<T: crowd_ckpt::SaveState> crowd_ckpt::SaveState for ReplayBuffer<T> {
+    fn save_state(&self, w: &mut crowd_ckpt::StateWriter) {
+        w.put_usize(self.capacity);
+        w.put_usize(self.items.len());
+        for item in &self.items {
+            item.save_state(w);
+        }
+    }
+}
+
+impl<T: crowd_ckpt::DecodeState> crowd_ckpt::LoadState for ReplayBuffer<T> {
+    fn load_state(&mut self, r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<()> {
+        let capacity = r.take_usize()?;
+        if capacity != self.capacity {
+            return Err(crowd_ckpt::CkptError::Corrupt {
+                what: "replay buffer",
+                detail: format!(
+                    "snapshot capacity {capacity} does not match live capacity {}",
+                    self.capacity
+                ),
+            });
+        }
+        let len = r.take_len("replay buffer items", 1)?;
+        if len > capacity {
+            return Err(crowd_ckpt::CkptError::Corrupt {
+                what: "replay buffer",
+                detail: format!("{len} stored items exceed capacity {capacity}"),
+            });
+        }
+        self.items.clear();
+        for _ in 0..len {
+            self.items.push_back(T::decode_state(r)?);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn checkpoint_preserves_fifo_order_and_validates_capacity() {
+        use crowd_ckpt::{LoadState, SaveState, StateReader, StateWriter};
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5u32 {
+            buf.push(i);
+        }
+        let mut w = StateWriter::new();
+        buf.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored: ReplayBuffer<u32> = ReplayBuffer::new(3);
+        restored.load_state(&mut StateReader::new(&bytes)).unwrap();
+        assert_eq!(restored.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(restored.push(9), Some(2), "eviction order must survive");
+        let mut wrong: ReplayBuffer<u32> = ReplayBuffer::new(4);
+        assert!(wrong.load_state(&mut StateReader::new(&bytes)).is_err());
+    }
 
     #[test]
     fn push_and_evict_fifo() {

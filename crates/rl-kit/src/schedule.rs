@@ -50,9 +50,86 @@ impl Schedule {
     }
 }
 
+/// Checkpoint format: a one-byte variant tag (`0` Constant, `1` Linear, `2`
+/// Exponential) followed by the variant's fields in declaration order (f32 raw bits;
+/// `steps` as `u64`). Saved so a restored explorer can validate its schedule against
+/// the one it was configured with.
+impl crowd_ckpt::SaveState for Schedule {
+    fn save_state(&self, w: &mut crowd_ckpt::StateWriter) {
+        match *self {
+            Schedule::Constant(v) => {
+                w.put_u8(0);
+                w.put_f32(v);
+            }
+            Schedule::Linear { start, end, steps } => {
+                w.put_u8(1);
+                w.put_f32(start);
+                w.put_f32(end);
+                w.put_u64(steps);
+            }
+            Schedule::Exponential { start, factor, min } => {
+                w.put_u8(2);
+                w.put_f32(start);
+                w.put_f32(factor);
+                w.put_f32(min);
+            }
+        }
+    }
+}
+
+impl crowd_ckpt::DecodeState for Schedule {
+    fn decode_state(r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<Self> {
+        match r.take_u8()? {
+            0 => Ok(Schedule::Constant(r.take_f32()?)),
+            1 => Ok(Schedule::Linear {
+                start: r.take_f32()?,
+                end: r.take_f32()?,
+                steps: r.take_u64()?,
+            }),
+            2 => Ok(Schedule::Exponential {
+                start: r.take_f32()?,
+                factor: r.take_f32()?,
+                min: r.take_f32()?,
+            }),
+            tag => Err(crowd_ckpt::CkptError::Corrupt {
+                what: "schedule",
+                detail: format!("unknown variant tag {tag}"),
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn checkpoint_roundtrips_every_variant() {
+        use crowd_ckpt::{DecodeState, SaveState, StateReader, StateWriter};
+        for schedule in [
+            Schedule::Constant(0.9),
+            Schedule::Linear {
+                start: 0.9,
+                end: 0.98,
+                steps: 2000,
+            },
+            Schedule::Exponential {
+                start: 1.0,
+                factor: 0.99,
+                min: 0.1,
+            },
+        ] {
+            let mut w = StateWriter::new();
+            schedule.save_state(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = StateReader::new(&bytes);
+            assert_eq!(Schedule::decode_state(&mut r).unwrap(), schedule);
+            r.finish("schedule").unwrap();
+        }
+        // Unknown tags are corrupt, not a panic.
+        let mut r = StateReader::new(&[9]);
+        assert!(Schedule::decode_state(&mut r).is_err());
+    }
 
     #[test]
     fn constant_is_flat() {

@@ -82,9 +82,75 @@ impl SumTree {
     }
 }
 
+/// Checkpoint format: leaf capacity (`u64`, already rounded to a power of two), then the
+/// **entire** node array (`2·capacity` f64 raw bits) — internal sums included.
+///
+/// Persisting only the leaves and rebuilding on load would *not* be bit-exact: internal
+/// node values accumulate `+=` deltas in the historical order of [`SumTree::set`] calls,
+/// so a rebuilt root can differ from the live one in the last ulp, which is enough to
+/// flip a [`SumTree::find_prefix`] descent and derail every subsequent prioritized
+/// sampling draw. The node array is the state; it is saved verbatim.
+impl crowd_ckpt::SaveState for SumTree {
+    fn save_state(&self, w: &mut crowd_ckpt::StateWriter) {
+        w.put_usize(self.capacity);
+        w.put_f64_slice(&self.nodes);
+    }
+}
+
+impl crowd_ckpt::LoadState for SumTree {
+    fn load_state(&mut self, r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<()> {
+        let capacity = r.take_usize()?;
+        if capacity != self.capacity {
+            return Err(crowd_ckpt::CkptError::Corrupt {
+                what: "sum tree",
+                detail: format!(
+                    "snapshot capacity {capacity} does not match live capacity {}",
+                    self.capacity
+                ),
+            });
+        }
+        let nodes = r.take_f64_vec()?;
+        if nodes.len() != 2 * capacity {
+            return Err(crowd_ckpt::CkptError::Corrupt {
+                what: "sum tree",
+                detail: format!("{} nodes for capacity {capacity}", nodes.len()),
+            });
+        }
+        self.nodes = nodes;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn checkpoint_preserves_internal_sums_bit_for_bit() {
+        use crowd_ckpt::{LoadState, SaveState, StateReader, StateWriter};
+        // Build a tree through an update history whose internal sums depend on the
+        // accumulation order (values with different exponents).
+        let mut tree = SumTree::new(8);
+        for (i, p) in [1e-3, 7.25, 1e9, 0.1, 3.5, 1e-7, 42.0, 0.9]
+            .iter()
+            .enumerate()
+        {
+            tree.set(i, *p);
+        }
+        tree.set(2, 0.5); // churn so internal nodes carry += residue
+        tree.set(5, 123.456);
+        let mut w = StateWriter::new();
+        tree.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = SumTree::new(8);
+        restored.load_state(&mut StateReader::new(&bytes)).unwrap();
+        for (a, b) in tree.nodes.iter().zip(&restored.nodes) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Capacity mismatch is a typed error.
+        let mut wrong = SumTree::new(16);
+        assert!(wrong.load_state(&mut StateReader::new(&bytes)).is_err());
+    }
 
     #[test]
     fn capacity_rounds_to_power_of_two() {

@@ -297,9 +297,66 @@ impl std::fmt::Display for Matrix {
     }
 }
 
+/// Checkpoint format: `rows` and `cols` as `u64`, then the `rows·cols` elements of the
+/// row-major buffer as raw IEEE-754 bits (no extra length prefix — the count is implied
+/// by the shape). Raw bits make the roundtrip bit-exact for every value, NaNs included.
+impl crowd_ckpt::SaveState for Matrix {
+    fn save_state(&self, w: &mut crowd_ckpt::StateWriter) {
+        w.put_usize(self.rows);
+        w.put_usize(self.cols);
+        for &v in &self.data {
+            w.put_f32(v);
+        }
+    }
+}
+
+impl crowd_ckpt::DecodeState for Matrix {
+    fn decode_state(r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<Self> {
+        let rows = r.take_usize()?;
+        let cols = r.take_usize()?;
+        let len = rows
+            .checked_mul(cols)
+            .filter(|n| n.checked_mul(4).is_some_and(|bytes| bytes <= r.remaining()))
+            .ok_or_else(|| crowd_ckpt::CkptError::Corrupt {
+                what: "matrix shape",
+                detail: format!("{rows}x{cols} elements exceed the bytes remaining"),
+            })?;
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(r.take_f32()?);
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn checkpoint_roundtrip_is_bit_exact() {
+        use crowd_ckpt::{DecodeState, SaveState, StateReader, StateWriter};
+        let mut rng = Rng::seed_from(77);
+        let mut m = Matrix::randn(5, 3, &mut rng);
+        m.set(0, 0, f32::NAN);
+        m.set(1, 2, -0.0);
+        let mut w = StateWriter::new();
+        m.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        let back = Matrix::decode_state(&mut r).unwrap();
+        r.finish("matrix").unwrap();
+        assert_eq!(back.shape(), m.shape());
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // A corrupt shape whose element count exceeds the payload is a typed error.
+        let mut w = StateWriter::new();
+        w.put_usize(1_000_000);
+        w.put_usize(1_000_000);
+        let bytes = w.into_bytes();
+        assert!(Matrix::decode_state(&mut StateReader::new(&bytes)).is_err());
+    }
 
     #[test]
     fn zeros_and_shape() {
