@@ -1,0 +1,186 @@
+//! End-to-end decision latency and saturation throughput of the `crowd-serve`
+//! micro-batching service — the serving-path companion to `batched_inference` (which
+//! measures the raw Q-network batch forward without queueing).
+//!
+//! Two phases per (traffic pattern × client count) cell:
+//!
+//! * **Open-loop latency** — each client thread replays an [`ArrivalSchedule`]
+//!   (Poisson or bursty MMPP, time-compressed so the bench models
+//!   millions-of-arrivals/day rates in under a second of wall clock), sleeping until
+//!   each scheduled arrival and then issuing a blocking `decide`. The recorded latency
+//!   is submit→ack: ingress queueing + micro-batch coalescing window + the packed
+//!   forward pass + the ack hop. Per-client [`LatencyHistogram`]s merge into one
+//!   p50/p99/p999 report per cell.
+//! * **Closed-loop saturation** — the same clients issue back-to-back decides with no
+//!   think time; the aggregate decisions/second is the service's max sustained
+//!   throughput at that concurrency.
+//!
+//! The policy is a frozen DDQN agent (learning and exploration off): latency jitter
+//! from learner ticks would otherwise drown the queueing behaviour this bench isolates,
+//! and `update_latency` already measures the learners. No decision log is attached —
+//! `serve_latency` measures the compute path; log-append cost is bounded by the
+//! fsync-per-batch policy measured in the ckpt benches.
+//!
+//! Smoke mode (`--smoke` / `CROWD_BENCH_SMOKE=1`) shrinks arrivals per cell so CI can
+//! build and run the bench quickly; the printed numbers are then meaningless.
+
+use crowd_bench::{smoke_mode, LatencyHistogram};
+use crowd_experiments::{collect_arrival_contexts, ddqn_config_for, ddqn_for, Scale};
+use crowd_serve::{ArrivalSchedule, ServeConfig, Server, TrafficPattern};
+use crowd_sim::{ArrivalContext, SimConfig};
+use crowd_tensor::ThreadPool;
+use std::time::{Duration, Instant};
+
+/// One open-loop latency cell: `n_clients` threads replay disjoint-seeded schedules of
+/// `pattern` (aggregate arrival rate split evenly), each recording submit→ack latency.
+fn latency_cell(
+    contexts: &[ArrivalContext],
+    server: &Server,
+    pattern: &TrafficPattern,
+    n_clients: usize,
+    arrivals_per_client: usize,
+) -> (LatencyHistogram, f64) {
+    let start = Instant::now();
+    let histograms = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client_index in 0..n_clients {
+            let client = server.client();
+            let pattern = *pattern;
+            handles.push(scope.spawn(move || {
+                let mut histogram = LatencyHistogram::new();
+                let schedule = ArrivalSchedule::new(pattern, 0xBE7C_0000 + client_index as u64);
+                let mut next_at = Duration::ZERO;
+                for (k, offset) in schedule.take(arrivals_per_client).enumerate() {
+                    next_at += offset;
+                    let target = start + next_at;
+                    let now = Instant::now();
+                    if target > now {
+                        std::thread::sleep(target - now);
+                    }
+                    let context = contexts[(client_index + k * n_clients) % contexts.len()].clone();
+                    let submitted = Instant::now();
+                    client.decide(context).expect("serve decide failed");
+                    histogram.record(submitted.elapsed());
+                }
+                histogram
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect::<Vec<_>>()
+    });
+    let elapsed = start.elapsed();
+    let mut merged = LatencyHistogram::new();
+    for h in &histograms {
+        merged.merge(h);
+    }
+    let achieved = merged.count() as f64 / elapsed.as_secs_f64();
+    (merged, achieved)
+}
+
+/// Closed-loop saturation: `n_clients` threads issue `per_client` decides back to back;
+/// returns aggregate decisions/second.
+fn saturation_cell(
+    contexts: &[ArrivalContext],
+    server: &Server,
+    n_clients: usize,
+    per_client: usize,
+) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for client_index in 0..n_clients {
+            let client = server.client();
+            scope.spawn(move || {
+                for k in 0..per_client {
+                    let context = contexts[(client_index + k * n_clients) % contexts.len()].clone();
+                    client.decide(context).expect("serve decide failed");
+                }
+            });
+        }
+    });
+    (n_clients * per_client) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let arrivals_per_client = if smoke { 25 } else { 1200 };
+    let saturation_per_client = if smoke { 25 } else { 1000 };
+    let client_counts: &[usize] = &[1, 2, 4];
+
+    let dataset = SimConfig::tiny().generate();
+    let contexts = collect_arrival_contexts(&dataset, 0xCAFE, 64);
+    assert!(!contexts.is_empty(), "tiny dataset produced no arrivals");
+
+    // Aggregate rates are time-compressed: 2 000/s sustained ≈ 172.8 M arrivals/day,
+    // i.e. the bench replays a day-scale stream in well under a second per cell.
+    let patterns = [
+        TrafficPattern::Poisson { rate: 2_000.0 },
+        TrafficPattern::Bursty {
+            base_rate: 800.0,
+            burst_rate: 6_000.0,
+            mean_burst_secs: 0.05,
+            mean_quiet_secs: 0.15,
+        },
+    ];
+
+    for pattern in &patterns {
+        for &n_clients in client_counts {
+            // Each client gets an even share of the aggregate arrival rate.
+            let share = 1.0 / n_clients as f64;
+            let per_client_pattern = match *pattern {
+                TrafficPattern::Poisson { rate } => TrafficPattern::Poisson { rate: rate * share },
+                TrafficPattern::Bursty {
+                    base_rate,
+                    burst_rate,
+                    mean_burst_secs,
+                    mean_quiet_secs,
+                } => TrafficPattern::Bursty {
+                    base_rate: base_rate * share,
+                    burst_rate: burst_rate * share,
+                    mean_burst_secs,
+                    mean_quiet_secs,
+                },
+            };
+            let mut policy = ddqn_for(&dataset, ddqn_config_for(Scale::Tiny));
+            policy.freeze_learning();
+            policy.freeze_exploration();
+            let server = Server::start(
+                Box::new(policy),
+                ServeConfig {
+                    pool: ThreadPool::from_env(),
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("server start failed");
+
+            let (mut histogram, achieved) = latency_cell(
+                &contexts,
+                &server,
+                &per_client_pattern,
+                n_clients,
+                arrivals_per_client,
+            );
+            let summary = histogram.summary();
+            println!(
+                "serve_latency/{}/{}clients: {} achieved={:.0}/s (target {:.0}/s)",
+                pattern.label(),
+                n_clients,
+                summary,
+                achieved,
+                pattern.mean_rate(),
+            );
+
+            let throughput = saturation_cell(&contexts, &server, n_clients, saturation_per_client);
+            let (_policy, report) = server.shutdown();
+            assert_eq!(
+                report.decisions as usize,
+                n_clients * (arrivals_per_client + saturation_per_client)
+            );
+            println!(
+                "serve_latency/saturation/{}clients: {:.0} decisions/s (closed loop, max round {})",
+                n_clients, throughput, report.max_round_decisions,
+            );
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Reusable latency-distribution accounting for the serving benches and the load
+//! generator: record individual request latencies, read exact p50/p99/p999 tail
+//! quantiles back out.
+//!
+//! Tail percentiles are the serving metric that matters — a mean hides the queueing
+//! spikes micro-batching is supposed to bound — so the histogram stores every sample
+//! (8 bytes each) and computes **exact** nearest-rank percentiles by sorting on demand,
+//! rather than approximating with fixed buckets. At the millions-of-arrivals/day rates
+//! the benches model, a full day of samples is a few hundred megabytes at most and a
+//! bench run records far less; exactness is worth more here than constant memory.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Collects per-request latencies and answers exact percentile queries.
+///
+/// Samples are kept as nanosecond counts; the sort needed by percentile queries is
+/// performed lazily and cached until the next [`record`](LatencyHistogram::record).
+#[derive(Debug, Default, Clone)]
+pub struct LatencyHistogram {
+    nanos: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        self.nanos
+            .push(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+        self.sorted = false;
+    }
+
+    /// Absorbs every sample of `other` (e.g. merging per-client histograms).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.nanos.extend_from_slice(&other.nanos);
+        self.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.nanos.len()
+    }
+
+    /// True when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nanos.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.nanos.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Exact nearest-rank percentile: the smallest recorded latency `v` such that at
+    /// least `q`% of all samples are ≤ `v`. `q` is clamped to `(0, 100]`; the histogram
+    /// must be non-empty.
+    pub fn percentile(&mut self, q: f64) -> Duration {
+        assert!(!self.is_empty(), "percentile of an empty histogram");
+        self.ensure_sorted();
+        let q = q.clamp(f64::MIN_POSITIVE, 100.0);
+        // The epsilon absorbs binary round-off in q/100 (e.g. 99.9% of 1000 samples is
+        // 999.0000000000001, which must rank 999, not ceil to 1000).
+        let rank = ((q / 100.0) * self.nanos.len() as f64 - 1e-9).ceil() as usize;
+        Duration::from_nanos(self.nanos[rank.clamp(1, self.nanos.len()) - 1])
+    }
+
+    /// Median latency.
+    pub fn p50(&mut self) -> Duration {
+        self.percentile(50.0)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&mut self) -> Duration {
+        self.percentile(99.0)
+    }
+
+    /// 99.9th-percentile latency.
+    pub fn p999(&mut self) -> Duration {
+        self.percentile(99.9)
+    }
+
+    /// Largest recorded latency.
+    pub fn max(&mut self) -> Duration {
+        self.percentile(100.0)
+    }
+
+    /// Mean latency (exact, `u128` accumulation cannot overflow).
+    pub fn mean(&self) -> Duration {
+        assert!(!self.is_empty(), "mean of an empty histogram");
+        let total: u128 = self.nanos.iter().map(|&n| u128::from(n)).sum();
+        Duration::from_nanos((total / self.nanos.len() as u128) as u64)
+    }
+
+    /// One-line summary of the distribution's tail shape.
+    pub fn summary(&mut self) -> LatencySummary {
+        LatencySummary {
+            count: self.count(),
+            mean: self.mean(),
+            p50: self.p50(),
+            p99: self.p99(),
+            p999: self.p999(),
+            max: self.max(),
+        }
+    }
+}
+
+/// Snapshot of a latency distribution: count, mean and the tail quantiles the serving
+/// benches report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples behind the quantiles.
+    pub count: usize,
+    /// Mean latency.
+    pub mean: Duration,
+    /// Median latency.
+    pub p50: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+    /// 99.9th-percentile latency.
+    pub p999: Duration,
+    /// Largest recorded latency.
+    pub max: Duration,
+}
+
+/// Prints a duration at µs-grade resolution with a human unit (`850ns`, `12.4µs`,
+/// `3.21ms`, `1.05s`) — latency tables stay aligned and readable across 6 orders of
+/// magnitude.
+pub fn format_latency(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "p50={} p99={} p999={} max={} mean={} (n={})",
+            format_latency(self.p50),
+            format_latency(self.p99),
+            format_latency(self.p999),
+            format_latency(self.max),
+            format_latency(self.mean),
+            self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        let mut h = LatencyHistogram::new();
+        // 1..=1000 µs, shuffled insertion order must not matter.
+        for i in (1..=1000u64).rev() {
+            h.record(Duration::from_micros(i));
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.p50(), Duration::from_micros(500));
+        assert_eq!(h.p99(), Duration::from_micros(990));
+        assert_eq!(h.p999(), Duration::from_micros(999));
+        assert_eq!(h.max(), Duration::from_micros(1000));
+        assert_eq!(h.percentile(0.1), Duration::from_micros(1));
+        assert_eq!(h.mean(), Duration::from_nanos(500_500));
+    }
+
+    #[test]
+    fn single_sample_answers_every_quantile() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_millis(3));
+        for q in [0.001, 50.0, 99.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(q), Duration::from_millis(3));
+        }
+        assert_eq!(h.summary().count, 1);
+    }
+
+    #[test]
+    fn merge_combines_per_client_histograms() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for i in 1..=50u64 {
+            a.record(Duration::from_micros(i));
+            b.record(Duration::from_micros(50 + i));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        assert_eq!(a.p50(), Duration::from_micros(50));
+        assert_eq!(a.max(), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn recording_after_a_query_invalidates_the_sort_cache() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(10));
+        assert_eq!(h.max(), Duration::from_micros(10));
+        h.record(Duration::from_micros(5));
+        assert_eq!(h.p50(), Duration::from_micros(5));
+        assert_eq!(h.max(), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn latency_formatting_picks_readable_units() {
+        assert_eq!(format_latency(Duration::from_nanos(850)), "850ns");
+        assert_eq!(format_latency(Duration::from_nanos(12_400)), "12.4µs");
+        assert_eq!(format_latency(Duration::from_micros(3_210)), "3.21ms");
+        assert_eq!(format_latency(Duration::from_millis(1_050)), "1.05s");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn empty_percentile_panics() {
+        LatencyHistogram::new().percentile(50.0);
+    }
+}

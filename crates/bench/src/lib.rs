@@ -14,7 +14,10 @@
 //!   (per-transition) DDQN learning step at `B ∈ {16, 32, 64}`;
 //! * `parallel_throughput` — full-replay session stepping across a sessions × threads
 //!   grid (`SessionBatch::run_all_parallel`) and the serial vs `par_join` two-learner
-//!   update round.
+//!   update round;
+//! * `serve_latency` — end-to-end decision latency (p50/p99/p999) and max sustained
+//!   throughput of the `crowd-serve` micro-batching service under Poisson and bursty
+//!   open-loop load at several client counts (uses [`latency::LatencyHistogram`]).
 
 use crowd_rl_core::{StateTensor, StateTransformer};
 use crowd_sim::{ArrivalContext, TaskId, TaskSnapshot, WorkerId};
@@ -22,8 +25,10 @@ use crowd_tensor::Rng;
 
 pub mod ckpt_fixtures;
 pub mod harness;
+pub mod latency;
 
 pub use harness::{smoke_mode, Bencher, BenchmarkGroup, BenchmarkId, Criterion};
+pub use latency::{format_latency, LatencyHistogram, LatencySummary};
 
 /// Builds a synthetic arrival context with `n_tasks` available tasks and `feature_dim`-wide
 /// features, used by several benches.

@@ -14,6 +14,11 @@
 //! and resumed in a fresh process is **bit-identical** to one that never stopped
 //! (`tests/checkpoint_equivalence.rs`, at `CROWD_THREADS=1` and `4`).
 //!
+//! Complementing the point-in-time snapshots, the [`wal`] module frames append-only
+//! record-batch logs — CRC-checked segments with atomic rotation and torn-tail
+//! detection — which the `crowd-serve` decision log builds on
+//! (`docs/DECISION_LOG_FORMAT.md` at the repository root).
+//!
 //! # Layering
 //!
 //! This crate is the *leaf* of the workspace graph — it depends on nothing, and every
@@ -115,11 +120,13 @@ pub mod crc32;
 pub mod error;
 pub mod rw;
 pub mod snapshot;
+pub mod wal;
 
 pub use crc32::crc32;
 pub use error::{CkptError, Result};
 pub use rw::{StateReader, StateWriter};
 pub use snapshot::{Snapshot, SnapshotFile, FORMAT_VERSION, MAGIC};
+pub use wal::{SegmentScan, SegmentWriter, WalDir, WAL_MAGIC, WAL_VERSION};
 
 use std::time::Duration;
 

@@ -20,12 +20,37 @@ use std::time::Duration;
 #[derive(Debug, Default, Clone)]
 pub struct StateWriter {
     buf: Vec<u8>,
+    canonical: bool,
 }
 
 impl StateWriter {
     /// An empty writer.
     pub fn new() -> Self {
         StateWriter::default()
+    }
+
+    /// An empty writer in **canonical** mode: [`put_duration`](StateWriter::put_duration)
+    /// writes `Duration::ZERO` instead of the measured value.
+    ///
+    /// Checkpoints carry accumulated wall-clock measurements (learner wall time, session
+    /// timing) so a resumed run reports cumulative timings correctly — but wall time is
+    /// *measurement* state, not *semantic* state: two executions of the same decision
+    /// sequence land on identical parameters, RNG words and buffers while their clocks
+    /// differ in every run. Canonical mode erases exactly that, so a canonical encoding
+    /// is a **semantic fingerprint**: byte-equality ⇔ the policies behave identically
+    /// from here on. `tests/serve_equivalence.rs` and `tests/serve_recovery.rs` compare
+    /// live servers against log replays this way. Never feed a canonical encoding to a
+    /// restore path that should preserve timings.
+    pub fn canonical() -> Self {
+        StateWriter {
+            buf: Vec::new(),
+            canonical: true,
+        }
+    }
+
+    /// True when this writer was built with [`StateWriter::canonical`].
+    pub fn is_canonical(&self) -> bool {
+        self.canonical
     }
 
     /// Bytes written so far.
@@ -132,8 +157,11 @@ impl StateWriter {
     }
 
     /// Appends a [`Duration`] as whole seconds (`u64`) plus subsecond nanos (`u32`) —
-    /// exact for any duration `std` can represent.
+    /// exact for any duration `std` can represent. A [canonical](StateWriter::canonical)
+    /// writer appends `Duration::ZERO` instead: wall-clock measurements are the one kind
+    /// of state that is *expected* to differ between bit-identical executions.
     pub fn put_duration(&mut self, d: Duration) {
+        let d = if self.canonical { Duration::ZERO } else { d };
         self.put_u64(d.as_secs());
         self.put_u32(d.subsec_nanos());
     }
@@ -397,6 +425,31 @@ mod tests {
         assert_eq!(r.take_u32_vec().unwrap(), vec![9, 8]);
         assert!(r.take_u64_vec().unwrap().is_empty());
         r.finish("test").unwrap();
+    }
+
+    #[test]
+    fn canonical_writer_zeroes_durations_and_nothing_else() {
+        let encode = |w: &mut StateWriter| {
+            w.put_u64(99);
+            w.put_duration(Duration::new(7, 500));
+            w.put_f32(1.25);
+        };
+        let mut measured = StateWriter::new();
+        encode(&mut measured);
+        let mut canonical = StateWriter::canonical();
+        assert!(canonical.is_canonical());
+        encode(&mut canonical);
+
+        let bytes = canonical.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        assert_eq!(r.take_u64().unwrap(), 99);
+        assert_eq!(r.take_duration().unwrap(), Duration::ZERO);
+        assert_eq!(r.take_f32().unwrap(), 1.25);
+        r.finish("canonical").unwrap();
+
+        // Same layout, differs only in the duration field.
+        assert_eq!(bytes.len(), measured.len());
+        assert_ne!(bytes, measured.into_bytes());
     }
 
     #[test]

@@ -1,0 +1,476 @@
+//! Write-ahead-log framing: segmented, CRC-checked record-batch files.
+//!
+//! The snapshot format in [`crate::snapshot`] captures a *point-in-time* state; this
+//! module is its streaming sibling — an append-only log of opaque record batches that a
+//! crashed process replays to reconstruct the state it never snapshotted. The decision
+//! log of the `crowd-serve` crate is the first user; the framing itself is generic (the
+//! payload bytes are opaque to this layer) and specified byte by byte in
+//! `docs/DECISION_LOG_FORMAT.md` at the repository root.
+//!
+//! # Layout
+//!
+//! A log is a directory of segment files named `segment-<index08>.wlog` with strictly
+//! consecutive indices starting at 0. Each segment is:
+//!
+//! ```text
+//! magic "CRWDWLOG" (8) | version u32 LE (4) | segment index u64 LE (8)   — 20-byte header
+//! then zero or more record batches:
+//! payload length u32 LE (4) | CRC-32/IEEE of payload u32 LE (4) | payload bytes
+//! ```
+//!
+//! # Durability contract
+//!
+//! * **Atomic segment creation** — a segment is materialised by writing its header to
+//!   `<name>.tmp`, syncing, then renaming to the final name. A crash mid-rotation leaves
+//!   a `.tmp` file that readers ignore (and recovery deletes); a named segment therefore
+//!   always has a complete, valid header.
+//! * **Torn tails are detectable and safe** — an append that was cut by a crash leaves a
+//!   trailing batch whose length field, payload bytes or CRC are incomplete.
+//!   [`read_segment`] stops at the first such batch and reports the clean prefix length;
+//!   callers truncate to it ([`SegmentWriter::resume`]) and continue appending. Because
+//!   writers acknowledge work only *after* [`SegmentWriter::sync`] returns, a torn batch
+//!   was by construction never acknowledged, so dropping it loses nothing that was
+//!   promised.
+//! * **Sealed segments must be clean** — only the highest-indexed segment may carry a
+//!   torn tail (it was the active one when the process died). A torn or short batch in
+//!   any earlier segment means bytes rotted *after* they were sealed, which replay-based
+//!   recovery must not paper over; [`scan_dir`] callers treat it as corruption.
+
+use crate::crc32::crc32;
+use crate::error::{CkptError, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// First eight bytes of every segment file.
+pub const WAL_MAGIC: [u8; 8] = *b"CRWDWLOG";
+
+/// The single segment-format version this build reads and writes.
+pub const WAL_VERSION: u32 = 1;
+
+/// Byte length of the fixed segment header (magic + version + segment index).
+pub const SEGMENT_HEADER_LEN: u64 = 8 + 4 + 8;
+
+/// Byte length of a record-batch header (payload length + CRC-32).
+pub const BATCH_HEADER_LEN: u64 = 4 + 4;
+
+/// File name of the segment with the given index (`segment-00000007.wlog`).
+pub fn segment_file_name(index: u64) -> String {
+    format!("segment-{index:08}.wlog")
+}
+
+/// Parses a segment file name back to its index; `None` for foreign files.
+pub fn parse_segment_file_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("segment-")?.strip_suffix(".wlog")?;
+    if digits.len() < 8 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+fn encode_header(index: u64) -> [u8; SEGMENT_HEADER_LEN as usize] {
+    let mut h = [0u8; SEGMENT_HEADER_LEN as usize];
+    h[0..8].copy_from_slice(&WAL_MAGIC);
+    h[8..12].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    h[12..20].copy_from_slice(&index.to_le_bytes());
+    h
+}
+
+/// Best-effort fsync of a directory so a rename inside it survives a power cut. Platforms
+/// where directories cannot be opened or synced simply skip it.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// An open segment accepting record-batch appends.
+///
+/// The writer never buffers: every [`SegmentWriter::append`] issues the batch to the OS
+/// in one `write_all`, and [`SegmentWriter::sync`] makes everything appended so far
+/// durable. Acknowledge work to callers only after `sync` returns.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    file: File,
+    path: PathBuf,
+    index: u64,
+    len: u64,
+}
+
+impl SegmentWriter {
+    /// Creates segment `index` inside `dir` atomically: the 20-byte header is written to
+    /// `<name>.tmp`, synced, and renamed into place. Fails if the segment already exists.
+    pub fn create(dir: &Path, index: u64) -> Result<SegmentWriter> {
+        let path = dir.join(segment_file_name(index));
+        if path.exists() {
+            return Err(CkptError::Corrupt {
+                what: "wal segment",
+                detail: format!("{} already exists", path.display()),
+            });
+        }
+        let tmp = dir.join(format!("{}.tmp", segment_file_name(index)));
+        let mut file = OpenOptions::new()
+            .write(true)
+            .read(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        file.write_all(&encode_header(index))?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, &path)?;
+        sync_dir(dir);
+        Ok(SegmentWriter {
+            file,
+            path,
+            index,
+            len: SEGMENT_HEADER_LEN,
+        })
+    }
+
+    /// Reopens an existing segment for appending, first truncating it to `keep_len`
+    /// bytes (the clean-prefix length reported by [`read_segment`]) so a torn tail left
+    /// by a crash is physically removed before new batches land after it.
+    pub fn resume(path: &Path, index: u64, keep_len: u64) -> Result<SegmentWriter> {
+        let mut file = OpenOptions::new().write(true).read(true).open(path)?;
+        file.set_len(keep_len)?;
+        file.sync_all()?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(SegmentWriter {
+            file,
+            path: path.to_path_buf(),
+            index,
+            len: keep_len,
+        })
+    }
+
+    /// Appends one record batch (`len | crc32 | payload`). Not yet durable — call
+    /// [`SegmentWriter::sync`] before acknowledging.
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        let len = u32::try_from(payload.len()).map_err(|_| CkptError::Corrupt {
+            what: "wal batch",
+            detail: format!("payload of {} bytes exceeds the u32 frame", payload.len()),
+        })?;
+        let mut frame = Vec::with_capacity(BATCH_HEADER_LEN as usize + payload.len());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.len += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Makes every appended batch durable (`fdatasync`).
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Current byte length of the segment (header plus all appended frames).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no batch has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len <= SEGMENT_HEADER_LEN
+    }
+
+    /// This segment's index.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// Path of the segment file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Everything [`read_segment`] found in one segment file.
+#[derive(Debug)]
+pub struct SegmentScan {
+    /// Segment index stored in the header.
+    pub index: u64,
+    /// The CRC-verified record-batch payloads, in append order.
+    pub batches: Vec<Vec<u8>>,
+    /// Byte length of the clean prefix (header plus every complete batch); equals the
+    /// file length when the segment is clean.
+    pub clean_len: u64,
+    /// Bytes past the clean prefix — a torn trailing batch ([`SegmentScan::is_torn`]).
+    pub torn_bytes: u64,
+}
+
+impl SegmentScan {
+    /// True when the file ends in an incomplete or CRC-damaged batch.
+    pub fn is_torn(&self) -> bool {
+        self.torn_bytes > 0
+    }
+}
+
+/// Reads one segment: validates the header strictly (a named segment always has a
+/// complete header — see the module docs on atomic creation), then collects batches
+/// until the clean end of the file or the first torn/damaged frame.
+pub fn read_segment(path: &Path) -> Result<SegmentScan> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < SEGMENT_HEADER_LEN as usize {
+        return Err(CkptError::Truncated {
+            what: "wal segment header",
+            needed: SEGMENT_HEADER_LEN as usize,
+            available: bytes.len(),
+        });
+    }
+    if bytes[0..8] != WAL_MAGIC {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(&bytes[0..8]);
+        return Err(CkptError::BadMagic { found });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != WAL_VERSION {
+        return Err(CkptError::UnsupportedVersion {
+            found: version,
+            supported: WAL_VERSION,
+        });
+    }
+    let index = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+
+    let mut batches = Vec::new();
+    let mut offset = SEGMENT_HEADER_LEN as usize;
+    loop {
+        let remaining = bytes.len() - offset;
+        if remaining == 0 {
+            break; // clean end
+        }
+        if remaining < BATCH_HEADER_LEN as usize {
+            break; // torn: the batch header itself was cut
+        }
+        let len =
+            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let stored_crc =
+            u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        let body = offset + BATCH_HEADER_LEN as usize;
+        if len == 0 || remaining - (BATCH_HEADER_LEN as usize) < len {
+            break; // torn: zeroed preallocation or cut payload
+        }
+        let payload = &bytes[body..body + len];
+        if crc32(payload) != stored_crc {
+            break; // torn: payload bytes landed partially
+        }
+        batches.push(payload.to_vec());
+        offset = body + len;
+    }
+    Ok(SegmentScan {
+        index,
+        batches,
+        clean_len: offset as u64,
+        torn_bytes: (bytes.len() - offset) as u64,
+    })
+}
+
+/// The segment inventory of a log directory.
+#[derive(Debug, Default)]
+pub struct WalDir {
+    /// `(index, path)` of every segment, sorted by index; indices are verified to be
+    /// consecutive from 0.
+    pub segments: Vec<(u64, PathBuf)>,
+    /// Leftover `.tmp` files from an interrupted rotation (readers ignore them; recovery
+    /// deletes them).
+    pub tmp_files: Vec<PathBuf>,
+}
+
+/// Lists a log directory: segment files sorted and contiguity-checked, `.tmp` leftovers
+/// separated out, foreign files ignored.
+pub fn scan_dir(dir: &Path) -> Result<WalDir> {
+    let mut out = WalDir::default();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.ends_with(".tmp") {
+            if name
+                .strip_suffix(".tmp")
+                .is_some_and(|stem| parse_segment_file_name(stem).is_some())
+            {
+                out.tmp_files.push(entry.path());
+            }
+        } else if let Some(index) = parse_segment_file_name(name) {
+            out.segments.push((index, entry.path()));
+        }
+    }
+    out.segments.sort_by_key(|(index, _)| *index);
+    out.tmp_files.sort();
+    for (pos, (index, path)) in out.segments.iter().enumerate() {
+        if *index != pos as u64 {
+            return Err(CkptError::Corrupt {
+                what: "wal directory",
+                detail: format!(
+                    "segment indices are not consecutive from 0: expected {pos}, found {} ({})",
+                    index,
+                    path.display()
+                ),
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("crowd-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn file_names_roundtrip() {
+        assert_eq!(segment_file_name(7), "segment-00000007.wlog");
+        assert_eq!(parse_segment_file_name("segment-00000007.wlog"), Some(7));
+        assert_eq!(
+            parse_segment_file_name("segment-123456789.wlog"),
+            Some(123_456_789)
+        );
+        assert_eq!(parse_segment_file_name("segment-0000000x.wlog"), None);
+        assert_eq!(parse_segment_file_name("other.wlog"), None);
+        assert_eq!(parse_segment_file_name("segment-00000007.wlog.tmp"), None);
+    }
+
+    #[test]
+    fn append_and_read_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let mut w = SegmentWriter::create(&dir, 0).unwrap();
+        assert!(w.is_empty());
+        w.append(b"first").unwrap();
+        w.append(&[0xAB; 300]).unwrap();
+        w.sync().unwrap();
+        assert_eq!(w.len(), SEGMENT_HEADER_LEN + 2 * BATCH_HEADER_LEN + 5 + 300);
+
+        let scan = read_segment(w.path()).unwrap();
+        assert_eq!(scan.index, 0);
+        assert!(!scan.is_torn());
+        assert_eq!(scan.clean_len, w.len());
+        assert_eq!(scan.batches, vec![b"first".to_vec(), vec![0xAB; 300]]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_torn_tail_cut_point_drops_only_the_last_batch() {
+        let dir = tmp_dir("torn");
+        let mut w = SegmentWriter::create(&dir, 0).unwrap();
+        w.append(b"keep-me").unwrap();
+        w.append(b"torn-away").unwrap();
+        w.sync().unwrap();
+        let full = std::fs::read(w.path()).unwrap();
+        let clean_prefix = SEGMENT_HEADER_LEN as usize + BATCH_HEADER_LEN as usize + 7;
+
+        for cut in clean_prefix..full.len() {
+            std::fs::write(w.path(), &full[..cut]).unwrap();
+            let scan = read_segment(w.path()).unwrap();
+            assert_eq!(scan.batches, vec![b"keep-me".to_vec()], "cut at {cut}");
+            assert_eq!(scan.clean_len, clean_prefix as u64, "cut at {cut}");
+            assert_eq!(scan.is_torn(), cut > clean_prefix, "cut at {cut}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crc_damage_ends_the_clean_prefix() {
+        let dir = tmp_dir("crc");
+        let mut w = SegmentWriter::create(&dir, 0).unwrap();
+        w.append(b"good").unwrap();
+        w.append(b"flipped").unwrap();
+        w.sync().unwrap();
+        let mut bytes = std::fs::read(w.path()).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(w.path(), &bytes).unwrap();
+        let scan = read_segment(w.path()).unwrap();
+        assert_eq!(scan.batches, vec![b"good".to_vec()]);
+        assert!(scan.is_torn());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_truncates_the_torn_tail_before_appending() {
+        let dir = tmp_dir("resume");
+        let mut w = SegmentWriter::create(&dir, 0).unwrap();
+        w.append(b"stable").unwrap();
+        w.sync().unwrap();
+        let path = w.path().to_path_buf();
+        let clean = w.len();
+        drop(w);
+        // Simulate a torn append past the clean prefix.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[9, 0, 0, 0, 1, 2]); // half a batch header + garbage
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut w = SegmentWriter::resume(&path, 0, clean).unwrap();
+        w.append(b"after-crash").unwrap();
+        w.sync().unwrap();
+        let scan = read_segment(&path).unwrap();
+        assert_eq!(
+            scan.batches,
+            vec![b"stable".to_vec(), b"after-crash".to_vec()]
+        );
+        assert!(!scan.is_torn());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn header_validation_is_strict() {
+        let dir = tmp_dir("header");
+        let path = dir.join(segment_file_name(0));
+        std::fs::write(&path, b"short").unwrap();
+        assert!(matches!(
+            read_segment(&path),
+            Err(CkptError::Truncated { .. })
+        ));
+        std::fs::write(&path, b"NOTAWLOGxxxxxxxxxxxx").unwrap();
+        assert!(matches!(
+            read_segment(&path),
+            Err(CkptError::BadMagic { .. })
+        ));
+        let mut h = encode_header(0).to_vec();
+        h[8] = 99;
+        std::fs::write(&path, &h).unwrap();
+        assert!(matches!(
+            read_segment(&path),
+            Err(CkptError::UnsupportedVersion { found: 99, .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_dir_sorts_checks_contiguity_and_separates_tmp() {
+        let dir = tmp_dir("scan");
+        SegmentWriter::create(&dir, 0).unwrap();
+        SegmentWriter::create(&dir, 1).unwrap();
+        std::fs::write(dir.join("segment-00000002.wlog.tmp"), b"partial").unwrap();
+        std::fs::write(dir.join("notes.txt"), b"ignored").unwrap();
+        let scan = scan_dir(&dir).unwrap();
+        assert_eq!(
+            scan.segments.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert_eq!(scan.tmp_files.len(), 1);
+
+        std::fs::remove_file(dir.join(segment_file_name(1))).unwrap();
+        SegmentWriter::create(&dir, 2).unwrap();
+        assert!(matches!(scan_dir(&dir), Err(CkptError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_to_overwrite() {
+        let dir = tmp_dir("overwrite");
+        SegmentWriter::create(&dir, 0).unwrap();
+        assert!(matches!(
+            SegmentWriter::create(&dir, 0),
+            Err(CkptError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

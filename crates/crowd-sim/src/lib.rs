@@ -78,8 +78,8 @@ pub use features::FeatureSpace;
 pub use generator::{perturb_worker_qualities, resample_arrivals, SimConfig};
 pub use platform::{Arrival, Platform};
 pub use policy::{
-    Action, ArrivalContext, BatchedPolicy, BoxedPolicy, LearnerBranchTiming, LearnerTiming, Policy,
-    PolicyFeedback, TaskSnapshot,
+    Action, ArrivalContext, BatchedPolicy, BoxedBatchedPolicy, BoxedPolicy, LearnerBranchTiming,
+    LearnerTiming, Policy, PolicyFeedback, TaskSnapshot,
 };
 pub use quality::{dixit_stiglitz, quality_gain};
 pub use stats::{

@@ -400,6 +400,11 @@ pub trait Policy {
 /// nothing.
 pub type BoxedPolicy = Box<dyn Policy + Send>;
 
+/// An owned, thread-movable batched policy — the handle the `crowd-serve` batch worker
+/// holds behind its serving loop (the server thread owns the policy outright; clients
+/// only ever talk to it through the ingress queue, so no lock is involved).
+pub type BoxedBatchedPolicy = Box<dyn BatchedPolicy + Send>;
+
 /// A policy that can decide on `N` arrivals (one per live simulation) in a single call —
 /// the entry point batched Q-network inference plugs into.
 ///

@@ -18,9 +18,12 @@
 //! uninterrupted one (the contract of `tests/checkpoint_equivalence.rs`). Methods whose
 //! policies do not implement checkpointing (`Policy::checkpoint_state`) run without
 //! mid-replay snapshots; a policy-boundary snapshot is still written after each method
-//! so a resume never repeats finished methods. The serial-twin speedup column is
-//! disabled while checkpointing is active (the twin replay would double the snapshot
-//! bookkeeping for a diagnostic column).
+//! so a resume never repeats finished methods. The serial-twin speedup column stays
+//! enabled with `--checkpoint-every` as long as no mid-replay snapshot actually fires
+//! during a method's run — only when one does (so the pooled wall clock includes
+//! snapshot bookkeeping the twin would not pay), or when the run is a mid-replay
+//! resume's tail, is that method's speedup cell "-" (an incomparable measurement is
+//! worse than no measurement).
 
 use crowd_baselines::Benefit;
 use crowd_ckpt::{CkptError, Snapshot, SnapshotFile, StateWriter};
@@ -103,21 +106,26 @@ fn write_boundary(opts: &CkptOptions, next_policy: usize, rows: &[Vec<String>]) 
 }
 
 /// Steps one replay to completion, snapshotting every `opts.every` evaluated arrivals
-/// when the policy supports it. `session` may arrive mid-replay (resume).
+/// when the policy supports it. `session` may arrive mid-replay (resume). The second
+/// return says whether any mid-replay snapshot was actually attempted — when none fired
+/// (short run, large `--checkpoint-every`), the measured wall clock carried no snapshot
+/// bookkeeping and the serial-twin speedup comparison is still fair.
 fn run_checkpointed(
     mut session: Session,
     policy: &mut BoxedPolicy,
     opts: &CkptOptions,
     policy_index: usize,
     rows: &[Vec<String>],
-) -> crowd_experiments::RunOutcome {
+) -> (crowd_experiments::RunOutcome, bool) {
     // `--resume` without `--checkpoint-every` is legal (finish the sweep, write no
     // further snapshots): saturate so `resumed arrivals + MAX` cannot overflow.
     let every = opts.every.unwrap_or(usize::MAX);
     let mut supported = true;
+    let mut fired = false;
     let mut next_checkpoint_at = session.evaluated_arrivals().saturating_add(every);
     while session.step(policy.as_mut()) {
         if supported && session.evaluated_arrivals() >= next_checkpoint_at {
+            fired = true;
             let mut snap = Snapshot::new();
             snap.put_raw("table1.meta", encode_meta(policy_index, rows));
             match session.checkpoint_into(policy.as_ref(), &mut snap, "") {
@@ -138,7 +146,7 @@ fn run_checkpointed(
             next_checkpoint_at = session.evaluated_arrivals().saturating_add(every);
         }
     }
-    session.finish(policy.name())
+    (session.finish(policy.name()), fired)
 }
 
 fn main() {
@@ -183,30 +191,14 @@ fn main() {
         },
     };
 
-    // A second, identically constructed line-up serves as the serial wall-clock baseline
-    // for the speedup column — only built when there is a multi-thread pool to compare
-    // against (the twins carry full Q-networks and replay buffers) and checkpointing is
-    // off (see the module docs).
     let pooled_lineup = policies_for_benefit(&dataset, Benefit::Worker, scale);
-    let serial_twins: Vec<Option<_>> = if pool.is_serial() || opts.active() {
-        pooled_lineup.iter().map(|_| None).collect()
-    } else {
-        policies_for_benefit(&dataset, Benefit::Worker, scale)
-            .into_iter()
-            .map(Some)
-            .collect()
-    };
 
-    for (index, (mut policy, serial_twin)) in pooled_lineup
-        .into_iter()
-        .zip(serial_twins)
-        .enumerate()
-        .skip(first_policy)
-    {
+    for (index, mut policy) in pooled_lineup.into_iter().enumerate().skip(first_policy) {
         eprintln!("running {} ...", policy.name());
         policy.set_thread_pool(pool);
+        let mut resumed_mid_replay = false;
         let started = Instant::now();
-        let outcome = if opts.active() {
+        let (outcome, checkpoint_fired) = if opts.active() {
             let mut session = Session::for_dataset(&dataset, &cfg);
             if index == first_policy {
                 if let Some(file) = resume_file.as_ref().filter(|f| f.contains("session")) {
@@ -218,14 +210,28 @@ fn main() {
                         "  continuing mid-replay at {} evaluated arrivals",
                         session.evaluated_arrivals()
                     );
+                    resumed_mid_replay = true;
                 }
             }
             run_checkpointed(session, &mut policy, &opts, index, &rows)
         } else {
-            run_policy(&dataset, policy.as_mut(), &cfg)
+            (run_policy(&dataset, policy.as_mut(), &cfg), false)
         };
         let pooled_wall = started.elapsed();
 
+        // The serial wall-clock twin for the speedup column, built lazily only once the
+        // pooled run is known to be comparable: there must be a multi-thread pool to
+        // compare against, the pooled wall clock must not include snapshot bookkeeping
+        // (no mid-replay snapshot fired — `--checkpoint-every` merely being set is fine),
+        // and it must cover the whole replay (not a mid-replay resume's tail).
+        let comparable = !pool.is_serial() && !checkpoint_fired && !resumed_mid_replay;
+        let serial_twin = if comparable {
+            policies_for_benefit(&dataset, Benefit::Worker, scale)
+                .into_iter()
+                .nth(index)
+        } else {
+            None
+        };
         let speedup_column = match serial_twin {
             None => "-".to_string(),
             Some(mut twin) => {

@@ -1,0 +1,93 @@
+//! Long-lived dedicated worker threads, complementing the scoped [`ThreadPool`].
+//!
+//! The pool in this crate is *ephemeral* by design: every `par_chunks`/`par_join` call
+//! opens a scope, borrows the caller's data and joins before returning. That shape fits
+//! compute bursts, but an online serving loop is the opposite — one thread that lives
+//! for the whole process, owns mutable state outright (the policy, the decision log)
+//! and blocks on an ingress queue between bursts. [`spawn_dedicated`] is the
+//! workspace-standard way to start such a thread:
+//!
+//! * the thread is **named** (`crowd-<name>`), so profilers, `top -H` and panic
+//!   messages attribute its work;
+//! * it gets a **fixed large stack** ([`DEDICATED_STACK_BYTES`]): the serve batch
+//!   worker runs packed Q-network forward passes whose autograd graphs recurse, and a
+//!   dedicated thread must not depend on the platform's default-stack lottery;
+//! * it is the **anchor for processor affinity**: `std` exposes no pinning API and the
+//!   offline container has no `libc` crate, so true core pinning is not available here —
+//!   but because the batch worker is one long-lived named thread (rather than work
+//!   hopping across a pool), the OS scheduler already keeps it cache-warm on one core,
+//!   and an operator can pin it externally (`taskset -p`) by name.
+//!
+//! The spawned closure still owns its data (`'static` + `Send`); communicate with the
+//! thread through channels and collect its final value through the returned
+//! [`JoinHandle`]. Inside the thread, nested [`ThreadPool`] calls work as usual — the
+//! serve batch worker hands its pool to the policy so one micro-batch forward pass can
+//! itself shard across cores.
+//!
+//! [`ThreadPool`]: crate::ThreadPool
+
+use std::thread::JoinHandle;
+
+/// Stack reserved for dedicated workers (16 MiB — deep autograd graphs plus headroom).
+pub const DEDICATED_STACK_BYTES: usize = 16 * 1024 * 1024;
+
+/// Spawns a named, large-stack, long-lived worker thread running `f` to completion.
+///
+/// The thread is named `crowd-<name>`; names longer than the platform limit (15 bytes
+/// on Linux) are truncated by the OS, so keep `name` short. Returns the ordinary
+/// [`JoinHandle`]; a panic inside `f` surfaces at `join` exactly like
+/// [`std::thread::spawn`].
+///
+/// # Errors
+///
+/// Propagates the OS error when the thread cannot be created (resource exhaustion).
+///
+/// # Examples
+///
+/// ```
+/// let handle = crowd_parallel::spawn_dedicated("doc-worker", || 6 * 7).unwrap();
+/// assert_eq!(handle.join().unwrap(), 42);
+/// ```
+pub fn spawn_dedicated<T, F>(name: &str, f: F) -> std::io::Result<JoinHandle<T>>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("crowd-{name}"))
+        .stack_size(DEDICATED_STACK_BYTES)
+        .spawn(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_is_named_and_returns_its_value() {
+        let handle = spawn_dedicated("test-w", || {
+            std::thread::current().name().map(str::to_string)
+        })
+        .unwrap();
+        let name = handle.join().unwrap();
+        assert_eq!(name.as_deref(), Some("crowd-test-w"));
+    }
+
+    #[test]
+    fn worker_panic_surfaces_at_join() {
+        let handle = spawn_dedicated("test-p", || panic!("boom")).unwrap();
+        assert!(handle.join().is_err());
+    }
+
+    #[test]
+    fn nested_pool_calls_work_inside_a_dedicated_thread() {
+        let handle = spawn_dedicated("test-n", || {
+            let pool = crate::ThreadPool::new(3);
+            let mut xs = [1u64, 2, 3, 4, 5];
+            let sums = pool.par_chunks(&mut xs, 1, |_off, chunk| chunk.iter().sum::<u64>());
+            sums.iter().sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(handle.join().unwrap(), 15);
+    }
+}

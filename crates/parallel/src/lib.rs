@@ -58,6 +58,10 @@
 //! assert_eq!((a, b), (4, 4));
 //! ```
 
+pub mod dedicated;
+
+pub use dedicated::{spawn_dedicated, DEDICATED_STACK_BYTES};
+
 use std::num::NonZeroUsize;
 
 /// A deterministic scoped-thread worker pool handle.

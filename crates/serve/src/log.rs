@@ -1,0 +1,524 @@
+//! The durable decision log: typed records over the `crowd-ckpt` WAL framing.
+//!
+//! Every committed serving round appends **one record batch** (group commit): first the
+//! round's feedback records in ingress order (feedbacks are observed before the round's
+//! decisions — see `crowd_serve::server`), then its decision records in commit order.
+//! The byte format
+//! is specified in `docs/DECISION_LOG_FORMAT.md` at the repository root; the segment
+//! framing (magic, version, CRC-32 per batch, atomic rotation, torn-tail detection)
+//! lives in [`crowd_ckpt::wal`], and this module owns what goes *inside* a batch.
+//!
+//! A record stores everything deterministic re-execution needs and nothing more: the
+//! full [`ArrivalContext`] a decision was made on (so replay can call the policy again
+//! and check it reproduces the logged ranking) and the full [`PolicyFeedback`] of every
+//! ingested online-learning tick. The policy's parameters are **never** logged — they
+//! are a pure function of the initial state plus the logged event order, which is
+//! exactly what makes a crashed server's replay bit-identical to the uninterrupted run.
+
+use crate::error::{Result, ServeError};
+use crowd_ckpt::wal::{self, SegmentWriter};
+use crowd_ckpt::{CkptError, DecodeState, SaveState, StateReader, StateWriter};
+use crowd_sim::{ArrivalContext, PolicyFeedback, TaskId};
+use std::path::{Path, PathBuf};
+
+/// Record tag: a committed decision (request id, arrival context, ranking).
+const TAG_DECISION: u8 = 1;
+/// Record tag: an ingested feedback (request id, feedback payload).
+const TAG_FEEDBACK: u8 = 2;
+
+/// One committed serving event, in the log's total commit order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    /// The server decided on an arrival: `shown`/`assignment` is the ranking the policy
+    /// produced for `context` and acknowledged to the client as request `request_id`.
+    Decision {
+        /// Server-assigned id, strictly increasing in commit order.
+        request_id: u64,
+        /// The owned arrival the decision was computed on.
+        context: ArrivalContext,
+        /// The ranked task list returned to the client.
+        shown: Vec<TaskId>,
+        /// True when the decision was a single assignment rather than a ranking.
+        assignment: bool,
+    },
+    /// The server ingested feedback for an earlier decision and ticked the policy's
+    /// online learning (`Policy::observe`).
+    Feedback {
+        /// The decision this feedback refers to.
+        request_id: u64,
+        /// The feedback payload handed to `observe`.
+        feedback: PolicyFeedback,
+    },
+}
+
+impl SaveState for LogRecord {
+    fn save_state(&self, w: &mut StateWriter) {
+        match self {
+            LogRecord::Decision {
+                request_id,
+                context,
+                shown,
+                assignment,
+            } => {
+                w.put_u8(TAG_DECISION);
+                w.put_u64(*request_id);
+                context.save_state(w);
+                shown.save_state(w);
+                w.put_bool(*assignment);
+            }
+            LogRecord::Feedback {
+                request_id,
+                feedback,
+            } => {
+                w.put_u8(TAG_FEEDBACK);
+                w.put_u64(*request_id);
+                feedback.save_state(w);
+            }
+        }
+    }
+}
+
+impl DecodeState for LogRecord {
+    fn decode_state(r: &mut StateReader<'_>) -> crowd_ckpt::Result<Self> {
+        match r.take_u8()? {
+            TAG_DECISION => Ok(LogRecord::Decision {
+                request_id: r.take_u64()?,
+                context: ArrivalContext::decode_state(r)?,
+                shown: Vec::<TaskId>::decode_state(r)?,
+                assignment: r.take_bool()?,
+            }),
+            TAG_FEEDBACK => Ok(LogRecord::Feedback {
+                request_id: r.take_u64()?,
+                feedback: PolicyFeedback::decode_state(r)?,
+            }),
+            tag => Err(CkptError::Corrupt {
+                what: "decision log record",
+                detail: format!("unknown record tag {tag}"),
+            }),
+        }
+    }
+}
+
+impl LogRecord {
+    /// The request id this record refers to.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            LogRecord::Decision { request_id, .. } | LogRecord::Feedback { request_id, .. } => {
+                *request_id
+            }
+        }
+    }
+}
+
+/// Encodes one committed round as a record-batch payload (`record count` then the
+/// records back to back).
+pub fn encode_batch(records: &[LogRecord]) -> Vec<u8> {
+    let mut w = StateWriter::new();
+    w.put_usize(records.len());
+    for record in records {
+        record.save_state(&mut w);
+    }
+    w.into_bytes()
+}
+
+/// Decodes one record-batch payload, enforcing exact consumption.
+pub fn decode_batch(payload: &[u8]) -> crowd_ckpt::Result<Vec<LogRecord>> {
+    let mut r = StateReader::new(payload);
+    let count = r.take_len("decision log records", 1)?;
+    let records = (0..count)
+        .map(|_| LogRecord::decode_state(&mut r))
+        .collect::<crowd_ckpt::Result<Vec<_>>>()?;
+    r.finish("decision log record batch")?;
+    Ok(records)
+}
+
+/// Where and how durably the decision log is written.
+#[derive(Debug, Clone)]
+pub struct LogConfig {
+    /// Directory holding the segment files (created if absent).
+    pub dir: PathBuf,
+    /// Rotation threshold: a new segment is opened before the first append that finds
+    /// the current one at or past this many bytes. A segment therefore always holds at
+    /// least one batch, whatever the threshold.
+    pub segment_bytes: u64,
+    /// `fdatasync` after every appended batch (the default). The server acknowledges a
+    /// round's clients only after the append returns, so with this on an acknowledged
+    /// decision is durable — the contract recovery relies on. Turning it off trades
+    /// that guarantee for throughput (the OS flushes on its own schedule).
+    pub sync_every_batch: bool,
+}
+
+impl LogConfig {
+    /// A log in `dir` with an 8 MiB rotation threshold and per-batch sync.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        LogConfig {
+            dir: dir.into(),
+            segment_bytes: 8 * 1024 * 1024,
+            sync_every_batch: true,
+        }
+    }
+}
+
+/// What `DecisionLog::recover` found and repaired on disk.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct LogRecovery {
+    /// Segments present (after ignoring `.tmp` leftovers).
+    pub segments: usize,
+    /// Complete, CRC-verified record batches replayed.
+    pub batches: usize,
+    /// Bytes of torn tail truncated off the final segment (0 for a clean log). A torn
+    /// tail was never acknowledged to any client, so dropping it loses nothing.
+    pub truncated_bytes: u64,
+    /// Leftover `.tmp` files from an interrupted segment rotation, deleted.
+    pub removed_tmp: usize,
+}
+
+/// The append side of the durable decision log.
+#[derive(Debug)]
+pub struct DecisionLog {
+    config: LogConfig,
+    writer: SegmentWriter,
+    batches: u64,
+    rotations: u64,
+}
+
+impl DecisionLog {
+    /// Creates a fresh log: the directory is created if needed, stale `.tmp` files are
+    /// removed, and segment 0 is opened. Fails with [`ServeError::LogNotEmpty`] when
+    /// segments already exist — appending a fresh history over an old one would fork
+    /// the log; use [`DecisionLog::recover`] to continue it instead.
+    pub fn create(config: LogConfig) -> Result<DecisionLog> {
+        std::fs::create_dir_all(&config.dir)?;
+        let scan = wal::scan_dir(&config.dir)?;
+        if !scan.segments.is_empty() {
+            return Err(ServeError::LogNotEmpty {
+                dir: config.dir.clone(),
+            });
+        }
+        for tmp in &scan.tmp_files {
+            let _ = std::fs::remove_file(tmp);
+        }
+        let writer = SegmentWriter::create(&config.dir, 0)?;
+        Ok(DecisionLog {
+            config,
+            writer,
+            batches: 0,
+            rotations: 0,
+        })
+    }
+
+    /// Opens an existing log for appending, returning every committed record in commit
+    /// order plus what was repaired: `.tmp` rotation leftovers are deleted, a torn tail
+    /// on the **final** segment is truncated away (it was never acknowledged), and a
+    /// torn tail on any *sealed* (non-final) segment is an error — those bytes were
+    /// synced before the next segment opened, so damage there is real corruption that
+    /// replay must not paper over. An empty or absent directory recovers to a fresh log.
+    pub fn recover(config: LogConfig) -> Result<(DecisionLog, Vec<LogRecord>, LogRecovery)> {
+        std::fs::create_dir_all(&config.dir)?;
+        let scan = wal::scan_dir(&config.dir)?;
+        let mut recovery = LogRecovery::default();
+        for tmp in &scan.tmp_files {
+            std::fs::remove_file(tmp)?;
+            recovery.removed_tmp += 1;
+        }
+        if scan.segments.is_empty() {
+            let writer = SegmentWriter::create(&config.dir, 0)?;
+            let log = DecisionLog {
+                config,
+                writer,
+                batches: 0,
+                rotations: 0,
+            };
+            return Ok((log, Vec::new(), recovery));
+        }
+        recovery.segments = scan.segments.len();
+        let records = read_segments(&scan.segments, &mut recovery)?;
+        let (last_index, last_path) = scan.segments.last().expect("non-empty");
+        let last = wal::read_segment(last_path)?;
+        let writer = SegmentWriter::resume(last_path, *last_index, last.clean_len)?;
+        let rotations = *last_index;
+        let batches = recovery.batches as u64;
+        let log = DecisionLog {
+            config,
+            writer,
+            batches,
+            rotations,
+        };
+        Ok((log, records, recovery))
+    }
+
+    /// Read-only scan of a log directory (tests, offline tooling): the committed
+    /// records in commit order, with the same torn-tail policy as
+    /// [`DecisionLog::recover`] but touching nothing on disk.
+    pub fn read(dir: &Path) -> Result<Vec<LogRecord>> {
+        let scan = wal::scan_dir(dir)?;
+        let mut recovery = LogRecovery::default();
+        read_segments(&scan.segments, &mut recovery)
+    }
+
+    /// Appends one committed round as a single record batch, rotating to a new segment
+    /// first when the current one is past the threshold. With
+    /// [`LogConfig::sync_every_batch`] the batch is durable when this returns.
+    pub fn append(&mut self, records: &[LogRecord]) -> Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        if self.writer.len() >= self.config.segment_bytes && !self.writer.is_empty() {
+            // Seal the full segment (make its tail durable), then rotate atomically.
+            self.writer.sync()?;
+            let next = self.writer.index() + 1;
+            self.writer = SegmentWriter::create(&self.config.dir, next)?;
+            self.rotations += 1;
+        }
+        self.writer.append(&encode_batch(records))?;
+        if self.config.sync_every_batch {
+            self.writer.sync()?;
+        }
+        self.batches += 1;
+        Ok(())
+    }
+
+    /// Forces everything appended so far to disk (used at graceful shutdown and by
+    /// callers running with `sync_every_batch` off).
+    pub fn sync(&mut self) -> Result<()> {
+        self.writer.sync()?;
+        Ok(())
+    }
+
+    /// Record batches appended over this log's whole on-disk history.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Segment rotations performed over this log's whole on-disk history.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+}
+
+/// Decodes every committed record of the given segments in order, enforcing the
+/// torn-tail policy (only the final segment may be torn).
+fn read_segments(
+    segments: &[(u64, PathBuf)],
+    recovery: &mut LogRecovery,
+) -> Result<Vec<LogRecord>> {
+    let mut records = Vec::new();
+    let last_pos = segments.len().saturating_sub(1);
+    for (pos, (index, path)) in segments.iter().enumerate() {
+        let segment = wal::read_segment(path)?;
+        if segment.index != *index {
+            return Err(ServeError::Log {
+                detail: format!(
+                    "{} claims segment index {} in its header",
+                    path.display(),
+                    segment.index
+                ),
+            });
+        }
+        if segment.is_torn() {
+            if pos != last_pos {
+                return Err(ServeError::Log {
+                    detail: format!(
+                        "sealed segment {} has a torn tail ({} bytes) — corruption, not a crash artifact",
+                        path.display(),
+                        segment.torn_bytes
+                    ),
+                });
+            }
+            recovery.truncated_bytes = segment.torn_bytes;
+        }
+        recovery.batches += segment.batches.len();
+        for payload in &segment.batches {
+            records.extend(decode_batch(payload)?);
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_sim::{TaskSnapshot, WorkerId};
+
+    fn context(tag: u32) -> ArrivalContext {
+        ArrivalContext {
+            time: 100 + tag as u64,
+            worker_id: WorkerId(tag),
+            worker_feature: vec![0.5, tag as f32],
+            worker_quality: 0.75,
+            is_new_worker: tag == 0,
+            available: (0..3)
+                .map(|i| TaskSnapshot {
+                    id: TaskId(10 * tag + i),
+                    feature: vec![i as f32, 1.0],
+                    quality: 0.25 * i as f32,
+                    award: 9.0,
+                    category: 1,
+                    domain: 2,
+                    deadline: 500,
+                    completions: i as usize,
+                })
+                .collect(),
+        }
+    }
+
+    fn feedback(tag: u32) -> PolicyFeedback {
+        PolicyFeedback {
+            time: 100 + tag as u64,
+            worker_id: WorkerId(tag),
+            worker_quality: 0.75,
+            shown: vec![TaskId(10 * tag), TaskId(10 * tag + 1)],
+            completed: Some((TaskId(10 * tag), 0)),
+            quality_gain: 0.125,
+            worker_feature_before: vec![0.5, tag as f32],
+            worker_feature_after: vec![0.25, tag as f32],
+        }
+    }
+
+    fn sample_records(n: u32) -> Vec<LogRecord> {
+        (0..n)
+            .flat_map(|tag| {
+                [
+                    LogRecord::Decision {
+                        request_id: 2 * tag as u64,
+                        context: context(tag),
+                        shown: vec![TaskId(10 * tag + 1), TaskId(10 * tag)],
+                        assignment: tag % 2 == 0,
+                    },
+                    LogRecord::Feedback {
+                        request_id: 2 * tag as u64,
+                        feedback: feedback(tag),
+                    },
+                ]
+            })
+            .collect()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("crowd-declog-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn record_batch_roundtrips() {
+        let records = sample_records(3);
+        let payload = encode_batch(&records);
+        assert_eq!(decode_batch(&payload).unwrap(), records);
+        assert!(decode_batch(&payload[..payload.len() - 1]).is_err());
+        let mut bad = payload.clone();
+        bad[8] = 99; // first record tag
+        assert!(matches!(decode_batch(&bad), Err(CkptError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn create_append_read_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let mut log = DecisionLog::create(LogConfig::new(&dir)).unwrap();
+        let records = sample_records(2);
+        log.append(&records[..2]).unwrap();
+        log.append(&records[2..]).unwrap();
+        log.append(&[]).unwrap(); // no-op, not a batch
+        assert_eq!(log.batches(), 2);
+        assert_eq!(DecisionLog::read(&dir).unwrap(), records);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_an_existing_history() {
+        let dir = tmp_dir("not-empty");
+        let mut log = DecisionLog::create(LogConfig::new(&dir)).unwrap();
+        log.append(&sample_records(1)).unwrap();
+        drop(log);
+        assert!(matches!(
+            DecisionLog::create(LogConfig::new(&dir)),
+            Err(ServeError::LogNotEmpty { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tiny_threshold_rotates_per_batch_and_recovers_across_segments() {
+        let dir = tmp_dir("rotate");
+        let mut config = LogConfig::new(&dir);
+        config.segment_bytes = 1; // every append past the first batch rotates
+        let mut log = DecisionLog::create(config.clone()).unwrap();
+        let records = sample_records(4);
+        for pair in records.chunks(2) {
+            log.append(pair).unwrap();
+        }
+        assert_eq!(log.rotations(), 3);
+        drop(log);
+
+        let (log, replayed, recovery) = DecisionLog::recover(config).unwrap();
+        assert_eq!(replayed, records);
+        assert_eq!(recovery.segments, 4);
+        assert_eq!(recovery.batches, 4);
+        assert_eq!(recovery.truncated_bytes, 0);
+        assert_eq!(log.rotations(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_truncates_only_a_final_torn_tail() {
+        let dir = tmp_dir("torn");
+        let mut log = DecisionLog::create(LogConfig::new(&dir)).unwrap();
+        let records = sample_records(2);
+        log.append(&records[..2]).unwrap();
+        log.append(&records[2..]).unwrap();
+        drop(log);
+        // Tear the final batch: chop a few payload bytes off the single segment.
+        let seg = dir.join(wal::segment_file_name(0));
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+
+        let (mut log, replayed, recovery) = DecisionLog::recover(LogConfig::new(&dir)).unwrap();
+        assert_eq!(replayed, records[..2].to_vec());
+        assert!(recovery.truncated_bytes > 0);
+        // The log continues cleanly after the truncation.
+        log.append(&records[2..]).unwrap();
+        drop(log);
+        assert_eq!(DecisionLog::read(&dir).unwrap(), records);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_rejects_a_torn_sealed_segment() {
+        let dir = tmp_dir("sealed");
+        let mut config = LogConfig::new(&dir);
+        config.segment_bytes = 1;
+        let mut log = DecisionLog::create(config.clone()).unwrap();
+        let records = sample_records(2);
+        log.append(&records[..2]).unwrap();
+        log.append(&records[2..]).unwrap(); // rotates: segment 0 is now sealed
+        drop(log);
+        let seg0 = dir.join(wal::segment_file_name(0));
+        let bytes = std::fs::read(&seg0).unwrap();
+        std::fs::write(&seg0, &bytes[..bytes.len() - 1]).unwrap();
+        assert!(matches!(
+            DecisionLog::recover(config),
+            Err(ServeError::Log { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_removes_rotation_leftovers_and_fresh_dir_is_empty() {
+        let dir = tmp_dir("tmp-files");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("segment-00000000.wlog.tmp"), b"half a header").unwrap();
+        let (mut log, records, recovery) = DecisionLog::recover(LogConfig::new(&dir)).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(recovery.removed_tmp, 1);
+        assert_eq!(recovery.segments, 0);
+        log.append(&sample_records(1)).unwrap();
+        drop(log);
+        assert_eq!(DecisionLog::read(&dir).unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,924 @@
+//! The decision server: bounded ingress, a dedicated micro-batching worker, group
+//! commit to the decision log, and replay-based crash recovery.
+//!
+//! # Call chain
+//!
+//! ```text
+//! client threads                 batch worker (one dedicated thread)
+//! ──────────────                 ───────────────────────────────────
+//! Client::decide(ctx) ──┐
+//! Client::decide(ctx) ──┼──► bounded sync_channel ──► drain ≤ max_batch within
+//! Client::feedback(..) ─┘    (backpressure)           batch_window
+//!                                                        │
+//!                                              Policy::observe per queued feedback
+//!                                              (online learning ticks, FIFO)
+//!                                                        │
+//!                                              one BatchedPolicy::act_batch
+//!                                              over every drained arrival
+//!                                                        │
+//!                                              DecisionLog::append + sync
+//!                                              (group commit, one batch/round)
+//!                                                        │
+//!                                              ack every caller
+//! ```
+//!
+//! # Backpressure contract
+//!
+//! The ingress queue holds at most [`ServeConfig::queue_capacity`] requests.
+//! [`Client::decide`] and [`Client::feedback`] **block** when it is full — arrival
+//! producers slow to the server's drain rate instead of ballooning memory.
+//! [`Client::try_decide`] fails fast with [`ServeError::Saturated`] instead, which is
+//! what the saturation benches probe. The worker drains at most
+//! [`ServeConfig::max_batch`] decisions per round and closes a round early when
+//! [`ServeConfig::batch_window`] elapses, bounding the queueing delay any single
+//! arrival can be charged while waiting for co-batched neighbours.
+//!
+//! # Determinism and the ack barrier
+//!
+//! A round is committed in a fixed order: the round's queued feedback ticks first
+//! (`observe`, in arrival order — a feedback always entered the queue before any
+//! decide it shares a round with, so applying it first makes execution order a
+//! function of queue order alone, independent of batch boundaries), then one
+//! `act_batch` over the round's arrivals (every view evaluated against the
+//! post-tick parameters — the `BatchedPolicy` contract), then one durable log append
+//! of the round's records, then the client acks. Clients are only acknowledged
+//! **after** the append returns, so every decision a client ever saw is in the log,
+//! and the log's record order *is* the policy's execution order — which is why
+//! [`replay_records`] can re-execute it and land on bit-identical state.
+
+use crate::error::{Result, ServeError};
+use crate::log::{DecisionLog, LogRecord, LogRecovery};
+use crowd_parallel::{spawn_dedicated, ThreadPool};
+use crowd_sim::{
+    Action, ArrivalContext, BatchedPolicy, BoxedBatchedPolicy, Decision, PolicyFeedback, TaskId,
+};
+use std::collections::BTreeMap;
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Capacity of the bounded ingress queue (the backpressure bound).
+    pub queue_capacity: usize,
+    /// Most decisions coalesced into one `act_batch` round.
+    pub max_batch: usize,
+    /// How long the worker waits for co-batched arrivals after the first request of a
+    /// round before committing what it has.
+    pub batch_window: Duration,
+    /// Pool handed to the policy for intra-batch parallelism (packed forward passes);
+    /// the serving loop itself stays single-threaded and deterministic.
+    pub pool: ThreadPool,
+    /// Decision-log destination; `None` serves without durability (benches probing
+    /// pure decision latency).
+    pub log: Option<crate::log::LogConfig>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 1024,
+            max_batch: 64,
+            batch_window: Duration::from_micros(200),
+            pool: ThreadPool::serial(),
+            log: None,
+        }
+    }
+}
+
+/// A ranked decision acknowledged to a client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeDecision {
+    /// Server-assigned id; hand it back with [`Client::feedback`].
+    pub request_id: u64,
+    /// The ranked task list, best first (one element for an assignment).
+    pub shown: Vec<TaskId>,
+    /// True when the policy assigned a single task rather than ranking the pool.
+    pub assignment: bool,
+}
+
+impl ServeDecision {
+    /// The owned [`Action`] equivalent of this decision.
+    pub fn action(&self) -> Action {
+        if self.assignment {
+            Action::Assign(self.shown[0])
+        } else {
+            Action::Rank(self.shown.clone())
+        }
+    }
+}
+
+/// Counters the batch worker hands back at shutdown.
+#[derive(Debug, Default, Clone)]
+pub struct ServeReport {
+    /// Decisions committed and acknowledged.
+    pub decisions: u64,
+    /// Feedback ticks ingested (each one `Policy::observe`).
+    pub feedbacks: u64,
+    /// Feedbacks dropped because their request id was unknown or already consumed.
+    pub unknown_feedbacks: u64,
+    /// Committed rounds (each at most one log batch).
+    pub rounds: u64,
+    /// Largest number of decisions coalesced into one round.
+    pub max_round_decisions: usize,
+    /// Record batches appended to the decision log.
+    pub log_batches: u64,
+    /// Segment rotations performed by the decision log.
+    pub log_rotations: u64,
+    /// Set when the worker stopped serving because the decision log failed.
+    pub log_error: Option<String>,
+}
+
+impl ServeReport {
+    /// Mean decisions per committed round — the achieved micro-batch occupancy.
+    pub fn mean_round_decisions(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.decisions as f64 / self.rounds as f64
+        }
+    }
+}
+
+/// What [`Server::recover`] replayed before serving resumed.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Decision records re-executed (each one `act`, checked against the log).
+    pub replayed_decisions: u64,
+    /// Feedback records re-executed (each one `observe`).
+    pub replayed_feedbacks: u64,
+    /// Decisions still awaiting feedback after replay.
+    pub pending_after_replay: usize,
+    /// What the log layer found and repaired on disk.
+    pub log: LogRecovery,
+}
+
+/// The server state that is a pure function of the logged event order.
+#[derive(Debug, Default)]
+pub struct ReplayedState {
+    /// Next request id to assign (max logged id + 1).
+    pub next_request_id: u64,
+    /// Decisions whose feedback has not arrived yet, by request id. The map is ordered
+    /// so any future iteration over it is deterministic.
+    pending: BTreeMap<u64, ArrivalContext>,
+    /// Decision records replayed.
+    pub decisions: u64,
+    /// Feedback records replayed.
+    pub feedbacks: u64,
+}
+
+impl ReplayedState {
+    /// Number of decisions awaiting feedback.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Re-executes a committed record sequence against `policy`, reconstructing the server
+/// state and verifying every logged decision along the way.
+///
+/// Replay calls `act` per decision record and `observe` per feedback record —
+/// sequentially, in record order. That matches the original micro-batched execution
+/// exactly because of the `BatchedPolicy` contract: within a round every view was
+/// evaluated against the same parameters (feedback ticks run before the round's
+/// `act_batch`, and records are laid down in that execution order), so the sequential
+/// re-execution consumes the same RNG stream and visits the same parameters as the
+/// original `act_batch` rounds, whatever the batch boundaries were. The recomputed
+/// ranking must
+/// equal the logged one; a mismatch means the log and the policy's initial state do
+/// not belong together and recovery fails with [`ServeError::Recovery`] rather than
+/// silently forking history.
+pub fn replay_records(
+    policy: &mut dyn BatchedPolicy,
+    records: &[LogRecord],
+) -> Result<ReplayedState> {
+    let mut state = ReplayedState::default();
+    let mut decision = Decision::new();
+    for record in records {
+        match record {
+            LogRecord::Decision {
+                request_id,
+                context,
+                shown,
+                assignment,
+            } => {
+                if *request_id < state.next_request_id {
+                    return Err(ServeError::Recovery {
+                        detail: format!("request ids are not strictly increasing at {request_id}"),
+                    });
+                }
+                policy.act(&context.view(), &mut decision);
+                if decision.shown() != shown.as_slice() || decision.is_assignment() != *assignment {
+                    return Err(ServeError::Recovery {
+                        detail: format!(
+                            "re-executed decision for request {request_id} diverged from the log \
+                             (logged {} task(s), recomputed {})",
+                            shown.len(),
+                            decision.len()
+                        ),
+                    });
+                }
+                state.pending.insert(*request_id, context.clone());
+                state.next_request_id = request_id + 1;
+                state.decisions += 1;
+            }
+            LogRecord::Feedback {
+                request_id,
+                feedback,
+            } => {
+                let Some(context) = state.pending.remove(request_id) else {
+                    return Err(ServeError::Recovery {
+                        detail: format!("feedback for unknown request {request_id}"),
+                    });
+                };
+                policy.observe(&context.view(), &feedback.view());
+                state.feedbacks += 1;
+            }
+        }
+    }
+    Ok(state)
+}
+
+/// One message on the ingress queue.
+enum Request {
+    Decide {
+        context: ArrivalContext,
+        reply: mpsc::Sender<Result<ServeDecision>>,
+    },
+    Feedback {
+        request_id: u64,
+        feedback: PolicyFeedback,
+    },
+    /// `drain: true` is a graceful shutdown (everything queued is still served);
+    /// `drain: false` simulates a crash — stop now, answer nobody.
+    Stop { drain: bool },
+}
+
+/// A cheap, cloneable handle submitting requests to a running [`Server`].
+#[derive(Clone)]
+pub struct Client {
+    ingress: SyncSender<Request>,
+}
+
+impl Client {
+    /// Submits an arrival and blocks until the server's micro-batch round commits it.
+    /// Blocks in the ingress queue when the server is saturated (backpressure).
+    pub fn decide(&self, context: ArrivalContext) -> Result<ServeDecision> {
+        let (reply, response) = mpsc::channel();
+        self.ingress
+            .send(Request::Decide { context, reply })
+            .map_err(|_| ServeError::ShuttingDown)?;
+        response.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
+    /// Like [`Client::decide`] but fails fast with [`ServeError::Saturated`] when the
+    /// ingress queue is full instead of blocking (clones `context` only on successful
+    /// enqueue).
+    pub fn try_decide(&self, context: &ArrivalContext) -> Result<ServeDecision> {
+        let (reply, response) = mpsc::channel();
+        self.ingress
+            .try_send(Request::Decide {
+                context: context.clone(),
+                reply,
+            })
+            .map_err(|e| match e {
+                mpsc::TrySendError::Full(_) => ServeError::Saturated,
+                mpsc::TrySendError::Disconnected(_) => ServeError::ShuttingDown,
+            })?;
+        response.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
+    /// Submits the observed outcome of an earlier decision — the online-learning tick.
+    /// Returns as soon as the feedback is enqueued; it is logged and applied when the
+    /// worker's current round commits.
+    pub fn feedback(&self, request_id: u64, feedback: PolicyFeedback) -> Result<()> {
+        self.ingress
+            .send(Request::Feedback {
+                request_id,
+                feedback,
+            })
+            .map_err(|_| ServeError::ShuttingDown)
+    }
+}
+
+/// A running decision service: one dedicated batch worker owning the policy and the
+/// decision log, fed by any number of [`Client`] handles.
+pub struct Server {
+    ingress: SyncSender<Request>,
+    worker: JoinHandle<(BoxedBatchedPolicy, ServeReport)>,
+}
+
+impl Server {
+    /// Starts serving with a fresh history. When [`ServeConfig::log`] is set the log
+    /// directory must not already contain segments ([`ServeError::LogNotEmpty`]) —
+    /// continuing an existing history is [`Server::recover`]'s job.
+    pub fn start(policy: BoxedBatchedPolicy, config: ServeConfig) -> Result<Server> {
+        let log = match config.log.clone() {
+            Some(log_config) => Some(DecisionLog::create(log_config)?),
+            None => None,
+        };
+        Server::spawn(policy, config, log, ReplayedState::default())
+    }
+
+    /// Recovers a crashed server: repairs and replays the decision log against
+    /// `policy` (which must be constructed exactly as the crashed server's policy was
+    /// at its start), then resumes serving — bit-identical to a server that never
+    /// crashed, appending to the same log.
+    pub fn recover(
+        mut policy: BoxedBatchedPolicy,
+        config: ServeConfig,
+    ) -> Result<(Server, RecoveryReport)> {
+        let Some(log_config) = config.log.clone() else {
+            return Err(ServeError::Recovery {
+                detail: "recovery needs a decision log, but the config has none".into(),
+            });
+        };
+        let (log, records, log_recovery) = DecisionLog::recover(log_config)?;
+        let state = replay_records(policy.as_mut(), &records)?;
+        let report = RecoveryReport {
+            replayed_decisions: state.decisions,
+            replayed_feedbacks: state.feedbacks,
+            pending_after_replay: state.pending_len(),
+            log: log_recovery,
+        };
+        let server = Server::spawn(policy, config, Some(log), state)?;
+        Ok((server, report))
+    }
+
+    fn spawn(
+        policy: BoxedBatchedPolicy,
+        config: ServeConfig,
+        log: Option<DecisionLog>,
+        state: ReplayedState,
+    ) -> Result<Server> {
+        let (ingress, queue) = mpsc::sync_channel(config.queue_capacity.max(1));
+        let worker = spawn_dedicated("serve-batch", move || {
+            event_loop(policy, config, log, state, queue)
+        })?;
+        Ok(Server { ingress, worker })
+    }
+
+    /// A new submission handle; clone one per client thread.
+    pub fn client(&self) -> Client {
+        Client {
+            ingress: self.ingress.clone(),
+        }
+    }
+
+    /// Graceful shutdown: every request already queued (and anything that squeezes in
+    /// ahead of the stop marker) is still decided, logged and acknowledged; the log is
+    /// synced; the policy and the serving report come back.
+    pub fn shutdown(self) -> (BoxedBatchedPolicy, ServeReport) {
+        self.end(Request::Stop { drain: true })
+    }
+
+    /// Abrupt stop, simulating a crash as closely as an in-process stop can: the
+    /// worker stops at the next round boundary without draining, and every queued or
+    /// in-flight caller gets [`ServeError::ShuttingDown`]. Acknowledged work is
+    /// already durable (the ack barrier), so a [`Server::recover`] of the same log
+    /// continues exactly where the acks stopped.
+    pub fn kill(self) -> (BoxedBatchedPolicy, ServeReport) {
+        self.end(Request::Stop { drain: false })
+    }
+
+    fn end(self, stop: Request) -> (BoxedBatchedPolicy, ServeReport) {
+        // Queue full is fine: send blocks until the worker drains a round. A closed
+        // channel means the worker already stopped (log failure) — just join.
+        let _ = self.ingress.send(stop);
+        drop(self.ingress);
+        match self.worker.join() {
+            Ok(result) => result,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+}
+
+/// One micro-batch round being assembled.
+#[derive(Default)]
+struct Round {
+    decides: Vec<(ArrivalContext, mpsc::Sender<Result<ServeDecision>>)>,
+    feedbacks: Vec<(u64, PolicyFeedback)>,
+}
+
+impl Round {
+    fn is_empty(&self) -> bool {
+        self.decides.is_empty() && self.feedbacks.is_empty()
+    }
+}
+
+/// How a drained stop marker asks the loop to finish.
+#[derive(Clone, Copy, PartialEq)]
+enum StopMode {
+    Drain,
+    Kill,
+}
+
+fn absorb(message: Request, round: &mut Round, stop: &mut Option<StopMode>) {
+    match message {
+        Request::Decide { context, reply } => round.decides.push((context, reply)),
+        Request::Feedback {
+            request_id,
+            feedback,
+        } => round.feedbacks.push((request_id, feedback)),
+        Request::Stop { drain } => {
+            *stop = Some(if drain {
+                StopMode::Drain
+            } else {
+                StopMode::Kill
+            })
+        }
+    }
+}
+
+/// The batch worker: the only thread that ever touches the policy or the log.
+fn event_loop(
+    mut policy: BoxedBatchedPolicy,
+    config: ServeConfig,
+    mut log: Option<DecisionLog>,
+    mut state: ReplayedState,
+    queue: Receiver<Request>,
+) -> (BoxedBatchedPolicy, ServeReport) {
+    policy.set_thread_pool(config.pool);
+    let max_batch = config.max_batch.max(1);
+    let mut report = ServeReport::default();
+    let mut decisions_scratch: Vec<Decision> = Vec::new();
+
+    'serve: loop {
+        // Block for the first request of a round, then coalesce.
+        let first = match queue.recv() {
+            Ok(message) => message,
+            Err(_) => break, // every handle dropped: nothing can arrive anymore
+        };
+        let mut round = Round::default();
+        let mut stop = None;
+        absorb(first, &mut round, &mut stop);
+        if stop.is_none() {
+            let deadline = Instant::now() + config.batch_window;
+            while round.decides.len() < max_batch && stop.is_none() {
+                let message = match deadline.checked_duration_since(Instant::now()) {
+                    Some(wait) if !wait.is_zero() => match queue.recv_timeout(wait) {
+                        Ok(message) => message,
+                        Err(_) => break,
+                    },
+                    _ => match queue.try_recv() {
+                        Ok(message) => message,
+                        Err(_) => break,
+                    },
+                };
+                absorb(message, &mut round, &mut stop);
+            }
+        }
+
+        if stop == Some(StopMode::Kill) {
+            // Crash semantics: nothing in this round was acknowledged, so none of it
+            // happened. Dropped reply senders surface as `ShuttingDown` at the caller.
+            break 'serve;
+        }
+        if let Err(e) = commit_round(
+            policy.as_mut(),
+            &mut log,
+            &mut state,
+            &mut report,
+            &mut decisions_scratch,
+            round,
+        ) {
+            // Durability is broken; refusing further service beats serving unlogged
+            // decisions that a recovery could never reproduce.
+            report.log_error = Some(e.to_string());
+            break 'serve;
+        }
+        if stop == Some(StopMode::Drain) {
+            loop {
+                let mut tail = Round::default();
+                let mut _late_stop = None;
+                while tail.decides.len() < max_batch {
+                    match queue.try_recv() {
+                        Ok(message) => absorb(message, &mut tail, &mut _late_stop),
+                        Err(_) => break,
+                    }
+                }
+                if tail.is_empty() {
+                    break;
+                }
+                if let Err(e) = commit_round(
+                    policy.as_mut(),
+                    &mut log,
+                    &mut state,
+                    &mut report,
+                    &mut decisions_scratch,
+                    tail,
+                ) {
+                    report.log_error = Some(e.to_string());
+                    break;
+                }
+            }
+            break 'serve;
+        }
+    }
+
+    if let Some(log) = log.as_mut() {
+        let _ = log.sync();
+        report.log_batches = log.batches();
+        report.log_rotations = log.rotations();
+    }
+    (policy, report)
+}
+
+/// Commits one round: the queued feedback ticks first (freshest parameters for the
+/// round's decisions), then one packed forward pass, then one durable group-commit
+/// append, then the acks — in that order (see the module docs).
+///
+/// Feedbacks-before-decisions is a determinism decision, not an accident: a feedback
+/// was necessarily enqueued *before* any decide it shares a round with (FIFO queue),
+/// so applying it first means the execution order — and therefore the log — depends
+/// only on the order requests entered the queue, never on where the batch boundaries
+/// happened to fall. A client that submits `decide(i)`, `feedback(i)`, `decide(i+1)`
+/// gets the same served decisions whether the feedback rides in its own round or
+/// coalesces with the next decide.
+fn commit_round(
+    policy: &mut dyn BatchedPolicy,
+    log: &mut Option<DecisionLog>,
+    state: &mut ReplayedState,
+    report: &mut ServeReport,
+    decisions_scratch: &mut Vec<Decision>,
+    round: Round,
+) -> Result<()> {
+    if round.is_empty() {
+        return Ok(());
+    }
+    report.rounds += 1;
+    report.max_round_decisions = report.max_round_decisions.max(round.decides.len());
+
+    let mut records = Vec::with_capacity(round.decides.len() + round.feedbacks.len());
+
+    // 1. Online-learning ticks, in arrival order, before the round's decisions.
+    for (request_id, feedback) in round.feedbacks {
+        match state.pending.remove(&request_id) {
+            Some(context) => {
+                policy.observe(&context.view(), &feedback.view());
+                report.feedbacks += 1;
+                records.push(LogRecord::Feedback {
+                    request_id,
+                    feedback,
+                });
+            }
+            None => report.unknown_feedbacks += 1,
+        }
+    }
+
+    // 2. One act_batch over every arrival of the round.
+    decisions_scratch.resize_with(round.decides.len(), Decision::new);
+    {
+        let views: Vec<_> = round.decides.iter().map(|(ctx, _)| ctx.view()).collect();
+        policy.act_batch(&views, &mut decisions_scratch[..]);
+    }
+
+    // 3. Assign ids and build the decision records in commit order.
+    let mut acks = Vec::with_capacity(round.decides.len());
+    for ((context, reply), decision) in round.decides.into_iter().zip(decisions_scratch.iter()) {
+        let request_id = state.next_request_id;
+        state.next_request_id += 1;
+        let served = ServeDecision {
+            request_id,
+            shown: decision.shown().to_vec(),
+            assignment: decision.is_assignment(),
+        };
+        records.push(LogRecord::Decision {
+            request_id,
+            context: context.clone(),
+            shown: served.shown.clone(),
+            assignment: served.assignment,
+        });
+        state.pending.insert(request_id, context);
+        acks.push((reply, served));
+    }
+
+    // 4. Group commit: the whole round becomes durable before anyone is told anything.
+    if let Some(log) = log.as_mut() {
+        if let Err(e) = log.append(&records) {
+            for (reply, _) in acks {
+                let _ = reply.send(Err(e.clone()));
+            }
+            return Err(e);
+        }
+    }
+
+    // 5. Acks (a vanished caller is not an error).
+    for (reply, served) in acks {
+        let _ = reply.send(Ok(served));
+        report.decisions += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogConfig;
+    use crowd_sim::{ArrivalView, FeedbackView, Policy, TaskSnapshot, WorkerId};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Deterministic test policy: ranks tasks by descending id, counts calls through
+    /// shared atomics (the box disappears into the worker thread).
+    struct CountingPolicy {
+        acts: Arc<AtomicU64>,
+        observes: Arc<AtomicU64>,
+    }
+
+    impl CountingPolicy {
+        fn new() -> (Self, Arc<AtomicU64>, Arc<AtomicU64>) {
+            let acts = Arc::new(AtomicU64::new(0));
+            let observes = Arc::new(AtomicU64::new(0));
+            (
+                CountingPolicy {
+                    acts: acts.clone(),
+                    observes: observes.clone(),
+                },
+                acts,
+                observes,
+            )
+        }
+    }
+
+    impl Policy for CountingPolicy {
+        fn name(&self) -> &str {
+            "counting"
+        }
+        fn act(&mut self, view: &ArrivalView<'_>, decision: &mut Decision) {
+            self.acts.fetch_add(1, Ordering::SeqCst);
+            decision.clear();
+            let mut ids: Vec<TaskId> = (0..view.n_tasks()).map(|i| view.task_id(i)).collect();
+            ids.sort_by_key(|id| std::cmp::Reverse(id.0));
+            decision.extend(ids);
+        }
+        fn observe(&mut self, _view: &ArrivalView<'_>, _feedback: &FeedbackView<'_>) {
+            self.observes.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    impl BatchedPolicy for CountingPolicy {}
+
+    fn context(tag: u32, n_tasks: u32) -> ArrivalContext {
+        ArrivalContext {
+            time: tag as u64,
+            worker_id: WorkerId(tag),
+            worker_feature: vec![tag as f32],
+            worker_quality: 0.5,
+            is_new_worker: false,
+            available: (0..n_tasks)
+                .map(|i| TaskSnapshot {
+                    id: TaskId(100 * tag + i),
+                    feature: vec![i as f32],
+                    quality: 0.0,
+                    award: 1.0,
+                    category: 0,
+                    domain: 0,
+                    deadline: 10,
+                    completions: 0,
+                })
+                .collect(),
+        }
+    }
+
+    fn feedback_for(context: &ArrivalContext, decision: &ServeDecision) -> PolicyFeedback {
+        PolicyFeedback {
+            time: context.time,
+            worker_id: context.worker_id,
+            worker_quality: context.worker_quality,
+            shown: decision.shown.clone(),
+            completed: decision.shown.first().map(|&t| (t, 0)),
+            quality_gain: 0.25,
+            worker_feature_before: context.worker_feature.clone(),
+            worker_feature_after: context.worker_feature.clone(),
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("crowd-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn decide_feedback_shutdown_roundtrip() {
+        let (policy, acts, observes) = CountingPolicy::new();
+        let server = Server::start(Box::new(policy), ServeConfig::default()).unwrap();
+        let client = server.client();
+
+        let ctx = context(1, 3);
+        let decision = client.decide(ctx.clone()).unwrap();
+        assert_eq!(decision.request_id, 0);
+        assert_eq!(
+            decision.shown,
+            vec![TaskId(102), TaskId(101), TaskId(100)],
+            "descending-id ranking expected"
+        );
+        client
+            .feedback(decision.request_id, feedback_for(&ctx, &decision))
+            .unwrap();
+        let second = client.decide(context(2, 1)).unwrap();
+        assert_eq!(second.request_id, 1);
+
+        let (_policy, report) = server.shutdown();
+        assert_eq!(report.decisions, 2);
+        assert_eq!(report.feedbacks, 1);
+        assert_eq!(report.unknown_feedbacks, 0);
+        assert_eq!(acts.load(Ordering::SeqCst), 2);
+        assert_eq!(observes.load(Ordering::SeqCst), 1);
+        assert!(report.log_error.is_none());
+    }
+
+    #[test]
+    fn unknown_feedback_is_counted_not_applied() {
+        let (policy, _acts, observes) = CountingPolicy::new();
+        let server = Server::start(Box::new(policy), ServeConfig::default()).unwrap();
+        let client = server.client();
+        let ctx = context(1, 1);
+        let d = client.decide(ctx.clone()).unwrap();
+        client
+            .feedback(d.request_id, feedback_for(&ctx, &d))
+            .unwrap();
+        // Same id again: already consumed.
+        client
+            .feedback(d.request_id, feedback_for(&ctx, &d))
+            .unwrap();
+        client.feedback(777, feedback_for(&ctx, &d)).unwrap();
+        let (_policy, report) = server.shutdown();
+        assert_eq!(report.feedbacks, 1);
+        assert_eq!(report.unknown_feedbacks, 2);
+        assert_eq!(observes.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn log_records_commit_order_and_replay_reconstructs_state() {
+        let dir = tmp_dir("unit-log");
+        let config = ServeConfig {
+            log: Some(LogConfig::new(&dir)),
+            ..ServeConfig::default()
+        };
+        let (policy, ..) = CountingPolicy::new();
+        let server = Server::start(Box::new(policy), config.clone()).unwrap();
+        let client = server.client();
+
+        let contexts: Vec<_> = (0..4).map(|i| context(i, 2 + i)).collect();
+        let mut decisions = Vec::new();
+        for ctx in &contexts {
+            let d = client.decide(ctx.clone()).unwrap();
+            if d.request_id.is_multiple_of(2) {
+                client
+                    .feedback(d.request_id, feedback_for(ctx, &d))
+                    .unwrap();
+            }
+            decisions.push(d);
+        }
+        let (_policy, report) = server.shutdown();
+        assert_eq!(report.decisions, 4);
+        assert_eq!(report.feedbacks, 2);
+        assert!(report.log_batches >= 1);
+
+        let records = DecisionLog::read(&dir).unwrap();
+        assert_eq!(records.len(), 6);
+        // Ids are strictly increasing across decision records.
+        let logged_ids: Vec<u64> = records
+            .iter()
+            .filter(|r| matches!(r, LogRecord::Decision { .. }))
+            .map(LogRecord::request_id)
+            .collect();
+        assert_eq!(logged_ids, vec![0, 1, 2, 3]);
+
+        // A fresh policy replays to the same state the server held.
+        let (mut fresh, ..) = CountingPolicy::new();
+        let state = replay_records(&mut fresh, &records).unwrap();
+        assert_eq!(state.next_request_id, 4);
+        assert_eq!(state.decisions, 4);
+        assert_eq!(state.feedbacks, 2);
+        assert_eq!(state.pending_len(), 2); // odd ids never got feedback
+
+        // And a recovered server keeps serving with continuing ids.
+        let (policy, ..) = CountingPolicy::new();
+        let (server, recovery) = Server::recover(Box::new(policy), config).unwrap();
+        assert_eq!(recovery.replayed_decisions, 4);
+        assert_eq!(recovery.replayed_feedbacks, 2);
+        assert_eq!(recovery.pending_after_replay, 2);
+        let d = server.client().decide(context(9, 1)).unwrap();
+        assert_eq!(d.request_id, 4);
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn start_refuses_an_existing_log_and_recover_requires_one() {
+        let dir = tmp_dir("unit-refuse");
+        let config = ServeConfig {
+            log: Some(LogConfig::new(&dir)),
+            ..ServeConfig::default()
+        };
+        let (policy, ..) = CountingPolicy::new();
+        let server = Server::start(Box::new(policy), config.clone()).unwrap();
+        server.client().decide(context(0, 1)).unwrap();
+        server.shutdown();
+
+        let (policy, ..) = CountingPolicy::new();
+        assert!(matches!(
+            Server::start(Box::new(policy), config),
+            Err(ServeError::LogNotEmpty { .. })
+        ));
+        let (policy, ..) = CountingPolicy::new();
+        assert!(matches!(
+            Server::recover(Box::new(policy), ServeConfig::default()),
+            Err(ServeError::Recovery { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_rejects_divergence_and_unknown_feedback() {
+        let ctx = context(1, 2);
+        let records = vec![LogRecord::Decision {
+            request_id: 0,
+            context: ctx.clone(),
+            shown: vec![TaskId(100), TaskId(101)], // ascending: not what the policy does
+            assignment: false,
+        }];
+        let (mut policy, ..) = CountingPolicy::new();
+        assert!(matches!(
+            replay_records(&mut policy, &records),
+            Err(ServeError::Recovery { .. })
+        ));
+
+        let records = vec![LogRecord::Feedback {
+            request_id: 3,
+            feedback: feedback_for(
+                &ctx,
+                &ServeDecision {
+                    request_id: 3,
+                    shown: vec![TaskId(100)],
+                    assignment: false,
+                },
+            ),
+        }];
+        let (mut policy, ..) = CountingPolicy::new();
+        assert!(matches!(
+            replay_records(&mut policy, &records),
+            Err(ServeError::Recovery { .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_clients_all_get_answers_and_ids_are_unique() {
+        let (policy, ..) = CountingPolicy::new();
+        let config = ServeConfig {
+            max_batch: 4,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(Box::new(policy), config).unwrap();
+
+        let mut handles = Vec::new();
+        for t in 0..6u32 {
+            let client = server.client();
+            handles.push(std::thread::spawn(move || {
+                (0..20u32)
+                    .map(|i| client.decide(context(1000 * t + i, 2)).unwrap().request_id)
+                    .collect::<Vec<u64>>()
+            }));
+        }
+        let mut ids: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 120, "every request got a unique id");
+        let (_policy, report) = server.shutdown();
+        assert_eq!(report.decisions, 120);
+        assert!(report.max_round_decisions <= 4, "max_batch respected");
+    }
+
+    #[test]
+    fn kill_answers_nobody_late_and_acked_work_is_durable() {
+        let dir = tmp_dir("unit-kill");
+        let config = ServeConfig {
+            log: Some(LogConfig::new(&dir)),
+            ..ServeConfig::default()
+        };
+        let (policy, ..) = CountingPolicy::new();
+        let server = Server::start(Box::new(policy), config).unwrap();
+        let client = server.client();
+        let acked = client.decide(context(0, 1)).unwrap();
+        let (_policy, report) = server.kill();
+        assert_eq!(report.decisions, 1);
+        // The acked decision survived the "crash".
+        let records = DecisionLog::read(&dir).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].request_id(), acked.request_id);
+        // The dead server refuses new work.
+        assert!(matches!(
+            client.decide(context(1, 1)),
+            Err(ServeError::ShuttingDown)
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,302 @@
+//! Serving ≡ offline replay: the `crowd-serve` micro-batching decision service must
+//! give every concurrent client exactly the decisions a sequential offline replay of
+//! the same arrival order produces.
+//!
+//! Two regimes are proved:
+//!
+//! 1. **Frozen policy, concurrent clients** — with learning and exploration frozen,
+//!    `act` is a pure function of the fixed network parameters (and consumes no RNG),
+//!    so a decision depends only on its own arrival context, never on what other
+//!    clients are doing. `N` client threads hammer the server concurrently and every
+//!    single response is bit-compared against the decision a real offline [`Session`]
+//!    replay produced for the same context.
+//! 2. **Learning policy, committed order** — with online learning ON, the server's
+//!    execution order is its decision log's record order (the group-commit contract).
+//!    A fresh, identically constructed agent replaying the log sequentially must land
+//!    on a bit-identical policy state — checkpoint fingerprints are compared, which
+//!    covers every network parameter, optimizer moment, replay-buffer entry and RNG
+//!    word.
+//!
+//! `ServeConfig.pool` is taken from `CROWD_THREADS`, so the whole suite rides the
+//! same 1/4-thread CI matrix as the rest of the workspace.
+
+use crowd_experiments::{
+    collect_arrival_contexts, ddqn_config_for, ddqn_for, RunnerConfig, Scale, Session,
+};
+use crowd_rl_core::DdqnAgent;
+use crowd_serve::{replay_records, DecisionLog, LogConfig, ServeConfig, ServeDecision, Server};
+use crowd_sim::{
+    ArrivalContext, ArrivalView, BatchedPolicy, Dataset, Decision, FeedbackView, Policy,
+    PolicyFeedback, SimConfig, TaskId,
+};
+use crowd_tensor::ThreadPool;
+use std::path::PathBuf;
+
+fn dataset() -> Dataset {
+    SimConfig::tiny().generate()
+}
+
+/// A fully frozen agent: `act` is a pure function of the (fixed) initial parameters
+/// and consumes no RNG, so decisions are order-independent.
+fn frozen_agent(dataset: &Dataset) -> DdqnAgent {
+    let mut agent = ddqn_for(dataset, ddqn_config_for(Scale::Tiny));
+    agent.freeze_learning();
+    agent.freeze_exploration();
+    agent
+}
+
+/// A live agent: exploration draws RNG per decision, learning updates on feedback.
+fn learning_agent(dataset: &Dataset) -> DdqnAgent {
+    ddqn_for(dataset, ddqn_config_for(Scale::Tiny))
+}
+
+/// Deterministic synthetic outcome for a served decision: the worker completes the
+/// top-ranked task.
+fn feedback_for(context: &ArrivalContext, decision: &ServeDecision) -> PolicyFeedback {
+    PolicyFeedback {
+        time: context.time,
+        worker_id: context.worker_id,
+        worker_quality: context.worker_quality,
+        shown: decision.shown.clone(),
+        completed: decision.shown.first().map(|&t| (t, 0)),
+        quality_gain: 0.125,
+        worker_feature_before: context.worker_feature.clone(),
+        worker_feature_after: context.worker_feature.clone(),
+    }
+}
+
+/// The complete *semantic* state of a policy as bytes — bit-equality of fingerprints is
+/// bit-equality of parameters, optimizer moments, replay memory and RNG streams. The
+/// canonical writer zeroes accumulated wall-clock measurements (learner wall time),
+/// which legitimately differ between a live server and a log replay of it.
+fn fingerprint(policy: &dyn Policy) -> Vec<u8> {
+    let mut w = crowd_ckpt::StateWriter::canonical();
+    policy
+        .checkpoint_state(&mut w)
+        .expect("policy supports checkpointing");
+    w.into_bytes()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "crowd-serve-eq-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Wraps a frozen agent inside a real [`Session`] replay and captures every
+/// (context, decision) pair the session produced — the offline reference stream.
+/// Warm start is deliberately NOT forwarded: the serving twin must be constructible
+/// from configuration alone, and a frozen agent's decisions don't depend on it.
+struct Recorder {
+    inner: DdqnAgent,
+    captured: Vec<(ArrivalContext, Vec<TaskId>, bool)>,
+}
+
+impl Policy for Recorder {
+    fn name(&self) -> &str {
+        "recorder"
+    }
+    fn act(&mut self, view: &ArrivalView<'_>, decision: &mut Decision) {
+        self.inner.act(view, decision);
+        self.captured.push((
+            view.to_context(),
+            decision.shown().to_vec(),
+            decision.is_assignment(),
+        ));
+    }
+    fn observe(&mut self, view: &ArrivalView<'_>, feedback: &FeedbackView<'_>) {
+        self.inner.observe(view, feedback);
+    }
+}
+
+#[test]
+fn concurrent_clients_get_the_offline_session_replay_decisions() {
+    let dataset = dataset();
+
+    // Offline reference: a real Session replay through a frozen agent, capturing the
+    // arrival stream and the decision made for each arrival.
+    let mut recorder = Recorder {
+        inner: frozen_agent(&dataset),
+        captured: Vec::new(),
+    };
+    let mut session = Session::for_dataset(&dataset, &RunnerConfig::default());
+    while session.step(&mut recorder) {}
+    let captured = recorder.captured;
+    assert!(
+        captured.len() >= 20,
+        "tiny session should produce a meaningful stream (got {})",
+        captured.len()
+    );
+
+    // Serving twin: an identically constructed frozen agent behind the micro-batching
+    // server, hammered by N concurrent client threads, each holding a disjoint slice
+    // of the captured stream.
+    for n_clients in [1usize, 4] {
+        let config = ServeConfig {
+            pool: ThreadPool::from_env(),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(Box::new(frozen_agent(&dataset)), config).unwrap();
+        let total = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in captured.chunks(captured.len().div_ceil(n_clients)) {
+                let client = server.client();
+                handles.push(scope.spawn(move || {
+                    for (context, shown, assignment) in chunk {
+                        let served = client.decide(context.clone()).unwrap();
+                        assert_eq!(
+                            &served.shown, shown,
+                            "served ranking diverged from the offline Session replay"
+                        );
+                        assert_eq!(served.assignment, *assignment);
+                    }
+                    chunk.len()
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        });
+        assert_eq!(total, captured.len());
+        let (_policy, report) = server.shutdown();
+        assert_eq!(report.decisions as usize, captured.len());
+        assert!(report.log_error.is_none());
+    }
+}
+
+#[test]
+fn learning_server_state_equals_sequential_replay_of_its_log() {
+    let dataset = dataset();
+    let contexts = collect_arrival_contexts(&dataset, 9001, 40);
+    assert!(contexts.len() >= 20);
+
+    let dir = tmp_dir("learning");
+    let config = ServeConfig {
+        pool: ThreadPool::from_env(),
+        log: Some(LogConfig::new(&dir)),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(Box::new(learning_agent(&dataset)), config).unwrap();
+
+    // Three concurrent clients, each submitting decisions AND the resulting feedback —
+    // the server learns online while serving, in whatever commit order the threads
+    // race into.
+    std::thread::scope(|scope| {
+        for chunk in contexts.chunks(contexts.len().div_ceil(3)) {
+            let client = server.client();
+            scope.spawn(move || {
+                for context in chunk {
+                    let served = client.decide(context.clone()).unwrap();
+                    client
+                        .feedback(served.request_id, feedback_for(context, &served))
+                        .unwrap();
+                }
+            });
+        }
+    });
+    let (policy, report) = server.shutdown();
+    assert_eq!(report.decisions as usize, contexts.len());
+    assert_eq!(report.feedbacks as usize, contexts.len());
+    assert!(report.log_error.is_none());
+
+    // The log's record order IS the execution order: a fresh agent replaying it
+    // sequentially must reach a bit-identical state — parameters, optimizer moments,
+    // replay memory and RNG stream all covered by the checkpoint fingerprint.
+    let records = DecisionLog::read(&dir).unwrap();
+    assert_eq!(records.len(), 2 * contexts.len());
+    let mut twin = learning_agent(&dataset);
+    let state = replay_records(&mut twin, &records).unwrap();
+    assert_eq!(state.decisions as usize, contexts.len());
+    assert_eq!(state.feedbacks as usize, contexts.len());
+    assert_eq!(
+        fingerprint(&twin),
+        fingerprint(policy.as_ref()),
+        "sequential log replay must reconstruct the server's exact policy state"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn saturated_ingress_rejects_try_decide_but_serves_blocking_submitters() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    // A gated policy: `act` blocks until the test opens the gate, pinning the batch
+    // worker so the ingress queue can be filled deterministically.
+    struct Gated {
+        open: Arc<AtomicBool>,
+        acts_started: Arc<AtomicU64>,
+    }
+    impl Policy for Gated {
+        fn name(&self) -> &str {
+            "gated"
+        }
+        fn act(&mut self, view: &ArrivalView<'_>, decision: &mut Decision) {
+            self.acts_started.fetch_add(1, Ordering::SeqCst);
+            while !self.open.load(Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            decision.clear();
+            if view.n_tasks() > 0 {
+                decision.push(view.task_id(0));
+            }
+        }
+        fn observe(&mut self, _: &ArrivalView<'_>, _: &FeedbackView<'_>) {}
+    }
+    impl BatchedPolicy for Gated {}
+
+    let dataset = dataset();
+    let contexts = collect_arrival_contexts(&dataset, 5, 4);
+    let open = Arc::new(AtomicBool::new(false));
+    let acts_started = Arc::new(AtomicU64::new(0));
+    let policy = Gated {
+        open: open.clone(),
+        acts_started: acts_started.clone(),
+    };
+    let config = ServeConfig {
+        queue_capacity: 1,
+        max_batch: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(Box::new(policy), config).unwrap();
+
+    std::thread::scope(|scope| {
+        // First blocking submitter: the worker picks it up and stalls inside `act`.
+        let c1 = server.client();
+        let ctx1 = contexts[0].clone();
+        let t1 = scope.spawn(move || c1.decide(ctx1).unwrap());
+        while acts_started.load(Ordering::SeqCst) == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        // Second blocking submitter fills the (capacity-1) queue behind the stalled
+        // worker, demonstrating the backpressure path: it waits instead of failing.
+        let c2 = server.client();
+        let ctx2 = contexts[1].clone();
+        let t2 = scope.spawn(move || c2.decide(ctx2).unwrap());
+        // Give t2's enqueue a moment to land; it is a single bounded-channel send.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+
+        // The queue is now full: fail-fast submission reports saturation.
+        let client = server.client();
+        assert!(matches!(
+            client.try_decide(&contexts[2]),
+            Err(crowd_serve::ServeError::Saturated)
+        ));
+
+        // Open the gate: both blocked submitters are served, in queue order.
+        open.store(true, Ordering::SeqCst);
+        assert_eq!(t1.join().unwrap().request_id, 0);
+        assert_eq!(t2.join().unwrap().request_id, 1);
+        // And the previously saturated client gets through once the queue drains.
+        let late = client.decide(contexts[3].clone()).unwrap();
+        assert_eq!(late.request_id, 2);
+    });
+    let (_policy, report) = server.shutdown();
+    assert_eq!(report.decisions, 3);
+    assert_eq!(report.max_round_decisions, 1, "max_batch=1 respected");
+}
