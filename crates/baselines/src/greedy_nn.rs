@@ -153,6 +153,83 @@ impl Policy for GreedyNn {
         }
         self.retrain();
     }
+
+    /// Greedy NN's dynamic state is the RNG stream (model init and epoch shuffles),
+    /// the discovered feature dimension, the trained MLP (parameters + Adam moments,
+    /// when one exists) and the retained example window. The hyperparameters (benefit,
+    /// mode, hidden widths, epochs) are configuration and are *not* saved — restore
+    /// into a policy built with the same configuration, like the other baselines.
+    fn checkpoint_state(&self, w: &mut crowd_ckpt::StateWriter) -> crowd_ckpt::Result<()> {
+        crowd_ckpt::SaveState::save_state(&self.rng, w);
+        match self.feature_dim {
+            Some(dim) => {
+                w.put_bool(true);
+                w.put_usize(dim);
+            }
+            None => w.put_bool(false),
+        }
+        match &self.model {
+            Some(model) => {
+                w.put_bool(true);
+                crowd_ckpt::SaveState::save_state(model, w);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_usize(self.examples.len());
+        for (feature, label) in &self.examples {
+            w.put_f32_slice(feature);
+            w.put_f32(*label);
+        }
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<()> {
+        crowd_ckpt::LoadState::load_state(&mut self.rng, r)?;
+        let feature_dim = if r.take_bool()? {
+            Some(r.take_usize()?)
+        } else {
+            None
+        };
+        let model = if r.take_bool()? {
+            let Some(dim) = feature_dim else {
+                return Err(crowd_ckpt::CkptError::Corrupt {
+                    what: "Greedy NN state",
+                    detail: "a trained model without a feature dimension".to_string(),
+                });
+            };
+            // The scaffold's RNG is throwaway on purpose: its init weights are fully
+            // overwritten by the (shape-validated) load, and drawing from `self.rng`
+            // here would advance the just-restored stream past the saved position.
+            let mut scaffold_rng = Rng::seed_from(0);
+            let mut model = Mlp::new(dim, &self.hidden, 0.005, &mut scaffold_rng);
+            crowd_ckpt::LoadState::load_state(&mut model, r)?;
+            Some(model)
+        } else {
+            None
+        };
+        let n_examples = r.take_len("greedy-nn examples", 12)?;
+        let mut examples = Vec::with_capacity(n_examples);
+        for _ in 0..n_examples {
+            let feature = r.take_f32_vec()?;
+            if let Some(dim) = feature_dim {
+                if feature.len() != dim {
+                    return Err(crowd_ckpt::CkptError::Corrupt {
+                        what: "Greedy NN state",
+                        detail: format!(
+                            "an example has {} features, expected {dim}",
+                            feature.len()
+                        ),
+                    });
+                }
+            }
+            let label = r.take_f32()?;
+            examples.push((feature, label));
+        }
+        self.feature_dim = feature_dim;
+        self.model = model;
+        self.examples = examples;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +316,90 @@ mod tests {
         let mut p = GreedyNn::new(Benefit::Worker, ListMode::AssignOne, 2);
         p.warm_start(&history);
         assert!(p.is_trained());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_continues_bit_identically() {
+        let mut trained = GreedyNn::new(Benefit::Worker, ListMode::AssignOne, 4);
+        let ctx = context();
+        for _ in 0..30 {
+            trained.observe(&ctx.view(), &feedback(&ctx, Some((0, 0))).view());
+            let mut swapped = ctx.clone();
+            swapped.available.reverse();
+            let swapped_fb = feedback(&swapped, Some((0, 1)));
+            trained.observe(&swapped.view(), &swapped_fb.view());
+        }
+        trained.end_of_day(0);
+        assert!(trained.is_trained());
+
+        let mut w = crowd_ckpt::StateWriter::new();
+        trained.checkpoint_state(&mut w).unwrap();
+        let bytes = w.into_bytes();
+
+        // Different seed on purpose: every RNG word must come from the snapshot.
+        let mut restored = GreedyNn::new(Benefit::Worker, ListMode::AssignOne, 8_888);
+        let mut r = crowd_ckpt::StateReader::new(&bytes);
+        restored.restore_state(&mut r).unwrap();
+        r.finish("Greedy NN state").unwrap();
+        assert!(restored.is_trained());
+        assert_eq!(restored.n_examples(), trained.n_examples());
+
+        // Continue both through identical feedback and another daily retrain (which
+        // builds a fresh MLP from the restored RNG stream): still bit-identical.
+        for policy in [&mut trained, &mut restored] {
+            for _ in 0..10 {
+                let fb = feedback(&ctx, Some((0, 0)));
+                policy.observe(&ctx.view(), &fb.view());
+            }
+            policy.end_of_day(1);
+        }
+        let (mut d1, mut d2) = (Decision::new(), Decision::new());
+        trained.act(&ctx.view(), &mut d1);
+        restored.act(&ctx.view(), &mut d2);
+        assert_eq!(d1.shown(), d2.shown());
+        let (mut wa, mut wb) = (
+            crowd_ckpt::StateWriter::new(),
+            crowd_ckpt::StateWriter::new(),
+        );
+        trained.checkpoint_state(&mut wa).unwrap();
+        restored.checkpoint_state(&mut wb).unwrap();
+        assert_eq!(
+            wa.into_bytes(),
+            wb.into_bytes(),
+            "resumed Greedy NN diverged from the uninterrupted one"
+        );
+    }
+
+    #[test]
+    fn checkpoint_of_untrained_policy_roundtrips() {
+        let fresh = GreedyNn::new(Benefit::Requester, ListMode::RankAll, 5);
+        let mut w = crowd_ckpt::StateWriter::new();
+        fresh.checkpoint_state(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut restored = GreedyNn::new(Benefit::Requester, ListMode::RankAll, 5);
+        let mut r = crowd_ckpt::StateReader::new(&bytes);
+        restored.restore_state(&mut r).unwrap();
+        r.finish("Greedy NN state").unwrap();
+        assert!(!restored.is_trained());
+        assert_eq!(restored.n_examples(), 0);
+    }
+
+    #[test]
+    fn restore_rejects_an_example_width_mismatch() {
+        let mut w = crowd_ckpt::StateWriter::new();
+        crowd_ckpt::SaveState::save_state(&Rng::seed_from(0), &mut w);
+        w.put_bool(true);
+        w.put_usize(4); // feature_dim = 4
+        w.put_bool(false); // no model
+        w.put_usize(1);
+        w.put_f32_slice(&[0.0; 3]); // example width 3 != 4
+        w.put_f32(1.0);
+        let bytes = w.into_bytes();
+        let mut p = GreedyNn::new(Benefit::Worker, ListMode::RankAll, 0);
+        assert!(matches!(
+            p.restore_state(&mut crowd_ckpt::StateReader::new(&bytes)),
+            Err(crowd_ckpt::CkptError::Corrupt { .. })
+        ));
     }
 
     #[test]

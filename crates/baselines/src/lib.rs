@@ -12,6 +12,13 @@
 //! and ranked-list settings, plus the worker-benefit and requester-benefit objectives (the
 //! latter by scoring expected quality gain instead of completion probability, exactly as the
 //! paper adapts each baseline).
+//!
+//! Every *stateful* baseline also implements `Policy::checkpoint_state` /
+//! `restore_state` (Random: its RNG; LinUCB: the per-arm tables; Taskrec: factor
+//! tables + interaction window; Greedy NN: its [`Mlp`](crowd_nn::Mlp) + example
+//! window), so long sweeps resume bit-identically — see
+//! `docs/CHECKPOINT_FORMAT.md`, "Baselines". [`GreedyCosine`] is the one genuinely
+//! stateless policy and keeps the `Unsupported` default.
 
 pub mod common;
 pub mod greedy_cosine;

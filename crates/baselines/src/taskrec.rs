@@ -215,6 +215,157 @@ impl Policy for Taskrec {
         }
         self.retrain();
     }
+
+    /// Taskrec's dynamic state is everything `retrain` and `score` read: the RNG stream
+    /// (factor init and epoch shuffles), the id→slot index maps, the latent factor
+    /// tables and the retained interaction window. Hash maps are serialised **sorted by
+    /// key** so the byte stream is canonical (runtime determinism never iterates them;
+    /// retraining walks the `interactions` vec). The hyperparameters (mode, factor
+    /// count, learning rate, regularisation, epochs) are configuration and are *not*
+    /// saved — restore into a policy built with the same configuration, like the other
+    /// baselines.
+    fn checkpoint_state(&self, w: &mut crowd_ckpt::StateWriter) -> crowd_ckpt::Result<()> {
+        crowd_ckpt::SaveState::save_state(&self.rng, w);
+        let mut workers: Vec<(u32, usize)> =
+            self.worker_index.iter().map(|(k, &v)| (k.0, v)).collect();
+        workers.sort_unstable();
+        w.put_usize(workers.len());
+        for (id, slot) in workers {
+            w.put_u32(id);
+            w.put_usize(slot);
+        }
+        let mut tasks: Vec<(u32, usize)> = self.task_index.iter().map(|(k, &v)| (k.0, v)).collect();
+        tasks.sort_unstable();
+        w.put_usize(tasks.len());
+        for (id, slot) in tasks {
+            w.put_u32(id);
+            w.put_usize(slot);
+        }
+        w.put_usize(self.task_category.len());
+        for &category in &self.task_category {
+            w.put_u16(category);
+        }
+        w.put_usize(self.worker_factors.len());
+        for factors in &self.worker_factors {
+            w.put_f32_slice(factors);
+        }
+        w.put_usize(self.task_factors.len());
+        for factors in &self.task_factors {
+            w.put_f32_slice(factors);
+        }
+        let mut categories: Vec<(u16, &Vec<f32>)> =
+            self.category_factors.iter().map(|(&c, f)| (c, f)).collect();
+        categories.sort_unstable_by_key(|&(c, _)| c);
+        w.put_usize(categories.len());
+        for (category, factors) in categories {
+            w.put_u16(category);
+            w.put_f32_slice(factors);
+        }
+        w.put_usize(self.interactions.len());
+        for &(worker, task, category, label) in &self.interactions {
+            w.put_usize(worker);
+            w.put_usize(task);
+            w.put_u16(category);
+            w.put_f32(label);
+        }
+        w.put_bool(self.trained);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<()> {
+        let corrupt = |detail: String| crowd_ckpt::CkptError::Corrupt {
+            what: "Taskrec state",
+            detail,
+        };
+        crowd_ckpt::LoadState::load_state(&mut self.rng, r)?;
+        let n_workers = r.take_len("taskrec worker index", 12)?;
+        let mut worker_index = HashMap::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            let id = WorkerId(r.take_u32()?);
+            worker_index.insert(id, r.take_usize()?);
+        }
+        let n_tasks = r.take_len("taskrec task index", 12)?;
+        let mut task_index = HashMap::with_capacity(n_tasks);
+        for _ in 0..n_tasks {
+            let id = TaskId(r.take_u32()?);
+            task_index.insert(id, r.take_usize()?);
+        }
+        let n_categories = r.take_len("taskrec task categories", 2)?;
+        let mut task_category = Vec::with_capacity(n_categories);
+        for _ in 0..n_categories {
+            task_category.push(r.take_u16()?);
+        }
+        let take_factor_table = |r: &mut crowd_ckpt::StateReader<'_>,
+                                 what: &'static str,
+                                 dim: usize|
+         -> crowd_ckpt::Result<Vec<Vec<f32>>> {
+            let n = r.take_len(what, 8)?;
+            let mut table = Vec::with_capacity(n);
+            for _ in 0..n {
+                let factors = r.take_f32_vec()?;
+                if factors.len() != dim {
+                    return Err(corrupt(format!(
+                        "{what}: a factor row has {} entries, expected {dim}",
+                        factors.len()
+                    )));
+                }
+                table.push(factors);
+            }
+            Ok(table)
+        };
+        let worker_factors = take_factor_table(r, "taskrec worker factors", self.factors)?;
+        let task_factors = take_factor_table(r, "taskrec task factors", self.factors)?;
+        let n_cat_factors = r.take_len("taskrec category factors", 6)?;
+        let mut category_factors = HashMap::with_capacity(n_cat_factors);
+        for _ in 0..n_cat_factors {
+            let category = r.take_u16()?;
+            let factors = r.take_f32_vec()?;
+            if factors.len() != self.factors {
+                return Err(corrupt(format!(
+                    "category {category} has {} factor entries, expected {}",
+                    factors.len(),
+                    self.factors
+                )));
+            }
+            category_factors.insert(category, factors);
+        }
+        if worker_index.len() != worker_factors.len()
+            || task_index.len() != task_factors.len()
+            || task_category.len() != task_factors.len()
+        {
+            return Err(corrupt(format!(
+                "index/table sizes disagree: {} workers vs {} factor rows, {} tasks vs {} factor rows vs {} categories",
+                worker_index.len(),
+                worker_factors.len(),
+                task_index.len(),
+                task_factors.len(),
+                task_category.len()
+            )));
+        }
+        let n_interactions = r.take_len("taskrec interactions", 22)?;
+        let mut interactions = Vec::with_capacity(n_interactions);
+        for _ in 0..n_interactions {
+            let worker = r.take_usize()?;
+            let task = r.take_usize()?;
+            let category = r.take_u16()?;
+            let label = r.take_f32()?;
+            if worker >= worker_factors.len() || task >= task_factors.len() {
+                return Err(corrupt(format!(
+                    "interaction refers to worker {worker}/task {task} outside the factor tables"
+                )));
+            }
+            interactions.push((worker, task, category, label));
+        }
+        self.trained = r.take_bool()?;
+        self.worker_index = worker_index;
+        self.task_index = task_index;
+        self.task_category = task_category;
+        self.worker_factors = worker_factors;
+        self.task_factors = task_factors;
+        self.category_factors = category_factors;
+        self.interactions = interactions;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +457,85 @@ mod tests {
             p.observe(&ctx.view(), &fb.view());
         }
         assert!(p.n_interactions() <= MAX_INTERACTIONS);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_continues_bit_identically() {
+        let mut trained = Taskrec::new(ListMode::AssignOne, 4, 5);
+        for i in 0..40u32 {
+            let ctx = context(i % 3, &[(2 * i, 0), (2 * i + 1, 1)]);
+            trained.observe(&ctx.view(), &feedback(&ctx, Some((2 * i, 1))).view());
+        }
+        trained.end_of_day(0);
+
+        let mut w = crowd_ckpt::StateWriter::new();
+        trained.checkpoint_state(&mut w).unwrap();
+        let bytes = w.into_bytes();
+
+        let mut restored = Taskrec::new(ListMode::AssignOne, 4, 9_999);
+        let mut r = crowd_ckpt::StateReader::new(&bytes);
+        restored.restore_state(&mut r).unwrap();
+        r.finish("Taskrec state").unwrap();
+        assert!(restored.is_trained());
+        assert_eq!(restored.n_interactions(), trained.n_interactions());
+
+        // Both copies now continue through identical feedback and a retrain (which
+        // draws from the restored RNG stream for shuffles and any new factor rows) and
+        // must stay bit-identical — proven by comparing their re-saved byte streams.
+        for policy in [&mut trained, &mut restored] {
+            for i in 100..120u32 {
+                let ctx = context(i % 4, &[(2 * i, 0), (2 * i + 1, 1)]);
+                policy.observe(&ctx.view(), &feedback(&ctx, Some((2 * i + 1, 0))).view());
+            }
+            policy.end_of_day(1);
+        }
+        let ctx = context(0, &[(7_000, 0), (7_001, 1)]);
+        let (mut d1, mut d2) = (Decision::new(), Decision::new());
+        trained.act(&ctx.view(), &mut d1);
+        restored.act(&ctx.view(), &mut d2);
+        assert_eq!(d1.shown(), d2.shown());
+        let (mut wa, mut wb) = (
+            crowd_ckpt::StateWriter::new(),
+            crowd_ckpt::StateWriter::new(),
+        );
+        trained.checkpoint_state(&mut wa).unwrap();
+        restored.checkpoint_state(&mut wb).unwrap();
+        assert_eq!(
+            wa.into_bytes(),
+            wb.into_bytes(),
+            "resumed Taskrec diverged from the uninterrupted one"
+        );
+    }
+
+    #[test]
+    fn checkpoint_of_fresh_policy_roundtrips() {
+        let fresh = Taskrec::new(ListMode::RankAll, 4, 6);
+        let mut w = crowd_ckpt::StateWriter::new();
+        fresh.checkpoint_state(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut restored = Taskrec::new(ListMode::RankAll, 4, 6);
+        let mut r = crowd_ckpt::StateReader::new(&bytes);
+        restored.restore_state(&mut r).unwrap();
+        r.finish("Taskrec state").unwrap();
+        assert!(!restored.is_trained());
+        assert_eq!(restored.n_interactions(), 0);
+    }
+
+    #[test]
+    fn restore_rejects_a_mismatched_factor_dimension() {
+        // Saved with 6 latent factors, restored into a 4-factor policy: typed error.
+        let mut trained = Taskrec::new(ListMode::RankAll, 6, 7);
+        let ctx = context(0, &[(0, 0), (1, 1)]);
+        trained.observe(&ctx.view(), &feedback(&ctx, Some((0, 1))).view());
+        trained.end_of_day(0);
+        let mut w = crowd_ckpt::StateWriter::new();
+        trained.checkpoint_state(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut narrow = Taskrec::new(ListMode::RankAll, 4, 7);
+        assert!(matches!(
+            narrow.restore_state(&mut crowd_ckpt::StateReader::new(&bytes)),
+            Err(crowd_ckpt::CkptError::Corrupt { .. })
+        ));
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //!   update round;
 //! * `serve_latency` — end-to-end decision latency (p50/p99/p999) and max sustained
 //!   throughput of the `crowd-serve` micro-batching service under Poisson and bursty
-//!   open-loop load at several client counts (uses [`latency::LatencyHistogram`]).
+//!   open-loop load at several client counts (uses [`latency::LatencyHistogram`]);
+//! * `kernel_throughput` — the vectorised matmul kernels against their retained
+//!   scalar references at every benchmarked shape (the speed half of the
+//!   `tests/kernel_equivalence.rs` fence: the blocked kernels must be strictly
+//!   faster), plus the serial-vs-persistent-pool dispatch edge on large products.
 
 use crowd_rl_core::{StateTensor, StateTransformer};
 use crowd_sim::{ArrivalContext, TaskId, TaskSnapshot, WorkerId};

@@ -515,9 +515,10 @@ impl BatchedPolicy for DdqnAgent {
         // Empty pools skip state construction just like the sequential `act` short-circuit;
         // a zero-row placeholder keeps the index alignment with `views` and contributes no
         // rows to the packed buffer. Parallel packing only pays once there are enough
-        // views to amortise the scoped-thread spawns (a per-view state build is
-        // microseconds, a spawn is tens of them); small batches shard to nothing —
-        // bit-identical either way, so this gate is pure wall clock.
+        // views to amortise the pool dispatch (a per-view state build is microseconds;
+        // the persistent pool's warm dispatch is cheaper than a thread spawn but not
+        // free); small batches shard to nothing — bit-identical either way, so this gate
+        // is pure wall clock.
         let pool = if views.len() >= self.pool.threads() * 4 {
             self.pool
         } else {
@@ -771,7 +772,7 @@ mod tests {
     #[test]
     fn agent_and_learner_are_send() {
         // The parallel split moves `&mut DqnLearner` (par_join) and boxed policies
-        // (step_all_parallel) across scoped threads; this is the compile-time fence.
+        // (step_all_parallel) across pool worker threads; this is the compile-time fence.
         fn assert_send<T: Send>() {}
         assert_send::<DdqnAgent>();
         assert_send::<crate::DqnLearner>();

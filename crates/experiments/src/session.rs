@@ -606,8 +606,9 @@ impl<E: Env> SessionBatch<E> {
         }
         // Unpack: apply + record per session (parallel — no policy involved), then the
         // shared policy observes every feedback sequentially in session order. Small
-        // rounds run the unpack serially: a per-session apply is microseconds, a scoped
-        // spawn is tens of them, and the two paths are bit-identical anyway.
+        // rounds run the unpack serially: a per-session apply is microseconds, and even
+        // the persistent pool's warm dispatch is not free — the two paths are
+        // bit-identical anyway.
         let unpack_pool = if n >= self.pool.threads() * 4 {
             self.pool
         } else {
@@ -784,12 +785,12 @@ pub fn run_policies_lockstep(
 /// bit-identical outcomes at any thread count.
 ///
 /// The pool is spent on the **outer** session sharding only; every policy keeps a serial
-/// internal pool. Handing both levels the same multi-thread pool would nest scoped
-/// pools (`threads` session shards × up to `threads` workers per pooled kernel inside
-/// each policy), oversubscribing the cores and multiplying spawn cost — the outer shard
-/// is the chunkier, better-scaling level. (Nesting is still *correct* — results are
-/// bit-identical either way — just slower; `tests/parallel_equivalence.rs` deliberately
-/// exercises the nested shape.)
+/// internal pool. Nested `par_*` calls made from inside a pool shard run inline on that
+/// worker (see `crowd-parallel`'s "Nesting" docs), so a policy's internal pooled kernels
+/// would silently degrade to serial anyway — the outer shard is the chunkier,
+/// better-scaling level, and giving the inner level a serial pool makes that explicit.
+/// (Nesting is still *correct* — results are bit-identical either way;
+/// `tests/parallel_equivalence.rs` deliberately exercises the nested shape.)
 pub fn run_policies_lockstep_with_pool(
     dataset: &Dataset,
     mut policies: Vec<BoxedPolicy>,

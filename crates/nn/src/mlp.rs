@@ -127,9 +127,52 @@ impl Mlp {
     }
 }
 
+/// Checkpointing: an [`Mlp`]'s dynamic state is its parameter store plus the Adam
+/// optimizer's moments and step count. The architecture (input dimension, hidden
+/// widths) is written as a validation header, so restoring into a differently-shaped
+/// scaffold is a typed [`CkptError::Corrupt`](crowd_ckpt::CkptError::Corrupt) instead
+/// of silent weight corruption; the scaffold's initial weights are fully overwritten
+/// by the (shape-validated) [`ParamStore`] load.
+impl crowd_ckpt::SaveState for Mlp {
+    fn save_state(&self, w: &mut crowd_ckpt::StateWriter) {
+        w.put_usize(self.input_dim);
+        w.put_usize(self.hidden.len());
+        for layer in &self.hidden {
+            w.put_usize(layer.out_dim());
+        }
+        crowd_ckpt::SaveState::save_state(&self.store, w);
+        crowd_ckpt::SaveState::save_state(&self.optimizer, w);
+    }
+}
+
+impl crowd_ckpt::LoadState for Mlp {
+    fn load_state(&mut self, r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<()> {
+        let input_dim = r.take_usize()?;
+        let layers = r.take_len("mlp hidden widths", 8)?;
+        let mut widths = Vec::with_capacity(layers);
+        for _ in 0..layers {
+            widths.push(r.take_usize()?);
+        }
+        let own: Vec<usize> = self.hidden.iter().map(RowwiseFF::out_dim).collect();
+        if input_dim != self.input_dim || widths != own {
+            return Err(crowd_ckpt::CkptError::Corrupt {
+                what: "MLP architecture",
+                detail: format!(
+                    "snapshot is {input_dim}->{widths:?}, restore target is {}->{own:?}",
+                    self.input_dim
+                ),
+            });
+        }
+        crowd_ckpt::LoadState::load_state(&mut self.store, r)?;
+        crowd_ckpt::LoadState::load_state(&mut self.optimizer, r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crowd_ckpt::{LoadState, SaveState};
 
     #[test]
     fn shapes_and_weight_count() {
@@ -192,6 +235,54 @@ mod tests {
             .predict(&Matrix::from_vec(1, 2, vec![-0.7, -0.8]).unwrap())
             .unwrap()[0];
         assert!(both_pos > both_neg + 0.3, "pos {both_pos} neg {both_neg}");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_continues_bit_identically() {
+        let mut rng = Rng::seed_from(4);
+        let mut trained = Mlp::new(3, &[8, 8], 0.01, &mut rng);
+        let x = Matrix::rand_uniform(32, 3, -1.0, 1.0, &mut rng);
+        let y: Vec<f32> = (0..32).map(|i| x.get(i, 0) - x.get(i, 1)).collect();
+        trained.fit(&x, &y, 4, 8, &mut rng).unwrap();
+
+        let mut w = crowd_ckpt::StateWriter::new();
+        trained.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        // The scaffold's RNG (and therefore its initial weights) are deliberately
+        // different: the load must overwrite every parameter and moment.
+        let mut scaffold_rng = Rng::seed_from(999);
+        let mut restored = Mlp::new(3, &[8, 8], 0.5, &mut scaffold_rng);
+        let mut r = crowd_ckpt::StateReader::new(&bytes);
+        restored.load_state(&mut r).unwrap();
+        r.finish("mlp state").unwrap();
+
+        let probe = Matrix::rand_uniform(8, 3, -1.0, 1.0, &mut rng);
+        let (a, b) = (
+            trained.predict(&probe).unwrap(),
+            restored.predict(&probe).unwrap(),
+        );
+        for (va, vb) in a.iter().zip(&b) {
+            assert_eq!(va.to_bits(), vb.to_bits());
+        }
+        // Training continues identically too (optimizer moments restored).
+        let la = trained.fit_batch(&probe, &[0.0; 8]).unwrap();
+        let lb = restored.fit_batch(&probe, &[0.0; 8]).unwrap();
+        assert_eq!(la.to_bits(), lb.to_bits());
+    }
+
+    #[test]
+    fn checkpoint_restore_rejects_a_mismatched_architecture() {
+        let mut rng = Rng::seed_from(5);
+        let narrow = Mlp::new(3, &[8], 0.01, &mut rng);
+        let mut w = crowd_ckpt::StateWriter::new();
+        narrow.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut wide = Mlp::new(3, &[16], 0.01, &mut rng);
+        assert!(matches!(
+            wide.load_state(&mut crowd_ckpt::StateReader::new(&bytes)),
+            Err(crowd_ckpt::CkptError::Corrupt { .. })
+        ));
     }
 
     #[test]

@@ -1,11 +1,12 @@
-//! Long-lived dedicated worker threads, complementing the scoped [`ThreadPool`].
+//! Long-lived dedicated worker threads, complementing the [`ThreadPool`].
 //!
-//! The pool in this crate is *ephemeral* by design: every `par_chunks`/`par_join` call
-//! opens a scope, borrows the caller's data and joins before returning. That shape fits
-//! compute bursts, but an online serving loop is the opposite — one thread that lives
-//! for the whole process, owns mutable state outright (the policy, the decision log)
-//! and blocks on an ingress queue between bursts. [`spawn_dedicated`] is the
-//! workspace-standard way to start such a thread:
+//! The pool in this crate serves *compute bursts*: a `par_chunks`/`par_join` call
+//! borrows the caller's data, fans it out over the persistent pool's parked workers
+//! and waits for every shard before returning. An online serving loop is the opposite
+//! shape — one thread that lives for the whole process, owns mutable state outright
+//! (the policy, the decision log) and blocks on an ingress queue between bursts.
+//! [`spawn_dedicated`] is the workspace-standard way to start such a thread (the
+//! persistent pool itself uses it for its workers):
 //!
 //! * the thread is **named** (`crowd-<name>`), so profilers, `top -H` and panic
 //!   messages attribute its work;
@@ -20,9 +21,11 @@
 //!
 //! The spawned closure still owns its data (`'static` + `Send`); communicate with the
 //! thread through channels and collect its final value through the returned
-//! [`JoinHandle`]. Inside the thread, nested [`ThreadPool`] calls work as usual — the
-//! serve batch worker hands its pool to the policy so one micro-batch forward pass can
-//! itself shard across cores.
+//! [`JoinHandle`]. A dedicated thread is **not** a pool worker, so nested
+//! [`ThreadPool`] calls made inside it parallelise as usual — the serve batch worker
+//! hands its pool to the policy so one micro-batch forward pass can itself shard
+//! across cores. (Only calls made from *inside a pool shard* run inline; see the
+//! [crate docs](crate), "Nesting".)
 //!
 //! [`ThreadPool`]: crate::ThreadPool
 

@@ -1,28 +1,39 @@
-//! Deterministic multi-threaded execution for the crowd-RL workspace: a hand-rolled
-//! scoped-thread worker pool with a [`ThreadPool::par_chunks`] / [`ThreadPool::par_join`]
-//! surface.
+//! Deterministic multi-threaded execution for the crowd-RL workspace: a persistent
+//! worker pool behind a [`ThreadPool::par_chunks`] / [`ThreadPool::par_join`] surface.
 //!
 //! # Design
 //!
 //! The build environment is offline, so no external thread-pool crate (rayon, crossbeam)
 //! is available; everything here is `std`. A [`ThreadPool`] is a *handle*, not a set of
-//! long-lived OS threads: every parallel call opens one [`std::thread::scope`], spawns up
-//! to `threads − 1` workers for the tail shards, runs the first shard on the calling
-//! thread, and joins before returning. That keeps the pool
+//! OS threads: it is just a thread count, and every parallel call dispatches through the
+//! process-wide [`PersistentPool`] — long-lived parked workers fed closures over
+//! channels (see the [`persistent`] module for the full design). A call shards the work,
+//! runs the first shard on the calling thread, sends the tail shards to parked workers,
+//! and blocks on a completion latch before returning. That keeps the pool
 //!
-//! * **safe** — workers borrow the caller's data through the scope, no `'static` bounds,
-//!   no lifetime transmutation;
-//! * **panic-correct** — `std::thread::scope` joins every worker and re-raises a worker's
-//!   panic in the caller, so a panic inside a shard propagates exactly like a panic in a
-//!   serial loop (tested below);
+//! * **scoped** — shard closures borrow the caller's data; the dispatch layer erases the
+//!   lifetime to cross the worker channels, which is sound because every call waits for
+//!   all of its shards before returning (the `thread::scope` guarantee, without the
+//!   per-call spawns — see [`PersistentPool::scoped_run`]);
+//! * **panic-correct** — every shard runs to completion, then a shard panic is re-raised
+//!   on the calling thread (caller's shard first, then lowest shard index), and the
+//!   workers themselves survive, so a panic inside a shard propagates exactly like a
+//!   panic in a serial loop and the pool stays usable (tested below);
 //! * **cheap to thread through APIs** — the handle is `Copy` (it is just a thread count),
 //!   so layers pass it by value without lifetime plumbing.
 //!
-//! The cost is one `thread::spawn`/join per worker per call (tens of microseconds on
-//! Linux). Callers therefore parallelise *chunky* work: a round of session stepping, one
-//! large stacked matmul, one gradient update per branch — never per-element operations.
-//! The tensor layer additionally gates its row-sharded kernels on a minimum work size so
-//! small matrices never pay a spawn (see `crowd-tensor`'s `matmul_par`).
+//! Workers spawn lazily on first use and are then reused warm: a parallel call costs a
+//! channel send and a wake per tail shard (single-digit microseconds), not a
+//! `thread::spawn`/join per worker (tens of microseconds). Callers still parallelise
+//! *chunky* work — a round of session stepping, one large stacked matmul, one gradient
+//! update per branch — and the tensor layer gates its row-sharded kernels on a minimum
+//! work size so small matrices never pay even a dispatch (see `crowd-tensor`'s
+//! `matmul_par`).
+//!
+//! **Nesting**: a `par_*` call made from *inside* a shard (i.e. on a pool worker) runs
+//! its shards inline on that worker, in shard order — bit-identical by the serial/
+//! parallel contract, and immune to pool-saturation deadlock. Threads created with
+//! [`spawn_dedicated`] are not pool workers; their `par_*` calls parallelise normally.
 //!
 //! # Determinism
 //!
@@ -59,12 +70,14 @@
 //! ```
 
 pub mod dedicated;
+pub mod persistent;
 
 pub use dedicated::{spawn_dedicated, DEDICATED_STACK_BYTES};
+pub use persistent::PersistentPool;
 
 use std::num::NonZeroUsize;
 
-/// A deterministic scoped-thread worker pool handle.
+/// A deterministic worker-pool handle over the process-wide [`PersistentPool`].
 ///
 /// See the [crate docs](crate) for the design; the handle itself is just a thread count
 /// and is `Copy`, so it can be threaded by value from the session layer down to the
@@ -175,13 +188,16 @@ impl ThreadPool {
     /// deterministic `f` makes the whole call deterministic; and because the shards are
     /// disjoint `&mut` sub-slices, `f` needs no synchronisation. Zero items run nothing;
     /// a single shard (serial pool, or fewer granules than threads would each get one)
-    /// runs inline on the calling thread without opening a scope.
+    /// runs inline on the calling thread without touching the pool; a call from inside a
+    /// pool worker runs every shard inline in shard order (see the [crate docs](crate),
+    /// "Nesting").
     ///
     /// # Panics
     ///
-    /// A panic inside any shard is re-raised on the calling thread after every worker has
-    /// been joined (the [`std::thread::scope`] contract), matching the behaviour of the
-    /// equivalent serial loop.
+    /// A panic inside any shard is re-raised on the calling thread after every shard has
+    /// completed (the [`PersistentPool::scoped_run`] contract, matching what
+    /// `std::thread::scope` guaranteed), so it propagates exactly like a panic in the
+    /// equivalent serial loop and the pool stays usable afterwards.
     pub fn par_chunks<T, R, F>(&self, items: &mut [T], granule: usize, f: F) -> Vec<R>
     where
         T: Send,
@@ -189,50 +205,58 @@ impl ThreadPool {
         F: Fn(usize, &mut [T]) -> R + Sync,
     {
         let bounds = self.shard_bounds(items.len(), granule);
-        match bounds.len() {
-            0 => Vec::new(),
-            1 => vec![f(0, items)],
-            _ => {
-                let mut shards: Vec<(usize, &mut [T])> = Vec::with_capacity(bounds.len());
-                let mut rest = items;
-                let mut consumed = 0;
-                for &(start, end) in &bounds {
-                    let (head, tail) = rest.split_at_mut(end - consumed);
-                    debug_assert_eq!(consumed, start);
-                    shards.push((start, head));
-                    rest = tail;
-                    consumed = end;
-                }
-                let f = &f;
-                std::thread::scope(|scope| {
-                    let mut head = shards.drain(..);
-                    let (first_offset, first_chunk) =
-                        head.next().expect("at least two shards in this branch");
-                    let handles: Vec<_> = head
-                        .map(|(offset, chunk)| scope.spawn(move || f(offset, chunk)))
-                        .collect();
-                    let mut results = vec![f(first_offset, first_chunk)];
-                    for handle in handles {
-                        match handle.join() {
-                            Ok(r) => results.push(r),
-                            Err(payload) => std::panic::resume_unwind(payload),
-                        }
-                    }
-                    results
-                })
-            }
+        if bounds.is_empty() {
+            return Vec::new();
         }
+        if bounds.len() == 1 {
+            return vec![f(0, items)];
+        }
+        // Split into disjoint &mut shards up front (pure slice arithmetic, no threads).
+        let mut shards: Vec<(usize, &mut [T])> = Vec::with_capacity(bounds.len());
+        let mut rest = items;
+        let mut consumed = 0;
+        for &(start, end) in &bounds {
+            let (head, tail) = rest.split_at_mut(end - consumed);
+            debug_assert_eq!(consumed, start);
+            shards.push((start, head));
+            rest = tail;
+            consumed = end;
+        }
+        if persistent::on_worker_thread() {
+            // Nested call from inside a pool job: same shards, run inline in shard
+            // order — bit-identical and saturation-proof (crate docs, "Nesting").
+            return shards
+                .into_iter()
+                .map(|(offset, chunk)| f(offset, chunk))
+                .collect();
+        }
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(bounds.len(), || None);
+        let f = &f;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = shards
+            .into_iter()
+            .zip(slots.iter_mut())
+            .map(|((offset, chunk), slot)| -> Box<dyn FnOnce() + Send + '_> {
+                Box::new(move || *slot = Some(f(offset, chunk)))
+            })
+            .collect();
+        PersistentPool::global().scoped_run(tasks);
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("scoped_run completed every shard"))
+            .collect()
     }
 
-    /// Runs `a` and `b` in parallel (on the calling thread and one scoped worker) and
-    /// returns `(a(), b())`. On a serial pool they run back to back, `a` first — the same
-    /// order a sequential caller would use, so serial and parallel execution differ only
-    /// in wall clock, never in which closure runs.
+    /// Runs `a` and `b` in parallel (on the calling thread and one pool worker) and
+    /// returns `(a(), b())`. On a serial pool — or when called from inside a pool
+    /// worker (see the [crate docs](crate), "Nesting") — they run back to back, `a`
+    /// first: the same order a sequential caller would use, so serial and parallel
+    /// execution differ only in wall clock, never in which closure runs.
     ///
     /// # Panics
     ///
-    /// A panic in either closure is re-raised on the calling thread after the other side
-    /// has been joined.
+    /// A panic in either closure is re-raised on the calling thread after both sides
+    /// have completed; when both panic, `a`'s panic wins (it ran on the caller).
     pub fn par_join<RA, RB, A, B>(&self, a: A, b: B) -> (RA, RB)
     where
         RA: Send,
@@ -240,19 +264,23 @@ impl ThreadPool {
         A: FnOnce() -> RA + Send,
         B: FnOnce() -> RB + Send,
     {
-        if self.is_serial() {
+        if self.is_serial() || persistent::on_worker_thread() {
             let ra = a();
             let rb = b();
             (ra, rb)
         } else {
-            std::thread::scope(|scope| {
-                let handle = scope.spawn(b);
-                let ra = a();
-                match handle.join() {
-                    Ok(rb) => (ra, rb),
-                    Err(payload) => std::panic::resume_unwind(payload),
-                }
-            })
+            let (mut ra, mut rb) = (None, None);
+            {
+                let (ra, rb) = (&mut ra, &mut rb);
+                PersistentPool::global().scoped_run(vec![
+                    Box::new(move || *ra = Some(a())),
+                    Box::new(move || *rb = Some(b())),
+                ]);
+            }
+            (
+                ra.expect("scoped_run completed the caller side"),
+                rb.expect("scoped_run completed the worker side"),
+            )
         }
     }
 }
@@ -423,6 +451,83 @@ mod tests {
             pool.par_join(|| -> u32 { panic!("caller side failed") }, || 1)
         }));
         assert!(caller.is_err());
+    }
+
+    #[test]
+    fn from_env_selects_the_width_via_crowd_threads() {
+        // The only test in the workspace that mutates CROWD_THREADS in-process (CI sets
+        // it per job instead), so there is no racing reader.
+        std::env::set_var("CROWD_THREADS", "3");
+        assert_eq!(ThreadPool::from_env().threads(), 3);
+        std::env::set_var("CROWD_THREADS", "not-a-number");
+        assert_eq!(ThreadPool::from_env(), ThreadPool::available());
+        std::env::remove_var("CROWD_THREADS");
+        assert_eq!(ThreadPool::from_env(), ThreadPool::available());
+    }
+
+    #[test]
+    fn repeated_par_chunks_calls_reuse_warm_global_workers() {
+        let pool = ThreadPool::new(4);
+        let mut items = vec![0u64; 64];
+        pool.par_chunks(&mut items, 1, |offset, chunk| {
+            chunk.iter_mut().for_each(|x| *x += offset as u64)
+        });
+        // Other tests share the global pool, so the only stable claim is an upper
+        // bound: many repeat dispatches must not keep spawning threads.
+        let after_warmup = PersistentPool::global().workers_spawned();
+        for _ in 0..32 {
+            pool.par_chunks(&mut items, 1, |offset, chunk| {
+                chunk.iter_mut().for_each(|x| *x += offset as u64)
+            });
+        }
+        let after_reuse = PersistentPool::global().workers_spawned();
+        // Concurrent tests may legitimately grow the pool a little; 32 dispatches of
+        // width 4 would have spawned ~96 workers under a spawn-per-call design.
+        assert!(
+            after_reuse <= after_warmup + 8,
+            "warm dispatches must reuse parked workers ({after_warmup} -> {after_reuse})"
+        );
+    }
+
+    #[test]
+    fn nested_par_join_inside_par_chunks_runs_inline_on_workers() {
+        let pool = ThreadPool::new(4);
+        let mut items: Vec<u64> = (0..16).collect();
+        let sums = pool.par_chunks(&mut items, 1, |offset, chunk| {
+            let me = std::thread::current().id();
+            let on_worker = persistent::on_worker_thread();
+            let (left, right) = pool.par_join(
+                || (std::thread::current().id(), chunk.iter().sum::<u64>()),
+                || (std::thread::current().id(), offset as u64),
+            );
+            if on_worker {
+                // Documented nesting contract: on a pool worker, nested calls stay
+                // on that worker instead of re-entering the pool.
+                assert_eq!(left.0, me);
+                assert_eq!(right.0, me);
+            }
+            left.1 + right.1
+        });
+        // 4 deterministic shards of 4 items: item total (0+..+15 = 120) plus the
+        // shard offsets (0 + 4 + 8 + 12 = 24).
+        assert_eq!(sums.iter().sum::<u64>(), 144);
+    }
+
+    #[test]
+    fn nested_par_chunks_inside_par_chunks_matches_the_serial_result() {
+        let serial: Vec<u64> = (0..48).map(|v| v * 3 + 1).collect();
+        let pool = ThreadPool::new(4);
+        let mut items: Vec<u64> = (0..48).collect();
+        pool.par_chunks(&mut items, 1, |offset, chunk| {
+            // A second level of sharding over this shard's own data.
+            pool.par_chunks(chunk, 1, |inner_offset, inner| {
+                for (i, x) in inner.iter_mut().enumerate() {
+                    let v = (offset + inner_offset + i) as u64;
+                    *x = v * 3 + 1;
+                }
+            });
+        });
+        assert_eq!(items, serial);
     }
 
     #[test]

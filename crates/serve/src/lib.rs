@@ -16,7 +16,9 @@
 //!   ([`crowd_parallel::spawn_dedicated`]) drains in-flight requests and coalesces
 //!   them into one [`crowd_sim::BatchedPolicy::act_batch`] packed forward pass per
 //!   round — amortising Q-network inference exactly the way
-//!   `SessionBatch` amortises it offline.
+//!   `SessionBatch` amortises it offline. A dedicated thread is *not* a persistent-pool
+//!   worker, so the packed pass's row-sharded kernels still parallelise across the
+//!   pool from inside it (see `crowd-parallel`'s "Nesting" docs).
 //! - **Durability**: every committed round is appended to a [`DecisionLog`] —
 //!   CRC-framed record batches in rotated segments (the `crowd-ckpt` WAL layer,
 //!   `docs/DECISION_LOG_FORMAT.md`) — *before* any client is acknowledged. A crashed

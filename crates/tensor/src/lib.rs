@@ -43,14 +43,17 @@
 //!
 //! # Parallel kernels
 //!
-//! The packed buffers above can grow to thousands of rows at replica scale, so the two
-//! matmul kernels have row-sharded twins — [`Matrix::matmul_par`] /
-//! [`Matrix::matmul_transpose_par`] — that split the *output rows* across a
-//! [`ThreadPool`] (re-exported from `crowd-parallel`). Every output row is produced by
+//! The packed buffers above can grow to thousands of rows at replica scale, so the
+//! matmul kernels are register-blocked and 8-lane unrolled (see the [`ops`] module docs
+//! for the accumulation-order contract, and `tests/kernel_equivalence.rs` for the
+//! differential fence against the retained scalar references), and both have
+//! row-sharded twins — [`Matrix::matmul_par`] / [`Matrix::matmul_transpose_par`] — that
+//! split the *output rows* across a [`ThreadPool`] (re-exported from `crowd-parallel`,
+//! which dispatches to its persistent worker pool). Every output row is produced by
 //! the same per-row kernel the serial path runs, with the same f32 accumulation order,
 //! so the parallel results are **bit-identical** to the serial ones at any thread count;
-//! small products fall back to the serial kernel automatically (a thread spawn costs
-//! more than they do).
+//! small products fall back to the serial kernel automatically (even the persistent
+//! pool's warm dispatch costs more than they do).
 //!
 //! # Determinism
 //!

@@ -1,9 +1,39 @@
 //! Numeric operations on [`Matrix`].
 //!
 //! The hot path of the whole workspace is `matmul` inside the Q-network forward/backward
-//! pass; it uses the classic `i-k-j` loop order so the innermost loop walks both operands
-//! contiguously and auto-vectorises. Everything else is straightforward element-wise or
-//! row-wise code with explicit shape checks.
+//! pass. Both product kernels ([`Matrix::matmul`] and [`Matrix::matmul_transpose`]) run
+//! through one register-blocked, 8-lane unrolled microkernel (`lane_tile`; the
+//! `n % LANES` lane-remainder columns go through the row-blocked `col_tile`) — the
+//! build container is offline and on stable Rust, so the "vectors" are plain `[f32; 8]`
+//! accumulator arrays the optimiser keeps in SIMD registers. Everything else is
+//! straightforward element-wise or row-wise code with explicit shape checks.
+//!
+//! # The accumulation-order contract
+//!
+//! Every output element of every product kernel is computed as
+//!
+//! ```text
+//! c[i][j] = (((0.0 + a[i][0]·b[0][j]) + a[i][1]·b[1][j]) + …)   // p in increasing order
+//! ```
+//!
+//! a **sequential sum over the inner dimension `p`, in increasing order, one separate
+//! multiply-then-add per step** (no FMA, no split partial sums, no zero-skipping).
+//! Vectorisation happens only *across* output elements — each lane of a register tile is
+//! the accumulator of one distinct `c[i][j]` — so blocking over `i`/`j` can never change
+//! any element's bits. This is the one accumulation order the whole workspace's
+//! bit-identity story (parallel-, checkpoint-, batched- and serve-equivalence) rests on:
+//!
+//! * the row-sharded `_par` twins are bit-identical because shard boundaries only decide
+//!   *which thread* computes an element, never the order of its sum;
+//! * the retained scalar references [`Matrix::matmul_ref`] / [`Matrix::matmul_transpose_ref`]
+//!   implement the same order with textbook loops, and `tests/kernel_equivalence.rs`
+//!   pins `to_bits` equality between them and the blocked kernels over adversarial
+//!   shapes and values;
+//! * `benches/kernel_throughput.rs` measures the blocked kernels against those same
+//!   references, so the fast path must stay *provably fast* as well as provably equal.
+//!
+//! See `ARCHITECTURE.md` ("Vectorised kernels + the persistent worker pool") for the
+//! full story.
 
 use crate::error::TensorError;
 use crate::matrix::Matrix;
@@ -11,53 +41,238 @@ use crate::Result;
 use crowd_parallel::ThreadPool;
 
 /// Minimum number of scalar multiply-adds (`m · k · n`) before the parallel matmul
-/// kernels shard rows across threads. Below this, one scoped-thread spawn (tens of
-/// microseconds) costs more than the whole product, so the parallel entry points fall
-/// back to the serial kernel — which is bit-identical anyway.
-const PAR_MATMUL_MIN_MADDS: usize = 1 << 19;
+/// kernels shard rows across threads. Dispatching to the persistent worker pool costs a
+/// few microseconds per call (channel send + wake, no thread spawn since the pool keeps
+/// its workers parked), so products below ~128k multiply-adds fall back to the serial
+/// kernel — which is bit-identical anyway.
+const PAR_MATMUL_MIN_MADDS: usize = 1 << 17;
 
-/// The shared `i-k-j` row kernel of [`Matrix::matmul`]: computes output rows
-/// `[row0, row0 + out_rows.len()/n)` into `out_rows`. Both the serial and the row-sharded
-/// parallel path run exactly this code per row, which is what makes
-/// [`Matrix::matmul_par`] bit-identical by construction.
-fn matmul_rows(a: &[f32], b: &[f32], k: usize, n: usize, row0: usize, out_rows: &mut [f32]) {
-    let rows = out_rows.len() / n.max(1);
-    for local in 0..rows {
-        let i = row0 + local;
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut out_rows[local * n..(local + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
-                *c_v += a_ip * b_v;
+/// Virtual SIMD width of the unrolled kernels: each register tile holds `LANES`
+/// consecutive output columns per row, accumulated in a `[f32; LANES]` that the
+/// optimiser maps onto vector registers (f32x8 = one AVX2 register).
+const LANES: usize = 8;
+
+/// Rows of the left operand per register tile. `TILE_ROWS · LANES` accumulators stay
+/// live across the whole inner-dimension loop, and every loaded lane group of the right
+/// operand is reused `TILE_ROWS` times.
+const TILE_ROWS: usize = 4;
+
+/// The shared register-tile microkernel of both product kernels: computes the
+/// `RT × LANES` output block for the `RT` left rows `a_rows` against the `LANES` right
+/// columns packed at stride `bstride` in `b` (`b[p * bstride + l]` is inner index `p`,
+/// lane `l`). [`Matrix::matmul`] passes a window of the right operand directly
+/// (`bstride = n`); [`Matrix::matmul_transpose`] passes a packed `k × LANES` panel
+/// (`bstride = LANES`).
+///
+/// Each lane accumulates its element's products over `p` in increasing order with a
+/// separate multiply-then-add per step — exactly the contract in the
+/// [module docs](self), which is why the result is bit-identical to the scalar
+/// references no matter how the drivers tile `i` and `j`.
+#[inline(always)]
+fn lane_tile<const RT: usize>(
+    a_rows: [&[f32]; RT],
+    b: &[f32],
+    bstride: usize,
+    k: usize,
+) -> [[f32; LANES]; RT] {
+    let mut acc = [[0.0f32; LANES]; RT];
+    for p in 0..k {
+        let bp = &b[p * bstride..p * bstride + LANES];
+        for (accr, a_row) in acc.iter_mut().zip(a_rows.iter()) {
+            let av = a_row[p];
+            for (o, &bv) in accr.iter_mut().zip(bp.iter()) {
+                *o += av * bv;
             }
         }
+    }
+    acc
+}
+
+/// Sequential dot product over `p` in increasing order — the scalar edge of the contract,
+/// used by the retained scalar references.
+#[inline(always)]
+fn seq_dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Column tile: `RT` output elements of one output column, left rows `a_rows` against
+/// the right-operand column `b[p * bstride + j]`. Each accumulator is one output
+/// element folded over `p` in increasing order with a separate multiply-then-add per
+/// step — the same contract as [`lane_tile`], vectorised across output *rows* instead
+/// of columns. Used for the lane-remainder columns (`n % LANES` of them), where it
+/// keeps `RT` independent dependency chains in flight and shares each loaded `b` value
+/// across them, instead of walking one latency-bound dot per element.
+#[inline(always)]
+fn col_tile<const RT: usize>(
+    a_rows: [&[f32]; RT],
+    b: &[f32],
+    bstride: usize,
+    j: usize,
+    k: usize,
+) -> [f32; RT] {
+    let mut acc = [0.0f32; RT];
+    for p in 0..k {
+        let bv = b[p * bstride + j];
+        for (o, a_row) in acc.iter_mut().zip(a_rows.iter()) {
+            *o += a_row[p] * bv;
+        }
+    }
+    acc
+}
+
+/// Runs [`col_tile`] down output column `j_out` for all `rows` rows (4/2/1 row tiles),
+/// reading the right-operand column from `b` at `b[p * bstride + j_b]`.
+/// [`Matrix::matmul`] passes the right operand in place (`bstride = n`, `j_b = j_out`);
+/// [`Matrix::matmul_transpose`] passes the contiguous `rhs` row (`bstride = 1`,
+/// `j_b = 0`).
+#[allow(clippy::too_many_arguments)] // internal kernel plumbing, not an API
+#[inline(always)]
+fn col_tiles(
+    a: &[f32],
+    k: usize,
+    row0: usize,
+    rows: usize,
+    b: &[f32],
+    bstride: usize,
+    j_b: usize,
+    out_rows: &mut [f32],
+    n: usize,
+    j_out: usize,
+) {
+    let a_row = |local: usize| &a[(row0 + local) * k..][..k];
+    let mut store = |i: usize, acc: &[f32]| {
+        for (r, &v) in acc.iter().enumerate() {
+            out_rows[(i + r) * n + j_out] = v;
+        }
+    };
+    let mut i = 0;
+    while i + TILE_ROWS <= rows {
+        let tile = col_tile::<TILE_ROWS>(std::array::from_fn(|r| a_row(i + r)), b, bstride, j_b, k);
+        store(i, &tile);
+        i += TILE_ROWS;
+    }
+    if i + 2 <= rows {
+        let tile = col_tile::<2>(std::array::from_fn(|r| a_row(i + r)), b, bstride, j_b, k);
+        store(i, &tile);
+        i += 2;
+    }
+    if i < rows {
+        let tile = col_tile::<1>([a_row(i)], b, bstride, j_b, k);
+        store(i, &tile);
+    }
+}
+
+/// Runs [`lane_tile`] over all `rows` output rows for one group of `LANES` output
+/// columns starting at `j0`, tiling rows 4-at-a-time with 2/1-row tails. `b` is the
+/// lane group's right-operand window (stride `bstride`), `out_rows` the shard's output
+/// window of width `n` starting at absolute row `row0`.
+#[allow(clippy::too_many_arguments)] // internal kernel plumbing, not an API
+#[inline(always)]
+fn row_tiles(
+    a: &[f32],
+    k: usize,
+    row0: usize,
+    rows: usize,
+    b: &[f32],
+    bstride: usize,
+    out_rows: &mut [f32],
+    n: usize,
+    j0: usize,
+) {
+    let mut store = |i: usize, acc: &[[f32; LANES]]| {
+        for (r, lanes) in acc.iter().enumerate() {
+            out_rows[(i + r) * n + j0..][..LANES].copy_from_slice(lanes);
+        }
+    };
+    let a_row = |local: usize| &a[(row0 + local) * k..][..k];
+    let mut i = 0;
+    while i + TILE_ROWS <= rows {
+        let tile = lane_tile::<TILE_ROWS>(std::array::from_fn(|r| a_row(i + r)), b, bstride, k);
+        store(i, &tile);
+        i += TILE_ROWS;
+    }
+    if i + 2 <= rows {
+        let tile = lane_tile::<2>(std::array::from_fn(|r| a_row(i + r)), b, bstride, k);
+        store(i, &tile);
+        i += 2;
+    }
+    if i < rows {
+        let tile = lane_tile::<1>([a_row(i)], b, bstride, k);
+        store(i, &tile);
+    }
+}
+
+/// The shared row kernel of [`Matrix::matmul`]: computes output rows
+/// `[row0, row0 + out_rows.len()/n)` into `out_rows` through the register-blocked
+/// microkernel (lane groups of the right operand are read in place, stride `n`).
+/// Both the serial and the row-sharded parallel path run exactly this code per row,
+/// which is what makes [`Matrix::matmul_par`] bit-identical by construction.
+fn matmul_rows(a: &[f32], b: &[f32], k: usize, n: usize, row0: usize, out_rows: &mut [f32]) {
+    let rows = out_rows.len() / n.max(1);
+    let lane_end = n - n % LANES;
+    let mut j0 = 0;
+    while j0 < lane_end {
+        row_tiles(a, k, row0, rows, &b[j0..], n, out_rows, n, j0);
+        j0 += LANES;
+    }
+    // Lane-remainder columns: row-blocked column tiles down the strided columns.
+    for j in lane_end..n {
+        col_tiles(a, k, row0, rows, b, n, j, out_rows, n, j);
     }
 }
 
 /// The shared row kernel of [`Matrix::matmul_transpose`] (`self * rhs^T` without
-/// materialising the transpose), same sharding contract as [`matmul_rows`].
+/// materialising the transpose), same sharding contract as [`matmul_rows`]. Per group of
+/// `LANES` output columns it packs a `k × LANES` panel of `rhs` rows (one transposed
+/// copy, reused by every row tile of the shard) and runs the same microkernel as
+/// [`matmul_rows`] over it.
 fn matmul_transpose_rows(a: &Matrix, rhs: &Matrix, n: usize, row0: usize, out_rows: &mut [f32]) {
-    let rows = out_rows.len() / n.max(1);
-    for local in 0..rows {
-        let a_row = a.row(row0 + local);
-        let c_row = &mut out_rows[local * n..(local + 1) * n];
-        for (c_v, j) in c_row.iter_mut().zip(0..n) {
-            let b_row = rhs.row(j);
-            let mut acc = 0.0f32;
-            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
-                acc += x * y;
+    if n == 0 {
+        return;
+    }
+    let rows = out_rows.len() / n;
+    let k = a.cols();
+    let lane_end = n - n % LANES;
+    if lane_end > 0 {
+        // The packed panel exists only while there is at least one full lane group;
+        // narrow products (`n < LANES`) never pay for the allocation.
+        let mut panel = vec![0.0f32; k * LANES];
+        let mut j0 = 0;
+        while j0 < lane_end {
+            for l in 0..LANES {
+                let b_row = rhs.row(j0 + l);
+                for (p, &v) in b_row.iter().enumerate() {
+                    panel[p * LANES + l] = v;
+                }
             }
-            *c_v = acc;
+            row_tiles(a.as_slice(), k, row0, rows, &panel, LANES, out_rows, n, j0);
+            j0 += LANES;
         }
+    }
+    // Lane-remainder columns: row-blocked column tiles over the contiguous `rhs` rows.
+    for j in lane_end..n {
+        col_tiles(
+            a.as_slice(),
+            k,
+            row0,
+            rows,
+            rhs.row(j),
+            1,
+            0,
+            out_rows,
+            n,
+            j,
+        );
     }
 }
 
 impl Matrix {
-    /// Matrix product `self * rhs`.
+    /// Matrix product `self * rhs`, through the register-blocked 8-lane kernel (see the
+    /// [module docs](self) for the accumulation-order contract it realises).
     ///
     /// # Errors
     ///
@@ -83,8 +298,8 @@ impl Matrix {
     /// of `rhs` — accumulated in an order that does not depend on the shard — the result
     /// is **bit-identical** to [`Matrix::matmul`] at any thread count.
     ///
-    /// Small products (fewer than ~half a million multiply-adds) and serial pools skip the
-    /// scoped-thread machinery entirely and run the serial kernel.
+    /// Small products (fewer than ~128k multiply-adds) and serial pools skip the pool
+    /// dispatch entirely and run the serial kernel inline.
     pub fn matmul_par(&self, rhs: &Matrix, pool: ThreadPool) -> Result<Matrix> {
         if self.cols() != rhs.rows() {
             return Err(TensorError::ShapeMismatch {
@@ -107,7 +322,9 @@ impl Matrix {
         Ok(out)
     }
 
-    /// `self * rhs^T` without materialising the transpose.
+    /// `self * rhs^T` without materialising the transpose, through the same
+    /// register-blocked kernel as [`Matrix::matmul`] (each lane group packs a transposed
+    /// panel of `rhs` first, so the microkernel's loads stay contiguous).
     pub fn matmul_transpose(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols() != rhs.cols() {
             return Err(TensorError::ShapeMismatch {
@@ -141,6 +358,63 @@ impl Matrix {
         pool.par_chunks(out.as_mut_slice(), n, |offset, chunk| {
             matmul_transpose_rows(self, rhs, n, offset / n, chunk);
         });
+        Ok(out)
+    }
+
+    /// Scalar reference implementation of [`Matrix::matmul`]: the textbook `i-k-j` loop,
+    /// no register blocking, no lane unrolling. It realises the same
+    /// [accumulation-order contract](self) as the blocked kernel — every element is a
+    /// sequential `p`-ordered sum — so its result is **bit-identical** to
+    /// [`Matrix::matmul`]; `tests/kernel_equivalence.rs` holds the two to `to_bits`
+    /// equality over adversarial shapes and values, and
+    /// `benches/kernel_throughput.rs` uses it as the speed baseline the blocked kernel
+    /// must beat. Retained for those fences only (like `learn_sequential` and
+    /// `apply_owned`); production paths must call [`Matrix::matmul`].
+    pub fn matmul_ref(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols() != rhs.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_ref",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let k = self.cols();
+        let n = rhs.cols();
+        let (a, b) = (self.as_slice(), rhs.as_slice());
+        let mut out = Matrix::zeros(self.rows(), n);
+        for (i, c_row) in out.as_mut_slice().chunks_exact_mut(n.max(1)).enumerate() {
+            let a_row = &a[i * k..(i + 1) * k];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                let b_row = &b[p * n..(p + 1) * n];
+                for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c_v += a_ip * b_v;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Scalar reference implementation of [`Matrix::matmul_transpose`]: one sequential
+    /// dot product per output element. Same retention contract as
+    /// [`Matrix::matmul_ref`] — bit-identical oracle for the differential suite, speed
+    /// baseline for the throughput bench, not a production path.
+    pub fn matmul_transpose_ref(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols() != rhs.cols() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_transpose_ref",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let n = rhs.rows();
+        let mut out = Matrix::zeros(self.rows(), n);
+        for i in 0..self.rows() {
+            let a_row = self.row(i);
+            let c_row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+            for (j, c_v) in c_row.iter_mut().enumerate() {
+                *c_v = seq_dot(a_row, rhs.row(j));
+            }
+        }
         Ok(out)
     }
 
@@ -257,10 +531,13 @@ impl Matrix {
             });
         }
         let mut out = self.clone();
+        let bias = row.as_slice();
+        // Row-slice addition (one add per element, so bit-identical to any loop order);
+        // the contiguous zip auto-vectorises, which matters because every Linear /
+        // RowwiseFF / attention-projection layer runs this right after its matmul.
         for r in 0..out.rows() {
-            for c in 0..out.cols() {
-                let v = out.get(r, c) + row.get(0, c);
-                out.set(r, c, v);
+            for (o, &b) in out.row_mut(r).iter_mut().zip(bias.iter()) {
+                *o += b;
             }
         }
         Ok(out)
@@ -916,6 +1193,47 @@ mod proptests {
             single.matmul_par(&wide, pool).unwrap(),
             single.matmul(&wide).unwrap()
         );
+    }
+
+    #[test]
+    fn blocked_kernels_match_the_scalar_references_bit_for_bit() {
+        // The unit-level smoke of the contract; the adversarial sweep lives in
+        // tests/kernel_equivalence.rs.
+        let mut rng = Rng::seed_from(114);
+        for _ in 0..CASES {
+            let m = rng.range(1, 12);
+            let k = rng.range(1, 12);
+            let n = rng.range(1, 20); // crosses the 8-lane boundary both ways
+            let a = Matrix::randn(m, k, &mut rng);
+            let b = Matrix::randn(k, n, &mut rng);
+            let bt = b.transpose();
+            let fast = a.matmul(&b).unwrap();
+            let reference = a.matmul_ref(&b).unwrap();
+            for (x, y) in fast.as_slice().iter().zip(reference.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "matmul {m}x{k}x{n}");
+            }
+            let fast_t = a.matmul_transpose(&bt).unwrap();
+            let reference_t = a.matmul_transpose_ref(&bt).unwrap();
+            for (x, y) in fast_t.as_slice().iter().zip(reference_t.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "matmul_transpose {m}x{k}x{n}");
+            }
+        }
+        // The references report shape mismatches under their own op names.
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul_ref(&Matrix::zeros(2, 3)),
+            Err(TensorError::ShapeMismatch {
+                op: "matmul_ref",
+                ..
+            })
+        ));
+        assert!(matches!(
+            a.matmul_transpose_ref(&Matrix::zeros(2, 2)),
+            Err(TensorError::ShapeMismatch {
+                op: "matmul_transpose_ref",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -279,12 +279,26 @@ fn batch_lineup(dataset: &Dataset) -> Vec<BoxedPolicy> {
             crowd_baselines::ListMode::RankAll,
             13,
         )),
+        // The two daily-retrained supervised baselines, checkpointable since PR 7 —
+        // their RNG streams, factor/example windows and (for Greedy NN) MLP + Adam
+        // state must all survive the member snapshot.
+        Box::new(crowd_baselines::Taskrec::new(
+            crowd_baselines::ListMode::RankAll,
+            4,
+            17,
+        )),
+        Box::new(crowd_baselines::GreedyNn::new(
+            crowd_baselines::Benefit::Worker,
+            crowd_baselines::ListMode::RankAll,
+            19,
+        )),
     ]
 }
 
-/// Per-member `SessionBatch` snapshots: three replicas (two training agents + Random)
-/// stepped in lock-step, checkpointed between rounds, resumed into a fresh batch with
-/// fresh policies — every member finishes bit-identically to the uninterrupted batch.
+/// Per-member `SessionBatch` snapshots: five replicas (two training agents, Random,
+/// and the Taskrec / Greedy NN supervised baselines) stepped in lock-step,
+/// checkpointed between rounds, resumed into a fresh batch with fresh policies —
+/// every member finishes bit-identically to the uninterrupted batch.
 #[test]
 fn session_batch_member_snapshots_resume_bit_identically() {
     let dataset = dataset();
@@ -495,14 +509,20 @@ fn mismatched_resume_targets_are_typed_errors() {
     assert!(session.resume(&mut agent, &incomplete).is_err());
 
     // A policy without checkpoint support: `checkpoint` fails with Unsupported and the
-    // snapshot stays empty (nothing half-written).
-    let mut taskrec = crowd_baselines::Taskrec::new(crowd_baselines::ListMode::RankAll, 4, 7);
+    // snapshot stays empty (nothing half-written). Greedy cosine is the workspace's one
+    // genuinely stateless policy (scores are a pure function of the arrival), so it
+    // keeps the trait's Unsupported default — every *stateful* policy (DDQN, Random,
+    // LinUCB, Taskrec, Greedy NN) now implements checkpointing.
+    let mut cosine = crowd_baselines::GreedyCosine::new(
+        crowd_baselines::Benefit::Worker,
+        crowd_baselines::ListMode::RankAll,
+    );
     let mut session: Session = Session::for_dataset(&dataset, &RunnerConfig::default());
     for _ in 0..3 {
-        assert!(session.step(&mut taskrec));
+        assert!(session.step(&mut cosine));
     }
     let mut snapshot = Snapshot::new();
-    match session.checkpoint_into(&taskrec, &mut snapshot, "") {
+    match session.checkpoint_into(&cosine, &mut snapshot, "") {
         Err(CkptError::Unsupported { .. }) => {}
         other => panic!("expected Unsupported, got {other:?}"),
     }

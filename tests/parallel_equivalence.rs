@@ -22,6 +22,13 @@
 //! * `ThreadPool::from_env()` — whatever `CROWD_THREADS` the environment picked (CI runs
 //!   this whole suite twice, at `CROWD_THREADS=1` and `CROWD_THREADS=4`, so the serial
 //!   fallback and a real multi-thread pool both stay proven).
+//!
+//! Since PR 7, every `ThreadPool` call dispatches through the process-wide
+//! **persistent worker pool** (`crowd_parallel::PersistentPool`) instead of spawning
+//! scoped threads per call — so every replay below additionally proves that parked,
+//! warm-reused workers preserve bit-identity, and
+//! `replay_on_a_warm_persistent_pool_matches_serial` pins the warm-reuse case
+//! explicitly (workers already spawned and parked before the replay begins).
 
 use crowd_experiments::{RunOutcome, RunnerConfig, Session, SessionBatch};
 use crowd_rl_core::{DdqnAgent, DdqnConfig};
@@ -302,6 +309,31 @@ fn batched_stepping_is_bit_identical_at_any_thread_count() {
             "batched stepping diverged at {threads} threads"
         );
     }
+}
+
+#[test]
+fn replay_on_a_warm_persistent_pool_matches_serial() {
+    let dataset = dataset();
+    let pool = ThreadPool::new(4);
+    // Warm the persistent pool first: after this call its workers exist and are
+    // parked, so the replay below runs entirely on reused (not freshly spawned)
+    // workers — the case a per-call scoped pool never had.
+    let mut scratch = vec![0u64; 64];
+    pool.par_chunks(&mut scratch, 1, |offset, chunk| {
+        chunk.iter_mut().for_each(|x| *x = offset as u64)
+    });
+    let spawned_before = crowd_parallel::PersistentPool::global().workers_spawned();
+    assert!(
+        spawned_before >= 1,
+        "the warm-up call must have spawned workers"
+    );
+
+    let warm = run_replay(&dataset, pool);
+    let serial = run_replay(&dataset, ThreadPool::serial());
+    assert_eq!(
+        warm, serial,
+        "a replay on warm, reused pool workers diverged from serial"
+    );
 }
 
 #[test]
