@@ -13,10 +13,153 @@
 //! so CI can *build and run* every bench quickly without measuring anything meaningful —
 //! bench code can no longer bit-rot un-compiled. Benches with heavy per-case setup can
 //! additionally query [`smoke_mode`] to shrink their own workloads.
+//!
+//! # Machine-readable output
+//!
+//! Passing `--json <path>` (or setting `CROWD_BENCH_JSON=<path>`) makes the harness also
+//! write every result it printed — timed medians plus one-shot values recorded through
+//! [`record_value`] (throughput, peak RSS) — to `<path>` as a JSON document when the
+//! bench binary exits (`criterion_main!` calls [`write_json_report`]). CI archives these
+//! files so the perf trajectory is tracked across PRs instead of living only in commit
+//! messages. The document shape:
+//!
+//! ```json
+//! {
+//!   "timings": [{"group": "...", "label": "...", "median_ns": 0,
+//!                "min_ns": 0, "max_ns": 0, "samples": 0}],
+//!   "values":  [{"group": "...", "label": "...", "value": 0.0, "unit": "..."}]
+//! }
+//! ```
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One timed result, queued for the JSON report.
+#[derive(Debug, Clone)]
+struct TimingRecord {
+    group: String,
+    label: String,
+    median_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+    samples: usize,
+}
+
+/// One non-timing measurement (throughput, bytes, …), queued for the JSON report.
+#[derive(Debug, Clone)]
+struct ValueRecord {
+    group: String,
+    label: String,
+    value: f64,
+    unit: String,
+}
+
+static TIMINGS: Mutex<Vec<TimingRecord>> = Mutex::new(Vec::new());
+static VALUES: Mutex<Vec<ValueRecord>> = Mutex::new(Vec::new());
+
+/// Records a one-shot non-timing measurement (arrivals/sec, peak RSS bytes, …): printed
+/// immediately in the same `group/label` style as timed results, and included in the
+/// JSON report when one was requested.
+pub fn record_value(group: &str, label: &str, value: f64, unit: &str) {
+    println!("{group}/{label}: {value} {unit}");
+    VALUES.lock().unwrap().push(ValueRecord {
+        group: group.to_string(),
+        label: label.to_string(),
+        value,
+        unit: unit.to_string(),
+    });
+}
+
+/// The JSON report path requested via `--json <path>` or `CROWD_BENCH_JSON`, if any.
+pub fn json_report_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            if let Some(path) = args.next() {
+                return Some(path.into());
+            }
+        } else if let Some(path) = arg.strip_prefix("--json=") {
+            return Some(path.into());
+        }
+    }
+    std::env::var_os("CROWD_BENCH_JSON").map(Into::into)
+}
+
+/// Writes every recorded timing and value to the requested JSON report file, if a path
+/// was given ([`json_report_path`]). Called by `criterion_main!` after all groups ran;
+/// idempotent and a no-op without a path. Errors are reported to stderr, not panicked —
+/// a failed report write must not fail the bench run itself.
+pub fn write_json_report() {
+    let Some(path) = json_report_path() else {
+        return;
+    };
+    let timings = TIMINGS.lock().unwrap();
+    let values = VALUES.lock().unwrap();
+    let mut out = String::from("{\n  \"timings\": [");
+    for (i, t) in timings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"group\": {}, \"label\": {}, \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}}}",
+            json_string(&t.group),
+            json_string(&t.label),
+            t.median_ns,
+            t.min_ns,
+            t.max_ns,
+            t.samples
+        ));
+    }
+    out.push_str("\n  ],\n  \"values\": [");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"group\": {}, \"label\": {}, \"value\": {}, \"unit\": {}}}",
+            json_string(&v.group),
+            json_string(&v.label),
+            json_number(v.value),
+            json_string(&v.unit)
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    if let Err(err) = std::fs::write(&path, out) {
+        eprintln!("warning: failed to write bench JSON report {path:?}: {err}");
+    } else {
+        println!("bench JSON report written to {}", path.display());
+    }
+}
+
+/// JSON string literal with the escapes the spec requires.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite JSON number (JSON has no NaN/Infinity; clamp those to null).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
 
 /// Re-export of [`std::hint::black_box`] under criterion's name.
 pub fn black_box<T>(x: T) -> T {
@@ -133,6 +276,14 @@ impl BenchmarkGroup {
             fmt_duration(max),
             samples.len()
         );
+        TIMINGS.lock().unwrap().push(TimingRecord {
+            group: self.name.clone(),
+            label: label.to_string(),
+            median_ns: median.as_nanos(),
+            min_ns: min.as_nanos(),
+            max_ns: max.as_nanos(),
+            samples: samples.len(),
+        });
     }
 }
 
@@ -182,12 +333,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Criterion-compatible main macro: runs every group.
+/// Criterion-compatible main macro: runs every group, then writes the JSON report when
+/// one was requested (`--json <path>` / `CROWD_BENCH_JSON`).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::harness::write_json_report();
         }
     };
 }
@@ -219,5 +372,39 @@ mod tests {
         assert!(fmt_duration(Duration::from_micros(10)).ends_with("µs"));
         assert!(fmt_duration(Duration::from_millis(10)).ends_with("ms"));
         assert!(fmt_duration(Duration::from_secs(10)).ends_with(" s"));
+    }
+
+    #[test]
+    fn json_strings_escape_specials() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak"), "\"line\\nbreak\"");
+        assert_eq!(json_string("bell\u{7}"), "\"bell\\u0007\"");
+    }
+
+    #[test]
+    fn json_numbers_stay_valid_json() {
+        assert_eq!(json_number(1.5), "1.5");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn runs_and_recorded_values_reach_the_registries() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("registry_test");
+        group.sample_size(3);
+        group.bench_function("timed", |b| b.iter(|| 1 + 1));
+        group.finish();
+        record_value("registry_test", "one_shot", 42.0, "units");
+        let timings = TIMINGS.lock().unwrap();
+        assert!(timings
+            .iter()
+            .any(|t| t.group == "registry_test" && t.label == "timed" && t.samples == 3));
+        drop(timings);
+        let values = VALUES.lock().unwrap();
+        assert!(values
+            .iter()
+            .any(|v| v.group == "registry_test" && v.label == "one_shot" && v.value == 42.0));
     }
 }

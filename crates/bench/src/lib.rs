@@ -21,7 +21,13 @@
 //! * `kernel_throughput` — the vectorised matmul kernels against their retained
 //!   scalar references at every benchmarked shape (the speed half of the
 //!   `tests/kernel_equivalence.rs` fence: the blocked kernels must be strictly
-//!   faster), plus the serial-vs-persistent-pool dispatch edge on large products.
+//!   faster), plus the serial-vs-persistent-pool dispatch edge on large products;
+//! * `sharded_scale` — `ShardedEnv` replay throughput (arrivals/sec) across shard
+//!   counts at ~100× the paper's dataset scale, plus peak RSS ([`rss::peak_rss_bytes`])
+//!   for the compact (f16) vs full-precision (f32) feature arenas.
+//!
+//! Every bench supports `--json <path>` / `CROWD_BENCH_JSON` for machine-readable
+//! results (see [`harness`]).
 
 use crowd_rl_core::{StateTensor, StateTransformer};
 use crowd_sim::{ArrivalContext, TaskId, TaskSnapshot, WorkerId};
@@ -30,9 +36,14 @@ use crowd_tensor::Rng;
 pub mod ckpt_fixtures;
 pub mod harness;
 pub mod latency;
+pub mod rss;
 
-pub use harness::{smoke_mode, Bencher, BenchmarkGroup, BenchmarkId, Criterion};
+pub use harness::{
+    json_report_path, record_value, smoke_mode, write_json_report, Bencher, BenchmarkGroup,
+    BenchmarkId, Criterion,
+};
 pub use latency::{format_latency, LatencyHistogram, LatencySummary};
+pub use rss::{current_rss_bytes, peak_rss_bytes};
 
 /// Builds a synthetic arrival context with `n_tasks` available tasks and `feature_dim`-wide
 /// features, used by several benches.

@@ -100,11 +100,50 @@ pub(crate) struct ArenaPool<'a> {
     pub tasks: &'a [Task],
 }
 
-/// How an [`ArrivalView`] resolves task rows: either arena slices borrowed from a live
-/// platform, or an owned snapshot list (record types, tests, synthetic harnesses).
+/// Borrowed view over a sharded platform's per-shard committed state: the routed id list
+/// plus the shards that own the candidate rows (entity `i` lives on shard `i mod S` at
+/// local row `i / S`). See [`crate::sharded`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardedPool<'a> {
+    /// Ids of the available tasks, in pool order (global creation order).
+    pub ids: &'a [TaskId],
+    /// The shards owning committed task state.
+    pub shards: &'a [crate::sharded::Shard],
+    /// Shard count.
+    pub n_shards: usize,
+    /// Width of one task feature row.
+    pub feature_dim: usize,
+    /// Static task attributes, indexed by global `TaskId`.
+    pub tasks: &'a [Task],
+}
+
+impl<'a> ShardedPool<'a> {
+    fn task(&self, index: usize) -> TaskRef<'a> {
+        let id = self.ids[index];
+        let global = id.index();
+        let shard = &self.shards[global % self.n_shards];
+        let local = global / self.n_shards;
+        let task = &self.tasks[global];
+        TaskRef {
+            id,
+            feature: shard.pooled_task_feature(local, self.feature_dim),
+            quality: shard.task_qualities[local],
+            award: task.award,
+            category: task.category,
+            domain: task.domain,
+            deadline: task.deadline,
+            completions: shard.task_completions[local] as usize,
+        }
+    }
+}
+
+/// How an [`ArrivalView`] resolves task rows: arena slices borrowed from a live platform,
+/// per-shard state borrowed from a sharded platform, or an owned snapshot list (record
+/// types, tests, synthetic harnesses).
 #[derive(Debug, Clone, Copy)]
 enum PoolBacking<'a> {
     Arena(ArenaPool<'a>),
+    Sharded(ShardedPool<'a>),
     Snapshots(&'a [TaskSnapshot]),
 }
 
@@ -148,10 +187,29 @@ impl<'a> ArrivalView<'a> {
         }
     }
 
+    pub(crate) fn from_sharded(
+        time: u64,
+        worker_id: WorkerId,
+        worker_feature: &'a [f32],
+        worker_quality: f32,
+        is_new_worker: bool,
+        pool: ShardedPool<'a>,
+    ) -> Self {
+        ArrivalView {
+            time,
+            worker_id,
+            worker_feature,
+            worker_quality,
+            is_new_worker,
+            pool: PoolBacking::Sharded(pool),
+        }
+    }
+
     /// Number of available tasks.
     pub fn n_tasks(&self) -> usize {
         match self.pool {
             PoolBacking::Arena(a) => a.ids.len(),
+            PoolBacking::Sharded(p) => p.ids.len(),
             PoolBacking::Snapshots(s) => s.len(),
         }
     }
@@ -179,6 +237,7 @@ impl<'a> ArrivalView<'a> {
                     completions: a.completions[row] as usize,
                 }
             }
+            PoolBacking::Sharded(p) => p.task(index),
             PoolBacking::Snapshots(s) => s[index].as_ref(),
         }
     }
@@ -187,6 +246,7 @@ impl<'a> ArrivalView<'a> {
     pub fn task_id(&self, index: usize) -> TaskId {
         match self.pool {
             PoolBacking::Arena(a) => a.ids[index],
+            PoolBacking::Sharded(p) => p.ids[index],
             PoolBacking::Snapshots(s) => s[index].id,
         }
     }
@@ -201,6 +261,7 @@ impl<'a> ArrivalView<'a> {
     pub fn position_of(&self, task: TaskId) -> Option<usize> {
         match self.pool {
             PoolBacking::Arena(a) => a.ids.iter().position(|&t| t == task),
+            PoolBacking::Sharded(p) => p.ids.iter().position(|&t| t == task),
             PoolBacking::Snapshots(s) => s.iter().position(|t| t.id == task),
         }
     }

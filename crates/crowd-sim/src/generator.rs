@@ -67,6 +67,31 @@ impl SimConfig {
         }
     }
 
+    /// A demand-scale synthetic tier far beyond the paper's crawl: ~590× its workers
+    /// and ~100× its tasks over a 3-month horizon, with short (1–3 day) task lifetimes
+    /// so the live pool stays rankable. Built for the sharded platform
+    /// ([`crate::sharded::ShardedEnv`]) — the scale bench (`benches/sharded_scale.rs`)
+    /// replays it across shard counts, and `CROWD_SCALE=massive` drives it from the
+    /// experiment binaries. The flat single-arena [`Platform`](crate::Platform) still
+    /// replays it, just slower and at full-precision RSS.
+    pub fn massive() -> Self {
+        SimConfig {
+            months: 3,
+            n_workers: 1_000_000,
+            arrivals_per_month: 320_000,
+            tasks_per_month: 80_000,
+            n_categories: 24,
+            n_domains: 24,
+            n_requesters: 5_000,
+            min_task_days: 1,
+            max_task_days: 3,
+            max_award: 200.0,
+            quality_exponent: 2.0,
+            gap: GapDistribution::default(),
+            seed: 42,
+        }
+    }
+
     /// A reduced-scale dataset with the same shape, suitable for tests and quick experiments.
     pub fn small() -> Self {
         SimConfig {

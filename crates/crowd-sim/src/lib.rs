@@ -57,6 +57,7 @@
 
 pub mod arrival;
 pub mod behavior;
+pub mod compact;
 pub mod dataset;
 pub mod env;
 pub mod event;
@@ -65,12 +66,14 @@ pub mod generator;
 pub mod platform;
 pub mod policy;
 pub mod quality;
+pub mod sharded;
 pub mod stats;
 pub mod task;
 pub mod worker;
 
 pub use arrival::GapDistribution;
 pub use behavior::BehaviorModel;
+pub use compact::{f16_bits_to_f32, f16_round_trip, f32_to_f16_bits, FeatureArena};
 pub use dataset::{Dataset, MINUTES_PER_DAY, MINUTES_PER_MONTH};
 pub use env::{ArrivalView, Decision, Env, FeedbackView, TaskRef};
 pub use event::{Event, EventKind};
@@ -82,6 +85,7 @@ pub use policy::{
     LearnerTiming, Policy, PolicyFeedback, TaskSnapshot,
 };
 pub use quality::{dixit_stiglitz, quality_gain};
+pub use sharded::{ShardSpec, ShardedEnv};
 pub use stats::{
     consecutive_arrival_gap_histogram, monthly_stats, same_worker_gap_histogram, GapHistogram,
     MonthStats,

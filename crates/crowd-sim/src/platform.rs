@@ -35,32 +35,34 @@ pub struct Arrival {
     pub context: ArrivalContext,
 }
 
-/// The arrival the event cursor is currently stopped at.
+/// The arrival the event cursor is currently stopped at. Shared with the sharded
+/// environment ([`crate::ShardedEnv`]), which replays the same per-arrival protocol.
 #[derive(Debug, Clone, Copy)]
-struct CurrentArrival {
-    time: u64,
-    worker: WorkerId,
-    is_new_worker: bool,
+pub(crate) struct CurrentArrival {
+    pub(crate) time: u64,
+    pub(crate) worker: WorkerId,
+    pub(crate) is_new_worker: bool,
 }
 
 /// Staged effects of the last [`Env::apply`], committed on the next
-/// [`Env::next_arrival`]. All buffers are reused across arrivals.
+/// [`Env::next_arrival`]. All buffers are reused across arrivals. Shared with the
+/// sharded environment, whose staging protocol is identical.
 #[derive(Debug, Clone, Default)]
-struct StepState {
+pub(crate) struct StepState {
     /// Shown tasks after filtering out unavailable ids (reusable buffer).
-    shown: Vec<TaskId>,
+    pub(crate) shown: Vec<TaskId>,
     /// Completed task and its position in `shown`, if any.
-    completed: Option<(TaskId, usize)>,
+    pub(crate) completed: Option<(TaskId, usize)>,
     /// Quality gain of the completed task.
-    quality_gain: f32,
+    pub(crate) quality_gain: f32,
     /// The completed task's new Dixit–Stiglitz quality.
-    new_quality: f32,
+    pub(crate) new_quality: f32,
     /// Post-completion worker feature (reusable buffer; meaningful only on completion).
-    after_feature: Vec<f32>,
+    pub(crate) after_feature: Vec<f32>,
     /// True between `apply` and the commit in the next `next_arrival`.
-    pending: bool,
+    pub(crate) pending: bool,
     /// True when `feedback()` may be called (an apply happened for the current arrival).
-    valid: bool,
+    pub(crate) valid: bool,
 }
 
 /// The crowdsourcing platform environment.
@@ -328,6 +330,29 @@ impl Platform {
         // so invalidate it (the owned record returned above is the feedback).
         Env::flush(self);
         feedback
+    }
+
+    /// CRC-32 of the platform's complete committed dynamic state serialised in canonical
+    /// (global id) order — the checkpoint byte layout of [`crowd_ckpt::SaveState`].
+    ///
+    /// Two platforms with equal fingerprints hold bit-identical committed state
+    /// *including the behaviour RNG stream position*. The sharded environment computes
+    /// the same quantity over the same byte layout
+    /// ([`ShardedEnv::canonical_fingerprint`](crate::ShardedEnv::canonical_fingerprint)),
+    /// so the equivalence suite can compare a sharded replay against an unsharded one
+    /// with one `u32`. Call [`Env::flush`] first: staged per-arrival effects are not part
+    /// of committed state.
+    pub fn canonical_fingerprint(&self) -> u32 {
+        let mut w = crowd_ckpt::StateWriter::new();
+        w.save(self);
+        crowd_ckpt::crc32(&w.into_bytes())
+    }
+
+    /// Draws one value from the behaviour RNG — a destructive probe of the stream
+    /// position for equivalence tests (two envs that consumed identical draw sequences
+    /// return identical probes). Consumes one draw; probe both sides symmetrically.
+    pub fn rng_probe(&mut self) -> u64 {
+        self.rng.below(u32::MAX as usize) as u64
     }
 
     /// Builds the default feature space for a dataset: one award bucket per 25 currency units

@@ -1,0 +1,1099 @@
+//! The sharded platform environment: [`ShardedEnv`] partitions workers and tasks across
+//! `S` shards — each shard owning its own feature arenas and committed-state region —
+//! while replaying the exact per-arrival protocol of the unsharded [`Platform`].
+//!
+//! # Shard ownership and routing
+//!
+//! Entity `i` (task or worker) is owned by shard `i mod S` at local row `i / S`; with
+//! `S = 1` the layout degenerates to the flat arenas of [`Platform`]. A shard owns every
+//! piece of committed dynamic state of its entities: the task feature store, pool
+//! membership flags, quality/completion arrays and completer lists on the task side, and
+//! the (mutable) worker feature arena plus seen/completion arrays on the worker side.
+//!
+//! The *candidate list* a policy sees is cross-shard: the top level maintains `routed`,
+//! the ids of the currently available tasks in global creation order — exactly the pool
+//! order of the unsharded platform. Creations append during the event scan (the event
+//! stream is the global creation order); expirations mark shards dirty and the next
+//! arrival compacts `routed` in one pass against the owning shards' membership flags —
+//! the same final list `Platform`'s per-event `retain` produces, with the per-event
+//! O(pool) scans batched into one. At arrival time the [`ArrivalView`] resolves each
+//! candidate id to its owning shard's arenas (`crate::env`'s sharded pool backing).
+//!
+//! # Parallel per-shard advance
+//!
+//! Task events between two arrivals are routed to per-shard pending lists and applied
+//! per shard; when the batch is large (dataset bursts, month boundaries) and the
+//! environment was given a multi-worker [`ThreadPool`], shards advance in parallel via
+//! `par_chunks` — deterministically, since each shard's event sublist is applied in
+//! event order and shards share no state. The env-only advance contains **no policy
+//! calls and no RNG draws**, which is what lets `Session::step_batched` advance many
+//! sessions' environments in parallel while keeping policy hooks sequential (see
+//! `crowd-experiments`).
+//!
+//! # Bit-identity argument
+//!
+//! With full-precision (f32) arenas, a sharded replay is **bit-identical** to the
+//! unsharded platform at any shard count and any thread count:
+//!
+//! * the behaviour RNG stays a single top-level stream consumed only inside `apply`, in
+//!   arrival order — sharding never moves or splits a draw;
+//! * the policy-visible pool order is the global creation order, reconstructed exactly
+//!   (append in event order + order-preserving compaction);
+//! * per-entity committed state lives on exactly one shard and is updated by the same
+//!   scalar operations in the same order as the flat arenas;
+//! * floating-point reductions over many entities ([`ShardedEnv::total_task_quality`],
+//!   the canonical fingerprint) iterate in global id order, not shard order.
+//!
+//! `tests/shard_equivalence.rs` proves this end to end at shards {1, 2, 8} ×
+//! `CROWD_THREADS` {1, 4}.
+//!
+//! # Compact (f16) arenas
+//!
+//! With [`ShardSpec::compact_features`] the feature stores keep binary16 bits (half the
+//! bytes of f32) so a ~100× replay fits in bounded RSS. Task features are one-hot and
+//! decode losslessly; each shard keeps a small decoded slab holding only the
+//! *pool-resident* task rows (decoded once at pool admission — decoding is pure, so this
+//! caches the exact values a decode-at-view-time implementation would produce).
+//! Worker features are decoded per arrival into one scratch row and re-quantised on
+//! every commit; the quantisation contract is documented in [`crate::compact`] and
+//! pinned by the f16 tests in `tests/shard_equivalence.rs`. Compact mode is an explicit
+//! opt-in precisely because the worker-side round-trip makes it *not* bit-identical to
+//! the f32 path.
+
+use crate::behavior::BehaviorModel;
+use crate::compact::FeatureArena;
+use crate::dataset::Dataset;
+use crate::env::{ArrivalView, Decision, Env, FeedbackView, ShardedPool};
+use crate::event::{Event, EventKind};
+use crate::features::FeatureSpace;
+use crate::platform::{CurrentArrival, Platform, StepState};
+use crate::quality::dixit_stiglitz;
+use crate::task::TaskId;
+use crate::worker::WorkerId;
+use crowd_tensor::{Rng, ThreadPool};
+
+/// Minimum pending task events before the per-shard advance is dispatched on the pool;
+/// below this the per-event work (flag writes, slab admissions) is cheaper inline than a
+/// pool dispatch.
+const PAR_EVENT_THRESHOLD: usize = 256;
+
+/// Configuration of a [`ShardedEnv`]: shard count, feature precision and the pool used
+/// for the per-shard advance.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardSpec {
+    /// Number of shards (clamped to at least 1). `1` reproduces the unsharded layout.
+    pub n_shards: usize,
+    /// Store features as binary16 bits (half the RSS; worker features quantise on every
+    /// commit — see [`crate::compact`]). Off by default: the f32 path is bit-identical
+    /// to [`Platform`].
+    pub compact_features: bool,
+    /// Pool for the parallel per-shard advance. Serial by default; thread count only
+    /// changes wall clock, never results.
+    pub pool: ThreadPool,
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        ShardSpec {
+            n_shards: 1,
+            compact_features: false,
+            pool: ThreadPool::serial(),
+        }
+    }
+}
+
+impl ShardSpec {
+    /// A spec with `n_shards` shards, f32 features and a serial pool.
+    pub fn new(n_shards: usize) -> Self {
+        ShardSpec {
+            n_shards: n_shards.max(1),
+            ..ShardSpec::default()
+        }
+    }
+
+    /// Enables or disables compact (f16) feature storage (builder form).
+    pub fn compact(mut self, compact: bool) -> Self {
+        self.compact_features = compact;
+        self
+    }
+
+    /// Sets the advance pool (builder form).
+    pub fn with_pool(mut self, pool: ThreadPool) -> Self {
+        self.pool = pool;
+        self
+    }
+}
+
+/// A shard's task feature rows: full-precision, or binary16 bits plus a decoded slab of
+/// the pool-resident rows (slots are recycled through a free list as tasks expire).
+#[derive(Debug, Clone)]
+pub(crate) enum TaskStore {
+    F32(Vec<f32>),
+    F16 {
+        /// Binary16 bits of every owned task's feature row (cold storage, immutable).
+        bits: Vec<u16>,
+        /// Slab slot of each owned task; valid only while the task is in the pool.
+        slots: Vec<u32>,
+        /// Decoded f32 rows of the pool-resident tasks.
+        slab: Vec<f32>,
+        /// Recycled slab slots.
+        free: Vec<u32>,
+    },
+}
+
+impl TaskStore {
+    /// Decoded feature row of a **pool-resident** task at `local`.
+    fn pooled_row(&self, local: usize, dim: usize) -> &[f32] {
+        match self {
+            TaskStore::F32(rows) => &rows[local * dim..(local + 1) * dim],
+            TaskStore::F16 { slots, slab, .. } => {
+                let slot = slots[local] as usize;
+                &slab[slot * dim..(slot + 1) * dim]
+            }
+        }
+    }
+
+    /// Admits a task into the pool: decodes its row into a (possibly recycled) slab slot.
+    fn admit(&mut self, local: usize, dim: usize) {
+        if let TaskStore::F16 {
+            bits,
+            slots,
+            slab,
+            free,
+        } = self
+        {
+            let slot = match free.pop() {
+                Some(slot) => slot as usize,
+                None => {
+                    let slot = slab.len() / dim;
+                    slab.resize((slot + 1) * dim, 0.0);
+                    slot
+                }
+            };
+            slots[local] = slot as u32;
+            let src = &bits[local * dim..(local + 1) * dim];
+            for (dst, &b) in slab[slot * dim..(slot + 1) * dim].iter_mut().zip(src) {
+                *dst = crate::compact::f16_bits_to_f32(b);
+            }
+        }
+    }
+
+    /// Evicts an expired task: its slab slot becomes recyclable.
+    fn evict(&mut self, local: usize) {
+        if let TaskStore::F16 { slots, free, .. } = self {
+            free.push(slots[local]);
+        }
+    }
+
+    /// Bytes of the store (cold bits/rows plus the decoded slab and its bookkeeping).
+    fn bytes(&self) -> usize {
+        match self {
+            TaskStore::F32(rows) => rows.len() * 4,
+            TaskStore::F16 {
+                bits,
+                slots,
+                slab,
+                free,
+            } => bits.len() * 2 + slots.len() * 4 + slab.len() * 4 + free.len() * 4,
+        }
+    }
+}
+
+/// One shard: the feature arenas and committed dynamic state of the entities it owns
+/// (task/worker `i` with `i mod S == shard index`, at local row `i / S`).
+#[derive(Debug, Clone)]
+pub(crate) struct Shard {
+    pub(crate) tasks: TaskStore,
+    pub(crate) in_pool: Vec<bool>,
+    pub(crate) task_qualities: Vec<f32>,
+    pub(crate) task_completions: Vec<u32>,
+    pub(crate) completer_qualities: Vec<Vec<f32>>,
+    pub(crate) workers: FeatureArena,
+    pub(crate) worker_seen: Vec<bool>,
+    pub(crate) worker_completions: Vec<u32>,
+}
+
+impl Shard {
+    /// Decoded feature row of a pool-resident task (called by the view layer).
+    pub(crate) fn pooled_task_feature(&self, local: usize, dim: usize) -> &[f32] {
+        self.tasks.pooled_row(local, dim)
+    }
+
+    /// Applies this shard's pending task events, in event order.
+    fn apply_events(&mut self, events: &[Event], n_shards: usize, dim: usize) {
+        for event in events {
+            match event.kind {
+                EventKind::TaskCreated(id) => {
+                    let local = id.index() / n_shards;
+                    self.in_pool[local] = true;
+                    self.tasks.admit(local, dim);
+                }
+                EventKind::TaskExpired(id) => {
+                    let local = id.index() / n_shards;
+                    self.in_pool[local] = false;
+                    self.tasks.evict(local);
+                }
+                EventKind::WorkerArrival(_) => {
+                    unreachable!("worker arrivals are handled by the top-level scan")
+                }
+            }
+        }
+    }
+}
+
+/// The sharded crowdsourcing platform environment. See the [module docs](self) for the
+/// ownership/routing design and the bit-identity argument; the interaction loop and the
+/// staged-commit contract are identical to [`Platform`]'s.
+#[derive(Debug, Clone)]
+pub struct ShardedEnv {
+    dataset: Dataset,
+    features: FeatureSpace,
+    behavior: BehaviorModel,
+    /// The single top-level behaviour RNG — one stream in arrival order, same as the
+    /// unsharded platform (the cascade model's draw count varies per arrival, so any
+    /// per-shard split would change the stream).
+    rng: Rng,
+    n_shards: usize,
+    compact: bool,
+    pool: ThreadPool,
+    task_dim: usize,
+    worker_dim: usize,
+    shards: Vec<Shard>,
+    /// Available task ids in global creation order — the policy-visible pool.
+    routed: Vec<TaskId>,
+    /// Per-shard pending task events since the last arrival (scratch, cleared on drain).
+    pending: Vec<Vec<Event>>,
+    pending_total: usize,
+    /// True when an expiration since the last drain requires compacting `routed`.
+    expiry_pending: bool,
+    /// Compact mode: the current worker's committed feature row, decoded per arrival.
+    decoded_worker: Vec<f32>,
+    next_event: usize,
+    current_time: u64,
+    completed_total: usize,
+    current: Option<CurrentArrival>,
+    step: StepState,
+}
+
+impl ShardedEnv {
+    /// Creates a sharded platform over a dataset with the default behaviour model.
+    pub fn new(dataset: Dataset, features: FeatureSpace, seed: u64, spec: ShardSpec) -> Self {
+        ShardedEnv::with_behavior(dataset, features, BehaviorModel::default(), seed, spec)
+    }
+
+    /// Creates a sharded platform with an explicit behaviour model.
+    pub fn with_behavior(
+        dataset: Dataset,
+        features: FeatureSpace,
+        behavior: BehaviorModel,
+        seed: u64,
+        spec: ShardSpec,
+    ) -> Self {
+        let n_shards = spec.n_shards.max(1);
+        let compact = spec.compact_features;
+        let task_dim = features.task_dim();
+        let worker_dim = features.worker_dim();
+        let n_tasks = dataset.tasks.len();
+        let n_workers = dataset.workers.len();
+
+        // Gather each shard's task feature rows in local order (the task list is in id
+        // order, so appending to shard `id % S` lays out local rows 0, 1, 2, …).
+        let mut task_rows: Vec<Vec<f32>> = (0..n_shards)
+            .map(|s| Vec::with_capacity(task_dim * shard_len(n_tasks, n_shards, s)))
+            .collect();
+        for task in &dataset.tasks {
+            task_rows[task.id.index() % n_shards].extend_from_slice(&features.task_feature(task));
+        }
+        let initial_worker = features.initial_worker_feature();
+        let shards: Vec<Shard> = task_rows
+            .into_iter()
+            .enumerate()
+            .map(|(s, rows)| {
+                let n_local_tasks = shard_len(n_tasks, n_shards, s);
+                let n_local_workers = shard_len(n_workers, n_shards, s);
+                let mut worker_rows = Vec::with_capacity(worker_dim * n_local_workers);
+                for _ in 0..n_local_workers {
+                    worker_rows.extend_from_slice(&initial_worker);
+                }
+                Shard {
+                    tasks: if compact {
+                        TaskStore::F16 {
+                            bits: rows
+                                .iter()
+                                .map(|&v| crate::compact::f32_to_f16_bits(v))
+                                .collect(),
+                            slots: vec![0; n_local_tasks],
+                            slab: Vec::new(),
+                            free: Vec::new(),
+                        }
+                    } else {
+                        TaskStore::F32(rows)
+                    },
+                    in_pool: vec![false; n_local_tasks],
+                    task_qualities: vec![0.0; n_local_tasks],
+                    task_completions: vec![0; n_local_tasks],
+                    completer_qualities: vec![Vec::new(); n_local_tasks],
+                    workers: FeatureArena::from_f32(worker_rows, compact),
+                    worker_seen: vec![false; n_local_workers],
+                    worker_completions: vec![0; n_local_workers],
+                }
+            })
+            .collect();
+
+        ShardedEnv {
+            features,
+            behavior,
+            rng: Rng::seed_from(seed),
+            n_shards,
+            compact,
+            pool: spec.pool,
+            task_dim,
+            worker_dim,
+            shards,
+            routed: Vec::new(),
+            pending: vec![Vec::new(); n_shards],
+            pending_total: 0,
+            expiry_pending: false,
+            decoded_worker: Vec::new(),
+            next_event: 0,
+            current_time: 0,
+            completed_total: 0,
+            current: None,
+            step: StepState::default(),
+            dataset,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// True when features are stored as binary16 bits.
+    pub fn is_compact(&self) -> bool {
+        self.compact
+    }
+
+    /// The feature space used to embed tasks and workers.
+    pub fn feature_space(&self) -> &FeatureSpace {
+        &self.features
+    }
+
+    /// The underlying immutable dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Ids of the currently available tasks, in global creation order (identical to
+    /// [`Platform::available_tasks`] at every arrival).
+    pub fn available_tasks(&self) -> &[TaskId] {
+        &self.routed
+    }
+
+    /// Current Dixit–Stiglitz quality of a task (committed state).
+    pub fn task_quality(&self, task: TaskId) -> f32 {
+        let ti = task.index();
+        self.shards[ti % self.n_shards].task_qualities[ti / self.n_shards]
+    }
+
+    /// Current observable feature of a worker (committed state, decoded to f32; owned
+    /// because the compact store has no resident f32 row to borrow).
+    pub fn worker_feature_owned(&self, worker: WorkerId) -> Vec<f32> {
+        let wi = worker.index();
+        let mut out = Vec::with_capacity(self.worker_dim);
+        self.shards[wi % self.n_shards].workers.decode_row_into(
+            wi / self.n_shards,
+            self.worker_dim,
+            &mut out,
+        );
+        out
+    }
+
+    /// Number of tasks a worker has completed so far.
+    pub fn worker_completions(&self, worker: WorkerId) -> usize {
+        let wi = worker.index();
+        self.shards[wi % self.n_shards].worker_completions[wi / self.n_shards] as usize
+    }
+
+    /// Bytes currently held by the feature stores across all shards: task rows (cold
+    /// bits plus the decoded pool slab in compact mode) and the worker arenas. The
+    /// number the scale bench reports next to peak RSS.
+    pub fn feature_arena_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.tasks.bytes() + s.workers.bytes())
+            .sum()
+    }
+
+    /// Sum of all task qualities. Iterates in **global id order** (not shard order) so
+    /// the f32 reduction is bit-identical to [`Platform::total_task_quality`].
+    pub fn total_task_quality(&self) -> f32 {
+        let n_tasks = self.dataset.tasks.len();
+        let mut total = 0.0f32;
+        for i in 0..n_tasks {
+            total += self.shards[i % self.n_shards].task_qualities[i / self.n_shards];
+        }
+        total
+    }
+
+    /// Total number of committed completions so far.
+    pub fn total_completions(&self) -> usize {
+        self.completed_total
+    }
+
+    /// True when the whole event stream has been consumed.
+    pub fn finished(&self) -> bool {
+        self.next_event >= self.dataset.events.len()
+    }
+
+    /// Current simulation time (minutes since horizon start).
+    pub fn current_time(&self) -> u64 {
+        self.current_time
+    }
+
+    /// Draws one value from the behaviour RNG — the same destructive stream probe as
+    /// [`Platform::rng_probe`].
+    pub fn rng_probe(&mut self) -> u64 {
+        self.rng.below(u32::MAX as usize) as u64
+    }
+
+    /// CRC-32 of the committed dynamic state serialised in **canonical (global id)
+    /// order** — byte-for-byte the layout of `Platform`'s checkpoint, with worker
+    /// features decoded to f32. With f32 arenas this equals
+    /// [`Platform::canonical_fingerprint`] whenever the two environments hold identical
+    /// state; across shard counts it is equal whenever the replays matched. Call
+    /// [`Env::flush`] first.
+    pub fn canonical_fingerprint(&self) -> u32 {
+        let n_tasks = self.dataset.tasks.len();
+        let n_workers = self.dataset.workers.len();
+        let s = self.n_shards;
+        let mut w = crowd_ckpt::StateWriter::new();
+        w.save(&self.rng);
+        w.save(&self.routed);
+        let in_pool: Vec<bool> = (0..n_tasks)
+            .map(|i| self.shards[i % s].in_pool[i / s])
+            .collect();
+        w.save(&in_pool);
+        let qualities: Vec<f32> = (0..n_tasks)
+            .map(|i| self.shards[i % s].task_qualities[i / s])
+            .collect();
+        w.put_f32_slice(&qualities);
+        let completions: Vec<u32> = (0..n_tasks)
+            .map(|i| self.shards[i % s].task_completions[i / s])
+            .collect();
+        w.put_u32_slice(&completions);
+        let completers: Vec<Vec<f32>> = (0..n_tasks)
+            .map(|i| self.shards[i % s].completer_qualities[i / s].clone())
+            .collect();
+        w.save(&completers);
+        let mut worker_features = Vec::with_capacity(n_workers * self.worker_dim);
+        let mut row = Vec::with_capacity(self.worker_dim);
+        for i in 0..n_workers {
+            self.shards[i % s]
+                .workers
+                .decode_row_into(i / s, self.worker_dim, &mut row);
+            worker_features.extend_from_slice(&row);
+        }
+        w.put_f32_slice(&worker_features);
+        let seen: Vec<bool> = (0..n_workers)
+            .map(|i| self.shards[i % s].worker_seen[i / s])
+            .collect();
+        w.save(&seen);
+        let worker_completions: Vec<u32> = (0..n_workers)
+            .map(|i| self.shards[i % s].worker_completions[i / s])
+            .collect();
+        w.put_u32_slice(&worker_completions);
+        w.put_usize(self.next_event);
+        w.put_u64(self.current_time);
+        w.put_usize(self.completed_total);
+        crowd_ckpt::crc32(&w.into_bytes())
+    }
+
+    /// Builds the default feature space for a dataset (same as
+    /// [`Platform::default_feature_space`]).
+    pub fn default_feature_space(dataset: &Dataset) -> FeatureSpace {
+        Platform::default_feature_space(dataset)
+    }
+
+    /// Commits the staged effects of the last `apply`, if any — the sharded twin of the
+    /// unsharded commit: completer list, quality, completion counters on the task's
+    /// owning shard; feature row (quantised in compact mode) and completion counter on
+    /// the worker's owning shard.
+    fn commit_pending(&mut self) {
+        if !self.step.pending {
+            return;
+        }
+        self.step.pending = false;
+        let Some(current) = self.current else { return };
+        if let Some((task_id, _)) = self.step.completed {
+            let ti = task_id.index();
+            let worker_quality = self.dataset.workers[current.worker.index()].quality;
+            let shard = &mut self.shards[ti % self.n_shards];
+            let local = ti / self.n_shards;
+            shard.completer_qualities[local].push(worker_quality);
+            shard.task_qualities[local] = self.step.new_quality;
+            shard.task_completions[local] += 1;
+            let wi = current.worker.index();
+            let wshard = &mut self.shards[wi % self.n_shards];
+            let wlocal = wi / self.n_shards;
+            wshard
+                .workers
+                .write_row(wlocal, self.worker_dim, &self.step.after_feature);
+            wshard.worker_completions[wlocal] += 1;
+            self.completed_total += 1;
+        }
+    }
+
+    /// Applies this inter-arrival window's pending task events per shard (in parallel
+    /// for large batches), then compacts `routed` if anything expired. Runs inside
+    /// `next_arrival`, so `routed` and every membership flag are fresh whenever the
+    /// caller can observe them.
+    fn drain_pending(&mut self) {
+        if self.pending_total > 0 {
+            let n_shards = self.n_shards;
+            let dim = self.task_dim;
+            let parallel =
+                n_shards > 1 && !self.pool.is_serial() && self.pending_total >= PAR_EVENT_THRESHOLD;
+            if parallel {
+                let mut work: Vec<(&mut Shard, &mut Vec<Event>)> = self
+                    .shards
+                    .iter_mut()
+                    .zip(self.pending.iter_mut())
+                    .collect();
+                self.pool.par_chunks(&mut work, 1, |_, chunk| {
+                    for (shard, events) in chunk.iter_mut() {
+                        shard.apply_events(events, n_shards, dim);
+                        events.clear();
+                    }
+                });
+            } else {
+                for (shard, events) in self.shards.iter_mut().zip(self.pending.iter_mut()) {
+                    shard.apply_events(events, n_shards, dim);
+                    events.clear();
+                }
+            }
+            self.pending_total = 0;
+        }
+        if self.expiry_pending {
+            // One order-preserving compaction per expiring window — the same final list
+            // as the unsharded per-event `retain`, in one pass.
+            let shards = &self.shards;
+            let n = self.n_shards;
+            self.routed
+                .retain(|&t| shards[t.index() % n].in_pool[t.index() / n]);
+            self.expiry_pending = false;
+        }
+    }
+
+    /// The shared apply implementation — identical protocol and RNG consumption to
+    /// [`Platform`]'s, with committed state resolved through the owning shards.
+    fn apply_decision(&mut self, decision: &Decision) {
+        let current = self
+            .current
+            .expect("apply() requires a pending arrival; call next_arrival() first");
+        self.step.pending = false;
+
+        let ShardedEnv {
+            dataset,
+            features,
+            behavior,
+            rng,
+            n_shards,
+            compact,
+            task_dim,
+            worker_dim,
+            shards,
+            decoded_worker,
+            step,
+            ..
+        } = self;
+        let n_shards = *n_shards;
+
+        step.shown.clear();
+        for &task in decision.shown() {
+            let ti = task.index();
+            if shards[ti % n_shards].in_pool[ti / n_shards] {
+                step.shown.push(task);
+            }
+        }
+        let worker = &dataset.workers[current.worker.index()];
+        let completed_position = behavior.browse(
+            worker,
+            step.shown.iter().map(|t| &dataset.tasks[t.index()]),
+            rng,
+        );
+
+        step.completed = None;
+        step.quality_gain = 0.0;
+        step.new_quality = 0.0;
+        if let Some(position) = completed_position {
+            let task_id = step.shown[position];
+            let ti = task_id.index();
+            let local = ti / n_shards;
+            {
+                let shard = &mut shards[ti % n_shards];
+                let old_quality = shard.task_qualities[local];
+                // Same push/evaluate/pop staging as the unsharded platform.
+                let qualities = &mut shard.completer_qualities[local];
+                qualities.push(worker.quality);
+                step.new_quality = dixit_stiglitz(qualities, dataset.quality_exponent);
+                qualities.pop();
+                step.quality_gain = step.new_quality - old_quality;
+            }
+
+            let wi = current.worker.index();
+            step.after_feature.clear();
+            if *compact {
+                // `decoded_worker` holds the current worker's committed row (decoded at
+                // arrival, after the previous commit).
+                step.after_feature.extend_from_slice(decoded_worker);
+            } else {
+                let row = shards[wi % n_shards]
+                    .workers
+                    .row_f32(wi / n_shards, *worker_dim)
+                    .expect("f32 arena in non-compact mode");
+                step.after_feature.extend_from_slice(row);
+            }
+            let task_feature = shards[ti % n_shards].pooled_task_feature(local, *task_dim);
+            features.update_worker_feature(&mut step.after_feature, task_feature);
+            step.completed = Some((task_id, position));
+        }
+        step.pending = true;
+        step.valid = true;
+    }
+
+    /// The current worker's committed feature row, borrowed (f32 mode) or from the
+    /// per-arrival decode scratch (compact mode).
+    fn current_worker_feature(&self, worker: WorkerId) -> &[f32] {
+        if self.compact {
+            &self.decoded_worker
+        } else {
+            let wi = worker.index();
+            self.shards[wi % self.n_shards]
+                .workers
+                .row_f32(wi / self.n_shards, self.worker_dim)
+                .expect("f32 arena in non-compact mode")
+        }
+    }
+}
+
+/// Number of entities shard `s` owns out of `n` striped across `n_shards`.
+fn shard_len(n: usize, n_shards: usize, s: usize) -> usize {
+    (n + n_shards - 1 - s) / n_shards
+}
+
+impl Env for ShardedEnv {
+    fn next_arrival(&mut self) -> bool {
+        self.commit_pending();
+        self.step.valid = false;
+        self.current = None;
+        let mut arrived: Option<WorkerId> = None;
+        while self.next_event < self.dataset.events.len() {
+            let event = self.dataset.events[self.next_event];
+            self.next_event += 1;
+            self.current_time = event.time;
+            match event.kind {
+                EventKind::TaskCreated(id) => {
+                    // The event stream *is* the global creation order; appending here
+                    // keeps `routed` identical to the unsharded pool.
+                    self.routed.push(id);
+                    self.pending[id.index() % self.n_shards].push(event);
+                    self.pending_total += 1;
+                }
+                EventKind::TaskExpired(id) => {
+                    self.pending[id.index() % self.n_shards].push(event);
+                    self.pending_total += 1;
+                    self.expiry_pending = true;
+                }
+                EventKind::WorkerArrival(worker) => {
+                    arrived = Some(worker);
+                    break;
+                }
+            }
+        }
+        // Trailing task events at end-of-stream are applied too, so aggregate state and
+        // the fingerprint are well-defined after the replay.
+        self.drain_pending();
+        let Some(worker) = arrived else { return false };
+        let wi = worker.index();
+        let shard = &mut self.shards[wi % self.n_shards];
+        let wlocal = wi / self.n_shards;
+        let is_new_worker = !shard.worker_seen[wlocal];
+        shard.worker_seen[wlocal] = true;
+        if self.compact {
+            let (workers, dim) = (&shard.workers, self.worker_dim);
+            workers.decode_row_into(wlocal, dim, &mut self.decoded_worker);
+        }
+        self.current = Some(CurrentArrival {
+            time: self.current_time,
+            worker,
+            is_new_worker,
+        });
+        true
+    }
+
+    fn arrival(&self) -> ArrivalView<'_> {
+        let current = self
+            .current
+            .expect("arrival() requires a pending arrival; call next_arrival() first");
+        ArrivalView::from_sharded(
+            current.time,
+            current.worker,
+            self.current_worker_feature(current.worker),
+            self.dataset.workers[current.worker.index()].quality,
+            current.is_new_worker,
+            ShardedPool {
+                ids: &self.routed,
+                shards: &self.shards,
+                n_shards: self.n_shards,
+                feature_dim: self.task_dim,
+                tasks: &self.dataset.tasks,
+            },
+        )
+    }
+
+    fn apply(&mut self, decision: &Decision) {
+        self.apply_decision(decision);
+    }
+
+    fn flush(&mut self) {
+        self.commit_pending();
+        self.step.valid = false;
+    }
+
+    fn feedback(&self) -> FeedbackView<'_> {
+        assert!(
+            self.step.valid,
+            "feedback() requires a prior apply() for the current arrival"
+        );
+        let current = self.current.expect("feedback() requires a pending arrival");
+        // While the effects are staged, the committed worker feature still holds the
+        // pre-completion value; the staged buffer holds the post-completion one.
+        let before = self.current_worker_feature(current.worker);
+        let after: &[f32] = if self.step.completed.is_some() && self.step.pending {
+            &self.step.after_feature
+        } else {
+            before
+        };
+        FeedbackView {
+            time: current.time,
+            worker_id: current.worker,
+            worker_quality: self.dataset.workers[current.worker.index()].quality,
+            shown: &self.step.shown,
+            completed: self.step.completed,
+            quality_gain: self.step.quality_gain,
+            worker_feature_before: before,
+            worker_feature_after: after,
+        }
+    }
+
+    fn finished(&self) -> bool {
+        ShardedEnv::finished(self)
+    }
+
+    fn current_time(&self) -> u64 {
+        ShardedEnv::current_time(self)
+    }
+
+    fn total_task_quality(&self) -> f32 {
+        ShardedEnv::total_task_quality(self)
+    }
+
+    fn total_completions(&self) -> usize {
+        ShardedEnv::total_completions(self)
+    }
+}
+
+/// Checkpoint format (committed dynamic state only): behaviour RNG, shard count (`u32`,
+/// validated), compact flag (validated), the routed available list (global creation
+/// order), then per shard — in shard order — the locally-indexed committed state:
+/// membership flags, qualities (f32 raw bits), completion counts, completer lists and
+/// the worker arena (precision tag + rows), seen flags and worker completion counts;
+/// finally the event cursor, current time and completed total. Immutable parts (dataset,
+/// feature space, task feature bits, decoded slab) are reconstructed, not stored; the
+/// slab is rebuilt by re-admitting every routed task. See `docs/CHECKPOINT_FORMAT.md`.
+impl crowd_ckpt::SaveState for ShardedEnv {
+    fn save_state(&self, w: &mut crowd_ckpt::StateWriter) {
+        w.save(&self.rng);
+        w.put_u32(self.n_shards as u32);
+        w.put_bool(self.compact);
+        w.save(&self.routed);
+        for shard in &self.shards {
+            w.save(&shard.in_pool);
+            w.put_f32_slice(&shard.task_qualities);
+            w.put_u32_slice(&shard.task_completions);
+            w.save(&shard.completer_qualities);
+            shard.workers.save_into(w);
+            w.save(&shard.worker_seen);
+            w.put_u32_slice(&shard.worker_completions);
+        }
+        w.put_usize(self.next_event);
+        w.put_u64(self.current_time);
+        w.put_usize(self.completed_total);
+    }
+}
+
+impl crowd_ckpt::LoadState for ShardedEnv {
+    fn load_state(&mut self, r: &mut crowd_ckpt::StateReader<'_>) -> crowd_ckpt::Result<()> {
+        let n_tasks = self.dataset.tasks.len();
+        let n_workers = self.dataset.workers.len();
+        let corrupt = |detail: String| crowd_ckpt::CkptError::Corrupt {
+            what: "sharded platform state",
+            detail,
+        };
+        crowd_ckpt::LoadState::load_state(&mut self.rng, r)?;
+        let n_shards = r.take_u32()? as usize;
+        if n_shards != self.n_shards {
+            return Err(corrupt(format!(
+                "snapshot was taken with {n_shards} shard(s), this environment has {}",
+                self.n_shards
+            )));
+        }
+        let compact = r.take_bool()?;
+        if compact != self.compact {
+            return Err(corrupt(format!(
+                "snapshot precision (compact={compact}) does not match this environment (compact={})",
+                self.compact
+            )));
+        }
+        let routed: Vec<TaskId> = r.decode()?;
+        if let Some(bad) = routed.iter().find(|t| t.index() >= n_tasks) {
+            return Err(corrupt(format!("available task id {bad:?} out of range")));
+        }
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let local_tasks = shard_len(n_tasks, n_shards, s);
+            let local_workers = shard_len(n_workers, n_shards, s);
+            let in_pool: Vec<bool> = r.decode()?;
+            let task_qualities = r.take_f32_vec()?;
+            let task_completions = r.take_u32_vec()?;
+            let completer_qualities: Vec<Vec<f32>> = r.decode()?;
+            let workers = FeatureArena::load_from(r, compact)?;
+            let worker_seen: Vec<bool> = r.decode()?;
+            let worker_completions = r.take_u32_vec()?;
+            if in_pool.len() != local_tasks
+                || task_qualities.len() != local_tasks
+                || task_completions.len() != local_tasks
+                || completer_qualities.len() != local_tasks
+            {
+                return Err(corrupt(format!(
+                    "shard {s} task-state arrays sized for {} tasks, shard owns {local_tasks}",
+                    in_pool.len()
+                )));
+            }
+            if workers.n_rows(self.worker_dim) != local_workers
+                || worker_seen.len() != local_workers
+                || worker_completions.len() != local_workers
+            {
+                return Err(corrupt(format!(
+                    "shard {s} worker-state arrays sized for {} workers, shard owns {local_workers}",
+                    worker_seen.len()
+                )));
+            }
+            shard.in_pool = in_pool;
+            shard.task_qualities = task_qualities;
+            shard.task_completions = task_completions;
+            shard.completer_qualities = completer_qualities;
+            shard.workers = workers;
+            shard.worker_seen = worker_seen;
+            shard.worker_completions = worker_completions;
+            // Reset the decoded slab; it is rebuilt from the routed list below.
+            if let TaskStore::F16 { slab, free, .. } = &mut shard.tasks {
+                slab.clear();
+                free.clear();
+            }
+        }
+        let next_event = r.take_usize()?;
+        if next_event > self.dataset.events.len() {
+            return Err(corrupt(format!(
+                "event cursor {next_event} past the {}-event stream",
+                self.dataset.events.len()
+            )));
+        }
+        self.next_event = next_event;
+        self.current_time = r.take_u64()?;
+        self.completed_total = r.take_usize()?;
+        // Rebuild the pool-resident decode slab (compact mode): slot *values* are an
+        // implementation detail — views read through them, so any deterministic
+        // assignment preserves bit-identity of the continued replay.
+        for &id in &routed {
+            let ti = id.index();
+            let dim = self.task_dim;
+            self.shards[ti % n_shards].tasks.admit(ti / n_shards, dim);
+        }
+        self.routed = routed;
+        for pending in &mut self.pending {
+            pending.clear();
+        }
+        self.pending_total = 0;
+        self.expiry_pending = false;
+        // Per-arrival scratch is dead between steps; start the resumed replay clean.
+        self.current = None;
+        self.step = StepState::default();
+        self.decoded_worker.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::SimConfig;
+
+    fn full_pool_replay_fingerprint(env: &mut dyn Env) -> Vec<u64> {
+        let mut decision = Decision::new();
+        let mut trace = Vec::new();
+        while env.next_arrival() {
+            let view = env.arrival();
+            if view.is_empty() {
+                continue;
+            }
+            decision.clear();
+            decision.extend((0..view.n_tasks()).map(|i| view.task_id(i)));
+            env.apply(&decision);
+            let fb = env.feedback();
+            trace.push(
+                (fb.quality_gain.to_bits() as u64) << 32
+                    | fb.completed.map(|(t, _)| t.index() as u64 + 1).unwrap_or(0),
+            );
+        }
+        env.flush();
+        trace
+    }
+
+    #[test]
+    fn single_shard_replay_is_bit_identical_to_platform() {
+        let ds = SimConfig::tiny().generate();
+        let fs = Platform::default_feature_space(&ds);
+        let mut platform = Platform::new(ds.clone(), fs.clone(), 42);
+        let mut sharded = ShardedEnv::new(ds, fs, 42, ShardSpec::new(1));
+        let a = full_pool_replay_fingerprint(&mut platform);
+        let b = full_pool_replay_fingerprint(&mut sharded);
+        assert_eq!(a, b);
+        assert_eq!(
+            platform.canonical_fingerprint(),
+            sharded.canonical_fingerprint()
+        );
+        assert_eq!(platform.rng_probe(), sharded.rng_probe());
+    }
+
+    #[test]
+    fn shard_counts_and_pools_do_not_change_the_replay() {
+        let ds = SimConfig::tiny().generate();
+        let fs = Platform::default_feature_space(&ds);
+        let mut reference = ShardedEnv::new(ds.clone(), fs.clone(), 9, ShardSpec::new(1));
+        let reference_trace = full_pool_replay_fingerprint(&mut reference);
+        for n_shards in [2, 3, 8] {
+            let spec = ShardSpec::new(n_shards).with_pool(ThreadPool::new(4));
+            let mut env = ShardedEnv::new(ds.clone(), fs.clone(), 9, spec);
+            assert_eq!(full_pool_replay_fingerprint(&mut env), reference_trace);
+            assert_eq!(
+                env.canonical_fingerprint(),
+                reference.canonical_fingerprint(),
+                "{n_shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_order_matches_platform_at_every_arrival() {
+        let ds = SimConfig::tiny().generate();
+        let fs = Platform::default_feature_space(&ds);
+        let mut platform = Platform::new(ds.clone(), fs.clone(), 5);
+        let mut sharded = ShardedEnv::new(ds, fs, 5, ShardSpec::new(3));
+        let mut decision = Decision::new();
+        loop {
+            let a = platform.next_arrival();
+            let b = Env::next_arrival(&mut sharded);
+            assert_eq!(a, b);
+            if !a {
+                break;
+            }
+            assert_eq!(platform.available_tasks(), sharded.available_tasks());
+            let view = platform.arrival();
+            if view.is_empty() {
+                continue;
+            }
+            decision.clear();
+            decision.extend((0..view.n_tasks()).map(|i| view.task_id(i)));
+            platform.apply(&decision);
+            sharded.apply(&decision);
+        }
+    }
+
+    #[test]
+    fn compact_mode_is_deterministic_and_close_to_f32() {
+        let ds = SimConfig::tiny().generate();
+        let fs = Platform::default_feature_space(&ds);
+        let spec = ShardSpec::new(2).compact(true);
+        // Compact cold storage costs roughly half the f32 arena bytes; measured on
+        // fresh environments because the decoded pool slab (which never shrinks) can
+        // mask the saving at tiny scale, where most tasks are pool-resident at once.
+        let fresh = ShardedEnv::new(ds.clone(), fs.clone(), 13, spec);
+        let f32_env = ShardedEnv::new(ds.clone(), fs.clone(), 13, ShardSpec::new(2));
+        assert!(fresh.feature_arena_bytes() < f32_env.feature_arena_bytes() * 3 / 4);
+        let mut a = ShardedEnv::new(ds.clone(), fs.clone(), 13, spec);
+        let mut b = ShardedEnv::new(ds, fs, 13, spec);
+        assert_eq!(
+            full_pool_replay_fingerprint(&mut a),
+            full_pool_replay_fingerprint(&mut b)
+        );
+        assert_eq!(a.canonical_fingerprint(), b.canonical_fingerprint());
+    }
+
+    #[test]
+    fn sharded_checkpoint_restores_bit_identically() {
+        use crowd_ckpt::{Snapshot, SnapshotFile};
+        let ds = SimConfig::tiny().generate();
+        let fs = Platform::default_feature_space(&ds);
+        for compact in [false, true] {
+            let spec = ShardSpec::new(2).compact(compact);
+            let mut original = ShardedEnv::new(ds.clone(), fs.clone(), 21, spec);
+            let mut decision = Decision::new();
+            for _ in 0..40 {
+                assert!(Env::next_arrival(&mut original));
+                let view = original.arrival();
+                if view.is_empty() {
+                    continue;
+                }
+                decision.clear();
+                decision.extend((0..view.n_tasks()).map(|i| view.task_id(i)));
+                original.apply(&decision);
+            }
+            Env::flush(&mut original);
+            let mut snap = Snapshot::new();
+            snap.put("env", &original);
+            let file = SnapshotFile::from_bytes(snap.to_bytes()).unwrap();
+
+            let mut resumed = ShardedEnv::new(ds.clone(), fs.clone(), 0, spec);
+            file.load_into("env", &mut resumed).unwrap();
+            assert_eq!(
+                resumed.canonical_fingerprint(),
+                original.canonical_fingerprint()
+            );
+            let tail_a = full_pool_replay_fingerprint(&mut original);
+            let tail_b = full_pool_replay_fingerprint(&mut resumed);
+            assert_eq!(tail_a, tail_b, "compact={compact}");
+            assert_eq!(
+                resumed.canonical_fingerprint(),
+                original.canonical_fingerprint()
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_shard_count_and_precision_mismatches() {
+        use crowd_ckpt::{Snapshot, SnapshotFile};
+        let ds = SimConfig::tiny().generate();
+        let fs = Platform::default_feature_space(&ds);
+        let mut env = ShardedEnv::new(ds.clone(), fs.clone(), 3, ShardSpec::new(2));
+        Env::next_arrival(&mut env);
+        Env::flush(&mut env);
+        let mut snap = Snapshot::new();
+        snap.put("env", &env);
+        let file = SnapshotFile::from_bytes(snap.to_bytes()).unwrap();
+        let mut wrong_shards = ShardedEnv::new(ds.clone(), fs.clone(), 3, ShardSpec::new(4));
+        assert!(file.load_into("env", &mut wrong_shards).is_err());
+        let mut wrong_precision = ShardedEnv::new(ds, fs, 3, ShardSpec::new(2).compact(true));
+        assert!(file.load_into("env", &mut wrong_precision).is_err());
+    }
+}

@@ -28,10 +28,10 @@
 use crowd_baselines::Benefit;
 use crowd_ckpt::{CkptError, Snapshot, SnapshotFile, StateWriter};
 use crowd_experiments::{
-    experiment_dataset, experiment_scale, policies_for_benefit, print_table, run_policy,
-    RunnerConfig, Session,
+    experiment_dataset, experiment_scale, experiment_shards, policies_for_benefit, print_table,
+    run_policy, RunnerConfig, Scale, Session,
 };
-use crowd_sim::BoxedPolicy;
+use crowd_sim::{BoxedPolicy, Env, ShardSpec};
 use crowd_tensor::ThreadPool;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -110,8 +110,8 @@ fn write_boundary(opts: &CkptOptions, next_policy: usize, rows: &[Vec<String>]) 
 /// return says whether any mid-replay snapshot was actually attempted — when none fired
 /// (short run, large `--checkpoint-every`), the measured wall clock carried no snapshot
 /// bookkeeping and the serial-twin speedup comparison is still fair.
-fn run_checkpointed(
-    mut session: Session,
+fn run_checkpointed<E: Env + crowd_ckpt::SaveState>(
+    mut session: Session<E>,
     policy: &mut BoxedPolicy,
     opts: &CkptOptions,
     policy_index: usize,
@@ -149,16 +149,65 @@ fn run_checkpointed(
     (session.finish(policy.name()), fired)
 }
 
+/// One method's replay, generic over the environment: resume the in-flight session when
+/// this is the resumed method, then run it (checkpointed when requested). Returns the
+/// outcome plus whether a mid-replay snapshot fired and whether the run was a resumed
+/// tail — the two conditions that invalidate the serial-twin speedup comparison.
+fn run_method<E: Env + crowd_ckpt::SaveState + crowd_ckpt::LoadState>(
+    mut session: Session<E>,
+    policy: &mut BoxedPolicy,
+    opts: &CkptOptions,
+    index: usize,
+    first_policy: usize,
+    resume_file: Option<&SnapshotFile>,
+    rows: &[Vec<String>],
+) -> (crowd_experiments::RunOutcome, bool, bool) {
+    if !opts.active() {
+        session.run(policy.as_mut());
+        return (session.finish(policy.name()), false, false);
+    }
+    let mut resumed_mid_replay = false;
+    if index == first_policy {
+        if let Some(file) = resume_file.filter(|f| f.contains("session")) {
+            if let Err(e) = session.resume(policy.as_mut(), file) {
+                eprintln!("cannot resume the in-flight {} replay: {e}", policy.name());
+                std::process::exit(1);
+            }
+            eprintln!(
+                "  continuing mid-replay at {} evaluated arrivals",
+                session.evaluated_arrivals()
+            );
+            resumed_mid_replay = true;
+        }
+    }
+    let (outcome, fired) = run_checkpointed(session, policy, opts, index, rows);
+    (outcome, fired, resumed_mid_replay)
+}
+
 fn main() {
     let scale = experiment_scale();
     let pool = crowd_experiments::experiment_thread_pool();
     let opts = CkptOptions::from_args();
     let dataset = experiment_dataset();
-    let cfg = RunnerConfig::default();
+    // The massive tier replays through the sharded environment and skips the warm-up
+    // window: gathering owned warm-start history over a ~1M-worker pool would dwarf
+    // the replay itself.
+    let shards = experiment_shards(scale);
+    let cfg = if scale == Scale::Massive {
+        RunnerConfig {
+            warmup_months: 0,
+            ..RunnerConfig::default()
+        }
+    } else {
+        RunnerConfig::default()
+    };
     println!(
         "Table I reproduction — model update efficiency ({scale:?} scale, {} thread(s))",
         pool.threads()
     );
+    if scale == Scale::Massive {
+        println!("(sharded environment: {shards} shard(s), no warm-up window)");
+    }
     println!("(Random and Greedy CS are included for completeness; the paper omits them because they have no model to update.)");
 
     // Restore finished rows and locate the in-flight method when resuming.
@@ -196,26 +245,28 @@ fn main() {
     for (index, mut policy) in pooled_lineup.into_iter().enumerate().skip(first_policy) {
         eprintln!("running {} ...", policy.name());
         policy.set_thread_pool(pool);
-        let mut resumed_mid_replay = false;
         let started = Instant::now();
-        let (outcome, checkpoint_fired) = if opts.active() {
-            let mut session = Session::for_dataset(&dataset, &cfg);
-            if index == first_policy {
-                if let Some(file) = resume_file.as_ref().filter(|f| f.contains("session")) {
-                    if let Err(e) = session.resume(policy.as_mut(), file) {
-                        eprintln!("cannot resume the in-flight {} replay: {e}", policy.name());
-                        std::process::exit(1);
-                    }
-                    eprintln!(
-                        "  continuing mid-replay at {} evaluated arrivals",
-                        session.evaluated_arrivals()
-                    );
-                    resumed_mid_replay = true;
-                }
-            }
-            run_checkpointed(session, &mut policy, &opts, index, &rows)
+        let (outcome, checkpoint_fired, resumed_mid_replay) = if scale == Scale::Massive {
+            let spec = ShardSpec::new(shards).with_pool(pool);
+            run_method(
+                Session::for_dataset_sharded(&dataset, &cfg, spec),
+                &mut policy,
+                &opts,
+                index,
+                first_policy,
+                resume_file.as_ref(),
+                &rows,
+            )
         } else {
-            (run_policy(&dataset, policy.as_mut(), &cfg), false)
+            run_method(
+                Session::for_dataset(&dataset, &cfg),
+                &mut policy,
+                &opts,
+                index,
+                first_policy,
+                resume_file.as_ref(),
+                &rows,
+            )
         };
         let pooled_wall = started.elapsed();
 
@@ -223,8 +274,13 @@ fn main() {
         // pooled run is known to be comparable: there must be a multi-thread pool to
         // compare against, the pooled wall clock must not include snapshot bookkeeping
         // (no mid-replay snapshot fired — `--checkpoint-every` merely being set is fine),
-        // and it must cover the whole replay (not a mid-replay resume's tail).
-        let comparable = !pool.is_serial() && !checkpoint_fired && !resumed_mid_replay;
+        // and it must cover the whole replay (not a mid-replay resume's tail). The
+        // massive tier skips the twin — its replay is benchmarked (shard-count sweep,
+        // RSS) by `benches/sharded_scale.rs` instead of re-run twice here.
+        let comparable = !pool.is_serial()
+            && !checkpoint_fired
+            && !resumed_mid_replay
+            && scale != Scale::Massive;
         let serial_twin = if comparable {
             policies_for_benefit(&dataset, Benefit::Worker, scale)
                 .into_iter()

@@ -31,6 +31,6 @@ pub use report::{f1, f3, format_row, print_table};
 pub use runner::{run_policy, RunOutcome, RunnerConfig};
 pub use scenarios::{
     collect_arrival_contexts, ddqn_config_for, ddqn_for, experiment_dataset, experiment_scale,
-    experiment_thread_pool, policies_for_benefit, Scale,
+    experiment_shards, experiment_thread_pool, policies_for_benefit, Scale,
 };
 pub use session::{run_policies_lockstep, run_policies_lockstep_with_pool, Session, SessionBatch};

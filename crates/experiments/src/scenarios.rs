@@ -13,11 +13,16 @@ pub enum Scale {
     Small,
     /// The full CrowdSpring-replica scale of the paper (13 months, ~1700 workers).
     Replica,
+    /// The demand-scale synthetic tier (~1M workers, ~240k tasks) served by the sharded
+    /// platform; see [`SimConfig::massive`]. Binaries wired for it replay through
+    /// [`crowd_sim::ShardedEnv`] with [`experiment_shards`] shards and skip the warm-up
+    /// window (gathering owned warm-start history at this scale would dwarf the replay).
+    Massive,
 }
 
 impl Scale {
-    /// Parses the `CROWD_SCALE` environment variable (`tiny` / `small` / `replica`),
-    /// defaulting to [`Scale::Small`].
+    /// Parses the `CROWD_SCALE` environment variable (`tiny` / `small` / `replica` /
+    /// `massive`), defaulting to [`Scale::Small`].
     pub fn from_env() -> Scale {
         match std::env::var("CROWD_SCALE")
             .unwrap_or_default()
@@ -26,6 +31,7 @@ impl Scale {
         {
             "tiny" => Scale::Tiny,
             "replica" | "full" => Scale::Replica,
+            "massive" => Scale::Massive,
             _ => Scale::Small,
         }
     }
@@ -36,7 +42,29 @@ impl Scale {
             Scale::Tiny => SimConfig::tiny(),
             Scale::Small => SimConfig::small(),
             Scale::Replica => SimConfig::crowdspring_replica(),
+            Scale::Massive => SimConfig::massive(),
         }
+    }
+}
+
+/// Shard count for the sharded platform at the current scale: `CROWD_SHARDS` wins, then
+/// a default of 8 at [`Scale::Massive`] (a demand-scale replay wants the parallel
+/// per-shard advance) and 1 everywhere else (the single-shard layout is the unsharded
+/// platform's, bit-identically).
+pub fn experiment_shards(scale: Scale) -> usize {
+    if let Ok(value) = std::env::var("CROWD_SHARDS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+        eprintln!(
+            "CROWD_SHARDS expects a positive integer (got {value:?}); using the scale default"
+        );
+    }
+    match scale {
+        Scale::Massive => 8,
+        _ => 1,
     }
 }
 
@@ -94,7 +122,9 @@ pub fn ddqn_config_for(scale: Scale) -> DdqnConfig {
             max_tasks: 48,
             ..DdqnConfig::default()
         },
-        Scale::Replica => DdqnConfig::paper_scale(),
+        // The massive tier keeps the paper-scale network: the scale lives in the
+        // sharded environment, not the model.
+        Scale::Replica | Scale::Massive => DdqnConfig::paper_scale(),
     }
 }
 
@@ -216,8 +246,21 @@ mod tests {
 
     #[test]
     fn ddqn_configs_are_valid_at_every_scale() {
-        for scale in [Scale::Tiny, Scale::Small, Scale::Replica] {
+        for scale in [Scale::Tiny, Scale::Small, Scale::Replica, Scale::Massive] {
             ddqn_config_for(scale).validate();
+        }
+    }
+
+    #[test]
+    fn massive_scale_resolves_its_generator_config() {
+        assert_eq!(
+            Scale::Massive.sim_config().n_workers,
+            SimConfig::massive().n_workers
+        );
+        // Without CROWD_SHARDS the massive tier defaults to 8 shards, others to 1.
+        if std::env::var_os("CROWD_SHARDS").is_none() {
+            assert_eq!(experiment_shards(Scale::Massive), 8);
+            assert_eq!(experiment_shards(Scale::Small), 1);
         }
     }
 }

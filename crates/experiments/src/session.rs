@@ -51,10 +51,23 @@ use crowd_ckpt::{CkptError, Snapshot, SnapshotFile, StateReader, StateWriter};
 use crowd_metrics::{MetricsAccumulator, UpdateTimer};
 use crowd_sim::{
     ArrivalContext, ArrivalView, BatchedPolicy, BoxedPolicy, Dataset, Decision, Env, Platform,
-    Policy, PolicyFeedback, TaskId,
+    Policy, PolicyFeedback, ShardSpec, ShardedEnv, TaskId,
 };
 use crowd_tensor::{Rng, ThreadPool};
 use std::time::Instant;
+
+/// A policy hook recorded during the env-only advance ([`Session::advance_env`]) and
+/// replayed by [`Session::drain_hooks`] — the split that lets a batch advance many
+/// sessions' environments in parallel while the shared policy's hooks stay sequential.
+/// Hooks never touch the environment, so deferring them past the advance loop hands the
+/// policy the exact call sequence of the fused path.
+#[derive(Debug, Clone, Copy)]
+enum PendingHook {
+    /// `policy.end_of_day(day)` — timed as model-update time.
+    EndOfDay(usize),
+    /// `policy.warm_start(&history)` — the one-time warm-up hand-off, untimed.
+    WarmStart,
+}
 
 /// One replay of a dataset against one policy, steppable one arrival at a time.
 #[derive(Debug)]
@@ -72,6 +85,10 @@ pub struct Session<E: Env = Platform> {
     current_day: Option<usize>,
     evaluated_arrivals: usize,
     done: bool,
+    /// Policy hooks recorded by [`Session::advance_env`], drained (in order) by
+    /// [`Session::drain_hooks`]. Always empty between steps — both stepping paths drain
+    /// before returning — so it never enters a checkpoint.
+    pending_hooks: Vec<PendingHook>,
 }
 
 impl Session<Platform> {
@@ -81,6 +98,18 @@ impl Session<Platform> {
         let features = Platform::default_feature_space(dataset);
         let platform = Platform::new(dataset.clone(), features, config.platform_seed);
         Session::new(platform, config)
+    }
+}
+
+impl Session<ShardedEnv> {
+    /// Builds a session over a [`ShardedEnv`] replay of `dataset` with the default
+    /// feature space — the sharded twin of [`Session::for_dataset`]. With a default
+    /// (f32) spec the replay is bit-identical to the `Platform` session at any shard
+    /// count (`tests/shard_equivalence.rs`).
+    pub fn for_dataset_sharded(dataset: &Dataset, config: &RunnerConfig, spec: ShardSpec) -> Self {
+        let features = Platform::default_feature_space(dataset);
+        let env = ShardedEnv::new(dataset.clone(), features, config.platform_seed, spec);
+        Session::new(env, config)
     }
 }
 
@@ -101,12 +130,19 @@ impl<E: Env> Session<E> {
             current_day: None,
             evaluated_arrivals: 0,
             done: false,
+            pending_hooks: Vec::new(),
         }
     }
 
     /// The wrapped environment.
     pub fn env(&self) -> &E {
         &self.env
+    }
+
+    /// Mutable access to the wrapped environment (equivalence tests probe RNG streams
+    /// and fingerprints through this).
+    pub fn env_mut(&mut self) -> &mut E {
+        &mut self.env
     }
 
     /// Metrics accumulated so far.
@@ -124,14 +160,13 @@ impl<E: Env> Session<E> {
         self.done
     }
 
-    /// Advances the event stream to the next *evaluated* arrival, consuming warm-up
-    /// arrivals, empty pools and day boundaries on the way, and leaves the environment
-    /// positioned on it. Returns `false` once the stream is exhausted.
-    ///
-    /// Shared by sequential [`Session::step`] and [`SessionBatch::step_batched`]: after a
-    /// `true` return the caller produces a decision into `self.decision` and calls
-    /// [`Session::commit_decision`].
-    fn advance_to_arrival(&mut self, policy: &mut (impl Policy + ?Sized)) -> bool {
+    /// The **env-only** half of advancing to the next evaluated arrival: consumes
+    /// warm-up arrivals (random full-pool rankings from the session-owned warm-up RNG),
+    /// empty pools and day boundaries, recording the policy hooks they imply into
+    /// `pending_hooks` instead of calling them. Touches only this session's own state,
+    /// so a batch may run it for many sessions in parallel; the caller must follow up
+    /// with [`Session::drain_hooks`] before the policy acts.
+    fn advance_env(&mut self) -> bool {
         if self.done {
             return false;
         }
@@ -147,11 +182,12 @@ impl<E: Env> Session<E> {
             let month = Dataset::month_of(time);
             let day = Dataset::day_of(time);
 
-            // End-of-day hook (supervised retraining) counts as model update time.
+            // End-of-day hook (supervised retraining); replayed by `drain_hooks`, where
+            // it counts as model update time.
             if self.warm_started {
                 if let Some(prev_day) = self.current_day {
                     if day != prev_day {
-                        self.update_timer.time(|| policy.end_of_day(prev_day));
+                        self.pending_hooks.push(PendingHook::EndOfDay(prev_day));
                     }
                 }
             }
@@ -181,7 +217,7 @@ impl<E: Env> Session<E> {
             }
 
             if !self.warm_started {
-                policy.warm_start(&self.warmup_history);
+                self.pending_hooks.push(PendingHook::WarmStart);
                 self.warm_started = true;
             }
 
@@ -191,6 +227,39 @@ impl<E: Env> Session<E> {
 
             return true;
         }
+    }
+
+    /// Replays the policy hooks recorded by [`Session::advance_env`], in recording
+    /// order. For a shared policy this must run per session, in session order —
+    /// exactly how [`SessionBatch::step_batched`] sequences it.
+    fn drain_hooks(&mut self, policy: &mut (impl Policy + ?Sized)) {
+        if self.pending_hooks.is_empty() {
+            return;
+        }
+        let mut hooks = std::mem::take(&mut self.pending_hooks);
+        for hook in hooks.drain(..) {
+            match hook {
+                PendingHook::EndOfDay(day) => self.update_timer.time(|| policy.end_of_day(day)),
+                PendingHook::WarmStart => policy.warm_start(&self.warmup_history),
+            }
+        }
+        // Hand the (now empty) buffer back so its capacity is reused across steps.
+        self.pending_hooks = hooks;
+    }
+
+    /// Advances the event stream to the next *evaluated* arrival, consuming warm-up
+    /// arrivals, empty pools and day boundaries on the way, and leaves the environment
+    /// positioned on it. Returns `false` once the stream is exhausted.
+    ///
+    /// Shared by sequential [`Session::step`] and [`SessionBatch::step_batched`]: after a
+    /// `true` return the caller produces a decision into `self.decision` and calls
+    /// [`Session::commit_decision`]. Composed from the env-only advance and the policy
+    /// hook replay; since hooks never touch the environment, the fused and split paths
+    /// hand the policy identical call sequences.
+    fn advance_to_arrival(&mut self, policy: &mut (impl Policy + ?Sized)) -> bool {
+        let live = self.advance_env();
+        self.drain_hooks(policy);
+        live
     }
 
     /// Applies `self.decision` to the pending arrival and records the metrics — the
@@ -252,6 +321,13 @@ impl<E: Env> Session<E> {
     /// while still inside the warm-up window — the accumulated warm-start history, plus
     /// the day cursor, evaluated-arrival count and done flag.
     fn save_session_state(&self, w: &mut StateWriter) {
+        // Both stepping paths drain hooks before returning, so between steps — the only
+        // place checkpoints are taken — there is never one pending (and the snapshot
+        // format needs no hook section).
+        debug_assert!(
+            self.pending_hooks.is_empty(),
+            "checkpoint taken with undrained policy hooks"
+        );
         w.put_usize(self.config.warmup_months);
         w.save(&self.metrics);
         w.save(&self.update_timer);
@@ -291,6 +367,7 @@ impl<E: Env> Session<E> {
         self.warmup_history = r.decode()?;
         self.decision.clear();
         self.warmup_order.clear();
+        self.pending_hooks.clear();
         Ok(())
     }
 }
@@ -563,8 +640,30 @@ impl<E: Env> SessionBatch<E> {
         E: Send,
     {
         self.live.clear();
+        // Phase 1a: env-only advance — each session consumes its own warm-up arrivals,
+        // empty pools and day boundaries, recording policy hooks instead of calling
+        // them. No shared state, so large batches shard across the pool (the sharded
+        // env's per-shard advance composes underneath when it was given its own pool).
+        let advance_pool = if self.sessions.len() >= self.pool.threads() * 4 {
+            self.pool
+        } else {
+            ThreadPool::serial()
+        };
+        let live_flags: Vec<bool> = advance_pool
+            .par_chunks(&mut self.sessions, 1, |_, shard| {
+                shard
+                    .iter_mut()
+                    .map(|session| session.advance_env())
+                    .collect::<Vec<bool>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        // Phase 1b: the recorded hooks replay against the shared policy sequentially,
+        // in session order — the exact call sequence of the fused sequential advance.
         for (i, session) in self.sessions.iter_mut().enumerate() {
-            if session.advance_to_arrival(policy) {
+            session.drain_hooks(policy);
+            if live_flags[i] {
                 self.live.push(i);
             }
         }
