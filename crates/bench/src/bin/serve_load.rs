@@ -15,10 +15,22 @@
 //! `--rate` is arrivals/second aggregate across all clients (5 000/s ≈ 432 M/day: the
 //! service's target envelope is millions of arrivals per day, so second-scale rates in
 //! the thousands stress well past it). The pool comes from `--threads`/`CROWD_THREADS`.
+//!
+//! Self-healing knobs: `--retry` sends every request through
+//! [`Client::decide_with_retry`] (bounded exponential backoff on `Saturated`/`Degraded`
+//! answers — requests that never touched the policy), counting requests still shed at
+//! the deadline instead of aborting; `--shed-ms <n>` arms the staleness bound
+//! (`ServeConfig::shed_staler_than`), so decides older than `n` ms are answered
+//! `Degraded` rather than served on stale state. Together they show the
+//! degrade-shed-heal loop under a rate the service cannot sustain.
+//!
+//! [`Client::decide_with_retry`]: crowd_serve::Client::decide_with_retry
 
 use crowd_bench::LatencyHistogram;
 use crowd_experiments::{collect_arrival_contexts, ddqn_config_for, ddqn_for, Scale};
-use crowd_serve::{ArrivalSchedule, LogConfig, ServeConfig, ServeDecision, Server, TrafficPattern};
+use crowd_serve::{
+    ArrivalSchedule, LogConfig, RetryPolicy, ServeConfig, ServeDecision, Server, TrafficPattern,
+};
 use crowd_sim::{ArrivalContext, PolicyFeedback, SimConfig};
 use crowd_tensor::ThreadPool;
 use std::path::PathBuf;
@@ -31,6 +43,8 @@ struct Options {
     arrivals: usize,
     learn: bool,
     log: Option<PathBuf>,
+    retry: bool,
+    shed_ms: Option<u64>,
 }
 
 impl Options {
@@ -42,6 +56,8 @@ impl Options {
             arrivals: 8_000,
             learn: false,
             log: None,
+            retry: false,
+            shed_ms: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -66,6 +82,10 @@ impl Options {
                 }
                 "--learn" => opts.learn = true,
                 "--log" => opts.log = Some(PathBuf::from(value("--log"))),
+                "--retry" => opts.retry = true,
+                "--shed-ms" => {
+                    opts.shed_ms = Some(value("--shed-ms").parse().expect("--shed-ms: integer"))
+                }
                 other => panic!("unknown argument {other:?} (see module docs for usage)"),
             }
         }
@@ -118,6 +138,7 @@ fn main() {
     let config = ServeConfig {
         pool: ThreadPool::from_env(),
         log: opts.log.clone().map(LogConfig::new),
+        shed_staler_than: opts.shed_ms.map(Duration::from_millis),
         ..ServeConfig::default()
     };
     let server = Server::start(Box::new(policy), config).expect("server start failed");
@@ -142,8 +163,11 @@ fn main() {
             let client = server.client();
             let contexts = &contexts;
             let learn = opts.learn;
+            let retry = opts.retry;
             handles.push(scope.spawn(move || {
+                let retry_policy = RetryPolicy::default();
                 let mut histogram = LatencyHistogram::new();
+                let mut shed = 0u64;
                 let schedule = ArrivalSchedule::new(pattern, 0x10AD_0000 + client_index as u64);
                 let mut next_at = Duration::ZERO;
                 for (k, offset) in schedule.take(per_client).enumerate() {
@@ -156,7 +180,23 @@ fn main() {
                     let context =
                         contexts[(client_index + k * opts.clients) % contexts.len()].clone();
                     let submitted = Instant::now();
-                    let served = client.decide(context.clone()).expect("decide failed");
+                    let result = if retry {
+                        client.decide_with_retry(&context, &retry_policy)
+                    } else {
+                        client.decide(context.clone())
+                    };
+                    let served = match result {
+                        Ok(served) => served,
+                        // A Saturated/Degraded answer means the request never touched
+                        // the policy — count it shed and move on; any other error is a
+                        // real failure.
+                        Err(crowd_serve::ServeError::Saturated)
+                        | Err(crowd_serve::ServeError::Degraded { .. }) => {
+                            shed += 1;
+                            continue;
+                        }
+                        Err(err) => panic!("decide failed: {err}"),
+                    };
                     histogram.record(submitted.elapsed());
                     if learn {
                         client
@@ -164,7 +204,7 @@ fn main() {
                             .expect("feedback failed");
                     }
                 }
-                histogram
+                (histogram, shed)
             }));
         }
         handles
@@ -176,8 +216,10 @@ fn main() {
     let (_policy, report) = server.shutdown();
 
     let mut merged = LatencyHistogram::new();
-    for h in &histograms {
+    let mut client_shed = 0u64;
+    for (h, shed) in &histograms {
         merged.merge(h);
+        client_shed += shed;
     }
     println!("latency: {}", merged.summary());
     println!(
@@ -196,6 +238,12 @@ fn main() {
         println!(
             "decision log: {} record batches, {} segment rotations",
             report.log_batches, report.log_rotations
+        );
+    }
+    if client_shed > 0 || report.shed_decides > 0 || report.healed > 0 {
+        println!(
+            "shedding: {client_shed} requests gave up at the retry deadline; server shed {} decides / {} feedbacks over {} degraded rounds, {} outages healed",
+            report.shed_decides, report.shed_feedbacks, report.degraded_rounds, report.healed,
         );
     }
 }

@@ -17,7 +17,10 @@
 //!   update round;
 //! * `serve_latency` — end-to-end decision latency (p50/p99/p999) and max sustained
 //!   throughput of the `crowd-serve` micro-batching service under Poisson and bursty
-//!   open-loop load at several client counts (uses [`latency::LatencyHistogram`]);
+//!   open-loop load at several client counts (uses [`latency::LatencyHistogram`]),
+//!   plus durable-backend cells: a real decision log (fsync per batch) and the same
+//!   log behind `Fs::faulty` with a deterministic 2 ms `SyncData` latency — the
+//!   tail-latency cost of a degraded flush path, reproducible on any machine;
 //! * `kernel_throughput` — the vectorised matmul kernels against their retained
 //!   scalar references at every benchmarked shape (the speed half of the
 //!   `tests/kernel_equivalence.rs` fence: the blocked kernels must be strictly

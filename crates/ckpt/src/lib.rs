@@ -19,6 +19,13 @@
 //! detection — which the `crowd-serve` decision log builds on
 //! (`docs/DECISION_LOG_FORMAT.md` at the repository root).
 //!
+//! Both disk paths run through the [`io`] module's [`Fs`] storage abstraction: the
+//! default backend is the real filesystem, and [`Fs::faulty`] swaps in a deterministic
+//! fault injector (seeded, operation-counter-keyed [`FaultPlan`]s of short writes,
+//! fsync failures, rename failures, read-time corruption and latency) so the test
+//! suites can prove that a fault at *any* numbered I/O site yields either bit-identical
+//! recovery or a typed error — never silent divergence.
+//!
 //! # Layering
 //!
 //! This crate is the *leaf* of the workspace graph — it depends on nothing, and every
@@ -118,12 +125,14 @@
 
 pub mod crc32;
 pub mod error;
+pub mod io;
 pub mod rw;
 pub mod snapshot;
 pub mod wal;
 
 pub use crc32::crc32;
 pub use error::{CkptError, Result};
+pub use io::{DirSyncPolicy, FaultKind, FaultPlan, FaultProbe, FaultRule, Fs, OpClass};
 pub use rw::{StateReader, StateWriter};
 pub use snapshot::{Snapshot, SnapshotFile, FORMAT_VERSION, MAGIC};
 pub use wal::{SegmentScan, SegmentWriter, WalDir, WAL_MAGIC, WAL_VERSION};

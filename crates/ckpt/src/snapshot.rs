@@ -12,9 +12,9 @@
 
 use crate::crc32::crc32;
 use crate::error::{CkptError, Result};
+use crate::io::Fs;
 use crate::rw::{StateReader, StateWriter};
 use crate::{DecodeState, LoadState, SaveState};
-use std::io::Write as _;
 use std::ops::Range;
 use std::path::Path;
 
@@ -111,6 +111,15 @@ impl Snapshot {
     /// are renamed into place, so a crash mid-write can never leave a truncated file at
     /// the checkpoint path (the stale-but-complete previous snapshot survives instead).
     pub fn write_to(&self, path: impl AsRef<Path>) -> Result<()> {
+        self.write_to_in(&Fs::real(), path)
+    }
+
+    /// [`Snapshot::write_to`] through an explicit storage backend — the fault-injection
+    /// suites swap in [`Fs::faulty`] here to poison any numbered I/O site of the write.
+    /// After the rename the containing directory is synced so the publish survives
+    /// power loss; a failed directory sync is an error (the stale previous snapshot is
+    /// still intact, so the caller lost nothing by being told).
+    pub fn write_to_in(&self, fs: &Fs, path: impl AsRef<Path>) -> Result<()> {
         let path = path.as_ref();
         // Append ".tmp" to the whole name (`x.ckpt` → `x.ckpt.tmp`); `with_extension`
         // would *replace* the extension and collide with an unrelated `x.tmp`.
@@ -118,11 +127,14 @@ impl Snapshot {
         tmp_name.push(".tmp");
         let tmp = std::path::PathBuf::from(tmp_name);
         {
-            let mut file = std::fs::File::create(&tmp)?;
+            let mut file = fs.create(&tmp)?;
             file.write_all(&self.to_bytes())?;
             file.sync_all()?;
         }
-        std::fs::rename(&tmp, path)?;
+        fs.rename(&tmp, path)?;
+        if let Some(parent) = path.parent() {
+            fs.sync_dir(parent)?;
+        }
         Ok(())
     }
 }
@@ -137,7 +149,13 @@ pub struct SnapshotFile {
 impl SnapshotFile {
     /// Reads and validates a snapshot file from disk.
     pub fn read(path: impl AsRef<Path>) -> Result<Self> {
-        SnapshotFile::from_bytes(std::fs::read(path)?)
+        SnapshotFile::read_in(&Fs::real(), path)
+    }
+
+    /// [`SnapshotFile::read`] through an explicit storage backend (fault-injection
+    /// suites poison the read to prove corruption is always a typed error).
+    pub fn read_in(fs: &Fs, path: impl AsRef<Path>) -> Result<Self> {
+        SnapshotFile::from_bytes(fs.read(path.as_ref())?)
     }
 
     /// Validates `bytes` as a snapshot: magic, version, section-table bounds and every

@@ -10,7 +10,11 @@
 //! # Layout
 //!
 //! A log is a directory of segment files named `segment-<index08>.wlog` with strictly
-//! consecutive indices starting at 0. Each segment is:
+//! consecutive indices. A fresh log starts at segment 0; a *compacted* log (see the
+//! `crowd-serve` decision log) may start at a later index, with a base snapshot
+//! standing in for the deleted prefix — [`scan_dir`] checks consecutiveness and
+//! reports the first index, and the caller decides whether a non-zero start is legal.
+//! Each segment is:
 //!
 //! ```text
 //! magic "CRWDWLOG" (8) | version u32 LE (4) | segment index u64 LE (8)   — 20-byte header
@@ -38,8 +42,8 @@
 
 use crate::crc32::crc32;
 use crate::error::{CkptError, Result};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use crate::io::{DirSyncPolicy, Fs, StorageFile};
+use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// First eight bytes of every segment file.
@@ -76,49 +80,67 @@ fn encode_header(index: u64) -> [u8; SEGMENT_HEADER_LEN as usize] {
     h
 }
 
-/// Best-effort fsync of a directory so a rename inside it survives a power cut. Platforms
-/// where directories cannot be opened or synced simply skip it.
-fn sync_dir(dir: &Path) {
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
-    }
-}
-
 /// An open segment accepting record-batch appends.
 ///
 /// The writer never buffers: every [`SegmentWriter::append`] issues the batch to the OS
 /// in one `write_all`, and [`SegmentWriter::sync`] makes everything appended so far
 /// durable. Acknowledge work to callers only after `sync` returns.
-#[derive(Debug)]
 pub struct SegmentWriter {
-    file: File,
+    file: Box<dyn StorageFile>,
     path: PathBuf,
     index: u64,
     len: u64,
 }
 
+impl fmt::Debug for SegmentWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SegmentWriter")
+            .field("path", &self.path)
+            .field("index", &self.index)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
 impl SegmentWriter {
-    /// Creates segment `index` inside `dir` atomically: the 20-byte header is written to
-    /// `<name>.tmp`, synced, and renamed into place. Fails if the segment already exists.
+    /// Creates segment `index` inside `dir` atomically on the real filesystem with the
+    /// strict directory-sync policy (see [`SegmentWriter::create_in`]).
     pub fn create(dir: &Path, index: u64) -> Result<SegmentWriter> {
+        SegmentWriter::create_in(&Fs::real(), dir, index, DirSyncPolicy::Strict)
+    }
+
+    /// Creates segment `index` inside `dir` atomically: the 20-byte header is written to
+    /// `<name>.tmp`, synced, and renamed into place. Fails if the segment already
+    /// exists. The containing directory is then fsynced so the rename itself survives
+    /// power loss: under [`DirSyncPolicy::Strict`] (the default everywhere durability
+    /// matters) a failed directory sync is an error — the segment *name* is part of
+    /// what recovery reads, so acknowledging appends into a segment whose name might
+    /// vanish would break the ack barrier. [`DirSyncPolicy::BestEffort`] restores the
+    /// historical swallow-the-error behaviour for callers that can tolerate it.
+    pub fn create_in(
+        fs: &Fs,
+        dir: &Path,
+        index: u64,
+        dir_sync: DirSyncPolicy,
+    ) -> Result<SegmentWriter> {
         let path = dir.join(segment_file_name(index));
-        if path.exists() {
+        if fs.exists(&path) {
             return Err(CkptError::Corrupt {
                 what: "wal segment",
                 detail: format!("{} already exists", path.display()),
             });
         }
         let tmp = dir.join(format!("{}.tmp", segment_file_name(index)));
-        let mut file = OpenOptions::new()
-            .write(true)
-            .read(true)
-            .create(true)
-            .truncate(true)
-            .open(&tmp)?;
+        let mut file = fs.create(&tmp)?;
         file.write_all(&encode_header(index))?;
         file.sync_all()?;
-        std::fs::rename(&tmp, &path)?;
-        sync_dir(dir);
+        fs.rename(&tmp, &path)?;
+        match dir_sync {
+            DirSyncPolicy::Strict => fs.sync_dir(dir)?,
+            DirSyncPolicy::BestEffort => {
+                let _ = fs.sync_dir(dir);
+            }
+        }
         Ok(SegmentWriter {
             file,
             path,
@@ -127,20 +149,57 @@ impl SegmentWriter {
         })
     }
 
+    /// [`SegmentWriter::resume_in`] on the real filesystem.
+    pub fn resume(path: &Path, index: u64, keep_len: u64) -> Result<SegmentWriter> {
+        SegmentWriter::resume_in(&Fs::real(), path, index, keep_len)
+    }
+
     /// Reopens an existing segment for appending, first truncating it to `keep_len`
     /// bytes (the clean-prefix length reported by [`read_segment`]) so a torn tail left
     /// by a crash is physically removed before new batches land after it.
-    pub fn resume(path: &Path, index: u64, keep_len: u64) -> Result<SegmentWriter> {
-        let mut file = OpenOptions::new().write(true).read(true).open(path)?;
+    pub fn resume_in(fs: &Fs, path: &Path, index: u64, keep_len: u64) -> Result<SegmentWriter> {
+        let mut file = fs.open_rw(path)?;
         file.set_len(keep_len)?;
         file.sync_all()?;
-        file.seek(SeekFrom::End(0))?;
+        file.seek_end()?;
         Ok(SegmentWriter {
             file,
             path: path.to_path_buf(),
             index,
             len: keep_len,
         })
+    }
+
+    /// Truncates the file back to the clean length this writer has accounted for —
+    /// the self-healing step after a failed [`SegmentWriter::append`]: a short write
+    /// may have landed a partial frame on disk, and retrying the append without first
+    /// removing it would leave garbage between valid batches. Safe to call at any
+    /// time; a writer whose last append succeeded is a no-op truncate.
+    pub fn truncate_to_len(&mut self) -> Result<()> {
+        self.file.set_len(self.len)?;
+        self.file.sync_data()?;
+        self.file.seek_end()?;
+        Ok(())
+    }
+
+    /// Rolls the writer's *accounted* clean length back to `len` without touching the
+    /// file. For callers whose durability barrier failed after a physically complete
+    /// append (`write_all` succeeded, `sync` did not): the frame's durability is
+    /// unknown, so it must not be counted — rewind, then [`truncate_to_len`] physically
+    /// removes it before the retry lands the batch exactly once.
+    ///
+    /// [`truncate_to_len`]: SegmentWriter::truncate_to_len
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len` is ahead of the current accounted length or inside the header.
+    pub fn rewind_to(&mut self, len: u64) {
+        assert!(
+            len >= SEGMENT_HEADER_LEN && len <= self.len,
+            "rewind target {len} outside [{SEGMENT_HEADER_LEN}, {}]",
+            self.len
+        );
+        self.len = len;
     }
 
     /// Appends one record batch (`len | crc32 | payload`). Not yet durable — call
@@ -207,12 +266,16 @@ impl SegmentScan {
     }
 }
 
+/// [`read_segment_in`] on the real filesystem.
+pub fn read_segment(path: &Path) -> Result<SegmentScan> {
+    read_segment_in(&Fs::real(), path)
+}
+
 /// Reads one segment: validates the header strictly (a named segment always has a
 /// complete header — see the module docs on atomic creation), then collects batches
 /// until the clean end of the file or the first torn/damaged frame.
-pub fn read_segment(path: &Path) -> Result<SegmentScan> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
+pub fn read_segment_in(fs: &Fs, path: &Path) -> Result<SegmentScan> {
+    let bytes = fs.read(path)?;
     if bytes.len() < SEGMENT_HEADER_LEN as usize {
         return Err(CkptError::Truncated {
             what: "wal segment header",
@@ -271,40 +334,55 @@ pub fn read_segment(path: &Path) -> Result<SegmentScan> {
 #[derive(Debug, Default)]
 pub struct WalDir {
     /// `(index, path)` of every segment, sorted by index; indices are verified to be
-    /// consecutive from 0.
+    /// strictly consecutive (a compacted log may start past 0 — see
+    /// [`WalDir::first_index`]).
     pub segments: Vec<(u64, PathBuf)>,
     /// Leftover `.tmp` files from an interrupted rotation (readers ignore them; recovery
     /// deletes them).
     pub tmp_files: Vec<PathBuf>,
 }
 
-/// Lists a log directory: segment files sorted and contiguity-checked, `.tmp` leftovers
-/// separated out, foreign files ignored.
+impl WalDir {
+    /// Index of the first (lowest) segment, when any exist. A fresh log starts at 0;
+    /// a compacted log starts wherever its base snapshot's suffix begins — callers
+    /// that expect a full history must check this is 0.
+    pub fn first_index(&self) -> Option<u64> {
+        self.segments.first().map(|(index, _)| *index)
+    }
+}
+
+/// [`scan_dir_in`] on the real filesystem.
 pub fn scan_dir(dir: &Path) -> Result<WalDir> {
+    scan_dir_in(&Fs::real(), dir)
+}
+
+/// Lists a log directory: segment files sorted and contiguity-checked (gaps are
+/// corruption; a non-zero start is legal and left to the caller to validate), `.tmp`
+/// leftovers separated out, foreign files ignored.
+pub fn scan_dir_in(fs: &Fs, dir: &Path) -> Result<WalDir> {
     let mut out = WalDir::default();
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
+    for (name, path) in fs.read_dir(dir)? {
         if name.ends_with(".tmp") {
             if name
                 .strip_suffix(".tmp")
                 .is_some_and(|stem| parse_segment_file_name(stem).is_some())
             {
-                out.tmp_files.push(entry.path());
+                out.tmp_files.push(path);
             }
-        } else if let Some(index) = parse_segment_file_name(name) {
-            out.segments.push((index, entry.path()));
+        } else if let Some(index) = parse_segment_file_name(&name) {
+            out.segments.push((index, path));
         }
     }
     out.segments.sort_by_key(|(index, _)| *index);
     out.tmp_files.sort();
+    let first = out.first_index().unwrap_or(0);
     for (pos, (index, path)) in out.segments.iter().enumerate() {
-        if *index != pos as u64 {
+        if *index != first + pos as u64 {
             return Err(CkptError::Corrupt {
                 what: "wal directory",
                 detail: format!(
-                    "segment indices are not consecutive from 0: expected {pos}, found {} ({})",
+                    "segment indices are not consecutive: expected {}, found {} ({})",
+                    first + pos as u64,
                     index,
                     path.display()
                 ),
@@ -455,11 +533,58 @@ mod tests {
             scan.segments.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
             vec![0, 1]
         );
+        assert_eq!(scan.first_index(), Some(0));
         assert_eq!(scan.tmp_files.len(), 1);
 
+        // A gap is corruption.
         std::fs::remove_file(dir.join(segment_file_name(1))).unwrap();
         SegmentWriter::create(&dir, 2).unwrap();
         assert!(matches!(scan_dir(&dir), Err(CkptError::Corrupt { .. })));
+
+        // A non-zero *start* is legal (compacted log): the caller checks first_index.
+        std::fs::remove_file(dir.join(segment_file_name(0))).unwrap();
+        SegmentWriter::create(&dir, 3).unwrap();
+        let scan = scan_dir(&dir).unwrap();
+        assert_eq!(
+            scan.segments.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert_eq!(scan.first_index(), Some(2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_to_len_heals_a_partial_frame_between_appends() {
+        use crate::io::{FaultPlan, Fs};
+        let dir = tmp_dir("heal");
+        let mut w = SegmentWriter::create(&dir, 0).unwrap();
+        w.append(b"durable").unwrap();
+        w.sync().unwrap();
+        let path = w.path().to_path_buf();
+        let clean_len = w.len();
+        drop(w);
+
+        // Resume through an injected fs and poison the first append's write: resume_in
+        // issues OpenFile(0), SetLen(1), SyncAll(2), so the append's write is op 3 and
+        // lands as a short write (half the frame persists, then an error).
+        let (fs, probe) = Fs::faulty(FaultPlan::fail_op(3));
+        let mut w = SegmentWriter::resume_in(&fs, &path, 0, clean_len).unwrap();
+        let err = w.append(b"torn-frame-payload").unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        assert_eq!(probe.fired().len(), 1);
+        let on_disk = std::fs::read(&path).unwrap().len() as u64;
+        assert!(on_disk > clean_len, "short write left partial bytes");
+
+        // Heal, retry, and the segment holds exactly the acknowledged batches.
+        w.truncate_to_len().unwrap();
+        w.append(b"after-heal").unwrap();
+        w.sync().unwrap();
+        let scan = read_segment(&path).unwrap();
+        assert_eq!(
+            scan.batches,
+            vec![b"durable".to_vec(), b"after-heal".to_vec()]
+        );
+        assert!(!scan.is_torn());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -18,6 +18,17 @@ pub enum ServeError {
     ///
     /// [`Client::try_decide`]: crate::Client::try_decide
     Saturated,
+    /// The server is shedding load instead of wedging: the decision log is failing
+    /// after bounded retries, or the request waited in the ingress queue past the
+    /// configured staleness bound. The request had **no effect** on the policy —
+    /// retrying it later ([`Client::decide_with_retry`] does so automatically) is a
+    /// fresh request, so nothing is lost or duplicated.
+    ///
+    /// [`Client::decide_with_retry`]: crate::Client::decide_with_retry
+    Degraded {
+        /// Why the server is degraded (log outage detail or staleness shed).
+        detail: String,
+    },
     /// The server stopped (shutdown, kill or an earlier fatal error) before this
     /// request could be accepted or answered.
     ShuttingDown,
@@ -48,6 +59,9 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Saturated => write!(f, "ingress queue is full (server saturated)"),
+            ServeError::Degraded { detail } => {
+                write!(f, "server is degraded and shedding load: {detail}")
+            }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::LogNotEmpty { dir } => write!(
                 f,

@@ -27,6 +27,13 @@
 //! - **Online learning**: clients report outcomes through [`Client::feedback`]; the
 //!   worker logs and applies them as `observe` ticks in commit order, so the policy
 //!   keeps learning while it serves and replay reproduces the learning trajectory.
+//! - **Self-healing**: a log failure past bounded retries degrades the server
+//!   (shedding with typed [`ServeError::Degraded`] replies and a logged
+//!   [`LogRecord::Degraded`] marker on heal) instead of wedging it;
+//!   [`Client::decide_with_retry`] turns transient rejections into bounded
+//!   exponential backoff; [`Client::compact`] (or
+//!   [`ServeConfig::compact_after_segments`]) folds the replay prefix into a base
+//!   image so recovery replays only a short suffix.
 //!
 //! # Example
 //!
@@ -75,13 +82,17 @@
 
 mod error;
 pub mod log;
+pub mod retry;
 pub mod server;
 pub mod traffic;
 
 pub use error::{Result, ServeError};
-pub use log::{DecisionLog, LogConfig, LogRecord, LogRecovery};
+pub use log::{
+    BaseImage, CompactionStats, DecisionLog, LogConfig, LogRecord, LogRecovery, RecoveredLog,
+};
+pub use retry::RetryPolicy;
 pub use server::{
-    replay_records, Client, RecoveryReport, ReplayedState, ServeConfig, ServeDecision, ServeReport,
-    Server,
+    replay_records, replay_records_into, Client, RecoveryReport, ReplayedState, ServeConfig,
+    ServeDecision, ServeReport, Server,
 };
 pub use traffic::{ArrivalSchedule, TrafficPattern};

@@ -14,10 +14,33 @@
 //! ingested online-learning tick. The policy's parameters are **never** logged — they
 //! are a pure function of the initial state plus the logged event order, which is
 //! exactly what makes a crashed server's replay bit-identical to the uninterrupted run.
+//!
+//! # Self-healing and compaction
+//!
+//! All I/O goes through the [`Fs`] storage handle in [`LogConfig::fs`], so the
+//! fault-injection suites can poison any numbered operation. Three mechanisms keep the
+//! log healthy when the storage underneath it misbehaves:
+//!
+//! * **Bounded append retries** — [`DecisionLog::append_retrying`] heals the segment
+//!   tail (truncating any partial frame a failed append left behind) and retries up to
+//!   [`LogConfig::append_retries`] times before surfacing the error.
+//! * **Degraded markers** — [`LogRecord::Degraded`] records that the server shed load
+//!   during a log outage, so replay stays aligned with what actually executed.
+//! * **Compaction** — [`DecisionLog::compact`] freezes the replayed prefix into a
+//!   *base image* (a `crowd-ckpt` snapshot named `base-<suffix_start:08>.ckpt`) and
+//!   deletes the absorbed segments; recovery prefers the newest valid base plus the
+//!   segment suffix and falls back to full replay when no base exists.
+//!
+//! Record tags are **additive**: a build reads tags it knows and fails typed on tags it
+//! does not, without a segment-version bump (the WAL framing stays at
+//! [`crowd_ckpt::wal::WAL_VERSION`] 1).
 
 use crate::error::{Result, ServeError};
 use crowd_ckpt::wal::{self, SegmentWriter};
-use crowd_ckpt::{CkptError, DecodeState, SaveState, StateReader, StateWriter};
+use crowd_ckpt::{
+    CkptError, DecodeState, DirSyncPolicy, Fs, SaveState, Snapshot, SnapshotFile, StateReader,
+    StateWriter,
+};
 use crowd_sim::{ArrivalContext, PolicyFeedback, TaskId};
 use std::path::{Path, PathBuf};
 
@@ -25,6 +48,15 @@ use std::path::{Path, PathBuf};
 const TAG_DECISION: u8 = 1;
 /// Record tag: an ingested feedback (request id, feedback payload).
 const TAG_FEEDBACK: u8 = 2;
+/// Record tag: a degraded-mode marker (work shed during a log outage).
+const TAG_DEGRADED: u8 = 3;
+
+/// Base-image section: suffix start + next request id.
+const BASE_META_SECTION: &str = "base.meta";
+/// Base-image section: the pending (unanswered-feedback) requests at the cut.
+const BASE_PENDING_SECTION: &str = "base.pending";
+/// Base-image section: the policy's checkpoint bytes at the cut.
+const BASE_POLICY_SECTION: &str = "base.policy";
 
 /// One committed serving event, in the log's total commit order.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +80,17 @@ pub enum LogRecord {
         request_id: u64,
         /// The feedback payload handed to `observe`.
         feedback: PolicyFeedback,
+    },
+    /// The server was degraded (its log was failing after bounded retries) and shed
+    /// this much work instead of wedging. Appended when the outage heals, *before* the
+    /// first post-outage round, so the log's record order stays exactly the execution
+    /// order. Shed requests never touched the policy — replay treats this record as a
+    /// counted no-op.
+    Degraded {
+        /// Decide requests rejected with [`ServeError::Degraded`] during the outage.
+        shed_decides: u64,
+        /// Feedback submissions dropped during the outage.
+        shed_feedbacks: u64,
     },
 }
 
@@ -74,6 +117,14 @@ impl SaveState for LogRecord {
                 w.put_u64(*request_id);
                 feedback.save_state(w);
             }
+            LogRecord::Degraded {
+                shed_decides,
+                shed_feedbacks,
+            } => {
+                w.put_u8(TAG_DEGRADED);
+                w.put_u64(*shed_decides);
+                w.put_u64(*shed_feedbacks);
+            }
         }
     }
 }
@@ -91,6 +142,10 @@ impl DecodeState for LogRecord {
                 request_id: r.take_u64()?,
                 feedback: PolicyFeedback::decode_state(r)?,
             }),
+            TAG_DEGRADED => Ok(LogRecord::Degraded {
+                shed_decides: r.take_u64()?,
+                shed_feedbacks: r.take_u64()?,
+            }),
             tag => Err(CkptError::Corrupt {
                 what: "decision log record",
                 detail: format!("unknown record tag {tag}"),
@@ -100,12 +155,14 @@ impl DecodeState for LogRecord {
 }
 
 impl LogRecord {
-    /// The request id this record refers to.
-    pub fn request_id(&self) -> u64 {
+    /// The request id this record refers to; `None` for markers
+    /// ([`LogRecord::Degraded`]) that are not tied to a single request.
+    pub fn request_id(&self) -> Option<u64> {
         match self {
             LogRecord::Decision { request_id, .. } | LogRecord::Feedback { request_id, .. } => {
-                *request_id
+                Some(*request_id)
             }
+            LogRecord::Degraded { .. } => None,
         }
     }
 }
@@ -132,6 +189,81 @@ pub fn decode_batch(payload: &[u8]) -> crowd_ckpt::Result<Vec<LogRecord>> {
     Ok(records)
 }
 
+/// File name of the base image whose suffix starts at the given segment index
+/// (`base-00000004.ckpt`).
+pub fn base_file_name(suffix_start: u64) -> String {
+    format!("base-{suffix_start:08}.ckpt")
+}
+
+/// Parses a base-image file name back to its suffix start; `None` for foreign files.
+pub fn parse_base_file_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("base-")?.strip_suffix(".ckpt")?;
+    if digits.len() < 8 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// A compaction base image: everything replay needs *instead of* the deleted log
+/// prefix. Stored as a `crowd-ckpt` snapshot (magic, versioned sections, per-section
+/// CRC-32) so corruption is always a typed error, never a silent misparse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaseImage {
+    /// First segment index of the live suffix; every record below it is absorbed.
+    pub suffix_start: u64,
+    /// The server's next request id at the cut.
+    pub next_request_id: u64,
+    /// Decisions acknowledged but not yet matched by feedback at the cut, in id order.
+    pub pending: Vec<(u64, ArrivalContext)>,
+    /// The policy's full (non-canonical) checkpoint bytes at the cut, restored via
+    /// `Policy::restore_state` before the suffix is replayed.
+    pub policy: Vec<u8>,
+}
+
+impl BaseImage {
+    fn to_snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        let mut meta = StateWriter::new();
+        meta.put_u64(self.suffix_start);
+        meta.put_u64(self.next_request_id);
+        snap.put_raw(BASE_META_SECTION, meta.into_bytes());
+        let mut pending = StateWriter::new();
+        pending.put_usize(self.pending.len());
+        for (id, context) in &self.pending {
+            pending.put_u64(*id);
+            context.save_state(&mut pending);
+        }
+        snap.put_raw(BASE_PENDING_SECTION, pending.into_bytes());
+        snap.put_raw(BASE_POLICY_SECTION, self.policy.clone());
+        snap
+    }
+
+    fn from_file(file: &SnapshotFile) -> crowd_ckpt::Result<BaseImage> {
+        let mut meta = file.reader(BASE_META_SECTION)?;
+        let suffix_start = meta.take_u64()?;
+        let next_request_id = meta.take_u64()?;
+        meta.finish(BASE_META_SECTION)?;
+        let mut r = file.reader(BASE_PENDING_SECTION)?;
+        let count = r.take_len("pending requests", 8)?;
+        let mut pending = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = r.take_u64()?;
+            pending.push((id, ArrivalContext::decode_state(&mut r)?));
+        }
+        r.finish(BASE_PENDING_SECTION)?;
+        let mut policy_reader = file.reader(BASE_POLICY_SECTION)?;
+        let policy = policy_reader
+            .take_bytes(policy_reader.remaining())?
+            .to_vec();
+        Ok(BaseImage {
+            suffix_start,
+            next_request_id,
+            pending,
+            policy,
+        })
+    }
+}
+
 /// Where and how durably the decision log is written.
 #[derive(Debug, Clone)]
 pub struct LogConfig {
@@ -146,15 +278,31 @@ pub struct LogConfig {
     /// decision is durable — the contract recovery relies on. Turning it off trades
     /// that guarantee for throughput (the OS flushes on its own schedule).
     pub sync_every_batch: bool,
+    /// Storage backend every log operation goes through. [`Fs::real`] in production;
+    /// the fault-injection suites swap in [`Fs::faulty`] to poison any numbered I/O
+    /// site deterministically.
+    pub fs: Fs,
+    /// Directory-fsync strictness after a segment rotation's rename. The default
+    /// [`DirSyncPolicy::Strict`] makes a failed directory sync an error — the segment
+    /// *name* is part of what recovery reads, so acknowledging batches into a segment
+    /// whose name might not survive power loss would break the ack barrier.
+    pub dir_sync: DirSyncPolicy,
+    /// Bounded self-healing: how many times [`DecisionLog::append_retrying`] heals the
+    /// tail and retries a failed append before surfacing the error.
+    pub append_retries: u32,
 }
 
 impl LogConfig {
-    /// A log in `dir` with an 8 MiB rotation threshold and per-batch sync.
+    /// A log in `dir` with an 8 MiB rotation threshold, per-batch sync, the real
+    /// filesystem, strict directory syncs and 2 append retries.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         LogConfig {
             dir: dir.into(),
             segment_bytes: 8 * 1024 * 1024,
             sync_every_batch: true,
+            fs: Fs::real(),
+            dir_sync: DirSyncPolicy::Strict,
+            append_retries: 2,
         }
     }
 }
@@ -162,15 +310,51 @@ impl LogConfig {
 /// What `DecisionLog::recover` found and repaired on disk.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct LogRecovery {
-    /// Segments present (after ignoring `.tmp` leftovers).
+    /// Live suffix segments present (after ignoring `.tmp` leftovers and deleting
+    /// absorbed ones).
     pub segments: usize,
-    /// Complete, CRC-verified record batches replayed.
+    /// Complete, CRC-verified record batches replayed from the suffix.
     pub batches: usize,
     /// Bytes of torn tail truncated off the final segment (0 for a clean log). A torn
     /// tail was never acknowledged to any client, so dropping it loses nothing.
     pub truncated_bytes: u64,
-    /// Leftover `.tmp` files from an interrupted segment rotation, deleted.
+    /// Leftover `.tmp` files from an interrupted rotation or base write, deleted.
     pub removed_tmp: usize,
+    /// Suffix start of the base image recovery restored from; `None` means full replay
+    /// from segment 0.
+    pub base: Option<u64>,
+    /// Absorbed segments and superseded bases deleted while finishing an interrupted
+    /// compaction.
+    pub removed_absorbed: usize,
+    /// Published base images that failed validation and were skipped (recovery fell
+    /// back to an older base or to full replay).
+    pub invalid_bases: usize,
+}
+
+/// Everything [`DecisionLog::recover`] hands back: the reopened log, the preferred
+/// base image (if the log was compacted), the suffix records and the repair report.
+#[derive(Debug)]
+pub struct RecoveredLog {
+    /// The log, reopened for appending after the last committed batch.
+    pub log: DecisionLog,
+    /// The base image standing in for the deleted prefix, when one was used.
+    pub base: Option<BaseImage>,
+    /// The committed records of the live suffix, in commit order. With no base this is
+    /// the whole history.
+    pub records: Vec<LogRecord>,
+    /// What was found and repaired.
+    pub recovery: LogRecovery,
+}
+
+/// What one [`DecisionLog::compact`] call absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// First segment index of the live suffix after the cut.
+    pub suffix_start: u64,
+    /// Sealed segments deleted because the base image now stands in for them.
+    pub absorbed_segments: usize,
+    /// Encoded size of the base image.
+    pub base_bytes: u64,
 }
 
 /// The append side of the durable decision log.
@@ -180,62 +364,157 @@ pub struct DecisionLog {
     writer: SegmentWriter,
     batches: u64,
     rotations: u64,
+    first_index: u64,
+    /// A failed append may have left a partial frame past the accounted clean length;
+    /// the next append heals it before writing.
+    dirty: bool,
 }
 
 impl DecisionLog {
     /// Creates a fresh log: the directory is created if needed, stale `.tmp` files are
     /// removed, and segment 0 is opened. Fails with [`ServeError::LogNotEmpty`] when
-    /// segments already exist — appending a fresh history over an old one would fork
-    /// the log; use [`DecisionLog::recover`] to continue it instead.
+    /// segments or base images already exist — appending a fresh history over an old
+    /// one would fork the log; use [`DecisionLog::recover`] to continue it instead.
     pub fn create(config: LogConfig) -> Result<DecisionLog> {
-        std::fs::create_dir_all(&config.dir)?;
-        let scan = wal::scan_dir(&config.dir)?;
-        if !scan.segments.is_empty() {
+        let fs = config.fs.clone();
+        fs.create_dir_all(&config.dir)?;
+        let scan = wal::scan_dir_in(&fs, &config.dir)?;
+        let (bases, _) = list_bases(&fs, &config.dir)?;
+        if !scan.segments.is_empty() || !bases.is_empty() {
             return Err(ServeError::LogNotEmpty {
                 dir: config.dir.clone(),
             });
         }
         for tmp in &scan.tmp_files {
-            let _ = std::fs::remove_file(tmp);
+            let _ = fs.remove_file(tmp);
         }
-        let writer = SegmentWriter::create(&config.dir, 0)?;
+        let writer = SegmentWriter::create_in(&fs, &config.dir, 0, config.dir_sync)?;
         Ok(DecisionLog {
             config,
             writer,
             batches: 0,
             rotations: 0,
+            first_index: 0,
+            dirty: false,
         })
     }
 
-    /// Opens an existing log for appending, returning every committed record in commit
-    /// order plus what was repaired: `.tmp` rotation leftovers are deleted, a torn tail
-    /// on the **final** segment is truncated away (it was never acknowledged), and a
-    /// torn tail on any *sealed* (non-final) segment is an error — those bytes were
-    /// synced before the next segment opened, so damage there is real corruption that
-    /// replay must not paper over. An empty or absent directory recovers to a fresh log.
-    pub fn recover(config: LogConfig) -> Result<(DecisionLog, Vec<LogRecord>, LogRecovery)> {
-        std::fs::create_dir_all(&config.dir)?;
-        let scan = wal::scan_dir(&config.dir)?;
+    /// Opens an existing log for appending, returning the preferred base image, every
+    /// committed suffix record in commit order, and what was repaired.
+    ///
+    /// Repairs: `.tmp` leftovers (segment rotations *and* base-image writes) are
+    /// deleted; a torn tail on the **final** segment is truncated away (it was never
+    /// acknowledged) while a torn tail on any *sealed* segment is an error — those
+    /// bytes were synced before the next segment opened, so damage there is real
+    /// corruption that replay must not paper over; an interrupted compaction is
+    /// finished (absorbed segments and superseded bases deleted).
+    ///
+    /// Base preference: the newest base image that validates (magic, version, section
+    /// CRCs, exact decode) *and* whose suffix segments are present wins; an invalid
+    /// base is counted and skipped in favour of an older base or full replay — but a
+    /// log whose segment history is incomplete (first segment past 0) with no valid
+    /// base covering the gap is an error, never a silent partial replay. An empty or
+    /// absent directory recovers to a fresh log.
+    pub fn recover(config: LogConfig) -> Result<RecoveredLog> {
+        let fs = config.fs.clone();
+        fs.create_dir_all(&config.dir)?;
         let mut recovery = LogRecovery::default();
-        for tmp in &scan.tmp_files {
-            std::fs::remove_file(tmp)?;
+        let scan = wal::scan_dir_in(&fs, &config.dir)?;
+        let (bases, base_tmp) = list_bases(&fs, &config.dir)?;
+        for tmp in scan.tmp_files.iter().chain(&base_tmp) {
+            fs.remove_file(tmp)?;
             recovery.removed_tmp += 1;
         }
-        if scan.segments.is_empty() {
-            let writer = SegmentWriter::create(&config.dir, 0)?;
+
+        // Prefer the newest valid, covered base image.
+        let mut base: Option<BaseImage> = None;
+        for (suffix_start, path) in bases.iter().rev() {
+            let covered = scan
+                .first_index()
+                .is_some_and(|first| first <= *suffix_start)
+                && scan
+                    .segments
+                    .last()
+                    .is_some_and(|(last, _)| *suffix_start <= *last);
+            let candidate = SnapshotFile::read_in(&fs, path).and_then(|f| BaseImage::from_file(&f));
+            match candidate {
+                Ok(image) if image.suffix_start == *suffix_start && covered => {
+                    base = Some(image);
+                    break;
+                }
+                _ => recovery.invalid_bases += 1,
+            }
+        }
+        let suffix_start = match &base {
+            Some(image) => image.suffix_start,
+            None => match scan.first_index() {
+                Some(0) => 0,
+                Some(first) => {
+                    return Err(ServeError::Log {
+                        detail: format!(
+                            "log starts at segment {first} but no valid base image covers the \
+                             compacted prefix ({} invalid bases)",
+                            recovery.invalid_bases
+                        ),
+                    });
+                }
+                None if !bases.is_empty() => {
+                    return Err(ServeError::Log {
+                        detail: format!(
+                            "log directory holds {} base image(s), none valid, and no segments",
+                            bases.len()
+                        ),
+                    });
+                }
+                None => 0,
+            },
+        };
+        recovery.base = base.as_ref().map(|b| b.suffix_start);
+
+        // Finish any interrupted compaction. Absorbed segments go lowest-first so a
+        // crash mid-sweep leaves the remaining indices contiguous.
+        for (index, path) in &scan.segments {
+            if *index < suffix_start {
+                fs.remove_file(path)?;
+                recovery.removed_absorbed += 1;
+            }
+        }
+        for (start, path) in &bases {
+            if *start < suffix_start {
+                fs.remove_file(path)?;
+                recovery.removed_absorbed += 1;
+            }
+        }
+
+        let suffix: Vec<(u64, PathBuf)> = scan
+            .segments
+            .iter()
+            .filter(|(index, _)| *index >= suffix_start)
+            .cloned()
+            .collect();
+        if suffix.is_empty() {
+            // A chosen base implies covered (non-empty) suffix, so this is a fresh dir.
+            let writer = SegmentWriter::create_in(&fs, &config.dir, 0, config.dir_sync)?;
             let log = DecisionLog {
                 config,
                 writer,
                 batches: 0,
                 rotations: 0,
+                first_index: 0,
+                dirty: false,
             };
-            return Ok((log, Vec::new(), recovery));
+            return Ok(RecoveredLog {
+                log,
+                base: None,
+                records: Vec::new(),
+                recovery,
+            });
         }
-        recovery.segments = scan.segments.len();
-        let records = read_segments(&scan.segments, &mut recovery)?;
-        let (last_index, last_path) = scan.segments.last().expect("non-empty");
-        let last = wal::read_segment(last_path)?;
-        let writer = SegmentWriter::resume(last_path, *last_index, last.clean_len)?;
+        recovery.segments = suffix.len();
+        let records = read_segments_in(&fs, &suffix, &mut recovery)?;
+        let (last_index, last_path) = suffix.last().expect("non-empty");
+        let last = wal::read_segment_in(&fs, last_path)?;
+        let writer = SegmentWriter::resume_in(&fs, last_path, *last_index, last.clean_len)?;
         let rotations = *last_index;
         let batches = recovery.batches as u64;
         let log = DecisionLog {
@@ -243,39 +522,226 @@ impl DecisionLog {
             writer,
             batches,
             rotations,
+            first_index: suffix_start,
+            dirty: false,
         };
-        Ok((log, records, recovery))
+        Ok(RecoveredLog {
+            log,
+            base,
+            records,
+            recovery,
+        })
     }
 
-    /// Read-only scan of a log directory (tests, offline tooling): the committed
-    /// records in commit order, with the same torn-tail policy as
-    /// [`DecisionLog::recover`] but touching nothing on disk.
+    /// Read-only scan of an **uncompacted** log directory (tests, offline tooling): the
+    /// full committed history in commit order, with the same torn-tail policy as
+    /// [`DecisionLog::recover`] but touching nothing on disk. A compacted log's prefix
+    /// exists only as a base image, so this fails typed there — use
+    /// [`DecisionLog::read_tail`] instead.
     pub fn read(dir: &Path) -> Result<Vec<LogRecord>> {
-        let scan = wal::scan_dir(dir)?;
+        let (base, records) = DecisionLog::read_tail_in(&Fs::real(), dir)?;
+        if let Some(base) = base {
+            return Err(ServeError::Log {
+                detail: format!(
+                    "log was compacted at segment {}: the prefix exists only as a base image",
+                    base.suffix_start
+                ),
+            });
+        }
+        Ok(records)
+    }
+
+    /// Read-only scan of a possibly compacted log: the preferred base image (if any)
+    /// plus the suffix records, touching nothing on disk.
+    pub fn read_tail(dir: &Path) -> Result<(Option<BaseImage>, Vec<LogRecord>)> {
+        DecisionLog::read_tail_in(&Fs::real(), dir)
+    }
+
+    /// [`DecisionLog::read_tail`] through an explicit storage backend.
+    pub fn read_tail_in(fs: &Fs, dir: &Path) -> Result<(Option<BaseImage>, Vec<LogRecord>)> {
+        let scan = wal::scan_dir_in(fs, dir)?;
+        let (bases, _) = list_bases(fs, dir)?;
+        let mut base: Option<BaseImage> = None;
+        for (suffix_start, path) in bases.iter().rev() {
+            let covered = scan
+                .first_index()
+                .is_some_and(|first| first <= *suffix_start)
+                && scan
+                    .segments
+                    .last()
+                    .is_some_and(|(last, _)| *suffix_start <= *last);
+            let candidate = SnapshotFile::read_in(fs, path).and_then(|f| BaseImage::from_file(&f));
+            if let Ok(image) = candidate {
+                if image.suffix_start == *suffix_start && covered {
+                    base = Some(image);
+                    break;
+                }
+            }
+        }
+        let suffix_start = base.as_ref().map_or(0, |b| b.suffix_start);
+        let suffix: Vec<(u64, PathBuf)> = scan
+            .segments
+            .iter()
+            .filter(|(index, _)| *index >= suffix_start)
+            .cloned()
+            .collect();
         let mut recovery = LogRecovery::default();
-        read_segments(&scan.segments, &mut recovery)
+        let records = read_segments_in(fs, &suffix, &mut recovery)?;
+        Ok((base, records))
     }
 
     /// Appends one committed round as a single record batch, rotating to a new segment
     /// first when the current one is past the threshold. With
-    /// [`LogConfig::sync_every_batch`] the batch is durable when this returns.
+    /// [`LogConfig::sync_every_batch`] the batch is durable when this returns. A batch
+    /// is counted **only** when it is fully written *and* synced — a failed durability
+    /// barrier rolls the accounting back so a retry lands the batch exactly once.
     pub fn append(&mut self, records: &[LogRecord]) -> Result<()> {
         if records.is_empty() {
             return Ok(());
         }
-        if self.writer.len() >= self.config.segment_bytes && !self.writer.is_empty() {
-            // Seal the full segment (make its tail durable), then rotate atomically.
-            self.writer.sync()?;
-            let next = self.writer.index() + 1;
-            self.writer = SegmentWriter::create(&self.config.dir, next)?;
-            self.rotations += 1;
+        if self.dirty {
+            self.heal_tail()?;
         }
-        self.writer.append(&encode_batch(records))?;
+        if self.writer.len() >= self.config.segment_bytes && !self.writer.is_empty() {
+            self.rotate()?;
+        }
+        let before = self.writer.len();
+        if let Err(e) = self.writer.append(&encode_batch(records)) {
+            // A short write may have left a partial frame past `before`.
+            self.dirty = true;
+            return Err(e.into());
+        }
         if self.config.sync_every_batch {
-            self.writer.sync()?;
+            if let Err(e) = self.writer.sync() {
+                // The frame reached the OS but its durability is unknown: roll the
+                // accounting back and let the heal physically remove it, so the retry
+                // appends the batch exactly once.
+                self.writer.rewind_to(before);
+                self.dirty = true;
+                return Err(e.into());
+            }
         }
         self.batches += 1;
         Ok(())
+    }
+
+    /// [`DecisionLog::append`] with bounded self-healing: after a failure the segment
+    /// tail is truncated back to the last clean frame and the append retried, up to
+    /// [`LogConfig::append_retries`] times. The final error (if any) is the last
+    /// attempt's.
+    pub fn append_retrying(&mut self, records: &[LogRecord]) -> Result<()> {
+        let mut last = match self.append(records) {
+            Ok(()) => return Ok(()),
+            Err(e) => e,
+        };
+        for _ in 0..self.config.append_retries {
+            match self.append(records) {
+                Ok(()) => return Ok(()),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    /// Truncates any partial frame a failed append left past the accounted clean
+    /// length. [`DecisionLog::append`] calls this automatically before writing onto a
+    /// dirty tail; it is public for callers that want to heal eagerly.
+    pub fn heal_tail(&mut self) -> Result<()> {
+        self.writer.truncate_to_len()?;
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Seals the current segment and opens the next one. Self-healing: when a previous
+    /// rotation attempt already published the next segment but failed afterwards (e.g.
+    /// on the directory sync), the empty segment is adopted instead of refused.
+    fn rotate(&mut self) -> Result<()> {
+        // Seal the full segment (make its tail durable), then rotate atomically.
+        self.writer.sync()?;
+        let next = self.writer.index() + 1;
+        let path = self.config.dir.join(wal::segment_file_name(next));
+        self.writer = if self.config.fs.exists(&path) {
+            let scan = wal::read_segment_in(&self.config.fs, &path)?;
+            if scan.index != next || !scan.batches.is_empty() {
+                return Err(ServeError::Log {
+                    detail: format!(
+                        "cannot adopt {} during rotation: header index {} with {} batches",
+                        path.display(),
+                        scan.index,
+                        scan.batches.len()
+                    ),
+                });
+            }
+            SegmentWriter::resume_in(&self.config.fs, &path, next, scan.clean_len)?
+        } else {
+            SegmentWriter::create_in(
+                &self.config.fs,
+                &self.config.dir,
+                next,
+                self.config.dir_sync,
+            )?
+        };
+        self.rotations += 1;
+        Ok(())
+    }
+
+    /// Compacts the log: everything committed so far is frozen into a base image and
+    /// the absorbed segments are deleted, leaving the base plus a fresh suffix.
+    ///
+    /// The caller supplies the replay state at the cut — the next request id, the
+    /// pending (unanswered-feedback) requests and the policy's checkpoint bytes. The
+    /// current segment is sealed and rotated first so the suffix starts at a segment
+    /// boundary, then the base is written atomically (tmp + rename + dir sync), and
+    /// only then are absorbed segments deleted lowest-first — a crash anywhere in
+    /// between leaves either the old history or a recoverable base-plus-garbage layout
+    /// that [`DecisionLog::recover`] finishes cleaning.
+    pub fn compact(
+        &mut self,
+        next_request_id: u64,
+        pending: Vec<(u64, ArrivalContext)>,
+        policy: Vec<u8>,
+    ) -> Result<CompactionStats> {
+        if self.dirty {
+            self.heal_tail()?;
+        }
+        if self.writer.is_empty() {
+            self.writer.sync()?;
+        } else {
+            self.rotate()?;
+        }
+        let suffix_start = self.writer.index();
+        let image = BaseImage {
+            suffix_start,
+            next_request_id,
+            pending,
+            policy,
+        };
+        let snap = image.to_snapshot();
+        let base_bytes = snap.to_bytes().len() as u64;
+        snap.write_to_in(
+            &self.config.fs,
+            self.config.dir.join(base_file_name(suffix_start)),
+        )?;
+        let mut absorbed = 0;
+        let scan = wal::scan_dir_in(&self.config.fs, &self.config.dir)?;
+        for (index, path) in &scan.segments {
+            if *index < suffix_start {
+                self.config.fs.remove_file(path)?;
+                absorbed += 1;
+            }
+        }
+        let (bases, _) = list_bases(&self.config.fs, &self.config.dir)?;
+        for (start, path) in &bases {
+            if *start < suffix_start {
+                self.config.fs.remove_file(path)?;
+            }
+        }
+        self.first_index = suffix_start;
+        Ok(CompactionStats {
+            suffix_start,
+            absorbed_segments: absorbed,
+            base_bytes,
+        })
     }
 
     /// Forces everything appended so far to disk (used at graceful shutdown and by
@@ -295,22 +761,55 @@ impl DecisionLog {
         self.rotations
     }
 
+    /// Segments currently on disk (suffix only — absorbed segments are gone).
+    pub fn live_segments(&self) -> u64 {
+        self.writer.index() - self.first_index + 1
+    }
+
+    /// Index of the first live segment (0 until the first compaction).
+    pub fn first_index(&self) -> u64 {
+        self.first_index
+    }
+
     /// The log directory.
     pub fn dir(&self) -> &Path {
         &self.config.dir
     }
 }
 
+/// Published base images as `(suffix_start, path)` pairs, sorted ascending.
+type BaseList = Vec<(u64, PathBuf)>;
+
+/// Lists a log directory's base images: `(suffix_start, path)` sorted ascending, plus
+/// leftover `.tmp` files from interrupted base writes.
+fn list_bases(fs: &Fs, dir: &Path) -> Result<(BaseList, Vec<PathBuf>)> {
+    let mut bases = Vec::new();
+    let mut tmp = Vec::new();
+    for (name, path) in fs.read_dir(dir)? {
+        if let Some(stem) = name.strip_suffix(".tmp") {
+            if parse_base_file_name(stem).is_some() {
+                tmp.push(path);
+            }
+        } else if let Some(start) = parse_base_file_name(&name) {
+            bases.push((start, path));
+        }
+    }
+    bases.sort_by_key(|(start, _)| *start);
+    tmp.sort();
+    Ok((bases, tmp))
+}
+
 /// Decodes every committed record of the given segments in order, enforcing the
 /// torn-tail policy (only the final segment may be torn).
-fn read_segments(
+fn read_segments_in(
+    fs: &Fs,
     segments: &[(u64, PathBuf)],
     recovery: &mut LogRecovery,
 ) -> Result<Vec<LogRecord>> {
     let mut records = Vec::new();
     let last_pos = segments.len().saturating_sub(1);
     for (pos, (index, path)) in segments.iter().enumerate() {
-        let segment = wal::read_segment(path)?;
+        let segment = wal::read_segment_in(fs, path)?;
         if segment.index != *index {
             return Err(ServeError::Log {
                 detail: format!(
@@ -343,6 +842,7 @@ fn read_segments(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crowd_ckpt::{FaultKind, FaultPlan, FaultRule, OpClass};
     use crowd_sim::{TaskSnapshot, WorkerId};
 
     fn context(tag: u32) -> ArrivalContext {
@@ -407,13 +907,32 @@ mod tests {
 
     #[test]
     fn record_batch_roundtrips() {
-        let records = sample_records(3);
+        let mut records = sample_records(3);
+        records.push(LogRecord::Degraded {
+            shed_decides: 7,
+            shed_feedbacks: 2,
+        });
+        assert_eq!(records.last().unwrap().request_id(), None);
+        assert_eq!(records[0].request_id(), Some(0));
         let payload = encode_batch(&records);
         assert_eq!(decode_batch(&payload).unwrap(), records);
         assert!(decode_batch(&payload[..payload.len() - 1]).is_err());
         let mut bad = payload.clone();
         bad[8] = 99; // first record tag
         assert!(matches!(decode_batch(&bad), Err(CkptError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn base_file_names_roundtrip() {
+        assert_eq!(base_file_name(4), "base-00000004.ckpt");
+        assert_eq!(parse_base_file_name("base-00000004.ckpt"), Some(4));
+        assert_eq!(
+            parse_base_file_name("base-123456789.ckpt"),
+            Some(123_456_789)
+        );
+        assert_eq!(parse_base_file_name("base-0000000x.ckpt"), None);
+        assert_eq!(parse_base_file_name("segment-00000004.wlog"), None);
+        assert_eq!(parse_base_file_name("base-00000004.ckpt.tmp"), None);
     }
 
     #[test]
@@ -425,6 +944,7 @@ mod tests {
         log.append(&records[2..]).unwrap();
         log.append(&[]).unwrap(); // no-op, not a batch
         assert_eq!(log.batches(), 2);
+        assert_eq!(log.live_segments(), 1);
         assert_eq!(DecisionLog::read(&dir).unwrap(), records);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -455,12 +975,13 @@ mod tests {
         assert_eq!(log.rotations(), 3);
         drop(log);
 
-        let (log, replayed, recovery) = DecisionLog::recover(config).unwrap();
-        assert_eq!(replayed, records);
-        assert_eq!(recovery.segments, 4);
-        assert_eq!(recovery.batches, 4);
-        assert_eq!(recovery.truncated_bytes, 0);
-        assert_eq!(log.rotations(), 3);
+        let recovered = DecisionLog::recover(config).unwrap();
+        assert_eq!(recovered.records, records);
+        assert!(recovered.base.is_none());
+        assert_eq!(recovered.recovery.segments, 4);
+        assert_eq!(recovered.recovery.batches, 4);
+        assert_eq!(recovered.recovery.truncated_bytes, 0);
+        assert_eq!(recovered.log.rotations(), 3);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -477,10 +998,11 @@ mod tests {
         let bytes = std::fs::read(&seg).unwrap();
         std::fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
 
-        let (mut log, replayed, recovery) = DecisionLog::recover(LogConfig::new(&dir)).unwrap();
-        assert_eq!(replayed, records[..2].to_vec());
-        assert!(recovery.truncated_bytes > 0);
+        let recovered = DecisionLog::recover(LogConfig::new(&dir)).unwrap();
+        assert_eq!(recovered.records, records[..2].to_vec());
+        assert!(recovered.recovery.truncated_bytes > 0);
         // The log continues cleanly after the truncation.
+        let mut log = recovered.log;
         log.append(&records[2..]).unwrap();
         drop(log);
         assert_eq!(DecisionLog::read(&dir).unwrap(), records);
@@ -512,13 +1034,179 @@ mod tests {
         let dir = tmp_dir("tmp-files");
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("segment-00000000.wlog.tmp"), b"half a header").unwrap();
-        let (mut log, records, recovery) = DecisionLog::recover(LogConfig::new(&dir)).unwrap();
-        assert!(records.is_empty());
-        assert_eq!(recovery.removed_tmp, 1);
-        assert_eq!(recovery.segments, 0);
+        std::fs::write(dir.join("base-00000000.ckpt.tmp"), b"half a base").unwrap();
+        let recovered = DecisionLog::recover(LogConfig::new(&dir)).unwrap();
+        assert!(recovered.records.is_empty());
+        assert_eq!(recovered.recovery.removed_tmp, 2);
+        assert_eq!(recovered.recovery.segments, 0);
+        let mut log = recovered.log;
         log.append(&sample_records(1)).unwrap();
         drop(log);
         assert_eq!(DecisionLog::read(&dir).unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_writes_a_base_and_deletes_absorbed_segments() {
+        let dir = tmp_dir("compact");
+        let mut config = LogConfig::new(&dir);
+        config.segment_bytes = 1;
+        let mut log = DecisionLog::create(config.clone()).unwrap();
+        let records = sample_records(4);
+        for pair in records.chunks(2) {
+            log.append(pair).unwrap();
+        }
+        assert_eq!(log.live_segments(), 4);
+        let pending = vec![(7, context(9))];
+        let stats = log
+            .compact(8, pending.clone(), b"policy-bytes".to_vec())
+            .unwrap();
+        assert_eq!(stats.suffix_start, 4);
+        assert_eq!(stats.absorbed_segments, 4);
+        assert!(stats.base_bytes > 0);
+        assert_eq!(log.live_segments(), 1);
+        assert_eq!(log.first_index(), 4);
+        // The suffix continues after the cut.
+        let more = sample_records(5);
+        log.append(&more[8..]).unwrap();
+        drop(log);
+
+        // Full read refuses (the prefix is gone); the tail read returns the base.
+        assert!(matches!(
+            DecisionLog::read(&dir),
+            Err(ServeError::Log { .. })
+        ));
+        let (base, tail) = DecisionLog::read_tail(&dir).unwrap();
+        let base = base.unwrap();
+        assert_eq!(base.suffix_start, 4);
+        assert_eq!(base.next_request_id, 8);
+        assert_eq!(base.pending, pending);
+        assert_eq!(base.policy, b"policy-bytes");
+        assert_eq!(tail, more[8..].to_vec());
+
+        let recovered = DecisionLog::recover(config).unwrap();
+        assert_eq!(recovered.recovery.base, Some(4));
+        assert_eq!(recovered.base.unwrap(), base);
+        assert_eq!(recovered.records, more[8..].to_vec());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_finishes_an_interrupted_compaction() {
+        let dir = tmp_dir("interrupted");
+        let mut config = LogConfig::new(&dir);
+        config.segment_bytes = 1;
+        let mut log = DecisionLog::create(config.clone()).unwrap();
+        let records = sample_records(3);
+        for pair in records.chunks(2) {
+            log.append(pair).unwrap();
+        }
+        drop(log);
+        // Simulate a crash right after the base was published: segments 0..=2 are
+        // still on disk even though the base absorbs everything below 2.
+        let base = BaseImage {
+            suffix_start: 2,
+            next_request_id: 4,
+            pending: Vec::new(),
+            policy: vec![1, 2, 3],
+        };
+        base.to_snapshot()
+            .write_to(dir.join(base_file_name(2)))
+            .unwrap();
+
+        let recovered = DecisionLog::recover(config).unwrap();
+        assert_eq!(recovered.recovery.base, Some(2));
+        assert_eq!(recovered.recovery.removed_absorbed, 2);
+        assert_eq!(recovered.records, records[4..].to_vec());
+        assert!(!dir.join(wal::segment_file_name(0)).exists());
+        assert!(!dir.join(wal::segment_file_name(1)).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn an_invalid_base_falls_back_to_full_replay() {
+        let dir = tmp_dir("bad-base");
+        let mut log = DecisionLog::create(LogConfig::new(&dir)).unwrap();
+        let records = sample_records(2);
+        log.append(&records).unwrap();
+        drop(log);
+        std::fs::write(dir.join(base_file_name(0)), b"not a snapshot at all").unwrap();
+
+        let recovered = DecisionLog::recover(LogConfig::new(&dir)).unwrap();
+        assert_eq!(recovered.recovery.invalid_bases, 1);
+        assert_eq!(recovered.recovery.base, None);
+        assert_eq!(recovered.records, records);
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        // But a compacted prefix with no valid base is an error, never partial replay.
+        let dir = tmp_dir("bad-base-compacted");
+        let mut config = LogConfig::new(&dir);
+        config.segment_bytes = 1;
+        let mut log = DecisionLog::create(config.clone()).unwrap();
+        for pair in sample_records(2).chunks(2) {
+            log.append(pair).unwrap();
+        }
+        log.compact(4, Vec::new(), vec![9]).unwrap();
+        drop(log);
+        std::fs::write(dir.join(base_file_name(1)), b"garbage").unwrap();
+        std::fs::remove_file(dir.join(base_file_name(2))).unwrap();
+        assert!(matches!(
+            DecisionLog::recover(config),
+            Err(ServeError::Log { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_retrying_heals_an_injected_short_write() {
+        // Learn the global op index of the first append's frame write.
+        let dir = tmp_dir("retry-probe");
+        let (fs, probe) = Fs::faulty(FaultPlan::none());
+        let mut config = LogConfig::new(&dir);
+        config.fs = fs;
+        let mut log = DecisionLog::create(config).unwrap();
+        let write_op = probe.ops();
+        log.append(&sample_records(1)).unwrap();
+        drop(log);
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        // Re-run with exactly that op poisoned (once): the short write leaves a
+        // partial frame, append_retrying truncates it and the retry succeeds.
+        let dir = tmp_dir("retry");
+        let (fs, probe) = Fs::faulty(FaultPlan::fail_op(write_op));
+        let mut config = LogConfig::new(&dir);
+        config.fs = fs;
+        let mut log = DecisionLog::create(config).unwrap();
+        let records = sample_records(1);
+        log.append_retrying(&records).unwrap();
+        assert_eq!(probe.fired().len(), 1);
+        assert_eq!(log.batches(), 1);
+        drop(log);
+        assert_eq!(DecisionLog::read(&dir).unwrap(), records);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_retrying_survives_a_failed_sync_without_duplicating_the_batch() {
+        let dir = tmp_dir("retry-sync");
+        let (fs, probe) = Fs::faulty(FaultPlan::none().with_rule(FaultRule {
+            from_op: 0,
+            to_op: u64::MAX,
+            class: Some(OpClass::SyncData),
+            kind: FaultKind::Fail,
+            once: true,
+        }));
+        let mut config = LogConfig::new(&dir);
+        config.fs = fs;
+        let mut log = DecisionLog::create(config).unwrap();
+        let records = sample_records(1);
+        // The first per-batch fdatasync fails after a complete write; the retry must
+        // land the batch exactly once.
+        log.append_retrying(&records).unwrap();
+        assert_eq!(probe.fired().len(), 1);
+        assert_eq!(log.batches(), 1);
+        drop(log);
+        assert_eq!(DecisionLog::read(&dir).unwrap(), records);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -28,10 +28,11 @@
 //! [`Client::decide`] and [`Client::feedback`] **block** when it is full — arrival
 //! producers slow to the server's drain rate instead of ballooning memory.
 //! [`Client::try_decide`] fails fast with [`ServeError::Saturated`] instead, which is
-//! what the saturation benches probe. The worker drains at most
-//! [`ServeConfig::max_batch`] decisions per round and closes a round early when
-//! [`ServeConfig::batch_window`] elapses, bounding the queueing delay any single
-//! arrival can be charged while waiting for co-batched neighbours.
+//! what the saturation benches probe (and what [`Client::decide_with_retry`] turns
+//! into bounded backoff). The worker drains at most [`ServeConfig::max_batch`]
+//! decisions per round and closes a round early when [`ServeConfig::batch_window`]
+//! elapses, bounding the queueing delay any single arrival can be charged while
+//! waiting for co-batched neighbours.
 //!
 //! # Determinism and the ack barrier
 //!
@@ -45,9 +46,25 @@
 //! **after** the append returns, so every decision a client ever saw is in the log,
 //! and the log's record order *is* the policy's execution order — which is why
 //! [`replay_records`] can re-execute it and land on bit-identical state.
+//!
+//! # Degraded mode instead of wedging
+//!
+//! When the log fails after the bounded retries of `DecisionLog::append_retrying`,
+//! the worker does **not** stop. The failed round's records — already executed by the
+//! policy — are kept as an in-memory backlog, its clients get
+//! [`ServeError::Degraded`], and every following round is shed *without touching the
+//! policy* until an append succeeds again. Healing appends the backlog first, then a
+//! [`LogRecord::Degraded`] marker counting the shed work, so the log's record order
+//! remains exactly the execution order and replay stays deterministic. A kill during
+//! an outage drops the backlog, which is precisely what a real crash would do; a
+//! graceful drain makes one final heal attempt and reports what still could not reach
+//! the log in [`ServeReport::log_error`]. Requests that waited in the ingress queue
+//! past [`ServeConfig::shed_staler_than`] are likewise shed with `Degraded` — they
+//! never touch the policy, so no log marker is needed for them.
 
 use crate::error::{Result, ServeError};
-use crate::log::{DecisionLog, LogRecord, LogRecovery};
+use crate::log::{CompactionStats, DecisionLog, LogRecord, LogRecovery};
+use crowd_ckpt::{StateReader, StateWriter};
 use crowd_parallel::{spawn_dedicated, ThreadPool};
 use crowd_sim::{
     Action, ArrivalContext, BatchedPolicy, BoxedBatchedPolicy, Decision, PolicyFeedback, TaskId,
@@ -73,6 +90,18 @@ pub struct ServeConfig {
     /// Decision-log destination; `None` serves without durability (benches probing
     /// pure decision latency).
     pub log: Option<crate::log::LogConfig>,
+    /// Load shedding: a decide that waited in the ingress queue longer than this is
+    /// answered with [`ServeError::Degraded`] instead of being served on stale state.
+    /// The shed request never touches the policy, so retrying it is a fresh request.
+    /// `None` (the default) serves every request however stale.
+    pub shed_staler_than: Option<Duration>,
+    /// Auto-compaction: when the log holds more than this many live segments after a
+    /// committed round, the worker compacts it (base image + truncated suffix, see
+    /// `DecisionLog::compact`). Requires a policy with checkpoint support; the first
+    /// compaction failure is recorded in [`ServeReport::compact_error`] and disables
+    /// further auto-compaction (serving continues — compaction is an optimisation).
+    /// `None` (the default) never auto-compacts.
+    pub compact_after_segments: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +112,8 @@ impl Default for ServeConfig {
             batch_window: Duration::from_micros(200),
             pool: ThreadPool::serial(),
             log: None,
+            shed_staler_than: None,
+            compact_after_segments: None,
         }
     }
 }
@@ -122,11 +153,26 @@ pub struct ServeReport {
     pub rounds: u64,
     /// Largest number of decisions coalesced into one round.
     pub max_round_decisions: usize,
+    /// Decide requests answered with [`ServeError::Degraded`] (log outage or
+    /// staleness bound) instead of being served.
+    pub shed_decides: u64,
+    /// Feedback submissions dropped during a log outage.
+    pub shed_feedbacks: u64,
+    /// Rounds shed wholesale because the log was down.
+    pub degraded_rounds: u64,
+    /// Log outages that healed (backlog + degraded marker appended, serving resumed).
+    pub healed: u64,
+    /// Log compactions performed (explicit and automatic).
+    pub compactions: u64,
+    /// First auto-compaction failure; set once, after which auto-compaction is
+    /// disabled for the rest of the run (explicit [`Client::compact`] still works).
+    pub compact_error: Option<String>,
     /// Record batches appended to the decision log.
     pub log_batches: u64,
     /// Segment rotations performed by the decision log.
     pub log_rotations: u64,
-    /// Set when the worker stopped serving because the decision log failed.
+    /// Set when the log was **still** failing at shutdown: a drain's final heal
+    /// attempt did not get the backlog appended, or the shutdown sync failed.
     pub log_error: Option<String>,
 }
 
@@ -148,8 +194,17 @@ pub struct RecoveryReport {
     pub replayed_decisions: u64,
     /// Feedback records re-executed (each one `observe`).
     pub replayed_feedbacks: u64,
+    /// Degraded markers replayed (shed work — a counted no-op for the policy).
+    pub replayed_degraded: u64,
     /// Decisions still awaiting feedback after replay.
     pub pending_after_replay: usize,
+    /// The request-id ⇄ context handshake: every decision that was acknowledged but
+    /// never matched by feedback, in id order. Clients that held these ids across the
+    /// crash can resume feedback against the recovered server.
+    pub pending_requests: Vec<(u64, ArrivalContext)>,
+    /// Segment index the replay suffix started at, when recovery restored from a
+    /// compaction base image instead of replaying from segment 0.
+    pub compacted_suffix_start: Option<u64>,
     /// What the log layer found and repaired on disk.
     pub log: LogRecovery,
 }
@@ -166,6 +221,8 @@ pub struct ReplayedState {
     pub decisions: u64,
     /// Feedback records replayed.
     pub feedbacks: u64,
+    /// Degraded markers replayed.
+    pub degraded: u64,
 }
 
 impl ReplayedState {
@@ -188,12 +245,25 @@ impl ReplayedState {
 /// ranking must
 /// equal the logged one; a mismatch means the log and the policy's initial state do
 /// not belong together and recovery fails with [`ServeError::Recovery`] rather than
-/// silently forking history.
+/// silently forking history. [`LogRecord::Degraded`] markers are counted, nothing
+/// more — the work they stand for was shed before it touched the policy.
 pub fn replay_records(
     policy: &mut dyn BatchedPolicy,
     records: &[LogRecord],
 ) -> Result<ReplayedState> {
     let mut state = ReplayedState::default();
+    replay_records_into(policy, records, &mut state)?;
+    Ok(state)
+}
+
+/// [`replay_records`] continuing from an existing state — the compacted-recovery
+/// path seeds `state` from the base image (next request id, pending requests) and
+/// replays only the log suffix on top of it.
+pub fn replay_records_into(
+    policy: &mut dyn BatchedPolicy,
+    records: &[LogRecord],
+    state: &mut ReplayedState,
+) -> Result<()> {
     let mut decision = Decision::new();
     for record in records {
         match record {
@@ -235,20 +305,27 @@ pub fn replay_records(
                 policy.observe(&context.view(), &feedback.view());
                 state.feedbacks += 1;
             }
+            LogRecord::Degraded { .. } => {
+                state.degraded += 1;
+            }
         }
     }
-    Ok(state)
+    Ok(())
 }
 
 /// One message on the ingress queue.
 enum Request {
     Decide {
         context: ArrivalContext,
+        enqueued: Instant,
         reply: mpsc::Sender<Result<ServeDecision>>,
     },
     Feedback {
         request_id: u64,
         feedback: PolicyFeedback,
+    },
+    Compact {
+        reply: mpsc::Sender<Result<CompactionStats>>,
     },
     /// `drain: true` is a graceful shutdown (everything queued is still served);
     /// `drain: false` simulates a crash — stop now, answer nobody.
@@ -267,7 +344,11 @@ impl Client {
     pub fn decide(&self, context: ArrivalContext) -> Result<ServeDecision> {
         let (reply, response) = mpsc::channel();
         self.ingress
-            .send(Request::Decide { context, reply })
+            .send(Request::Decide {
+                context,
+                enqueued: Instant::now(),
+                reply,
+            })
             .map_err(|_| ServeError::ShuttingDown)?;
         response.recv().map_err(|_| ServeError::ShuttingDown)?
     }
@@ -280,6 +361,7 @@ impl Client {
         self.ingress
             .try_send(Request::Decide {
                 context: context.clone(),
+                enqueued: Instant::now(),
                 reply,
             })
             .map_err(|e| match e {
@@ -299,6 +381,17 @@ impl Client {
                 feedback,
             })
             .map_err(|_| ServeError::ShuttingDown)
+    }
+
+    /// Asks the worker to compact the decision log at the next round boundary and
+    /// blocks for the stats. Fails typed when the server is degraded (the log is
+    /// down), has no log, or the policy cannot checkpoint its state.
+    pub fn compact(&self) -> Result<CompactionStats> {
+        let (reply, response) = mpsc::channel();
+        self.ingress
+            .send(Request::Compact { reply })
+            .map_err(|_| ServeError::ShuttingDown)?;
+        response.recv().map_err(|_| ServeError::ShuttingDown)?
     }
 }
 
@@ -325,6 +418,13 @@ impl Server {
     /// `policy` (which must be constructed exactly as the crashed server's policy was
     /// at its start), then resumes serving — bit-identical to a server that never
     /// crashed, appending to the same log.
+    ///
+    /// A compacted log recovers from its base image: the policy's checkpointed state
+    /// at the cut is restored (`Policy::restore_state`), the pending requests and
+    /// next id are seeded from the base, and only the segment suffix is replayed.
+    /// The returned [`RecoveryReport::pending_requests`] hands back every
+    /// acknowledged-but-unanswered request id with its context, so clients can resume
+    /// feedback across the crash.
     pub fn recover(
         mut policy: BoxedBatchedPolicy,
         config: ServeConfig,
@@ -334,15 +434,39 @@ impl Server {
                 detail: "recovery needs a decision log, but the config has none".into(),
             });
         };
-        let (log, records, log_recovery) = DecisionLog::recover(log_config)?;
-        let state = replay_records(policy.as_mut(), &records)?;
+        let recovered = DecisionLog::recover(log_config)?;
+        let mut state = ReplayedState::default();
+        if let Some(base) = &recovered.base {
+            // The compacted prefix exists only as the base image: restore the exact
+            // policy state at the cut, then replay just the suffix on top of it.
+            let mut r = StateReader::new(&base.policy);
+            policy
+                .restore_state(&mut r)
+                .map_err(|e| ServeError::Recovery {
+                    detail: format!("restoring the policy from the compaction base failed: {e}"),
+                })?;
+            r.finish("compaction base policy")
+                .map_err(|e| ServeError::Recovery {
+                    detail: e.to_string(),
+                })?;
+            state.next_request_id = base.next_request_id;
+            state.pending = base.pending.iter().cloned().collect();
+        }
+        replay_records_into(policy.as_mut(), &recovered.records, &mut state)?;
         let report = RecoveryReport {
             replayed_decisions: state.decisions,
             replayed_feedbacks: state.feedbacks,
+            replayed_degraded: state.degraded,
             pending_after_replay: state.pending_len(),
-            log: log_recovery,
+            pending_requests: state
+                .pending
+                .iter()
+                .map(|(id, context)| (*id, context.clone()))
+                .collect(),
+            compacted_suffix_start: recovered.recovery.base,
+            log: recovered.recovery,
         };
-        let server = Server::spawn(policy, config, Some(log), state)?;
+        let server = Server::spawn(policy, config, Some(recovered.log), state)?;
         Ok((server, report))
     }
 
@@ -367,8 +491,9 @@ impl Server {
     }
 
     /// Graceful shutdown: every request already queued (and anything that squeezes in
-    /// ahead of the stop marker) is still decided, logged and acknowledged; the log is
-    /// synced; the policy and the serving report come back.
+    /// ahead of the stop marker) is still decided, logged and acknowledged; an active
+    /// outage gets one final heal attempt; the log is synced; the policy and the
+    /// serving report come back.
     pub fn shutdown(self) -> (BoxedBatchedPolicy, ServeReport) {
         self.end(Request::Stop { drain: true })
     }
@@ -377,14 +502,15 @@ impl Server {
     /// worker stops at the next round boundary without draining, and every queued or
     /// in-flight caller gets [`ServeError::ShuttingDown`]. Acknowledged work is
     /// already durable (the ack barrier), so a [`Server::recover`] of the same log
-    /// continues exactly where the acks stopped.
+    /// continues exactly where the acks stopped. A kill during a log outage drops the
+    /// in-memory backlog — exactly what a real crash would do.
     pub fn kill(self) -> (BoxedBatchedPolicy, ServeReport) {
         self.end(Request::Stop { drain: false })
     }
 
     fn end(self, stop: Request) -> (BoxedBatchedPolicy, ServeReport) {
         // Queue full is fine: send blocks until the worker drains a round. A closed
-        // channel means the worker already stopped (log failure) — just join.
+        // channel means the worker already stopped — just join.
         let _ = self.ingress.send(stop);
         drop(self.ingress);
         match self.worker.join() {
@@ -397,13 +523,14 @@ impl Server {
 /// One micro-batch round being assembled.
 #[derive(Default)]
 struct Round {
-    decides: Vec<(ArrivalContext, mpsc::Sender<Result<ServeDecision>>)>,
+    decides: Vec<(ArrivalContext, Instant, mpsc::Sender<Result<ServeDecision>>)>,
     feedbacks: Vec<(u64, PolicyFeedback)>,
+    compacts: Vec<mpsc::Sender<Result<CompactionStats>>>,
 }
 
 impl Round {
     fn is_empty(&self) -> bool {
-        self.decides.is_empty() && self.feedbacks.is_empty()
+        self.decides.is_empty() && self.feedbacks.is_empty() && self.compacts.is_empty()
     }
 }
 
@@ -416,11 +543,16 @@ enum StopMode {
 
 fn absorb(message: Request, round: &mut Round, stop: &mut Option<StopMode>) {
     match message {
-        Request::Decide { context, reply } => round.decides.push((context, reply)),
+        Request::Decide {
+            context,
+            enqueued,
+            reply,
+        } => round.decides.push((context, enqueued, reply)),
         Request::Feedback {
             request_id,
             feedback,
         } => round.feedbacks.push((request_id, feedback)),
+        Request::Compact { reply } => round.compacts.push(reply),
         Request::Stop { drain } => {
             *stop = Some(if drain {
                 StopMode::Drain
@@ -431,18 +563,300 @@ fn absorb(message: Request, round: &mut Round, stop: &mut Option<StopMode>) {
     }
 }
 
+/// A log outage in progress: the worker is degraded and shedding load.
+struct Outage {
+    /// Records of the round whose append failed. The policy already executed them, so
+    /// they must reach the log before anything else — log order is execution order.
+    backlog: Vec<LogRecord>,
+    /// Rendered cause of the most recent failure, echoed in `Degraded` replies.
+    detail: String,
+    /// Decide requests shed (answered `Degraded`) since the outage began.
+    shed_decides: u64,
+    /// Feedback submissions dropped since the outage began.
+    shed_feedbacks: u64,
+}
+
+/// Everything the batch worker owns: the policy, the log, the replayed state and the
+/// counters. Only its thread ever touches any of it.
+struct Worker {
+    policy: BoxedBatchedPolicy,
+    config: ServeConfig,
+    log: Option<DecisionLog>,
+    state: ReplayedState,
+    report: ServeReport,
+    scratch: Vec<Decision>,
+    outage: Option<Outage>,
+}
+
+impl Worker {
+    /// Commits one round: the queued feedback ticks first (freshest parameters for
+    /// the round's decisions), then one packed forward pass, then one durable
+    /// group-commit append, then the acks — in that order (see the module docs).
+    ///
+    /// Feedbacks-before-decisions is a determinism decision, not an accident: a
+    /// feedback was necessarily enqueued *before* any decide it shares a round with
+    /// (FIFO queue), so applying it first means the execution order — and therefore
+    /// the log — depends only on the order requests entered the queue, never on where
+    /// the batch boundaries happened to fall.
+    ///
+    /// Never returns an error: a log failure puts the worker into degraded mode
+    /// (shedding with typed [`ServeError::Degraded`] replies) instead of stopping it.
+    fn commit_round(&mut self, mut round: Round) {
+        let compacts = std::mem::take(&mut round.compacts);
+        if round.is_empty() && compacts.is_empty() {
+            return;
+        }
+
+        // Staleness shedding: a decide that sat in the queue past the bound is
+        // answered `Degraded` without touching the policy (no log marker needed —
+        // nothing executed).
+        if let Some(bound) = self.config.shed_staler_than {
+            let now = Instant::now();
+            let (fresh, stale): (Vec<_>, Vec<_>) = round
+                .decides
+                .drain(..)
+                .partition(|(_, enqueued, _)| now.saturating_duration_since(*enqueued) <= bound);
+            round.decides = fresh;
+            for (_, _, reply) in stale {
+                self.report.shed_decides += 1;
+                let _ = reply.send(Err(ServeError::Degraded {
+                    detail: format!("request waited past the staleness bound ({bound:?})"),
+                }));
+            }
+        }
+
+        // An active outage: try to heal before this round; still down means the whole
+        // round is shed without touching the policy.
+        if self.outage.is_some() && !self.try_heal() {
+            let n_decides = round.decides.len() as u64;
+            let n_feedbacks = round.feedbacks.len() as u64;
+            let outage = self.outage.as_mut().expect("outage is active");
+            outage.shed_decides += n_decides;
+            outage.shed_feedbacks += n_feedbacks;
+            let detail = outage.detail.clone();
+            self.report.shed_decides += n_decides;
+            self.report.shed_feedbacks += n_feedbacks;
+            if n_decides + n_feedbacks > 0 {
+                self.report.degraded_rounds += 1;
+            }
+            for (_, _, reply) in round.decides {
+                let _ = reply.send(Err(ServeError::Degraded {
+                    detail: detail.clone(),
+                }));
+            }
+            self.handle_compacts(compacts);
+            return;
+        }
+
+        if round.is_empty() {
+            self.handle_compacts(compacts);
+            return;
+        }
+        self.report.rounds += 1;
+        self.report.max_round_decisions = self.report.max_round_decisions.max(round.decides.len());
+
+        let mut records = Vec::with_capacity(round.decides.len() + round.feedbacks.len());
+
+        // 1. Online-learning ticks, in arrival order, before the round's decisions.
+        for (request_id, feedback) in round.feedbacks {
+            match self.state.pending.remove(&request_id) {
+                Some(context) => {
+                    self.policy.observe(&context.view(), &feedback.view());
+                    self.report.feedbacks += 1;
+                    records.push(LogRecord::Feedback {
+                        request_id,
+                        feedback,
+                    });
+                }
+                None => self.report.unknown_feedbacks += 1,
+            }
+        }
+
+        // 2. One act_batch over every arrival of the round.
+        self.scratch.resize_with(round.decides.len(), Decision::new);
+        {
+            let views: Vec<_> = round.decides.iter().map(|(ctx, _, _)| ctx.view()).collect();
+            self.policy.act_batch(&views, &mut self.scratch[..]);
+        }
+
+        // 3. Assign ids and build the decision records in commit order.
+        let mut acks = Vec::with_capacity(round.decides.len());
+        for ((context, _, reply), decision) in round.decides.into_iter().zip(self.scratch.iter()) {
+            let request_id = self.state.next_request_id;
+            self.state.next_request_id += 1;
+            let served = ServeDecision {
+                request_id,
+                shown: decision.shown().to_vec(),
+                assignment: decision.is_assignment(),
+            };
+            records.push(LogRecord::Decision {
+                request_id,
+                context: context.clone(),
+                shown: served.shown.clone(),
+                assignment: served.assignment,
+            });
+            self.state.pending.insert(request_id, context);
+            acks.push((reply, served));
+        }
+
+        // 4. Group commit: the whole round becomes durable before anyone is told
+        // anything. A failure past the bounded retries enters degraded mode: the
+        // records are already executed, so they become the outage backlog, and the
+        // clients are told to retry (their retry is a fresh request — nothing is
+        // lost or duplicated).
+        if let Some(log) = self.log.as_mut() {
+            if let Err(e) = log.append_retrying(&records) {
+                let detail = e.to_string();
+                for (reply, _) in acks {
+                    self.report.shed_decides += 1;
+                    let _ = reply.send(Err(ServeError::Degraded {
+                        detail: detail.clone(),
+                    }));
+                }
+                self.report.degraded_rounds += 1;
+                self.outage = Some(Outage {
+                    backlog: records,
+                    detail,
+                    shed_decides: 0,
+                    shed_feedbacks: 0,
+                });
+                self.handle_compacts(compacts);
+                return;
+            }
+        }
+
+        // 5. Acks (a vanished caller is not an error).
+        for (reply, served) in acks {
+            let _ = reply.send(Ok(served));
+            self.report.decisions += 1;
+        }
+        self.handle_compacts(compacts);
+    }
+
+    /// Attempts to end an active outage: the backlog plus a [`LogRecord::Degraded`]
+    /// marker (counting everything shed while degraded) go to the log in one batch,
+    /// keeping record order equal to execution order. True when the log is healthy.
+    fn try_heal(&mut self) -> bool {
+        let Some(outage) = self.outage.as_ref() else {
+            return true;
+        };
+        let Some(log) = self.log.as_mut() else {
+            return true;
+        };
+        let mut records = outage.backlog.clone();
+        records.push(LogRecord::Degraded {
+            shed_decides: outage.shed_decides,
+            shed_feedbacks: outage.shed_feedbacks,
+        });
+        match log.append_retrying(&records) {
+            Ok(()) => {
+                self.outage = None;
+                self.report.healed += 1;
+                true
+            }
+            Err(e) => {
+                self.outage.as_mut().expect("outage is active").detail = e.to_string();
+                false
+            }
+        }
+    }
+
+    /// Answers the round's explicit compaction requests.
+    fn handle_compacts(&mut self, compacts: Vec<mpsc::Sender<Result<CompactionStats>>>) {
+        for reply in compacts {
+            let result = match &self.outage {
+                Some(outage) => Err(ServeError::Degraded {
+                    detail: outage.detail.clone(),
+                }),
+                None => self.compact_now(),
+            };
+            let _ = reply.send(result);
+        }
+    }
+
+    /// Compacts the log at the current round boundary: the policy's checkpointed
+    /// state, the pending requests and the next id become the base image.
+    fn compact_now(&mut self) -> Result<CompactionStats> {
+        let Some(log) = self.log.as_mut() else {
+            return Err(ServeError::Log {
+                detail: "compaction needs a decision log, but the server has none".into(),
+            });
+        };
+        let mut w = StateWriter::new();
+        self.policy.checkpoint_state(&mut w)?;
+        let pending: Vec<(u64, ArrivalContext)> = self
+            .state
+            .pending
+            .iter()
+            .map(|(id, context)| (*id, context.clone()))
+            .collect();
+        let stats = log.compact(self.state.next_request_id, pending, w.into_bytes())?;
+        self.report.compactions += 1;
+        Ok(stats)
+    }
+
+    /// Auto-compaction after a committed round, when configured and healthy. The
+    /// first failure disables it for the rest of the run (recorded in
+    /// [`ServeReport::compact_error`]) — compaction is an optimisation, not a
+    /// correctness requirement, so serving continues.
+    fn maybe_auto_compact(&mut self) {
+        if self.outage.is_some() || self.report.compact_error.is_some() {
+            return;
+        }
+        let Some(limit) = self.config.compact_after_segments else {
+            return;
+        };
+        let Some(log) = self.log.as_ref() else {
+            return;
+        };
+        if log.live_segments() <= limit {
+            return;
+        }
+        if let Err(e) = self.compact_now() {
+            self.report.compact_error = Some(e.to_string());
+        }
+    }
+
+    /// Ends the worker. A graceful drain makes one final heal attempt for an active
+    /// outage; a kill drops the backlog (crash semantics). Whatever still cannot
+    /// reach the log is reported in [`ServeReport::log_error`].
+    fn finish(mut self, drain: bool) -> (BoxedBatchedPolicy, ServeReport) {
+        if self.outage.is_some() && (!drain || !self.try_heal()) {
+            let outage = self.outage.as_ref().expect("outage is active");
+            self.report.log_error = Some(outage.detail.clone());
+        }
+        if let Some(log) = self.log.as_mut() {
+            if let Err(e) = log.sync() {
+                self.report.log_error.get_or_insert(e.to_string());
+            }
+            self.report.log_batches = log.batches();
+            self.report.log_rotations = log.rotations();
+        }
+        (self.policy, self.report)
+    }
+}
+
 /// The batch worker: the only thread that ever touches the policy or the log.
 fn event_loop(
     mut policy: BoxedBatchedPolicy,
     config: ServeConfig,
-    mut log: Option<DecisionLog>,
-    mut state: ReplayedState,
+    log: Option<DecisionLog>,
+    state: ReplayedState,
     queue: Receiver<Request>,
 ) -> (BoxedBatchedPolicy, ServeReport) {
     policy.set_thread_pool(config.pool);
     let max_batch = config.max_batch.max(1);
-    let mut report = ServeReport::default();
-    let mut decisions_scratch: Vec<Decision> = Vec::new();
+    let batch_window = config.batch_window;
+    let mut worker = Worker {
+        policy,
+        config,
+        log,
+        state,
+        report: ServeReport::default(),
+        scratch: Vec::new(),
+        outage: None,
+    };
+    let mut drain = true;
 
     'serve: loop {
         // Block for the first request of a round, then coalesce.
@@ -454,7 +868,7 @@ fn event_loop(
         let mut stop = None;
         absorb(first, &mut round, &mut stop);
         if stop.is_none() {
-            let deadline = Instant::now() + config.batch_window;
+            let deadline = Instant::now() + batch_window;
             while round.decides.len() < max_batch && stop.is_none() {
                 let message = match deadline.checked_duration_since(Instant::now()) {
                     Some(wait) if !wait.is_zero() => match queue.recv_timeout(wait) {
@@ -472,22 +886,13 @@ fn event_loop(
 
         if stop == Some(StopMode::Kill) {
             // Crash semantics: nothing in this round was acknowledged, so none of it
-            // happened. Dropped reply senders surface as `ShuttingDown` at the caller.
+            // happened. Dropped reply senders surface as `ShuttingDown` at the
+            // caller, and an outage backlog dies with the process.
+            drain = false;
             break 'serve;
         }
-        if let Err(e) = commit_round(
-            policy.as_mut(),
-            &mut log,
-            &mut state,
-            &mut report,
-            &mut decisions_scratch,
-            round,
-        ) {
-            // Durability is broken; refusing further service beats serving unlogged
-            // decisions that a recovery could never reproduce.
-            report.log_error = Some(e.to_string());
-            break 'serve;
-        }
+        worker.commit_round(round);
+        worker.maybe_auto_compact();
         if stop == Some(StopMode::Drain) {
             loop {
                 let mut tail = Round::default();
@@ -501,121 +906,20 @@ fn event_loop(
                 if tail.is_empty() {
                     break;
                 }
-                if let Err(e) = commit_round(
-                    policy.as_mut(),
-                    &mut log,
-                    &mut state,
-                    &mut report,
-                    &mut decisions_scratch,
-                    tail,
-                ) {
-                    report.log_error = Some(e.to_string());
-                    break;
-                }
+                worker.commit_round(tail);
             }
             break 'serve;
         }
     }
 
-    if let Some(log) = log.as_mut() {
-        let _ = log.sync();
-        report.log_batches = log.batches();
-        report.log_rotations = log.rotations();
-    }
-    (policy, report)
-}
-
-/// Commits one round: the queued feedback ticks first (freshest parameters for the
-/// round's decisions), then one packed forward pass, then one durable group-commit
-/// append, then the acks — in that order (see the module docs).
-///
-/// Feedbacks-before-decisions is a determinism decision, not an accident: a feedback
-/// was necessarily enqueued *before* any decide it shares a round with (FIFO queue),
-/// so applying it first means the execution order — and therefore the log — depends
-/// only on the order requests entered the queue, never on where the batch boundaries
-/// happened to fall. A client that submits `decide(i)`, `feedback(i)`, `decide(i+1)`
-/// gets the same served decisions whether the feedback rides in its own round or
-/// coalesces with the next decide.
-fn commit_round(
-    policy: &mut dyn BatchedPolicy,
-    log: &mut Option<DecisionLog>,
-    state: &mut ReplayedState,
-    report: &mut ServeReport,
-    decisions_scratch: &mut Vec<Decision>,
-    round: Round,
-) -> Result<()> {
-    if round.is_empty() {
-        return Ok(());
-    }
-    report.rounds += 1;
-    report.max_round_decisions = report.max_round_decisions.max(round.decides.len());
-
-    let mut records = Vec::with_capacity(round.decides.len() + round.feedbacks.len());
-
-    // 1. Online-learning ticks, in arrival order, before the round's decisions.
-    for (request_id, feedback) in round.feedbacks {
-        match state.pending.remove(&request_id) {
-            Some(context) => {
-                policy.observe(&context.view(), &feedback.view());
-                report.feedbacks += 1;
-                records.push(LogRecord::Feedback {
-                    request_id,
-                    feedback,
-                });
-            }
-            None => report.unknown_feedbacks += 1,
-        }
-    }
-
-    // 2. One act_batch over every arrival of the round.
-    decisions_scratch.resize_with(round.decides.len(), Decision::new);
-    {
-        let views: Vec<_> = round.decides.iter().map(|(ctx, _)| ctx.view()).collect();
-        policy.act_batch(&views, &mut decisions_scratch[..]);
-    }
-
-    // 3. Assign ids and build the decision records in commit order.
-    let mut acks = Vec::with_capacity(round.decides.len());
-    for ((context, reply), decision) in round.decides.into_iter().zip(decisions_scratch.iter()) {
-        let request_id = state.next_request_id;
-        state.next_request_id += 1;
-        let served = ServeDecision {
-            request_id,
-            shown: decision.shown().to_vec(),
-            assignment: decision.is_assignment(),
-        };
-        records.push(LogRecord::Decision {
-            request_id,
-            context: context.clone(),
-            shown: served.shown.clone(),
-            assignment: served.assignment,
-        });
-        state.pending.insert(request_id, context);
-        acks.push((reply, served));
-    }
-
-    // 4. Group commit: the whole round becomes durable before anyone is told anything.
-    if let Some(log) = log.as_mut() {
-        if let Err(e) = log.append(&records) {
-            for (reply, _) in acks {
-                let _ = reply.send(Err(e.clone()));
-            }
-            return Err(e);
-        }
-    }
-
-    // 5. Acks (a vanished caller is not an error).
-    for (reply, served) in acks {
-        let _ = reply.send(Ok(served));
-        report.decisions += 1;
-    }
-    Ok(())
+    worker.finish(drain)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::log::LogConfig;
+    use crowd_ckpt::{FaultPlan, Fs};
     use crowd_sim::{ArrivalView, FeedbackView, Policy, TaskSnapshot, WorkerId};
     use std::path::PathBuf;
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -785,7 +1089,7 @@ mod tests {
         let logged_ids: Vec<u64> = records
             .iter()
             .filter(|r| matches!(r, LogRecord::Decision { .. }))
-            .map(LogRecord::request_id)
+            .filter_map(LogRecord::request_id)
             .collect();
         assert_eq!(logged_ids, vec![0, 1, 2, 3]);
 
@@ -797,12 +1101,21 @@ mod tests {
         assert_eq!(state.feedbacks, 2);
         assert_eq!(state.pending_len(), 2); // odd ids never got feedback
 
-        // And a recovered server keeps serving with continuing ids.
+        // And a recovered server keeps serving with continuing ids, handing back the
+        // pending request ids (the request-id ⇄ client handshake).
         let (policy, ..) = CountingPolicy::new();
         let (server, recovery) = Server::recover(Box::new(policy), config).unwrap();
         assert_eq!(recovery.replayed_decisions, 4);
         assert_eq!(recovery.replayed_feedbacks, 2);
         assert_eq!(recovery.pending_after_replay, 2);
+        let pending_ids: Vec<u64> = recovery
+            .pending_requests
+            .iter()
+            .map(|(id, _)| *id)
+            .collect();
+        assert_eq!(pending_ids, vec![1, 3]);
+        assert_eq!(recovery.pending_requests[0].1, contexts[1]);
+        assert_eq!(recovery.compacted_suffix_start, None);
         let d = server.client().decide(context(9, 1)).unwrap();
         assert_eq!(d.request_id, 4);
         server.shutdown();
@@ -913,12 +1226,133 @@ mod tests {
         // The acked decision survived the "crash".
         let records = DecisionLog::read(&dir).unwrap();
         assert_eq!(records.len(), 1);
-        assert_eq!(records[0].request_id(), acked.request_id);
+        assert_eq!(records[0].request_id(), Some(acked.request_id));
         // The dead server refuses new work.
         assert!(matches!(
             client.decide(context(1, 1)),
             Err(ServeError::ShuttingDown)
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_log_outage_degrades_heals_and_marks_the_log() {
+        // Phase 1: learn the op index where round 2's I/O starts, on a clean
+        // injected fs (same plan shape, no faults).
+        let dir = tmp_dir("unit-degrade-probe");
+        let (fs, probe) = Fs::faulty(FaultPlan::none());
+        let mut log_config = LogConfig::new(&dir);
+        log_config.fs = fs;
+        let (policy, ..) = CountingPolicy::new();
+        let config = ServeConfig {
+            log: Some(log_config),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(Box::new(policy), config).unwrap();
+        let client = server.client();
+        client.decide(context(0, 1)).unwrap();
+        let round2_start = probe.ops();
+        server.kill();
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        // Phase 2: everything in a 12-op window starting at round 2 fails. Round 1
+        // commits cleanly; round 2's append exhausts its retries and the server goes
+        // degraded (its records become the backlog); later rounds shed until the
+        // window passes, then the heal appends backlog + marker and serving resumes.
+        let dir = tmp_dir("unit-degrade");
+        let (fs, _probe) = Fs::faulty(FaultPlan::fail_ops(round2_start, round2_start + 12, None));
+        let mut log_config = LogConfig::new(&dir);
+        log_config.fs = fs;
+        let (policy, ..) = CountingPolicy::new();
+        let config = ServeConfig {
+            log: Some(log_config),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(Box::new(policy), config).unwrap();
+        let client = server.client();
+
+        client.decide(context(0, 1)).unwrap();
+        let degraded = client.decide(context(1, 1)).unwrap_err();
+        assert!(
+            matches!(degraded, ServeError::Degraded { .. }),
+            "{degraded}"
+        );
+        // Keep retrying until the outage window passes and the server heals.
+        let mut healed_decision = None;
+        for attempt in 0..32 {
+            match client.decide(context(100 + attempt, 1)) {
+                Ok(d) => {
+                    healed_decision = Some(d);
+                    break;
+                }
+                Err(ServeError::Degraded { .. }) => continue,
+                Err(other) => panic!("unexpected error while degraded: {other}"),
+            }
+        }
+        let healed_decision = healed_decision.expect("server never healed");
+        // Ids never fork: round 2's decision executed (id 1) even though its client
+        // was told to retry, so the first post-heal decision is id 2 or later.
+        assert!(healed_decision.request_id >= 2);
+
+        let (_policy, report) = server.shutdown();
+        assert!(report.log_error.is_none(), "{:?}", report.log_error);
+        assert_eq!(report.healed, 1);
+        assert!(report.degraded_rounds >= 1);
+        assert!(report.shed_decides >= 1);
+
+        // The log carries the backlog and exactly one degraded marker, and replays.
+        let records = DecisionLog::read(&dir).unwrap();
+        let markers: Vec<_> = records
+            .iter()
+            .filter(|r| matches!(r, LogRecord::Degraded { .. }))
+            .collect();
+        assert_eq!(markers.len(), 1);
+        let (mut fresh, ..) = CountingPolicy::new();
+        let state = replay_records(&mut fresh, &records).unwrap();
+        assert_eq!(state.degraded, 1);
+        assert_eq!(state.next_request_id, healed_decision.request_id + 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn staleness_bound_sheds_without_touching_the_policy() {
+        let (policy, acts, _observes) = CountingPolicy::new();
+        let config = ServeConfig {
+            // The lone request waits out the full batch window (no co-batched
+            // neighbours arrive), far past the staleness bound.
+            batch_window: Duration::from_millis(200),
+            shed_staler_than: Some(Duration::from_millis(20)),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(Box::new(policy), config).unwrap();
+        let err = server.client().decide(context(0, 1)).unwrap_err();
+        assert!(matches!(err, ServeError::Degraded { .. }), "{err}");
+        let (_policy, report) = server.shutdown();
+        assert_eq!(report.shed_decides, 1);
+        assert_eq!(report.decisions, 0);
+        assert_eq!(acts.load(Ordering::SeqCst), 0, "shed request never acted");
+    }
+
+    #[test]
+    fn compaction_without_checkpoint_support_fails_typed_and_serving_continues() {
+        let dir = tmp_dir("unit-compact-unsupported");
+        let config = ServeConfig {
+            log: Some(LogConfig::new(&dir)),
+            compact_after_segments: Some(1),
+            ..ServeConfig::default()
+        };
+        let (policy, ..) = CountingPolicy::new();
+        let server = Server::start(Box::new(policy), config).unwrap();
+        let client = server.client();
+        client.decide(context(0, 1)).unwrap();
+        // Explicit compaction: CountingPolicy has no checkpoint support.
+        let err = client.compact().unwrap_err();
+        assert!(matches!(err, ServeError::Log { .. }), "{err}");
+        // Serving continues regardless.
+        client.decide(context(1, 1)).unwrap();
+        let (_policy, report) = server.shutdown();
+        assert_eq!(report.decisions, 2);
+        assert_eq!(report.compactions, 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

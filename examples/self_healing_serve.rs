@@ -1,0 +1,145 @@
+//! Self-healing serving: a learning decision server rides out a sustained fsync
+//! outage — shedding with typed `Degraded` answers instead of wedging, healing when
+//! the device recovers — while retrying clients (`Client::decide_with_retry`) absorb
+//! the outage with bounded backoff. Afterwards the decision log is compacted to a
+//! base image + suffix and the server is recovered from it, replaying only the
+//! records after the base.
+//!
+//! The outage is injected with `crowd_ckpt`'s deterministic fault layer: every disk
+//! touch is a numbered operation behind an [`Fs`] handle, and a [`FaultPlan`] can
+//! fail a precise window of them. No real disk has to misbehave — the same failure
+//! replays identically on every machine (that determinism is what
+//! `tests/fault_injection.rs` sweeps exhaustively).
+//!
+//! Run with: `cargo run --release -p crowd-experiments --example self_healing_serve`
+
+use crowd_ckpt::{FaultPlan, Fs, OpClass};
+use crowd_experiments::{collect_arrival_contexts, ddqn_config_for, ddqn_for, Scale};
+use crowd_serve::{LogConfig, RetryPolicy, ServeConfig, ServeDecision, Server};
+use crowd_sim::{ArrivalContext, Dataset, PolicyFeedback, SimConfig};
+use crowd_tensor::ThreadPool;
+use std::path::Path;
+use std::time::Duration;
+
+/// Synthetic outcome for a served decision: the worker completes the top-ranked task.
+fn feedback_for(context: &ArrivalContext, decision: &ServeDecision) -> PolicyFeedback {
+    PolicyFeedback {
+        time: context.time,
+        worker_id: context.worker_id,
+        worker_quality: context.worker_quality,
+        shown: decision.shown.clone(),
+        completed: decision.shown.first().map(|&t| (t, 0)),
+        quality_gain: 0.125,
+        worker_feature_before: context.worker_feature.clone(),
+        worker_feature_after: context.worker_feature.clone(),
+    }
+}
+
+fn serve_config(dir: &Path, fs: Fs) -> ServeConfig {
+    let mut log = LogConfig::new(dir);
+    log.fs = fs;
+    // A tiny rotation threshold so even this short run spans several segments and
+    // compaction has something to absorb.
+    log.segment_bytes = 1;
+    ServeConfig {
+        pool: ThreadPool::from_env(),
+        log: Some(log),
+        ..ServeConfig::default()
+    }
+}
+
+fn main() {
+    let dataset: Dataset = SimConfig::tiny().generate();
+    let contexts = collect_arrival_contexts(&dataset, 0xCAFE, 24);
+    let scratch = std::env::temp_dir().join(format!("self_healing_serve_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // 1. Probe: how many I/O ops does `Server::start` issue before any traffic? The
+    //    log is created synchronously, so this count is deterministic — it tells us
+    //    where the serving phase begins in the operation numbering.
+    let probe_dir = scratch.join("probe");
+    let (fs, probe) = Fs::faulty(FaultPlan::none());
+    let server = Server::start(
+        Box::new(ddqn_for(&dataset, ddqn_config_for(Scale::Tiny))),
+        serve_config(&probe_dir, fs),
+    )
+    .expect("probe server start");
+    let start_ops = probe.ops();
+    server.kill();
+    println!("[1] server startup issues {start_ops} storage ops; outage window starts there");
+
+    // 2. A learning server whose log fsyncs fail for a sustained window of 40 ops
+    //    starting at the first serving-phase operation. Retrying clients keep
+    //    submitting through the outage: shed requests never touched the policy, so
+    //    retrying them is always safe.
+    let dir = scratch.join("live");
+    let (fs, _) = Fs::faulty(FaultPlan::fail_ops(
+        start_ops,
+        start_ops + 40,
+        Some(OpClass::SyncData),
+    ));
+    let server = Server::start(
+        Box::new(ddqn_for(&dataset, ddqn_config_for(Scale::Tiny))),
+        serve_config(&dir, fs),
+    )
+    .expect("server start");
+    let client = server.client();
+    let retry = RetryPolicy {
+        deadline: Duration::from_secs(10),
+        ..RetryPolicy::default()
+    };
+    for context in &contexts {
+        let served = client
+            .decide_with_retry(context, &retry)
+            .expect("retry rides out the outage");
+        client
+            .feedback(served.request_id, feedback_for(context, &served))
+            .expect("feedback");
+    }
+
+    // 3. Compact the healed log: the policy's checkpoint becomes the base image and
+    //    every fully-absorbed segment is deleted; recovery will replay only the
+    //    suffix after the base.
+    let stats = client.compact().expect("compaction");
+    let (_policy, report) = server.shutdown();
+    assert_eq!(report.log_error, None, "log healthy again at shutdown");
+    println!(
+        "[2] outage: {} degraded rounds shed {} decides / {} feedbacks, {} outage healed",
+        report.degraded_rounds, report.shed_decides, report.shed_feedbacks, report.healed,
+    );
+    println!(
+        "[3] compaction: base at record {} absorbed {} segments ({} base bytes)",
+        stats.suffix_start, stats.absorbed_segments, stats.base_bytes,
+    );
+
+    // 4. Recover from base + suffix. The fresh policy restores the base checkpoint
+    //    and replays only the records after it — bit-identical to a full replay of
+    //    the original log (proven in tests/fault_injection.rs).
+    let (server, recovery) = Server::recover(
+        Box::new(ddqn_for(&dataset, ddqn_config_for(Scale::Tiny))),
+        serve_config(&dir, Fs::real()),
+    )
+    .expect("recover from compacted log");
+    println!(
+        "[4] recovery: restored base at record {:?}, replayed {} suffix decisions, {} degraded markers",
+        recovery.compacted_suffix_start, recovery.replayed_decisions, recovery.replayed_degraded,
+    );
+    assert!(recovery.compacted_suffix_start.is_some());
+    assert!(
+        (recovery.replayed_decisions as usize) < contexts.len(),
+        "the base image absorbed the prefix"
+    );
+
+    // The recovered server serves on, continuing the learned state.
+    let client = server.client();
+    let served = client
+        .decide_with_retry(&contexts[0], &retry)
+        .expect("post-recovery decide");
+    println!(
+        "[5] recovered server serves on: request {} ranked {} tasks",
+        served.request_id,
+        served.shown.len()
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&scratch);
+}

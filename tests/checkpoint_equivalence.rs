@@ -477,6 +477,36 @@ fn damaged_snapshots_fail_with_typed_errors_never_panics() {
     }
 }
 
+/// Publish robustness, the write-side twin of the loader checks above: a rewrite that
+/// dies before the atomic rename (here: the very first I/O op of the tmp-file write,
+/// injected via `Fs::faulty`) is a typed error and the previously published snapshot
+/// still loads, byte-identical. `tests/fault_injection.rs` sweeps the same contract at
+/// *every* numbered I/O site; this is the cheap always-on sentinel next to the reader
+/// robustness it complements.
+#[test]
+fn failed_rewrite_leaves_the_published_snapshot_intact() {
+    use crowd_ckpt::{FaultPlan, Fs};
+    let dataset = dataset();
+    let clean = real_checkpoint_bytes(&dataset);
+    let path = temp_ckpt_path("failed_rewrite.ckpt");
+    std::fs::write(&path, &clean).unwrap();
+
+    let mut replacement = Snapshot::new();
+    replacement.put_raw("other", vec![0xEE; 64]);
+    let (fs, _probe) = Fs::faulty(FaultPlan::fail_op(0));
+    replacement
+        .write_to_in(&fs, &path)
+        .expect_err("a poisoned first op must fail the rewrite");
+
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        clean,
+        "failed rewrite must not disturb the published image"
+    );
+    assert!(SnapshotFile::from_bytes(std::fs::read(&path).unwrap()).is_ok());
+    std::fs::remove_file(&path).unwrap();
+}
+
 /// Logical-mismatch robustness: resuming into a differently configured session or a
 /// snapshot with a missing section is a typed error, and an unsupported policy reports
 /// `Unsupported` from `checkpoint` without touching the snapshot.

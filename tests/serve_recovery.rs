@@ -128,6 +128,18 @@ fn killed_server_resumes_bit_identical_to_an_uninterrupted_one() {
     // of the stream.
     let client = server.client();
     let (id, feedback) = withheld.unwrap();
+    // The request-id⇄client handshake: recovery hands back the replayed pending
+    // request ids with their contexts, so a client that lost its own record of `id`
+    // could rediscover it (and the context to rebuild the feedback from) here.
+    assert_eq!(
+        recovery
+            .pending_requests
+            .iter()
+            .map(|(pending_id, _)| *pending_id)
+            .collect::<Vec<_>>(),
+        vec![id],
+        "recovery must expose the withheld decision's request id"
+    );
     client.feedback(id, feedback).unwrap();
     for context in &contexts[kill_at..] {
         let served = client.decide(context.clone()).unwrap();
