@@ -11,6 +11,12 @@ pub const MINUTES_PER_MONTH: u64 = 30 * MINUTES_PER_DAY;
 
 /// A complete simulated dataset, analogous to the paper's crawled CrowdSpring data: the task
 /// table, the worker table and the time-ordered event stream over the whole horizon.
+///
+/// A dataset is what environments replay *and* what non-stationary scenarios transform:
+/// [`crate::dynamics::ScenarioSpec::apply`] compiles worker churn, demand surges and
+/// task-mix drift into a new `Dataset` before replay, so every downstream consumer —
+/// [`crate::Platform`], [`crate::ShardedEnv`], checkpoints — handles scenario runs
+/// without knowing scenarios exist (see `docs/SCENARIOS.md`).
 #[derive(Debug, Clone)]
 pub struct Dataset {
     /// All tasks ever created, indexed by [`crate::TaskId`].

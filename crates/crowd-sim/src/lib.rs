@@ -14,6 +14,10 @@
 //! * a synthetic CrowdSpring-replica generator calibrated to the statistics the paper reports
 //!   (Fig. 5/6) in [`generator`], plus the resampling and quality-perturbation knobs used by
 //!   the synthetic experiments (Fig. 10);
+//! * non-stationary scenario dynamics in [`dynamics`]: a [`ScenarioSpec`] compiles worker
+//!   churn / availability windows, demand surges with a day/night cycle, and task-mix drift
+//!   into a perturbed dataset *before* the replay, so every environment replays scenarios
+//!   through the unchanged zero-copy hot loop;
 //! * the zero-copy environment layer in [`mod@env`]: the [`Env`] trait, borrowed
 //!   [`ArrivalView`] / [`FeedbackView`] / [`TaskRef`] views into platform storage, and the
 //!   reusable [`Decision`] buffer — the hot decision loop performs no per-arrival clones;
@@ -59,6 +63,7 @@ pub mod arrival;
 pub mod behavior;
 pub mod compact;
 pub mod dataset;
+pub mod dynamics;
 pub mod env;
 pub mod event;
 pub mod features;
@@ -75,6 +80,7 @@ pub use arrival::GapDistribution;
 pub use behavior::BehaviorModel;
 pub use compact::{f16_bits_to_f32, f16_round_trip, f32_to_f16_bits, FeatureArena};
 pub use dataset::{Dataset, MINUTES_PER_DAY, MINUTES_PER_MONTH};
+pub use dynamics::{AvailabilityWindow, DayNightCycle, DriftEpoch, ScenarioSpec, SurgePhase};
 pub use env::{ArrivalView, Decision, Env, FeedbackView, TaskRef};
 pub use event::{Event, EventKind};
 pub use features::FeatureSpace;

@@ -77,6 +77,11 @@ use crowd_tensor::{Rng, ThreadPool};
 /// pool dispatch.
 const PAR_EVENT_THRESHOLD: usize = 256;
 
+/// Minimum decoded-slab slot count before the expiry-burst repack
+/// ([`Shard::maybe_shrink_slab`]) considers shrinking; below this the slab is already
+/// tiny and a repack would just churn allocations.
+const SLAB_SHRINK_MIN_SLOTS: usize = 64;
+
 /// Configuration of a [`ShardedEnv`]: shard count, feature precision and the pool used
 /// for the per-shard advance.
 #[derive(Debug, Clone, Copy)]
@@ -221,6 +226,7 @@ impl Shard {
 
     /// Applies this shard's pending task events, in event order.
     fn apply_events(&mut self, events: &[Event], n_shards: usize, dim: usize) {
+        let mut expired = false;
         for event in events {
             match event.kind {
                 EventKind::TaskCreated(id) => {
@@ -232,12 +238,51 @@ impl Shard {
                     let local = id.index() / n_shards;
                     self.in_pool[local] = false;
                     self.tasks.evict(local);
+                    expired = true;
                 }
                 EventKind::WorkerArrival(_) => {
                     unreachable!("worker arrivals are handled by the top-level scan")
                 }
             }
         }
+        if expired {
+            self.maybe_shrink_slab(dim);
+        }
+    }
+
+    /// After an expiry burst, repacks the decoded slab down to its live rows once free
+    /// slots outnumber them (the high-watermark rule): without this, a churn-heavy
+    /// replay keeps peak-pool capacity decoded forever. Slot *values* are an
+    /// implementation detail — views resolve rows through `slots` — so the
+    /// local-index-order repack is deterministic and preserves bit-identity at every
+    /// shard count. [`SLAB_SHRINK_MIN_SLOTS`] keeps tiny pools from repack thrash.
+    fn maybe_shrink_slab(&mut self, dim: usize) {
+        let TaskStore::F16 {
+            slots, slab, free, ..
+        } = &mut self.tasks
+        else {
+            return;
+        };
+        if dim == 0 {
+            return;
+        }
+        let total = slab.len() / dim;
+        let live = total - free.len();
+        if total < SLAB_SHRINK_MIN_SLOTS || free.len() <= live {
+            return;
+        }
+        let mut packed = Vec::with_capacity(live * dim);
+        for (local, &in_pool) in self.in_pool.iter().enumerate() {
+            if !in_pool {
+                continue;
+            }
+            let old = slots[local] as usize;
+            let new = packed.len() / dim;
+            packed.extend_from_slice(&slab[old * dim..(old + 1) * dim]);
+            slots[local] = new as u32;
+        }
+        *slab = packed;
+        free.clear();
     }
 }
 
@@ -1026,8 +1071,9 @@ mod tests {
         let fs = Platform::default_feature_space(&ds);
         let spec = ShardSpec::new(2).compact(true);
         // Compact cold storage costs roughly half the f32 arena bytes; measured on
-        // fresh environments because the decoded pool slab (which never shrinks) can
-        // mask the saving at tiny scale, where most tasks are pool-resident at once.
+        // fresh environments because the decoded pool slab (bounded by the expiry-burst
+        // repack, but sized to the live pool) can mask the saving at tiny scale, where
+        // most tasks are pool-resident at once.
         let fresh = ShardedEnv::new(ds.clone(), fs.clone(), 13, spec);
         let f32_env = ShardedEnv::new(ds.clone(), fs.clone(), 13, ShardSpec::new(2));
         assert!(fresh.feature_arena_bytes() < f32_env.feature_arena_bytes() * 3 / 4);
@@ -1038,6 +1084,102 @@ mod tests {
             full_pool_replay_fingerprint(&mut b)
         );
         assert_eq!(a.canonical_fingerprint(), b.canonical_fingerprint());
+    }
+
+    #[test]
+    fn expiry_bursts_shrink_the_decoded_slab_to_a_high_watermark() {
+        use crate::event::sort_events;
+        use crate::task::{Task, TaskId};
+        use crate::worker::{Worker, WorkerId};
+        // A churn-heavy stream: one big creation burst, then almost everything expires
+        // at once while a handful of tasks survive.
+        let n_tasks = 200usize;
+        let survivors = 8usize;
+        let mut tasks = Vec::new();
+        let mut events = Vec::new();
+        for i in 0..n_tasks {
+            let id = TaskId(i as u32);
+            tasks.push(Task {
+                id,
+                requester: 0,
+                category: (i % 3) as u16,
+                domain: (i % 2) as u16,
+                award: 40.0 + i as f32,
+                created_at: 0,
+                deadline: if i < survivors { 10_000 } else { 100 },
+            });
+            events.push(Event {
+                time: 0,
+                kind: EventKind::TaskCreated(id),
+            });
+            if i >= survivors {
+                events.push(Event {
+                    time: 100,
+                    kind: EventKind::TaskExpired(id),
+                });
+            }
+        }
+        events.push(Event {
+            time: 1,
+            kind: EventKind::WorkerArrival(WorkerId(0)),
+        });
+        events.push(Event {
+            time: 101,
+            kind: EventKind::WorkerArrival(WorkerId(0)),
+        });
+        sort_events(&mut events);
+        let ds = Dataset {
+            tasks,
+            workers: vec![Worker {
+                id: WorkerId(0),
+                quality: 0.5,
+                category_affinity: vec![0.5; 3],
+                domain_affinity: vec![0.5; 2],
+                award_sensitivity: 0.5,
+                interest_threshold: 0.5,
+                attention_budget: 5,
+                activity: 1.0,
+            }],
+            events,
+            n_categories: 3,
+            n_domains: 2,
+            quality_exponent: 2.0,
+            months: 1,
+        };
+        let fs = Platform::default_feature_space(&ds);
+        let mut env = ShardedEnv::new(ds.clone(), fs.clone(), 7, ShardSpec::new(1).compact(true));
+        let dim = env.task_dim;
+        let slab_len = |env: &ShardedEnv| match &env.shards[0].tasks {
+            TaskStore::F16 { slab, free, .. } => (slab.len(), free.len()),
+            TaskStore::F32(_) => unreachable!("compact spec"),
+        };
+        // First arrival drains the creation burst: every task is decoded.
+        assert!(env.next_arrival());
+        assert_eq!(slab_len(&env), (n_tasks * dim, 0));
+        // Second arrival drains the expiry burst: free slots outnumber live ones, so the
+        // slab repacks down to the survivors instead of keeping peak capacity.
+        assert!(env.next_arrival());
+        assert_eq!(slab_len(&env), (survivors * dim, 0));
+        assert_eq!(env.available_tasks().len(), survivors);
+        // Repacked rows still decode to the cold f16 bits.
+        for task in 0..survivors {
+            let row = env.shards[0].pooled_task_feature(task, dim);
+            if let TaskStore::F16 { bits, .. } = &env.shards[0].tasks {
+                let expected: Vec<f32> = bits[task * dim..(task + 1) * dim]
+                    .iter()
+                    .map(|&b| crate::compact::f16_bits_to_f32(b))
+                    .collect();
+                assert_eq!(row, expected.as_slice(), "task {task}");
+            }
+        }
+        // The repack is layout-invariant: shard counts still replay bit-identically.
+        let mut one = ShardedEnv::new(ds.clone(), fs.clone(), 7, ShardSpec::new(1).compact(true));
+        let mut two = ShardedEnv::new(ds, fs, 7, ShardSpec::new(2).compact(true));
+        assert_eq!(
+            full_pool_replay_fingerprint(&mut one),
+            full_pool_replay_fingerprint(&mut two)
+        );
+        assert_eq!(one.canonical_fingerprint(), two.canonical_fingerprint());
     }
 
     #[test]

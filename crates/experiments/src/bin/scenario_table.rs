@@ -1,0 +1,96 @@
+//! Replays the full worker-benefit policy line-up (Random, Taskrec, Greedy CS,
+//! Greedy NN, LinUCB, DDQN) across every registered non-stationary scenario
+//! ([`crowd_experiments::named_scenarios`]) and prints per-epoch (per-month) metric
+//! breakdowns plus a final cross-scenario summary.
+//!
+//! `CROWD_SCALE` selects the dataset tier as usual; every scenario replays the *same*
+//! base dataset through its own deterministic perturbation, so columns are comparable
+//! across scenarios.
+
+use crowd_baselines::Benefit;
+use crowd_experiments::{
+    experiment_dataset, experiment_scale, f3, named_scenarios, policies_for_benefit, print_table,
+    run_policy, RunOutcome, RunnerConfig,
+};
+
+fn main() {
+    let scale = experiment_scale();
+    let dataset = experiment_dataset();
+    let cfg = RunnerConfig::default();
+    let scenarios = named_scenarios(&dataset);
+    println!(
+        "Scenario table — worker benefit across {} scenarios ({:?} scale)",
+        scenarios.len(),
+        scale
+    );
+
+    // outcomes[scenario][policy]
+    let mut all: Vec<Vec<RunOutcome>> = Vec::new();
+    for scenario in &scenarios {
+        eprintln!("scenario {} — {}", scenario.name, scenario.description);
+        let perturbed = scenario.dataset(&dataset);
+        let mut outcomes = Vec::new();
+        for mut policy in policies_for_benefit(&perturbed, Benefit::Worker, scale) {
+            eprintln!("  running {} ...", policy.name());
+            outcomes.push(run_policy(&perturbed, policy.as_mut(), &cfg));
+        }
+
+        // Per-epoch breakdown: cumulative CR / kCR / nDCG-CR per evaluated month.
+        let months = outcomes
+            .iter()
+            .map(|o| o.metrics.months())
+            .max()
+            .unwrap_or(0);
+        let mut rows = Vec::new();
+        for month in 0..months {
+            let mut row = vec![format!("month {}", month + 1)];
+            for outcome in &outcomes {
+                let (cr, kcr, ndcg) = outcome.metrics.cumulative_worker_row(month);
+                row.push(format!("{}/{}/{}", f3(cr), f3(kcr), f3(ndcg)));
+            }
+            rows.push(row);
+        }
+        let names: Vec<String> = outcomes.iter().map(|o| o.policy.clone()).collect();
+        let mut headers = vec!["epoch"];
+        headers.extend(names.iter().map(|s| s.as_str()));
+        print_table(
+            &format!(
+                "scenario {:?}: cumulative CR/kCR/nDCG-CR per month",
+                scenario.name
+            ),
+            &headers,
+            &rows,
+        );
+        all.push(outcomes);
+    }
+
+    // Cross-scenario summary: one nDCG-CR row per policy, one column per scenario.
+    let names: Vec<String> = all[0].iter().map(|o| o.policy.clone()).collect();
+    let mut headers = vec!["method"];
+    headers.extend(scenarios.iter().map(|s| s.name));
+    let rows: Vec<Vec<String>> = names
+        .iter()
+        .enumerate()
+        .map(|(p, name)| {
+            let mut row = vec![name.clone()];
+            for outcomes in &all {
+                row.push(f3(outcomes[p].summary().ndcg_cr));
+            }
+            row
+        })
+        .collect();
+    print_table("final nDCG-CR by scenario", &headers, &rows);
+
+    let rows: Vec<Vec<String>> = names
+        .iter()
+        .enumerate()
+        .map(|(p, name)| {
+            let mut row = vec![name.clone()];
+            for outcomes in &all {
+                row.push(f3(outcomes[p].summary().cr));
+            }
+            row
+        })
+        .collect();
+    print_table("final CR by scenario", &headers, &rows);
+}

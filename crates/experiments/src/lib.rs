@@ -24,13 +24,20 @@
 
 pub mod report;
 pub mod runner;
+pub mod scale;
 pub mod scenarios;
 pub mod session;
 
 pub use report::{f1, f3, format_row, print_table};
 pub use runner::{run_policy, RunOutcome, RunnerConfig};
-pub use scenarios::{
+// Shim: these lived in the (misnamed) `scenarios` module before it became the scenario
+// registry; downstream bins import them from the crate root, which keeps working.
+pub use scale::{
     collect_arrival_contexts, ddqn_config_for, ddqn_for, experiment_dataset, experiment_scale,
     experiment_shards, experiment_thread_pool, policies_for_benefit, Scale,
+};
+pub use scenarios::{
+    named_scenarios, resume_scenario_session, scenario_checkpoint, scenario_dataset,
+    scenario_session, scenario_session_sharded, NamedScenario,
 };
 pub use session::{run_policies_lockstep, run_policies_lockstep_with_pool, Session, SessionBatch};

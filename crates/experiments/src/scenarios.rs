@@ -1,266 +1,254 @@
-//! Experiment scale selection and the policy line-ups used by the figure binaries.
+//! The scenario registry: named non-stationary scenarios and scenario-aware
+//! session/checkpoint helpers.
+//!
+//! A [`NamedScenario`] pairs a stable name with a [`ScenarioSpec`]; the registry
+//! ([`named_scenarios`]) derives every spec deterministically from the dataset's shape
+//! (horizon, worker count), so the same dataset always yields the same scenarios at any
+//! scale. `scenario_table` replays the full policy line-up across the registry, and
+//! `tests/scenario_equivalence.rs` fences every scenario's bit-identity across thread
+//! counts, shard counts and checkpoint/resume.
+//!
+//! Checkpoints of scenario replays carry the spec itself in an extra `scenario` section
+//! ([`scenario_checkpoint`]); [`resume_scenario_session`] refuses to resume a snapshot
+//! under a different scenario (the replayed dataset would silently diverge from the
+//! checkpointed state). Layout: `docs/CHECKPOINT_FORMAT.md`.
 
-use crowd_baselines::{Benefit, GreedyCosine, GreedyNn, LinUcb, ListMode, RandomPolicy, Taskrec};
-use crowd_rl_core::{DdqnAgent, DdqnConfig, RecommendationMode};
-use crowd_sim::{ArrivalContext, BoxedPolicy, Dataset, Env, Platform, SimConfig};
+use crate::runner::RunnerConfig;
+use crate::session::Session;
+use crowd_ckpt::{CkptError, Snapshot, SnapshotFile};
+use crowd_sim::{
+    Dataset, DayNightCycle, Env, Platform, Policy, ScenarioSpec, ShardSpec, ShardedEnv,
+    MINUTES_PER_MONTH,
+};
 
-/// Dataset scale of an experiment run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// A quick smoke-test scale (used by CI-style checks).
-    Tiny,
-    /// The default reduced scale that finishes on a laptop CPU in minutes.
-    Small,
-    /// The full CrowdSpring-replica scale of the paper (13 months, ~1700 workers).
-    Replica,
-    /// The demand-scale synthetic tier (~1M workers, ~240k tasks) served by the sharded
-    /// platform; see [`SimConfig::massive`]. Binaries wired for it replay through
-    /// [`crowd_sim::ShardedEnv`] with [`experiment_shards`] shards and skip the warm-up
-    /// window (gathering owned warm-start history at this scale would dwarf the replay).
-    Massive,
+/// Name of the snapshot section holding the [`ScenarioSpec`] (prefixed like the session
+/// sections, so batched snapshots can carry one per member).
+pub const SCENARIO_SECTION: &str = "scenario";
+
+/// A registered scenario: a stable name, a one-line description for tables and a
+/// deterministic spec.
+#[derive(Debug, Clone)]
+pub struct NamedScenario {
+    /// Stable registry name (used in tables, CI logs and snapshot metadata).
+    pub name: &'static str,
+    /// One-line description shown by `scenario_table`.
+    pub description: &'static str,
+    /// The compiled perturbation.
+    pub spec: ScenarioSpec,
 }
 
-impl Scale {
-    /// Parses the `CROWD_SCALE` environment variable (`tiny` / `small` / `replica` /
-    /// `massive`), defaulting to [`Scale::Small`].
-    pub fn from_env() -> Scale {
-        match std::env::var("CROWD_SCALE")
-            .unwrap_or_default()
-            .to_lowercase()
-            .as_str()
-        {
-            "tiny" => Scale::Tiny,
-            "replica" | "full" => Scale::Replica,
-            "massive" => Scale::Massive,
-            _ => Scale::Small,
+impl NamedScenario {
+    /// The perturbed dataset this scenario replays.
+    pub fn dataset(&self, dataset: &Dataset) -> Dataset {
+        self.spec.apply(dataset)
+    }
+}
+
+/// The built-in scenario registry, derived deterministically from the dataset's shape.
+///
+/// * `stationary` — the no-op spec; replays the baseline dataset bit-identically.
+/// * `flash-crowd` — a 2.5× demand surge over the middle month, 0.7× elsewhere after
+///   warm-up (a burst against a mildly quiet background).
+/// * `worker-exodus` — every third worker retires at the horizon's midpoint, and every
+///   seventh only comes online then (churn in both directions).
+/// * `day-night` — arrivals concentrate in a 08:00–20:00 band (1.6× day, 0.4× night).
+/// * `category-drift` — from month 1 the task mix rotates one category and pays 0.8×;
+///   from the midpoint a second rotation pays 1.5× (composing epochs).
+pub fn named_scenarios(dataset: &Dataset) -> Vec<NamedScenario> {
+    let horizon = dataset.horizon();
+    let midpoint = horizon / 2;
+    let mid_month_start = (dataset.months as u64 / 2) * MINUTES_PER_MONTH;
+    let mid_month_end = (mid_month_start + MINUTES_PER_MONTH).min(horizon);
+
+    let mut exodus = ScenarioSpec::new(0xE0D5);
+    for worker in &dataset.workers {
+        if worker.id.0 % 3 == 0 {
+            exodus = exodus.with_window(worker.id, 0, midpoint);
+        } else if worker.id.0 % 7 == 0 {
+            exodus = exodus.with_window(worker.id, midpoint, horizon);
         }
     }
 
-    /// The generator configuration for this scale.
-    pub fn sim_config(self) -> SimConfig {
-        match self {
-            Scale::Tiny => SimConfig::tiny(),
-            Scale::Small => SimConfig::small(),
-            Scale::Replica => SimConfig::crowdspring_replica(),
-            Scale::Massive => SimConfig::massive(),
-        }
-    }
+    vec![
+        NamedScenario {
+            name: "stationary",
+            description: "baseline replay, unperturbed",
+            spec: ScenarioSpec::new(0),
+        },
+        NamedScenario {
+            name: "flash-crowd",
+            description: "2.5x surge over the middle month, 0.7x elsewhere post-warmup",
+            spec: ScenarioSpec::new(0xF1A5)
+                .with_surge(
+                    MINUTES_PER_MONTH,
+                    mid_month_start.max(MINUTES_PER_MONTH),
+                    0.7,
+                )
+                .with_surge(mid_month_start, mid_month_end, 2.5)
+                .with_surge(mid_month_end, horizon, 0.7),
+        },
+        NamedScenario {
+            name: "worker-exodus",
+            description: "every 3rd worker retires at midpoint; every 7th joins then",
+            spec: exodus,
+        },
+        NamedScenario {
+            name: "day-night",
+            description: "08:00-20:00 band at 1.6x, nights at 0.4x",
+            spec: ScenarioSpec::new(0xDA41).with_day_night(DayNightCycle {
+                day_from: 8 * 60,
+                day_until: 20 * 60,
+                day_rate: 1.6,
+                night_rate: 0.4,
+            }),
+        },
+        NamedScenario {
+            name: "category-drift",
+            description: "category rotation +1 at month 1 (0.8x pay), +1 at midpoint (1.5x)",
+            spec: ScenarioSpec::new(0xD81F)
+                .with_drift(MINUTES_PER_MONTH, 1, 0.8)
+                .with_drift(midpoint, 1, 1.5),
+        },
+    ]
 }
 
-/// Shard count for the sharded platform at the current scale: `CROWD_SHARDS` wins, then
-/// a default of 8 at [`Scale::Massive`] (a demand-scale replay wants the parallel
-/// per-shard advance) and 1 everywhere else (the single-shard layout is the unsharded
-/// platform's, bit-identically).
-pub fn experiment_shards(scale: Scale) -> usize {
-    if let Ok(value) = std::env::var("CROWD_SHARDS") {
-        if let Ok(n) = value.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-        eprintln!(
-            "CROWD_SHARDS expects a positive integer (got {value:?}); using the scale default"
-        );
-    }
-    match scale {
-        Scale::Massive => 8,
-        _ => 1,
-    }
+/// The perturbed dataset of one scenario (convenience wrapper over
+/// [`ScenarioSpec::apply`]).
+pub fn scenario_dataset(dataset: &Dataset, scenario: &NamedScenario) -> Dataset {
+    scenario.spec.apply(dataset)
 }
 
-/// Returns the experiment scale from the environment.
-pub fn experiment_scale() -> Scale {
-    Scale::from_env()
+/// A [`Platform`] session replaying `scenario` over `dataset`.
+pub fn scenario_session(
+    dataset: &Dataset,
+    scenario: &NamedScenario,
+    config: &RunnerConfig,
+) -> Session<Platform> {
+    Session::for_dataset(&scenario.spec.apply(dataset), config)
 }
 
-/// The worker pool for an experiment binary or example: `--threads N` on the command
-/// line wins, then the `CROWD_THREADS` environment variable, then the machine's
-/// available parallelism. Thread count only changes wall clock — every run is
-/// bit-identical at any setting (the workspace's parallel-execution contract).
-pub fn experiment_thread_pool() -> crowd_tensor::ThreadPool {
-    let mut args = std::env::args();
-    while let Some(arg) = args.next() {
-        // Both `--threads N` and `--threads=N` normalise to one value extraction.
-        let value = if arg == "--threads" {
-            args.next()
-        } else {
-            arg.strip_prefix("--threads=").map(str::to_string)
-        };
-        let Some(value) = value else { continue };
-        match crowd_tensor::ThreadPool::parse(&value) {
-            Some(pool) => return pool,
-            None => eprintln!(
-                "--threads expects a positive integer (got {value:?}); falling back to CROWD_THREADS / available parallelism"
+/// A [`ShardedEnv`] session replaying `scenario` over `dataset` — the sharded twin of
+/// [`scenario_session`]. Because the spec is applied to the dataset *before* either
+/// environment is built, both replay the identical event stream: bit-identity across
+/// shard counts is inherited from the stationary proof, and `scenario_equivalence`
+/// re-fences it per scenario.
+pub fn scenario_session_sharded(
+    dataset: &Dataset,
+    scenario: &NamedScenario,
+    config: &RunnerConfig,
+    shards: ShardSpec,
+) -> Session<ShardedEnv> {
+    Session::for_dataset_sharded(&scenario.spec.apply(dataset), config, shards)
+}
+
+/// Checkpoints a scenario session: the usual `session` / `env` / `policy` sections plus
+/// a [`SCENARIO_SECTION`] carrying the spec, so a resume can verify it is replaying the
+/// same scenario.
+pub fn scenario_checkpoint<E>(
+    session: &mut Session<E>,
+    policy: &dyn Policy,
+    spec: &ScenarioSpec,
+) -> crowd_ckpt::Result<Snapshot>
+where
+    E: Env + crowd_ckpt::SaveState,
+{
+    let mut snapshot = session.checkpoint(policy)?;
+    snapshot.put(SCENARIO_SECTION, spec);
+    Ok(snapshot)
+}
+
+/// Resumes a scenario session, first checking the snapshot's [`SCENARIO_SECTION`]
+/// against `spec` by fingerprint. A missing section (a stationary snapshot) or a
+/// mismatched spec yields [`CkptError::Corrupt`] — resuming state produced under a
+/// different perturbation would silently diverge from the replayed event stream.
+pub fn resume_scenario_session<E>(
+    session: &mut Session<E>,
+    policy: &mut dyn Policy,
+    file: &SnapshotFile,
+    spec: &ScenarioSpec,
+) -> crowd_ckpt::Result<()>
+where
+    E: Env + crowd_ckpt::LoadState,
+{
+    let stored: ScenarioSpec = file.decode(SCENARIO_SECTION)?;
+    if stored.fingerprint() != spec.fingerprint() {
+        return Err(CkptError::Corrupt {
+            what: "scenario section",
+            detail: format!(
+                "snapshot was taken under a different scenario (stored fingerprint \
+                 {:#010x}, expected {:#010x})",
+                stored.fingerprint(),
+                spec.fingerprint()
             ),
-        }
+        });
     }
-    crowd_tensor::ThreadPool::from_env()
-}
-
-/// Generates the dataset for the current experiment scale.
-pub fn experiment_dataset() -> Dataset {
-    experiment_scale().sim_config().generate()
-}
-
-/// The DDQN configuration used by the experiment binaries at a given scale: the network is
-/// kept narrow on the reduced scales so a full sweep stays CPU-friendly.
-pub fn ddqn_config_for(scale: Scale) -> DdqnConfig {
-    match scale {
-        Scale::Tiny => DdqnConfig {
-            hidden_dim: 16,
-            num_heads: 2,
-            batch_size: 8,
-            learn_every: 4,
-            max_tasks: 32,
-            ..DdqnConfig::default()
-        },
-        Scale::Small => DdqnConfig {
-            hidden_dim: 32,
-            num_heads: 4,
-            batch_size: 16,
-            learn_every: 2,
-            max_tasks: 48,
-            ..DdqnConfig::default()
-        },
-        // The massive tier keeps the paper-scale network: the scale lives in the
-        // sharded environment, not the model.
-        Scale::Replica | Scale::Massive => DdqnConfig::paper_scale(),
-    }
-}
-
-/// Builds a DDQN agent for a dataset (feature dimensions come from the platform's default
-/// feature space).
-pub fn ddqn_for(dataset: &Dataset, config: DdqnConfig) -> DdqnAgent {
-    let features = Platform::default_feature_space(dataset);
-    DdqnAgent::new(config, features.task_dim(), features.worker_dim())
-}
-
-/// Materialises up to `limit` non-empty arrival contexts from a fresh platform walk over
-/// `dataset` — the owned-record arrival stream serving harnesses feed to `crowd-serve`
-/// clients (the decision service takes owned [`ArrivalContext`]s over a queue, not
-/// borrowed views). Deterministic in the dataset: the arrival order is the dataset's
-/// prerecorded event stream, and since no decision is ever applied here, the behaviour
-/// `seed` (which only drives post-`apply` feedback outcomes) cannot influence the
-/// contexts. Arrivals with an empty task pool are skipped, since a serving decision over
-/// zero tasks is vacuous.
-pub fn collect_arrival_contexts(dataset: &Dataset, seed: u64, limit: usize) -> Vec<ArrivalContext> {
-    let mut platform = Platform::new(
-        dataset.clone(),
-        Platform::default_feature_space(dataset),
-        seed,
-    );
-    let mut contexts = Vec::with_capacity(limit);
-    while contexts.len() < limit && platform.next_arrival() {
-        let view = platform.arrival();
-        if !view.is_empty() {
-            contexts.push(view.to_context());
-        }
-    }
-    contexts
-}
-
-/// The policy line-up of Fig. 7 (worker benefit) or Fig. 8 (requester benefit), including the
-/// benefit-specific DDQN variant. Taskrec only appears in the worker-benefit comparison, as
-/// in the paper.
-pub fn policies_for_benefit(dataset: &Dataset, benefit: Benefit, scale: Scale) -> Vec<BoxedPolicy> {
-    let mode = ListMode::RankAll;
-    let ddqn_config = match benefit {
-        Benefit::Worker => ddqn_config_for(scale).worker_only(),
-        Benefit::Requester => ddqn_config_for(scale).requester_only(),
-    }
-    .with_mode(RecommendationMode::RankList);
-    let mut policies: Vec<BoxedPolicy> = vec![Box::new(RandomPolicy::new(mode, 11))];
-    if benefit == Benefit::Worker {
-        policies.push(Box::new(Taskrec::new(mode, 8, 13)));
-    }
-    policies.push(Box::new(GreedyCosine::new(benefit, mode)));
-    policies.push(Box::new(GreedyNn::new(benefit, mode, 17)));
-    policies.push(Box::new(LinUcb::new(benefit, mode, 0.5)));
-    policies.push(Box::new(ddqn_for(dataset, ddqn_config)));
-    policies
+    session.resume(policy, file)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crowd_baselines::{Benefit, LinUcb, ListMode};
+    use crowd_sim::SimConfig;
 
     #[test]
-    fn scale_parsing_defaults_to_small() {
-        assert_eq!(Scale::from_env(), Scale::Small);
-        assert_eq!(Scale::Tiny.sim_config().months, SimConfig::tiny().months);
-        assert_eq!(
-            Scale::Replica.sim_config().n_workers,
-            SimConfig::crowdspring_replica().n_workers
-        );
-    }
-
-    #[test]
-    fn worker_lineup_matches_paper() {
+    fn registry_has_stationary_plus_four_scenarios() {
         let dataset = SimConfig::tiny().generate();
-        let policies = policies_for_benefit(&dataset, Benefit::Worker, Scale::Tiny);
-        let names: Vec<&str> = policies.iter().map(|p| p.name()).collect();
-        assert_eq!(
-            names,
-            vec![
-                "Random",
-                "Taskrec",
-                "Greedy CS",
-                "Greedy NN",
-                "LinUCB",
-                "DDQN(w)"
-            ]
-        );
+        let scenarios = named_scenarios(&dataset);
+        assert!(scenarios.len() >= 5);
+        assert_eq!(scenarios[0].name, "stationary");
+        assert!(scenarios[0].spec.is_noop());
+        for scenario in &scenarios[1..] {
+            assert!(!scenario.spec.is_noop(), "{} is a no-op", scenario.name);
+        }
+        // Names are unique and stable.
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), scenarios.len());
     }
 
     #[test]
-    fn requester_lineup_omits_taskrec() {
+    fn registry_is_deterministic_in_the_dataset() {
         let dataset = SimConfig::tiny().generate();
-        let policies = policies_for_benefit(&dataset, Benefit::Requester, Scale::Tiny);
-        let names: Vec<&str> = policies.iter().map(|p| p.name()).collect();
-        assert_eq!(
-            names,
-            vec![
-                "Random",
-                "Greedy CS (r)",
-                "Greedy NN (r)",
-                "LinUCB (r)",
-                "DDQN(r)"
-            ]
-        );
-    }
-
-    #[test]
-    fn arrival_context_collection_is_deterministic_and_non_empty() {
-        let dataset = SimConfig::tiny().generate();
-        let a = collect_arrival_contexts(&dataset, 42, 25);
-        let b = collect_arrival_contexts(&dataset, 42, 25);
-        assert_eq!(a, b, "same seed, same stream");
-        assert!(!a.is_empty());
-        assert!(a.len() <= 25);
-        assert!(a.iter().all(|ctx| !ctx.available.is_empty()));
-        // The behaviour seed only drives post-`apply` feedback randomness; with no
-        // decisions applied, the arrival stream is the dataset's event stream verbatim.
-        let c = collect_arrival_contexts(&dataset, 43, 25);
-        assert_eq!(a, c, "arrival stream is dataset-driven, not seed-driven");
-    }
-
-    #[test]
-    fn ddqn_configs_are_valid_at_every_scale() {
-        for scale in [Scale::Tiny, Scale::Small, Scale::Replica, Scale::Massive] {
-            ddqn_config_for(scale).validate();
+        let a = named_scenarios(&dataset);
+        let b = named_scenarios(&dataset);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.spec, y.spec);
+            assert_eq!(x.spec.fingerprint(), y.spec.fingerprint());
         }
     }
 
     #[test]
-    fn massive_scale_resolves_its_generator_config() {
-        assert_eq!(
-            Scale::Massive.sim_config().n_workers,
-            SimConfig::massive().n_workers
-        );
-        // Without CROWD_SHARDS the massive tier defaults to 8 shards, others to 1.
-        if std::env::var_os("CROWD_SHARDS").is_none() {
-            assert_eq!(experiment_shards(Scale::Massive), 8);
-            assert_eq!(experiment_shards(Scale::Small), 1);
+    fn scenario_checkpoint_rejects_cross_scenario_resume() {
+        let dataset = SimConfig::tiny().generate();
+        let cfg = RunnerConfig::default();
+        let scenarios = named_scenarios(&dataset);
+        let surge = scenarios.iter().find(|s| s.name == "flash-crowd").unwrap();
+        let drift = scenarios
+            .iter()
+            .find(|s| s.name == "category-drift")
+            .unwrap();
+
+        let mut policy = LinUcb::new(Benefit::Worker, ListMode::RankAll, 0.5);
+        let mut session = scenario_session(&dataset, surge, &cfg);
+        for _ in 0..10 {
+            session.step(&mut policy);
         }
+        let snapshot = scenario_checkpoint(&mut session, &policy, &surge.spec).expect("checkpoint");
+        let file = SnapshotFile::from_bytes(snapshot.to_bytes()).expect("parse");
+
+        // Same scenario: resumes fine.
+        let mut resumed = scenario_session(&dataset, surge, &cfg);
+        let mut resumed_policy = LinUcb::new(Benefit::Worker, ListMode::RankAll, 0.5);
+        resume_scenario_session(&mut resumed, &mut resumed_policy, &file, &surge.spec)
+            .expect("same-scenario resume");
+
+        // Different scenario: refused.
+        let mut wrong = scenario_session(&dataset, drift, &cfg);
+        let mut wrong_policy = LinUcb::new(Benefit::Worker, ListMode::RankAll, 0.5);
+        let err = resume_scenario_session(&mut wrong, &mut wrong_policy, &file, &drift.spec)
+            .expect_err("cross-scenario resume must fail");
+        assert!(matches!(err, CkptError::Corrupt { .. }), "{err:?}");
     }
 }

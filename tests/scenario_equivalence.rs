@@ -1,0 +1,476 @@
+//! Suite #14 — scenario conformance fence for `crowd_sim::dynamics`.
+//!
+//! A [`crowd_sim::ScenarioSpec`] compiles worker churn, demand surges and task-mix
+//! drift into a perturbed dataset *before* the replay; everything downstream runs the
+//! unchanged zero-copy hot loop. This suite proves the scenario layer does not erode
+//! any prior bit-identity proof:
+//!
+//! * a **no-op spec reproduces the baseline replay's canonical fingerprint exactly**
+//!   (no RNG draws, no event churn);
+//! * every **named registry scenario replays bit-identically** across shard counts
+//!   {1, 2, 8} and the CI `CROWD_THREADS` {1, 4} matrix (the pool comes from
+//!   `ThreadPool::from_env`), and across mid-scenario checkpoint/resume — including the
+//!   scenario-section validation that refuses cross-scenario resumes;
+//! * the scenario **properties hold over seeded sweeps**: no decision ever shows an
+//!   offline worker a pool, and surge thinning preserves the arrival subsequence order;
+//! * the edge cases ride the same sweeps: a worker retiring while tasks it completed
+//!   are still pooled, a surge boundary landing exactly on an arrival, an empty
+//!   availability window, and a drift epoch with zero remaining tasks.
+
+use crowd_baselines::{Benefit, LinUcb, ListMode, RandomPolicy};
+use crowd_experiments::{
+    named_scenarios, resume_scenario_session, scenario_checkpoint, scenario_session,
+    scenario_session_sharded, RunnerConfig, Session,
+};
+use crowd_metrics::MetricsSummary;
+use crowd_sim::{
+    Dataset, Env, Event, EventKind, Policy, ScenarioSpec, ShardSpec, SimConfig, WorkerId,
+    MINUTES_PER_MONTH,
+};
+use crowd_tensor::{Rng, ThreadPool};
+
+/// Everything one replay leaves behind, compared bitwise between environments.
+#[derive(Debug, PartialEq)]
+struct ReplayProbe {
+    summary: MetricsSummary,
+    evaluated: usize,
+    completions: usize,
+    fingerprint: u32,
+    rng_probe: u64,
+}
+
+fn config() -> RunnerConfig {
+    RunnerConfig::default()
+}
+
+/// The environment-side pool honours the CI thread matrix (`CROWD_THREADS` 1 / 4).
+fn env_pool() -> ThreadPool {
+    ThreadPool::from_env()
+}
+
+fn probe_platform(dataset: &Dataset, policy: &mut dyn Policy) -> ReplayProbe {
+    let mut session = Session::for_dataset(dataset, &config());
+    session.run(policy);
+    let evaluated = session.evaluated_arrivals();
+    let summary = session.metrics().summary();
+    let env = session.env_mut();
+    env.flush();
+    ReplayProbe {
+        summary,
+        evaluated,
+        completions: env.total_completions(),
+        fingerprint: env.canonical_fingerprint(),
+        rng_probe: env.rng_probe(),
+    }
+}
+
+fn probe_sharded(dataset: &Dataset, policy: &mut dyn Policy, spec: ShardSpec) -> ReplayProbe {
+    let mut session = Session::for_dataset_sharded(dataset, &config(), spec);
+    session.run(policy);
+    let evaluated = session.evaluated_arrivals();
+    let summary = session.metrics().summary();
+    let env = session.env_mut();
+    Env::flush(env);
+    ReplayProbe {
+        summary,
+        evaluated,
+        completions: env.total_completions(),
+        fingerprint: env.canonical_fingerprint(),
+        rng_probe: env.rng_probe(),
+    }
+}
+
+fn arrivals(dataset: &Dataset) -> Vec<Event> {
+    dataset
+        .events
+        .iter()
+        .copied()
+        .filter(Event::is_arrival)
+        .collect()
+}
+
+/// Kept arrivals must match the original stream front to back without reordering.
+fn assert_subsequence(kept: &[Event], original: &[Event], label: &str) {
+    let mut cursor = 0;
+    for event in kept {
+        while cursor < original.len() && original[cursor] != *event {
+            cursor += 1;
+        }
+        assert!(
+            cursor < original.len(),
+            "{label}: kept arrival at t={} out of original order",
+            event.time
+        );
+        cursor += 1;
+    }
+}
+
+#[test]
+fn noop_scenario_reproduces_the_baseline_canonical_fingerprint() {
+    let dataset = SimConfig::tiny().generate();
+    let noop = ScenarioSpec::new(12345);
+    assert!(noop.is_noop());
+    let perturbed = noop.apply(&dataset);
+    assert_eq!(perturbed.events, dataset.events);
+
+    let baseline = probe_platform(&dataset, &mut RandomPolicy::new(ListMode::RankAll, 5));
+    let scenario = probe_platform(&perturbed, &mut RandomPolicy::new(ListMode::RankAll, 5));
+    assert_eq!(scenario, baseline, "no-op scenario must be exact identity");
+
+    // The registry's `stationary` entry is that no-op.
+    let stationary = &named_scenarios(&dataset)[0];
+    assert!(stationary.spec.is_noop());
+    let registry = probe_platform(
+        &stationary.spec.apply(&dataset),
+        &mut RandomPolicy::new(ListMode::RankAll, 5),
+    );
+    assert_eq!(registry, baseline);
+}
+
+#[test]
+fn every_named_scenario_is_bit_identical_across_shard_counts() {
+    let dataset = SimConfig::tiny().generate();
+    for scenario in named_scenarios(&dataset) {
+        let perturbed = scenario.spec.apply(&dataset);
+        let reference = probe_platform(&perturbed, &mut RandomPolicy::new(ListMode::RankAll, 5));
+        for n_shards in [1, 2, 8] {
+            let spec = ShardSpec::new(n_shards).with_pool(env_pool());
+            let probe = probe_sharded(
+                &perturbed,
+                &mut RandomPolicy::new(ListMode::RankAll, 5),
+                spec,
+            );
+            assert_eq!(
+                probe,
+                reference,
+                "{} diverged at {n_shards} shard(s), {} thread(s)",
+                scenario.name,
+                env_pool().threads()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_named_scenario_survives_mid_scenario_checkpoint_resume() {
+    let dataset = SimConfig::tiny().generate();
+    let make_policy = || LinUcb::new(Benefit::Worker, ListMode::RankAll, 0.5);
+    for scenario in named_scenarios(&dataset) {
+        // Uninterrupted run: step partway, checkpoint (with the scenario section),
+        // keep going to completion.
+        let shards = ShardSpec::new(2).with_pool(env_pool());
+        let mut original = scenario_session_sharded(&dataset, &scenario, &config(), shards);
+        let mut original_policy = make_policy();
+        for _ in 0..20 {
+            assert!(original.step(&mut original_policy), "{}", scenario.name);
+        }
+        let snapshot = scenario_checkpoint(&mut original, &original_policy, &scenario.spec)
+            .expect("checkpoint");
+        let file = crowd_ckpt::SnapshotFile::from_bytes(snapshot.to_bytes()).unwrap();
+        original.run(&mut original_policy);
+
+        // Resumed twin: fresh session + policy restored from the snapshot, run to end.
+        let mut resumed = scenario_session_sharded(&dataset, &scenario, &config(), shards);
+        let mut resumed_policy = make_policy();
+        resume_scenario_session(&mut resumed, &mut resumed_policy, &file, &scenario.spec)
+            .expect("same-scenario resume");
+        resumed.run(&mut resumed_policy);
+
+        Env::flush(original.env_mut());
+        Env::flush(resumed.env_mut());
+        assert_eq!(
+            original.metrics().summary(),
+            resumed.metrics().summary(),
+            "{}",
+            scenario.name
+        );
+        assert_eq!(
+            original.env_mut().canonical_fingerprint(),
+            resumed.env_mut().canonical_fingerprint(),
+            "{}",
+            scenario.name
+        );
+        assert_eq!(
+            original.env_mut().rng_probe(),
+            resumed.env_mut().rng_probe(),
+            "{}",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn cross_scenario_resume_is_refused() {
+    let dataset = SimConfig::tiny().generate();
+    let scenarios = named_scenarios(&dataset);
+    let surge = &scenarios[1];
+    let other = &scenarios[2];
+    let mut session = scenario_session(&dataset, surge, &config());
+    let mut policy = LinUcb::new(Benefit::Worker, ListMode::RankAll, 0.5);
+    for _ in 0..5 {
+        session.step(&mut policy);
+    }
+    let snapshot = scenario_checkpoint(&mut session, &policy, &surge.spec).unwrap();
+    let file = crowd_ckpt::SnapshotFile::from_bytes(snapshot.to_bytes()).unwrap();
+    let mut wrong = scenario_session(&dataset, other, &config());
+    let err = resume_scenario_session(&mut wrong, &mut policy, &file, &other.spec)
+        .expect_err("resuming under a different scenario must fail");
+    assert!(
+        matches!(err, crowd_ckpt::CkptError::Corrupt { .. }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn offline_workers_never_see_a_pool() {
+    // Seeded sweep: random churn specs (retire / late-join / empty windows), replayed
+    // end to end — every decision the platform asks for must belong to a worker that is
+    // online under the spec at that arrival's time.
+    const CASES: usize = 12;
+    let dataset = SimConfig::tiny().generate();
+    let horizon = dataset.horizon();
+    let n_workers = dataset.workers.len();
+    let mut rng = Rng::seed_from(71_005);
+    for case in 0..CASES {
+        let mut spec = ScenarioSpec::new(900 + case as u64);
+        for w in 0..n_workers {
+            match rng.below(4) {
+                0 => {
+                    // Retires mid-horizon.
+                    let at = rng.range(1, horizon as usize) as u64;
+                    spec = spec.with_window(WorkerId(w as u32), 0, at);
+                }
+                1 => {
+                    // Joins mid-horizon.
+                    let at = rng.range(1, horizon as usize) as u64;
+                    spec = spec.with_window(WorkerId(w as u32), at, horizon);
+                }
+                2 => {
+                    // Empty window: never online.
+                    let at = rng.range(0, horizon as usize) as u64;
+                    spec = spec.with_window(WorkerId(w as u32), at, at);
+                }
+                _ => {} // always online
+            }
+        }
+        let perturbed = spec.apply(&dataset);
+        let mut session = Session::for_dataset(&perturbed, &config());
+        loop {
+            let env = session.env_mut();
+            if !env.next_arrival() {
+                break;
+            }
+            let view = env.arrival();
+            assert!(
+                spec.worker_online(view.worker_id, view.time),
+                "case {case}: offline worker {:?} shown a pool at t={}",
+                view.worker_id,
+                view.time
+            );
+        }
+        // The perturbed replay stays shard-count invariant.
+        let reference = probe_platform(&perturbed, &mut RandomPolicy::new(ListMode::RankAll, 5));
+        let sharded = probe_sharded(
+            &perturbed,
+            &mut RandomPolicy::new(ListMode::RankAll, 5),
+            ShardSpec::new(8).with_pool(env_pool()),
+        );
+        assert_eq!(sharded, reference, "case {case}");
+    }
+}
+
+#[test]
+fn surge_thinning_preserves_arrival_subsequence_order() {
+    // Seeded sweep over random thinning/densifying phase stacks: the kept arrivals are
+    // always an ordered subsequence of the original stream (densified copies are
+    // adjacent duplicates, which the matcher consumes in place), and non-arrival events
+    // survive verbatim.
+    const CASES: usize = 16;
+    let dataset = SimConfig::tiny().generate();
+    let original = arrivals(&dataset);
+    let horizon = dataset.horizon();
+    let mut rng = Rng::seed_from(71_006);
+    for case in 0..CASES {
+        let mut spec = ScenarioSpec::new(1_000 + case as u64);
+        for _ in 0..rng.range(1, 4) {
+            let from = rng.range(0, horizon as usize) as u64;
+            let until = (from + rng.range(1, horizon as usize) as u64).min(horizon);
+            // Mostly thinning; the order property must hold either way.
+            let rate = if rng.chance(0.7) {
+                rng.uniform(0.1, 0.9)
+            } else {
+                rng.uniform(1.1, 2.5)
+            };
+            spec = spec.with_surge(from, until, rate);
+        }
+        let perturbed = spec.apply(&dataset);
+        // Collapse densified adjacent duplicates; the remainder must be a subsequence.
+        let mut deduped: Vec<Event> = Vec::new();
+        for event in arrivals(&perturbed) {
+            if deduped.last() != Some(&event) {
+                deduped.push(event);
+            }
+        }
+        assert_subsequence(&deduped, &original, &format!("case {case}"));
+        let count_non = |d: &Dataset| d.events.iter().filter(|e| !e.is_arrival()).count();
+        assert_eq!(count_non(&perturbed), count_non(&dataset), "case {case}");
+    }
+}
+
+#[test]
+fn retired_workers_completed_tasks_stay_pooled_until_expiry() {
+    // Edge case: a worker completes tasks and then retires while those tasks are still
+    // pooled. The pool must keep serving them to other workers, and the replay must
+    // stay shard-count invariant. Swept over retirement months.
+    let dataset = SimConfig::tiny().generate();
+    let mut rng = Rng::seed_from(71_007);
+    let mut exercised = false;
+    for case in 0..8 {
+        let retire_at = MINUTES_PER_MONTH + rng.range(1, MINUTES_PER_MONTH as usize) as u64;
+        let victim = WorkerId(rng.below(dataset.workers.len()) as u32);
+        let spec = ScenarioSpec::new(1_100 + case as u64).with_window(victim, 0, retire_at);
+        let perturbed = spec.apply(&dataset);
+
+        // Replay on the platform, recording which tasks the victim completed and
+        // asserting they remain reachable through later arrivals' pools.
+        let mut session = Session::for_dataset(&perturbed, &config());
+        let mut victim_tasks: Vec<crowd_sim::TaskId> = Vec::new();
+        let mut seen_later = false;
+        loop {
+            if !session.env_mut().next_arrival() {
+                break;
+            }
+            let view = session.env_mut().arrival();
+            let (worker, time) = (view.worker_id, view.time);
+            if time >= retire_at {
+                assert_ne!(worker, victim, "case {case}: victim arrived after retiring");
+                for task in view.tasks() {
+                    if victim_tasks.contains(&task.id) {
+                        seen_later = true;
+                    }
+                }
+            }
+            if view.is_empty() {
+                continue;
+            }
+            let mut decision = crowd_sim::Decision::new();
+            decision.extend((0..view.n_tasks()).map(|i| view.task_id(i)));
+            let env = session.env_mut();
+            env.apply(&decision);
+            let feedback = env.feedback();
+            if worker == victim {
+                if let Some((task, _)) = feedback.completed {
+                    victim_tasks.push(task);
+                }
+            }
+        }
+        if seen_later {
+            exercised = true;
+        }
+        let reference = probe_platform(&perturbed, &mut RandomPolicy::new(ListMode::RankAll, 5));
+        let sharded = probe_sharded(
+            &perturbed,
+            &mut RandomPolicy::new(ListMode::RankAll, 5),
+            ShardSpec::new(2).with_pool(env_pool()),
+        );
+        assert_eq!(sharded, reference, "case {case}");
+    }
+    assert!(
+        exercised,
+        "sweep never saw a retired worker's completed task still pooled"
+    );
+}
+
+#[test]
+fn surge_boundary_landing_exactly_on_an_arrival_is_inside_the_phase() {
+    // Edge case: `from` is inclusive and `until` exclusive, so an arrival exactly at
+    // `from` is surged and one exactly at `until` is not. Swept over real arrival times
+    // from the dataset, using an integer densify rate so the effect is deterministic.
+    let dataset = SimConfig::tiny().generate();
+    let original = arrivals(&dataset);
+    let mut rng = Rng::seed_from(71_008);
+    for case in 0..8 {
+        let pivot = original[rng.below(original.len())].time;
+        let spec = ScenarioSpec::new(1_200 + case as u64).with_surge(pivot, pivot + 1, 2.0);
+        let perturbed = spec.apply(&dataset);
+        let at_pivot_before = original.iter().filter(|e| e.time == pivot).count();
+        let at_pivot_after = arrivals(&perturbed)
+            .iter()
+            .filter(|e| e.time == pivot)
+            .count();
+        assert_eq!(
+            at_pivot_after,
+            2 * at_pivot_before,
+            "case {case}: boundary arrival at t={pivot} must be densified"
+        );
+        // Everything off the pivot minute is untouched.
+        let off_pivot = |d: &Dataset| {
+            arrivals(d)
+                .into_iter()
+                .filter(|e| e.time != pivot)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(off_pivot(&perturbed), off_pivot(&dataset), "case {case}");
+        // And `until` is exclusive: surging [t, t) is a no-op on the stream.
+        let empty = ScenarioSpec::new(1_300 + case as u64).with_surge(pivot, pivot, 3.0);
+        assert_eq!(empty.apply(&dataset).events, dataset.events, "case {case}");
+    }
+}
+
+#[test]
+fn drift_epoch_with_zero_remaining_tasks_matches_the_baseline_replay() {
+    // Edge case: a drift epoch scheduled after the last task creation rewrites nothing —
+    // the spec is non-noop, but the replay must reproduce the baseline fingerprint.
+    let dataset = SimConfig::tiny().generate();
+    let last_creation = dataset
+        .tasks
+        .iter()
+        .map(|t| t.created_at)
+        .max()
+        .unwrap_or(0);
+    let mut rng = Rng::seed_from(71_009);
+    let baseline = probe_platform(&dataset, &mut RandomPolicy::new(ListMode::RankAll, 5));
+    for case in 0..8 {
+        let at = last_creation + 1 + rng.range(0, MINUTES_PER_MONTH as usize) as u64;
+        let step = rng.range(1, dataset.n_categories.max(2)) as u16;
+        let spec = ScenarioSpec::new(1_400 + case as u64).with_drift(at, step, 1.5);
+        assert!(!spec.is_noop());
+        let perturbed = spec.apply(&dataset);
+        assert_eq!(perturbed.tasks, dataset.tasks, "case {case}");
+        assert_eq!(perturbed.events, dataset.events, "case {case}");
+        let probe = probe_platform(&perturbed, &mut RandomPolicy::new(ListMode::RankAll, 5));
+        assert_eq!(probe, baseline, "case {case}");
+    }
+}
+
+#[test]
+fn empty_availability_window_silences_a_worker_for_the_whole_replay() {
+    // Edge case sweep: a worker with an empty window never arrives, every other worker
+    // is untouched, and the replay stays shard-count invariant.
+    let dataset = SimConfig::tiny().generate();
+    let mut rng = Rng::seed_from(71_010);
+    for case in 0..8 {
+        let silenced = WorkerId(rng.below(dataset.workers.len()) as u32);
+        let at = rng.range(0, dataset.horizon() as usize) as u64;
+        let spec = ScenarioSpec::new(1_500 + case as u64).with_window(silenced, at, at);
+        let perturbed = spec.apply(&dataset);
+        assert!(perturbed
+            .events
+            .iter()
+            .all(|e| e.kind != EventKind::WorkerArrival(silenced)));
+        let others = |d: &Dataset| {
+            arrivals(d)
+                .into_iter()
+                .filter(|e| e.kind != EventKind::WorkerArrival(silenced))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(others(&perturbed), others(&dataset), "case {case}");
+        let reference = probe_platform(&perturbed, &mut RandomPolicy::new(ListMode::RankAll, 5));
+        let sharded = probe_sharded(
+            &perturbed,
+            &mut RandomPolicy::new(ListMode::RankAll, 5),
+            ShardSpec::new(8).with_pool(env_pool()),
+        );
+        assert_eq!(sharded, reference, "case {case}");
+    }
+}
